@@ -1,0 +1,96 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify the sensitivity of the closed-loop
+result to the control policy, the shadow-latch clock delay and the control
+window, supporting the paper's design-choice arguments (Section 2 and 5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus import BusDesign, CharacterizedBus
+from repro.circuit.pvt import TYPICAL_CORNER
+from repro.clocking import ClockingParameters
+from repro.core import BangBangPolicy, DVSBusSystem, ProportionalPolicy
+from repro.trace import generate_benchmark_trace
+
+from conftest import BENCH_CYCLES, BENCH_RAMP, BENCH_SEED, BENCH_WINDOW
+
+
+@pytest.fixture(scope="module")
+def crafty_trace():
+    return generate_benchmark_trace("crafty", n_cycles=BENCH_CYCLES, seed=BENCH_SEED)
+
+
+def _closed_loop_gain(bus, trace, policy, window=BENCH_WINDOW, ramp=BENCH_RAMP):
+    system = DVSBusSystem(bus, policy=policy, window_cycles=window, ramp_delay_cycles=ramp)
+    result = system.run(trace, warmup_cycles=BENCH_CYCLES // 2)
+    return result
+
+
+def test_ablation_control_policy(benchmark, typical_corner_bus, crafty_trace):
+    """Paper claim: the simple bang-bang policy is adequate vs a proportional one."""
+
+    def run_both():
+        bang = _closed_loop_gain(typical_corner_bus, crafty_trace, BangBangPolicy())
+        proportional = _closed_loop_gain(
+            typical_corner_bus, crafty_trace, ProportionalPolicy()
+        )
+        return bang, proportional
+
+    bang, proportional = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(
+        f"bang-bang: gain {bang.energy_gain_percent:.1f}% err {bang.average_error_rate*100:.2f}% | "
+        f"proportional: gain {proportional.energy_gain_percent:.1f}% "
+        f"err {proportional.average_error_rate*100:.2f}%"
+    )
+    assert bang.energy_gain_percent > 0.0
+    assert abs(bang.energy_gain_percent - proportional.energy_gain_percent) < 15.0
+
+
+def test_ablation_shadow_latch_delay(benchmark, paper_design, crafty_trace):
+    """A smaller shadow-latch delay raises the regulator floor and shrinks gains."""
+
+    def run_both():
+        results = {}
+        for fraction in (0.15, 0.33):
+            clocking = ClockingParameters(shadow_delay_fraction=fraction)
+            design = BusDesign.paper_bus(clocking=clocking)
+            bus = CharacterizedBus(design, TYPICAL_CORNER)
+            results[fraction] = _closed_loop_gain(bus, crafty_trace, BangBangPolicy())
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    for fraction, result in results.items():
+        print(
+            f"shadow delay {fraction:.2f} x Tclk: floor-limited min "
+            f"{result.minimum_voltage_reached*1000:.0f} mV, gain "
+            f"{result.energy_gain_percent:.1f}%"
+        )
+    assert results[0.33].minimum_voltage_reached <= results[0.15].minimum_voltage_reached
+    assert results[0.33].energy_gain_percent >= results[0.15].energy_gain_percent - 0.5
+
+
+def test_ablation_window_length(benchmark, typical_corner_bus, crafty_trace):
+    """Longer measurement windows react more slowly but target the same band."""
+
+    def run_both():
+        fast = _closed_loop_gain(
+            typical_corner_bus, crafty_trace, BangBangPolicy(), window=1000, ramp=300
+        )
+        slow = _closed_loop_gain(
+            typical_corner_bus, crafty_trace, BangBangPolicy(), window=4000, ramp=1200
+        )
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(
+        f"window 1000: gain {fast.energy_gain_percent:.1f}% | "
+        f"window 4000: gain {slow.energy_gain_percent:.1f}%"
+    )
+    assert fast.failures == 0 and slow.failures == 0
+    assert fast.energy_gain_percent > 0.0 and slow.energy_gain_percent > 0.0

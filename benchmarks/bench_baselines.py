@@ -1,0 +1,70 @@
+"""Ablation: related-work self-tuning schemes vs the proposed error-correcting DVS.
+
+Section 1 of the paper argues that correlating-VCO / delay-line ("canary")
+schemes and the triple-latch monitor all keep safety margins because they
+must stay error-free, and therefore cannot recover the data-dependent slack
+the proposed scheme reaches.  This benchmark runs all four schemes -- fixed
+VS, canary delay line, triple-latch monitor and the proposed closed-loop DVS
+-- on the same workload at the two Table 1 corners and prints the resulting
+energy gains side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import format_scheme_comparison, run_scheme_comparison
+from repro.bus import BusDesign
+from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
+from repro.trace import generate_suite
+
+from conftest import BENCH_RAMP, BENCH_SEED, BENCH_WINDOW
+
+#: Cycles per benchmark trace for the comparison (kept short: four schemes
+#: and two corners are evaluated on the combined suite).
+COMPARISON_CYCLES = 20_000
+
+#: Benchmarks whose combined trace the schemes are compared on: one quiet
+#: integer program and one streaming floating-point program.
+COMPARISON_BENCHMARKS = ("crafty", "mgrid")
+
+
+def _run_comparisons():
+    design = BusDesign.paper_bus()
+    suite = generate_suite(
+        names=COMPARISON_BENCHMARKS, n_cycles=COMPARISON_CYCLES, seed=BENCH_SEED
+    )
+    traces = list(suite.values())
+    return {
+        corner.label: run_scheme_comparison(
+            design,
+            traces,
+            corner,
+            window_cycles=BENCH_WINDOW,
+            ramp_delay_cycles=BENCH_RAMP,
+            workload_name="+".join(COMPARISON_BENCHMARKS),
+        )
+        for corner in (WORST_CASE_CORNER, TYPICAL_CORNER)
+    }
+
+
+def test_baseline_scheme_comparison(benchmark):
+    """Fixed VS, canary, triple-latch and proposed DVS at the Table 1 corners."""
+    comparisons = benchmark.pedantic(_run_comparisons, rounds=1, iterations=1)
+
+    worst = comparisons[WORST_CASE_CORNER.label]
+    typical = comparisons[TYPICAL_CORNER.label]
+
+    # At the worst-case corner no error-intolerant scheme can gain anything.
+    assert worst.by_scheme("fixed VS").energy_gain_percent == pytest.approx(0.0, abs=1e-9)
+    assert worst.proposed.energy_gain_percent > 0.0
+    # At the typical corner the proposed DVS must beat every baseline.
+    baseline_best = max(
+        typical.by_scheme(name).energy_gain_percent
+        for name in ("fixed VS", "canary delay-line", "triple-latch monitor")
+    )
+    assert typical.proposed.energy_gain_percent > baseline_best
+
+    for comparison in comparisons.values():
+        print()
+        print(format_scheme_comparison(comparison))

@@ -1,0 +1,50 @@
+"""Ablation: where the paper's bus sits in the repeater / shielding design space.
+
+Two sweeps back the design decisions Section 3 fixes and Section 6 discusses:
+
+* the repeater design space (segment count x repeater size), showing the
+  energy cost of sizing purely for the 600 ps worst-case target versus the
+  power-optimal configuration that still meets it, and
+* the shield-insertion interval, showing how the paper's one-shield-per-four-
+  wires layout trades routing tracks against worst-case coupling and against
+  the worst-to-typical delay spread the DVS scheme exploits.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.design_space import (
+    delay_optimal_design,
+    explore_repeater_design_space,
+    format_shield_interval_study,
+    power_optimal_design,
+    run_shield_interval_study,
+)
+
+
+def _run_sweeps():
+    space = explore_repeater_design_space(n_sizes=20, segment_options=(2, 3, 4, 6, 8))
+    shields = run_shield_interval_study(shield_groups=(2, 4, 8, 16, 32))
+    return space, shields
+
+
+def test_design_space_sweeps(benchmark):
+    """Repeater sizing and shield-interval sweeps around the paper's design point."""
+    space, shields = benchmark.pedantic(_run_sweeps, rounds=1, iterations=1)
+
+    fastest = delay_optimal_design(space)
+    cheapest = power_optimal_design(space)
+    assert cheapest.worst_case_energy <= fastest.worst_case_energy
+    paper_point = shields.by_group(4)
+    assert paper_point.feasible
+
+    print()
+    print(
+        f"repeater design space ({len(space.points)} points): delay-optimal "
+        f"{fastest.n_segments}x size {fastest.size:.0f} -> {fastest.worst_case_delay * 1e12:.0f} ps, "
+        f"power-optimal {cheapest.n_segments}x size {cheapest.size:.0f} -> "
+        f"{cheapest.worst_case_delay * 1e12:.0f} ps "
+        f"({100 * (1 - cheapest.worst_case_energy / fastest.worst_case_energy):.0f}% less "
+        "worst-case switching energy)"
+    )
+    print()
+    print(format_shield_interval_study(shields))

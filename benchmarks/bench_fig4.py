@@ -1,0 +1,37 @@
+"""Fig. 4 -- static voltage scaling: energy and error rate vs supply.
+
+Regenerates the two panels of the paper's Fig. 4 (worst-case corner and
+typical corner) and prints the voltage / error-rate / normalised-energy rows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import reporting, run_static_voltage_sweep
+
+
+def _run_sweep(bus, suite):
+    return run_static_voltage_sweep(bus, suite)
+
+
+def test_fig4a_worst_case_corner(benchmark, worst_corner_bus, suite):
+    """Fig. 4(a): slow process, 100 C, 10 % IR drop."""
+    sweep = benchmark.pedantic(
+        _run_sweep, args=(worst_corner_bus, suite), rounds=1, iterations=1
+    )
+    assert sweep.points[0].error_rate == 0.0
+    assert sweep.normalized_energies[-1] < 1.0
+    print()
+    print(reporting.format_static_sweep(sweep))
+
+
+def test_fig4b_typical_corner(benchmark, typical_corner_bus, suite):
+    """Fig. 4(b): typical process, 100 C, no IR drop."""
+    sweep = benchmark.pedantic(
+        _run_sweep, args=(typical_corner_bus, suite), rounds=1, iterations=1
+    )
+    # At the typical corner the supply scales well below nominal before the
+    # first errors appear (the paper reports error-free operation to ~0.98 V).
+    zero_error_voltage = sweep.lowest_voltage_for_error_rate(0.0)
+    assert zero_error_voltage <= 1.02
+    print()
+    print(reporting.format_static_sweep(sweep))

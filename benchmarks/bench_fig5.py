@@ -1,0 +1,24 @@
+"""Fig. 5 -- energy gains vs PVT-corner delay for 0/2/5 % error-rate targets."""
+
+from __future__ import annotations
+
+from repro.analysis import reporting, run_corner_gain_study
+
+
+def test_fig5_corner_gain_study(benchmark, paper_design, small_suite):
+    study = benchmark.pedantic(
+        run_corner_gain_study,
+        args=(paper_design, small_suite),
+        kwargs={"targets": (0.0, 0.02, 0.05)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(reporting.format_corner_gain_study(study))
+    gains_2pct = study.gains_for_target(0.02)
+    # Faster corners allow monotonically larger gains (the paper's main trend).
+    assert all(b >= a - 1e-9 for a, b in zip(gains_2pct, gains_2pct[1:]))
+    # The worst-case corner offers essentially no zero-error slack; the fastest
+    # corner offers large gains.
+    assert study.gains_for_target(0.0)[0] < 10.0
+    assert gains_2pct[-1] > 35.0

@@ -1,0 +1,35 @@
+"""Fig. 8 -- supply voltage and instantaneous error rate over a back-to-back run."""
+
+from __future__ import annotations
+
+from repro.analysis import reporting, run_fig8
+
+from conftest import BENCH_CYCLES, BENCH_RAMP, BENCH_SEED, BENCH_WINDOW
+
+
+def _run(suite):
+    return run_fig8(
+        workloads=suite,
+        n_cycles=BENCH_CYCLES,
+        seed=BENCH_SEED,
+        window_cycles=BENCH_WINDOW,
+        ramp_delay_cycles=BENCH_RAMP,
+    )
+
+
+def test_fig8_suite_time_series(benchmark, suite):
+    result = benchmark.pedantic(_run, args=(suite,), rounds=1, iterations=1)
+    print()
+    print(reporting.format_fig8(result))
+
+    # The run starts from the nominal supply and adapts downwards.
+    assert result.voltage_event_values[0] == 1.2
+    vmin, _ = result.voltage_range()
+    assert vmin < 1.1
+
+    # Error recovery always succeeds (no shadow-latch violations) and the
+    # long-run average error rate stays low even though individual windows
+    # overshoot the 2 % band because of the regulator lag.
+    assert result.run.failures == 0
+    assert result.run.average_error_rate < 0.06
+    assert result.max_instantaneous_error_rate() >= result.run.average_error_rate

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one of the paper's tables or figures.  The
+workload sizes default to values that keep the whole harness in the minutes
+range; EXPERIMENTS.md records the paper-scale settings (10 M cycles per
+benchmark) that simply scale these parameters up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus import BusDesign, CharacterizedBus
+from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
+from repro.trace import generate_suite
+
+#: Cycles per benchmark used by the harness (paper: 10 million).
+BENCH_CYCLES = 60_000
+
+#: Scaled-down control loop so short runs reach steady state (paper: 10 000 / 3 000).
+BENCH_WINDOW = 2_000
+BENCH_RAMP = 600
+
+#: Seed shared by every benchmark so results are comparable across files.
+BENCH_SEED = 2005
+
+
+@pytest.fixture(scope="session")
+def paper_design() -> BusDesign:
+    return BusDesign.paper_bus()
+
+
+@pytest.fixture(scope="session")
+def worst_corner_bus(paper_design) -> CharacterizedBus:
+    return CharacterizedBus(paper_design, WORST_CASE_CORNER)
+
+
+@pytest.fixture(scope="session")
+def typical_corner_bus(paper_design) -> CharacterizedBus:
+    return CharacterizedBus(paper_design, TYPICAL_CORNER)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return generate_suite(n_cycles=BENCH_CYCLES, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    return generate_suite(
+        names=("crafty", "vortex", "mgrid"), n_cycles=BENCH_CYCLES, seed=BENCH_SEED
+    )

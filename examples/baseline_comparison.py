@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Example: how much margin does each self-tuning scheme leave on the table?
+
+The paper's introduction surveys existing adaptive-supply techniques and
+argues that, because they must guarantee error-free operation, they keep
+margins the proposed error-correcting DVS can reclaim.  This example runs the
+whole line-up on one workload at three operating corners:
+
+* fixed voltage scaling (process corner only),
+* a canary delay line (process + temperature),
+* a triple-latch monitor (tests the real path, pays for test vectors),
+* the proposed closed-loop DVS (no margins, corrects the occasional error).
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import format_scheme_comparison, run_scheme_comparison
+from repro.bus import BusDesign
+from repro.circuit.pvt import BEST_CASE_CORNER, TYPICAL_CORNER, WORST_CASE_CORNER
+from repro.plotting import bar_chart
+from repro.trace import generate_suite
+
+N_CYCLES = 25_000
+SEED = 7
+BENCHMARKS = ("crafty", "vortex", "mgrid")
+
+
+def main() -> None:
+    design = BusDesign.paper_bus()
+    suite = generate_suite(names=BENCHMARKS, n_cycles=N_CYCLES, seed=SEED)
+    traces = list(suite.values())
+
+    corners = {
+        "worst-case  (slow, 100C, 10% IR)": WORST_CASE_CORNER,
+        "typical     (typical, 100C, no IR)": TYPICAL_CORNER,
+        "best-case   (fast, 25C, no IR)": BEST_CASE_CORNER,
+    }
+    for label, corner in corners.items():
+        comparison = run_scheme_comparison(
+            design,
+            traces,
+            corner,
+            window_cycles=2_000,
+            ramp_delay_cycles=600,
+            workload_name="+".join(BENCHMARKS),
+        )
+        print(format_scheme_comparison(comparison))
+        print()
+        gains = comparison.gains_percent()
+        print(
+            bar_chart(
+                list(gains),
+                list(gains.values()),
+                title=f"energy gain vs nominal supply (%) -- {label}",
+                value_format="{:.1f}%",
+            )
+        )
+        print()
+
+    print(
+        "The error-intolerant schemes recover only the margin they can observe\n"
+        "(process corner, temperature, tested IR drop); the proposed DVS also\n"
+        "recovers the data-dependent slack, and the gap is largest exactly where\n"
+        "the paper's Table 1 reports it: the benign corners."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Example: classic low-power bus encodings vs the paper's DVS scheme.
+
+The paper argues that encoding techniques (bus-invert, Gray, transition
+signalling) are orthogonal to its error-correcting DVS: they reduce switched
+capacitance at any operating point, while DVS recovers the margin of benign
+operating points.  This example measures both effects on two contrasting
+workloads and prints a combined report:
+
+* ``mgrid`` -- streaming floating-point data, high entropy, lots for
+  bus-invert to do;
+* ``crafty`` -- quiet integer data, little switching left to remove, where
+  essentially all of the gain must come from voltage scaling.
+
+Run with::
+
+    python examples/encoding_study.py
+"""
+
+from __future__ import annotations
+
+from repro.circuit.pvt import TYPICAL_CORNER
+from repro.encoding import default_encoders, format_encoding_study, run_encoding_study
+from repro.plotting import bar_chart
+from repro.trace import generate_benchmark_trace
+
+N_CYCLES = 30_000
+SEED = 42
+
+
+def main() -> None:
+    for benchmark in ("mgrid", "crafty"):
+        trace = generate_benchmark_trace(benchmark, n_cycles=N_CYCLES, seed=SEED)
+        study = run_encoding_study(
+            trace,
+            corner=TYPICAL_CORNER,
+            encoders=default_encoders(),
+            window_cycles=2_000,
+            ramp_delay_cycles=600,
+        )
+        print(format_encoding_study(study))
+        print()
+        print(
+            bar_chart(
+                [e.encoder_name for e in study.evaluations],
+                [e.dvs_gain_vs_unencoded_nominal for e in study.evaluations],
+                title=f"{benchmark}: end-to-end energy gain of encoding + DVS (%)",
+                value_format="{:.1f}%",
+            )
+        )
+        print()
+
+    print(
+        "Reading the tables: 'E/E_unenc' is the encoded bus's nominal-supply energy\n"
+        "relative to the unencoded bus (encoding alone); 'DVS gain %' adds the\n"
+        "closed-loop voltage scaling on top.  Bus-invert helps the noisy mgrid\n"
+        "stream and is nearly neutral on crafty, while the DVS gain is present\n"
+        "for every encoder -- the two techniques are indeed orthogonal."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro: reproduction of "DVS for On-Chip Bus Designs Based on Timing Error
+Correction" (Kaul, Sylvester, Blaauw, Mudge, Austin -- DATE 2005).
+
+The package implements, in pure Python:
+
+* the double-sampling (Razor-style) error-detecting flip-flop bank and the
+  closed-loop DVS control system the paper proposes (:mod:`repro.core`),
+* the 6 mm / 32-bit / 1.5 GHz repeated and shielded bus test vehicle with its
+  device, interconnect and energy models (:mod:`repro.circuit`,
+  :mod:`repro.interconnect`, :mod:`repro.bus`),
+* a synthetic SPEC2000-like workload substrate (:mod:`repro.trace`) and a
+  mini functional CPU that records read-bus traces from executed kernels
+  (:mod:`repro.cpu`),
+* experiment drivers that regenerate every figure and table of the paper's
+  evaluation, plus parameter-sensitivity sweeps (:mod:`repro.analysis`),
+* the related-work baselines (:mod:`repro.baselines`), low-power bus
+  encodings (:mod:`repro.encoding`) and pipeline/IPC models
+  (:mod:`repro.arch`) the paper discusses around its contribution, and
+* terminal plotting (:mod:`repro.plotting`) and a command-line interface
+  (``python -m repro``, :mod:`repro.cli`).
+
+Quickstart
+----------
+>>> from repro import BusDesign, CharacterizedBus, DVSBusSystem, TYPICAL_CORNER
+>>> from repro.trace import generate_benchmark_trace
+>>> bus = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
+>>> trace = generate_benchmark_trace("crafty", n_cycles=100_000)
+>>> result = DVSBusSystem(bus).run(trace)
+>>> round(result.energy_gain_percent, 1)  # doctest: +SKIP
+38.4
+"""
+
+from repro.bus import BusDesign, CharacterizedBus, TraceStatistics, characterize_bus
+from repro.circuit import (
+    BEST_CASE_CORNER,
+    STANDARD_CORNERS,
+    TYPICAL_CORNER,
+    WORST_CASE_CORNER,
+    ProcessCorner,
+    PVTCorner,
+    VoltageGrid,
+)
+from repro.clocking import PAPER_CLOCKING, ClockingParameters
+from repro.core import (
+    BangBangPolicy,
+    DoubleSamplingFlipFlop,
+    DVSBusSystem,
+    DVSRunResult,
+    ErrorCounter,
+    FlipFlopBank,
+    ProportionalPolicy,
+    VoltageRegulator,
+    WindowedVoltageController,
+    evaluate_fixed_scaling,
+    fixed_scaling_voltage,
+    oracle_voltage_schedule,
+)
+from repro.energy import EnergyBreakdown, breakdown_gain_percent, energy_gain_percent
+from repro.interconnect import TECH_130NM, TechnologyNode
+from repro.trace import (
+    SPEC2000_PROFILES,
+    TABLE1_ORDER,
+    BusTrace,
+    generate_benchmark_trace,
+    generate_concatenated_suite,
+    generate_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusDesign",
+    "CharacterizedBus",
+    "TraceStatistics",
+    "characterize_bus",
+    "BEST_CASE_CORNER",
+    "STANDARD_CORNERS",
+    "TYPICAL_CORNER",
+    "WORST_CASE_CORNER",
+    "ProcessCorner",
+    "PVTCorner",
+    "VoltageGrid",
+    "PAPER_CLOCKING",
+    "ClockingParameters",
+    "BangBangPolicy",
+    "DoubleSamplingFlipFlop",
+    "DVSBusSystem",
+    "DVSRunResult",
+    "ErrorCounter",
+    "FlipFlopBank",
+    "ProportionalPolicy",
+    "VoltageRegulator",
+    "WindowedVoltageController",
+    "evaluate_fixed_scaling",
+    "fixed_scaling_voltage",
+    "oracle_voltage_schedule",
+    "EnergyBreakdown",
+    "breakdown_gain_percent",
+    "energy_gain_percent",
+    "TECH_130NM",
+    "TechnologyNode",
+    "SPEC2000_PROFILES",
+    "TABLE1_ORDER",
+    "BusTrace",
+    "generate_benchmark_trace",
+    "generate_concatenated_suite",
+    "generate_suite",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""Experiment drivers reproducing every figure and table of the paper."""
+
+from repro.analysis.static_scaling import (
+    CornerGainPoint,
+    CornerGainStudy,
+    StaticScalingPoint,
+    StaticScalingSweep,
+    combine_statistics,
+    run_corner_gain_study,
+    run_static_voltage_sweep,
+)
+from repro.analysis.oracle_dvs import (
+    FIG6_BENCHMARKS,
+    FIG6_TARGETS,
+    OracleResidencyStudy,
+    ResidencyEntry,
+    run_oracle_residency,
+)
+from repro.analysis.dynamic_dvs import (
+    Fig8Result,
+    Table1CornerResult,
+    Table1Result,
+    Table1Row,
+    run_fig8,
+    run_table1,
+)
+from repro.analysis.modified_bus import (
+    PAPER_COUPLING_RATIO_MULTIPLIER,
+    ModifiedBusStudy,
+    TechnologyScalingStudy,
+    run_modified_bus_study,
+    run_technology_scaling_study,
+)
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    SensitivityStudy,
+    format_sensitivity_study,
+    run_error_band_sensitivity,
+    run_ramp_delay_sensitivity,
+    run_shadow_delay_sensitivity,
+    run_window_length_sensitivity,
+)
+from repro.analysis.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.analysis import reporting
+
+__all__ = [
+    "CornerGainPoint",
+    "CornerGainStudy",
+    "StaticScalingPoint",
+    "StaticScalingSweep",
+    "combine_statistics",
+    "run_corner_gain_study",
+    "run_static_voltage_sweep",
+    "FIG6_BENCHMARKS",
+    "FIG6_TARGETS",
+    "OracleResidencyStudy",
+    "ResidencyEntry",
+    "run_oracle_residency",
+    "Fig8Result",
+    "Table1CornerResult",
+    "Table1Result",
+    "Table1Row",
+    "run_fig8",
+    "run_table1",
+    "PAPER_COUPLING_RATIO_MULTIPLIER",
+    "ModifiedBusStudy",
+    "TechnologyScalingStudy",
+    "run_modified_bus_study",
+    "run_technology_scaling_study",
+    "SensitivityPoint",
+    "SensitivityStudy",
+    "format_sensitivity_study",
+    "run_error_band_sensitivity",
+    "run_ramp_delay_sensitivity",
+    "run_shadow_delay_sensitivity",
+    "run_window_length_sensitivity",
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "reporting",
+]

@@ -1,0 +1,290 @@
+"""Registry of the paper's experiments (and this reproduction's extensions).
+
+Every figure and table of the paper's evaluation has an entry here mapping an
+experiment id (``fig4a``, ``table1``, ...) to a callable that runs it with
+reasonable defaults and returns ``(result_object, formatted_text)``.  The
+benchmark harness in ``benchmarks/``, the CLI and the examples all go through
+this registry, so the experiment inventory in DESIGN.md has exactly one
+source of truth in code.
+
+Beyond the paper's own artefacts, the registry also exposes the extension
+studies this reproduction adds (the related-work baseline comparison, the bus
+encoding study, the pipeline/IPC ablation and the shield-interval sweep), so
+``python -m repro run <id>`` covers everything DESIGN.md lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.analysis import reporting
+from repro.analysis.dynamic_dvs import run_fig8, run_table1
+from repro.analysis.modified_bus import run_modified_bus_study, run_technology_scaling_study
+from repro.analysis.oracle_dvs import run_oracle_residency
+from repro.analysis.static_scaling import run_corner_gain_study, run_static_voltage_sweep
+from repro.bus.bus_design import BusDesign
+from repro.bus.bus_model import CharacterizedBus
+from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
+from repro.trace.generator import generate_suite
+
+ExperimentRunner = Callable[..., Tuple[Any, str]]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment from the paper's evaluation."""
+
+    identifier: str
+    paper_artifact: str
+    description: str
+    runner: ExperimentRunner
+
+    def run(self, **kwargs: Any) -> Tuple[Any, str]:
+        """Execute the experiment; returns (result object, formatted text)."""
+        return self.runner(**kwargs)
+
+
+def _suite(n_cycles: int, seed: int):
+    return generate_suite(n_cycles=n_cycles, seed=seed)
+
+
+def _run_fig4(corner, n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+    design = BusDesign.paper_bus()
+    bus = CharacterizedBus(design, corner)
+    sweep = run_static_voltage_sweep(bus, _suite(n_cycles, seed))
+    return sweep, reporting.format_static_sweep(sweep)
+
+
+def _run_fig4a(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+    return _run_fig4(WORST_CASE_CORNER, n_cycles, seed)
+
+
+def _run_fig4b(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+    return _run_fig4(TYPICAL_CORNER, n_cycles, seed)
+
+
+def _run_fig5(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+    design = BusDesign.paper_bus()
+    study = run_corner_gain_study(design, _suite(n_cycles, seed))
+    return study, reporting.format_corner_gain_study(study)
+
+
+def _run_fig6(n_cycles: int = 120_000, seed: int = 2005) -> Tuple[Any, str]:
+    design = BusDesign.paper_bus()
+    study = run_oracle_residency(design, _suite(n_cycles, seed))
+    return study, reporting.format_oracle_residency(study)
+
+
+def _run_table1(n_cycles: int = 200_000, seed: int = 2005) -> Tuple[Any, str]:
+    result = run_table1(n_cycles=n_cycles, seed=seed)
+    return result, reporting.format_table1(result)
+
+
+def _run_fig8(n_cycles: int = 100_000, seed: int = 2005) -> Tuple[Any, str]:
+    result = run_fig8(n_cycles=n_cycles, seed=seed)
+    return result, reporting.format_fig8(result)
+
+
+def _run_fig10(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+    study = run_modified_bus_study(n_cycles=n_cycles, seed=seed)
+    return study, reporting.format_modified_bus_study(study)
+
+
+def _run_scaling(**_: Any) -> Tuple[Any, str]:
+    study = run_technology_scaling_study()
+    return study, reporting.format_technology_scaling(study)
+
+
+def _run_baselines(n_cycles: int = 20_000, seed: int = 2005) -> Tuple[Any, str]:
+    from repro.baselines import format_scheme_comparison, run_scheme_comparison
+
+    design = BusDesign.paper_bus()
+    suite = generate_suite(names=("crafty", "mgrid"), n_cycles=n_cycles, seed=seed)
+    comparisons = [
+        run_scheme_comparison(
+            design,
+            list(suite.values()),
+            corner,
+            window_cycles=max(500, n_cycles // 20),
+            ramp_delay_cycles=max(150, n_cycles // 60),
+            workload_name="crafty+mgrid",
+        )
+        for corner in (WORST_CASE_CORNER, TYPICAL_CORNER)
+    ]
+    text = "\n\n".join(format_scheme_comparison(comparison) for comparison in comparisons)
+    return comparisons, text
+
+
+def _run_encoding(n_cycles: int = 20_000, seed: int = 2005) -> Tuple[Any, str]:
+    from repro.encoding import format_encoding_study, run_encoding_study
+    from repro.trace.generator import generate_benchmark_trace
+
+    studies = [
+        run_encoding_study(
+            generate_benchmark_trace(name, n_cycles=n_cycles, seed=seed),
+            corner=TYPICAL_CORNER,
+            window_cycles=max(500, n_cycles // 20),
+            ramp_delay_cycles=max(150, n_cycles // 60),
+        )
+        for name in ("mgrid", "crafty")
+    ]
+    text = "\n\n".join(format_encoding_study(study) for study in studies)
+    return studies, text
+
+
+def _run_ipc(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+    from repro.arch import PIPELINE_MODELS, evaluate_ipc_impact
+    from repro.core.dvs_system import DVSBusSystem
+    from repro.trace.generator import generate_benchmark_trace
+
+    bus = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
+    trace = generate_benchmark_trace("vortex", n_cycles=n_cycles, seed=seed)
+    stats = bus.analyze(trace.values)
+    system = DVSBusSystem(
+        bus, window_cycles=max(500, n_cycles // 30), ramp_delay_cycles=max(150, n_cycles // 100)
+    )
+    result = system.run(stats, keep_cycle_voltage=True)
+    mask = bus.error_mask(stats, result.per_cycle_voltage)
+    impacts = {
+        name: evaluate_ipc_impact(model, mask, seed=seed)
+        for name, model in PIPELINE_MODELS.items()
+    }
+    rows = [
+        (name, f"{impact.ipc_loss_fraction * 100:.2f}", f"{impact.hidden_fraction * 100:.1f}")
+        for name, impact in impacts.items()
+    ]
+    text = (
+        f"Corrected errors: {result.total_errors} in {result.n_cycles} cycles "
+        f"({result.average_error_rate * 100:.2f}%)\n"
+        + reporting.format_table(["Pipeline model", "IPC loss (%)", "Replays hidden (%)"], rows)
+    )
+    return impacts, text
+
+
+def _run_shielding(**_: Any) -> Tuple[Any, str]:
+    from repro.interconnect.design_space import (
+        format_shield_interval_study,
+        run_shield_interval_study,
+    )
+
+    study = run_shield_interval_study()
+    return study, format_shield_interval_study(study)
+
+
+def _run_sensitivity(n_cycles: int = 150_000, seed: int = 2005) -> Tuple[Any, str]:
+    # The longest swept window needs ~15 windows of descent plus a steady-state
+    # measurement region, so this entry defaults to a longer trace than the
+    # figure experiments.
+    from repro.analysis.sensitivity import (
+        format_sensitivity_study,
+        run_error_band_sensitivity,
+        run_ramp_delay_sensitivity,
+        run_window_length_sensitivity,
+    )
+    from repro.trace.generator import generate_benchmark_trace
+
+    bus = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
+    trace = generate_benchmark_trace("vortex", n_cycles=n_cycles, seed=seed)
+    stats = bus.analyze(trace.values)
+    studies = [
+        run_window_length_sensitivity(bus, stats, window_lengths=(500, 1_000, 2_000, 5_000)),
+        run_ramp_delay_sensitivity(bus, stats),
+        run_error_band_sensitivity(bus, stats),
+    ]
+    text = "\n\n".join(format_sensitivity_study(study) for study in studies)
+    return studies, text
+
+
+#: All experiments of the paper's evaluation, keyed by their DESIGN.md id.
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig4a": Experiment(
+        "fig4a",
+        "Fig. 4(a)",
+        "Energy and error rate vs statically scaled supply at the worst-case corner",
+        _run_fig4a,
+    ),
+    "fig4b": Experiment(
+        "fig4b",
+        "Fig. 4(b)",
+        "Energy and error rate vs statically scaled supply at the typical corner",
+        _run_fig4b,
+    ),
+    "fig5": Experiment(
+        "fig5",
+        "Fig. 5",
+        "Energy gains vs corner delay for 0/2/5 % target error rates",
+        _run_fig5,
+    ),
+    "fig6": Experiment(
+        "fig6",
+        "Fig. 6",
+        "Oracle supply-voltage residency for crafty/vortex/mgrid at 2 % and 5 % targets",
+        _run_fig6,
+    ),
+    "table1": Experiment(
+        "table1",
+        "Table 1",
+        "Fixed VS vs proposed closed-loop DVS, per benchmark, at two corners",
+        _run_table1,
+    ),
+    "fig8": Experiment(
+        "fig8",
+        "Fig. 8",
+        "Supply voltage and instantaneous error rate while the suite runs back-to-back",
+        _run_fig8,
+    ),
+    "fig10": Experiment(
+        "fig10",
+        "Fig. 10",
+        "Energy gains of the modified (Cc/Cg x1.95) bus across corners",
+        _run_fig10,
+    ),
+    "scaling": Experiment(
+        "scaling",
+        "Section 6",
+        "Delay-spread growth with technology scaling",
+        _run_scaling,
+    ),
+    # ------------------------------------------------------------------ #
+    # Extension studies added by this reproduction (see DESIGN.md §6).
+    # ------------------------------------------------------------------ #
+    "baselines": Experiment(
+        "baselines",
+        "Section 1",
+        "Fixed VS vs canary delay-line vs triple-latch monitor vs proposed DVS",
+        _run_baselines,
+    ),
+    "encoding": Experiment(
+        "encoding",
+        "Section 1",
+        "Low-power bus encodings alone and combined with the proposed DVS",
+        _run_encoding,
+    ),
+    "ipc": Experiment(
+        "ipc",
+        "Section 3",
+        "IPC impact of the DVS run's error stream under in-order and OoO pipelines",
+        _run_ipc,
+    ),
+    "shielding": Experiment(
+        "shielding",
+        "Section 6",
+        "Shield-interval sweep: routing tracks vs worst-case coupling vs delay spread",
+        _run_shielding,
+    ),
+    "sensitivity": Experiment(
+        "sensitivity",
+        "Section 5",
+        "Sensitivity of the closed loop to window length, ramp delay and error band",
+        _run_sensitivity,
+    ),
+}
+
+
+def run_experiment(identifier: str, **kwargs: Any) -> Tuple[Any, str]:
+    """Run one experiment by id; raises ``KeyError`` for unknown ids."""
+    if identifier not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {identifier!r}; known: {known}")
+    return EXPERIMENTS[identifier].run(**kwargs)

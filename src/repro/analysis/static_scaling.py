@@ -1,0 +1,231 @@
+"""Static voltage-scaling experiments (paper Fig. 4 and Fig. 5).
+
+Two studies live here:
+
+* :func:`run_static_voltage_sweep` reproduces Fig. 4: for one PVT corner,
+  sweep the supply from nominal down to the shadow-latch limit and report the
+  combined error rate and normalised energy (bus energy, and bus energy plus
+  recovery overhead) of the whole benchmark suite at each grid voltage.
+* :func:`run_corner_gain_study` reproduces Fig. 5 (and, applied to the
+  modified bus, Fig. 10): for each PVT corner and each target error rate,
+  find the lowest static supply that does not exceed the target and report
+  the energy gain, plotted against the corner's nominal-voltage delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bus.bus_design import BusDesign
+from repro.bus.bus_model import CharacterizedBus, TraceStatistics
+from repro.circuit.pvt import STANDARD_CORNERS, PVTCorner
+from repro.energy.gains import breakdown_gain_percent, normalized_energy
+from repro.trace.trace import BusTrace
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class StaticScalingPoint:
+    """One point of the Fig. 4 sweep: a grid voltage and its metrics."""
+
+    vdd: float
+    error_rate: float
+    normalized_bus_energy: float
+    normalized_total_energy: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (for tabular reporting and serialisation)."""
+        return {
+            "vdd_mV": round(self.vdd * 1000.0, 1),
+            "error_rate_percent": self.error_rate * 100.0,
+            "normalized_bus_energy": self.normalized_bus_energy,
+            "normalized_total_energy": self.normalized_total_energy,
+        }
+
+
+@dataclass(frozen=True)
+class StaticScalingSweep:
+    """Result of a Fig. 4 style sweep at one corner."""
+
+    corner: PVTCorner
+    points: Tuple[StaticScalingPoint, ...]
+
+    @property
+    def voltages(self) -> np.ndarray:
+        """Swept grid voltages, descending from nominal."""
+        return np.array([p.vdd for p in self.points])
+
+    @property
+    def error_rates(self) -> np.ndarray:
+        """Combined error rate at each swept voltage."""
+        return np.array([p.error_rate for p in self.points])
+
+    @property
+    def normalized_energies(self) -> np.ndarray:
+        """Normalised bus+recovery energy at each swept voltage."""
+        return np.array([p.normalized_total_energy for p in self.points])
+
+    def lowest_voltage_for_error_rate(self, target: float) -> float:
+        """Lowest swept voltage whose error rate does not exceed ``target``."""
+        check_fraction("target", target)
+        eligible = [p.vdd for p in self.points if p.error_rate <= target]
+        if not eligible:
+            raise ValueError(f"no swept voltage meets an error-rate target of {target}")
+        return min(eligible)
+
+
+def combine_statistics(
+    bus: CharacterizedBus, workloads: Mapping[str, BusTrace]
+) -> TraceStatistics:
+    """Concatenate the per-benchmark statistics of a suite (paper Fig. 4 setup)."""
+    combined: Optional[TraceStatistics] = None
+    for trace in workloads.values():
+        stats = bus.analyze(trace.values)
+        combined = stats if combined is None else combined.concatenate(stats)
+    if combined is None:
+        raise ValueError("workloads must contain at least one trace")
+    return combined
+
+
+def run_static_voltage_sweep(
+    bus: CharacterizedBus,
+    workloads: Mapping[str, BusTrace] | TraceStatistics,
+    v_stop: Optional[float] = None,
+) -> StaticScalingSweep:
+    """Sweep the static supply at one corner and measure error rate and energy.
+
+    Parameters
+    ----------
+    bus:
+        Characterised bus at the corner of interest.
+    workloads:
+        Either a mapping of benchmark traces (combined, as in the paper) or
+        pre-combined :class:`TraceStatistics`.
+    v_stop:
+        Lowest voltage to sweep; defaults to the lowest grid voltage at which
+        the worst-case pattern still meets the *shadow-latch* deadline at this
+        corner (the paper's sweep stop condition).
+    """
+    stats = (
+        workloads
+        if isinstance(workloads, TraceStatistics)
+        else combine_statistics(bus, workloads)
+    )
+    if v_stop is None:
+        v_stop = bus.table.min_voltage_meeting(
+            bus.design.clocking.shadow_deadline, bus.design.topology.max_coupling_factor
+        )
+    reference = bus.nominal_energy(stats)
+
+    points: List[StaticScalingPoint] = []
+    for vdd in reversed(bus.grid.voltages.tolist()):
+        if vdd < v_stop - 1e-12:
+            break
+        error_rate = bus.error_rate(stats, vdd)
+        n_errors = int(round(error_rate * stats.n_cycles))
+        energy = bus.energy_breakdown(stats, vdd, n_errors=n_errors)
+        bus_only = bus.energy_breakdown(stats, vdd, n_errors=0)
+        points.append(
+            StaticScalingPoint(
+                vdd=float(vdd),
+                error_rate=error_rate,
+                normalized_bus_energy=normalized_energy(reference, bus_only),
+                normalized_total_energy=normalized_energy(reference, energy),
+            )
+        )
+    return StaticScalingSweep(corner=bus.corner, points=tuple(points))
+
+
+@dataclass(frozen=True)
+class CornerGainPoint:
+    """One corner's entry in Fig. 5 / Fig. 10."""
+
+    corner_index: int
+    corner: PVTCorner
+    nominal_delay: float
+    gains_percent: Dict[float, float]
+    voltages: Dict[float, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for reporting."""
+        return {
+            "corner": self.corner.label,
+            "delay_ps_at_nominal": round(self.nominal_delay * 1e12, 1),
+            **{
+                f"gain_percent_at_{int(target * 100)}pct_errors": round(gain, 2)
+                for target, gain in self.gains_percent.items()
+            },
+        }
+
+
+@dataclass(frozen=True)
+class CornerGainStudy:
+    """Fig. 5 / Fig. 10: energy gains vs corner delay for several error targets."""
+
+    design_label: str
+    targets: Tuple[float, ...]
+    points: Tuple[CornerGainPoint, ...]
+
+    def gains_for_target(self, target: float) -> List[float]:
+        """Energy gains (percent) of every corner for one error-rate target."""
+        return [point.gains_percent[target] for point in self.points]
+
+    def delays_ps(self) -> List[float]:
+        """Nominal-voltage worst-case delays (ps) of every corner (the X axis)."""
+        return [point.nominal_delay * 1e12 for point in self.points]
+
+
+def run_corner_gain_study(
+    design: BusDesign,
+    workloads: Mapping[str, BusTrace],
+    targets: Sequence[float] = (0.0, 0.02, 0.05),
+    corners: Optional[Mapping[int, PVTCorner]] = None,
+    design_label: str = "original bus",
+) -> CornerGainStudy:
+    """Reproduce Fig. 5 (or Fig. 10 when given the modified bus design).
+
+    For every corner the bus is characterised, the benchmark suite's combined
+    statistics are evaluated over the voltage grid, and for each target error
+    rate the lowest admissible static voltage (subject to the shadow-latch
+    limit) determines the reported energy gain.
+    """
+    for target in targets:
+        check_fraction("target", target)
+    if corners is None:
+        corners = STANDARD_CORNERS
+
+    points: List[CornerGainPoint] = []
+    for index in sorted(corners):
+        corner = corners[index]
+        bus = CharacterizedBus(design, corner)
+        stats = combine_statistics(bus, workloads)
+        sweep = run_static_voltage_sweep(bus, stats)
+        reference = bus.nominal_energy(stats)
+        nominal_delay = bus.table.worst_delay(
+            design.nominal_vdd, design.topology.max_coupling_factor
+        )
+
+        gains: Dict[float, float] = {}
+        voltages: Dict[float, float] = {}
+        for target in targets:
+            voltage = sweep.lowest_voltage_for_error_rate(target)
+            error_rate = bus.error_rate(stats, voltage)
+            n_errors = int(round(error_rate * stats.n_cycles))
+            energy = bus.energy_breakdown(stats, voltage, n_errors=n_errors)
+            gains[target] = breakdown_gain_percent(reference, energy)
+            voltages[target] = voltage
+        points.append(
+            CornerGainPoint(
+                corner_index=index,
+                corner=corner,
+                nominal_delay=nominal_delay,
+                gains_percent=gains,
+                voltages=voltages,
+            )
+        )
+    return CornerGainStudy(
+        design_label=design_label, targets=tuple(targets), points=tuple(points)
+    )

@@ -1,0 +1,50 @@
+"""Architectural substrate: how the pipeline absorbs bus error recoveries.
+
+The paper's system-level picture (Fig. 1) has the DVS read bus feeding the
+memory unit of an execution core, where load data sits in a buffer before
+being committed; a timing error is handled "in a manner similar to cache
+misses and speculative loads, with a one cycle penalty for error recovery".
+For the bus-in-isolation study the paper then adopts the *pessimistic*
+simplification that IPC drops by exactly the error rate (Section 3), while
+noting that an out-of-order core would hide part of the penalty.
+
+This package models both ends of that argument:
+
+* :mod:`repro.arch.memory_unit` -- the load-data buffer at the bus receiver
+  and its one-cycle replay bookkeeping,
+* :mod:`repro.arch.pipeline` -- pipeline models from the paper's in-order
+  IPC=1 assumption to aggressive out-of-order cores that overlap recoveries
+  with existing stalls,
+* :mod:`repro.arch.ipc` -- IPC-impact evaluation of an error stream under a
+  pipeline model, so the "performance degradation < error rate" claim can be
+  quantified.
+"""
+
+from repro.arch.memory_unit import LoadDataBuffer, LoadEntry
+from repro.arch.pipeline import (
+    AGGRESSIVE_OOO,
+    IN_ORDER_IPC1,
+    MODEST_OOO,
+    PIPELINE_MODELS,
+    PipelineModel,
+)
+from repro.arch.ipc import (
+    IPCImpact,
+    evaluate_ipc_impact,
+    ipc_impact_from_error_rate,
+    ipc_penalty_curve,
+)
+
+__all__ = [
+    "LoadDataBuffer",
+    "LoadEntry",
+    "AGGRESSIVE_OOO",
+    "IN_ORDER_IPC1",
+    "MODEST_OOO",
+    "PIPELINE_MODELS",
+    "PipelineModel",
+    "IPCImpact",
+    "evaluate_ipc_impact",
+    "ipc_impact_from_error_rate",
+    "ipc_penalty_curve",
+]

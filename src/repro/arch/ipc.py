@@ -1,0 +1,132 @@
+"""IPC impact of corrected bus timing errors under a pipeline model.
+
+The paper translates its measured error rates into performance loss with the
+pessimistic one-error-one-cycle rule; these helpers evaluate the same error
+streams under any :class:`~repro.arch.pipeline.PipelineModel`, so the gap
+between the paper's reported "performance degradation" and what a real core
+would see can be quantified (the IPC ablation benchmark and the
+``pipeline_impact`` example both build on this module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.arch.pipeline import PipelineModel
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class IPCImpact:
+    """Performance impact of an error stream under one pipeline model.
+
+    Attributes
+    ----------
+    model_name:
+        The pipeline model evaluated.
+    n_cycles:
+        Bus cycles simulated (equal to the number of load deliveries under
+        the paper's one-instruction-per-cycle convention).
+    n_errors:
+        Corrected timing errors in the stream.
+    exposed_penalty_cycles:
+        Replay cycles that actually lengthened execution.
+    baseline_ipc / effective_ipc:
+        Commit rate without and with the exposed replay cycles.
+    """
+
+    model_name: str
+    n_cycles: int
+    n_errors: int
+    exposed_penalty_cycles: int
+    baseline_ipc: float
+    effective_ipc: float
+
+    @property
+    def error_rate(self) -> float:
+        """Errors per bus cycle (the paper's reported quantity)."""
+        if self.n_cycles == 0:
+            return 0.0
+        return self.n_errors / self.n_cycles
+
+    @property
+    def ipc_loss_fraction(self) -> float:
+        """Fractional IPC degradation relative to the error-free baseline."""
+        return 1.0 - self.effective_ipc / self.baseline_ipc
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Fraction of replay cycles hidden behind existing stalls."""
+        total = self.n_errors
+        if total == 0:
+            return 0.0
+        return 1.0 - self.exposed_penalty_cycles / total
+
+    @property
+    def paper_assumption_loss(self) -> float:
+        """The loss the paper's IPC-drops-by-the-error-rate rule would report."""
+        if self.n_cycles == 0:
+            return 0.0
+        return self.n_errors / (self.n_cycles + self.n_errors)
+
+
+def evaluate_ipc_impact(
+    model: PipelineModel, error_mask: np.ndarray, seed: SeedLike = None
+) -> IPCImpact:
+    """Evaluate a per-cycle error mask under a pipeline model."""
+    error_mask = np.asarray(error_mask, dtype=bool)
+    n_cycles = int(error_mask.size)
+    if n_cycles == 0:
+        raise ValueError("error_mask must cover at least one cycle")
+    n_errors = int(np.count_nonzero(error_mask))
+    exposed = model.exposed_penalty_cycles(error_mask, seed=seed)
+    effective = model.effective_ipc(n_cycles, exposed)
+    return IPCImpact(
+        model_name=model.name,
+        n_cycles=n_cycles,
+        n_errors=n_errors,
+        exposed_penalty_cycles=exposed,
+        baseline_ipc=model.baseline_ipc,
+        effective_ipc=effective,
+    )
+
+
+def ipc_impact_from_error_rate(
+    model: PipelineModel,
+    error_rate: float,
+    n_cycles: int,
+    seed: SeedLike = None,
+) -> IPCImpact:
+    """Evaluate a uniformly random error stream of a given rate.
+
+    Useful for sweeps where only the rate matters; closed-loop DVS runs
+    should pass their real (bursty) error masks to
+    :func:`evaluate_ipc_impact` instead, because clustering makes errors
+    harder to hide.
+    """
+    check_fraction("error_rate", error_rate)
+    if n_cycles <= 0:
+        raise ValueError(f"n_cycles must be positive, got {n_cycles}")
+    from repro.utils.rng import make_rng  # local import keeps module deps minimal
+
+    rng = make_rng(seed)
+    error_mask = rng.random(n_cycles) < error_rate
+    return evaluate_ipc_impact(model, error_mask, seed=rng)
+
+
+def ipc_penalty_curve(
+    model: PipelineModel,
+    error_rates: Sequence[float],
+    n_cycles: int = 100_000,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Fractional IPC loss of the model at each error rate (for the ablation bench)."""
+    losses = [
+        ipc_impact_from_error_rate(model, rate, n_cycles, seed=seed).ipc_loss_fraction
+        for rate in error_rates
+    ]
+    return np.asarray(losses)

@@ -1,0 +1,149 @@
+"""The load-data buffer at the receiving end of the DVS read bus.
+
+Fig. 1 of the paper replaces the flip-flops that hold incoming load data with
+double-sampling flip-flops: load data "is typically held in a buffer before
+being committed to an architectural state", and a timing error is handled
+like a cache miss or a mis-speculated load -- the wrong word delivered in the
+erroneous cycle is squashed and the correct word (from the shadow latch)
+replaces it one cycle later.
+
+:class:`LoadDataBuffer` is a behavioural model of that buffer.  It is not on
+the performance-critical simulation path (the vectorised bus model handles
+millions of cycles); it exists to make the recovery protocol explicit, to be
+unit-testable, and to drive the worked pipeline example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class LoadEntry:
+    """One load waiting in the memory unit for its data word.
+
+    Attributes
+    ----------
+    tag:
+        Identifier of the load (e.g. its sequence number in program order).
+    data:
+        The word most recently delivered for this load (``None`` until the
+        bus delivers something).
+    valid:
+        Whether ``data`` is known to be correct.  A timing error clears the
+        flag for one cycle until the shadow-latch word arrives.
+    replays:
+        Number of times this entry's data had to be replaced.
+    """
+
+    tag: int
+    data: Optional[int] = None
+    valid: bool = False
+    replays: int = 0
+
+
+@dataclass
+class LoadDataBuffer:
+    """Bounded buffer of outstanding loads fed by the DVS read bus.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of loads the memory unit can hold before the pipeline
+        must stall further loads (a typical load-queue depth is 16-32).
+    """
+
+    capacity: int = 16
+    _entries: List[LoadEntry] = field(default_factory=list, repr=False)
+    _total_replays: int = field(default=0, repr=False)
+    _total_deliveries: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity)
+
+    # ------------------------------------------------------------------ #
+    # Occupancy
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        """Number of loads currently held."""
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether a new load would have to stall."""
+        return self.occupancy >= self.capacity
+
+    @property
+    def total_replays(self) -> int:
+        """Replays performed since the buffer was created."""
+        return self._total_replays
+
+    @property
+    def total_deliveries(self) -> int:
+        """Bus deliveries (correct or later replayed) since creation."""
+        return self._total_deliveries
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+    def allocate(self, tag: int) -> LoadEntry:
+        """Reserve an entry for a newly issued load."""
+        if self.is_full:
+            raise RuntimeError(f"load buffer is full (capacity {self.capacity})")
+        if any(entry.tag == tag for entry in self._entries):
+            raise ValueError(f"a load with tag {tag} is already outstanding")
+        entry = LoadEntry(tag=tag)
+        self._entries.append(entry)
+        return entry
+
+    def deliver(self, tag: int, data: int, error: bool = False) -> LoadEntry:
+        """Deliver a bus word for an outstanding load.
+
+        ``error=True`` models the double-sampling flip-flop's error signal:
+        the delivered word is the *wrong* (main-latch) value, so the entry is
+        marked invalid and must be completed by :meth:`replay` on the next
+        cycle.  Without an error the entry becomes valid immediately.
+        """
+        entry = self._find(tag)
+        self._total_deliveries += 1
+        entry.data = data
+        entry.valid = not error
+        return entry
+
+    def replay(self, tag: int, data: int) -> LoadEntry:
+        """Deliver the shadow-latch word one cycle after an error."""
+        entry = self._find(tag)
+        if entry.valid:
+            raise RuntimeError(f"load {tag} is already valid; nothing to replay")
+        if entry.data is None:
+            raise RuntimeError(f"load {tag} has not been delivered yet; cannot replay")
+        entry.data = data
+        entry.valid = True
+        entry.replays += 1
+        self._total_replays += 1
+        return entry
+
+    def commit(self, tag: int) -> int:
+        """Retire a load, returning its data word.
+
+        Only valid entries may commit -- committing an invalid entry would be
+        exactly the architectural corruption the error recovery exists to
+        prevent, so it raises.
+        """
+        entry = self._find(tag)
+        if not entry.valid:
+            raise RuntimeError(f"load {tag} has unconfirmed data; commit must wait for replay")
+        if entry.data is None:  # pragma: no cover - valid implies delivered
+            raise RuntimeError(f"load {tag} committed without data")
+        self._entries.remove(entry)
+        return entry.data
+
+    def _find(self, tag: int) -> LoadEntry:
+        for entry in self._entries:
+            if entry.tag == tag:
+                return entry
+        raise KeyError(f"no outstanding load with tag {tag}")

@@ -1,0 +1,144 @@
+"""Pipeline models: from the paper's IPC=1 assumption to out-of-order cores.
+
+The paper evaluates the bus in isolation with the pessimistic simplification
+that every corrected timing error costs exactly one committed-instruction
+slot (IPC loss == error rate).  It also points out, twice, why reality is
+kinder: the baseline IPC of a real pipeline is below one (so the same number
+of errors lands in a larger time window), and an out-of-order core can
+overlap the one-cycle replay with stalls it was going to suffer anyway --
+"the performance (IPC) may not necessarily degrade by the same amount as the
+error-rate (especially for out-of-order execution)".
+
+:class:`PipelineModel` captures exactly those two effects with two
+parameters:
+
+``baseline_ipc``
+    Committed instructions per cycle with a perfect (error-free) bus.  The
+    gap to 1.0 is the fraction of cycles in which commit stalls for reasons
+    unrelated to the DVS bus (cache misses, branch mispredictions, structural
+    hazards).
+``overlap_window_cycles``
+    How far ahead (in cycles) the out-of-order window lets a replay hide
+    behind an unrelated stall.  0 models an in-order core: every replay
+    cycle is exposed.
+
+The model is deliberately small -- it adds no new magic numbers beyond what
+the paper itself discusses -- but it is a *simulation* (errors and stalls are
+placed on a concrete timeline), not a closed-form guess, so clustered errors
+during control-loop transients are penalised realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """A pipeline's ability to absorb one-cycle bus error recoveries.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    baseline_ipc:
+        Error-free commit rate (instructions per cycle), in (0, 1].
+    overlap_window_cycles:
+        Number of following cycles within which an unrelated stall can absorb
+        a replay cycle (0 = in-order, no overlap).
+    error_penalty_cycles:
+        Replay penalty per corrected error (1 in the paper).
+    """
+
+    name: str
+    baseline_ipc: float = 1.0
+    overlap_window_cycles: int = 0
+    error_penalty_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.baseline_ipc <= 1.0:
+            raise ValueError(f"baseline_ipc must be in (0, 1], got {self.baseline_ipc}")
+        if self.overlap_window_cycles < 0:
+            raise ValueError(
+                f"overlap_window_cycles must be >= 0, got {self.overlap_window_cycles}"
+            )
+        check_positive("error_penalty_cycles", self.error_penalty_cycles)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of cycles in which commit stalls for bus-unrelated reasons."""
+        return 1.0 - self.baseline_ipc
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def exposed_penalty_cycles(self, error_mask: np.ndarray, seed: SeedLike = None) -> int:
+        """Replay cycles that lengthen execution, given per-cycle error flags.
+
+        Unrelated stall cycles are drawn as a Bernoulli process with rate
+        ``stall_fraction``; a replay is *hidden* if an unused stall cycle
+        falls within ``overlap_window_cycles`` after the error, and exposed
+        otherwise.  Each stall cycle can hide at most one replay cycle.
+        """
+        error_mask = np.asarray(error_mask, dtype=bool)
+        n_errors = int(np.count_nonzero(error_mask))
+        if n_errors == 0:
+            return 0
+        total_penalty = n_errors * self.error_penalty_cycles
+        if self.overlap_window_cycles == 0 or self.stall_fraction <= 0.0:
+            return total_penalty
+
+        rng = make_rng(seed)
+        stall_mask = rng.random(error_mask.size) < self.stall_fraction
+        error_cycles = np.nonzero(error_mask)[0]
+        hidden = 0
+        next_free_stall = 0  # stalls are consumed in order, at most once each
+        stall_cycles = np.nonzero(stall_mask)[0]
+        for cycle in error_cycles:
+            budget = self.error_penalty_cycles
+            while budget > 0 and next_free_stall < len(stall_cycles):
+                candidate = stall_cycles[next_free_stall]
+                if candidate < cycle:
+                    next_free_stall += 1
+                    continue
+                if candidate <= cycle + self.overlap_window_cycles:
+                    hidden += 1
+                    budget -= 1
+                    next_free_stall += 1
+                else:
+                    break
+        return total_penalty - hidden
+
+    def effective_ipc(self, n_instructions: int, exposed_penalty_cycles: int) -> float:
+        """IPC after stretching execution by the exposed replay cycles."""
+        if n_instructions <= 0:
+            raise ValueError(f"n_instructions must be positive, got {n_instructions}")
+        if exposed_penalty_cycles < 0:
+            raise ValueError(
+                f"exposed_penalty_cycles must be >= 0, got {exposed_penalty_cycles}"
+            )
+        baseline_cycles = n_instructions / self.baseline_ipc
+        return n_instructions / (baseline_cycles + exposed_penalty_cycles)
+
+
+#: The paper's bus-in-isolation assumption: in-order, IPC = 1, every replay exposed.
+IN_ORDER_IPC1 = PipelineModel(name="in-order, IPC=1 (paper assumption)")
+
+#: A modest out-of-order core: some existing stalls, a small overlap window.
+MODEST_OOO = PipelineModel(name="modest OoO", baseline_ipc=0.85, overlap_window_cycles=8)
+
+#: An aggressive out-of-order core: lower baseline IPC, deep overlap window.
+AGGRESSIVE_OOO = PipelineModel(
+    name="aggressive OoO", baseline_ipc=0.7, overlap_window_cycles=32
+)
+
+#: The three models used by the IPC ablation benchmark, keyed by name.
+PIPELINE_MODELS: Dict[str, PipelineModel] = {
+    model.name: model for model in (IN_ORDER_IPC1, MODEST_OOO, AGGRESSIVE_OOO)
+}

@@ -1,0 +1,42 @@
+"""Self-tuning supply-scaling baselines from the paper's related work.
+
+Section 1 of the paper surveys existing adaptive-supply techniques and argues
+they all keep safety margins because they must guarantee error-free operation
+at all times:
+
+* *correlating VCO / delay-line speed detector* schemes ([9-11]) tune the
+  supply against a replica circuit that mimics the critical path -- the
+  replica tracks process and temperature but cannot see the bus's
+  data-dependent IR drop or neighbour switching, so a margin for both must
+  remain (:class:`~repro.baselines.canary.CanaryVoltageScaling`);
+* the *triple-latch monitor* ([12]) periodically propagates worst-case
+  latency vectors through the real path -- it sees the path's true delay but
+  only under the test vector, pays the test-vector energy, and cannot exploit
+  typical data (:class:`~repro.baselines.triple_latch.TripleLatchMonitor`).
+
+Together with the fixed voltage-scaling baseline of Table 1
+(:mod:`repro.core.fixed_vs`) and the proposed error-correcting DVS system
+(:mod:`repro.core.dvs_system`), these allow the full comparison the paper
+sketches qualitatively to be run quantitatively
+(:func:`~repro.baselines.comparison.run_scheme_comparison`).
+"""
+
+from repro.baselines.scheme import SchemeResult, evaluate_static_scheme, worst_case_cycle_energy
+from repro.baselines.canary import CanaryVoltageScaling
+from repro.baselines.triple_latch import TripleLatchMonitor
+from repro.baselines.comparison import (
+    SchemeComparison,
+    format_scheme_comparison,
+    run_scheme_comparison,
+)
+
+__all__ = [
+    "SchemeResult",
+    "evaluate_static_scheme",
+    "worst_case_cycle_energy",
+    "CanaryVoltageScaling",
+    "TripleLatchMonitor",
+    "SchemeComparison",
+    "format_scheme_comparison",
+    "run_scheme_comparison",
+]

@@ -1,0 +1,252 @@
+"""Cycle-level behavioural model of the characterised bus.
+
+The expensive per-cycle work -- classifying every wire's switching pattern and
+summing the coupling-energy weights -- depends only on the data trace, not on
+the supply voltage.  :class:`TraceStatistics` captures those per-cycle arrays
+once; :class:`CharacterizedBus` then evaluates timing errors and energy for
+any (possibly per-cycle) supply voltage with a handful of vectorised numpy
+operations, which is what makes multi-million-cycle DVS simulations fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.bus.bus_design import BusDesign
+from repro.bus.characterization import characterize_bus, default_voltage_grid
+from repro.circuit.energy_model import FlipFlopEnergyParams
+from repro.circuit.lookup_table import DelayEnergyTable, VoltageGrid
+from repro.circuit.pvt import PVTCorner
+from repro.energy.accounting import EnergyBreakdown
+from repro.interconnect.crosstalk import (
+    coupling_energy_weights,
+    toggle_counts,
+    transitions_from_values,
+    worst_coupling_factor_per_cycle,
+)
+
+VoltageLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Voltage-independent per-cycle statistics of a data trace on a bus.
+
+    All arrays have one entry per *transition* (i.e. ``n_values - 1``): the
+    first bus word only establishes the initial state.
+
+    Attributes
+    ----------
+    worst_coupling:
+        Largest effective Miller coupling factor among switching wires in
+        each cycle (0 when no wire switches).
+    toggles:
+        Number of switching wires per cycle.
+    coupling_weights:
+        Sum over adjacent pairs of the squared relative swing (in Vdd units)
+        per cycle, for coupling-energy accounting.
+    """
+
+    worst_coupling: np.ndarray
+    toggles: np.ndarray
+    coupling_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.worst_coupling)
+        for name in ("worst_coupling", "toggles", "coupling_weights"):
+            value = np.asarray(getattr(self, name), dtype=float)
+            if value.shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},), got {value.shape}")
+            object.__setattr__(self, name, value)
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of simulated cycles (transitions)."""
+        return len(self.worst_coupling)
+
+    def slice(self, start: int, stop: int) -> "TraceStatistics":
+        """Statistics of a contiguous sub-interval of cycles."""
+        return TraceStatistics(
+            worst_coupling=self.worst_coupling[start:stop],
+            toggles=self.toggles[start:stop],
+            coupling_weights=self.coupling_weights[start:stop],
+        )
+
+    def concatenate(self, other: "TraceStatistics") -> "TraceStatistics":
+        """Concatenate two runs of statistics (back-to-back program execution)."""
+        return TraceStatistics(
+            worst_coupling=np.concatenate([self.worst_coupling, other.worst_coupling]),
+            toggles=np.concatenate([self.toggles, other.toggles]),
+            coupling_weights=np.concatenate([self.coupling_weights, other.coupling_weights]),
+        )
+
+    @property
+    def mean_toggle_rate(self) -> float:
+        """Average fraction of a 32-bit word switching per cycle (diagnostic)."""
+        return float(np.mean(self.toggles))
+
+
+class CharacterizedBus:
+    """A bus design characterised at one PVT corner, ready for simulation.
+
+    Parameters
+    ----------
+    design:
+        The structural bus design.
+    corner:
+        PVT corner to characterise and simulate at.
+    grid:
+        Optional supply-voltage grid; defaults to 20 mV steps up to nominal.
+    flipflop_energy:
+        Energy parameters of the receiving double-sampling flip-flop bank.
+    """
+
+    def __init__(
+        self,
+        design: BusDesign,
+        corner: PVTCorner,
+        grid: Optional[VoltageGrid] = None,
+        flipflop_energy: Optional[FlipFlopEnergyParams] = None,
+    ) -> None:
+        self.design = design
+        self.corner = corner
+        self.grid = grid if grid is not None else default_voltage_grid(design)
+        self.table: DelayEnergyTable = characterize_bus(design, corner, self.grid)
+        self.flipflop_energy = (
+            flipflop_energy if flipflop_energy is not None else FlipFlopEnergyParams()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Trace analysis
+    # ------------------------------------------------------------------ #
+    def analyze(self, values: np.ndarray) -> TraceStatistics:
+        """Compute voltage-independent per-cycle statistics of a data trace.
+
+        ``values`` is an array of shape ``(n_cycles + 1, n_bits)`` of 0/1 bus
+        words (the convention used by :class:`repro.trace.trace.BusTrace`).
+        """
+        transitions = transitions_from_values(values)
+        topology = self.design.topology
+        return TraceStatistics(
+            worst_coupling=worst_coupling_factor_per_cycle(transitions, topology),
+            toggles=toggle_counts(transitions),
+            coupling_weights=coupling_energy_weights(transitions, topology),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Timing queries
+    # ------------------------------------------------------------------ #
+    def error_mask(self, stats: TraceStatistics, vdd: VoltageLike) -> np.ndarray:
+        """Boolean mask of cycles whose worst wire misses the main deadline.
+
+        ``vdd`` may be a scalar (static scaling) or a per-cycle array (the
+        closed-loop DVS run).  Voltages must lie on the characterisation grid.
+        """
+        thresholds = self._failing_threshold(vdd, self.design.clocking.main_deadline)
+        return stats.worst_coupling > thresholds
+
+    def failure_mask(self, stats: TraceStatistics, vdd: VoltageLike) -> np.ndarray:
+        """Cycles that would miss even the shadow-latch deadline (must be none)."""
+        thresholds = self._failing_threshold(vdd, self.design.clocking.shadow_deadline)
+        return stats.worst_coupling > thresholds
+
+    def error_rate(self, stats: TraceStatistics, vdd: VoltageLike) -> float:
+        """Fraction of cycles with a corrected timing error at the given supply."""
+        if stats.n_cycles == 0:
+            return 0.0
+        return float(np.count_nonzero(self.error_mask(stats, vdd))) / stats.n_cycles
+
+    def _failing_threshold(self, vdd: VoltageLike, deadline: float) -> VoltageLike:
+        """Smallest coupling factor that misses ``deadline`` at ``vdd`` (vectorised)."""
+        if np.isscalar(vdd):
+            return self.table.failing_coupling_factor(float(vdd), deadline)
+        indices = self.grid.indices_of(np.asarray(vdd, dtype=float))
+        d0 = self.table.base_delay[indices]
+        d1 = self.table.coupling_delay[indices]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            thresholds = np.where(d1 > 0.0, (deadline - d0) / d1, np.inf)
+        thresholds = np.where(np.asarray(d0) > deadline, 0.0, thresholds)
+        return np.clip(thresholds, 0.0, None)
+
+    def zero_error_voltage(self, deadline: Optional[float] = None) -> float:
+        """Lowest grid voltage at which the worst-case pattern meets the deadline.
+
+        This is the voltage a conventional (error-intolerant) scheme could
+        scale to at this corner; with the default deadline it defines the
+        "0 % error rate" operating points of Fig. 5.
+        """
+        if deadline is None:
+            deadline = self.design.clocking.main_deadline
+        return self.table.min_voltage_meeting(
+            deadline, self.design.topology.max_coupling_factor
+        )
+
+    def minimum_safe_voltage(self, assumed_corner: Optional[PVTCorner] = None) -> float:
+        """Regulator floor: lowest voltage that still meets the shadow-latch deadline.
+
+        The paper sets this floor using only the (time-invariant) process
+        corner while conservatively assuming worst-case temperature and IR
+        drop; pass ``assumed_corner`` to reproduce that policy, otherwise the
+        characterised corner itself is used.
+        """
+        if assumed_corner is None or assumed_corner == self.corner:
+            table = self.table
+        else:
+            table = characterize_bus(self.design, assumed_corner, self.grid)
+        return table.min_voltage_meeting(
+            self.design.clocking.shadow_deadline, self.design.topology.max_coupling_factor
+        )
+
+    # ------------------------------------------------------------------ #
+    # Energy queries
+    # ------------------------------------------------------------------ #
+    def dynamic_energy_per_cycle(self, stats: TraceStatistics, vdd: VoltageLike) -> np.ndarray:
+        """Per-cycle dynamic switching energy (self + coupling) at ``vdd``."""
+        vdd_array = np.asarray(vdd, dtype=float)
+        self_term = 0.5 * self.table.self_capacitance_per_wire * stats.toggles
+        coupling_term = 0.5 * self.table.coupling_capacitance_per_pair * stats.coupling_weights
+        return (self_term + coupling_term) * vdd_array * vdd_array
+
+    def energy_breakdown(
+        self,
+        stats: TraceStatistics,
+        vdd: VoltageLike,
+        n_errors: Optional[int] = None,
+    ) -> EnergyBreakdown:
+        """Total energy of the interval at ``vdd`` with ``n_errors`` recoveries.
+
+        If ``n_errors`` is not given it is computed from the error mask at the
+        same supply.
+        """
+        cycle_time = self.design.clocking.cycle_time
+        dynamic = float(np.sum(self.dynamic_energy_per_cycle(stats, vdd)))
+
+        if np.isscalar(vdd):
+            leak_power = float(self.table.leakage_power[self.grid.index_of(float(vdd))])
+            leakage = leak_power * cycle_time * stats.n_cycles
+        else:
+            indices = self.grid.indices_of(np.asarray(vdd, dtype=float))
+            leakage = float(np.sum(self.table.leakage_power[indices])) * cycle_time
+
+        if n_errors is None:
+            n_errors = int(np.count_nonzero(self.error_mask(stats, vdd)))
+
+        ff_params = self.flipflop_energy
+        clocking = ff_params.bank_clock_energy(self.design.n_bits) * stats.n_cycles
+        recovery = float(ff_params.recovery_energy(self.design.n_bits, n_errors))
+        return EnergyBreakdown(
+            bus_dynamic=dynamic,
+            leakage=leakage,
+            flipflop_clocking=clocking,
+            recovery_overhead=recovery,
+        )
+
+    def nominal_energy(self, stats: TraceStatistics) -> EnergyBreakdown:
+        """Energy of the interval at the nominal supply with no errors.
+
+        This is the reference against which all energy gains are reported.
+        """
+        return self.energy_breakdown(stats, self.design.nominal_vdd, n_errors=0)

@@ -1,0 +1,70 @@
+"""Device- and circuit-level substrate (the HSPICE substitute).
+
+This package contains everything below the interconnect level:
+
+* :mod:`repro.circuit.pvt` -- process / IR-drop / temperature corners,
+* :mod:`repro.circuit.mosfet` -- alpha-power-law device model,
+* :mod:`repro.circuit.delay_model` -- Elmore-style stage delay primitives,
+* :mod:`repro.circuit.energy_model` -- switching / coupling / leakage energy,
+* :mod:`repro.circuit.spice_lite` -- a small trapezoidal RC transient solver,
+* :mod:`repro.circuit.lookup_table` -- 20 mV-gridded delay/energy tables.
+"""
+
+from repro.circuit.pvt import (
+    BEST_CASE_CORNER,
+    STANDARD_CORNERS,
+    TYPICAL_CORNER,
+    WORST_CASE_CORNER,
+    ProcessCorner,
+    PVTCorner,
+    corner_pair_for_table1,
+)
+from repro.circuit.mosfet import AlphaPowerModel, TransistorParams
+from repro.circuit.delay_model import (
+    DISTRIBUTED_RC_FACTOR,
+    LUMPED_RC_FACTOR,
+    DriverDelayModel,
+    StageLoads,
+    stage_delay,
+)
+from repro.circuit.energy_model import (
+    FlipFlopEnergyParams,
+    coupling_energy,
+    leakage_energy,
+    switching_energy,
+)
+from repro.circuit.lookup_table import DEFAULT_VOLTAGE_STEP, DelayEnergyTable, VoltageGrid
+from repro.circuit.spice_lite import (
+    RCNetwork,
+    TransientResult,
+    build_coupled_line,
+    step_waveform,
+)
+
+__all__ = [
+    "BEST_CASE_CORNER",
+    "STANDARD_CORNERS",
+    "TYPICAL_CORNER",
+    "WORST_CASE_CORNER",
+    "ProcessCorner",
+    "PVTCorner",
+    "corner_pair_for_table1",
+    "AlphaPowerModel",
+    "TransistorParams",
+    "DISTRIBUTED_RC_FACTOR",
+    "LUMPED_RC_FACTOR",
+    "DriverDelayModel",
+    "StageLoads",
+    "stage_delay",
+    "FlipFlopEnergyParams",
+    "coupling_energy",
+    "leakage_energy",
+    "switching_energy",
+    "DEFAULT_VOLTAGE_STEP",
+    "DelayEnergyTable",
+    "VoltageGrid",
+    "RCNetwork",
+    "TransientResult",
+    "build_coupled_line",
+    "step_waveform",
+]

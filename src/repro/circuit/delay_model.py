@@ -1,0 +1,110 @@
+"""Driver / repeater delay primitives.
+
+These are the Elmore-style closed forms used to translate driver resistance,
+wire parasitics and load capacitance into a 50 %-crossing delay.  The same
+constants appear in both the bus characterisation path and the lightweight
+transient solver cross-checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.mosfet import AlphaPowerModel
+from repro.circuit.pvt import PVTCorner
+from repro.utils.validation import check_positive
+
+#: 50 % crossing factor for a lumped RC charged through a driver (ln 2).
+LUMPED_RC_FACTOR = 0.69
+
+#: 50 % crossing factor for the distributed (wire) portion of an RC line.
+DISTRIBUTED_RC_FACTOR = 0.38
+
+
+@dataclass(frozen=True)
+class StageLoads:
+    """Capacitive and resistive loads of one repeated stage.
+
+    Attributes
+    ----------
+    wire_resistance:
+        Total series resistance of the stage's wire segment (ohms).
+    wire_capacitance:
+        Total *effective* capacitance of the wire segment, including
+        Miller-factored coupling (farads).
+    receiver_capacitance:
+        Lumped capacitance at the far end of the segment (the next
+        repeater's gate, or the receiving flip-flop input) (farads).
+    driver_self_capacitance:
+        Drain capacitance of the driving repeater (farads).
+    """
+
+    wire_resistance: float
+    wire_capacitance: float
+    receiver_capacitance: float
+    driver_self_capacitance: float
+
+    def __post_init__(self) -> None:
+        check_positive("wire_resistance", self.wire_resistance, strict=False)
+        check_positive("wire_capacitance", self.wire_capacitance, strict=False)
+        check_positive("receiver_capacitance", self.receiver_capacitance, strict=False)
+        check_positive("driver_self_capacitance", self.driver_self_capacitance, strict=False)
+
+
+def stage_delay(driver_resistance: float, loads: StageLoads) -> float:
+    """Elmore 50 % delay of one repeater stage driving a distributed RC wire.
+
+    ``delay = 0.69 R_drv (C_self + C_wire + C_rx)
+            + R_wire (0.38 C_wire + 0.69 C_rx)``
+
+    which is the standard repeater-insertion delay expression (e.g. Bakoglu).
+    Returns ``inf`` if the driver resistance is infinite (supply at or below
+    threshold).
+    """
+    if math.isinf(driver_resistance):
+        return math.inf
+    total_load = (
+        loads.driver_self_capacitance + loads.wire_capacitance + loads.receiver_capacitance
+    )
+    driver_term = LUMPED_RC_FACTOR * driver_resistance * total_load
+    wire_term = loads.wire_resistance * (
+        DISTRIBUTED_RC_FACTOR * loads.wire_capacitance
+        + LUMPED_RC_FACTOR * loads.receiver_capacitance
+    )
+    return driver_term + wire_term
+
+
+class DriverDelayModel:
+    """Maps (supply, PVT corner, repeater size) to a driver resistance.
+
+    A thin convenience layer over :class:`AlphaPowerModel` that applies the
+    corner's IR droop to the supply before evaluating the device model, which
+    is how the paper models local supply droop at the repeaters.
+    """
+
+    def __init__(self, device_model: AlphaPowerModel | None = None) -> None:
+        self.device_model = device_model if device_model is not None else AlphaPowerModel()
+
+    def driver_resistance(self, vdd: float, corner: PVTCorner, size: float) -> float:
+        """Effective driver resistance at the corner's post-droop supply."""
+        check_positive("vdd", vdd)
+        effective_vdd = corner.effective_supply(vdd)
+        return self.device_model.effective_resistance(
+            effective_vdd, corner.process, corner.temperature_c, size
+        )
+
+    def gate_capacitance(self, size: float) -> float:
+        """Gate capacitance of a repeater of the given size."""
+        return self.device_model.gate_capacitance(size)
+
+    def drain_capacitance(self, size: float) -> float:
+        """Drain capacitance of a repeater of the given size."""
+        return self.device_model.drain_capacitance(size)
+
+    def leakage_current(self, vdd: float, corner: PVTCorner, size: float) -> float:
+        """Leakage current of a repeater at the corner's post-droop supply."""
+        effective_vdd = corner.effective_supply(vdd)
+        return self.device_model.leakage_current(
+            effective_vdd, corner.process, corner.temperature_c, size
+        )

@@ -1,0 +1,99 @@
+"""Energy primitives: switching, coupling, leakage and flip-flop clocking.
+
+Energy on the bus has four components in this reproduction, mirroring the
+paper's accounting:
+
+* dynamic self-capacitance switching energy of each toggling wire (including
+  the repeater gate/drain capacitances along the wire),
+* dynamic coupling energy between adjacent wires (and between edge wires and
+  their shields), which depends on the *relative* transition of the pair,
+* repeater sub-threshold leakage integrated over the clock period, and
+* an error-recovery overhead dominated by clocking the receiving flip-flop
+  bank for one extra cycle (plus a configurable pipeline re-execution term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def switching_energy(capacitance: float, vdd: float) -> float:
+    """Energy dissipated per full swing of a capacitance: ``0.5 C Vdd^2``."""
+    check_positive("capacitance", capacitance, strict=False)
+    check_positive("vdd", vdd, strict=False)
+    return 0.5 * capacitance * vdd * vdd
+
+
+def coupling_energy(coupling_capacitance: float, relative_swing: float, vdd: float) -> float:
+    """Energy dissipated in a coupling capacitor for a relative transition.
+
+    ``relative_swing`` is the difference of the two nets' logical transitions,
+    in units of Vdd: 0 (both quiet or moving together), 1 (one switches, one
+    quiet) or 2 (opposite switching).  The dissipated energy is
+    ``0.5 Cc (relative_swing * Vdd)^2``, i.e. opposite switching costs four
+    times the energy of switching against a quiet neighbour -- the same
+    quadratic behaviour that makes the worst-case coupling pattern both the
+    slowest and the most energy-hungry.
+    """
+    check_positive("coupling_capacitance", coupling_capacitance, strict=False)
+    swing = relative_swing * vdd
+    return 0.5 * coupling_capacitance * swing * swing
+
+
+def leakage_energy(leakage_current: float, vdd: float, duration: float) -> float:
+    """Leakage energy over ``duration`` seconds: ``I_leak * Vdd * t``."""
+    check_positive("duration", duration, strict=False)
+    return leakage_current * vdd * duration
+
+
+@dataclass(frozen=True)
+class FlipFlopEnergyParams:
+    """Energy parameters of the receiving double-sampling flip-flop bank.
+
+    Attributes
+    ----------
+    clock_energy_per_ff:
+        Energy to clock one double-sampling flip-flop for one cycle at the
+        nominal core supply (joules).  The shadow latch and the delayed-clock
+        buffer make this slightly larger than a standard flip-flop.
+    recovery_overhead_per_error:
+        Additional energy charged per corrected error beyond re-clocking the
+        bank, representing the flush/re-execution work in the pipeline
+        (joules).  The paper treats this as small because the bus is studied
+        in isolation; it is configurable here so the sensitivity can be
+        explored.
+    core_vdd:
+        Supply of the flip-flop bank and downstream pipeline (volts).  The
+        flip-flops are not on the scaled bus supply: correctness of the
+        shadow latch must not depend on the scaled rail.
+    """
+
+    clock_energy_per_ff: float = 4.0e-14
+    recovery_overhead_per_error: float = 6.0e-13
+    core_vdd: float = 1.2
+
+    def __post_init__(self) -> None:
+        check_positive("clock_energy_per_ff", self.clock_energy_per_ff)
+        check_positive("recovery_overhead_per_error", self.recovery_overhead_per_error, strict=False)
+        check_positive("core_vdd", self.core_vdd)
+
+    def bank_clock_energy(self, n_flipflops: int) -> float:
+        """Energy to clock the whole bank for one cycle."""
+        if n_flipflops < 0:
+            raise ValueError(f"n_flipflops must be >= 0, got {n_flipflops}")
+        return self.clock_energy_per_ff * n_flipflops
+
+    def recovery_energy(self, n_flipflops: int, n_errors: int | np.ndarray) -> np.ndarray | float:
+        """Total recovery energy for ``n_errors`` corrected timing errors.
+
+        Each corrected error costs one extra cycle of clocking the whole bank
+        plus the configured pipeline overhead.
+        """
+        per_error = self.bank_clock_energy(n_flipflops) + self.recovery_overhead_per_error
+        return np.asarray(n_errors, dtype=float) * per_error if isinstance(
+            n_errors, np.ndarray
+        ) else n_errors * per_error

@@ -1,0 +1,100 @@
+"""Process/voltage/temperature (PVT) corner definitions.
+
+The paper evaluates the bus across combinations of
+
+* process corner: slow, typical, fast,
+* temperature: 25 C or 100 C,
+* local IR (supply) drop at the repeaters: none or 10 % of the supply.
+
+The five named corners used in Fig. 5 / Fig. 10 are exposed as
+:data:`STANDARD_CORNERS`; the worst-case design corner (slow, 100 C, 10 % IR
+drop) and the "typical" corner (typical process, 100 C, no IR drop) used in
+Table 1 are additionally exposed as module-level constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.utils.validation import check_fraction, check_in_range
+
+
+class ProcessCorner(enum.Enum):
+    """Global process corner of the repeater devices."""
+
+    SLOW = "slow"
+    TYPICAL = "typical"
+    FAST = "fast"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class PVTCorner:
+    """A combined process / IR-drop / temperature operating corner.
+
+    Parameters
+    ----------
+    process:
+        Global process corner of the drivers and repeaters.
+    temperature_c:
+        Junction temperature in degrees Celsius (the paper uses 25 C or
+        100 C, but any value is accepted).
+    ir_drop:
+        Fractional local supply droop seen by the repeaters (0.0 for no
+        droop, 0.10 for the paper's 10 % droop).
+    """
+
+    process: ProcessCorner
+    temperature_c: float
+    ir_drop: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range("temperature_c", self.temperature_c, -55.0, 150.0)
+        check_fraction("ir_drop", self.ir_drop)
+
+    @property
+    def label(self) -> str:
+        """Human-readable label matching the paper's legend style."""
+        ir = f"{self.ir_drop * 100:.0f}% IR drop" if self.ir_drop else "No IR drop"
+        return f"{self.process.value.capitalize()} process, {self.temperature_c:.0f}C, {ir}"
+
+    def effective_supply(self, vdd: float) -> float:
+        """Supply voltage actually seen by the drivers after IR droop."""
+        return vdd * (1.0 - self.ir_drop)
+
+    def with_ir_drop(self, ir_drop: float) -> "PVTCorner":
+        """Return a copy of this corner with a different IR-drop assumption."""
+        return PVTCorner(self.process, self.temperature_c, ir_drop)
+
+    def with_temperature(self, temperature_c: float) -> "PVTCorner":
+        """Return a copy of this corner with a different temperature."""
+        return PVTCorner(self.process, temperature_c, self.ir_drop)
+
+
+#: Worst-case design corner used to size the repeaters (paper §3).
+WORST_CASE_CORNER = PVTCorner(ProcessCorner.SLOW, 100.0, 0.10)
+
+#: "Typical" corner used for the right half of Table 1 and Fig. 4(b) / Fig. 8.
+TYPICAL_CORNER = PVTCorner(ProcessCorner.TYPICAL, 100.0, 0.0)
+
+#: Best-case corner appearing in Fig. 5 (fast process, 25 C, no IR drop).
+BEST_CASE_CORNER = PVTCorner(ProcessCorner.FAST, 25.0, 0.0)
+
+#: The five corners plotted in Fig. 5 / Fig. 10, keyed by the paper's
+#: numeric labels (1 = slowest ... 5 = fastest).
+STANDARD_CORNERS: Dict[int, PVTCorner] = {
+    1: WORST_CASE_CORNER,
+    2: PVTCorner(ProcessCorner.SLOW, 100.0, 0.0),
+    3: TYPICAL_CORNER,
+    4: PVTCorner(ProcessCorner.FAST, 100.0, 0.0),
+    5: BEST_CASE_CORNER,
+}
+
+
+def corner_pair_for_table1() -> Tuple[PVTCorner, PVTCorner]:
+    """The two corners evaluated in Table 1 (worst-case and typical)."""
+    return WORST_CASE_CORNER, TYPICAL_CORNER

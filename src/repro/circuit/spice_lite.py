@@ -1,0 +1,283 @@
+"""A small linear RC transient solver (the "SPICE substitute").
+
+The paper tabulates bus delay and energy with HSPICE.  This module provides a
+miniature nodal-analysis transient solver for linear RC networks driven by
+resistive step sources, sufficient to simulate a coupled, repeated bus segment
+and cross-check the closed-form Elmore characterisation used by the fast path.
+
+The solver implements:
+
+* conductance (G) and capacitance (C) stamping for resistors, grounded
+  capacitors and floating coupling capacitors,
+* ideal step/piecewise-linear sources connected through a series resistance
+  (a Thevenin driver, matching how the repeater is abstracted), and
+* trapezoidal (Crank-Nicolson) time integration, which is A-stable and
+  second-order accurate -- the standard choice for SPICE-class tools.
+
+It intentionally does not model nonlinear devices; the nonlinearity of the
+driver is captured by the alpha-power-law resistance in
+:mod:`repro.circuit.mosfet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+SourceWaveform = Callable[[float], float]
+
+
+@dataclass
+class _ResistiveSource:
+    node: int
+    resistance: float
+    waveform: SourceWaveform
+
+
+@dataclass
+class TransientResult:
+    """Waveforms produced by :meth:`RCNetwork.simulate`."""
+
+    times: np.ndarray
+    voltages: np.ndarray  # shape (n_steps, n_nodes)
+    node_names: Dict[str, int] = field(default_factory=dict)
+
+    def voltage_of(self, node: "int | str") -> np.ndarray:
+        """Waveform of one node, by index or by registered name."""
+        index = self.node_names[node] if isinstance(node, str) else node
+        return self.voltages[:, index]
+
+    def crossing_time(
+        self, node: "int | str", threshold: float, *, rising: bool = True
+    ) -> float:
+        """First time the node's waveform crosses ``threshold``.
+
+        Linear interpolation is used between time points.  Raises
+        ``ValueError`` if the threshold is never crossed, which callers treat
+        as "no transition within the simulated window".
+        """
+        wave = self.voltage_of(node)
+        if rising:
+            above = wave >= threshold
+        else:
+            above = wave <= threshold
+        indices = np.nonzero(above)[0]
+        if indices.size == 0:
+            raise ValueError(f"node {node!r} never crosses {threshold}")
+        i = int(indices[0])
+        if i == 0:
+            return float(self.times[0])
+        t0, t1 = self.times[i - 1], self.times[i]
+        v0, v1 = wave[i - 1], wave[i]
+        if v1 == v0:
+            return float(t1)
+        frac = (threshold - v0) / (v1 - v0)
+        return float(t0 + frac * (t1 - t0))
+
+
+class RCNetwork:
+    """A linear RC network with resistive step drivers.
+
+    Nodes are created on demand with :meth:`node`; node 0 is *not* special --
+    ground is implicit (connect elements to ``None`` for ground).
+    """
+
+    def __init__(self) -> None:
+        self._n_nodes = 0
+        self._names: Dict[str, int] = {}
+        self._resistors: List[Tuple[Optional[int], Optional[int], float]] = []
+        self._capacitors: List[Tuple[Optional[int], Optional[int], float]] = []
+        self._sources: List[_ResistiveSource] = []
+
+    # ------------------------------------------------------------------ #
+    # Topology construction
+    # ------------------------------------------------------------------ #
+    def node(self, name: Optional[str] = None) -> int:
+        """Create a new node and return its index, optionally registering a name."""
+        index = self._n_nodes
+        self._n_nodes += 1
+        if name is not None:
+            if name in self._names:
+                raise ValueError(f"node name {name!r} already used")
+            self._names[name] = index
+        return index
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes in the network."""
+        return self._n_nodes
+
+    def _check_node(self, node: Optional[int]) -> None:
+        if node is not None and not (0 <= node < self._n_nodes):
+            raise ValueError(f"unknown node index {node}")
+
+    def add_resistor(self, a: Optional[int], b: Optional[int], resistance: float) -> None:
+        """Add a resistor between nodes ``a`` and ``b`` (``None`` = ground)."""
+        check_positive("resistance", resistance)
+        self._check_node(a)
+        self._check_node(b)
+        self._resistors.append((a, b, resistance))
+
+    def add_capacitor(self, a: Optional[int], b: Optional[int], capacitance: float) -> None:
+        """Add a capacitor between nodes ``a`` and ``b`` (``None`` = ground)."""
+        check_positive("capacitance", capacitance, strict=False)
+        self._check_node(a)
+        self._check_node(b)
+        self._capacitors.append((a, b, capacitance))
+
+    def add_driver(
+        self, node: int, resistance: float, waveform: SourceWaveform
+    ) -> None:
+        """Attach a voltage source through a series resistance to ``node``.
+
+        This is the Thevenin abstraction of a repeater: an ideal waveform
+        (usually a step between rails) behind the device's effective
+        switching resistance.
+        """
+        check_positive("resistance", resistance)
+        self._check_node(node)
+        self._sources.append(_ResistiveSource(node, resistance, waveform))
+
+    # ------------------------------------------------------------------ #
+    # Matrix assembly
+    # ------------------------------------------------------------------ #
+    def _assemble(self) -> Tuple[np.ndarray, np.ndarray]:
+        n = self._n_nodes
+        conductance = np.zeros((n, n))
+        capacitance = np.zeros((n, n))
+
+        def stamp(matrix: np.ndarray, a: Optional[int], b: Optional[int], value: float) -> None:
+            if a is not None:
+                matrix[a, a] += value
+            if b is not None:
+                matrix[b, b] += value
+            if a is not None and b is not None:
+                matrix[a, b] -= value
+                matrix[b, a] -= value
+
+        for a, b, resistance in self._resistors:
+            stamp(conductance, a, b, 1.0 / resistance)
+        for a, b, cap in self._capacitors:
+            stamp(capacitance, a, b, cap)
+        for source in self._sources:
+            conductance[source.node, source.node] += 1.0 / source.resistance
+        return conductance, capacitance
+
+    def _source_currents(self, time: float) -> np.ndarray:
+        currents = np.zeros(self._n_nodes)
+        for source in self._sources:
+            currents[source.node] += source.waveform(time) / source.resistance
+        return currents
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        t_end: float,
+        dt: float,
+        initial_voltages: Optional[Sequence[float]] = None,
+    ) -> TransientResult:
+        """Run a trapezoidal transient simulation from 0 to ``t_end``.
+
+        Parameters
+        ----------
+        t_end:
+            Simulation end time in seconds.
+        dt:
+            Fixed time step in seconds.
+        initial_voltages:
+            Initial node voltages; defaults to all zero.
+        """
+        check_positive("t_end", t_end)
+        check_positive("dt", dt)
+        if self._n_nodes == 0:
+            raise ValueError("network has no nodes")
+        conductance, capacitance = self._assemble()
+        n_steps = int(np.ceil(t_end / dt)) + 1
+        times = np.arange(n_steps) * dt
+
+        voltages = np.zeros((n_steps, self._n_nodes))
+        if initial_voltages is not None:
+            initial = np.asarray(initial_voltages, dtype=float)
+            if initial.shape != (self._n_nodes,):
+                raise ValueError(
+                    f"initial_voltages must have shape ({self._n_nodes},), got {initial.shape}"
+                )
+            voltages[0] = initial
+
+        # Trapezoidal: (C/dt + G/2) v_{k+1} = (C/dt - G/2) v_k + (i_k + i_{k+1})/2
+        lhs = capacitance / dt + conductance / 2.0
+        rhs_matrix = capacitance / dt - conductance / 2.0
+        lhs_inv = np.linalg.pinv(lhs)
+
+        current_prev = self._source_currents(times[0])
+        for k in range(1, n_steps):
+            current_next = self._source_currents(times[k])
+            rhs = rhs_matrix @ voltages[k - 1] + 0.5 * (current_prev + current_next)
+            voltages[k] = lhs_inv @ rhs
+            current_prev = current_next
+
+        return TransientResult(times=times, voltages=voltages, node_names=dict(self._names))
+
+
+def step_waveform(level: float, start_time: float = 0.0, *, initial: float = 0.0) -> SourceWaveform:
+    """Ideal step from ``initial`` to ``level`` at ``start_time``."""
+    def waveform(time: float) -> float:
+        return level if time >= start_time else initial
+
+    return waveform
+
+
+def build_coupled_line(
+    n_wires: int,
+    sections_per_wire: int,
+    wire_resistance: float,
+    ground_capacitance: float,
+    coupling_capacitance: float,
+    driver_resistances: Sequence[float],
+    driver_waveforms: Sequence[SourceWaveform],
+    load_capacitance: float = 0.0,
+) -> Tuple[RCNetwork, List[int]]:
+    """Construct an ``n_wires``-bit coupled RC line as a ladder network.
+
+    Each wire is split into ``sections_per_wire`` pi-sections.  Adjacent wires
+    are coupled section-by-section with ``coupling_capacitance / sections``.
+    Returns the network and the list of far-end (receiver) node indices, one
+    per wire.
+    """
+    if n_wires <= 0 or sections_per_wire <= 0:
+        raise ValueError("n_wires and sections_per_wire must be positive")
+    if len(driver_resistances) != n_wires or len(driver_waveforms) != n_wires:
+        raise ValueError("need one driver resistance and waveform per wire")
+
+    network = RCNetwork()
+    r_section = wire_resistance / sections_per_wire
+    cg_section = ground_capacitance / sections_per_wire
+    cc_section = coupling_capacitance / sections_per_wire
+
+    nodes = [
+        [network.node(f"w{w}_n{s}") for s in range(sections_per_wire + 1)]
+        for w in range(n_wires)
+    ]
+    for w in range(n_wires):
+        network.add_driver(nodes[w][0], driver_resistances[w], driver_waveforms[w])
+        for s in range(sections_per_wire):
+            network.add_resistor(nodes[w][s], nodes[w][s + 1], r_section)
+        for s in range(sections_per_wire + 1):
+            # half caps at the ends, full in the middle (pi model)
+            scale = 0.5 if s in (0, sections_per_wire) else 1.0
+            network.add_capacitor(nodes[w][s], None, cg_section * scale)
+        if load_capacitance > 0.0:
+            network.add_capacitor(nodes[w][-1], None, load_capacitance)
+    for w in range(n_wires - 1):
+        for s in range(sections_per_wire + 1):
+            scale = 0.5 if s in (0, sections_per_wire) else 1.0
+            network.add_capacitor(nodes[w][s], nodes[w + 1][s], cc_section * scale)
+
+    receiver_nodes = [nodes[w][-1] for w in range(n_wires)]
+    return network, receiver_nodes

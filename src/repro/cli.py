@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI is a thin veneer over the experiment registry and the core library,
+so everything it prints can also be obtained programmatically; it exists so
+the reproduction can be driven without writing a script:
+
+* ``python -m repro list`` -- the experiment inventory (DESIGN.md ids),
+* ``python -m repro run fig5`` -- regenerate one figure/table,
+* ``python -m repro characterize --corner typical`` -- the bus's delay/error
+  behaviour over the voltage grid at one corner,
+* ``python -m repro simulate --benchmark crafty --corner typical`` -- one
+  closed-loop DVS run with a supply-voltage time series,
+* ``python -m repro compare-schemes --corner typical`` -- fixed VS vs canary
+  vs triple-latch vs the proposed DVS,
+* ``python -m repro kernels`` -- the mini-CPU kernels available as workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.baselines import format_scheme_comparison, run_scheme_comparison
+from repro.bus import BusDesign, CharacterizedBus
+from repro.circuit.pvt import (
+    BEST_CASE_CORNER,
+    STANDARD_CORNERS,
+    TYPICAL_CORNER,
+    WORST_CASE_CORNER,
+    PVTCorner,
+)
+from repro.core.dvs_system import DVSBusSystem
+from repro.cpu import KERNELS
+from repro.plotting import Series, line_chart
+from repro.trace import TABLE1_ORDER, generate_benchmark_trace, generate_suite
+
+#: Corner names accepted by ``--corner``.
+CORNERS: Dict[str, PVTCorner] = {
+    "worst": WORST_CASE_CORNER,
+    "typical": TYPICAL_CORNER,
+    "best": BEST_CASE_CORNER,
+    **{f"corner{i}": corner for i, corner in STANDARD_CORNERS.items()},
+}
+
+
+def _add_corner_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--corner",
+        choices=sorted(CORNERS),
+        default="typical",
+        help="PVT corner (worst / typical / best, or corner1..corner5 of Fig. 5)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for the tests and for docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'DVS for On-Chip Bus Designs Based on Timing Error "
+            "Correction' (Kaul et al., DATE 2005)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the paper's experiments and their ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment by id")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run_parser.add_argument("--cycles", type=int, default=None, help="cycles per benchmark")
+    run_parser.add_argument("--seed", type=int, default=2005, help="workload seed")
+
+    characterize_parser = subparsers.add_parser(
+        "characterize", help="delay and error behaviour of the bus over the voltage grid"
+    )
+    _add_corner_argument(characterize_parser)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="one closed-loop DVS run on a single benchmark"
+    )
+    simulate_parser.add_argument(
+        "--benchmark", choices=TABLE1_ORDER, default="crafty", help="benchmark profile"
+    )
+    _add_corner_argument(simulate_parser)
+    simulate_parser.add_argument("--cycles", type=int, default=200_000)
+    simulate_parser.add_argument("--seed", type=int, default=2005)
+    simulate_parser.add_argument("--window", type=int, default=10_000, help="error window (cycles)")
+    simulate_parser.add_argument("--ramp", type=int, default=3_000, help="regulator ramp (cycles)")
+
+    compare_parser = subparsers.add_parser(
+        "compare-schemes", help="fixed VS vs canary vs triple-latch vs proposed DVS"
+    )
+    _add_corner_argument(compare_parser)
+    compare_parser.add_argument("--cycles", type=int, default=30_000, help="cycles per benchmark")
+    compare_parser.add_argument("--seed", type=int, default=2005)
+
+    subparsers.add_parser("kernels", help="list the mini-CPU kernels usable as workloads")
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------------- #
+def _command_list() -> int:
+    width = max(len(identifier) for identifier in EXPERIMENTS)
+    print("Experiments (regenerate with 'python -m repro run <id>'):")
+    for identifier in sorted(EXPERIMENTS):
+        experiment = EXPERIMENTS[identifier]
+        print(f"  {identifier:<{width}}  {experiment.paper_artifact:<10} {experiment.description}")
+    return 0
+
+
+def _command_run(experiment: str, cycles: Optional[int], seed: int) -> int:
+    kwargs = {"seed": seed}
+    if cycles is not None:
+        kwargs["n_cycles"] = cycles
+    if experiment == "scaling":
+        kwargs = {}  # the scaling study takes no workload parameters
+    _, text = run_experiment(experiment, **kwargs)
+    print(text)
+    return 0
+
+
+def _command_characterize(corner_name: str) -> int:
+    corner = CORNERS[corner_name]
+    bus = CharacterizedBus(BusDesign.paper_bus(), corner)
+    clocking = bus.design.clocking
+    print(f"Paper bus characterised at: {corner.label}")
+    print(
+        f"  clock {clocking.frequency / 1e9:.2f} GHz, main deadline "
+        f"{clocking.main_deadline * 1e12:.0f} ps, shadow deadline "
+        f"{clocking.shadow_deadline * 1e12:.0f} ps"
+    )
+    print(
+        f"  zero-error supply: {bus.zero_error_voltage() * 1000:.0f} mV, "
+        f"regulator floor (shadow latch, worst temp/IR for this process): "
+        f"{bus.minimum_safe_voltage(PVTCorner(corner.process, 100.0, 0.10)) * 1000:.0f} mV"
+    )
+    print()
+    print(f"  {'Vdd (mV)':>9} {'worst delay (ps)':>17} {'meets main?':>12} {'meets shadow?':>14}")
+    max_lambda = bus.design.topology.max_coupling_factor
+    for vdd in reversed(bus.grid.voltages.tolist()):
+        delay = bus.table.worst_delay(vdd, max_lambda)
+        print(
+            f"  {vdd * 1000:>9.0f} {delay * 1e12:>17.1f} "
+            f"{'yes' if delay <= clocking.main_deadline else 'no':>12} "
+            f"{'yes' if delay <= clocking.shadow_deadline else 'no':>14}"
+        )
+    return 0
+
+
+def _command_simulate(
+    benchmark: str, corner_name: str, cycles: int, seed: int, window: int, ramp: int
+) -> int:
+    corner = CORNERS[corner_name]
+    bus = CharacterizedBus(BusDesign.paper_bus(), corner)
+    trace = generate_benchmark_trace(benchmark, n_cycles=cycles, seed=seed)
+    system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
+    result = system.run(trace)
+
+    print(f"Closed-loop DVS: benchmark {benchmark!r}, corner {corner.label}")
+    print(f"  cycles simulated      : {result.n_cycles}")
+    print(f"  corrected errors      : {result.total_errors} "
+          f"({result.average_error_rate * 100:.2f}% of cycles)")
+    print(f"  energy gain vs nominal: {result.energy_gain_percent:.1f}%")
+    print(f"  minimum supply reached: {result.minimum_voltage_reached * 1000:.0f} mV "
+          f"(final {result.final_voltage * 1000:.0f} mV)")
+    print()
+    if len(result.window_voltages) >= 2:
+        windows = range(len(result.window_voltages))
+        print(
+            line_chart(
+                [
+                    Series(
+                        "supply (mV)",
+                        list(windows),
+                        (result.window_voltages * 1000).tolist(),
+                    )
+                ],
+                title="supply voltage per control window",
+                x_label="window",
+                y_label="mV",
+                height=12,
+            )
+        )
+    return 0
+
+
+def _command_compare_schemes(corner_name: str, cycles: int, seed: int) -> int:
+    corner = CORNERS[corner_name]
+    design = BusDesign.paper_bus()
+    suite = generate_suite(names=("crafty", "vortex", "mgrid"), n_cycles=cycles, seed=seed)
+    comparison = run_scheme_comparison(
+        design,
+        list(suite.values()),
+        corner,
+        window_cycles=max(1_000, cycles // 20),
+        ramp_delay_cycles=max(300, cycles // 60),
+        workload_name="crafty+vortex+mgrid",
+    )
+    print(format_scheme_comparison(comparison))
+    return 0
+
+
+def _command_kernels() -> int:
+    width = max(len(name) for name in KERNELS)
+    print("Mini-CPU kernels (see repro.cpu.kernel_bus_trace):")
+    for name in sorted(KERNELS):
+        kernel = KERNELS[name]
+        print(f"  {name:<{width}}  [{kernel.data_flavor:<8}] {kernel.description}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args.experiment, args.cycles, args.seed)
+    if args.command == "characterize":
+        return _command_characterize(args.corner)
+    if args.command == "simulate":
+        return _command_simulate(
+            args.benchmark, args.corner, args.cycles, args.seed, args.window, args.ramp
+        )
+    if args.command == "compare-schemes":
+        return _command_compare_schemes(args.corner, args.cycles, args.seed)
+    if args.command == "kernels":
+        return _command_kernels()
+    parser.error(f"unhandled command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

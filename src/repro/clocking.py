@@ -1,0 +1,72 @@
+"""Clocking parameters shared by the bus design and the DVS control system.
+
+The paper's bus runs at a fixed 1.5 GHz clock.  The repeaters are sized so the
+worst-case bus delay is 600 ps, leaving 10 % of the cycle for the receiving
+flip-flop's setup time and clock skew.  The shadow latch of the double
+sampling flip-flop is clocked 33 % of a cycle later than the main flip-flop,
+which defines the latest arrival time that can still be *corrected* rather
+than causing a functional failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class ClockingParameters:
+    """Clock frequency and the timing budget of the double-sampling receiver.
+
+    Attributes
+    ----------
+    frequency:
+        Fixed clock frequency in hertz (1.5 GHz in the paper).
+    setup_slack_fraction:
+        Fraction of the cycle reserved for setup time and clock skew at the
+        main flip-flop (10 % in the paper), so the bus delay budget is
+        ``(1 - setup_slack_fraction) * cycle_time``.
+    shadow_delay_fraction:
+        Delay of the shadow-latch clock relative to the main clock, as a
+        fraction of the cycle (33 % in the paper -- the maximum allowed by the
+        short-path/hold constraint of the bus).
+    """
+
+    frequency: float = 1.5e9
+    setup_slack_fraction: float = 0.10
+    shadow_delay_fraction: float = 0.33
+
+    def __post_init__(self) -> None:
+        check_positive("frequency", self.frequency)
+        check_fraction("setup_slack_fraction", self.setup_slack_fraction)
+        check_fraction("shadow_delay_fraction", self.shadow_delay_fraction)
+
+    @property
+    def cycle_time(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.frequency
+
+    @property
+    def main_deadline(self) -> float:
+        """Latest bus arrival time for error-free capture by the main flip-flop."""
+        return self.cycle_time * (1.0 - self.setup_slack_fraction)
+
+    @property
+    def shadow_deadline(self) -> float:
+        """Latest bus arrival time the shadow latch can still capture correctly.
+
+        Arrivals later than this are functional failures that the error
+        recovery mechanism cannot fix; the voltage regulator's minimum-voltage
+        floor is chosen so they never occur.
+        """
+        return self.main_deadline + self.shadow_delay_fraction * self.cycle_time
+
+    def cycles_for_time(self, duration: float) -> int:
+        """Number of whole clock cycles covering ``duration`` seconds."""
+        check_positive("duration", duration, strict=False)
+        return int(round(duration * self.frequency))
+
+
+#: The paper's clocking configuration (1.5 GHz, 10 % setup slack, 33 % shadow delay).
+PAPER_CLOCKING = ClockingParameters()

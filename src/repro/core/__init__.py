@@ -1,0 +1,78 @@
+"""The paper's contribution: error-correcting DVS for on-chip buses.
+
+* :mod:`repro.core.double_sampling_ff` -- the Razor-style flip-flop and bank,
+* :mod:`repro.core.error_detection` -- windowed error-rate measurement,
+* :mod:`repro.core.policies` / :mod:`repro.core.voltage_controller` -- the
+  control loop of Fig. 7,
+* :mod:`repro.core.regulator` -- the step/ramp voltage regulator,
+* :mod:`repro.core.dvs_system` -- the closed-loop system,
+* :mod:`repro.core.fixed_vs` -- the conventional fixed voltage-scaling baseline,
+* :mod:`repro.core.oracle` -- future-knowledge optimal voltage selection.
+"""
+
+from repro.core.double_sampling_ff import (
+    BankCaptureResult,
+    CaptureResult,
+    DoubleSamplingFlipFlop,
+    FlipFlopBank,
+    ShadowLatchViolationError,
+)
+from repro.core.error_detection import DEFAULT_WINDOW_CYCLES, ErrorCounter, WindowMeasurement
+from repro.core.policies import BangBangPolicy, ControlPolicy, ProportionalPolicy
+from repro.core.regulator import (
+    PAPER_SLEW_SECONDS_PER_VOLT,
+    VoltageEvent,
+    VoltageRegulator,
+    ramp_delay_cycles_for_step,
+)
+from repro.core.voltage_controller import ControlDecision, WindowedVoltageController
+from repro.core.fixed_vs import (
+    ASSUMED_WORST_IR_DROP,
+    ASSUMED_WORST_TEMPERATURE_C,
+    FixedScalingResult,
+    evaluate_fixed_scaling,
+    fixed_scaling_voltage,
+)
+from repro.core.oracle import (
+    OracleSchedule,
+    min_error_free_voltage_per_cycle,
+    oracle_voltage_schedule,
+)
+from repro.core.dvs_system import DVSBusSystem, DVSRunResult
+from repro.core.behavioral import BehavioralDVSSimulator, BehavioralRunResult
+from repro.core.hold_constraint import HoldAnalysis, analyze_hold_constraint, fastest_bus_delay
+
+__all__ = [
+    "BankCaptureResult",
+    "CaptureResult",
+    "DoubleSamplingFlipFlop",
+    "FlipFlopBank",
+    "ShadowLatchViolationError",
+    "DEFAULT_WINDOW_CYCLES",
+    "ErrorCounter",
+    "WindowMeasurement",
+    "BangBangPolicy",
+    "ControlPolicy",
+    "ProportionalPolicy",
+    "PAPER_SLEW_SECONDS_PER_VOLT",
+    "VoltageEvent",
+    "VoltageRegulator",
+    "ramp_delay_cycles_for_step",
+    "ControlDecision",
+    "WindowedVoltageController",
+    "ASSUMED_WORST_IR_DROP",
+    "ASSUMED_WORST_TEMPERATURE_C",
+    "FixedScalingResult",
+    "evaluate_fixed_scaling",
+    "fixed_scaling_voltage",
+    "OracleSchedule",
+    "min_error_free_voltage_per_cycle",
+    "oracle_voltage_schedule",
+    "DVSBusSystem",
+    "DVSRunResult",
+    "BehavioralDVSSimulator",
+    "BehavioralRunResult",
+    "HoldAnalysis",
+    "analyze_hold_constraint",
+    "fastest_bus_delay",
+]

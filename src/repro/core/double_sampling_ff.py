@@ -1,0 +1,247 @@
+"""Behavioural model of the double-sampling (Razor-style) flip-flop.
+
+The flip-flop of the paper's Fig. 2 samples its input twice: once at the main
+clock edge (into the master/slave pair) and once at a delayed clock (into the
+shadow latch).  If the bus data arrives after the main edge but before the
+delayed edge, the main flip-flop captures a stale value while the shadow latch
+captures the correct one; the XOR of the two asserts ``Error_L`` and the
+correct value is restored through the multiplexer in the master feedback path,
+at the cost of one recovery cycle.
+
+This module models that behaviour at the timing-annotated cycle level:
+
+* :class:`DoubleSamplingFlipFlop` -- a single bit, driven by arrival times,
+* :class:`FlipFlopBank` -- the 32-bit bank at the receiving end of the bus,
+  whose per-bit ``Error_L`` signals are ORed into the bank error signal that
+  the voltage-control system polls.
+
+The closed-loop DVS simulation uses a vectorised shortcut (only the
+worst-delay wire per cycle matters for the error decision), but this model is
+the reference behaviour the shortcut is tested against, and it is what the
+examples use to demonstrate error detection and recovery on individual
+transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.clocking import ClockingParameters, PAPER_CLOCKING
+
+
+class ShadowLatchViolationError(RuntimeError):
+    """Raised when data arrives after even the shadow-latch deadline.
+
+    The design guarantees this never happens by keeping the supply above the
+    conservative minimum voltage; encountering it in simulation indicates a
+    broken regulator floor or a mis-characterised bus.
+    """
+
+
+@dataclass(frozen=True)
+class CaptureResult:
+    """Outcome of one flip-flop capture.
+
+    Attributes
+    ----------
+    output:
+        Value presented at the flip-flop output ``Q`` right after the main
+        clock edge (possibly stale when a timing error occurred).
+    corrected_output:
+        Value available after error recovery (always the correct data).
+    error:
+        Whether ``Error_L`` was asserted (main and shadow samples differ).
+    """
+
+    output: int
+    corrected_output: int
+    error: bool
+
+
+class DoubleSamplingFlipFlop:
+    """A single-bit double-sampling flip-flop.
+
+    Parameters
+    ----------
+    clocking:
+        Clock period and the main/shadow deadlines.
+    hold_time:
+        Minimum input-stable time after the delayed clock required by the
+        shadow latch.  Together with ``shadow_delay_fraction`` this expresses
+        the short-path (hold) constraint discussed in Section 2.
+    """
+
+    def __init__(
+        self,
+        clocking: ClockingParameters = PAPER_CLOCKING,
+        hold_time: float = 0.0,
+    ) -> None:
+        if hold_time < 0.0:
+            raise ValueError(f"hold_time must be >= 0, got {hold_time}")
+        self.clocking = clocking
+        self.hold_time = hold_time
+        self._state = 0
+
+    @property
+    def state(self) -> int:
+        """Current stored value (after any recovery of the previous cycle)."""
+        return self._state
+
+    def reset(self, value: int = 0) -> None:
+        """Force the stored value (power-on reset)."""
+        self._state = 1 if value else 0
+
+    def capture(self, data: int, arrival_time: float) -> CaptureResult:
+        """Capture one cycle's data given its arrival time after the launch edge.
+
+        Parameters
+        ----------
+        data:
+            The logically correct data value for this cycle.
+        arrival_time:
+            Time at which the input settled to ``data``, measured from the
+            launching clock edge (i.e. the bus delay for this transition).
+        """
+        data = 1 if data else 0
+        if arrival_time > self.clocking.shadow_deadline:
+            raise ShadowLatchViolationError(
+                f"data arrived at {arrival_time * 1e12:.0f} ps, after the shadow deadline "
+                f"({self.clocking.shadow_deadline * 1e12:.0f} ps)"
+            )
+        if arrival_time <= self.clocking.main_deadline:
+            main_sample = data
+        else:
+            # The main edge saw the previous cycle's value still on the wire.
+            main_sample = self._state
+        shadow_sample = data
+        error = main_sample != shadow_sample
+        self._state = shadow_sample
+        return CaptureResult(output=main_sample, corrected_output=shadow_sample, error=error)
+
+    def check_hold_constraint(self, earliest_arrival: float) -> bool:
+        """Whether a short path arriving at ``earliest_arrival`` satisfies hold.
+
+        The shadow latch is transparent until ``shadow_deadline``; data from
+        the *next* cycle must not arrive before the shadow latch of the
+        current cycle has closed plus the hold time.  ``earliest_arrival`` is
+        measured from the launching clock edge of the next cycle, so the
+        constraint is ``cycle_time + earliest_arrival >= shadow_deadline + hold``
+        i.e. ``earliest_arrival >= shadow_deadline + hold - cycle_time``.
+        """
+        minimum = self.clocking.shadow_deadline + self.hold_time - self.clocking.cycle_time
+        return earliest_arrival >= minimum
+
+
+class FlipFlopBank:
+    """The bank of double-sampling flip-flops at the receiving end of the bus.
+
+    The per-bit error signals are ORed into a single bank error signal: one or
+    more late bits in a cycle count as *one* bus timing error, matching the
+    paper's error-rate definition.
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        clocking: ClockingParameters = PAPER_CLOCKING,
+        hold_time: float = 0.0,
+    ) -> None:
+        if n_bits <= 0:
+            raise ValueError(f"n_bits must be positive, got {n_bits}")
+        self.n_bits = n_bits
+        self.clocking = clocking
+        self._flops = [DoubleSamplingFlipFlop(clocking, hold_time) for _ in range(n_bits)]
+        self._error_count = 0
+        self._cycle_count = 0
+
+    @property
+    def state(self) -> np.ndarray:
+        """Current stored word as a 0/1 array (LSB first)."""
+        return np.array([flop.state for flop in self._flops], dtype=np.uint8)
+
+    @property
+    def error_count(self) -> int:
+        """Number of cycles so far in which the bank error signal was asserted."""
+        return self._error_count
+
+    @property
+    def cycle_count(self) -> int:
+        """Number of captures performed."""
+        return self._cycle_count
+
+    def reset(self, word: Optional[Sequence[int]] = None) -> None:
+        """Reset all flip-flops (optionally to a specific word) and clear counters."""
+        values = [0] * self.n_bits if word is None else list(word)
+        if len(values) != self.n_bits:
+            raise ValueError(f"reset word must have {self.n_bits} bits")
+        for flop, value in zip(self._flops, values):
+            flop.reset(value)
+        self._error_count = 0
+        self._cycle_count = 0
+
+    def capture_word(
+        self, data: Sequence[int], arrival_times: Sequence[float]
+    ) -> "BankCaptureResult":
+        """Capture one bus word given per-bit arrival times.
+
+        Returns the bank-level result; the stored state is updated to the
+        corrected word, so a subsequent capture sees the recovered data, as in
+        the real circuit.
+        """
+        data = np.asarray(data)
+        arrival_times = np.asarray(arrival_times, dtype=float)
+        if data.shape != (self.n_bits,) or arrival_times.shape != (self.n_bits,):
+            raise ValueError(
+                f"data and arrival_times must both have shape ({self.n_bits},)"
+            )
+        outputs = np.empty(self.n_bits, dtype=np.uint8)
+        corrected = np.empty(self.n_bits, dtype=np.uint8)
+        errors = np.zeros(self.n_bits, dtype=bool)
+        for index, flop in enumerate(self._flops):
+            result = flop.capture(int(data[index]), float(arrival_times[index]))
+            outputs[index] = result.output
+            corrected[index] = result.corrected_output
+            errors[index] = result.error
+        bank_error = bool(errors.any())
+        self._cycle_count += 1
+        if bank_error:
+            self._error_count += 1
+        return BankCaptureResult(
+            output_word=outputs,
+            corrected_word=corrected,
+            bit_errors=errors,
+            error=bank_error,
+        )
+
+    def observed_error_rate(self) -> float:
+        """Fraction of captured cycles with an asserted bank error signal."""
+        if self._cycle_count == 0:
+            return 0.0
+        return self._error_count / self._cycle_count
+
+
+@dataclass(frozen=True)
+class BankCaptureResult:
+    """Result of capturing one word in the flip-flop bank.
+
+    Attributes
+    ----------
+    output_word:
+        The word visible at the bank outputs right after the main edge
+        (possibly containing stale bits).
+    corrected_word:
+        The word after error recovery (always correct).
+    bit_errors:
+        Per-bit ``Error_L`` signals.
+    error:
+        The bank-level error signal (OR of the per-bit signals); asserting it
+        costs one recovery cycle in the pipeline.
+    """
+
+    output_word: np.ndarray
+    corrected_word: np.ndarray
+    bit_errors: np.ndarray
+    error: bool

@@ -1,0 +1,127 @@
+"""Windowed error-rate measurement (the error counter of Fig. 7).
+
+The control system of the paper counts bank error signals over 10 000-cycle
+windows; the counter is reset at the end of every window and the voltage
+controller acts on the measured rate.  :class:`ErrorCounter` models exactly
+that, and additionally keeps the history of completed windows for analysis
+(instantaneous error rates of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Window length used by the paper's control system.
+DEFAULT_WINDOW_CYCLES = 10_000
+
+
+@dataclass(frozen=True)
+class WindowMeasurement:
+    """Error statistics of one completed measurement window."""
+
+    start_cycle: int
+    n_cycles: int
+    n_errors: int
+
+    @property
+    def error_rate(self) -> float:
+        """Errors per cycle in this window."""
+        if self.n_cycles == 0:
+            return 0.0
+        return self.n_errors / self.n_cycles
+
+
+class ErrorCounter:
+    """Accumulates bank error signals and reports per-window error rates.
+
+    The counter accepts *batched* updates (``record(n_cycles, n_errors)``) so
+    the vectorised simulator can feed it block results; it also accepts
+    single-cycle updates for the behavioural flip-flop bank path.
+    """
+
+    def __init__(self, window_cycles: int = DEFAULT_WINDOW_CYCLES) -> None:
+        if window_cycles <= 0:
+            raise ValueError(f"window_cycles must be positive, got {window_cycles}")
+        self.window_cycles = window_cycles
+        self._cycle_in_window = 0
+        self._errors_in_window = 0
+        self._total_cycles = 0
+        self._total_errors = 0
+        self._completed: List[WindowMeasurement] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, n_cycles: int, n_errors: int) -> List[WindowMeasurement]:
+        """Record a block of cycles containing ``n_errors`` bank errors.
+
+        The block must not straddle a window boundary (the caller aligns its
+        blocks to windows); completed windows are returned so the caller can
+        drive the voltage controller.
+        """
+        if n_cycles < 0 or n_errors < 0:
+            raise ValueError("cycle and error counts must be non-negative")
+        if n_errors > n_cycles:
+            raise ValueError(f"cannot have {n_errors} errors in {n_cycles} cycles")
+        if self._cycle_in_window + n_cycles > self.window_cycles:
+            raise ValueError(
+                "a recorded block must not straddle a window boundary "
+                f"({self._cycle_in_window} + {n_cycles} > {self.window_cycles})"
+            )
+        self._cycle_in_window += n_cycles
+        self._errors_in_window += n_errors
+        self._total_cycles += n_cycles
+        self._total_errors += n_errors
+
+        completed: List[WindowMeasurement] = []
+        if self._cycle_in_window == self.window_cycles:
+            completed.append(self._close_window())
+        return completed
+
+    def record_cycle(self, error: bool) -> List[WindowMeasurement]:
+        """Record a single cycle (behavioural flip-flop bank path)."""
+        return self.record(1, 1 if error else 0)
+
+    def flush(self) -> List[WindowMeasurement]:
+        """Close a partially filled window at the end of a run (if any)."""
+        if self._cycle_in_window == 0:
+            return []
+        return [self._close_window()]
+
+    def _close_window(self) -> WindowMeasurement:
+        start = self._total_cycles - self._cycle_in_window
+        measurement = WindowMeasurement(
+            start_cycle=start,
+            n_cycles=self._cycle_in_window,
+            n_errors=self._errors_in_window,
+        )
+        self._completed.append(measurement)
+        self._cycle_in_window = 0
+        self._errors_in_window = 0
+        return measurement
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def completed_windows(self) -> List[WindowMeasurement]:
+        """All completed measurement windows, in order."""
+        return list(self._completed)
+
+    @property
+    def total_cycles(self) -> int:
+        """Total cycles recorded (including the current partial window)."""
+        return self._total_cycles
+
+    @property
+    def total_errors(self) -> int:
+        """Total errors recorded (including the current partial window)."""
+        return self._total_errors
+
+    @property
+    def average_error_rate(self) -> float:
+        """Error rate over everything recorded so far."""
+        if self._total_cycles == 0:
+            return 0.0
+        return self._total_errors / self._total_cycles

@@ -1,0 +1,135 @@
+"""The short-path (hold) constraint that caps the shadow-latch clock delay.
+
+Section 2 of the paper: "This hold constraint limits the amount of clock
+delay that can be accommodated on the shadow latch and hence the degree of
+voltage scaling below the point of first failure ... In our analysis, it was
+found that the shadow latch clock could be delayed by as much as 33% of the
+clock cycle without violating the short-path constraint."
+
+The constraint is a race between consecutive transfers: the shadow latch of
+cycle *n* stays transparent until the delayed clock edge, so the *fastest*
+possible arrival of cycle *n+1*'s data must not reach the latch before that
+edge (plus the latch hold time).  On a bus the fastest arrival is simply the
+quiet-pattern (no coupling) delay at the fastest credible operating point --
+unlike random logic there are no near-zero-delay paths, which is exactly why
+the paper calls bus structures "highly suitable" for this style of error
+correction.
+
+This module computes that limit for a characterised bus design so the
+paper's 33 % figure is a *derived* quantity here rather than a copied one,
+and so the Section 6 caveat (a faster typical path forces a smaller shadow
+delay) can be checked quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bus.bus_design import BusDesign
+from repro.circuit.pvt import BEST_CASE_CORNER, PVTCorner
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class HoldAnalysis:
+    """Result of the short-path analysis for one bus design.
+
+    Attributes
+    ----------
+    fastest_corner:
+        The corner at which the fastest (quiet-pattern) delay occurs.
+    fastest_delay:
+        That quiet-pattern delay at the nominal supply (seconds) -- the
+        earliest any next-cycle data can reach the receiver.
+    hold_time:
+        Shadow-latch hold requirement assumed by the analysis (seconds).
+    max_shadow_delay_fraction:
+        Largest shadow-clock delay (as a fraction of the cycle) that does not
+        violate the hold constraint.
+    configured_fraction:
+        The design's actual shadow-delay fraction, for comparison.
+    """
+
+    fastest_corner: PVTCorner
+    fastest_delay: float
+    hold_time: float
+    max_shadow_delay_fraction: float
+    configured_fraction: float
+
+    @property
+    def is_satisfied(self) -> bool:
+        """Whether the configured shadow delay respects the hold constraint."""
+        return self.configured_fraction <= self.max_shadow_delay_fraction + 1e-12
+
+    @property
+    def margin_fraction(self) -> float:
+        """Head-room between the configured delay and the limit (cycle fraction)."""
+        return self.max_shadow_delay_fraction - self.configured_fraction
+
+
+def fastest_bus_delay(
+    design: BusDesign,
+    corners: Optional[Sequence[PVTCorner]] = None,
+    vdd: Optional[float] = None,
+) -> tuple:
+    """The quiet-pattern bus delay at the fastest of the given corners.
+
+    Returns ``(delay_seconds, corner)``.  The fastest credible condition for
+    a hold race is the best process/temperature corner with no IR drop at the
+    full nominal supply (hold races get worse, not better, when the victim
+    cycle runs fast).
+    """
+    if corners is None:
+        corners = (BEST_CASE_CORNER,)
+    if not corners:
+        raise ValueError("need at least one corner to analyse")
+    if vdd is None:
+        vdd = design.nominal_vdd
+    check_positive("vdd", vdd)
+
+    driver_model = design.driver_model()
+    segment = design.segment_parasitics
+    best_delay = None
+    best_corner = None
+    for corner in corners:
+        coefficients = design.repeaters.delay_coefficients(vdd, corner, segment, driver_model)
+        quiet_delay = coefficients.delay(0.0)
+        if best_delay is None or quiet_delay < best_delay:
+            best_delay = quiet_delay
+            best_corner = corner
+    return float(best_delay), best_corner
+
+
+def analyze_hold_constraint(
+    design: BusDesign,
+    corners: Optional[Sequence[PVTCorner]] = None,
+    hold_time: float = 0.0,
+    vdd: Optional[float] = None,
+) -> HoldAnalysis:
+    """Largest admissible shadow-clock delay for a bus design.
+
+    The shadow latch of cycle *n* closes at ``main_deadline + f * T`` (with
+    ``f`` the shadow-delay fraction and ``T`` the cycle time); the earliest
+    next-cycle data arrives at ``T + fastest_delay``.  Requiring the arrival
+    to come after the latch closes plus the hold time gives::
+
+        f <= (T + fastest_delay - hold - main_deadline) / T
+
+    which, with the paper's 10 % setup slack (``main_deadline = 0.9 T``), is
+    ``fastest_delay / T + 0.10 - hold / T``.
+    """
+    if hold_time < 0.0:
+        raise ValueError(f"hold_time must be >= 0, got {hold_time}")
+    clocking = design.clocking
+    fastest, corner = fastest_bus_delay(design, corners, vdd)
+    cycle = clocking.cycle_time
+    limit = (cycle + fastest - hold_time - clocking.main_deadline) / cycle
+    limit = max(0.0, min(limit, 1.0))
+    return HoldAnalysis(
+        fastest_corner=corner,
+        fastest_delay=fastest,
+        hold_time=hold_time,
+        max_shadow_delay_fraction=limit,
+        configured_fraction=clocking.shadow_delay_fraction,
+    )

@@ -1,0 +1,173 @@
+"""Oracle (future-knowledge) per-window voltage selection.
+
+Section 5 of the paper first examines "the optimal supply voltage selection
+(with the knowledge of future program switching behavior) over time while
+maintaining a fixed error rate" (Fig. 6).  This module implements that
+oracle: for every measurement window it picks the lowest grid voltage whose
+error rate within the window does not exceed the target, ignoring regulator
+ramp delays and feedback lag.
+
+The oracle is useful both to reproduce Fig. 6 (the distribution of time spent
+at each voltage per program) and as an upper bound on what the closed-loop
+controller can achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.bus.bus_model import CharacterizedBus, TraceStatistics
+from repro.core.error_detection import DEFAULT_WINDOW_CYCLES
+from repro.energy.accounting import EnergyBreakdown
+from repro.energy.gains import breakdown_gain_percent
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class OracleSchedule:
+    """Per-window oracle voltage schedule and its realised statistics.
+
+    Attributes
+    ----------
+    window_cycles:
+        Length of each scheduling window.
+    window_voltages:
+        Chosen supply voltage of every window.
+    window_error_rates:
+        Realised error rate of every window at its chosen voltage.
+    target_error_rate:
+        The error budget the oracle enforced per window.
+    energy / reference_energy:
+        Energy of the schedule and of the nominal-supply reference.
+    """
+
+    window_cycles: int
+    window_voltages: np.ndarray
+    window_error_rates: np.ndarray
+    target_error_rate: float
+    energy: EnergyBreakdown
+    reference_energy: EnergyBreakdown
+
+    @property
+    def n_windows(self) -> int:
+        """Number of scheduled windows."""
+        return len(self.window_voltages)
+
+    @property
+    def average_error_rate(self) -> float:
+        """Cycle-weighted average error rate over the schedule."""
+        if self.n_windows == 0:
+            return 0.0
+        return float(np.mean(self.window_error_rates))
+
+    @property
+    def energy_gain_percent(self) -> float:
+        """Energy gain of the schedule versus the nominal supply, in percent."""
+        return breakdown_gain_percent(self.reference_energy, self.energy)
+
+    def voltage_residency(self) -> Dict[float, float]:
+        """Fraction of execution time spent at each supply voltage (Fig. 6)."""
+        voltages, counts = np.unique(np.round(self.window_voltages, 6), return_counts=True)
+        total = counts.sum()
+        return {float(v): float(c) / total for v, c in zip(voltages, counts)}
+
+
+def min_error_free_voltage_per_cycle(
+    bus: CharacterizedBus, stats: TraceStatistics
+) -> np.ndarray:
+    """Lowest grid voltage at which each cycle individually would be error-free.
+
+    For every grid voltage the table gives the largest coupling factor that
+    still meets the main deadline; because that threshold is monotonically
+    non-decreasing in the supply, a single ``searchsorted`` per trace maps
+    every cycle's worst coupling factor to its minimum safe voltage.
+    """
+    grid = bus.grid
+    deadline = bus.design.clocking.main_deadline
+    thresholds = np.array(
+        [bus.table.failing_coupling_factor(v, deadline) for v in grid.voltages]
+    )
+    # A cycle with worst coupling factor c is safe at voltage index i iff
+    # c <= thresholds[i]; find the first such index for every cycle.
+    indices = np.searchsorted(thresholds, stats.worst_coupling, side="left")
+    indices = np.clip(indices, 0, len(grid) - 1)
+    return grid.voltages[indices]
+
+
+def oracle_voltage_schedule(
+    bus: CharacterizedBus,
+    stats: TraceStatistics,
+    target_error_rate: float,
+    window_cycles: int = DEFAULT_WINDOW_CYCLES,
+    v_floor: Optional[float] = None,
+) -> OracleSchedule:
+    """Choose the optimal per-window voltages for a target error rate.
+
+    Parameters
+    ----------
+    bus:
+        Characterised bus at the corner of interest.
+    stats:
+        Pre-computed trace statistics of the workload.
+    target_error_rate:
+        Maximum tolerated fraction of error cycles per window (0 gives the
+        zero-error schedule).
+    window_cycles:
+        Window granularity of the schedule (the paper uses 10 000 cycles).
+    v_floor:
+        Minimum allowed voltage; defaults to the regulator safety floor for
+        the bus's process corner (shadow-latch setup under assumed worst-case
+        temperature and IR drop).
+    """
+    check_fraction("target_error_rate", target_error_rate)
+    if window_cycles <= 0:
+        raise ValueError(f"window_cycles must be positive, got {window_cycles}")
+    if v_floor is None:
+        from repro.circuit.pvt import PVTCorner  # local import to avoid cycle at module load
+
+        assumed = PVTCorner(bus.corner.process, 100.0, 0.10)
+        v_floor = bus.minimum_safe_voltage(assumed)
+    v_floor = bus.grid.snap(max(v_floor, bus.grid.v_min))
+
+    per_cycle_voltage = min_error_free_voltage_per_cycle(bus, stats)
+    n_cycles = stats.n_cycles
+    n_windows = int(np.ceil(n_cycles / window_cycles))
+
+    window_voltages = np.empty(n_windows)
+    window_error_rates = np.empty(n_windows)
+    voltage_per_cycle = np.empty(n_cycles)
+
+    for window in range(n_windows):
+        start = window * window_cycles
+        stop = min(start + window_cycles, n_cycles)
+        requirement = per_cycle_voltage[start:stop]
+        budget = int(np.floor(target_error_rate * (stop - start)))
+        if budget <= 0:
+            chosen = requirement.max() if len(requirement) else bus.grid.v_max
+        else:
+            # Tolerate the `budget` most demanding cycles: the voltage only has
+            # to satisfy the (n - budget)-th largest requirement.
+            chosen = np.partition(requirement, len(requirement) - budget - 1)[
+                len(requirement) - budget - 1
+            ]
+        chosen = max(float(chosen), v_floor)
+        chosen = bus.grid.snap(chosen)
+        window_voltages[window] = chosen
+        voltage_per_cycle[start:stop] = chosen
+        window_stats = stats.slice(start, stop)
+        window_error_rates[window] = bus.error_rate(window_stats, chosen)
+
+    total_errors = int(np.count_nonzero(bus.error_mask(stats, voltage_per_cycle)))
+    energy = bus.energy_breakdown(stats, voltage_per_cycle, n_errors=total_errors)
+    reference = bus.nominal_energy(stats)
+    return OracleSchedule(
+        window_cycles=window_cycles,
+        window_voltages=window_voltages,
+        window_error_rates=window_error_rates,
+        target_error_rate=target_error_rate,
+        energy=energy,
+        reference_energy=reference,
+    )

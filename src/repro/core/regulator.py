@@ -1,0 +1,155 @@
+"""Behavioural voltage-regulator model.
+
+The paper's control system changes the bus supply in 20 mV steps, but a real
+regulator ramps slowly (about 1 us per 10 mV), so a decided change only takes
+effect 2 us -- 3 000 cycles at 1.5 GHz -- after the decision.  The regulator is
+also responsible for the *safety floor*: it never goes below the conservative
+minimum voltage at which the worst-case switching pattern still meets the
+shadow-latch deadline (assuming worst-case temperature and IR drop for the
+known process corner), so error recovery always succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.circuit.lookup_table import VoltageGrid
+from repro.utils.validation import check_positive
+
+#: Regulator slew rate assumed by the paper (seconds per volt): 1 us / 10 mV.
+PAPER_SLEW_SECONDS_PER_VOLT = 1e-6 / 0.010
+
+
+@dataclass(frozen=True)
+class VoltageEvent:
+    """A supply-voltage change applied at a specific cycle."""
+
+    cycle: int
+    voltage: float
+
+
+@dataclass
+class VoltageRegulator:
+    """Step-wise voltage regulator with a ramp (application) delay.
+
+    Parameters
+    ----------
+    grid:
+        The voltage grid the regulator can sit on (20 mV steps).
+    v_min:
+        Safety floor: the lowest voltage the regulator will ever apply.
+    v_max:
+        Ceiling, normally the nominal supply.
+    initial_voltage:
+        Voltage at cycle 0 (the paper's Fig. 8 run starts from nominal).
+    ramp_delay_cycles:
+        Cycles between a change decision and the new voltage taking effect
+        (3 000 cycles for a 20 mV step at 1.5 GHz with the paper's regulator).
+    """
+
+    grid: VoltageGrid
+    v_min: float
+    v_max: float
+    initial_voltage: float
+    ramp_delay_cycles: int = 3000
+    _events: List[VoltageEvent] = field(default_factory=list, repr=False)
+    _pending: Optional[VoltageEvent] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("ramp_delay_cycles", self.ramp_delay_cycles, strict=False)
+        if self.v_min > self.v_max:
+            raise ValueError(f"v_min ({self.v_min}) must be <= v_max ({self.v_max})")
+        self.v_min = self.grid.snap(self.v_min)
+        self.v_max = self.grid.snap(self.v_max)
+        initial = min(max(self.initial_voltage, self.v_min), self.v_max)
+        initial = self.grid.snap(initial)
+        self.initial_voltage = initial
+        self._events = [VoltageEvent(cycle=0, voltage=initial)]
+        self._pending = None
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def current_voltage(self) -> float:
+        """Voltage after the most recently applied event."""
+        return self._events[-1].voltage
+
+    @property
+    def pending_change(self) -> Optional[VoltageEvent]:
+        """The scheduled-but-not-yet-applied change, if any."""
+        return self._pending
+
+    @property
+    def events(self) -> List[VoltageEvent]:
+        """All applied voltage events (cycle, voltage), in order."""
+        return list(self._events)
+
+    # ------------------------------------------------------------------ #
+    # Operation
+    # ------------------------------------------------------------------ #
+    def request_change(self, delta: float, decision_cycle: int) -> Optional[VoltageEvent]:
+        """Request a voltage change of ``delta`` volts at ``decision_cycle``.
+
+        The change is clamped to the regulator's floor/ceiling, snapped to the
+        grid and scheduled ``ramp_delay_cycles`` later.  Requests for a zero
+        effective change return ``None``.  A request while another change is
+        still pending is rejected with ``RuntimeError`` -- the paper's
+        controller cannot issue one because its decision interval (10 000
+        cycles) exceeds the ramp delay.
+        """
+        if self._pending is not None:
+            raise RuntimeError("a voltage change is already pending")
+        if decision_cycle < self._events[-1].cycle:
+            raise ValueError("decision_cycle must not precede the last applied event")
+        target = self.current_voltage + delta
+        target = min(max(target, self.v_min), self.v_max)
+        target = self.grid.snap(target)
+        if abs(target - self.current_voltage) < 1e-12:
+            return None
+        event = VoltageEvent(cycle=decision_cycle + self.ramp_delay_cycles, voltage=target)
+        self._pending = event
+        return event
+
+    def apply_until(self, cycle: int) -> List[VoltageEvent]:
+        """Apply any pending change whose application cycle is <= ``cycle``."""
+        applied: List[VoltageEvent] = []
+        if self._pending is not None and self._pending.cycle <= cycle:
+            self._events.append(self._pending)
+            applied.append(self._pending)
+            self._pending = None
+        return applied
+
+    def voltage_breakpoints(self, n_cycles: int) -> List[Tuple[int, int, float]]:
+        """Piecewise-constant voltage segments covering ``[0, n_cycles)``.
+
+        Returns a list of ``(start_cycle, end_cycle, voltage)`` tuples that a
+        vectorised energy computation can consume directly.
+        """
+        segments: List[Tuple[int, int, float]] = []
+        events = self._events
+        for index, event in enumerate(events):
+            start = event.cycle
+            end = events[index + 1].cycle if index + 1 < len(events) else n_cycles
+            start = max(start, 0)
+            end = min(end, n_cycles)
+            if start < end:
+                segments.append((start, end, event.voltage))
+        return segments
+
+
+def ramp_delay_cycles_for_step(
+    step_voltage: float,
+    clock_frequency: float,
+    slew_seconds_per_volt: float = PAPER_SLEW_SECONDS_PER_VOLT,
+) -> int:
+    """Cycles needed to ramp one voltage step at a given regulator slew rate.
+
+    For the paper's parameters (20 mV step, 1 us / 10 mV, 1.5 GHz) this is the
+    3 000-cycle delay quoted in Section 5.
+    """
+    check_positive("step_voltage", step_voltage)
+    check_positive("clock_frequency", clock_frequency)
+    check_positive("slew_seconds_per_volt", slew_seconds_per_volt)
+    return int(round(step_voltage * slew_seconds_per_volt * clock_frequency))

@@ -1,0 +1,53 @@
+"""A small functional CPU simulator: the SimpleScalar ``sim-safe`` analogue.
+
+The paper obtains its bus workloads by running ten SPEC2000 benchmarks under
+SimpleScalar's functional simulator and recording the data words on the
+memory read bus.  Neither SimpleScalar nor the SPEC binaries can ship with a
+Python reproduction, so this package provides the equivalent substrate at a
+scale a laptop handles comfortably:
+
+* :mod:`repro.cpu.isa` -- a small 32-bit load/store instruction set,
+* :mod:`repro.cpu.assembler` -- a two-pass assembler for readable kernels,
+* :mod:`repro.cpu.memory` -- word-addressed main memory and a direct-mapped
+  data cache,
+* :mod:`repro.cpu.simulator` -- the functional execution engine that records
+  the read-bus word stream,
+* :mod:`repro.cpu.kernels` -- built-in kernels (streaming sums, pointer
+  chases, matrix multiply, ...) whose data footprints span the same
+  quiet-integer to noisy-floating-point range as the paper's benchmarks,
+* :mod:`repro.cpu.tracing` -- adapters that turn kernel executions into
+  :class:`~repro.trace.trace.BusTrace` objects for the DVS experiments.
+
+The synthetic profile generator (:mod:`repro.trace`) remains the default
+workload source because it scales to arbitrary cycle counts; this package
+exists so every step from *executed program* to *bus word* can also be
+exercised end to end.
+"""
+
+from repro.cpu.isa import Instruction, Opcode, Register
+from repro.cpu.assembler import AssemblyError, assemble, format_instruction, format_program
+from repro.cpu.memory import DirectMappedCache, MainMemory
+from repro.cpu.simulator import CPU, ExecutionResult, SimulationError
+from repro.cpu.kernels import KERNELS, Kernel, get_kernel
+from repro.cpu.tracing import KernelTraceResult, kernel_bus_trace, kernel_suite
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "Register",
+    "AssemblyError",
+    "assemble",
+    "format_instruction",
+    "format_program",
+    "DirectMappedCache",
+    "MainMemory",
+    "CPU",
+    "ExecutionResult",
+    "SimulationError",
+    "KERNELS",
+    "Kernel",
+    "get_kernel",
+    "KernelTraceResult",
+    "kernel_bus_trace",
+    "kernel_suite",
+]

@@ -1,0 +1,244 @@
+"""Two-pass assembler for the mini ISA.
+
+The kernels in :mod:`repro.cpu.kernels` are written as readable assembly
+text; this module turns that text into :class:`~repro.cpu.isa.Instruction`
+lists.  Syntax, by example::
+
+    # comments run to the end of the line
+    li    r1, 0            ; either comment character works
+    li    r2, 1000
+    loop:
+        lw    r3, 0(r1)     # load word at address r1 + 0
+        add   r4, r4, r3
+        addi  r1, r1, 1
+        blt   r1, r2, loop
+    sw    r4, 0(r2)
+    halt
+
+Labels are case-sensitive, immediates accept decimal, hexadecimal (``0x``)
+and negative values, and registers are written ``r0`` .. ``r15``.  All errors
+carry the offending line number.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.isa import (
+    BRANCH_OPS,
+    REG_IMM_OPS,
+    REG_REG_OPS,
+    Instruction,
+    Opcode,
+    Register,
+)
+
+#: Matches ``offset(rN)`` memory operands, e.g. ``-4(r2)`` or ``0x10(r7)``.
+_MEMORY_OPERAND = re.compile(r"^(?P<offset>[+-]?(?:0x[0-9a-fA-F]+|\d+))\((?P<base>r\d+)\)$")
+
+#: Matches a label definition at the start of a line.
+_LABEL_DEFINITION = re.compile(r"^(?P<label>[A-Za-z_][A-Za-z0-9_]*):(?P<rest>.*)$")
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction back into assembler syntax.
+
+    Branch and jump targets are rendered as absolute instruction indices
+    (which the assembler accepts), so ``assemble(format_program(p)) == p``
+    for any valid program -- the round trip the property tests rely on.
+    """
+    opcode = instruction.opcode
+    if opcode in REG_REG_OPS:
+        return f"{opcode.value} {instruction.rd}, {instruction.rs1}, {instruction.rs2}"
+    if opcode in REG_IMM_OPS:
+        return f"{opcode.value} {instruction.rd}, {instruction.rs1}, {instruction.imm}"
+    if opcode is Opcode.LI:
+        return f"li {instruction.rd}, {instruction.imm}"
+    if opcode is Opcode.LW:
+        return f"lw {instruction.rd}, {instruction.imm}({instruction.rs1})"
+    if opcode is Opcode.SW:
+        return f"sw {instruction.rs2}, {instruction.imm}({instruction.rs1})"
+    if opcode in BRANCH_OPS:
+        return f"{opcode.value} {instruction.rs1}, {instruction.rs2}, {instruction.target}"
+    if opcode is Opcode.JMP:
+        return f"jmp {instruction.target}"
+    return opcode.value  # nop / halt
+
+
+def format_program(program: "list[Instruction]") -> str:
+    """Render a whole program, one instruction per line."""
+    return "\n".join(format_instruction(instruction) for instruction in program)
+
+
+class AssemblyError(ValueError):
+    """Raised for any syntax or semantic error in an assembly program."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None) -> None:
+        prefix = f"line {line_number}: " if line_number is not None else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_register(token: str, line_number: int) -> Register:
+    token = token.strip().lower()
+    if not token.startswith("r"):
+        raise AssemblyError(f"expected a register, got {token!r}", line_number)
+    try:
+        return Register(int(token[1:]))
+    except ValueError as error:
+        raise AssemblyError(str(error), line_number) from error
+
+
+def _parse_immediate(token: str, line_number: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError as error:
+        raise AssemblyError(f"invalid immediate {token!r}", line_number) from error
+
+
+def _split_operands(operand_text: str) -> List[str]:
+    return [part.strip() for part in operand_text.split(",") if part.strip()]
+
+
+def _parse_memory_operand(token: str, line_number: int) -> Tuple[int, Register]:
+    match = _MEMORY_OPERAND.match(token.strip())
+    if not match:
+        raise AssemblyError(
+            f"expected a memory operand like '4(r2)', got {token!r}", line_number
+        )
+    offset = int(match.group("offset"), 0)
+    base = _parse_register(match.group("base"), line_number)
+    return offset, base
+
+
+def _collect_lines(source: str) -> List[Tuple[int, str]]:
+    """Non-empty source lines with their 1-based line numbers, labels split off."""
+    collected: List[Tuple[int, str]] = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        stripped = _strip_comment(raw)
+        if stripped:
+            collected.append((line_number, stripped))
+    return collected
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble a program text into an instruction list.
+
+    The first pass records label addresses (instruction indices), the second
+    pass emits instructions with branch/jump targets resolved.
+    """
+    lines = _collect_lines(source)
+
+    # Pass 1: label addresses.
+    labels: Dict[str, int] = {}
+    statements: List[Tuple[int, str]] = []  # (line_number, statement text)
+    for line_number, text in lines:
+        while True:
+            match = _LABEL_DEFINITION.match(text)
+            if not match:
+                break
+            label = match.group("label")
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_number)
+            labels[label] = len(statements)
+            text = match.group("rest").strip()
+            if not text:
+                break
+        if text:
+            statements.append((line_number, text))
+
+    # Pass 2: encode.
+    instructions: List[Instruction] = []
+    for line_number, text in statements:
+        instructions.append(_assemble_statement(text, line_number, labels))
+    return instructions
+
+
+def _resolve_target(token: str, labels: Dict[str, int], line_number: int) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError as error:
+        raise AssemblyError(f"unknown label {token!r}", line_number) from error
+
+
+def _assemble_statement(
+    text: str, line_number: int, labels: Dict[str, int]
+) -> Instruction:
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    try:
+        opcode = Opcode(mnemonic)
+    except ValueError as error:
+        raise AssemblyError(f"unknown instruction {mnemonic!r}", line_number) from error
+    operands = _split_operands(operand_text)
+
+    def expect(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"{mnemonic} expects {count} operand(s), got {len(operands)}", line_number
+            )
+
+    if opcode in REG_REG_OPS:
+        expect(3)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line_number),
+            rs1=_parse_register(operands[1], line_number),
+            rs2=_parse_register(operands[2], line_number),
+        )
+    if opcode in REG_IMM_OPS:
+        expect(3)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line_number),
+            rs1=_parse_register(operands[1], line_number),
+            imm=_parse_immediate(operands[2], line_number),
+        )
+    if opcode is Opcode.LI:
+        expect(2)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line_number),
+            imm=_parse_immediate(operands[1], line_number),
+        )
+    if opcode is Opcode.LW:
+        expect(2)
+        offset, base = _parse_memory_operand(operands[1], line_number)
+        return Instruction(
+            opcode, rd=_parse_register(operands[0], line_number), rs1=base, imm=offset
+        )
+    if opcode is Opcode.SW:
+        expect(2)
+        offset, base = _parse_memory_operand(operands[1], line_number)
+        return Instruction(
+            opcode, rs2=_parse_register(operands[0], line_number), rs1=base, imm=offset
+        )
+    if opcode in BRANCH_OPS:
+        expect(3)
+        return Instruction(
+            opcode,
+            rs1=_parse_register(operands[0], line_number),
+            rs2=_parse_register(operands[1], line_number),
+            target=_resolve_target(operands[2], labels, line_number),
+        )
+    if opcode is Opcode.JMP:
+        expect(1)
+        return Instruction(opcode, target=_resolve_target(operands[0], labels, line_number))
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        expect(0)
+        return Instruction(opcode)
+    raise AssemblyError(f"unhandled opcode {mnemonic!r}", line_number)  # pragma: no cover

@@ -1,0 +1,176 @@
+"""Instruction set of the mini CPU.
+
+A deliberately small 32-bit load/store ISA: sixteen general-purpose registers
+(``r0`` hardwired to zero, in the RISC tradition), word-addressed memory,
+register/immediate ALU operations, loads, stores, conditional branches and an
+unconditional jump.  It is rich enough to express the kernels in
+:mod:`repro.cpu.kernels` naturally and small enough that the simulator's
+semantics fit on one screen.
+
+Instructions are kept as dataclasses rather than encoded bit patterns: the
+simulator is functional (like ``sim-safe``), so a binary encoding would add
+nothing but decode bugs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Number of general-purpose registers (r0 is hardwired to zero).
+N_REGISTERS = 16
+
+#: Word size of the machine and of the memory read bus, in bits.
+WORD_BITS = 32
+
+#: Modulus of all arithmetic (words wrap at 32 bits).
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class Register(int):
+    """A register index in ``0 .. N_REGISTERS - 1``.
+
+    A thin ``int`` subclass so instructions print as ``r3`` instead of ``3``
+    while staying directly usable as an array index.
+    """
+
+    def __new__(cls, index: int) -> "Register":
+        if not 0 <= int(index) < N_REGISTERS:
+            raise ValueError(f"register index must be in 0..{N_REGISTERS - 1}, got {index}")
+        return super().__new__(cls, int(index))
+
+    def __repr__(self) -> str:
+        return f"r{int(self)}"
+
+    __str__ = __repr__
+
+
+class Opcode(enum.Enum):
+    """Operations of the mini ISA, grouped by operand shape."""
+
+    # Register-register ALU: op rd, rs1, rs2
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLT = "slt"  # signed set-less-than
+
+    # Register-immediate ALU: op rd, rs1, imm
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLLI = "slli"
+    SRLI = "srli"
+
+    # Immediate load: li rd, imm (full 32-bit immediate)
+    LI = "li"
+
+    # Memory: lw rd, imm(rs1) / sw rs2, imm(rs1)
+    LW = "lw"
+    SW = "sw"
+
+    # Control flow: b.. rs1, rs2, label / jmp label
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"  # signed
+    BGE = "bge"  # signed
+    JMP = "jmp"
+
+    # Miscellaneous
+    NOP = "nop"
+    HALT = "halt"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Opcodes taking two source registers and one destination register.
+REG_REG_OPS = frozenset(
+    {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLT}
+)
+
+#: Opcodes taking one source register, one immediate and one destination.
+REG_IMM_OPS = frozenset(
+    {Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLTI, Opcode.SLLI, Opcode.SRLI}
+)
+
+#: Conditional branches (two source registers and a target).
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Only the fields relevant to the opcode's operand shape are set; the
+    assembler guarantees consistency and the constructor re-checks the basics
+    so hand-built instructions fail early too.
+
+    Attributes
+    ----------
+    opcode:
+        The operation.
+    rd:
+        Destination register (ALU, ``li``, ``lw``).
+    rs1:
+        First source register (ALU, address base, branch operand).
+    rs2:
+        Second source register (register ALU, store data, branch operand).
+    imm:
+        Immediate operand (immediate ALU, ``li``, load/store offset).
+    target:
+        Absolute instruction index of a branch or jump target.
+    """
+
+    opcode: Opcode
+    rd: Optional[Register] = None
+    rs1: Optional[Register] = None
+    rs2: Optional[Register] = None
+    imm: int = 0
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode in REG_REG_OPS and (
+            self.rd is None or self.rs1 is None or self.rs2 is None
+        ):
+            raise ValueError(f"{self.opcode} needs rd, rs1 and rs2")
+        if self.opcode in REG_IMM_OPS and (self.rd is None or self.rs1 is None):
+            raise ValueError(f"{self.opcode} needs rd and rs1")
+        if self.opcode is Opcode.LI and self.rd is None:
+            raise ValueError("li needs rd")
+        if self.opcode is Opcode.LW and (self.rd is None or self.rs1 is None):
+            raise ValueError("lw needs rd and a base register")
+        if self.opcode is Opcode.SW and (self.rs2 is None or self.rs1 is None):
+            raise ValueError("sw needs a data register and a base register")
+        if self.opcode in BRANCH_OPS and (
+            self.rs1 is None or self.rs2 is None or self.target is None
+        ):
+            raise ValueError(f"{self.opcode} needs rs1, rs2 and a resolved target")
+        if self.opcode is Opcode.JMP and self.target is None:
+            raise ValueError("jmp needs a resolved target")
+
+    @property
+    def is_load(self) -> bool:
+        """Whether this instruction reads a data word from memory."""
+        return self.opcode is Opcode.LW
+
+    @property
+    def is_store(self) -> bool:
+        """Whether this instruction writes a data word to memory."""
+        return self.opcode is Opcode.SW
+
+
+def to_signed(word: int) -> int:
+    """Interpret a 32-bit word as a signed integer (two's complement)."""
+    word &= WORD_MASK
+    return word - (1 << WORD_BITS) if word >= (1 << (WORD_BITS - 1)) else word
+
+
+def to_word(value: int) -> int:
+    """Wrap an arbitrary Python integer to a 32-bit word."""
+    return value & WORD_MASK

@@ -1,0 +1,410 @@
+"""Built-in kernels executed by the mini CPU to produce bus workloads.
+
+Each kernel is a small assembly program plus a data-image builder.  Together
+they span the same qualitative range as the paper's SPEC2000 benchmarks:
+
+* quiet integer code with strong value locality (``fibonacci``,
+  ``stream_sum_int``, ``binary_search``),
+* pointer-chasing code with address-like bus words (``pointer_chase``,
+  ``memcopy``),
+* streaming floating-point-payload code whose bus words are high-entropy bit
+  patterns (``stream_sum_float``, ``matmul``).
+
+Every kernel carries a verifier so the test suite can confirm the simulator
+actually computes the right answer -- the bus trace of a miscomputed kernel
+would be worthless as evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.cpu.memory import MainMemory
+from repro.cpu.isa import to_word
+from repro.utils.rng import SeedLike, make_rng
+
+#: Memory-layout constants shared by the kernels.
+ARRAY_BASE = 0x1000
+SECOND_BASE = 0x4000
+THIRD_BASE = 0x7000
+RESULT_ADDRESS = 0xF000
+
+#: A verifier receives the post-run memory and returns True when the kernel
+#: produced the expected result.
+Verifier = Callable[[MainMemory], bool]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One runnable kernel: program text plus a data-image builder.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    description:
+        What the kernel does and what its bus words look like.
+    source:
+        Assembly text (see :mod:`repro.cpu.assembler` for the syntax).
+    build:
+        Callable ``build(rng) -> (memory, verifier)`` producing a fresh data
+        image and a correctness check for it.
+    data_flavor:
+        ``"integer"`` or ``"floating"`` -- the entropy class of the load data,
+        which is what determines how hard the kernel is on the DVS bus.
+    """
+
+    name: str
+    description: str
+    source: str
+    build: Callable[[np.random.Generator], Tuple[MainMemory, Verifier]]
+    data_flavor: str
+
+    def prepare(self, seed: SeedLike = None) -> Tuple[MainMemory, Verifier]:
+        """Build a fresh data image (and its verifier) for one execution."""
+        return self.build(make_rng(seed))
+
+
+def _integer_payload(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Small, locality-friendly integer words (quiet low-order-bit activity)."""
+    return rng.integers(0, 1_000, size=count, dtype=np.int64)
+
+
+def _float_payload(rng: np.random.Generator, count: int) -> np.ndarray:
+    """float32 bit patterns: quiet exponents, high-entropy mantissas."""
+    values = rng.uniform(0.5, 2.0, size=count).astype(np.float32)
+    return values.view(np.uint32).astype(np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# stream_sum
+# --------------------------------------------------------------------------- #
+def _stream_sum_source(n_words: int) -> str:
+    return f"""
+        li   r1, {ARRAY_BASE}
+        li   r2, {ARRAY_BASE + n_words}
+        li   r3, 0
+    loop:
+        lw   r4, 0(r1)
+        add  r3, r3, r4
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        li   r5, {RESULT_ADDRESS}
+        sw   r3, 0(r5)
+        halt
+    """
+
+
+def _make_stream_sum(n_words: int, flavor: str) -> Kernel:
+    payload = _integer_payload if flavor == "integer" else _float_payload
+
+    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+        data = payload(rng, n_words)
+        memory = MainMemory()
+        memory.store_block(ARRAY_BASE, data.tolist())
+        expected = to_word(int(data.sum()))
+
+        def verify(final: MainMemory) -> bool:
+            return final.load(RESULT_ADDRESS) == expected
+
+        return memory, verify
+
+    return Kernel(
+        name=f"stream_sum_{'int' if flavor == 'integer' else 'float'}",
+        description=f"sum a {n_words}-word array of {flavor} payloads (streaming loads)",
+        source=_stream_sum_source(n_words),
+        build=build,
+        data_flavor=flavor,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# memcopy
+# --------------------------------------------------------------------------- #
+def _make_memcopy(n_words: int) -> Kernel:
+    source = f"""
+        li   r1, {ARRAY_BASE}
+        li   r2, {SECOND_BASE}
+        li   r3, {ARRAY_BASE + n_words}
+    loop:
+        lw   r4, 0(r1)
+        sw   r4, 0(r2)
+        addi r1, r1, 1
+        addi r2, r2, 1
+        blt  r1, r3, loop
+        halt
+    """
+
+    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+        data = rng.integers(0, 1 << 32, size=n_words, dtype=np.int64)
+        memory = MainMemory()
+        memory.store_block(ARRAY_BASE, data.tolist())
+        expected = [to_word(int(value)) for value in data]
+
+        def verify(final: MainMemory) -> bool:
+            return final.load_block(SECOND_BASE, n_words) == expected
+
+        return memory, verify
+
+    return Kernel(
+        name="memcopy",
+        description=f"copy a {n_words}-word array (alternating load/store, mixed-entropy words)",
+        source=source,
+        build=build,
+        data_flavor="integer",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# pointer_chase
+# --------------------------------------------------------------------------- #
+def _make_pointer_chase(n_nodes: int, n_steps: int) -> Kernel:
+    source = f"""
+        li   r1, {ARRAY_BASE}
+        li   r2, {n_steps}
+        li   r3, 0
+        li   r4, 0
+    loop:
+        lw   r5, 1(r1)
+        xor  r4, r4, r5
+        lw   r1, 0(r1)
+        addi r3, r3, 1
+        blt  r3, r2, loop
+        li   r6, {RESULT_ADDRESS}
+        sw   r4, 0(r6)
+        halt
+    """
+
+    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+        # Nodes are two words each: [next_pointer, payload]; the next pointers
+        # form one random cycle over all nodes so the chase never terminates
+        # early.
+        order = rng.permutation(n_nodes)
+        payloads = _integer_payload(rng, n_nodes) * 17 + 3
+        node_address = [ARRAY_BASE + 2 * int(index) for index in range(n_nodes)]
+        memory = MainMemory()
+        for position in range(n_nodes):
+            node = int(order[position])
+            successor = int(order[(position + 1) % n_nodes])
+            memory.store(node_address[node], node_address[successor])
+            memory.store(node_address[node] + 1, int(payloads[node]))
+
+        accumulator = 0
+        current = node_address[int(order[0])]
+        for _ in range(n_steps):
+            accumulator ^= memory.load(current + 1)
+            current = memory.load(current)
+        expected = to_word(accumulator)
+
+        def verify(final: MainMemory) -> bool:
+            return final.load(RESULT_ADDRESS) == expected
+
+        return memory, verify
+
+    return Kernel(
+        name="pointer_chase",
+        description=f"chase a {n_nodes}-node linked list for {n_steps} steps (address-like words)",
+        source=source,
+        build=build,
+        data_flavor="integer",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# matmul
+# --------------------------------------------------------------------------- #
+def _make_matmul(k: int) -> Kernel:
+    source = f"""
+        li   r1, 0
+    outer_i:
+        li   r2, 0
+    outer_j:
+        li   r3, 0
+        li   r4, 0
+    inner:
+        li   r5, {k}
+        mul  r6, r1, r5
+        add  r6, r6, r3
+        li   r7, {ARRAY_BASE}
+        add  r6, r6, r7
+        lw   r8, 0(r6)
+        mul  r9, r3, r5
+        add  r9, r9, r2
+        li   r10, {SECOND_BASE}
+        add  r9, r9, r10
+        lw   r11, 0(r9)
+        mul  r12, r8, r11
+        add  r4, r4, r12
+        addi r3, r3, 1
+        blt  r3, r5, inner
+        mul  r6, r1, r5
+        add  r6, r6, r2
+        li   r7, {THIRD_BASE}
+        add  r6, r6, r7
+        sw   r4, 0(r6)
+        addi r2, r2, 1
+        blt  r2, r5, outer_j
+        addi r1, r1, 1
+        blt  r1, r5, outer_i
+        halt
+    """
+
+    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+        a = _float_payload(rng, k * k).reshape(k, k)
+        b = _float_payload(rng, k * k).reshape(k, k)
+        memory = MainMemory()
+        memory.store_block(ARRAY_BASE, a.flatten().tolist())
+        memory.store_block(SECOND_BASE, b.flatten().tolist())
+        # The simulator wraps every operation to 32 bits; computing the
+        # reference with Python integers and wrapping once per element is
+        # congruent modulo 2**32.
+        expected = [
+            to_word(sum(int(a[i, m]) * int(b[m, j]) for m in range(k)))
+            for i in range(k)
+            for j in range(k)
+        ]
+
+        def verify(final: MainMemory) -> bool:
+            return final.load_block(THIRD_BASE, k * k) == expected
+
+        return memory, verify
+
+    return Kernel(
+        name="matmul",
+        description=f"{k}x{k} dense matrix multiply on float32 bit patterns",
+        source=source,
+        build=build,
+        data_flavor="floating",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# fibonacci
+# --------------------------------------------------------------------------- #
+def _make_fibonacci(n_terms: int) -> Kernel:
+    source = f"""
+        li   r1, {ARRAY_BASE}
+        li   r2, 0
+        li   r3, 1
+        sw   r2, 0(r1)
+        sw   r3, 1(r1)
+        addi r1, r1, 2
+        li   r4, {ARRAY_BASE + n_terms}
+    fill:
+        lw   r5, -2(r1)
+        lw   r6, -1(r1)
+        add  r7, r5, r6
+        sw   r7, 0(r1)
+        addi r1, r1, 1
+        blt  r1, r4, fill
+        halt
+    """
+
+    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+        del rng  # the Fibonacci kernel has no random data
+        memory = MainMemory()
+        expected = [0, 1]
+        while len(expected) < n_terms:
+            expected.append(to_word(expected[-1] + expected[-2]))
+
+        def verify(final: MainMemory) -> bool:
+            return final.load_block(ARRAY_BASE, n_terms) == expected
+
+        return memory, verify
+
+    return Kernel(
+        name="fibonacci",
+        description=f"fill and re-read a {n_terms}-term Fibonacci table (quiet integer words)",
+        source=source,
+        build=build,
+        data_flavor="integer",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# binary_search
+# --------------------------------------------------------------------------- #
+def _make_binary_search(n_words: int, n_queries: int) -> Kernel:
+    source = f"""
+        li   r9, 0
+        li   r10, {n_queries}
+        li   r11, 0
+    queries:
+        li   r1, {SECOND_BASE}
+        add  r1, r1, r9
+        lw   r2, 0(r1)
+        li   r3, 0
+        li   r4, {n_words}
+    search:
+        bge  r3, r4, not_found
+        add  r5, r3, r4
+        srli r5, r5, 1
+        li   r6, {ARRAY_BASE}
+        add  r6, r6, r5
+        lw   r7, 0(r6)
+        beq  r7, r2, found
+        blt  r7, r2, go_right
+        add  r4, r5, r0
+        jmp  search
+    go_right:
+        addi r3, r5, 1
+        jmp  search
+    found:
+        addi r11, r11, 1
+    not_found:
+        addi r9, r9, 1
+        blt  r9, r10, queries
+        li   r12, {RESULT_ADDRESS}
+        sw   r11, 0(r12)
+        halt
+    """
+
+    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+        table = np.sort(rng.choice(np.arange(0, 4 * n_words), size=n_words, replace=False))
+        keys = rng.integers(0, 4 * n_words, size=n_queries, dtype=np.int64)
+        memory = MainMemory()
+        memory.store_block(ARRAY_BASE, table.tolist())
+        memory.store_block(SECOND_BASE, keys.tolist())
+        expected = int(np.isin(keys, table).sum())
+
+        def verify(final: MainMemory) -> bool:
+            return final.load(RESULT_ADDRESS) == expected
+
+        return memory, verify
+
+    return Kernel(
+        name="binary_search",
+        description=(
+            f"{n_queries} binary searches over a {n_words}-entry sorted table "
+            "(branchy, index-like words)"
+        ),
+        source=source,
+        build=build,
+        data_flavor="integer",
+    )
+
+
+#: All built-in kernels, keyed by name.
+KERNELS: Dict[str, Kernel] = {
+    kernel.name: kernel
+    for kernel in (
+        _make_stream_sum(256, "integer"),
+        _make_stream_sum(256, "floating"),
+        _make_memcopy(192),
+        _make_pointer_chase(128, 512),
+        _make_matmul(8),
+        _make_fibonacci(40),
+        _make_binary_search(128, 64),
+    )
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by name (raises ``KeyError`` with the known names)."""
+    if name not in KERNELS:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown kernel {name!r}; known kernels: {known}")
+    return KERNELS[name]

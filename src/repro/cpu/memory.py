@@ -1,0 +1,134 @@
+"""Word-addressed main memory and a direct-mapped data cache.
+
+The paper's bus is the *memory read bus*: the wires that carry load data from
+the memory hierarchy into the execution core's memory unit.  Two bus-traffic
+conventions are supported by the simulator and both need this module:
+
+* ``"all_loads"`` (the ``sim-safe`` convention the paper uses): every executed
+  load's data word crosses the bus, and
+* ``"misses_only"``: only loads that miss in the L1 data cache cross the bus,
+  which is the right convention when the modelled bus sits between the cache
+  and a lower level of the hierarchy.
+
+The cache is a classic direct-mapped, write-through, no-write-allocate design
+-- the simplest organisation that still produces realistic hit/miss streams
+for the kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.cpu.isa import WORD_MASK, to_word
+from repro.utils.validation import check_positive
+
+
+class MainMemory:
+    """Flat word-addressed memory backed by a sparse dictionary.
+
+    Uninitialised words read as zero, which keeps kernel data images small
+    (only the arrays they touch need to be populated).
+    """
+
+    def __init__(self, image: Mapping[int, int] | None = None) -> None:
+        self._words: Dict[int, int] = {}
+        if image:
+            for address, value in image.items():
+                self.store(address, value)
+
+    def load(self, address: int) -> int:
+        """Read the word at ``address`` (0 if never written)."""
+        self._check_address(address)
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        """Write a word (wrapped to 32 bits) at ``address``."""
+        self._check_address(address)
+        self._words[address] = to_word(value)
+
+    def load_block(self, start: int, count: int) -> list:
+        """Read ``count`` consecutive words starting at ``start``."""
+        return [self.load(start + offset) for offset in range(count)]
+
+    def store_block(self, start: int, values: Iterable[int]) -> None:
+        """Write consecutive words starting at ``start``."""
+        for offset, value in enumerate(values):
+            self.store(start + offset, value)
+
+    @property
+    def touched_words(self) -> int:
+        """Number of distinct words ever written (diagnostic)."""
+        return len(self._words)
+
+    @staticmethod
+    def _check_address(address: int) -> None:
+        if address < 0 or address > WORD_MASK:
+            raise ValueError(f"address {address} outside the 32-bit word address space")
+
+
+@dataclass
+class DirectMappedCache:
+    """Direct-mapped data cache with per-line valid bits and tag compare.
+
+    Parameters
+    ----------
+    n_lines:
+        Number of cache lines (a power of two keeps the maths honest but is
+        not required -- the index is taken modulo ``n_lines``).
+    line_words:
+        Words per line; a whole line is considered filled on a miss.
+    """
+
+    n_lines: int = 64
+    line_words: int = 8
+    _tags: Dict[int, int] = field(default_factory=dict, repr=False)
+    hits: int = field(default=0, repr=False)
+    misses: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("n_lines", self.n_lines)
+        check_positive("line_words", self.line_words)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def access(self, address: int) -> bool:
+        """Perform a lookup for a load at ``address``; returns ``True`` on a hit.
+
+        Misses fill the line (the fill itself is what the ``misses_only`` bus
+        convention puts on the read bus).
+        """
+        line_address = address // self.line_words
+        index = line_address % self.n_lines
+        tag = line_address // self.n_lines
+        if self._tags.get(index) == tag:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._tags[index] = tag
+        return False
+
+    def invalidate(self) -> None:
+        """Drop every line (used between independent kernel executions)."""
+        self._tags.clear()
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def accesses(self) -> int:
+        """Total lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0 when nothing was accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def capacity_words(self) -> int:
+        """Total data capacity of the cache in words."""
+        return self.n_lines * self.line_words

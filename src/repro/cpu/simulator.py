@@ -1,0 +1,251 @@
+"""Functional execution engine of the mini CPU.
+
+Like SimpleScalar's ``sim-safe``, the simulator executes instructions one at
+a time with no timing model (the paper assumes one instruction per cycle when
+translating the recorded trace to bus cycles) and records the data words that
+cross the memory read bus.  Two bus-traffic conventions are supported, chosen
+at construction time:
+
+* ``"all_loads"`` -- every load's data word appears on the bus (the paper's
+  convention), and
+* ``"misses_only"`` -- only L1 miss fills appear on the bus.
+
+On cycles without bus traffic the bus simply holds its previous word, which
+is exactly how the downstream trace container expects the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cpu.isa import (
+    BRANCH_OPS,
+    Instruction,
+    Opcode,
+    Register,
+    N_REGISTERS,
+    to_signed,
+    to_word,
+)
+from repro.cpu.memory import DirectMappedCache, MainMemory
+
+#: Supported bus-traffic conventions.
+BUS_POLICIES = ("all_loads", "misses_only")
+
+
+class SimulationError(RuntimeError):
+    """Raised when a program does something the machine cannot execute."""
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Everything recorded while running one program.
+
+    Attributes
+    ----------
+    instructions_executed:
+        Dynamic instruction count (equals bus cycles under the paper's
+        one-instruction-per-cycle convention).
+    halted:
+        Whether the program reached ``halt`` (as opposed to the cycle limit).
+    bus_words:
+        The memory-read-bus word stream, one entry per executed instruction
+        (held value on instructions without bus traffic).
+    loads / stores:
+        Dynamic counts of memory operations.
+    cache_hit_rate:
+        Data-cache hit rate (``None`` when no cache was attached).
+    registers:
+        Final architectural register file (for correctness checks in tests).
+    """
+
+    instructions_executed: int
+    halted: bool
+    bus_words: List[int]
+    loads: int
+    stores: int
+    cache_hit_rate: Optional[float]
+    registers: List[int]
+
+    @property
+    def load_fraction(self) -> float:
+        """Fraction of executed instructions that were loads."""
+        if self.instructions_executed == 0:
+            return 0.0
+        return self.loads / self.instructions_executed
+
+
+class CPU:
+    """The mini CPU: registers, memory, optional data cache, read-bus recorder.
+
+    Parameters
+    ----------
+    program:
+        Assembled instruction list.
+    memory:
+        Initial main memory (shared with the caller: stores are visible after
+        the run, which is how kernels return results).
+    cache:
+        Optional data cache; required for the ``misses_only`` bus policy.
+    bus_policy:
+        Which loads appear on the memory read bus (see module docstring).
+    """
+
+    def __init__(
+        self,
+        program: Sequence[Instruction],
+        memory: Optional[MainMemory] = None,
+        cache: Optional[DirectMappedCache] = None,
+        bus_policy: str = "all_loads",
+    ) -> None:
+        if not program:
+            raise ValueError("program must contain at least one instruction")
+        if bus_policy not in BUS_POLICIES:
+            raise ValueError(f"bus_policy must be one of {BUS_POLICIES}, got {bus_policy!r}")
+        if bus_policy == "misses_only" and cache is None:
+            raise ValueError("the 'misses_only' bus policy needs a data cache")
+        self.program = list(program)
+        self.memory = memory if memory is not None else MainMemory()
+        self.cache = cache
+        self.bus_policy = bus_policy
+        self.registers: List[int] = [0] * N_REGISTERS
+        self.pc = 0
+
+    # ------------------------------------------------------------------ #
+    # Register helpers
+    # ------------------------------------------------------------------ #
+    def _read(self, register: Optional[Register]) -> int:
+        assert register is not None  # guaranteed by Instruction validation
+        return self.registers[register]
+
+    def _write(self, register: Optional[Register], value: int) -> None:
+        assert register is not None
+        if int(register) == 0:
+            return  # r0 is hardwired to zero
+        self.registers[register] = to_word(value)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, max_instructions: int = 1_000_000) -> ExecutionResult:
+        """Execute until ``halt`` or until ``max_instructions`` are retired."""
+        if max_instructions <= 0:
+            raise ValueError(f"max_instructions must be positive, got {max_instructions}")
+
+        bus_words: List[int] = []
+        bus_value = 0
+        executed = 0
+        loads = 0
+        stores = 0
+        halted = False
+
+        while executed < max_instructions:
+            if not 0 <= self.pc < len(self.program):
+                raise SimulationError(
+                    f"program counter {self.pc} outside the program "
+                    f"(0..{len(self.program) - 1}); missing halt?"
+                )
+            instruction = self.program[self.pc]
+            next_pc = self.pc + 1
+
+            if instruction.opcode is Opcode.HALT:
+                halted = True
+                break
+            if instruction.is_load:
+                address = to_word(self._read(instruction.rs1) + instruction.imm)
+                value = self.memory.load(address)
+                self._write(instruction.rd, value)
+                loads += 1
+                if self._bus_carries(address):
+                    bus_value = value
+            elif instruction.is_store:
+                address = to_word(self._read(instruction.rs1) + instruction.imm)
+                self.memory.store(address, self._read(instruction.rs2))
+                stores += 1
+            elif instruction.opcode in BRANCH_OPS:
+                if self._branch_taken(instruction):
+                    next_pc = instruction.target
+            elif instruction.opcode is Opcode.JMP:
+                next_pc = instruction.target
+            elif instruction.opcode is Opcode.NOP:
+                pass
+            else:
+                self._execute_alu(instruction)
+
+            bus_words.append(bus_value)
+            executed += 1
+            self.pc = next_pc
+
+        hit_rate = self.cache.hit_rate if self.cache is not None else None
+        return ExecutionResult(
+            instructions_executed=executed,
+            halted=halted,
+            bus_words=bus_words,
+            loads=loads,
+            stores=stores,
+            cache_hit_rate=hit_rate,
+            registers=list(self.registers),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Instruction semantics
+    # ------------------------------------------------------------------ #
+    def _bus_carries(self, address: int) -> bool:
+        """Whether this load's data word crosses the modelled read bus."""
+        if self.cache is not None:
+            hit = self.cache.access(address)
+            if self.bus_policy == "misses_only":
+                return not hit
+        return self.bus_policy == "all_loads"
+
+    def _branch_taken(self, instruction: Instruction) -> bool:
+        a = self._read(instruction.rs1)
+        b = self._read(instruction.rs2)
+        if instruction.opcode is Opcode.BEQ:
+            return a == b
+        if instruction.opcode is Opcode.BNE:
+            return a != b
+        if instruction.opcode is Opcode.BLT:
+            return to_signed(a) < to_signed(b)
+        if instruction.opcode is Opcode.BGE:
+            return to_signed(a) >= to_signed(b)
+        raise SimulationError(f"not a branch: {instruction.opcode}")  # pragma: no cover
+
+    def _execute_alu(self, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        if opcode is Opcode.LI:
+            self._write(instruction.rd, instruction.imm)
+            return
+        a = self._read(instruction.rs1)
+        if opcode is Opcode.ADD:
+            result = a + self._read(instruction.rs2)
+        elif opcode is Opcode.SUB:
+            result = a - self._read(instruction.rs2)
+        elif opcode is Opcode.MUL:
+            result = a * self._read(instruction.rs2)
+        elif opcode is Opcode.AND:
+            result = a & self._read(instruction.rs2)
+        elif opcode is Opcode.OR:
+            result = a | self._read(instruction.rs2)
+        elif opcode is Opcode.XOR:
+            result = a ^ self._read(instruction.rs2)
+        elif opcode is Opcode.SLT:
+            result = 1 if to_signed(a) < to_signed(self._read(instruction.rs2)) else 0
+        elif opcode is Opcode.ADDI:
+            result = a + instruction.imm
+        elif opcode is Opcode.ANDI:
+            result = a & to_word(instruction.imm)
+        elif opcode is Opcode.ORI:
+            result = a | to_word(instruction.imm)
+        elif opcode is Opcode.XORI:
+            result = a ^ to_word(instruction.imm)
+        elif opcode is Opcode.SLTI:
+            result = 1 if to_signed(a) < instruction.imm else 0
+        elif opcode is Opcode.SLLI:
+            result = a << (instruction.imm & 31)
+        elif opcode is Opcode.SRLI:
+            result = a >> (instruction.imm & 31)
+        else:  # pragma: no cover - every opcode is handled above
+            raise SimulationError(f"unhandled opcode {opcode}")
+        self._write(instruction.rd, result)

@@ -1,0 +1,156 @@
+"""Turn kernel executions into memory-read-bus traces.
+
+This is the glue between the CPU substrate and the DVS experiments: a kernel
+is executed (repeatedly, with fresh data each run) until enough bus words
+have been recorded, and the word stream becomes a
+:class:`~repro.trace.trace.BusTrace` with exactly the same held-value
+convention the synthetic generator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.kernels import Kernel, KERNELS, get_kernel
+from repro.cpu.memory import DirectMappedCache, MainMemory
+from repro.cpu.simulator import CPU, ExecutionResult
+from repro.cpu.assembler import assemble
+from repro.trace.trace import BusTrace
+from repro.utils.rng import SeedLike, make_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class KernelTraceResult:
+    """A bus trace produced by executing a kernel, with execution statistics.
+
+    Attributes
+    ----------
+    trace:
+        The memory-read-bus trace (``n_cycles`` transitions).
+    kernel_name:
+        Which kernel produced it.
+    runs:
+        Number of complete kernel executions concatenated.
+    instructions_executed:
+        Total dynamic instructions across all runs.
+    load_fraction:
+        Fraction of instructions that were loads.
+    cache_hit_rate:
+        Data-cache hit rate across all runs (``None`` without a cache).
+    """
+
+    trace: BusTrace
+    kernel_name: str
+    runs: int
+    instructions_executed: int
+    load_fraction: float
+    cache_hit_rate: Optional[float]
+
+
+def _execute_once(
+    kernel: Kernel,
+    rng: np.random.Generator,
+    cache: Optional[DirectMappedCache],
+    bus_policy: str,
+    max_instructions: int,
+) -> Tuple[ExecutionResult, MainMemory]:
+    memory, verify = kernel.build(rng)
+    cpu = CPU(assemble(kernel.source), memory=memory, cache=cache, bus_policy=bus_policy)
+    result = cpu.run(max_instructions=max_instructions)
+    if not result.halted:
+        raise RuntimeError(
+            f"kernel {kernel.name!r} did not halt within {max_instructions} instructions"
+        )
+    if not verify(memory):
+        raise RuntimeError(f"kernel {kernel.name!r} produced an incorrect result")
+    return result, memory
+
+
+def kernel_bus_trace(
+    kernel: str | Kernel,
+    n_cycles: int,
+    *,
+    seed: SeedLike = None,
+    bus_policy: str = "all_loads",
+    cache: Optional[DirectMappedCache] = None,
+    n_bits: int = 32,
+    max_instructions_per_run: int = 200_000,
+) -> KernelTraceResult:
+    """Execute a kernel (repeatedly) and return its read-bus trace.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel name or object.
+    n_cycles:
+        Number of bus transitions wanted; the kernel is re-run with fresh data
+        until enough words have been recorded, then the stream is truncated.
+    seed:
+        Seed for the per-run data images.
+    bus_policy:
+        ``"all_loads"`` (the paper's convention) or ``"misses_only"``.
+    cache:
+        Data cache configuration; a default cache is created automatically
+        for the ``misses_only`` policy.
+    n_bits:
+        Bus width of the resulting trace.
+    max_instructions_per_run:
+        Safety limit per kernel execution.
+    """
+    if n_cycles <= 0:
+        raise ValueError(f"n_cycles must be positive, got {n_cycles}")
+    if isinstance(kernel, str):
+        kernel = get_kernel(kernel)
+    if bus_policy == "misses_only" and cache is None:
+        cache = DirectMappedCache()
+
+    rng = make_rng(seed)
+    words: list = []
+    runs = 0
+    instructions = 0
+    loads = 0
+    while len(words) < n_cycles + 1:
+        result, _ = _execute_once(
+            kernel, rng, cache, bus_policy, max_instructions_per_run
+        )
+        words.extend(result.bus_words)
+        runs += 1
+        instructions += result.instructions_executed
+        loads += result.loads
+
+    trace = BusTrace.from_words(
+        np.asarray(words[: n_cycles + 1], dtype=np.uint64), n_bits=n_bits, name=kernel.name
+    )
+    return KernelTraceResult(
+        trace=trace,
+        kernel_name=kernel.name,
+        runs=runs,
+        instructions_executed=instructions,
+        load_fraction=loads / instructions if instructions else 0.0,
+        cache_hit_rate=cache.hit_rate if cache is not None else None,
+    )
+
+
+def kernel_suite(
+    names: Optional[Sequence[str]] = None,
+    n_cycles: int = 20_000,
+    seed: SeedLike = None,
+    bus_policy: str = "all_loads",
+) -> Dict[str, BusTrace]:
+    """Bus traces for a set of kernels (mirrors ``repro.trace.generate_suite``).
+
+    Each kernel gets its own deterministic random stream derived from the
+    seed, so adding or removing kernels does not perturb the others.
+    """
+    if names is None:
+        names = tuple(sorted(KERNELS))
+    rngs = spawn_rngs(seed if isinstance(seed, int) else None, len(names))
+    return {
+        name: kernel_bus_trace(
+            name, n_cycles, seed=rng, bus_policy=bus_policy
+        ).trace
+        for name, rng in zip(names, rngs)
+    }

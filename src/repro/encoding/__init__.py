@@ -1,0 +1,47 @@
+"""Low-power bus encoding schemes (the paper's "orthogonal" related work).
+
+Section 1 of the paper cites layout, repeater-sizing and *encoding* techniques
+as existing ways to reduce bus power, and argues they are orthogonal to the
+proposed DVS approach because they improve efficiency at the worst-case
+operating point rather than recovering the slack of typical conditions.  This
+package implements the classic encoding schemes so that claim can be examined
+quantitatively:
+
+* :class:`~repro.encoding.bus_invert.BusInvertEncoder` -- bus-invert coding
+  (Stan & Burleson), optionally partitioned into independently inverted
+  groups,
+* :class:`~repro.encoding.gray.GrayEncoder` -- Gray coding for address-like
+  streams,
+* :class:`~repro.encoding.transition.TransitionEncoder` -- transition
+  signalling (data carried in toggles),
+* :mod:`~repro.encoding.analysis` -- an evaluation harness that measures the
+  switching-activity and energy effect of each encoder, alone and combined
+  with the proposed DVS control loop.
+"""
+
+from repro.encoding.base import BusEncoder, IdentityEncoder
+from repro.encoding.bus_invert import BusInvertEncoder
+from repro.encoding.gray import GrayEncoder, gray_decode_words, gray_encode_words
+from repro.encoding.transition import TransitionEncoder
+from repro.encoding.analysis import (
+    EncoderEvaluation,
+    EncodingStudy,
+    default_encoders,
+    format_encoding_study,
+    run_encoding_study,
+)
+
+__all__ = [
+    "BusEncoder",
+    "IdentityEncoder",
+    "BusInvertEncoder",
+    "GrayEncoder",
+    "gray_decode_words",
+    "gray_encode_words",
+    "TransitionEncoder",
+    "EncoderEvaluation",
+    "EncodingStudy",
+    "default_encoders",
+    "format_encoding_study",
+    "run_encoding_study",
+]

@@ -1,0 +1,71 @@
+"""Encoder interface shared by every bus encoding scheme.
+
+An encoder maps a :class:`~repro.trace.trace.BusTrace` of data words to the
+trace of words *physically driven on the wires*.  Schemes that add redundant
+wires (bus-invert adds one invert line per group) return a wider trace; the
+evaluation harness then builds a correspondingly wider bus so their wiring
+overhead is charged honestly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.trace.trace import BusTrace
+
+
+class BusEncoder(abc.ABC):
+    """Base class of all bus encoders.
+
+    Subclasses implement :meth:`encode` and :meth:`decode`; both operate on
+    whole traces so they can be vectorised where the scheme allows it.  The
+    invariant every encoder must satisfy (and the property tests check) is
+    ``decode(encode(trace)) == trace``.
+    """
+
+    #: Human-readable scheme name used in reports.
+    name: str = "encoder"
+
+    @property
+    def extra_bits(self) -> int:
+        """Number of redundant wires the encoding adds to the bus."""
+        return 0
+
+    def encoded_bits(self, n_bits: int) -> int:
+        """Width of the physical bus for an ``n_bits``-wide data word."""
+        return n_bits + self.extra_bits
+
+    @abc.abstractmethod
+    def encode(self, trace: BusTrace) -> BusTrace:
+        """The trace of physical wire values for a data trace."""
+
+    @abc.abstractmethod
+    def decode(self, encoded: BusTrace) -> BusTrace:
+        """Recover the data trace from a physical wire trace."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _values(trace: BusTrace) -> np.ndarray:
+        """The trace's word array as a writeable signed copy."""
+        return trace.values.astype(np.int8).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class IdentityEncoder(BusEncoder):
+    """The unencoded bus: physical wires carry the data words directly."""
+
+    name = "unencoded"
+
+    def encode(self, trace: BusTrace) -> BusTrace:
+        """Return the trace unchanged (no redundant wires, no remapping)."""
+        return trace
+
+    def decode(self, encoded: BusTrace) -> BusTrace:
+        """Return the trace unchanged."""
+        return encoded

@@ -1,0 +1,30 @@
+"""Energy accounting and gain computation."""
+
+from repro.energy.accounting import ZERO_ENERGY, EnergyBreakdown
+from repro.energy.power import (
+    PowerMetrics,
+    average_power,
+    energy_delay_product,
+    evaluate_power_metrics,
+)
+from repro.energy.gains import (
+    breakdown_gain,
+    breakdown_gain_percent,
+    energy_gain,
+    energy_gain_percent,
+    normalized_energy,
+)
+
+__all__ = [
+    "ZERO_ENERGY",
+    "EnergyBreakdown",
+    "PowerMetrics",
+    "average_power",
+    "energy_delay_product",
+    "evaluate_power_metrics",
+    "breakdown_gain",
+    "breakdown_gain_percent",
+    "energy_gain",
+    "energy_gain_percent",
+    "normalized_energy",
+]

@@ -1,0 +1,91 @@
+"""Energy accounting for the DVS bus.
+
+The total energy of a simulated interval is split into the four components
+the paper discusses (bus dynamic switching, repeater leakage, flip-flop
+clocking, and error-recovery overhead) so that reports can show both the raw
+bus energy and the "bus energy + recovery overhead" curve of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of a simulated interval, by component (joules).
+
+    Attributes
+    ----------
+    bus_dynamic:
+        Switching energy of the bus wires (self and coupling capacitance).
+    leakage:
+        Repeater sub-threshold leakage integrated over the interval.
+    flipflop_clocking:
+        Energy to clock the receiving double-sampling flip-flop bank every
+        cycle (independent of the scaled bus supply).
+    recovery_overhead:
+        Extra energy spent on corrected timing errors: re-clocking the bank
+        for the recovery cycle plus the configured pipeline flush overhead.
+    """
+
+    bus_dynamic: float = 0.0
+    leakage: float = 0.0
+    flipflop_clocking: float = 0.0
+    recovery_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_info in fields(self):
+            value = getattr(self, field_info.name)
+            if value < 0.0:
+                raise ValueError(f"{field_info.name} must be >= 0, got {value}")
+
+    @property
+    def bus_energy(self) -> float:
+        """Energy attributable to the bus itself (dynamic + leakage)."""
+        return self.bus_dynamic + self.leakage
+
+    @property
+    def total(self) -> float:
+        """Total energy including clocking and recovery overhead."""
+        return self.bus_dynamic + self.leakage + self.flipflop_clocking + self.recovery_overhead
+
+    @property
+    def total_with_recovery(self) -> float:
+        """Bus energy plus recovery overhead (the paper's Fig. 4 second curve)."""
+        return self.bus_energy + self.recovery_overhead
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        if not isinstance(other, EnergyBreakdown):
+            return NotImplemented
+        return EnergyBreakdown(
+            bus_dynamic=self.bus_dynamic + other.bus_dynamic,
+            leakage=self.leakage + other.leakage,
+            flipflop_clocking=self.flipflop_clocking + other.flipflop_clocking,
+            recovery_overhead=self.recovery_overhead + other.recovery_overhead,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Scale every component by a non-negative factor."""
+        if factor < 0.0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return EnergyBreakdown(
+            bus_dynamic=self.bus_dynamic * factor,
+            leakage=self.leakage * factor,
+            flipflop_clocking=self.flipflop_clocking * factor,
+            recovery_overhead=self.recovery_overhead * factor,
+        )
+
+    def normalized_to(self, reference: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Express this breakdown as a fraction of a reference total.
+
+        Used to produce the paper's "Energy (Normalized)" axes, where 1.0 is
+        the energy of the same workload at the nominal supply.
+        """
+        reference_total = reference.total_with_recovery
+        if reference_total <= 0.0:
+            raise ValueError("reference energy must be positive")
+        return self.scaled(1.0 / reference_total)
+
+
+ZERO_ENERGY = EnergyBreakdown()

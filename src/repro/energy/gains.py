@@ -1,0 +1,56 @@
+"""Energy-gain computations.
+
+The paper reports "energy gains" as the percentage reduction of bus energy
+(plus recovery overhead) relative to running the same workload at the nominal
+1.2 V supply.  These helpers centralise that definition so every experiment
+driver reports gains consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.energy.accounting import EnergyBreakdown
+
+Number = Union[int, float]
+
+
+def energy_gain(reference: Number, scaled: Number) -> float:
+    """Fractional energy gain of ``scaled`` relative to ``reference``.
+
+    A positive value means the scaled configuration uses *less* energy.  The
+    result can be negative if the scaled configuration uses more energy
+    (e.g. a pathological controller that pays more recovery overhead than it
+    saves).
+    """
+    if reference <= 0:
+        raise ValueError(f"reference energy must be positive, got {reference}")
+    return 1.0 - scaled / reference
+
+
+def energy_gain_percent(reference: Number, scaled: Number) -> float:
+    """:func:`energy_gain` expressed in percent, as the paper reports it."""
+    return 100.0 * energy_gain(reference, scaled)
+
+
+def breakdown_gain(reference: EnergyBreakdown, scaled: EnergyBreakdown) -> float:
+    """Fractional gain between two energy breakdowns.
+
+    Uses the paper's accounting: bus energy plus error-recovery overhead.
+    The flip-flop clocking energy is excluded because it is identical in the
+    scaled and reference configurations (the flip-flop bank is on the core
+    supply) and the paper examines the bus in isolation.
+    """
+    return energy_gain(reference.total_with_recovery, scaled.total_with_recovery)
+
+
+def breakdown_gain_percent(reference: EnergyBreakdown, scaled: EnergyBreakdown) -> float:
+    """:func:`breakdown_gain` in percent."""
+    return 100.0 * breakdown_gain(reference, scaled)
+
+
+def normalized_energy(reference: EnergyBreakdown, scaled: EnergyBreakdown) -> float:
+    """Scaled energy as a fraction of the reference (the Fig. 4 Y axis)."""
+    if reference.total_with_recovery <= 0:
+        raise ValueError("reference energy must be positive")
+    return scaled.total_with_recovery / reference.total_with_recovery

@@ -1,0 +1,111 @@
+"""Power and energy-delay metrics derived from DVS runs.
+
+The paper reports energy gains at a fixed clock frequency, which is the right
+headline metric for its problem statement (same performance, less energy).
+Two derived views are commonly asked of such results and are provided here:
+
+* average *power* over the run (energy per unit wall-clock time, where the
+  wall clock includes the recovery cycles the errors add), and
+* the *energy-delay product* (EDP), which charges the scheme for the small
+  execution-time increase its error recoveries cause; a scheme that saved
+  energy only by running slower would show up immediately in EDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.clocking import ClockingParameters
+from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # imported for annotations only; avoids an energy <-> core cycle
+    from repro.core.dvs_system import DVSRunResult
+
+Number = Union[int, float]
+
+
+def average_power(energy_joules: Number, duration_seconds: Number) -> float:
+    """Average power of an interval: energy divided by wall-clock time."""
+    check_positive("duration_seconds", duration_seconds)
+    if energy_joules < 0:
+        raise ValueError(f"energy_joules must be >= 0, got {energy_joules}")
+    return energy_joules / duration_seconds
+
+
+def energy_delay_product(energy_joules: Number, duration_seconds: Number) -> float:
+    """Energy-delay product of an interval (joule-seconds)."""
+    check_positive("duration_seconds", duration_seconds)
+    if energy_joules < 0:
+        raise ValueError(f"energy_joules must be >= 0, got {energy_joules}")
+    return energy_joules * duration_seconds
+
+
+@dataclass(frozen=True)
+class PowerMetrics:
+    """Power/EDP view of one closed-loop DVS run versus the nominal reference.
+
+    Attributes
+    ----------
+    run_duration / reference_duration:
+        Wall-clock time of the workload with and without the recovery cycles
+        (seconds).  The reference runs at the nominal supply and therefore
+        has no recovery cycles.
+    average_power / reference_power:
+        Bus-plus-recovery energy divided by the respective duration (watts).
+    edp / reference_edp:
+        Energy-delay products (joule-seconds).
+    """
+
+    run_duration: float
+    reference_duration: float
+    average_power: float
+    reference_power: float
+    edp: float
+    reference_edp: float
+
+    @property
+    def power_saving_percent(self) -> float:
+        """Average-power reduction versus the nominal reference, in percent."""
+        return 100.0 * (1.0 - self.average_power / self.reference_power)
+
+    @property
+    def edp_gain_percent(self) -> float:
+        """EDP reduction versus the nominal reference, in percent."""
+        return 100.0 * (1.0 - self.edp / self.reference_edp)
+
+    @property
+    def slowdown_percent(self) -> float:
+        """Execution-time increase caused by the recovery cycles, in percent."""
+        return 100.0 * (self.run_duration / self.reference_duration - 1.0)
+
+
+def evaluate_power_metrics(
+    result: DVSRunResult,
+    clocking: ClockingParameters,
+    recovery_cycles_per_error: int = 1,
+) -> PowerMetrics:
+    """Power/EDP metrics of a closed-loop run.
+
+    The run's wall clock is stretched by one recovery cycle per corrected
+    error (the paper's assumption); the nominal reference executes the same
+    number of useful cycles with no errors.
+    """
+    if recovery_cycles_per_error < 0:
+        raise ValueError(
+            f"recovery_cycles_per_error must be >= 0, got {recovery_cycles_per_error}"
+        )
+    cycle_time = clocking.cycle_time
+    reference_duration = result.n_cycles * cycle_time
+    run_duration = (result.n_cycles + recovery_cycles_per_error * result.total_errors) * cycle_time
+
+    run_energy = result.energy.total_with_recovery
+    reference_energy = result.reference_energy.total_with_recovery
+    return PowerMetrics(
+        run_duration=run_duration,
+        reference_duration=reference_duration,
+        average_power=average_power(run_energy, run_duration),
+        reference_power=average_power(reference_energy, reference_duration),
+        edp=energy_delay_product(run_energy, run_duration),
+        reference_edp=energy_delay_product(reference_energy, reference_duration),
+    )

@@ -1,0 +1,341 @@
+"""Interconnect design-space exploration: repeaters, segmentation, shielding.
+
+Section 1 of the paper cites repeater-sizing methodologies ([3, 4]) as the
+established way to trade bus delay against power at the worst case, and
+Section 3 fixes one point in that space for the test vehicle (four 1.5 mm
+segments, repeaters sized for 600 ps worst-case).  Section 6 then argues that
+layout choices which enlarge the worst-to-typical delay spread make the
+error-tolerant DVS bus *more* effective.
+
+This module makes those design-space arguments runnable:
+
+* :func:`explore_repeater_design_space` sweeps segment count and repeater
+  size, reporting worst-case delay and worst-case switching energy per point;
+* :func:`power_optimal_design` / :func:`delay_optimal_design` pick the
+  power-optimal and fastest points, quantifying how much energy the classic
+  "just meet the deadline" sizing leaves on the table;
+* :func:`run_shield_interval_study` sweeps the shield-insertion interval of
+  the paper's Fig. 3 layout, reporting routing-track overhead, worst-case
+  delay and the worst-to-typical delay spread that drives DVS gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.delay_model import DriverDelayModel
+from repro.circuit.mosfet import AlphaPowerModel
+from repro.circuit.pvt import WORST_CASE_CORNER, PVTCorner
+from repro.clocking import PAPER_CLOCKING, ClockingParameters
+from repro.interconnect.crosstalk import grouped_shield_topology
+from repro.interconnect.parasitics import WireParasitics, extract_parasitics
+from repro.interconnect.repeater import (
+    MAX_REPEATER_SIZE,
+    RepeaterChain,
+    RepeaterSizingError,
+    size_for_target_delay,
+)
+from repro.interconnect.technology import TECH_130NM, TechnologyNode
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RepeaterDesignPoint:
+    """One (segment count, repeater size) point of the design space.
+
+    Attributes
+    ----------
+    n_segments / size:
+        The configuration.
+    worst_case_delay:
+        Delay of the worst-case coupling pattern at nominal supply and the
+        design corner (seconds).
+    worst_case_energy:
+        Switching energy of one worst-case cycle on one wire, including the
+        repeater parasitics the configuration adds (joules).
+    repeater_area:
+        Total repeater drive strength per wire (minimum-inverter multiples),
+        an area/leakage proxy.
+    meets_target:
+        Whether ``worst_case_delay`` meets the clocking deadline.
+    """
+
+    n_segments: int
+    size: float
+    worst_case_delay: float
+    worst_case_energy: float
+    repeater_area: float
+    meets_target: bool
+
+
+@dataclass(frozen=True)
+class RepeaterDesignSpace:
+    """The explored design space plus the context it was explored in."""
+
+    technology_name: str
+    corner: PVTCorner
+    target_delay: float
+    points: Tuple[RepeaterDesignPoint, ...]
+
+    def feasible_points(self) -> Tuple[RepeaterDesignPoint, ...]:
+        """Points meeting the delay target."""
+        return tuple(point for point in self.points if point.meets_target)
+
+
+def _wire_energy_per_worst_cycle(
+    parasitics: WireParasitics,
+    length: float,
+    chain: RepeaterChain,
+    driver_model: DriverDelayModel,
+    vdd: float,
+    max_coupling_factor: float,
+) -> float:
+    """Energy of one worst-case switching cycle on one wire of the bus."""
+    wire_cap = parasitics.ground_cap_per_meter * length
+    repeater_cap = chain.n_segments * (
+        driver_model.gate_capacitance(chain.size) + driver_model.drain_capacitance(chain.size)
+    )
+    coupling_cap = parasitics.coupling_cap_per_meter * length
+    effective = wire_cap + repeater_cap + chain.receiver_capacitance + (
+        max_coupling_factor * coupling_cap
+    )
+    return 0.5 * effective * vdd * vdd
+
+
+def explore_repeater_design_space(
+    technology: TechnologyNode = TECH_130NM,
+    *,
+    length: float = 6.0e-3,
+    clocking: ClockingParameters = PAPER_CLOCKING,
+    corner: PVTCorner = WORST_CASE_CORNER,
+    segment_options: Sequence[int] = (2, 3, 4, 6, 8),
+    n_sizes: int = 24,
+    shield_group: int = 4,
+    n_bits: int = 32,
+) -> RepeaterDesignSpace:
+    """Sweep repeater count and size for the paper's bus at its design corner.
+
+    Every point reports the worst-case delay and the worst-case switching
+    energy, so the classic delay/energy trade-off of repeater insertion can be
+    examined directly and the paper's chosen configuration placed on it.
+    """
+    check_positive("length", length)
+    if n_sizes < 2:
+        raise ValueError(f"n_sizes must be at least 2, got {n_sizes}")
+    parasitics = extract_parasitics(
+        technology.wire_geometry(length), technology.resistivity, technology.dielectric_constant
+    )
+    topology = grouped_shield_topology(n_bits, shield_group)
+    driver_model = DriverDelayModel(AlphaPowerModel(technology.transistor))
+    vdd = technology.nominal_vdd
+    target = clocking.main_deadline
+    sizes = np.geomspace(1.0, MAX_REPEATER_SIZE, n_sizes)
+
+    points = []
+    for n_segments in segment_options:
+        if n_segments <= 0:
+            raise ValueError(f"segment counts must be positive, got {n_segments}")
+        segment = parasitics.for_length(length / n_segments)
+        for size in sizes:
+            chain = RepeaterChain(n_segments=n_segments, size=float(size))
+            delay = chain.worst_case_delay(
+                vdd, corner, segment, driver_model, topology.max_coupling_factor
+            )
+            energy = _wire_energy_per_worst_cycle(
+                parasitics, length, chain, driver_model, vdd, topology.max_coupling_factor
+            )
+            points.append(
+                RepeaterDesignPoint(
+                    n_segments=n_segments,
+                    size=float(size),
+                    worst_case_delay=delay,
+                    worst_case_energy=energy,
+                    repeater_area=float(size) * n_segments,
+                    meets_target=delay <= target,
+                )
+            )
+    return RepeaterDesignSpace(
+        technology_name=technology.name,
+        corner=corner,
+        target_delay=target,
+        points=tuple(points),
+    )
+
+
+def delay_optimal_design(space: RepeaterDesignSpace) -> RepeaterDesignPoint:
+    """The fastest explored point (what a pure performance target would pick)."""
+    return min(space.points, key=lambda point: point.worst_case_delay)
+
+
+def power_optimal_design(space: RepeaterDesignSpace) -> RepeaterDesignPoint:
+    """The lowest-energy point that still meets the delay target.
+
+    This is the configuration the power-optimal repeater-insertion
+    methodologies of the paper's references [3, 4] aim for; comparing its
+    energy with :func:`delay_optimal_design` shows how much a
+    performance-only sizing over-spends.
+    """
+    feasible = space.feasible_points()
+    if not feasible:
+        raise RepeaterSizingError(
+            f"no explored configuration meets {space.target_delay * 1e12:.0f} ps "
+            f"at corner {space.corner.label}"
+        )
+    return min(feasible, key=lambda point: point.worst_case_energy)
+
+
+@dataclass(frozen=True)
+class ShieldIntervalPoint:
+    """One shield-insertion interval of the Fig. 3 layout family.
+
+    Attributes
+    ----------
+    shield_group:
+        Signal wires between shields (the paper uses 4).
+    n_tracks:
+        Routing tracks needed for the 32-bit bus including its shields.
+    max_coupling_factor:
+        Attainable worst-case effective coupling factor of the topology.
+    repeater_size:
+        Repeater size needed to meet the delay target (``None`` when the
+        target is unreachable for this layout).
+    worst_case_delay:
+        Worst-case delay achieved by that sizing (seconds; ``None`` when
+        infeasible).
+    delay_spread:
+        Worst-case minus quiet-pattern delay at nominal supply -- the slack
+        the error-tolerant DVS bus can recover at typical data (seconds;
+        ``None`` when infeasible).
+    """
+
+    shield_group: int
+    n_tracks: int
+    max_coupling_factor: float
+    repeater_size: Optional[float]
+    worst_case_delay: Optional[float]
+    delay_spread: Optional[float]
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the delay target is reachable with this shielding."""
+        return self.repeater_size is not None
+
+
+@dataclass(frozen=True)
+class ShieldIntervalStudy:
+    """Shield-interval sweep results for one technology and clock target."""
+
+    technology_name: str
+    corner: PVTCorner
+    target_delay: float
+    points: Tuple[ShieldIntervalPoint, ...]
+
+    def by_group(self, shield_group: int) -> ShieldIntervalPoint:
+        """Look up one interval's results."""
+        for point in self.points:
+            if point.shield_group == shield_group:
+                return point
+        known = ", ".join(str(point.shield_group) for point in self.points)
+        raise KeyError(f"no shield interval {shield_group}; explored: {known}")
+
+
+def run_shield_interval_study(
+    technology: TechnologyNode = TECH_130NM,
+    *,
+    length: float = 6.0e-3,
+    clocking: ClockingParameters = PAPER_CLOCKING,
+    corner: PVTCorner = WORST_CASE_CORNER,
+    shield_groups: Sequence[int] = (2, 4, 8, 16, 32),
+    n_segments: int = 4,
+    n_bits: int = 32,
+) -> ShieldIntervalStudy:
+    """Sweep the shield-insertion interval of the paper's bus layout.
+
+    Fewer shields save routing tracks but raise the attainable worst-case
+    coupling factor, which costs worst-case delay (larger repeaters, or an
+    unreachable target) while *increasing* the worst-to-typical delay spread
+    the DVS scheme feeds on -- the same trade-off Section 6 explores by
+    rebalancing Cc/Cg directly.
+    """
+    parasitics = extract_parasitics(
+        technology.wire_geometry(length), technology.resistivity, technology.dielectric_constant
+    )
+    driver_model = DriverDelayModel(AlphaPowerModel(technology.transistor))
+    segment = parasitics.for_length(length / n_segments)
+    vdd = technology.nominal_vdd
+    target = clocking.main_deadline
+
+    points = []
+    for group in shield_groups:
+        topology = grouped_shield_topology(n_bits, group)
+        n_shields = int(np.ceil(n_bits / group)) + 1
+        try:
+            chain = size_for_target_delay(
+                target_delay=target,
+                vdd=vdd,
+                corner=corner,
+                segment=segment,
+                driver_model=driver_model,
+                n_segments=n_segments,
+                max_coupling_factor=topology.max_coupling_factor,
+            )
+        except RepeaterSizingError:
+            points.append(
+                ShieldIntervalPoint(
+                    shield_group=group,
+                    n_tracks=n_bits + n_shields,
+                    max_coupling_factor=topology.max_coupling_factor,
+                    repeater_size=None,
+                    worst_case_delay=None,
+                    delay_spread=None,
+                )
+            )
+            continue
+        coefficients = chain.delay_coefficients(vdd, corner, segment, driver_model)
+        worst = coefficients.delay(topology.max_coupling_factor)
+        quiet = coefficients.delay(0.0)
+        points.append(
+            ShieldIntervalPoint(
+                shield_group=group,
+                n_tracks=n_bits + n_shields,
+                max_coupling_factor=topology.max_coupling_factor,
+                repeater_size=chain.size,
+                worst_case_delay=worst,
+                delay_spread=worst - quiet,
+            )
+        )
+    return ShieldIntervalStudy(
+        technology_name=technology.name,
+        corner=corner,
+        target_delay=target,
+        points=tuple(points),
+    )
+
+
+def format_shield_interval_study(study: ShieldIntervalStudy) -> str:
+    """Text table of a shield-interval study (one row per interval)."""
+    title = (
+        f"Shield-interval study -- {study.technology_name}, corner {study.corner.label}, "
+        f"target {study.target_delay * 1e12:.0f} ps"
+    )
+    header = (
+        f"{'shields every':>13} {'tracks':>7} {'max lambda':>10} "
+        f"{'repeater':>9} {'worst ps':>9} {'spread ps':>10}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for point in study.points:
+        if point.feasible:
+            lines.append(
+                f"{point.shield_group:>13d} {point.n_tracks:>7d} "
+                f"{point.max_coupling_factor:>10.2f} {point.repeater_size:>9.1f} "
+                f"{point.worst_case_delay * 1e12:>9.1f} {point.delay_spread * 1e12:>10.1f}"
+            )
+        else:
+            lines.append(
+                f"{point.shield_group:>13d} {point.n_tracks:>7d} "
+                f"{point.max_coupling_factor:>10.2f} {'--':>9} {'unreachable':>9} {'--':>10}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Elmore-style delay coefficients of a repeated, coupled bus wire.
+
+For the Miller-factor abstraction used throughout this library, the delay of
+a repeated wire is an *affine* function of the effective coupling factor
+``lambda``::
+
+    delay(Vdd, lambda) = d0(Vdd) + lambda * d1(Vdd)
+
+where ``d0`` collects the driver, ground-capacitance and receiver terms and
+``d1`` is the sensitivity to one unit of Miller-factored coupling
+capacitance.  This module computes the two coefficients for a bus built from
+``n_segments`` identical repeater stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.delay_model import DISTRIBUTED_RC_FACTOR, LUMPED_RC_FACTOR
+from repro.interconnect.parasitics import SegmentParasitics
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BusDelayCoefficients:
+    """Affine delay model ``delay = base + coupling_factor * per_coupling``."""
+
+    base: float
+    per_coupling: float
+
+    def delay(self, coupling_factor: float) -> float:
+        """Evaluate the delay for an effective coupling factor."""
+        return self.base + coupling_factor * self.per_coupling
+
+    @property
+    def worst_case(self) -> float:
+        """Delay of the canonical worst-case pattern (``lambda = 4``)."""
+        return self.delay(4.0)
+
+
+def segment_delay_coefficients(
+    driver_resistance: float,
+    segment: SegmentParasitics,
+    driver_self_capacitance: float,
+    receiver_capacitance: float,
+) -> BusDelayCoefficients:
+    """Delay coefficients of a single repeater stage.
+
+    The stage is a driver of effective resistance ``driver_resistance``
+    (with self-loading ``driver_self_capacitance``) driving a distributed RC
+    wire segment terminated by ``receiver_capacitance`` (the next repeater's
+    gate or the receiving flip-flop input).
+    """
+    check_positive("driver_resistance", driver_resistance, strict=False)
+    base = (
+        LUMPED_RC_FACTOR
+        * driver_resistance
+        * (driver_self_capacitance + segment.ground_capacitance + receiver_capacitance)
+        + segment.resistance
+        * (
+            DISTRIBUTED_RC_FACTOR * segment.ground_capacitance
+            + LUMPED_RC_FACTOR * receiver_capacitance
+        )
+    )
+    per_coupling = (
+        LUMPED_RC_FACTOR * driver_resistance + DISTRIBUTED_RC_FACTOR * segment.resistance
+    ) * segment.coupling_capacitance
+    return BusDelayCoefficients(base=base, per_coupling=per_coupling)
+
+
+def bus_delay_coefficients(
+    driver_resistance: float,
+    segment: SegmentParasitics,
+    n_segments: int,
+    driver_self_capacitance: float,
+    repeater_gate_capacitance: float,
+    receiver_capacitance: float,
+) -> BusDelayCoefficients:
+    """Delay coefficients of a full bus wire built from identical stages.
+
+    All but the last stage drive the next repeater's gate; the last stage
+    drives the receiving flip-flop input.  The per-coupling sensitivity of
+    each stage is identical because the wire segments are identical.
+    """
+    if n_segments <= 0:
+        raise ValueError(f"n_segments must be positive, got {n_segments}")
+    internal = segment_delay_coefficients(
+        driver_resistance, segment, driver_self_capacitance, repeater_gate_capacitance
+    )
+    final = segment_delay_coefficients(
+        driver_resistance, segment, driver_self_capacitance, receiver_capacitance
+    )
+    base = internal.base * (n_segments - 1) + final.base
+    per_coupling = internal.per_coupling * (n_segments - 1) + final.per_coupling
+    return BusDelayCoefficients(base=base, per_coupling=per_coupling)

@@ -1,0 +1,77 @@
+"""Wire layout geometry.
+
+The bus in the paper is routed on a global metal layer of a 0.13 um process at
+minimum pitch (0.8 um).  :class:`WireGeometry` carries the cross-sectional and
+length parameters needed by the parasitic extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class WireGeometry:
+    """Cross-section and length of a single bus wire.
+
+    All dimensions are in metres.
+
+    Attributes
+    ----------
+    width:
+        Drawn wire width.
+    spacing:
+        Edge-to-edge spacing to each neighbouring wire (or shield).
+    thickness:
+        Metal thickness.
+    dielectric_height:
+        Vertical distance to the ground planes above/below (inter-layer
+        dielectric height).
+    length:
+        Total routed length of the wire.
+    """
+
+    width: float
+    spacing: float
+    thickness: float
+    dielectric_height: float
+    length: float
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("spacing", self.spacing)
+        check_positive("thickness", self.thickness)
+        check_positive("dielectric_height", self.dielectric_height)
+        check_positive("length", self.length)
+
+    @property
+    def pitch(self) -> float:
+        """Wire pitch (width + spacing)."""
+        return self.width + self.spacing
+
+    @property
+    def cross_section_area(self) -> float:
+        """Conductor cross-sectional area (width x thickness)."""
+        return self.width * self.thickness
+
+    def with_length(self, length: float) -> "WireGeometry":
+        """Return a copy of this geometry with a different routed length."""
+        return replace(self, length=length)
+
+    def scaled(self, factor: float) -> "WireGeometry":
+        """Uniformly scale the cross-section (not the length) by ``factor``.
+
+        Used by the technology-scaling study: lateral dimensions shrink with
+        the node while global wire lengths are assumed to stay constant (the
+        die does not shrink with the devices).
+        """
+        check_positive("factor", factor)
+        return WireGeometry(
+            width=self.width * factor,
+            spacing=self.spacing * factor,
+            thickness=self.thickness * factor,
+            dielectric_height=self.dielectric_height * factor,
+            length=self.length,
+        )

@@ -1,0 +1,116 @@
+"""Technology-scaling models for the Section 6 discussion.
+
+The paper argues that the proposed DVS approach becomes *more* attractive as
+technology scales: global wire capacitance per unit length stays roughly
+constant while wire resistance grows (smaller cross-sections), so the delay
+difference between the worst-case and typical switching patterns -- the
+``R x Cc`` term of Eq. 2 -- grows, leaving more slack to recover at typical
+conditions.
+
+:func:`scale_technology` produces scaled :class:`TechnologyNode` instances
+from the 0.13 um baseline, and :func:`delay_spread_metric` computes the
+``R x Cc`` figure of merit used to quantify the trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+from repro.interconnect.parasitics import WireParasitics, extract_parasitics
+from repro.interconnect.technology import TECH_130NM, TechnologyNode
+from repro.utils.validation import check_positive
+
+#: Nominal supply voltages by node, following the ITRS trend of the era.
+_SCALED_SUPPLY = {
+    130e-9: 1.2,
+    90e-9: 1.1,
+    65e-9: 1.0,
+    45e-9: 0.9,
+}
+
+
+def scale_technology(
+    base: TechnologyNode,
+    feature_size: float,
+    *,
+    resistivity_degradation: float = 1.0,
+) -> TechnologyNode:
+    """Derive a scaled technology node from a baseline node.
+
+    Lateral wire dimensions (width, spacing, thickness, dielectric height)
+    shrink proportionally to the feature size; the effective resistivity can
+    optionally be degraded to model barrier/scattering effects in narrow
+    copper lines.  The nominal supply follows the historical trend for known
+    nodes and otherwise scales linearly with feature size.
+
+    Device parameters are kept from the baseline: the scaling study is about
+    *wires*, and keeping the drivers fixed isolates the interconnect trend the
+    paper discusses.
+    """
+    check_positive("feature_size", feature_size)
+    check_positive("resistivity_degradation", resistivity_degradation)
+    shrink = feature_size / base.feature_size
+    nominal_vdd = _SCALED_SUPPLY.get(round(feature_size, 12), base.nominal_vdd * shrink)
+    return replace(
+        base,
+        name=f"{feature_size * 1e9:.0f}nm",
+        feature_size=feature_size,
+        nominal_vdd=nominal_vdd,
+        wire_width=base.wire_width * shrink,
+        wire_spacing=base.wire_spacing * shrink,
+        wire_thickness=base.wire_thickness * shrink,
+        dielectric_height=base.dielectric_height * shrink,
+        resistivity=base.resistivity * resistivity_degradation,
+    )
+
+
+def scaled_node_series(
+    feature_sizes: Sequence[float] = (130e-9, 90e-9, 65e-9, 45e-9),
+    base: TechnologyNode = TECH_130NM,
+) -> Dict[str, TechnologyNode]:
+    """A series of scaled nodes keyed by name, starting from the baseline.
+
+    Narrower lines suffer increasing barrier/surface-scattering resistivity,
+    modelled as a mild super-linear degradation with shrink.
+    """
+    nodes: Dict[str, TechnologyNode] = {}
+    for feature_size in feature_sizes:
+        shrink = feature_size / base.feature_size
+        degradation = (1.0 / shrink) ** 0.25
+        node = scale_technology(base, feature_size, resistivity_degradation=degradation)
+        nodes[node.name] = node
+    return nodes
+
+
+def wire_parasitics_for_node(node: TechnologyNode, length: float = 1.0) -> WireParasitics:
+    """Per-unit-length parasitics of a minimum-pitch wire in the given node."""
+    geometry = node.wire_geometry(length)
+    return extract_parasitics(geometry, node.resistivity, node.dielectric_constant)
+
+
+def delay_spread_metric(node: TechnologyNode, segment_length: float = 1.5e-3) -> float:
+    """The ``R x Cc`` delay-spread figure of merit for one repeater segment.
+
+    This is the Elmore-delay difference between the worst-case (pattern I)
+    and next-worst (pattern II) switching patterns of Eq. 2 in the paper,
+    evaluated for a segment of the given length in the given node.  A larger
+    value means a larger gap between worst-case and typical delays, hence more
+    recoverable slack for the error-tolerant DVS bus.
+    """
+    check_positive("segment_length", segment_length)
+    parasitics = wire_parasitics_for_node(node)
+    resistance = parasitics.resistance_per_meter * segment_length
+    coupling = parasitics.coupling_cap_per_meter * segment_length
+    return resistance * coupling
+
+
+def delay_spread_trend(
+    nodes: Dict[str, TechnologyNode] | None = None, segment_length: float = 1.5e-3
+) -> Dict[str, float]:
+    """``R x Cc`` metric per node, normalised to the first node in the series."""
+    if nodes is None:
+        nodes = scaled_node_series()
+    raw = {name: delay_spread_metric(node, segment_length) for name, node in nodes.items()}
+    first = next(iter(raw.values()))
+    return {name: value / first for name, value in raw.items()}

@@ -1,0 +1,33 @@
+"""Terminal (ASCII) plotting for experiment reports.
+
+The paper's evaluation is presented as figures; this reproduction is a
+library-and-harness, so every figure is also rendered as a character chart
+that can be printed from the benchmark harness, the examples and the CLI
+without any plotting dependency.
+
+* :mod:`repro.plotting.canvas` -- a character canvas with data-to-character
+  coordinate mapping,
+* :mod:`repro.plotting.charts` -- line / scatter charts, horizontal bar
+  charts and histograms built on the canvas.
+"""
+
+from repro.plotting.canvas import Canvas, DataWindow
+from repro.plotting.charts import (
+    Series,
+    bar_chart,
+    histogram,
+    line_chart,
+    residency_chart,
+    scatter_chart,
+)
+
+__all__ = [
+    "Canvas",
+    "DataWindow",
+    "Series",
+    "bar_chart",
+    "histogram",
+    "line_chart",
+    "residency_chart",
+    "scatter_chart",
+]

@@ -1,0 +1,186 @@
+"""Character canvas with data-coordinate mapping.
+
+The canvas is the low-level drawing surface used by
+:mod:`repro.plotting.charts`: a rectangular grid of characters plus a
+:class:`DataWindow` that maps data coordinates onto grid cells.  Charts only
+ever talk to the canvas through :meth:`Canvas.plot_point` and
+:meth:`Canvas.plot_line`, so the mapping (including degenerate windows where
+all data collapse onto one value) lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DataWindow:
+    """The rectangle of data coordinates mapped onto the plot area.
+
+    Degenerate windows (``x_min == x_max`` or ``y_min == y_max``) are allowed:
+    they arise naturally when a series is constant, and map every data point
+    to the centre of the corresponding axis.
+    """
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min:
+            raise ValueError(f"x_max ({self.x_max}) must be >= x_min ({self.x_min})")
+        if self.y_max < self.y_min:
+            raise ValueError(f"y_max ({self.y_max}) must be >= y_min ({self.y_min})")
+
+    @classmethod
+    def around(
+        cls,
+        xs: List[float],
+        ys: List[float],
+        pad_fraction: float = 0.0,
+    ) -> "DataWindow":
+        """The smallest window containing every point, optionally padded."""
+        if not xs or not ys:
+            raise ValueError("cannot build a data window around an empty point set")
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        x_pad = (x_max - x_min) * pad_fraction
+        y_pad = (y_max - y_min) * pad_fraction
+        return cls(x_min - x_pad, x_max + x_pad, y_min - y_pad, y_max + y_pad)
+
+    def x_fraction(self, x: float) -> float:
+        """Position of ``x`` inside the window as a 0..1 fraction (0.5 if degenerate)."""
+        if self.x_max == self.x_min:
+            return 0.5
+        return (x - self.x_min) / (self.x_max - self.x_min)
+
+    def y_fraction(self, y: float) -> float:
+        """Position of ``y`` inside the window as a 0..1 fraction (0.5 if degenerate)."""
+        if self.y_max == self.y_min:
+            return 0.5
+        return (y - self.y_min) / (self.y_max - self.y_min)
+
+
+class Canvas:
+    """A fixed-size grid of characters with a data-coordinate plot area.
+
+    Parameters
+    ----------
+    width, height:
+        Size of the *plot area* in characters (axes and labels are added by
+        :meth:`render`, outside this area).
+    window:
+        Mapping from data coordinates to the plot area.
+    """
+
+    def __init__(self, width: int, height: int, window: DataWindow) -> None:
+        check_positive("width", width)
+        check_positive("height", height)
+        self.width = int(width)
+        self.height = int(height)
+        self.window = window
+        self._cells: List[List[str]] = [[" "] * self.width for _ in range(self.height)]
+
+    # ------------------------------------------------------------------ #
+    # Coordinate mapping
+    # ------------------------------------------------------------------ #
+    def cell_for(self, x: float, y: float) -> Optional[Tuple[int, int]]:
+        """Grid cell (row, column) for a data point, or ``None`` if outside."""
+        fx = self.window.x_fraction(x)
+        fy = self.window.y_fraction(y)
+        if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
+            return None
+        column = min(self.width - 1, int(round(fx * (self.width - 1))))
+        row = min(self.height - 1, int(round((1.0 - fy) * (self.height - 1))))
+        return row, column
+
+    # ------------------------------------------------------------------ #
+    # Drawing
+    # ------------------------------------------------------------------ #
+    def plot_point(self, x: float, y: float, marker: str = "*") -> bool:
+        """Plot one data point; returns whether it landed inside the window."""
+        cell = self.cell_for(x, y)
+        if cell is None:
+            return False
+        row, column = cell
+        self._cells[row][column] = marker[0]
+        return True
+
+    def plot_line(self, x0: float, y0: float, x1: float, y1: float, marker: str = "*") -> None:
+        """Plot a straight segment between two data points.
+
+        The segment is rasterised by stepping one character at a time along
+        its longer screen axis, which is plenty for report-quality charts.
+        """
+        start = self.cell_for(x0, y0)
+        end = self.cell_for(x1, y1)
+        if start is None or end is None:
+            # Fall back to plotting whichever endpoint is visible.
+            self.plot_point(x0, y0, marker)
+            self.plot_point(x1, y1, marker)
+            return
+        row0, col0 = start
+        row1, col1 = end
+        steps = max(abs(row1 - row0), abs(col1 - col0), 1)
+        for step in range(steps + 1):
+            t = step / steps
+            row = int(round(row0 + (row1 - row0) * t))
+            column = int(round(col0 + (col1 - col0) * t))
+            self._cells[row][column] = marker[0]
+
+    def write_text(self, row: int, column: int, text: str) -> None:
+        """Write a text label into the plot area (clipped to the canvas)."""
+        if not 0 <= row < self.height:
+            return
+        for offset, character in enumerate(text):
+            target = column + offset
+            if 0 <= target < self.width:
+                self._cells[row][target] = character
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render(
+        self,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+        y_format: str = "{:.3g}",
+        x_format: str = "{:.3g}",
+    ) -> str:
+        """Render the canvas with a frame, axis extents and optional labels."""
+        lines: List[str] = []
+        label_width = max(
+            len(y_format.format(self.window.y_min)),
+            len(y_format.format(self.window.y_max)),
+            len(y_label),
+        )
+        if title:
+            lines.append(" " * (label_width + 2) + title)
+        if y_label:
+            lines.append(y_label.rjust(label_width))
+
+        top_label = y_format.format(self.window.y_max).rjust(label_width)
+        bottom_label = y_format.format(self.window.y_min).rjust(label_width)
+        for index, row in enumerate(self._cells):
+            if index == 0:
+                prefix = top_label
+            elif index == self.height - 1:
+                prefix = bottom_label
+            else:
+                prefix = " " * label_width
+            lines.append(f"{prefix} |{''.join(row)}|")
+
+        x_left = x_format.format(self.window.x_min)
+        x_right = x_format.format(self.window.x_max)
+        axis = " " * label_width + " +" + "-" * self.width + "+"
+        lines.append(axis)
+        gap = max(1, self.width - len(x_left) - len(x_right))
+        lines.append(" " * (label_width + 2) + x_left + " " * gap + x_right)
+        if x_label:
+            lines.append(" " * (label_width + 2) + x_label.center(self.width))
+        return "\n".join(lines)

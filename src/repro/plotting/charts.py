@@ -1,0 +1,206 @@
+"""Report-quality character charts.
+
+Four chart types cover everything the paper's figures need:
+
+* :func:`line_chart` -- Fig. 4-style curves (energy / error rate vs voltage)
+  and Fig. 8-style time series,
+* :func:`scatter_chart` -- Fig. 5 / Fig. 10 gain-vs-delay points,
+* :func:`bar_chart` -- Table 1 and Fig. 6 style per-benchmark comparisons,
+* :func:`histogram` -- distributions (voltage residency, window error rates).
+
+All functions return plain strings so they compose with the existing
+``repro.analysis.reporting`` text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.plotting.canvas import Canvas, DataWindow
+
+#: Markers cycled through when a chart holds several series.
+DEFAULT_MARKERS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named data series of a line or scatter chart."""
+
+    name: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+    marker: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r} has {len(self.xs)} x values but {len(self.ys)} y values"
+            )
+        if len(self.xs) == 0:
+            raise ValueError(f"series {self.name!r} is empty")
+
+
+def _window_for(series: Sequence[Series]) -> DataWindow:
+    xs = [float(x) for s in series for x in s.xs]
+    ys = [float(y) for s in series for y in s.ys]
+    return DataWindow.around(xs, ys, pad_fraction=0.02)
+
+
+def _legend(series: Sequence[Series], markers: Sequence[str]) -> str:
+    entries = [f"{marker} {s.name}" for s, marker in zip(series, markers)]
+    return "legend: " + "   ".join(entries)
+
+
+def _assign_markers(series: Sequence[Series]) -> List[str]:
+    markers: List[str] = []
+    for index, entry in enumerate(series):
+        markers.append(entry.marker or DEFAULT_MARKERS[index % len(DEFAULT_MARKERS)])
+    return markers
+
+
+def line_chart(
+    series: Iterable[Series],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    window: Optional[DataWindow] = None,
+) -> str:
+    """Render one or more series as connected line plots."""
+    series = list(series)
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    markers = _assign_markers(series)
+    canvas = Canvas(width, height, window or _window_for(series))
+    for entry, marker in zip(series, markers):
+        xs = list(entry.xs)
+        ys = list(entry.ys)
+        if len(xs) == 1:
+            canvas.plot_point(xs[0], ys[0], marker)
+            continue
+        for index in range(len(xs) - 1):
+            canvas.plot_line(xs[index], ys[index], xs[index + 1], ys[index + 1], marker)
+    chart = canvas.render(title=title, x_label=x_label, y_label=y_label)
+    if len(series) > 1:
+        chart += "\n" + _legend(series, markers)
+    return chart
+
+
+def scatter_chart(
+    series: Iterable[Series],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    window: Optional[DataWindow] = None,
+) -> str:
+    """Render one or more series as unconnected points."""
+    series = list(series)
+    if not series:
+        raise ValueError("scatter_chart needs at least one series")
+    markers = _assign_markers(series)
+    canvas = Canvas(width, height, window or _window_for(series))
+    for entry, marker in zip(series, markers):
+        for x, y in zip(entry.xs, entry.ys):
+            canvas.plot_point(float(x), float(y), marker)
+    chart = canvas.render(title=title, x_label=x_label, y_label=y_label)
+    if len(series) > 1:
+        chart += "\n" + _legend(series, markers)
+    return chart
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+    value_format: str = "{:.1f}",
+    max_value: Optional[float] = None,
+) -> str:
+    """Render a horizontal bar chart (one row per label).
+
+    Negative values render as an empty bar with the value printed, which keeps
+    pathological results (e.g. a controller that *loses* energy) visible
+    without complicating the layout.
+    """
+    labels = list(labels)
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        raise ValueError("bar_chart needs at least one bar")
+    top = max_value if max_value is not None else max(max(values), 0.0)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if top > 0 and value > 0:
+            bar_length = int(round(min(value, top) / top * width))
+        else:
+            bar_length = 0
+        bar = "#" * bar_length
+        lines.append(f"{label.rjust(label_width)} | {bar} {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 50,
+    title: str = "",
+    bin_format: str = "{:.3g}",
+    bin_edges: Optional[Sequence[float]] = None,
+) -> str:
+    """Render a histogram of ``values`` as a horizontal bar chart.
+
+    ``bin_edges`` overrides the automatic equal-width binning, which is useful
+    when the natural bins are known (e.g. the 20 mV voltage grid of Fig. 6).
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("histogram needs at least one value")
+    if bin_edges is not None:
+        edges = np.asarray(list(bin_edges), dtype=float)
+        if edges.ndim != 1 or len(edges) < 2:
+            raise ValueError("bin_edges must be a 1-D sequence of at least two edges")
+    else:
+        edges = np.histogram_bin_edges(data, bins=bins)
+    counts, edges = np.histogram(data, bins=edges)
+    labels = [
+        f"[{bin_format.format(lo)}, {bin_format.format(hi)})"
+        for lo, hi in zip(edges[:-1], edges[1:])
+    ]
+    share = counts / counts.sum() * 100.0
+    return bar_chart(
+        labels,
+        share.tolist(),
+        width=width,
+        title=title,
+        value_format="{:.1f}%",
+        max_value=100.0,
+    )
+
+
+def residency_chart(
+    residency: Dict[float, float],
+    *,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Fig. 6 helper: time share (%) per supply voltage, lowest voltage first."""
+    if not residency:
+        raise ValueError("residency_chart needs at least one voltage")
+    items: List[Tuple[float, float]] = sorted(residency.items())
+    labels = [f"{voltage * 1000:.0f} mV" for voltage, _ in items]
+    values = [share * 100.0 for _, share in items]
+    return bar_chart(labels, values, width=width, title=title, value_format="{:.1f}%", max_value=100.0)

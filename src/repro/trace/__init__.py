@@ -1,0 +1,43 @@
+"""Workload substrate: synthetic SPEC2000-like bus traces and phase analysis."""
+
+from repro.trace.benchmarks import (
+    SPEC2000_PROFILES,
+    TABLE1_ORDER,
+    BenchmarkProfile,
+    ProgramPhase,
+    WordMix,
+    get_profile,
+)
+from repro.trace.generator import (
+    DEFAULT_CYCLES_PER_BENCHMARK,
+    generate_benchmark_trace,
+    generate_concatenated_suite,
+    generate_suite,
+)
+from repro.trace.simpoint import SimPointSelection, select_simpoints, window_signatures
+from repro.trace.io import load_trace_hex, load_trace_npz, save_trace_hex, save_trace_npz
+from repro.trace.synthetic import generate_trace
+from repro.trace.trace import BusTrace, concatenate_traces
+
+__all__ = [
+    "SPEC2000_PROFILES",
+    "TABLE1_ORDER",
+    "BenchmarkProfile",
+    "ProgramPhase",
+    "WordMix",
+    "get_profile",
+    "DEFAULT_CYCLES_PER_BENCHMARK",
+    "generate_benchmark_trace",
+    "generate_concatenated_suite",
+    "generate_suite",
+    "SimPointSelection",
+    "select_simpoints",
+    "window_signatures",
+    "load_trace_hex",
+    "load_trace_npz",
+    "save_trace_hex",
+    "save_trace_npz",
+    "generate_trace",
+    "BusTrace",
+    "concatenate_traces",
+]

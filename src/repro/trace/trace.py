@@ -1,0 +1,122 @@
+"""Bus data traces.
+
+A :class:`BusTrace` is the sequence of data words driven on the memory read
+bus, one word per clock cycle.  The paper obtains these traces from a
+SimpleScalar/Alpha simulation of SPEC2000 benchmarks; this reproduction
+generates them synthetically (:mod:`repro.trace.synthetic`) but the trace
+container and everything downstream is agnostic to their origin, so recorded
+traces can be substituted directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BusTrace:
+    """A sequence of bus words, stored as an ``(n_words, n_bits)`` 0/1 array.
+
+    The number of simulated *cycles* (transitions) is ``n_words - 1``: the
+    first word only establishes the initial bus state.
+    """
+
+    values: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D (words x bits), got shape {values.shape}")
+        if values.shape[0] < 2:
+            raise ValueError("a trace needs at least two words (one transition)")
+        if not np.all((values == 0) | (values == 1)):
+            raise ValueError("trace values must be 0/1")
+        object.__setattr__(self, "values", values.astype(np.uint8))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_words(cls, words: Iterable[int], n_bits: int = 32, name: str = "trace") -> "BusTrace":
+        """Build a trace from integer bus words (LSB = wire 0)."""
+        words_array = np.asarray(list(words) if not isinstance(words, np.ndarray) else words)
+        if words_array.ndim != 1:
+            raise ValueError("words must be a 1-D sequence of integers")
+        bit_positions = np.arange(n_bits, dtype=np.uint64)
+        bits = (words_array[:, None].astype(np.uint64) >> bit_positions) & 1
+        return cls(values=bits.astype(np.uint8), name=name)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_bits(self) -> int:
+        """Bus width in bits."""
+        return int(self.values.shape[1])
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of simulated cycles (transitions between consecutive words)."""
+        return int(self.values.shape[0]) - 1
+
+    def __len__(self) -> int:
+        return self.n_cycles
+
+    def to_words(self) -> np.ndarray:
+        """The trace as unsigned integer words (LSB = wire 0)."""
+        weights = (1 << np.arange(self.n_bits, dtype=np.uint64))
+        return (self.values.astype(np.uint64) * weights).sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Manipulation
+    # ------------------------------------------------------------------ #
+    def window(self, start_cycle: int, n_cycles: int, name: Optional[str] = None) -> "BusTrace":
+        """A sub-trace covering ``n_cycles`` transitions starting at ``start_cycle``."""
+        if start_cycle < 0 or start_cycle + n_cycles > self.n_cycles:
+            raise ValueError(
+                f"window [{start_cycle}, {start_cycle + n_cycles}) is outside the "
+                f"trace's {self.n_cycles} cycles"
+            )
+        values = self.values[start_cycle : start_cycle + n_cycles + 1]
+        return BusTrace(values=values, name=name or f"{self.name}[{start_cycle}:+{n_cycles}]")
+
+    def concatenate(self, other: "BusTrace", name: Optional[str] = None) -> "BusTrace":
+        """Run another trace back-to-back after this one.
+
+        The transition from this trace's last word to the other trace's first
+        word is included, exactly as if the programs executed consecutively.
+        """
+        if other.n_bits != self.n_bits:
+            raise ValueError(
+                f"cannot concatenate a {other.n_bits}-bit trace onto a {self.n_bits}-bit trace"
+            )
+        values = np.concatenate([self.values, other.values], axis=0)
+        return BusTrace(values=values, name=name or f"{self.name}+{other.name}")
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def toggle_activity(self) -> float:
+        """Mean fraction of bits toggling per cycle."""
+        changes = np.count_nonzero(np.diff(self.values.astype(np.int8), axis=0), axis=1)
+        return float(np.mean(changes)) / self.n_bits
+
+    def per_bit_activity(self) -> np.ndarray:
+        """Per-wire toggle probability across the trace."""
+        changes = np.diff(self.values.astype(np.int8), axis=0) != 0
+        return changes.mean(axis=0)
+
+
+def concatenate_traces(traces: Iterable[BusTrace], name: str = "suite") -> BusTrace:
+    """Concatenate an iterable of traces into one back-to-back run."""
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace to concatenate")
+    result = traces[0]
+    for trace in traces[1:]:
+        result = result.concatenate(trace)
+    return BusTrace(values=result.values, name=name)

@@ -1,0 +1,44 @@
+"""Small shared utilities: units, validation helpers, and RNG management."""
+
+from repro.utils.units import (
+    CELSIUS_TO_KELVIN,
+    fF,
+    GHz,
+    kelvin,
+    MHz,
+    mV,
+    nm,
+    ohm_per_square,
+    pF,
+    ps,
+    um,
+    volts_from_mv,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "CELSIUS_TO_KELVIN",
+    "fF",
+    "GHz",
+    "kelvin",
+    "MHz",
+    "mV",
+    "nm",
+    "ohm_per_square",
+    "pF",
+    "ps",
+    "um",
+    "volts_from_mv",
+    "check_fraction",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,38 @@
+"""Random-number-generator helpers.
+
+All stochastic components (trace generators, noise injection) accept either a
+seed or a ``numpy.random.Generator``.  Centralising the conversion keeps every
+experiment reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or generator.
+
+    Passing an existing generator returns it unchanged, so components can be
+    chained off a single RNG without re-seeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Deterministically derive ``count`` independent generators from a seed.
+
+    Used to give each benchmark trace its own stream so that adding or
+    reordering benchmarks does not perturb the others.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    children = root.spawn(count)
+    return [np.random.default_rng(child) for child in children]

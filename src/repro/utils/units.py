@@ -1,0 +1,66 @@
+"""Unit helpers.
+
+All internal quantities in :mod:`repro` use SI base units (seconds, volts,
+farads, ohms, metres, joules).  The helpers in this module convert from the
+engineering units the paper quotes (millivolts, picoseconds, micrometres,
+femtofarads, gigahertz, ...) into SI so that call sites read like the paper.
+"""
+
+from __future__ import annotations
+
+CELSIUS_TO_KELVIN = 273.15
+
+
+def mV(value: float) -> float:
+    """Convert millivolts to volts."""
+    return value * 1e-3
+
+
+def volts_from_mv(value_mv: float) -> float:
+    """Alias of :func:`mV`, for call sites that read better with this name."""
+    return mV(value_mv)
+
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * 1e-12
+
+
+def um(value: float) -> float:
+    """Convert micrometres to metres."""
+    return value * 1e-6
+
+
+def nm(value: float) -> float:
+    """Convert nanometres to metres."""
+    return value * 1e-9
+
+
+def fF(value: float) -> float:
+    """Convert femtofarads to farads."""
+    return value * 1e-15
+
+
+def pF(value: float) -> float:
+    """Convert picofarads to farads."""
+    return value * 1e-12
+
+
+def GHz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * 1e9
+
+
+def MHz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6
+
+
+def kelvin(celsius: float) -> float:
+    """Convert a temperature in Celsius to Kelvin."""
+    return celsius + CELSIUS_TO_KELVIN
+
+
+def ohm_per_square(sheet_resistance: float) -> float:
+    """Identity helper that documents a sheet-resistance argument (ohm/sq)."""
+    return sheet_resistance

@@ -1,0 +1,50 @@
+"""Argument-validation helpers shared across the library.
+
+These raise ``ValueError`` with uniform, descriptive messages so that public
+constructors can validate their inputs in one line each.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies within ``[low, high]`` (or ``(low, high)``)."""
+    if low is not None:
+        if inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if not inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+        if not inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` is a fraction in [0, 1] (alias of probability)."""
+    return check_probability(name, value)

@@ -1,0 +1,71 @@
+"""Tests for the load-data buffer and its replay protocol."""
+
+import pytest
+
+from repro.arch import LoadDataBuffer
+
+
+@pytest.fixture()
+def buffer() -> LoadDataBuffer:
+    return LoadDataBuffer(capacity=4)
+
+
+class TestAllocation:
+    def test_allocate_and_commit_round_trip(self, buffer):
+        buffer.allocate(tag=1)
+        buffer.deliver(tag=1, data=0xDEAD)
+        assert buffer.commit(tag=1) == 0xDEAD
+        assert buffer.occupancy == 0
+
+    def test_capacity_is_enforced(self, buffer):
+        for tag in range(4):
+            buffer.allocate(tag)
+        assert buffer.is_full
+        with pytest.raises(RuntimeError):
+            buffer.allocate(99)
+
+    def test_duplicate_tags_rejected(self, buffer):
+        buffer.allocate(tag=7)
+        with pytest.raises(ValueError):
+            buffer.allocate(tag=7)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LoadDataBuffer(capacity=0)
+
+
+class TestErrorRecovery:
+    def test_erroneous_delivery_is_invalid_until_replay(self, buffer):
+        buffer.allocate(tag=1)
+        entry = buffer.deliver(tag=1, data=0xBAD, error=True)
+        assert not entry.valid
+        with pytest.raises(RuntimeError):
+            buffer.commit(tag=1)
+        buffer.replay(tag=1, data=0x600D)
+        assert buffer.commit(tag=1) == 0x600D
+
+    def test_replay_counts_are_tracked(self, buffer):
+        buffer.allocate(tag=1)
+        buffer.allocate(tag=2)
+        buffer.deliver(tag=1, data=1, error=True)
+        buffer.replay(tag=1, data=11)
+        buffer.deliver(tag=2, data=2, error=False)
+        assert buffer.total_replays == 1
+        assert buffer.total_deliveries == 2
+
+    def test_replaying_a_valid_entry_is_an_error(self, buffer):
+        buffer.allocate(tag=1)
+        buffer.deliver(tag=1, data=5, error=False)
+        with pytest.raises(RuntimeError):
+            buffer.replay(tag=1, data=6)
+
+    def test_replaying_before_delivery_is_an_error(self, buffer):
+        buffer.allocate(tag=1)
+        with pytest.raises(RuntimeError):
+            buffer.replay(tag=1, data=6)
+
+    def test_unknown_tag_raises(self, buffer):
+        with pytest.raises(KeyError):
+            buffer.deliver(tag=42, data=0)
+        with pytest.raises(KeyError):
+            buffer.commit(tag=42)

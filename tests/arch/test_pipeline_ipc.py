@@ -1,0 +1,146 @@
+"""Tests for the pipeline models and the IPC-impact evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    AGGRESSIVE_OOO,
+    IN_ORDER_IPC1,
+    MODEST_OOO,
+    PIPELINE_MODELS,
+    PipelineModel,
+    evaluate_ipc_impact,
+    ipc_impact_from_error_rate,
+    ipc_penalty_curve,
+)
+
+
+def _mask(n_cycles: int, error_cycles) -> np.ndarray:
+    mask = np.zeros(n_cycles, dtype=bool)
+    mask[list(error_cycles)] = True
+    return mask
+
+
+class TestPipelineModel:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel(name="bad", baseline_ipc=0.0)
+        with pytest.raises(ValueError):
+            PipelineModel(name="bad", baseline_ipc=1.5)
+        with pytest.raises(ValueError):
+            PipelineModel(name="bad", overlap_window_cycles=-1)
+        with pytest.raises(ValueError):
+            PipelineModel(name="bad", error_penalty_cycles=0)
+
+    def test_in_order_exposes_every_replay(self):
+        mask = _mask(1_000, [10, 200, 999])
+        assert IN_ORDER_IPC1.exposed_penalty_cycles(mask, seed=0) == 3
+
+    def test_no_errors_means_no_penalty(self):
+        mask = np.zeros(100, dtype=bool)
+        for model in PIPELINE_MODELS.values():
+            assert model.exposed_penalty_cycles(mask, seed=0) == 0
+
+    def test_ooo_hides_part_of_the_penalty(self):
+        rng = np.random.default_rng(1)
+        mask = rng.random(50_000) < 0.02
+        exposed = AGGRESSIVE_OOO.exposed_penalty_cycles(mask, seed=2)
+        assert exposed < int(np.count_nonzero(mask))
+
+    def test_larger_window_hides_more(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random(50_000) < 0.02
+        small = PipelineModel(name="s", baseline_ipc=0.8, overlap_window_cycles=2)
+        large = PipelineModel(name="l", baseline_ipc=0.8, overlap_window_cycles=64)
+        assert large.exposed_penalty_cycles(mask, seed=4) <= small.exposed_penalty_cycles(
+            mask, seed=4
+        )
+
+    def test_effective_ipc_bounds(self):
+        assert IN_ORDER_IPC1.effective_ipc(1_000, 0) == pytest.approx(1.0)
+        stretched = IN_ORDER_IPC1.effective_ipc(1_000, 100)
+        assert stretched == pytest.approx(1_000 / 1_100)
+        with pytest.raises(ValueError):
+            IN_ORDER_IPC1.effective_ipc(0, 0)
+        with pytest.raises(ValueError):
+            IN_ORDER_IPC1.effective_ipc(10, -1)
+
+    @given(rate=st.floats(min_value=0.0, max_value=0.1))
+    @settings(max_examples=20, deadline=None)
+    def test_exposed_penalty_never_exceeds_total(self, rate):
+        rng = np.random.default_rng(5)
+        mask = rng.random(5_000) < rate
+        total = int(np.count_nonzero(mask))
+        for model in PIPELINE_MODELS.values():
+            exposed = model.exposed_penalty_cycles(mask, seed=6)
+            assert 0 <= exposed <= total * model.error_penalty_cycles
+
+
+class TestIPCImpact:
+    def test_zero_errors_gives_baseline_ipc(self):
+        impact = evaluate_ipc_impact(MODEST_OOO, np.zeros(1_000, dtype=bool), seed=0)
+        assert impact.effective_ipc == pytest.approx(MODEST_OOO.baseline_ipc)
+        assert impact.ipc_loss_fraction == pytest.approx(0.0)
+        assert impact.hidden_fraction == 0.0
+
+    def test_paper_assumption_matches_in_order_model(self):
+        mask = _mask(10_000, range(0, 10_000, 100))  # 1 % error rate
+        impact = evaluate_ipc_impact(IN_ORDER_IPC1, mask, seed=0)
+        assert impact.ipc_loss_fraction == pytest.approx(impact.paper_assumption_loss)
+
+    def test_ooo_loss_is_below_the_paper_assumption(self):
+        rng = np.random.default_rng(7)
+        mask = rng.random(100_000) < 0.02
+        in_order = evaluate_ipc_impact(IN_ORDER_IPC1, mask, seed=8)
+        aggressive = evaluate_ipc_impact(AGGRESSIVE_OOO, mask, seed=8)
+        assert aggressive.ipc_loss_fraction < in_order.ipc_loss_fraction
+        assert aggressive.hidden_fraction > 0.5
+
+    def test_clustered_errors_are_harder_to_hide(self):
+        n = 50_000
+        rate = 0.02
+        rng = np.random.default_rng(9)
+        uniform = rng.random(n) < rate
+        clustered = np.zeros(n, dtype=bool)
+        n_errors = int(np.count_nonzero(uniform))
+        clustered[:n_errors] = True  # a single dense burst, as in a control transient
+        model = MODEST_OOO
+        hidden_uniform = evaluate_ipc_impact(model, uniform, seed=10).hidden_fraction
+        hidden_clustered = evaluate_ipc_impact(model, clustered, seed=10).hidden_fraction
+        assert hidden_clustered <= hidden_uniform
+
+    def test_error_rate_property(self):
+        impact = evaluate_ipc_impact(IN_ORDER_IPC1, _mask(200, [0, 1]), seed=0)
+        assert impact.error_rate == pytest.approx(0.01)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_ipc_impact(IN_ORDER_IPC1, np.array([], dtype=bool))
+
+
+class TestHelpers:
+    def test_impact_from_error_rate_validates_inputs(self):
+        with pytest.raises(ValueError):
+            ipc_impact_from_error_rate(IN_ORDER_IPC1, 1.5, 100)
+        with pytest.raises(ValueError):
+            ipc_impact_from_error_rate(IN_ORDER_IPC1, 0.01, 0)
+
+    def test_impact_from_error_rate_hits_requested_rate(self):
+        impact = ipc_impact_from_error_rate(IN_ORDER_IPC1, 0.02, 200_000, seed=11)
+        assert impact.error_rate == pytest.approx(0.02, rel=0.1)
+
+    def test_penalty_curve_is_monotonic_in_error_rate(self):
+        rates = [0.0, 0.01, 0.02, 0.05]
+        for model in PIPELINE_MODELS.values():
+            curve = ipc_penalty_curve(model, rates, n_cycles=50_000, seed=12)
+            assert curve[0] == pytest.approx(0.0)
+            assert np.all(np.diff(curve) >= -1e-3)
+
+    def test_penalty_curve_ordering_across_models(self):
+        rates = [0.02]
+        in_order = ipc_penalty_curve(IN_ORDER_IPC1, rates, n_cycles=50_000, seed=13)[0]
+        modest = ipc_penalty_curve(MODEST_OOO, rates, n_cycles=50_000, seed=13)[0]
+        aggressive = ipc_penalty_curve(AGGRESSIVE_OOO, rates, n_cycles=50_000, seed=13)[0]
+        assert aggressive <= modest <= in_order

@@ -1,0 +1,133 @@
+"""Tests for the four-scheme comparison harness."""
+
+import pytest
+
+from repro.baselines import (
+    CanaryVoltageScaling,
+    TripleLatchMonitor,
+    format_scheme_comparison,
+    run_scheme_comparison,
+)
+from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
+from repro.trace import generate_benchmark_trace
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [
+        generate_benchmark_trace("crafty", n_cycles=20_000, seed=3),
+        generate_benchmark_trace("mgrid", n_cycles=20_000, seed=3),
+    ]
+
+
+@pytest.fixture(scope="module")
+def typical_comparison(paper_design, traces):
+    return run_scheme_comparison(
+        paper_design,
+        traces,
+        TYPICAL_CORNER,
+        window_cycles=1_000,
+        ramp_delay_cycles=300,
+        workload_name="crafty+mgrid",
+    )
+
+
+class TestRunSchemeComparison:
+    def test_all_four_schemes_present_in_order(self, typical_comparison):
+        assert [r.scheme for r in typical_comparison.results] == [
+            "fixed VS",
+            "canary delay-line",
+            "triple-latch monitor",
+            "proposed DVS",
+        ]
+
+    def test_margin_reduction_ordering_at_typical_corner(self, typical_comparison):
+        gains = typical_comparison.gains_percent()
+        # The Table 1 "typical" corner is still at 100 C, so the canary has no
+        # temperature slack to recover and its replica-mismatch guard band
+        # costs it one 20 mV step against fixed VS; the triple-latch monitor
+        # sees the absence of IR drop and does better; the proposed DVS alone
+        # exploits the data-dependent slack and must beat all of them.
+        assert abs(gains["fixed VS"] - gains["canary delay-line"]) < 5.0
+        assert gains["triple-latch monitor"] >= gains["canary delay-line"]
+        assert gains["proposed DVS"] > gains["triple-latch monitor"]
+        assert gains["proposed DVS"] > 25.0
+
+    def test_canary_beats_fixed_vs_when_temperature_slack_exists(self, paper_design, traces):
+        from repro.circuit.pvt import BEST_CASE_CORNER
+
+        comparison = run_scheme_comparison(
+            paper_design,
+            traces,
+            BEST_CASE_CORNER,
+            window_cycles=1_000,
+            ramp_delay_cycles=300,
+        )
+        gains = comparison.gains_percent()
+        # At 25 C the replica sees the cooler (faster) devices, which is worth
+        # far more than its one-step guard band.
+        assert gains["canary delay-line"] > gains["fixed VS"]
+
+    def test_error_intolerant_schemes_stay_error_free(self, typical_comparison):
+        for scheme in ("fixed VS", "canary delay-line", "triple-latch monitor"):
+            assert typical_comparison.by_scheme(scheme).is_error_free
+
+    def test_proposed_dvs_error_rate_stays_bounded(self, typical_comparison):
+        # Short traces measure mostly the crafty->mgrid recovery transient
+        # (the paper's Fig. 8 overshoot), so the average sits above the 2 %
+        # band here; it must still be bounded well below the runaway regime.
+        assert typical_comparison.proposed.error_rate < 0.10
+
+    def test_worst_corner_fixed_vs_gains_nothing(self, paper_design, traces):
+        comparison = run_scheme_comparison(
+            paper_design,
+            traces,
+            WORST_CASE_CORNER,
+            window_cycles=1_000,
+            ramp_delay_cycles=300,
+        )
+        gains = comparison.gains_percent()
+        assert gains["fixed VS"] == pytest.approx(0.0, abs=1e-9)
+        # Only the proposed scheme can exploit data-dependent slack here.
+        assert gains["proposed DVS"] >= gains["triple-latch monitor"]
+
+    def test_unknown_scheme_lookup_raises(self, typical_comparison):
+        with pytest.raises(KeyError):
+            typical_comparison.by_scheme("unknown")
+
+    def test_empty_traces_rejected(self, paper_design):
+        with pytest.raises(ValueError):
+            run_scheme_comparison(paper_design, [], TYPICAL_CORNER)
+
+    def test_custom_baseline_configurations_are_used(self, paper_design, traces):
+        comparison = run_scheme_comparison(
+            paper_design,
+            traces,
+            TYPICAL_CORNER,
+            canary=CanaryVoltageScaling(guard_steps=3),
+            triple_latch=TripleLatchMonitor(test_interval_cycles=1_000, vectors_per_test=64),
+            window_cycles=1_000,
+            ramp_delay_cycles=300,
+        )
+        default = run_scheme_comparison(
+            paper_design, traces, TYPICAL_CORNER, window_cycles=1_000, ramp_delay_cycles=300
+        )
+        assert comparison.by_scheme("canary delay-line").voltage > default.by_scheme(
+            "canary delay-line"
+        ).voltage
+        assert (
+            comparison.by_scheme("triple-latch monitor").overhead_energy
+            > default.by_scheme("triple-latch monitor").overhead_energy
+        )
+
+
+class TestFormatSchemeComparison:
+    def test_report_mentions_every_scheme_and_the_corner(self, typical_comparison):
+        text = format_scheme_comparison(typical_comparison)
+        for scheme in ("fixed VS", "canary delay-line", "triple-latch monitor", "proposed DVS"):
+            assert scheme in text
+        assert "Typical process" in text
+
+    def test_report_has_one_row_per_scheme(self, typical_comparison):
+        lines = format_scheme_comparison(typical_comparison).splitlines()
+        assert len(lines) == 3 + len(typical_comparison.results)

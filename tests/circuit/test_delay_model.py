@@ -1,0 +1,82 @@
+"""Tests for the stage-delay primitives and driver delay model."""
+
+import math
+
+import pytest
+
+from repro.circuit.delay_model import (
+    DISTRIBUTED_RC_FACTOR,
+    LUMPED_RC_FACTOR,
+    DriverDelayModel,
+    StageLoads,
+    stage_delay,
+)
+from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
+
+
+@pytest.fixture()
+def loads() -> StageLoads:
+    return StageLoads(
+        wire_resistance=90.0,
+        wire_capacitance=300e-15,
+        receiver_capacitance=60e-15,
+        driver_self_capacitance=40e-15,
+    )
+
+
+class TestStageDelay:
+    def test_matches_hand_computation(self, loads):
+        driver_resistance = 200.0
+        expected = LUMPED_RC_FACTOR * driver_resistance * (40e-15 + 300e-15 + 60e-15)
+        expected += 90.0 * (DISTRIBUTED_RC_FACTOR * 300e-15 + LUMPED_RC_FACTOR * 60e-15)
+        assert stage_delay(driver_resistance, loads) == pytest.approx(expected)
+
+    def test_infinite_driver_resistance_gives_infinite_delay(self, loads):
+        assert math.isinf(stage_delay(math.inf, loads))
+
+    def test_delay_increases_with_wire_capacitance(self, loads):
+        heavier = StageLoads(
+            wire_resistance=loads.wire_resistance,
+            wire_capacitance=2.0 * loads.wire_capacitance,
+            receiver_capacitance=loads.receiver_capacitance,
+            driver_self_capacitance=loads.driver_self_capacitance,
+        )
+        assert stage_delay(200.0, heavier) > stage_delay(200.0, loads)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            StageLoads(-1.0, 1e-15, 1e-15, 1e-15)
+
+
+class TestDriverDelayModel:
+    def test_ir_drop_slows_the_driver(self):
+        model = DriverDelayModel()
+        with_droop = model.driver_resistance(1.2, WORST_CASE_CORNER, size=32.0)
+        without_droop = model.driver_resistance(1.2, WORST_CASE_CORNER.with_ir_drop(0.0), 32.0)
+        assert with_droop > without_droop
+
+    def test_resistance_decreases_with_size(self):
+        model = DriverDelayModel()
+        small = model.driver_resistance(1.2, TYPICAL_CORNER, size=8.0)
+        large = model.driver_resistance(1.2, TYPICAL_CORNER, size=64.0)
+        assert large < small
+
+    def test_capacitances_proxy_device_model(self):
+        model = DriverDelayModel()
+        assert model.gate_capacitance(10.0) == pytest.approx(
+            model.device_model.gate_capacitance(10.0)
+        )
+        assert model.drain_capacitance(10.0) == pytest.approx(
+            model.device_model.drain_capacitance(10.0)
+        )
+
+    def test_leakage_uses_post_droop_supply(self):
+        model = DriverDelayModel()
+        droop = model.leakage_current(1.2, WORST_CASE_CORNER, 100.0)
+        no_droop = model.leakage_current(1.2, WORST_CASE_CORNER.with_ir_drop(0.0), 100.0)
+        assert droop < no_droop
+
+    def test_vdd_must_be_positive(self):
+        model = DriverDelayModel()
+        with pytest.raises(ValueError):
+            model.driver_resistance(0.0, TYPICAL_CORNER, 10.0)

@@ -1,0 +1,86 @@
+"""Tests for the energy primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.energy_model import (
+    FlipFlopEnergyParams,
+    coupling_energy,
+    leakage_energy,
+    switching_energy,
+)
+
+
+class TestSwitchingEnergy:
+    def test_half_cv_squared(self):
+        assert switching_energy(1e-12, 1.2) == pytest.approx(0.5 * 1e-12 * 1.44)
+
+    def test_zero_capacitance(self):
+        assert switching_energy(0.0, 1.2) == 0.0
+
+    @given(cap=st.floats(1e-16, 1e-11), vdd=st.floats(0.5, 1.3))
+    @settings(max_examples=30, deadline=None)
+    def test_quadratic_in_vdd(self, cap, vdd):
+        assert switching_energy(cap, 2 * vdd) == pytest.approx(4 * switching_energy(cap, vdd))
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            switching_energy(-1e-15, 1.2)
+
+
+class TestCouplingEnergy:
+    def test_opposite_switching_costs_four_times_single(self):
+        single = coupling_energy(1e-13, 1.0, 1.2)
+        opposite = coupling_energy(1e-13, 2.0, 1.2)
+        assert opposite == pytest.approx(4.0 * single)
+
+    def test_in_phase_switching_costs_nothing(self):
+        assert coupling_energy(1e-13, 0.0, 1.2) == 0.0
+
+
+class TestLeakageEnergy:
+    def test_linear_in_time(self):
+        one = leakage_energy(1e-6, 1.2, 1e-9)
+        two = leakage_energy(1e-6, 1.2, 2e-9)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_value(self):
+        assert leakage_energy(1e-6, 1.0, 1.0) == pytest.approx(1e-6)
+
+
+class TestFlipFlopEnergyParams:
+    def test_bank_clock_energy_scales_with_width(self):
+        params = FlipFlopEnergyParams()
+        assert params.bank_clock_energy(32) == pytest.approx(32 * params.clock_energy_per_ff)
+
+    def test_recovery_energy_per_error(self):
+        params = FlipFlopEnergyParams()
+        per_error = params.bank_clock_energy(32) + params.recovery_overhead_per_error
+        assert params.recovery_energy(32, 10) == pytest.approx(10 * per_error)
+
+    def test_recovery_energy_vectorised(self):
+        params = FlipFlopEnergyParams()
+        errors = np.array([0, 1, 5])
+        result = params.recovery_energy(32, errors)
+        assert result.shape == (3,)
+        assert result[0] == 0.0
+        assert result[2] == pytest.approx(5 * result[1])
+
+    def test_negative_bank_width_rejected(self):
+        with pytest.raises(ValueError):
+            FlipFlopEnergyParams().bank_clock_energy(-1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            FlipFlopEnergyParams(clock_energy_per_ff=0.0)
+        with pytest.raises(ValueError):
+            FlipFlopEnergyParams(core_vdd=-1.0)
+
+    def test_recovery_overhead_is_small_relative_to_bus_cycle_energy(self):
+        """The paper's observation: recovery overhead is tiny vs bus switching energy."""
+        params = FlipFlopEnergyParams()
+        per_error = params.bank_clock_energy(32) + params.recovery_overhead_per_error
+        # Typical bus cycle energy is several pJ; recovery must be well below.
+        assert per_error < 5e-12

@@ -1,0 +1,132 @@
+"""Tests for the alpha-power-law device model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.mosfet import AlphaPowerModel, TransistorParams
+from repro.circuit.pvt import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def model() -> AlphaPowerModel:
+    return AlphaPowerModel()
+
+
+class TestThresholdVoltage:
+    def test_process_corner_ordering(self, model):
+        slow = model.threshold_voltage(ProcessCorner.SLOW, 25.0)
+        typical = model.threshold_voltage(ProcessCorner.TYPICAL, 25.0)
+        fast = model.threshold_voltage(ProcessCorner.FAST, 25.0)
+        assert slow > typical > fast
+
+    def test_threshold_drops_with_temperature(self, model):
+        cold = model.threshold_voltage(ProcessCorner.TYPICAL, 25.0)
+        hot = model.threshold_voltage(ProcessCorner.TYPICAL, 100.0)
+        assert hot < cold
+
+
+class TestDriveCurrent:
+    def test_current_increases_with_vdd(self, model):
+        low = model.drive_current(0.9, ProcessCorner.TYPICAL, 100.0)
+        high = model.drive_current(1.2, ProcessCorner.TYPICAL, 100.0)
+        assert high > low > 0.0
+
+    def test_current_scales_linearly_with_size(self, model):
+        base = model.drive_current(1.2, ProcessCorner.TYPICAL, 25.0, size=1.0)
+        doubled = model.drive_current(1.2, ProcessCorner.TYPICAL, 25.0, size=2.0)
+        assert doubled == pytest.approx(2.0 * base)
+
+    def test_current_zero_below_threshold(self, model):
+        assert model.drive_current(0.2, ProcessCorner.TYPICAL, 25.0) == 0.0
+
+    def test_fast_corner_is_stronger_than_slow(self, model):
+        slow = model.drive_current(1.2, ProcessCorner.SLOW, 100.0)
+        fast = model.drive_current(1.2, ProcessCorner.FAST, 100.0)
+        assert fast > slow
+
+    def test_hot_device_is_weaker(self, model):
+        cold = model.drive_current(1.2, ProcessCorner.TYPICAL, 25.0)
+        hot = model.drive_current(1.2, ProcessCorner.TYPICAL, 100.0)
+        assert hot < cold
+
+    def test_size_must_be_positive(self, model):
+        with pytest.raises(ValueError):
+            model.drive_current(1.2, ProcessCorner.TYPICAL, 25.0, size=0.0)
+
+
+class TestEffectiveResistance:
+    def test_resistance_decreases_with_vdd(self, model):
+        assert model.effective_resistance(1.2, ProcessCorner.TYPICAL, 100.0) < (
+            model.effective_resistance(0.9, ProcessCorner.TYPICAL, 100.0)
+        )
+
+    def test_resistance_infinite_below_threshold(self, model):
+        assert math.isinf(model.effective_resistance(0.1, ProcessCorner.TYPICAL, 25.0))
+
+    def test_resistance_inverse_in_size(self, model):
+        r1 = model.effective_resistance(1.2, ProcessCorner.TYPICAL, 25.0, size=1.0)
+        r4 = model.effective_resistance(1.2, ProcessCorner.TYPICAL, 25.0, size=4.0)
+        assert r4 == pytest.approx(r1 / 4.0)
+
+    @given(vdd=st.floats(min_value=0.6, max_value=1.2))
+    @settings(max_examples=30, deadline=None)
+    def test_resistance_monotone_in_vdd_property(self, vdd):
+        model = AlphaPowerModel()
+        lower = model.effective_resistance(vdd, ProcessCorner.TYPICAL, 100.0)
+        higher = model.effective_resistance(vdd + 0.02, ProcessCorner.TYPICAL, 100.0)
+        assert higher <= lower
+
+
+class TestCapacitance:
+    def test_gate_cap_scales_with_size(self, model):
+        assert model.gate_capacitance(10.0) == pytest.approx(10.0 * model.gate_capacitance(1.0))
+
+    def test_drain_cap_scales_with_size(self, model):
+        assert model.drain_capacitance(5.0) == pytest.approx(5.0 * model.drain_capacitance(1.0))
+
+    def test_drain_smaller_than_gate(self, model):
+        assert model.drain_capacitance(1.0) < model.gate_capacitance(1.0)
+
+
+class TestLeakage:
+    def test_leakage_grows_with_temperature(self, model):
+        cold = model.leakage_current(1.2, ProcessCorner.TYPICAL, 25.0)
+        hot = model.leakage_current(1.2, ProcessCorner.TYPICAL, 100.0)
+        assert hot > cold
+
+    def test_leakage_drops_with_vdd(self, model):
+        nominal = model.leakage_current(1.2, ProcessCorner.TYPICAL, 100.0)
+        scaled = model.leakage_current(0.9, ProcessCorner.TYPICAL, 100.0)
+        assert scaled < nominal
+
+    def test_fast_corner_leaks_more(self, model):
+        slow = model.leakage_current(1.2, ProcessCorner.SLOW, 100.0)
+        fast = model.leakage_current(1.2, ProcessCorner.FAST, 100.0)
+        assert fast > slow
+
+    def test_leakage_scales_with_size(self, model):
+        one = model.leakage_current(1.2, ProcessCorner.TYPICAL, 100.0, size=1.0)
+        hundred = model.leakage_current(1.2, ProcessCorner.TYPICAL, 100.0, size=100.0)
+        assert hundred == pytest.approx(100.0 * one)
+
+    def test_reference_point_magnitude(self, model):
+        reference = model.leakage_current(1.2, ProcessCorner.TYPICAL, 25.0)
+        assert reference == pytest.approx(model.params.unit_leakage_current, rel=0.05)
+
+
+class TestParamsValidation:
+    def test_missing_corner_entry_rejected(self):
+        with pytest.raises(ValueError, match="vth0 missing"):
+            TransistorParams(vth0={ProcessCorner.SLOW: 0.35})
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            TransistorParams(alpha=-1.0)
+
+    def test_defaults_are_valid(self):
+        params = TransistorParams()
+        assert params.alpha > 1.0
+        assert set(params.vth0) == set(ProcessCorner)

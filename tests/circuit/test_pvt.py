@@ -1,0 +1,72 @@
+"""Tests for PVT corner definitions."""
+
+import pytest
+
+from repro.circuit.pvt import (
+    BEST_CASE_CORNER,
+    STANDARD_CORNERS,
+    TYPICAL_CORNER,
+    WORST_CASE_CORNER,
+    ProcessCorner,
+    PVTCorner,
+    corner_pair_for_table1,
+)
+
+
+def test_worst_case_corner_matches_paper():
+    assert WORST_CASE_CORNER.process is ProcessCorner.SLOW
+    assert WORST_CASE_CORNER.temperature_c == 100.0
+    assert WORST_CASE_CORNER.ir_drop == pytest.approx(0.10)
+
+
+def test_typical_corner_matches_paper():
+    assert TYPICAL_CORNER.process is ProcessCorner.TYPICAL
+    assert TYPICAL_CORNER.temperature_c == 100.0
+    assert TYPICAL_CORNER.ir_drop == 0.0
+
+
+def test_standard_corners_are_five_and_ordered():
+    assert sorted(STANDARD_CORNERS) == [1, 2, 3, 4, 5]
+    assert STANDARD_CORNERS[1] == WORST_CASE_CORNER
+    assert STANDARD_CORNERS[5] == BEST_CASE_CORNER
+
+
+def test_effective_supply_applies_ir_drop():
+    assert WORST_CASE_CORNER.effective_supply(1.2) == pytest.approx(1.08)
+    assert TYPICAL_CORNER.effective_supply(1.2) == pytest.approx(1.2)
+
+
+def test_label_mentions_all_attributes():
+    label = WORST_CASE_CORNER.label
+    assert "Slow" in label and "100" in label and "10%" in label
+    assert "No IR drop" in TYPICAL_CORNER.label
+
+
+def test_with_ir_drop_and_temperature_return_copies():
+    corner = TYPICAL_CORNER.with_ir_drop(0.1)
+    assert corner.ir_drop == pytest.approx(0.1)
+    assert TYPICAL_CORNER.ir_drop == 0.0
+    warmer = corner.with_temperature(25.0)
+    assert warmer.temperature_c == 25.0
+    assert warmer.ir_drop == pytest.approx(0.1)
+
+
+def test_invalid_ir_drop_rejected():
+    with pytest.raises(ValueError):
+        PVTCorner(ProcessCorner.SLOW, 100.0, 1.5)
+
+
+def test_invalid_temperature_rejected():
+    with pytest.raises(ValueError):
+        PVTCorner(ProcessCorner.SLOW, 400.0, 0.0)
+
+
+def test_corner_pair_for_table1():
+    worst, typical = corner_pair_for_table1()
+    assert worst == WORST_CASE_CORNER
+    assert typical == TYPICAL_CORNER
+
+
+def test_corners_are_hashable_and_comparable():
+    assert PVTCorner(ProcessCorner.FAST, 25.0, 0.0) == BEST_CASE_CORNER
+    assert len({WORST_CASE_CORNER, TYPICAL_CORNER, WORST_CASE_CORNER}) == 2

@@ -1,0 +1,150 @@
+"""Tests for the RC transient solver, including cross-checks against analytic RC."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.spice_lite import (
+    RCNetwork,
+    build_coupled_line,
+    step_waveform,
+)
+
+
+def _single_rc(resistance: float, capacitance: float, vdd: float = 1.0):
+    network = RCNetwork()
+    node = network.node("out")
+    network.add_capacitor(node, None, capacitance)
+    network.add_driver(node, resistance, step_waveform(vdd))
+    return network, node
+
+
+class TestSingleRC:
+    def test_charges_towards_supply(self):
+        network, node = _single_rc(1e3, 1e-12)
+        result = network.simulate(t_end=10e-9, dt=1e-12)
+        assert result.voltage_of(node)[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_50_percent_delay_matches_ln2_rc(self):
+        resistance, capacitance = 1e3, 1e-12
+        network, node = _single_rc(resistance, capacitance)
+        result = network.simulate(t_end=8e-9, dt=0.5e-12)
+        crossing = result.crossing_time(node, 0.5)
+        assert crossing == pytest.approx(np.log(2) * resistance * capacitance, rel=0.02)
+
+    def test_63_percent_time_constant(self):
+        resistance, capacitance = 2e3, 0.5e-12
+        network, node = _single_rc(resistance, capacitance)
+        result = network.simulate(t_end=8e-9, dt=0.5e-12)
+        crossing = result.crossing_time(node, 1.0 - np.exp(-1.0))
+        assert crossing == pytest.approx(resistance * capacitance, rel=0.02)
+
+    def test_initial_condition_respected(self):
+        network, node = _single_rc(1e3, 1e-12)
+        result = network.simulate(t_end=1e-9, dt=1e-12, initial_voltages=[0.7])
+        assert result.voltage_of(node)[0] == pytest.approx(0.7)
+
+    def test_falling_crossing(self):
+        network = RCNetwork()
+        node = network.node()
+        network.add_capacitor(node, None, 1e-12)
+        network.add_driver(node, 1e3, step_waveform(0.0, initial=0.0))
+        result = network.simulate(t_end=5e-9, dt=1e-12, initial_voltages=[1.0])
+        crossing = result.crossing_time(node, 0.5, rising=False)
+        assert crossing == pytest.approx(np.log(2) * 1e-9, rel=0.03)
+
+
+class TestNetworkConstruction:
+    def test_named_nodes(self):
+        network = RCNetwork()
+        network.node("a")
+        with pytest.raises(ValueError):
+            network.node("a")
+
+    def test_unknown_node_rejected(self):
+        network = RCNetwork()
+        network.node()
+        with pytest.raises(ValueError):
+            network.add_resistor(0, 5, 100.0)
+
+    def test_zero_resistance_rejected(self):
+        network = RCNetwork()
+        a, b = network.node(), network.node()
+        with pytest.raises(ValueError):
+            network.add_resistor(a, b, 0.0)
+
+    def test_empty_network_cannot_simulate(self):
+        with pytest.raises(ValueError):
+            RCNetwork().simulate(1e-9, 1e-12)
+
+    def test_bad_initial_shape_rejected(self):
+        network, _ = _single_rc(1e3, 1e-12)
+        with pytest.raises(ValueError):
+            network.simulate(1e-9, 1e-12, initial_voltages=[0.0, 0.0])
+
+
+class TestCoupledLine:
+    def test_victim_slower_when_aggressors_switch_opposite(self):
+        """The Fig. 9 effect: opposite-switching neighbours delay the victim."""
+
+        def run(aggressor_level: float) -> float:
+            network, receivers = build_coupled_line(
+                n_wires=3,
+                sections_per_wire=8,
+                wire_resistance=300.0,
+                ground_capacitance=400e-15,
+                coupling_capacitance=500e-15,
+                driver_resistances=[200.0] * 3,
+                driver_waveforms=[
+                    step_waveform(aggressor_level, initial=1.0 - aggressor_level),
+                    step_waveform(1.0),
+                    step_waveform(aggressor_level, initial=1.0 - aggressor_level),
+                ],
+            )
+            initial = np.zeros(network.n_nodes)
+            if aggressor_level == 0.0:
+                # Aggressors start high and fall while the victim rises.
+                for node in range(network.n_nodes):
+                    initial[node] = 0.0
+                for wire in (0, 2):
+                    for section in range(9):
+                        initial[wire * 9 + section] = 1.0
+            result = network.simulate(t_end=6e-9, dt=2e-12, initial_voltages=initial)
+            return result.crossing_time(receivers[1], 0.5)
+
+        quiet = run(aggressor_level=1.0)  # aggressors rise together with the victim
+        opposite = run(aggressor_level=0.0)  # aggressors fall against the victim
+        assert opposite > quiet
+
+    def test_receiver_nodes_count(self):
+        network, receivers = build_coupled_line(
+            n_wires=4,
+            sections_per_wire=3,
+            wire_resistance=100.0,
+            ground_capacitance=100e-15,
+            coupling_capacitance=100e-15,
+            driver_resistances=[100.0] * 4,
+            driver_waveforms=[step_waveform(1.0)] * 4,
+        )
+        assert len(receivers) == 4
+        assert network.n_nodes == 4 * 4
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            build_coupled_line(0, 1, 1.0, 1e-15, 1e-15, [], [])
+        with pytest.raises(ValueError):
+            build_coupled_line(
+                2, 1, 1.0, 1e-15, 1e-15, [100.0], [step_waveform(1.0), step_waveform(1.0)]
+            )
+
+
+class TestCrossingDiagnostics:
+    def test_never_crossing_raises(self):
+        network, node = _single_rc(1e3, 1e-12)
+        result = network.simulate(t_end=0.01e-9, dt=1e-12)
+        with pytest.raises(ValueError, match="never crosses"):
+            result.crossing_time(node, 0.99)
+
+    def test_crossing_by_name(self):
+        network, _ = _single_rc(1e3, 1e-12)
+        result = network.simulate(t_end=5e-9, dt=1e-12)
+        assert result.crossing_time("out", 0.5) > 0.0

@@ -1,0 +1,179 @@
+"""Tests for the double-sampling flip-flop, bank, error counter and clocking."""
+
+import numpy as np
+import pytest
+
+from repro.clocking import PAPER_CLOCKING, ClockingParameters
+from repro.core.double_sampling_ff import (
+    DoubleSamplingFlipFlop,
+    FlipFlopBank,
+    ShadowLatchViolationError,
+)
+from repro.core.error_detection import ErrorCounter
+
+
+class TestClockingParameters:
+    def test_paper_values(self):
+        assert PAPER_CLOCKING.cycle_time == pytest.approx(1 / 1.5e9)
+        assert PAPER_CLOCKING.main_deadline == pytest.approx(600e-12, rel=1e-3)
+        assert PAPER_CLOCKING.shadow_deadline == pytest.approx(
+            600e-12 + 0.33 / 1.5e9, rel=1e-3
+        )
+
+    def test_cycles_for_time(self):
+        assert PAPER_CLOCKING.cycles_for_time(2e-6) == 3000
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ClockingParameters(setup_slack_fraction=1.5)
+
+
+class TestDoubleSamplingFlipFlop:
+    def test_on_time_data_no_error(self):
+        flop = DoubleSamplingFlipFlop()
+        result = flop.capture(1, arrival_time=500e-12)
+        assert result.output == 1
+        assert not result.error
+
+    def test_late_data_detected_and_corrected(self):
+        flop = DoubleSamplingFlipFlop()
+        flop.reset(0)
+        result = flop.capture(1, arrival_time=700e-12)
+        assert result.error
+        assert result.output == 0  # stale value at the main edge
+        assert result.corrected_output == 1
+        assert flop.state == 1  # recovery restored the correct value
+
+    def test_late_data_without_transition_is_not_an_error(self):
+        flop = DoubleSamplingFlipFlop()
+        flop.reset(1)
+        result = flop.capture(1, arrival_time=700e-12)
+        assert not result.error
+
+    def test_arrival_after_shadow_deadline_raises(self):
+        flop = DoubleSamplingFlipFlop()
+        with pytest.raises(ShadowLatchViolationError):
+            flop.capture(1, arrival_time=900e-12)
+
+    def test_hold_constraint(self):
+        flop = DoubleSamplingFlipFlop(hold_time=20e-12)
+        # The shadow deadline is ~820 ps and the cycle is ~667 ps, so short
+        # paths must arrive no earlier than ~173 ps after the next edge.
+        assert flop.check_hold_constraint(200e-12)
+        assert not flop.check_hold_constraint(100e-12)
+
+    def test_negative_hold_time_rejected(self):
+        with pytest.raises(ValueError):
+            DoubleSamplingFlipFlop(hold_time=-1e-12)
+
+    def test_sequence_of_captures_tracks_data(self):
+        flop = DoubleSamplingFlipFlop()
+        values = [1, 0, 0, 1, 1, 0]
+        for value in values:
+            result = flop.capture(value, arrival_time=300e-12)
+            assert result.corrected_output == value
+        assert flop.state == values[-1]
+
+
+class TestFlipFlopBank:
+    def test_error_signal_is_or_of_bits(self):
+        bank = FlipFlopBank(4)
+        bank.reset([0, 0, 0, 0])
+        data = [1, 1, 0, 0]
+        arrivals = [500e-12, 700e-12, 500e-12, 500e-12]
+        result = bank.capture_word(data, arrivals)
+        assert result.error
+        assert list(result.bit_errors) == [False, True, False, False]
+        assert list(result.corrected_word) == data
+
+    def test_no_error_when_all_on_time(self):
+        bank = FlipFlopBank(4)
+        result = bank.capture_word([1, 0, 1, 0], [100e-12] * 4)
+        assert not result.error
+
+    def test_observed_error_rate(self):
+        bank = FlipFlopBank(2)
+        bank.reset([0, 0])
+        bank.capture_word([1, 1], [700e-12, 100e-12])  # error
+        bank.capture_word([1, 1], [100e-12, 100e-12])  # clean
+        assert bank.observed_error_rate() == pytest.approx(0.5)
+        assert bank.error_count == 1
+        assert bank.cycle_count == 2
+
+    def test_state_updates_to_corrected_word(self):
+        bank = FlipFlopBank(3)
+        bank.capture_word([1, 0, 1], [700e-12, 100e-12, 100e-12])
+        assert list(bank.state) == [1, 0, 1]
+
+    def test_shape_validation(self):
+        bank = FlipFlopBank(4)
+        with pytest.raises(ValueError):
+            bank.capture_word([1, 0], [1e-12, 1e-12])
+
+    def test_reset_validation(self):
+        bank = FlipFlopBank(4)
+        with pytest.raises(ValueError):
+            bank.reset([1, 0])
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            FlipFlopBank(0)
+
+    def test_error_rate_empty_bank_is_zero(self):
+        assert FlipFlopBank(8).observed_error_rate() == 0.0
+
+
+class TestErrorCounter:
+    def test_windows_complete_at_boundary(self):
+        counter = ErrorCounter(window_cycles=100)
+        assert counter.record(60, 2) == []
+        completed = counter.record(40, 1)
+        assert len(completed) == 1
+        assert completed[0].n_errors == 3
+        assert completed[0].error_rate == pytest.approx(0.03)
+
+    def test_block_straddling_window_rejected(self):
+        counter = ErrorCounter(window_cycles=100)
+        counter.record(60, 0)
+        with pytest.raises(ValueError):
+            counter.record(50, 0)
+
+    def test_more_errors_than_cycles_rejected(self):
+        counter = ErrorCounter(window_cycles=100)
+        with pytest.raises(ValueError):
+            counter.record(10, 11)
+
+    def test_record_cycle_interface(self):
+        counter = ErrorCounter(window_cycles=3)
+        counter.record_cycle(True)
+        counter.record_cycle(False)
+        completed = counter.record_cycle(True)
+        assert completed[0].n_errors == 2
+
+    def test_flush_partial_window(self):
+        counter = ErrorCounter(window_cycles=100)
+        counter.record(30, 3)
+        flushed = counter.flush()
+        assert len(flushed) == 1
+        assert flushed[0].n_cycles == 30
+        assert counter.flush() == []
+
+    def test_average_error_rate_and_totals(self):
+        counter = ErrorCounter(window_cycles=10)
+        counter.record(10, 1)
+        counter.record(10, 3)
+        assert counter.total_cycles == 20
+        assert counter.total_errors == 4
+        assert counter.average_error_rate == pytest.approx(0.2)
+        assert len(counter.completed_windows) == 2
+
+    def test_window_start_cycles_are_sequential(self):
+        counter = ErrorCounter(window_cycles=10)
+        for _ in range(3):
+            counter.record(10, 0)
+        starts = [w.start_cycle for w in counter.completed_windows]
+        assert starts == [0, 10, 20]
+
+    def test_invalid_window_length_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorCounter(window_cycles=0)

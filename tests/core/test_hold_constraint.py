@@ -1,0 +1,66 @@
+"""Tests for the short-path (hold) constraint analysis of Section 2."""
+
+import pytest
+
+from repro.bus import BusDesign
+from repro.circuit.pvt import BEST_CASE_CORNER, STANDARD_CORNERS, WORST_CASE_CORNER
+from repro.core import analyze_hold_constraint, fastest_bus_delay
+
+
+@pytest.fixture(scope="module")
+def analysis(paper_design):
+    return analyze_hold_constraint(paper_design, corners=list(STANDARD_CORNERS.values()))
+
+
+class TestFastestBusDelay:
+    def test_fastest_corner_is_the_best_case_corner(self, paper_design):
+        delay, corner = fastest_bus_delay(paper_design, corners=list(STANDARD_CORNERS.values()))
+        assert corner == BEST_CASE_CORNER
+        assert delay > 0.0
+
+    def test_fastest_delay_is_well_below_the_worst_case_budget(self, paper_design):
+        delay, _ = fastest_bus_delay(paper_design, corners=[BEST_CASE_CORNER])
+        assert delay < paper_design.clocking.main_deadline
+
+    def test_slow_corner_quiet_delay_is_slower(self, paper_design):
+        fast_delay, _ = fastest_bus_delay(paper_design, corners=[BEST_CASE_CORNER])
+        slow_delay, _ = fastest_bus_delay(paper_design, corners=[WORST_CASE_CORNER])
+        assert slow_delay > fast_delay
+
+    def test_empty_corner_list_rejected(self, paper_design):
+        with pytest.raises(ValueError):
+            fastest_bus_delay(paper_design, corners=[])
+
+
+class TestHoldAnalysis:
+    def test_limit_is_in_a_plausible_range(self, analysis):
+        # The paper derives 33 % for its HSPICE-characterised bus; the
+        # analytical quiet-pattern delay here is somewhat faster, which pushes
+        # the derived limit a few points lower (see EXPERIMENTS.md).  The
+        # analysis must land in the same neighbourhood, not at an extreme.
+        assert 0.15 < analysis.max_shadow_delay_fraction < 0.45
+
+    def test_paper_configuration_comparison_is_reported(self, analysis):
+        assert analysis.configured_fraction == pytest.approx(0.33)
+        assert analysis.is_satisfied == (
+            analysis.configured_fraction <= analysis.max_shadow_delay_fraction + 1e-12
+        )
+        assert analysis.margin_fraction == pytest.approx(
+            analysis.max_shadow_delay_fraction - analysis.configured_fraction
+        )
+
+    def test_hold_time_tightens_the_limit(self, paper_design):
+        loose = analyze_hold_constraint(paper_design, hold_time=0.0)
+        tight = analyze_hold_constraint(paper_design, hold_time=50e-12)
+        assert tight.max_shadow_delay_fraction < loose.max_shadow_delay_fraction
+
+    def test_a_smaller_configured_delay_satisfies_the_constraint(self, paper_design):
+        from dataclasses import replace
+
+        clocking = replace(paper_design.clocking, shadow_delay_fraction=0.20)
+        analysis = analyze_hold_constraint(paper_design.with_clocking(clocking))
+        assert analysis.is_satisfied
+
+    def test_negative_hold_time_rejected(self, paper_design):
+        with pytest.raises(ValueError):
+            analyze_hold_constraint(paper_design, hold_time=-1e-12)

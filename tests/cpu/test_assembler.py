@@ -1,0 +1,121 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.cpu.assembler import AssemblyError, assemble
+from repro.cpu.isa import Opcode, Register
+
+
+class TestBasicParsing:
+    def test_empty_lines_and_comments_are_ignored(self):
+        program = assemble(
+            """
+            # a comment-only line
+            li r1, 5   ; trailing comment
+                       # another comment
+            halt
+            """
+        )
+        assert [i.opcode for i in program] == [Opcode.LI, Opcode.HALT]
+
+    def test_register_register_instruction(self):
+        (instruction,) = assemble("add r3, r1, r2")
+        assert instruction.opcode is Opcode.ADD
+        assert (instruction.rd, instruction.rs1, instruction.rs2) == (
+            Register(3),
+            Register(1),
+            Register(2),
+        )
+
+    def test_immediate_formats(self):
+        program = assemble(
+            """
+            addi r1, r1, -4
+            andi r2, r2, 0xFF
+            li   r3, 0x1000
+            """
+        )
+        assert program[0].imm == -4
+        assert program[1].imm == 0xFF
+        assert program[2].imm == 0x1000
+
+    def test_memory_operands(self):
+        load, store = assemble(
+            """
+            lw r4, 8(r2)
+            sw r5, -1(r6)
+            """
+        )
+        assert (load.rd, load.rs1, load.imm) == (Register(4), Register(2), 8)
+        assert (store.rs2, store.rs1, store.imm) == (Register(5), Register(6), -1)
+
+    def test_case_insensitive_mnemonics(self):
+        (instruction,) = assemble("ADD r1, r2, r3")
+        assert instruction.opcode is Opcode.ADD
+
+
+class TestLabels:
+    def test_branch_targets_resolve_to_instruction_indices(self):
+        program = assemble(
+            """
+            li   r1, 0
+            loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            jmp  end
+            nop
+            end:
+            halt
+            """
+        )
+        assert program[2].target == 1  # loop: points at the addi
+        assert program[3].target == 5  # end: points at the halt
+
+    def test_label_on_its_own_line(self):
+        program = assemble(
+            """
+            start:
+            jmp start
+            """
+        )
+        assert program[0].target == 0
+
+    def test_numeric_targets_are_allowed(self):
+        (instruction,) = assemble("jmp 3")
+        assert instruction.target == 3
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp nowhere")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown instruction"):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects 3 operand"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2, r99")
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2, x3")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError, match="invalid immediate"):
+            assemble("li r1, banana")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="memory operand"):
+            assemble("lw r1, r2")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus r1")

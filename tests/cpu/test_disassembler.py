@@ -1,0 +1,73 @@
+"""Round-trip property tests for the assembler/disassembler pair."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.assembler import assemble, format_instruction, format_program
+from repro.cpu.isa import (
+    BRANCH_OPS,
+    REG_IMM_OPS,
+    REG_REG_OPS,
+    Instruction,
+    Opcode,
+    Register,
+)
+from repro.cpu.kernels import KERNELS
+
+_registers = st.builds(Register, st.integers(min_value=0, max_value=15))
+_immediates = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+
+def _instruction_strategy(max_target: int) -> st.SearchStrategy:
+    reg_reg = st.builds(
+        Instruction,
+        opcode=st.sampled_from(sorted(REG_REG_OPS, key=lambda o: o.value)),
+        rd=_registers,
+        rs1=_registers,
+        rs2=_registers,
+    )
+    reg_imm = st.builds(
+        Instruction,
+        opcode=st.sampled_from(sorted(REG_IMM_OPS, key=lambda o: o.value)),
+        rd=_registers,
+        rs1=_registers,
+        imm=_immediates,
+    )
+    load = st.builds(Instruction, opcode=st.just(Opcode.LW), rd=_registers, rs1=_registers, imm=_immediates)
+    store = st.builds(Instruction, opcode=st.just(Opcode.SW), rs2=_registers, rs1=_registers, imm=_immediates)
+    immediate = st.builds(Instruction, opcode=st.just(Opcode.LI), rd=_registers, imm=_immediates)
+    branch = st.builds(
+        Instruction,
+        opcode=st.sampled_from(sorted(BRANCH_OPS, key=lambda o: o.value)),
+        rs1=_registers,
+        rs2=_registers,
+        target=st.integers(min_value=0, max_value=max_target),
+    )
+    jump = st.builds(
+        Instruction, opcode=st.just(Opcode.JMP), target=st.integers(min_value=0, max_value=max_target)
+    )
+    misc = st.builds(Instruction, opcode=st.sampled_from([Opcode.NOP, Opcode.HALT]))
+    return st.one_of(reg_reg, reg_imm, load, store, immediate, branch, jump, misc)
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_programs_round_trip_through_the_assembler(data):
+    length = data.draw(st.integers(min_value=1, max_value=20))
+    program = [data.draw(_instruction_strategy(max_target=length - 1)) for _ in range(length)]
+    reassembled = assemble(format_program(program))
+    assert reassembled == program
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_single_instructions_round_trip(data):
+    instruction = data.draw(_instruction_strategy(max_target=5))
+    (reassembled,) = assemble(format_instruction(instruction))
+    assert reassembled == instruction
+
+
+def test_builtin_kernels_round_trip():
+    for kernel in KERNELS.values():
+        program = assemble(kernel.source)
+        assert assemble(format_program(program)) == program

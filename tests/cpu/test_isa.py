@@ -1,0 +1,73 @@
+"""Tests for the ISA primitives (registers, instruction validation, word maths)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import (
+    Instruction,
+    Opcode,
+    Register,
+    WORD_MASK,
+    to_signed,
+    to_word,
+)
+
+
+class TestRegister:
+    def test_valid_indices_accepted(self):
+        assert int(Register(0)) == 0
+        assert int(Register(15)) == 15
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Register(16)
+        with pytest.raises(ValueError):
+            Register(-1)
+
+    def test_repr_is_assembly_style(self):
+        assert repr(Register(3)) == "r3"
+
+
+class TestWordArithmetic:
+    def test_to_word_wraps(self):
+        assert to_word(1 << 32) == 0
+        assert to_word(-1) == WORD_MASK
+
+    def test_to_signed_round_trip(self):
+        assert to_signed(to_word(-5)) == -5
+        assert to_signed(7) == 7
+        assert to_signed(1 << 31) == -(1 << 31)
+
+    @given(value=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_signed_conversion_is_inverse_of_wrapping(self, value):
+        assert to_signed(to_word(value)) == value
+
+
+class TestInstructionValidation:
+    def test_reg_reg_requires_all_registers(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=Register(1), rs1=Register(2))
+
+    def test_reg_imm_requires_rd_and_rs1(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADDI, rd=Register(1))
+
+    def test_branch_requires_resolved_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ, rs1=Register(1), rs2=Register(2))
+
+    def test_store_requires_data_and_base(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.SW, rs1=Register(1))
+
+    def test_load_and_store_flags(self):
+        load = Instruction(Opcode.LW, rd=Register(1), rs1=Register(2), imm=0)
+        store = Instruction(Opcode.SW, rs2=Register(1), rs1=Register(2), imm=0)
+        assert load.is_load and not load.is_store
+        assert store.is_store and not store.is_load
+
+    def test_nop_and_halt_need_no_operands(self):
+        assert Instruction(Opcode.NOP).opcode is Opcode.NOP
+        assert Instruction(Opcode.HALT).opcode is Opcode.HALT

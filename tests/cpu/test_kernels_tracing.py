@@ -1,0 +1,109 @@
+"""Tests for the built-in kernels and the kernel-to-bus-trace adapters."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import (
+    CPU,
+    KERNELS,
+    DirectMappedCache,
+    assemble,
+    get_kernel,
+    kernel_bus_trace,
+    kernel_suite,
+)
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS), ids=str)
+class TestKernelCorrectness:
+    def test_kernel_halts_and_verifies(self, name):
+        kernel = get_kernel(name)
+        memory, verify = kernel.prepare(seed=1)
+        cpu = CPU(assemble(kernel.source), memory=memory)
+        result = cpu.run(max_instructions=200_000)
+        assert result.halted, f"{name} did not halt"
+        assert verify(memory), f"{name} produced a wrong result"
+
+    def test_kernel_performs_loads(self, name):
+        kernel = get_kernel(name)
+        memory, _ = kernel.prepare(seed=2)
+        cpu = CPU(assemble(kernel.source), memory=memory)
+        result = cpu.run(max_instructions=200_000)
+        assert result.loads > 0
+        assert 0.0 < result.load_fraction < 1.0
+
+    def test_kernel_is_deterministic_for_a_seed(self, name):
+        kernel = get_kernel(name)
+        runs = []
+        for _ in range(2):
+            memory, _ = kernel.prepare(seed=3)
+            cpu = CPU(assemble(kernel.source), memory=memory)
+            runs.append(cpu.run(max_instructions=200_000).bus_words)
+        assert runs[0] == runs[1]
+
+
+class TestKernelRegistry:
+    def test_registry_covers_both_data_flavors(self):
+        flavors = {kernel.data_flavor for kernel in KERNELS.values()}
+        assert flavors == {"integer", "floating"}
+
+    def test_unknown_kernel_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="pointer_chase"):
+            get_kernel("does_not_exist")
+
+
+class TestKernelBusTrace:
+    def test_trace_has_requested_length_and_width(self):
+        result = kernel_bus_trace("fibonacci", n_cycles=2_000, seed=4)
+        assert result.trace.n_cycles == 2_000
+        assert result.trace.n_bits == 32
+        assert result.runs >= 1
+        assert result.instructions_executed > 0
+
+    def test_short_kernels_are_re_run_until_enough_cycles(self):
+        result = kernel_bus_trace("fibonacci", n_cycles=5_000, seed=5)
+        assert result.runs > 1
+
+    def test_traces_are_deterministic_for_a_seed(self):
+        first = kernel_bus_trace("stream_sum_int", n_cycles=1_000, seed=6)
+        second = kernel_bus_trace("stream_sum_int", n_cycles=1_000, seed=6)
+        np.testing.assert_array_equal(first.trace.values, second.trace.values)
+
+    def test_float_kernels_toggle_more_than_integer_kernels(self):
+        quiet = kernel_bus_trace("stream_sum_int", n_cycles=3_000, seed=7)
+        noisy = kernel_bus_trace("stream_sum_float", n_cycles=3_000, seed=7)
+        assert noisy.trace.toggle_activity() > quiet.trace.toggle_activity()
+
+    def test_misses_only_policy_reports_cache_statistics(self):
+        result = kernel_bus_trace(
+            "stream_sum_int",
+            n_cycles=2_000,
+            seed=8,
+            bus_policy="misses_only",
+            cache=DirectMappedCache(n_lines=16, line_words=8),
+        )
+        assert result.cache_hit_rate is not None
+        assert 0.0 < result.cache_hit_rate < 1.0
+
+    def test_misses_only_trace_is_quieter_than_all_loads(self):
+        all_loads = kernel_bus_trace("stream_sum_float", n_cycles=2_000, seed=9)
+        misses = kernel_bus_trace(
+            "stream_sum_float", n_cycles=2_000, seed=9, bus_policy="misses_only"
+        )
+        assert misses.trace.toggle_activity() < all_loads.trace.toggle_activity()
+
+    def test_invalid_cycle_count_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_bus_trace("fibonacci", n_cycles=0)
+
+
+class TestKernelSuite:
+    def test_suite_returns_one_trace_per_kernel(self):
+        suite = kernel_suite(names=("fibonacci", "memcopy"), n_cycles=1_000, seed=10)
+        assert sorted(suite) == ["fibonacci", "memcopy"]
+        for trace in suite.values():
+            assert trace.n_cycles == 1_000
+
+    def test_default_suite_covers_every_kernel(self):
+        suite = kernel_suite(n_cycles=500, seed=11)
+        assert sorted(suite) == sorted(KERNELS)

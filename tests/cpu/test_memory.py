@@ -1,0 +1,83 @@
+"""Tests for main memory and the direct-mapped data cache."""
+
+import pytest
+
+from repro.cpu.memory import DirectMappedCache, MainMemory
+
+
+class TestMainMemory:
+    def test_uninitialised_words_read_zero(self):
+        assert MainMemory().load(1234) == 0
+
+    def test_store_and_load_round_trip(self):
+        memory = MainMemory()
+        memory.store(10, 0xDEADBEEF)
+        assert memory.load(10) == 0xDEADBEEF
+
+    def test_values_wrap_to_32_bits(self):
+        memory = MainMemory()
+        memory.store(0, 1 << 32)
+        assert memory.load(0) == 0
+        memory.store(0, -1)
+        assert memory.load(0) == 0xFFFFFFFF
+
+    def test_block_operations(self):
+        memory = MainMemory()
+        memory.store_block(100, [1, 2, 3])
+        assert memory.load_block(100, 3) == [1, 2, 3]
+        assert memory.load_block(99, 5) == [0, 1, 2, 3, 0]
+
+    def test_initial_image(self):
+        memory = MainMemory({5: 7, 6: 8})
+        assert memory.load(5) == 7
+        assert memory.touched_words == 2
+
+    def test_address_bounds_checked(self):
+        memory = MainMemory()
+        with pytest.raises(ValueError):
+            memory.load(-1)
+        with pytest.raises(ValueError):
+            memory.store(1 << 33, 0)
+
+
+class TestDirectMappedCache:
+    def test_first_access_misses_then_hits(self):
+        cache = DirectMappedCache(n_lines=4, line_words=4)
+        assert cache.access(0) is False
+        assert cache.access(1) is True  # same line
+        assert cache.access(4) is False  # next line
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_conflicting_lines_evict_each_other(self):
+        cache = DirectMappedCache(n_lines=2, line_words=1)
+        assert cache.access(0) is False
+        assert cache.access(2) is False  # maps to the same index, evicts
+        assert cache.access(0) is False  # evicted, misses again
+
+    def test_invalidate_clears_everything(self):
+        cache = DirectMappedCache(n_lines=4, line_words=1)
+        cache.access(0)
+        cache.invalidate()
+        assert cache.access(0) is False
+
+    def test_statistics_and_capacity(self):
+        cache = DirectMappedCache(n_lines=8, line_words=4)
+        assert cache.capacity_words == 32
+        assert cache.hit_rate == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.accesses == 2
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(n_lines=0)
+        with pytest.raises(ValueError):
+            DirectMappedCache(line_words=0)
+
+    def test_sequential_stream_hit_rate_matches_line_size(self):
+        cache = DirectMappedCache(n_lines=64, line_words=8)
+        for address in range(512):
+            cache.access(address)
+        # One miss per 8-word line.
+        assert cache.misses == 64
+        assert cache.hit_rate == pytest.approx(7 / 8)

@@ -1,0 +1,191 @@
+"""Tests for the functional execution engine."""
+
+import pytest
+
+from repro.cpu import CPU, DirectMappedCache, MainMemory, SimulationError, assemble
+
+
+def _run(source: str, memory=None, **kwargs):
+    cpu = CPU(assemble(source), memory=memory, **kwargs)
+    return cpu.run(), cpu
+
+
+class TestALUAndControlFlow:
+    def test_arithmetic_and_register_file(self):
+        result, cpu = _run(
+            """
+            li   r1, 6
+            li   r2, 7
+            mul  r3, r1, r2
+            sub  r4, r3, r1
+            addi r5, r4, 100
+            halt
+            """
+        )
+        assert result.halted
+        assert cpu.registers[3] == 42
+        assert cpu.registers[4] == 36
+        assert cpu.registers[5] == 136
+
+    def test_r0_is_hardwired_to_zero(self):
+        _, cpu = _run("li r0, 99\naddi r0, r0, 5\nhalt")
+        assert cpu.registers[0] == 0
+
+    def test_logic_shifts_and_compares(self):
+        _, cpu = _run(
+            """
+            li   r1, 0b1100
+            li   r2, 0b1010
+            and  r3, r1, r2
+            or   r4, r1, r2
+            xor  r5, r1, r2
+            slli r6, r1, 2
+            srli r7, r1, 2
+            li   r8, -1
+            slt  r9, r8, r0
+            slti r10, r1, 100
+            halt
+            """
+        )
+        assert cpu.registers[3] == 0b1000
+        assert cpu.registers[4] == 0b1110
+        assert cpu.registers[5] == 0b0110
+        assert cpu.registers[6] == 0b110000
+        assert cpu.registers[7] == 0b11
+        assert cpu.registers[9] == 1  # -1 < 0 signed
+        assert cpu.registers[10] == 1
+
+    def test_wraparound_arithmetic(self):
+        _, cpu = _run(
+            """
+            li  r1, 0xFFFFFFFF
+            addi r2, r1, 1
+            halt
+            """
+        )
+        assert cpu.registers[2] == 0
+
+    def test_branches_and_loop(self):
+        result, cpu = _run(
+            """
+            li   r1, 0
+            li   r2, 10
+            loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            halt
+            """
+        )
+        assert cpu.registers[1] == 10
+        assert result.instructions_executed == 2 + 2 * 10
+
+    def test_signed_branch_semantics(self):
+        _, cpu = _run(
+            """
+            li  r1, -1
+            li  r2, 1
+            li  r3, 0
+            bge r1, r2, skip
+            li  r3, 123
+            skip:
+            halt
+            """
+        )
+        assert cpu.registers[3] == 123  # -1 >= 1 is false (signed)
+
+    def test_jump(self):
+        _, cpu = _run(
+            """
+            jmp over
+            li  r1, 111
+            over:
+            li  r2, 222
+            halt
+            """
+        )
+        assert cpu.registers[1] == 0
+        assert cpu.registers[2] == 222
+
+
+class TestMemoryInstructions:
+    def test_load_store_round_trip(self):
+        memory = MainMemory({100: 55})
+        result, cpu = _run(
+            """
+            li  r1, 100
+            lw  r2, 0(r1)
+            addi r2, r2, 1
+            sw  r2, 1(r1)
+            halt
+            """,
+            memory=memory,
+        )
+        assert cpu.registers[2] == 56
+        assert memory.load(101) == 56
+        assert result.loads == 1
+        assert result.stores == 1
+
+    def test_bus_records_load_data_and_holds_between_loads(self):
+        memory = MainMemory({10: 0xAA, 11: 0xBB})
+        result, _ = _run(
+            """
+            li r1, 10
+            lw r2, 0(r1)
+            addi r3, r0, 1
+            lw r4, 1(r1)
+            nop
+            halt
+            """,
+            memory=memory,
+        )
+        # One bus word per executed instruction; holds previous value on
+        # non-load instructions and 0 before the first load.
+        assert result.bus_words == [0, 0xAA, 0xAA, 0xBB, 0xBB]
+
+    def test_misses_only_policy_needs_a_cache(self):
+        with pytest.raises(ValueError):
+            CPU(assemble("halt"), bus_policy="misses_only")
+
+    def test_misses_only_policy_only_updates_bus_on_misses(self):
+        memory = MainMemory({0: 1, 1: 2, 8: 3})
+        cache = DirectMappedCache(n_lines=4, line_words=8)
+        result, _ = _run(
+            """
+            li r1, 0
+            lw r2, 0(r1)   # miss (line 0)
+            lw r3, 1(r1)   # hit
+            lw r4, 8(r1)   # miss (line 1)
+            halt
+            """,
+            memory=memory,
+            cache=cache,
+            bus_policy="misses_only",
+        )
+        assert result.bus_words == [0, 1, 1, 3]
+        assert result.cache_hit_rate == pytest.approx(1 / 3)
+
+    def test_unknown_bus_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CPU(assemble("halt"), bus_policy="everything")
+
+
+class TestExecutionLimits:
+    def test_missing_halt_detected_when_pc_runs_off_the_end(self):
+        cpu = CPU(assemble("nop"))
+        with pytest.raises(SimulationError):
+            cpu.run()
+
+    def test_instruction_limit_stops_infinite_loops(self):
+        cpu = CPU(assemble("loop:\njmp loop"))
+        bounded = cpu.run(max_instructions=100)
+        assert not bounded.halted
+        assert bounded.instructions_executed == 100
+
+    def test_invalid_limits_rejected(self):
+        cpu = CPU(assemble("halt"))
+        with pytest.raises(ValueError):
+            cpu.run(max_instructions=0)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            CPU([])

@@ -1,0 +1,109 @@
+"""Tests for energy accounting and gain computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import (
+    EnergyBreakdown,
+    breakdown_gain,
+    breakdown_gain_percent,
+    energy_gain,
+    energy_gain_percent,
+    normalized_energy,
+)
+
+
+@pytest.fixture()
+def reference() -> EnergyBreakdown:
+    return EnergyBreakdown(
+        bus_dynamic=10.0, leakage=1.0, flipflop_clocking=2.0, recovery_overhead=0.0
+    )
+
+
+class TestEnergyBreakdown:
+    def test_totals(self, reference):
+        assert reference.bus_energy == pytest.approx(11.0)
+        assert reference.total == pytest.approx(13.0)
+        assert reference.total_with_recovery == pytest.approx(11.0)
+
+    def test_addition(self, reference):
+        doubled = reference + reference
+        assert doubled.bus_dynamic == pytest.approx(20.0)
+        assert doubled.total == pytest.approx(2 * reference.total)
+
+    def test_scaling(self, reference):
+        half = reference.scaled(0.5)
+        assert half.leakage == pytest.approx(0.5)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(bus_dynamic=-1.0)
+
+    def test_negative_scale_rejected(self, reference):
+        with pytest.raises(ValueError):
+            reference.scaled(-1.0)
+
+    def test_normalized_to(self, reference):
+        scaled = EnergyBreakdown(bus_dynamic=5.5, leakage=0.5)
+        normalized = scaled.normalized_to(reference)
+        assert normalized.total_with_recovery == pytest.approx(6.0 / 11.0)
+
+    def test_normalized_to_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown().normalized_to(EnergyBreakdown())
+
+
+class TestGains:
+    def test_energy_gain_basic(self):
+        assert energy_gain(10.0, 6.5) == pytest.approx(0.35)
+        assert energy_gain_percent(10.0, 6.5) == pytest.approx(35.0)
+
+    def test_gain_can_be_negative(self):
+        assert energy_gain(10.0, 12.0) < 0.0
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            energy_gain(0.0, 1.0)
+
+    def test_breakdown_gain_ignores_flipflop_clocking(self, reference):
+        scaled = EnergyBreakdown(
+            bus_dynamic=5.0, leakage=0.5, flipflop_clocking=100.0, recovery_overhead=0.0
+        )
+        assert breakdown_gain(reference, scaled) == pytest.approx(1.0 - 5.5 / 11.0)
+
+    def test_breakdown_gain_counts_recovery_overhead(self, reference):
+        scaled = EnergyBreakdown(bus_dynamic=5.0, leakage=0.5, recovery_overhead=1.0)
+        assert breakdown_gain_percent(reference, scaled) == pytest.approx(
+            100.0 * (1.0 - 6.5 / 11.0)
+        )
+
+    def test_normalized_energy(self, reference):
+        scaled = EnergyBreakdown(bus_dynamic=5.5, leakage=0.0)
+        assert normalized_energy(reference, scaled) == pytest.approx(0.5)
+
+    @given(
+        reference_energy=st.floats(min_value=1e-12, max_value=1e3),
+        ratio=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gain_matches_ratio_property(self, reference_energy, ratio):
+        assert energy_gain(reference_energy, reference_energy * ratio) == pytest.approx(
+            1.0 - ratio, abs=1e-9
+        )
+
+    @given(
+        dynamic=st.floats(min_value=0.0, max_value=10.0),
+        leak=st.floats(min_value=0.0, max_value=10.0),
+        clocking=st.floats(min_value=0.0, max_value=10.0),
+        recovery=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_breakdown_addition_is_componentwise_property(
+        self, dynamic, leak, clocking, recovery
+    ):
+        a = EnergyBreakdown(dynamic, leak, clocking, recovery)
+        b = EnergyBreakdown(recovery, clocking, leak, dynamic)
+        total = a + b
+        assert total.total == pytest.approx(a.total + b.total)
+        assert total.bus_dynamic == pytest.approx(dynamic + recovery)

@@ -1,0 +1,67 @@
+"""Tests for the power / energy-delay-product metrics."""
+
+import pytest
+
+from repro.clocking import PAPER_CLOCKING
+from repro.core.dvs_system import DVSBusSystem
+from repro.energy.power import average_power, energy_delay_product, evaluate_power_metrics
+from repro.trace import generate_benchmark_trace
+
+
+class TestPrimitives:
+    def test_average_power_definition(self):
+        assert average_power(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_energy_delay_product_definition(self):
+        assert energy_delay_product(2.0, 4.0) == pytest.approx(8.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            average_power(1.0, 0.0)
+        with pytest.raises(ValueError):
+            average_power(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            energy_delay_product(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            energy_delay_product(1.0, 0.0)
+
+
+class TestEvaluatePowerMetrics:
+    @pytest.fixture(scope="class")
+    def dvs_result(self, typical_corner_bus):
+        trace = generate_benchmark_trace("vortex", n_cycles=30_000, seed=13)
+        system = DVSBusSystem(typical_corner_bus, window_cycles=1_000, ramp_delay_cycles=300)
+        return system.run(trace, warmup_cycles=15_000)
+
+    @pytest.fixture(scope="class")
+    def metrics(self, dvs_result):
+        return evaluate_power_metrics(dvs_result, PAPER_CLOCKING)
+
+    def test_recovery_cycles_stretch_the_run(self, dvs_result, metrics):
+        assert metrics.run_duration > metrics.reference_duration
+        expected = (dvs_result.n_cycles + dvs_result.total_errors) * PAPER_CLOCKING.cycle_time
+        assert metrics.run_duration == pytest.approx(expected)
+        assert metrics.slowdown_percent == pytest.approx(
+            100.0 * dvs_result.total_errors / dvs_result.n_cycles, rel=1e-9
+        )
+
+    def test_power_and_edp_savings_are_substantial_at_the_typical_corner(self, metrics):
+        # Energy drops by ~1/3 while the run stretches by ~1-2 %, so both the
+        # average power and the EDP must improve by a large margin.
+        assert metrics.power_saving_percent > 25.0
+        assert metrics.edp_gain_percent > 25.0
+
+    def test_edp_charges_the_slowdown(self, dvs_result, metrics):
+        energy_gain = dvs_result.energy_gain_percent
+        # The EDP gain is the energy gain minus the (small) time penalty, so it
+        # must be lower than the pure energy gain but not by much.
+        assert metrics.edp_gain_percent < energy_gain
+        assert metrics.edp_gain_percent > energy_gain - 10.0
+
+    def test_zero_recovery_cycles_keeps_durations_equal(self, dvs_result):
+        metrics = evaluate_power_metrics(dvs_result, PAPER_CLOCKING, recovery_cycles_per_error=0)
+        assert metrics.run_duration == pytest.approx(metrics.reference_duration)
+
+    def test_negative_recovery_cycles_rejected(self, dvs_result):
+        with pytest.raises(ValueError):
+            evaluate_power_metrics(dvs_result, PAPER_CLOCKING, recovery_cycles_per_error=-1)

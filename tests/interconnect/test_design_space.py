@@ -1,0 +1,114 @@
+"""Tests for the repeater / shielding design-space exploration."""
+
+import pytest
+
+from repro.bus import BusDesign
+from repro.circuit.pvt import WORST_CASE_CORNER
+from repro.interconnect.design_space import (
+    delay_optimal_design,
+    explore_repeater_design_space,
+    format_shield_interval_study,
+    power_optimal_design,
+    run_shield_interval_study,
+)
+from repro.interconnect.repeater import RepeaterSizingError
+
+
+@pytest.fixture(scope="module")
+def space():
+    return explore_repeater_design_space(n_sizes=16, segment_options=(2, 4, 8))
+
+
+class TestRepeaterDesignSpace:
+    def test_explores_every_configuration(self, space):
+        assert len(space.points) == 3 * 16
+        assert {point.n_segments for point in space.points} == {2, 4, 8}
+
+    def test_some_points_meet_the_paper_target(self, space):
+        assert space.feasible_points()
+        assert all(p.worst_case_delay <= space.target_delay for p in space.feasible_points())
+
+    def test_energy_increases_with_repeater_size_at_fixed_segments(self, space):
+        four_segment = sorted(
+            (p for p in space.points if p.n_segments == 4), key=lambda p: p.size
+        )
+        energies = [p.worst_case_energy for p in four_segment]
+        assert all(a <= b for a, b in zip(energies, energies[1:]))
+
+    def test_power_optimal_uses_less_energy_than_delay_optimal(self, space):
+        fastest = delay_optimal_design(space)
+        cheapest = power_optimal_design(space)
+        assert cheapest.worst_case_energy <= fastest.worst_case_energy
+        assert cheapest.meets_target
+        assert fastest.worst_case_delay <= cheapest.worst_case_delay
+
+    def test_paper_bus_sizing_lies_inside_the_feasible_region(self, space):
+        design = BusDesign.paper_bus()
+        # The paper's configuration (4 segments) must be representable and its
+        # worst-case delay must sit at or inside the feasible boundary found
+        # by the sweep for 4 segments.
+        four_segment = [p for p in space.feasible_points() if p.n_segments == 4]
+        assert four_segment
+        assert design.repeaters.size <= max(p.size for p in four_segment)
+
+    def test_unreachable_target_raises(self):
+        from repro.clocking import ClockingParameters
+
+        # A 6 GHz clock leaves ~150 ps for the 6 mm bus, which a single
+        # unrepeated segment cannot meet at the worst corner.
+        tight_space = explore_repeater_design_space(
+            n_sizes=8, segment_options=(1,), clocking=ClockingParameters(frequency=6.0e9)
+        )
+        assert not tight_space.feasible_points()
+        with pytest.raises(RepeaterSizingError):
+            power_optimal_design(tight_space)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            explore_repeater_design_space(n_sizes=1)
+        with pytest.raises(ValueError):
+            explore_repeater_design_space(segment_options=(0,))
+
+
+class TestShieldIntervalStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_shield_interval_study(shield_groups=(2, 4, 8, 32))
+
+    def test_one_point_per_interval(self, study):
+        assert [point.shield_group for point in study.points] == [2, 4, 8, 32]
+
+    def test_fewer_shields_means_fewer_tracks(self, study):
+        tracks = [point.n_tracks for point in study.points]
+        assert all(a >= b for a, b in zip(tracks, tracks[1:]))
+
+    def test_fewer_shields_raise_the_worst_case_coupling(self, study):
+        lambdas = [point.max_coupling_factor for point in study.points]
+        assert all(a <= b + 1e-12 for a, b in zip(lambdas, lambdas[1:]))
+
+    def test_paper_interval_is_feasible_at_the_design_corner(self, study):
+        paper_point = study.by_group(4)
+        assert paper_point.feasible
+        assert paper_point.worst_case_delay <= study.target_delay + 1e-15
+
+    def test_feasible_points_report_a_positive_delay_spread(self, study):
+        for point in study.points:
+            if point.feasible:
+                assert point.delay_spread > 0.0
+                assert point.delay_spread < point.worst_case_delay
+
+    def test_denser_shielding_needs_smaller_repeaters(self, study):
+        dense = study.by_group(2)
+        sparse = study.by_group(8)
+        if dense.feasible and sparse.feasible:
+            assert dense.repeater_size <= sparse.repeater_size
+
+    def test_unknown_interval_lookup_raises(self, study):
+        with pytest.raises(KeyError):
+            study.by_group(5)
+
+    def test_report_formatting(self, study):
+        text = format_shield_interval_study(study)
+        assert "shields every" in text
+        assert str(WORST_CASE_CORNER.label) in text
+        assert len(text.splitlines()) == 3 + len(study.points)

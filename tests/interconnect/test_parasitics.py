@@ -1,0 +1,110 @@
+"""Tests for geometry and parasitic extraction, including the modified-bus transform."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.geometry import WireGeometry
+from repro.interconnect.parasitics import extract_parasitics, scale_coupling_ratio
+from repro.interconnect.technology import TECH_130NM
+
+
+@pytest.fixture()
+def geometry() -> WireGeometry:
+    return TECH_130NM.wire_geometry(6e-3)
+
+
+@pytest.fixture()
+def parasitics(geometry):
+    return extract_parasitics(geometry, TECH_130NM.resistivity, TECH_130NM.dielectric_constant)
+
+
+class TestGeometry:
+    def test_pitch_matches_paper(self, geometry):
+        assert geometry.pitch == pytest.approx(0.8e-6)
+
+    def test_cross_section_area(self, geometry):
+        assert geometry.cross_section_area == pytest.approx(0.4e-6 * 0.9e-6)
+
+    def test_with_length(self, geometry):
+        shorter = geometry.with_length(1.5e-3)
+        assert shorter.length == pytest.approx(1.5e-3)
+        assert shorter.width == geometry.width
+
+    def test_scaled_shrinks_cross_section_not_length(self, geometry):
+        scaled = geometry.scaled(0.5)
+        assert scaled.width == pytest.approx(geometry.width * 0.5)
+        assert scaled.length == geometry.length
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            WireGeometry(0.0, 1e-6, 1e-6, 1e-6, 1e-3)
+
+
+class TestExtraction:
+    def test_resistance_matches_resistivity_over_area(self, geometry, parasitics):
+        expected = TECH_130NM.resistivity / geometry.cross_section_area
+        assert parasitics.resistance_per_meter == pytest.approx(expected)
+
+    def test_resistance_per_mm_is_plausible_for_global_copper(self, parasitics):
+        # Global-layer copper at 0.4 x 0.9 um should be tens of ohms per mm.
+        assert 30.0 < parasitics.resistance_per_meter / 1000.0 < 150.0
+
+    def test_coupling_dominates_ground_at_minimum_pitch(self, parasitics):
+        assert parasitics.coupling_to_ground_ratio > 1.0
+
+    def test_total_capacitance_is_plausible(self, parasitics):
+        # Physical capacitance of global wires is a few hundred fF per mm.
+        total_ff_per_mm = parasitics.physical_cap_per_meter * 1e15 / 1000.0
+        assert 100.0 < total_ff_per_mm < 500.0
+
+    def test_wider_spacing_reduces_coupling(self, geometry):
+        wide = WireGeometry(
+            width=geometry.width,
+            spacing=2 * geometry.spacing,
+            thickness=geometry.thickness,
+            dielectric_height=geometry.dielectric_height,
+            length=geometry.length,
+        )
+        relaxed = extract_parasitics(wide, TECH_130NM.resistivity)
+        nominal = extract_parasitics(geometry, TECH_130NM.resistivity)
+        assert relaxed.coupling_cap_per_meter < nominal.coupling_cap_per_meter
+
+    def test_for_length_lumps_parasitics(self, parasitics):
+        segment = parasitics.for_length(1.5e-3)
+        assert segment.resistance == pytest.approx(parasitics.resistance_per_meter * 1.5e-3)
+        assert segment.worst_case_capacitance == pytest.approx(
+            parasitics.worst_case_cap_per_meter * 1.5e-3
+        )
+
+
+class TestModifiedBusTransform:
+    def test_ratio_multiplied(self, parasitics):
+        modified = scale_coupling_ratio(parasitics, 1.95)
+        assert modified.coupling_to_ground_ratio == pytest.approx(
+            1.95 * parasitics.coupling_to_ground_ratio
+        )
+
+    def test_worst_case_load_preserved(self, parasitics):
+        modified = scale_coupling_ratio(parasitics, 1.95)
+        assert modified.worst_case_cap_per_meter == pytest.approx(
+            parasitics.worst_case_cap_per_meter
+        )
+
+    def test_resistance_unchanged(self, parasitics):
+        modified = scale_coupling_ratio(parasitics, 1.95)
+        assert modified.resistance_per_meter == pytest.approx(parasitics.resistance_per_meter)
+
+    def test_identity_multiplier(self, parasitics):
+        same = scale_coupling_ratio(parasitics, 1.0)
+        assert same.ground_cap_per_meter == pytest.approx(parasitics.ground_cap_per_meter)
+
+    @given(multiplier=st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_worst_case_invariant_property(self, multiplier):
+        geometry = TECH_130NM.wire_geometry(6e-3)
+        parasitics = extract_parasitics(geometry, TECH_130NM.resistivity)
+        modified = scale_coupling_ratio(parasitics, multiplier)
+        assert modified.worst_case_cap_per_meter == pytest.approx(
+            parasitics.worst_case_cap_per_meter, rel=1e-9
+        )

@@ -1,0 +1,127 @@
+"""Tests for Elmore coefficients, repeater sizing and technology scaling."""
+
+import pytest
+
+from repro.circuit.delay_model import DriverDelayModel
+from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
+from repro.clocking import PAPER_CLOCKING
+from repro.interconnect.elmore import bus_delay_coefficients, segment_delay_coefficients
+from repro.interconnect.parasitics import extract_parasitics
+from repro.interconnect.repeater import (
+    RepeaterChain,
+    RepeaterSizingError,
+    size_for_target_delay,
+)
+from repro.interconnect.scaling import (
+    delay_spread_metric,
+    delay_spread_trend,
+    scale_technology,
+    scaled_node_series,
+)
+from repro.interconnect.technology import TECH_130NM
+
+
+@pytest.fixture(scope="module")
+def segment():
+    geometry = TECH_130NM.wire_geometry(6e-3)
+    parasitics = extract_parasitics(geometry, TECH_130NM.resistivity, TECH_130NM.dielectric_constant)
+    return parasitics.for_length(1.5e-3)
+
+
+@pytest.fixture(scope="module")
+def driver_model():
+    return DriverDelayModel()
+
+
+class TestElmoreCoefficients:
+    def test_segment_base_and_coupling_positive(self, segment):
+        coefficients = segment_delay_coefficients(200.0, segment, 50e-15, 60e-15)
+        assert coefficients.base > 0.0
+        assert coefficients.per_coupling > 0.0
+
+    def test_bus_is_n_segments_of_stage(self, segment):
+        single = segment_delay_coefficients(200.0, segment, 50e-15, 60e-15)
+        bus = bus_delay_coefficients(200.0, segment, 4, 50e-15, 60e-15, 60e-15)
+        assert bus.base == pytest.approx(4 * single.base)
+        assert bus.per_coupling == pytest.approx(4 * single.per_coupling)
+
+    def test_worst_case_is_four_couplings(self, segment):
+        coefficients = segment_delay_coefficients(200.0, segment, 50e-15, 60e-15)
+        assert coefficients.worst_case == pytest.approx(coefficients.delay(4.0))
+
+    def test_invalid_segment_count_rejected(self, segment):
+        with pytest.raises(ValueError):
+            bus_delay_coefficients(200.0, segment, 0, 50e-15, 60e-15, 60e-15)
+
+
+class TestRepeaterSizing:
+    def test_sized_chain_meets_600ps_at_worst_corner(self, segment, driver_model):
+        chain = size_for_target_delay(
+            target_delay=PAPER_CLOCKING.main_deadline,
+            vdd=1.2,
+            corner=WORST_CASE_CORNER,
+            segment=segment,
+            driver_model=driver_model,
+            n_segments=4,
+        )
+        delay = chain.worst_case_delay(1.2, WORST_CASE_CORNER, segment, driver_model)
+        assert delay <= PAPER_CLOCKING.main_deadline
+        assert delay >= 0.95 * PAPER_CLOCKING.main_deadline  # no gross over-design
+
+    def test_smaller_target_needs_bigger_repeaters(self, segment, driver_model):
+        relaxed = size_for_target_delay(700e-12, 1.2, WORST_CASE_CORNER, segment, driver_model, 4)
+        tight = size_for_target_delay(620e-12, 1.2, WORST_CASE_CORNER, segment, driver_model, 4)
+        assert tight.size > relaxed.size
+
+    def test_impossible_target_raises(self, segment, driver_model):
+        with pytest.raises(RepeaterSizingError):
+            size_for_target_delay(50e-12, 1.2, WORST_CASE_CORNER, segment, driver_model, 4)
+
+    def test_delay_improves_at_faster_corner(self, segment, driver_model):
+        chain = size_for_target_delay(600e-12, 1.2, WORST_CASE_CORNER, segment, driver_model, 4)
+        worst = chain.worst_case_delay(1.2, WORST_CASE_CORNER, segment, driver_model)
+        typical = chain.worst_case_delay(1.2, TYPICAL_CORNER, segment, driver_model)
+        assert typical < worst
+
+    def test_delay_increases_as_supply_scales_down(self, segment, driver_model):
+        chain = RepeaterChain(n_segments=4, size=30.0)
+        nominal = chain.worst_case_delay(1.2, TYPICAL_CORNER, segment, driver_model)
+        scaled = chain.worst_case_delay(1.0, TYPICAL_CORNER, segment, driver_model)
+        assert scaled > nominal
+
+    def test_total_repeater_size(self):
+        chain = RepeaterChain(n_segments=4, size=25.0)
+        assert chain.total_repeater_size(32) == pytest.approx(4 * 25.0 * 32)
+
+    def test_invalid_chain_rejected(self):
+        with pytest.raises(ValueError):
+            RepeaterChain(n_segments=0, size=10.0)
+        with pytest.raises(ValueError):
+            RepeaterChain(n_segments=4, size=-1.0)
+
+
+class TestTechnologyScaling:
+    def test_scaled_node_shrinks_wires(self):
+        node = scale_technology(TECH_130NM, 65e-9)
+        assert node.wire_width == pytest.approx(TECH_130NM.wire_width * 0.5)
+        assert node.name == "65nm"
+
+    def test_known_node_supplies(self):
+        assert scale_technology(TECH_130NM, 90e-9).nominal_vdd == pytest.approx(1.1)
+        assert scale_technology(TECH_130NM, 45e-9).nominal_vdd == pytest.approx(0.9)
+
+    def test_series_contains_requested_nodes(self):
+        nodes = scaled_node_series((130e-9, 65e-9))
+        assert set(nodes) == {"130nm", "65nm"}
+
+    def test_delay_spread_grows_with_scaling(self):
+        trend = delay_spread_trend()
+        values = list(trend.values())
+        assert values[0] == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_delay_spread_metric_positive(self):
+        assert delay_spread_metric(TECH_130NM) > 0.0
+
+    def test_minimum_pitch_property(self):
+        assert TECH_130NM.minimum_pitch == pytest.approx(0.8e-6)

@@ -1,0 +1,104 @@
+"""Tests for the character canvas and its data-coordinate mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plotting.canvas import Canvas, DataWindow
+
+
+class TestDataWindow:
+    def test_fractions_span_zero_to_one(self):
+        window = DataWindow(0.0, 10.0, -5.0, 5.0)
+        assert window.x_fraction(0.0) == pytest.approx(0.0)
+        assert window.x_fraction(10.0) == pytest.approx(1.0)
+        assert window.y_fraction(-5.0) == pytest.approx(0.0)
+        assert window.y_fraction(5.0) == pytest.approx(1.0)
+
+    def test_degenerate_axis_maps_to_centre(self):
+        window = DataWindow(1.0, 1.0, 0.0, 2.0)
+        assert window.x_fraction(1.0) == pytest.approx(0.5)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DataWindow(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            DataWindow(0.0, 1.0, 1.0, 0.0)
+
+    def test_around_covers_all_points(self):
+        window = DataWindow.around([1.0, 4.0, 2.0], [10.0, -3.0, 5.0])
+        assert window.x_min <= 1.0 and window.x_max >= 4.0
+        assert window.y_min <= -3.0 and window.y_max >= 10.0
+
+    def test_around_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DataWindow.around([], [])
+
+    @given(
+        x=st.floats(min_value=0.0, max_value=10.0),
+        pad=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_padded_window_still_contains_points(self, x, pad):
+        window = DataWindow.around([0.0, 10.0], [0.0, 1.0], pad_fraction=pad)
+        assert 0.0 <= window.x_fraction(x) <= 1.0
+
+
+class TestCanvas:
+    @pytest.fixture()
+    def canvas(self) -> Canvas:
+        return Canvas(width=20, height=10, window=DataWindow(0.0, 10.0, 0.0, 1.0))
+
+    def test_corner_points_map_to_corner_cells(self, canvas):
+        assert canvas.cell_for(0.0, 0.0) == (9, 0)
+        assert canvas.cell_for(10.0, 1.0) == (0, 19)
+
+    def test_point_outside_window_is_not_plotted(self, canvas):
+        assert canvas.plot_point(11.0, 0.5) is False
+        assert canvas.plot_point(5.0, 2.0) is False
+
+    def test_point_inside_window_is_plotted(self, canvas):
+        assert canvas.plot_point(5.0, 0.5, marker="x") is True
+        assert "x" in canvas.render()
+
+    def test_line_endpoints_are_marked(self, canvas):
+        canvas.plot_line(0.0, 0.0, 10.0, 1.0, marker="*")
+        rendered = canvas.render()
+        assert rendered.count("*") >= 10  # a diagonal across a 20x10 area
+
+    def test_render_contains_axis_extents(self, canvas):
+        rendered = canvas.render(title="demo", x_label="x", y_label="y")
+        assert "demo" in rendered
+        assert "0" in rendered and "10" in rendered
+        assert "1" in rendered
+
+    def test_render_line_count_matches_height(self, canvas):
+        rendered = canvas.render()
+        plot_rows = [line for line in rendered.splitlines() if "|" in line]
+        assert len(plot_rows) == 10
+
+    def test_write_text_clips_to_canvas(self, canvas):
+        canvas.write_text(0, 18, "label")
+        rendered = canvas.render()
+        assert "la" in rendered
+        # Writing outside the canvas must be a no-op, not an error.
+        canvas.write_text(50, 0, "ignored")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Canvas(width=0, height=5, window=DataWindow(0, 1, 0, 1))
+        with pytest.raises(ValueError):
+            Canvas(width=5, height=-1, window=DataWindow(0, 1, 0, 1))
+
+    @given(
+        x=st.floats(min_value=0.0, max_value=10.0),
+        y=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_in_window_point_lands_on_the_grid(self, x, y):
+        canvas = Canvas(width=20, height=10, window=DataWindow(0.0, 10.0, 0.0, 1.0))
+        cell = canvas.cell_for(x, y)
+        assert cell is not None
+        row, column = cell
+        assert 0 <= row < 10
+        assert 0 <= column < 20

@@ -1,0 +1,143 @@
+"""Tests for the chart renderers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plotting import (
+    Series,
+    bar_chart,
+    histogram,
+    line_chart,
+    residency_chart,
+    scatter_chart,
+)
+
+
+class TestSeries:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Series("bad", [1, 2, 3], [1, 2])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            Series("empty", [], [])
+
+
+class TestLineChart:
+    def test_single_series_renders_title_and_labels(self):
+        chart = line_chart(
+            [Series("energy", [1.0, 1.1, 1.2], [1.0, 0.8, 0.6])],
+            title="normalised energy",
+            x_label="Vdd (V)",
+            y_label="E",
+        )
+        assert "normalised energy" in chart
+        assert "Vdd (V)" in chart
+
+    def test_multiple_series_get_distinct_markers_and_legend(self):
+        chart = line_chart(
+            [
+                Series("a", [0, 1, 2], [0, 1, 2]),
+                Series("b", [0, 1, 2], [2, 1, 0]),
+            ]
+        )
+        assert "legend:" in chart
+        assert "* a" in chart
+        assert "o b" in chart
+
+    def test_explicit_marker_is_respected(self):
+        chart = line_chart([Series("m", [0, 1], [0, 1], marker="@")])
+        assert "@" in chart
+
+    def test_single_point_series_renders(self):
+        chart = line_chart([Series("pt", [1.0], [2.0])])
+        assert "*" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart([Series("flat", [0, 1, 2], [1.0, 1.0, 1.0])])
+        assert "*" in chart
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+
+
+class TestScatterChart:
+    def test_points_are_plotted(self):
+        chart = scatter_chart([Series("gain", [400, 500, 600], [48, 35, 0])])
+        assert chart.count("*") >= 3
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_chart([])
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["crafty", "mgrid"], [44.6, 34.8], width=40)
+        crafty_line, mgrid_line = chart.splitlines()
+        assert crafty_line.count("#") > mgrid_line.count("#")
+
+    def test_values_appear_in_output(self):
+        chart = bar_chart(["a"], [17.0])
+        assert "17.0" in chart
+
+    def test_negative_value_renders_without_bar(self):
+        chart = bar_chart(["loss"], [-3.0])
+        assert "#" not in chart
+        assert "-3.0" in chart
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a", "b"], [1.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_all_zero_values_render(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in chart
+
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_bar_length_is_monotonic_in_value(self, values):
+        labels = [f"b{i}" for i in range(len(values))]
+        lines = bar_chart(labels, values, width=40).splitlines()
+        lengths = [line.count("#") for line in lines]
+        order = np.argsort(values)
+        sorted_lengths = [lengths[i] for i in order]
+        assert all(a <= b for a, b in zip(sorted_lengths, sorted_lengths[1:]))
+
+
+class TestHistogram:
+    def test_shares_sum_to_one_hundred(self):
+        chart = histogram(np.random.default_rng(0).normal(size=500), bins=5)
+        shares = [float(line.split()[-1].rstrip("%")) for line in chart.splitlines()]
+        assert sum(shares) == pytest.approx(100.0, abs=0.5)
+
+    def test_explicit_bin_edges(self):
+        chart = histogram([0.90, 0.92, 0.92, 0.94], bin_edges=[0.89, 0.91, 0.93, 0.95])
+        assert len(chart.splitlines()) == 3
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_bad_bin_edges_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([1.0, 2.0], bin_edges=[1.0])
+
+
+class TestResidencyChart:
+    def test_voltages_sorted_and_labelled_in_millivolts(self):
+        chart = residency_chart({0.98: 0.2, 0.90: 0.8}, title="crafty")
+        lines = chart.splitlines()
+        assert "crafty" in lines[0]
+        assert "900 mV" in lines[1]
+        assert "980 mV" in lines[2]
+        assert "80.0%" in chart
+
+    def test_empty_residency_rejected(self):
+        with pytest.raises(ValueError):
+            residency_chart({})

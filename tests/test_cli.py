@@ -1,0 +1,111 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.cli import CORNERS, build_parser, main
+from repro.cpu import KERNELS
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([])
+        assert excinfo.value.code == 2
+        assert "command" in capsys.readouterr().err
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+        assert "fig99" in capsys.readouterr().err
+
+    def test_unknown_corner_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "--corner", "mars"])
+        assert "mars" in capsys.readouterr().err
+
+    def test_corner_aliases_cover_the_figure5_corners(self):
+        assert {"worst", "typical", "best"} <= set(CORNERS)
+        assert {"corner1", "corner5"} <= set(CORNERS)
+
+
+class TestListCommands:
+    def test_list_prints_every_experiment_id(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for identifier in EXPERIMENTS:
+            assert identifier in output
+
+    def test_kernels_prints_every_kernel(self, capsys):
+        assert main(["kernels"]) == 0
+        output = capsys.readouterr().out
+        for name in KERNELS:
+            assert name in output
+
+
+class TestCharacterize:
+    def test_characterize_reports_grid_and_deadlines(self, capsys):
+        assert main(["characterize", "--corner", "typical"]) == 0
+        output = capsys.readouterr().out
+        assert "Typical process" in output
+        assert "600 ps" in output
+        assert "1200" in output  # the nominal grid point in mV
+
+    def test_worst_corner_zero_error_voltage_is_nominal(self, capsys):
+        assert main(["characterize", "--corner", "worst"]) == 0
+        output = capsys.readouterr().out
+        assert "zero-error supply: 1200 mV" in output
+
+
+class TestRun:
+    def test_run_scaling_experiment(self, capsys):
+        # The scaling study is workload-free and therefore fast.
+        assert main(["run", "scaling"]) == 0
+        output = capsys.readouterr().out
+        assert "130nm" in output
+
+    def test_run_fig4b_with_small_workload(self, capsys):
+        assert main(["run", "fig4b", "--cycles", "4000", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "error" in output.lower()
+
+
+class TestSimulate:
+    def test_simulate_prints_summary_and_voltage_chart(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--benchmark",
+                    "crafty",
+                    "--corner",
+                    "typical",
+                    "--cycles",
+                    "20000",
+                    "--window",
+                    "1000",
+                    "--ramp",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "energy gain vs nominal" in output
+        assert "supply voltage per control window" in output
+
+    def test_simulate_rejects_unknown_benchmark(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--benchmark", "doom"])
+        assert "doom" in capsys.readouterr().err
+
+
+class TestCompareSchemes:
+    def test_compare_schemes_lists_all_four_rows(self, capsys):
+        assert (
+            main(["compare-schemes", "--corner", "typical", "--cycles", "8000", "--seed", "3"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        for scheme in ("fixed VS", "canary delay-line", "triple-latch monitor", "proposed DVS"):
+            assert scheme in output

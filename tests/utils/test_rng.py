@@ -1,0 +1,47 @@
+"""Tests for RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_from_seed_is_deterministic():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    assert np.allclose(a, b)
+
+
+def test_make_rng_passthrough_generator():
+    generator = np.random.default_rng(1)
+    assert make_rng(generator) is generator
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_count():
+    rngs = spawn_rngs(7, 4)
+    assert len(rngs) == 4
+
+
+def test_spawn_rngs_streams_are_independent():
+    rngs = spawn_rngs(7, 2)
+    assert not np.allclose(rngs[0].random(10), rngs[1].random(10))
+
+
+def test_spawn_rngs_deterministic_across_calls():
+    first = [generator.random(3) for generator in spawn_rngs(99, 3)]
+    second = [generator.random(3) for generator in spawn_rngs(99, 3)]
+    for a, b in zip(first, second):
+        assert np.allclose(a, b)
+
+
+def test_spawn_rngs_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_rngs(1, -1)
+
+
+def test_spawn_rngs_zero_count():
+    assert spawn_rngs(1, 0) == []

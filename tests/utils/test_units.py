@@ -1,0 +1,50 @@
+"""Tests for the unit-conversion helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_millivolts_to_volts():
+    assert units.mV(1200.0) == pytest.approx(1.2)
+
+
+def test_volts_from_mv_alias():
+    assert units.volts_from_mv(980.0) == pytest.approx(units.mV(980.0))
+
+
+def test_picoseconds_to_seconds():
+    assert units.ps(600.0) == pytest.approx(600e-12)
+
+
+def test_micrometres_to_metres():
+    assert units.um(0.8) == pytest.approx(0.8e-6)
+
+
+def test_nanometres_to_metres():
+    assert units.nm(130.0) == pytest.approx(130e-9)
+
+
+def test_femtofarads_to_farads():
+    assert units.fF(100.0) == pytest.approx(1e-13)
+
+
+def test_picofarads_to_farads():
+    assert units.pF(1.0) == pytest.approx(1e-12)
+
+
+def test_gigahertz_to_hertz():
+    assert units.GHz(1.5) == pytest.approx(1.5e9)
+
+
+def test_megahertz_to_hertz():
+    assert units.MHz(500.0) == pytest.approx(5e8)
+
+
+def test_kelvin_conversion():
+    assert units.kelvin(25.0) == pytest.approx(298.15)
+    assert units.kelvin(100.0) == pytest.approx(373.15)
+
+
+def test_ohm_per_square_is_identity():
+    assert units.ohm_per_square(0.07) == pytest.approx(0.07)

@@ -1,0 +1,73 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckInRange:
+    def test_accepts_value_inside(self):
+        assert check_in_range("x", 5.0, 0.0, 10.0) == 5.0
+
+    def test_accepts_boundaries_when_inclusive(self):
+        assert check_in_range("x", 0.0, 0.0, 10.0) == 0.0
+        assert check_in_range("x", 10.0, 0.0, 10.0) == 10.0
+
+    def test_rejects_boundaries_when_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 10.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range("x", 10.0, 0.0, 10.0, inclusive=False)
+
+    def test_rejects_below_low(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            check_in_range("x", -0.5, 0.0, 10.0)
+
+    def test_rejects_above_high(self):
+        with pytest.raises(ValueError, match="must be <= 10"):
+            check_in_range("x", 11.0, 0.0, 10.0)
+
+    def test_only_low_bound(self):
+        assert check_in_range("x", 1e9, low=0.0) == 1e9
+
+    def test_only_high_bound(self):
+        assert check_in_range("x", -1e9, high=0.0) == -1e9
+
+
+class TestProbabilityAndFraction:
+    def test_probability_accepts_unit_interval(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 0.5) == 0.5
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_probability_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+    def test_fraction_is_alias(self):
+        assert check_fraction("f", 0.33) == 0.33
+        with pytest.raises(ValueError):
+            check_fraction("f", 2.0)
