@@ -4,14 +4,23 @@ Each benchmark file regenerates one of the paper's tables or figures.  The
 workload sizes default to values that keep the whole harness in the minutes
 range; EXPERIMENTS.md records the paper-scale settings (10 M cycles per
 benchmark) that simply scale these parameters up.
+
+The expensive session fixtures -- bus characterisations and the synthetic
+trace suites -- are memoised through the runtime's content-addressed cache
+(:mod:`repro.runtime.cache`), so re-running the harness, or any sweep/example
+that needs the same objects, rebuilds nothing.  Delete the cache directory
+(``python -m repro cache clear``) to force a cold rebuild.
 """
 
 from __future__ import annotations
 
 import pytest
 
+import repro
 from repro.bus import BusDesign, CharacterizedBus
-from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
+from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER, PVTCorner
+from repro.runtime import shared_cache
+from repro.runtime.tasks import corner_params
 from repro.trace import generate_suite
 
 #: Cycles per benchmark used by the harness (paper: 10 million).
@@ -25,28 +34,54 @@ BENCH_RAMP = 600
 BENCH_SEED = 2005
 
 
+def _cached_characterization(corner: PVTCorner) -> CharacterizedBus:
+    # repro.__version__ is part of the key so a release that changes the
+    # physics misses instead of silently replaying stale pickled models.
+    return shared_cache().memoize(
+        {
+            "artifact": "paper-bus-characterization",
+            "code_version": repro.__version__,
+            "corner": corner_params(corner),
+        },
+        lambda: CharacterizedBus(BusDesign.paper_bus(), corner),
+        name="characterized-bus.pkl",
+    )
+
+
+def _cached_suite(names=None) -> dict:
+    return shared_cache().memoize(
+        {
+            "artifact": "trace-suite",
+            "code_version": repro.__version__,
+            "names": list(names) if names is not None else None,
+            "n_cycles": BENCH_CYCLES,
+            "seed": BENCH_SEED,
+        },
+        lambda: generate_suite(names=names, n_cycles=BENCH_CYCLES, seed=BENCH_SEED),
+        name="trace-suite.pkl",
+    )
+
+
 @pytest.fixture(scope="session")
 def paper_design() -> BusDesign:
     return BusDesign.paper_bus()
 
 
 @pytest.fixture(scope="session")
-def worst_corner_bus(paper_design) -> CharacterizedBus:
-    return CharacterizedBus(paper_design, WORST_CASE_CORNER)
+def worst_corner_bus() -> CharacterizedBus:
+    return _cached_characterization(WORST_CASE_CORNER)
 
 
 @pytest.fixture(scope="session")
-def typical_corner_bus(paper_design) -> CharacterizedBus:
-    return CharacterizedBus(paper_design, TYPICAL_CORNER)
+def typical_corner_bus() -> CharacterizedBus:
+    return _cached_characterization(TYPICAL_CORNER)
 
 
 @pytest.fixture(scope="session")
 def suite():
-    return generate_suite(n_cycles=BENCH_CYCLES, seed=BENCH_SEED)
+    return _cached_suite()
 
 
 @pytest.fixture(scope="session")
 def small_suite():
-    return generate_suite(
-        names=("crafty", "vortex", "mgrid"), n_cycles=BENCH_CYCLES, seed=BENCH_SEED
-    )
+    return _cached_suite(("crafty", "vortex", "mgrid"))

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) in environments
+whose setuptools predates built-in PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

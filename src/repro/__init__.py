@@ -66,7 +66,7 @@ from repro.trace import (
     generate_suite,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BusDesign",

@@ -11,14 +11,24 @@ Beyond the paper's own artefacts, the registry also exposes the extension
 studies this reproduction adds (the related-work baseline comparison, the bus
 encoding study, the pipeline/IPC ablation and the shield-interval sweep), so
 ``python -m repro run <id>`` covers everything DESIGN.md lists.
+
+The registry is wired into :mod:`repro.runtime`: every experiment maps to a
+``JobSpec`` of the ``experiment`` runtime task (see :meth:`Experiment.job`),
+so experiment runs flow through the same content-addressed result cache and
+worker pool as the declarative sweeps -- regenerating a figure twice
+simulates it once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.analysis import reporting
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.spec import JobSpec
 from repro.analysis.dynamic_dvs import run_fig8, run_table1
 from repro.analysis.modified_bus import run_modified_bus_study, run_technology_scaling_study
 from repro.analysis.oracle_dvs import run_oracle_residency
@@ -43,6 +53,17 @@ class Experiment:
     def run(self, **kwargs: Any) -> Tuple[Any, str]:
         """Execute the experiment; returns (result object, formatted text)."""
         return self.runner(**kwargs)
+
+    def job(self, **kwargs: Any) -> "JobSpec":
+        """The runtime :class:`~repro.runtime.spec.JobSpec` for this entry.
+
+        The spec's content hash covers the experiment id and every keyword
+        argument, so a run with different cycles/seed never aliases a cached
+        one.
+        """
+        from repro.runtime.spec import JobSpec
+
+        return JobSpec("experiment", {"identifier": self.identifier, **kwargs})
 
 
 def _suite(n_cycles: int, seed: int):
@@ -282,9 +303,34 @@ EXPERIMENTS: Dict[str, Experiment] = {
 }
 
 
-def run_experiment(identifier: str, **kwargs: Any) -> Tuple[Any, str]:
-    """Run one experiment by id; raises ``KeyError`` for unknown ids."""
+def run_experiment(
+    identifier: str, cache: Optional["ResultCache"] = None, **kwargs: Any
+) -> Tuple[Any, str]:
+    """Run one experiment by id; raises ``KeyError`` for unknown ids.
+
+    Parameters
+    ----------
+    identifier:
+        Registry id (``fig5``, ``table1``, ...).
+    cache:
+        Optional :class:`~repro.runtime.cache.ResultCache`.  When given, the
+        run goes through the runtime engine: a prior run with identical
+        parameters returns its report text without simulating anything, and
+        the result object is the cached record dict instead of the rich
+        in-memory study object.
+    kwargs:
+        Forwarded to the experiment runner (``n_cycles``, ``seed``, ...).
+    """
     if identifier not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {identifier!r}; known: {known}")
-    return EXPERIMENTS[identifier].run(**kwargs)
+    if cache is None:
+        return EXPERIMENTS[identifier].run(**kwargs)
+
+    from repro.runtime.executor import run_jobs
+
+    report = run_jobs([EXPERIMENTS[identifier].job(**kwargs)], cache=cache)
+    outcome = report.outcomes[0]
+    record = dict(outcome.result)
+    record["cached"] = outcome.cached
+    return record, record["text"]

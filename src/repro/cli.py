@@ -12,37 +12,48 @@ the reproduction can be driven without writing a script:
   closed-loop DVS run with a supply-voltage time series,
 * ``python -m repro compare-schemes --corner typical`` -- fixed VS vs canary
   vs triple-latch vs the proposed DVS,
+* ``python -m repro sweep pvt-mega --jobs 8`` -- a declarative parameter grid
+  executed by the runtime engine with caching and a worker pool,
+* ``python -m repro cache info`` -- inspect or clear the result cache,
 * ``python -m repro kernels`` -- the mini-CPU kernels available as workloads.
+
+The runtime flags steer the engine for the commands that go through it:
+``--cache-dir PATH`` / ``--no-cache`` apply to ``run`` and ``sweep``
+(repeated runs hit the content-addressed cache instead of re-simulating)
+and ``--cache-dir`` selects the cache for ``cache``; ``--jobs N`` applies
+to ``sweep``, fanning cache misses out over N worker processes with
+bit-identical results (``run`` executes a single job, so it gains nothing
+from workers).  The one-off interactive commands (``characterize``,
+``simulate``, ``compare-schemes``) always simulate directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.baselines import format_scheme_comparison, run_scheme_comparison
 from repro.bus import BusDesign, CharacterizedBus
-from repro.circuit.pvt import (
-    BEST_CASE_CORNER,
-    STANDARD_CORNERS,
-    TYPICAL_CORNER,
-    WORST_CASE_CORNER,
-    PVTCorner,
-)
+from repro.circuit.pvt import PVTCorner
 from repro.core.dvs_system import DVSBusSystem
 from repro.cpu import KERNELS
 from repro.plotting import Series, line_chart
+from repro.runtime import (
+    CORNERS,
+    SWEEPS,
+    ProgressPrinter,
+    ResultCache,
+    ResultStore,
+    default_cache_dir,
+    format_sweep_report,
+    get_sweep,
+    run_jobs,
+)
 from repro.trace import TABLE1_ORDER, generate_benchmark_trace, generate_suite
-
-#: Corner names accepted by ``--corner``.
-CORNERS: Dict[str, PVTCorner] = {
-    "worst": WORST_CASE_CORNER,
-    "typical": TYPICAL_CORNER,
-    "best": BEST_CASE_CORNER,
-    **{f"corner{i}": corner for i, corner in STANDARD_CORNERS.items()},
-}
 
 
 def _add_corner_argument(parser: argparse.ArgumentParser) -> None:
@@ -63,6 +74,33 @@ def build_parser() -> argparse.ArgumentParser:
             "Correction' (Kaul et al., DATE 2005)."
         ),
     )
+    # The runtime flags are accepted both before and after the subcommand
+    # (``repro --jobs 4 sweep ...`` and ``repro sweep ... --jobs 4``).  The
+    # sub-parser copies default to SUPPRESS so an unused post-command flag
+    # never clobbers a value the top-level parser already set.
+    def add_runtime_flags(target: argparse.ArgumentParser, top_level: bool) -> None:
+        target.add_argument(
+            "--jobs",
+            type=int,
+            metavar="N",
+            default=1 if top_level else argparse.SUPPRESS,
+            help="worker processes for cache misses (results are identical to serial)",
+        )
+        target.add_argument(
+            "--cache-dir",
+            type=Path,
+            metavar="PATH",
+            default=None if top_level else argparse.SUPPRESS,
+            help="result-cache root (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+        )
+        target.add_argument(
+            "--no-cache",
+            action="store_true",
+            default=False if top_level else argparse.SUPPRESS,
+            help="bypass the result cache entirely (always simulate)",
+        )
+
+    add_runtime_flags(parser, top_level=True)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the paper's experiments and their ids")
@@ -71,6 +109,42 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
     run_parser.add_argument("--cycles", type=int, default=None, help="cycles per benchmark")
     run_parser.add_argument("--seed", type=int, default=2005, help="workload seed")
+    add_runtime_flags(run_parser, top_level=False)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a declarative parameter grid through the runtime engine"
+    )
+    sweep_parser.add_argument(
+        "name",
+        nargs="?",
+        choices=sorted(SWEEPS),
+        help="sweep id (omit with --list to enumerate)",
+    )
+    sweep_parser.add_argument(
+        "--list", action="store_true", dest="list_sweeps", help="list the named sweeps"
+    )
+    sweep_parser.add_argument(
+        "--limit", type=int, default=None, metavar="K", help="run only the first K grid points"
+    )
+    sweep_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write manifest.json + results.jsonl under DIR/<sweep>/",
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines on stderr"
+    )
+    add_runtime_flags(sweep_parser, top_level=False)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=("info", "list", "clear"), help="what to do with the cache"
+    )
+    add_runtime_flags(cache_parser, top_level=False)
 
     characterize_parser = subparsers.add_parser(
         "characterize", help="delay and error behaviour of the bus over the voltage grid"
@@ -112,14 +186,71 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(experiment: str, cycles: Optional[int], seed: int) -> int:
+def _command_run(experiment: str, cycles: Optional[int], seed: int,
+                 cache: Optional[ResultCache]) -> int:
     kwargs = {"seed": seed}
     if cycles is not None:
         kwargs["n_cycles"] = cycles
     if experiment == "scaling":
         kwargs = {}  # the scaling study takes no workload parameters
-    _, text = run_experiment(experiment, **kwargs)
+    started = time.perf_counter()
+    record, text = run_experiment(experiment, cache=cache, **kwargs)
+    elapsed = time.perf_counter() - started
     print(text)
+    if cache is not None:
+        hit = isinstance(record, dict) and record.get("cached", False)
+        source = "cache hit" if hit else "simulated"
+        print(f"[runtime] {experiment}: {source} in {elapsed:.2f} s", file=sys.stderr)
+    return 0
+
+
+def _command_sweep(
+    name: Optional[str],
+    list_sweeps: bool,
+    limit: Optional[int],
+    out: Optional[Path],
+    quiet: bool,
+    cache: Optional[ResultCache],
+    jobs: int,
+) -> int:
+    if list_sweeps or name is None:
+        width = max(len(sweep_name) for sweep_name in SWEEPS)
+        print("Named sweeps (run with 'python -m repro sweep <name>'):")
+        for sweep_name in sorted(SWEEPS):
+            sweep = SWEEPS[sweep_name]
+            print(f"  {sweep_name:<{width}}  [{sweep.n_points:>3} pts]  {sweep.description}")
+        if name is None and not list_sweeps:
+            print("\n(no sweep name given; use 'sweep <name>' to execute one)")
+        return 0
+
+    sweep = get_sweep(name)
+    specs = sweep.expand(limit=limit)
+    progress = ProgressPrinter(quiet=quiet)
+    report = run_jobs(specs, cache=cache, n_workers=jobs, progress=progress)
+    print(format_sweep_report(sweep, report))
+    print(f"[runtime] {report.summary()}", file=sys.stderr)
+    if out is not None:
+        run_dir = ResultStore(out).write_report(sweep.name, report, sweep=sweep)
+        print(f"[runtime] results written to {run_dir}", file=sys.stderr)
+    return 0
+
+
+def _command_cache(action: str, cache_dir: Optional[Path]) -> int:
+    cache = ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+    if action == "info":
+        print(cache.stats().format())
+        return 0
+    if action == "list":
+        count = 0
+        for key in cache.keys():
+            record = cache.get(key) or {}
+            print(f"  {key[:16]}  {record.get('task', '?'):<12} "
+                  f"{record.get('duration_s', 0.0):6.2f} s")
+            count += 1
+        print(f"{count} cached record(s) under {cache.root}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached file(s) from {cache.root}")
     return 0
 
 
@@ -217,10 +348,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir is not None else default_cache_dir())
     if args.command == "list":
         return _command_list()
     if args.command == "run":
-        return _command_run(args.experiment, args.cycles, args.seed)
+        return _command_run(args.experiment, args.cycles, args.seed, cache)
+    if args.command == "sweep":
+        return _command_sweep(
+            args.name, args.list_sweeps, args.limit, args.out, args.quiet, cache, args.jobs
+        )
+    if args.command == "cache":
+        return _command_cache(args.action, args.cache_dir)
     if args.command == "characterize":
         return _command_characterize(args.corner)
     if args.command == "simulate":

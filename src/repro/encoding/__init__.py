@@ -27,6 +27,7 @@ from repro.encoding.analysis import (
     EncoderEvaluation,
     EncodingStudy,
     default_encoders,
+    design_for_width,
     format_encoding_study,
     run_encoding_study,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "EncoderEvaluation",
     "EncodingStudy",
     "default_encoders",
+    "design_for_width",
     "format_encoding_study",
     "run_encoding_study",
 ]

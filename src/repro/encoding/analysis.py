@@ -105,7 +105,7 @@ class EncodingStudy:
         return self.by_name(IdentityEncoder.name)
 
 
-def _design_for_width(reference: BusDesign, n_wires: int) -> BusDesign:
+def design_for_width(reference: BusDesign, n_wires: int) -> BusDesign:
     """The paper bus re-designed for a different wire count.
 
     The repeater sizing flow is re-run so the wider bus still meets the same
@@ -177,7 +177,7 @@ def run_encoding_study(
         encoded = encoder.encode(trace)
         n_wires = encoded.n_bits
         if n_wires not in buses:
-            buses[n_wires] = CharacterizedBus(_design_for_width(design, n_wires), corner)
+            buses[n_wires] = CharacterizedBus(design_for_width(design, n_wires), corner)
         bus = buses[n_wires]
         stats = bus.analyze(encoded.values)
 

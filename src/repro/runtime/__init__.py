@@ -1,0 +1,83 @@
+"""repro.runtime: parallel experiment-orchestration engine.
+
+The runtime turns the repository's simulation primitives into a
+production-style execution system:
+
+* **Specs** (:mod:`~repro.runtime.spec`) -- declarative :class:`JobSpec` /
+  :class:`SweepSpec` grids over corners x workloads x encodings x bus
+  designs x controller settings.
+* **Cache** (:mod:`~repro.runtime.cache`) -- a content-addressed on-disk
+  store keyed by a stable hash of task + parameters, so regenerating a
+  figure or re-running an overlapping sweep never re-simulates a point.
+* **Executor** (:mod:`~repro.runtime.executor`) -- a ``multiprocessing``
+  worker pool with a serial fallback; tasks are deterministic functions of
+  their parameters, so parallel results are bit-identical to serial ones.
+* **Tasks** (:mod:`~repro.runtime.tasks`) -- the registry of named,
+  picklable simulation units (`dvs_run`, `characterize`, `experiment`).
+* **Store** (:mod:`~repro.runtime.store`) -- JSONL result records plus a
+  run manifest and artifact registry for downstream reporting.
+* **Sweeps** (:mod:`~repro.runtime.sweeps`) -- named, ready-to-run grids
+  (``python -m repro sweep <name>``), including a 300-point design-space
+  map.
+
+Quickstart
+----------
+>>> from repro.runtime import SweepSpec, run_jobs, shared_cache
+>>> spec = SweepSpec(
+...     name="demo", task="dvs_run",
+...     base={"n_cycles": 2_000},
+...     axes={"benchmark": ("crafty", "mgrid"), "corner": ("typical", "worst")},
+...     seed=2005,
+... )
+>>> report = run_jobs(spec.expand(), cache=shared_cache(), n_workers=4)
+>>> [round(r["energy_gain_percent"], 1) for r in report.results]  # doctest: +SKIP
+[35.2, 11.8, 30.9, 10.4]
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir, shared_cache
+from repro.runtime.executor import ExecutionReport, JobOutcome, run_jobs
+from repro.runtime.hashing import canonical_json, derive_seed, stable_hash
+from repro.runtime.progress import ProgressPrinter, null_progress
+from repro.runtime.spec import JobSpec, SweepSpec
+from repro.runtime.store import ResultStore, load_results
+from repro.runtime.sweeps import SWEEPS, format_sweep_report, get_sweep
+from repro.runtime.tasks import (
+    CORNERS,
+    ENCODER_NAMES,
+    available_tasks,
+    corner_params,
+    get_task,
+    resolve_corner,
+    run_job_params,
+    task,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "shared_cache",
+    "ExecutionReport",
+    "JobOutcome",
+    "run_jobs",
+    "canonical_json",
+    "derive_seed",
+    "stable_hash",
+    "ProgressPrinter",
+    "null_progress",
+    "JobSpec",
+    "SweepSpec",
+    "ResultStore",
+    "load_results",
+    "SWEEPS",
+    "format_sweep_report",
+    "get_sweep",
+    "CORNERS",
+    "ENCODER_NAMES",
+    "available_tasks",
+    "corner_params",
+    "get_task",
+    "resolve_corner",
+    "run_job_params",
+    "task",
+]

@@ -1,0 +1,238 @@
+"""Content-addressed on-disk result cache.
+
+Layout (all under one root directory, ``.repro-cache/`` by default or
+``$REPRO_CACHE_DIR`` when set)::
+
+    <root>/objects/<k0k1>/<key>.json     one JSON record per completed job
+    <root>/artifacts/<k0k1>/<key>-<name> binary artifacts (pickled fixtures,
+                                         trace bundles, ...)
+
+``key`` is the hex SHA-256 of the job's canonical content (see
+:mod:`repro.runtime.hashing`), so the cache needs no index: looking up a job
+is a single ``stat``.  Records are written atomically (temp file +
+``os.replace``) so a crashed or parallel writer can never leave a torn entry,
+and concurrent writers of the *same* key are idempotent by construction --
+they write byte-identical content.
+
+A corrupt or unreadable record is treated as a miss, never an error: the
+cache is an accelerator, and the simulation is always the source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.runtime.hashing import stable_hash
+
+__all__ = ["ResultCache", "CacheStats", "default_cache_dir", "shared_cache"]
+
+#: Bump when the record schema changes; stored in every record and checked on
+#: read so old-schema entries simply miss instead of being misinterpreted.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the CWD."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    return Path(override) if override else Path(".repro-cache")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate statistics of one cache directory."""
+
+    root: Path
+    entries: int
+    artifacts: int
+    total_bytes: int
+
+    def format(self) -> str:
+        """Human-readable one-paragraph summary."""
+        mib = self.total_bytes / (1024 * 1024)
+        return (
+            f"cache root : {self.root}\n"
+            f"records    : {self.entries}\n"
+            f"artifacts  : {self.artifacts}\n"
+            f"disk usage : {mib:.2f} MiB"
+        )
+
+
+def _is_record_key(stem: str) -> bool:
+    """Whether a filename stem is a real cache key (64 hex chars).
+
+    Filters out ``.tmp-*`` files a killed writer may have left behind, so
+    they never surface as phantom records in ``keys()`` or ``stats()``.
+    """
+    if len(stem) != 64:
+        return False
+    try:
+        int(stem, 16)
+        return True
+    except ValueError:
+        return False
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (same-directory temp file)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=path.suffix)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Content-addressed store of job records and binary artifacts."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # ------------------------------------------------------------------ #
+    # JSON job records
+    # ------------------------------------------------------------------ #
+    def _record_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record for ``key``, or ``None`` on miss/corruption."""
+        path = self._record_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Store ``record`` under ``key`` (atomically; overwrites allowed)."""
+        stored = dict(record)
+        stored["schema"] = CACHE_SCHEMA_VERSION
+        stored["key"] = key
+        payload = json.dumps(stored, sort_keys=True, indent=None).encode("utf-8")
+        _atomic_write_bytes(self._record_path(key), payload)
+
+    def delete(self, key: str) -> bool:
+        """Remove one record; returns whether it existed."""
+        try:
+            os.unlink(self._record_path(key))
+            return True
+        except OSError:
+            return False
+
+    def __contains__(self, key: str) -> bool:
+        return self._record_path(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        """All record keys currently on disk (unspecified order)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.json")):
+            if _is_record_key(path.stem):
+                yield path.stem
+
+    # ------------------------------------------------------------------ #
+    # Binary artifacts
+    # ------------------------------------------------------------------ #
+    def artifact_path(self, key: str, name: str = "artifact") -> Path:
+        """Where the named binary artifact for ``key`` lives (may not exist)."""
+        safe = "".join(ch if (ch.isalnum() or ch in "-._") else "-" for ch in name)
+        return self.root / "artifacts" / key[:2] / f"{key}-{safe}"
+
+    def memoize(self, key_obj: Any, builder: Callable[[], Any], name: str = "pickle") -> Any:
+        """Build-once pickle memoisation of an arbitrary Python object.
+
+        ``key_obj`` is any stably-hashable description of what is being
+        built (see :func:`~repro.runtime.hashing.stable_hash`); ``builder``
+        runs only when no artifact for that key exists yet.  Used by the
+        benchmark fixtures to share bus characterisations and trace suites
+        across sessions.  A corrupt artifact falls back to rebuilding.
+        """
+        key = stable_hash(key_obj)
+        path = self.artifact_path(key, name)
+        if path.is_file():
+            try:
+                with open(path, "rb") as handle:
+                    return pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+                pass  # fall through and rebuild
+        value = builder()
+        _atomic_write_bytes(path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Delete every record and artifact; returns the number removed."""
+        removed = 0
+        for subdir in ("objects", "artifacts"):
+            base = self.root / subdir
+            if not base.is_dir():
+                continue
+            for path in sorted(base.glob("*/*")):
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+            for bucket in sorted(base.glob("*")):
+                try:
+                    bucket.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Entry/artifact counts and total disk usage of this cache."""
+        entries = artifacts = total = 0
+        for subdir, counter in (("objects", "entries"), ("artifacts", "artifacts")):
+            base = self.root / subdir
+            if not base.is_dir():
+                continue
+            for path in base.glob("*/*"):
+                if path.name.startswith(".tmp-"):
+                    continue
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+                if counter == "entries":
+                    entries += 1
+                else:
+                    artifacts += 1
+        return CacheStats(root=self.root, entries=entries, artifacts=artifacts, total_bytes=total)
+
+
+_SHARED: Optional[ResultCache] = None
+
+
+def shared_cache() -> ResultCache:
+    """The process-wide default cache (rooted at :func:`default_cache_dir`).
+
+    The instance is created lazily and re-created if ``$REPRO_CACHE_DIR``
+    changes, so tests can redirect it with ``monkeypatch.setenv``.
+    """
+    global _SHARED
+    root = default_cache_dir()
+    if _SHARED is None or _SHARED.root != root:
+        _SHARED = ResultCache(root)
+    return _SHARED

@@ -1,0 +1,201 @@
+"""Job execution: cache lookup, worker pool, deterministic result assembly.
+
+:func:`run_jobs` is the runtime's engine.  It takes an ordered sequence of
+:class:`~repro.runtime.spec.JobSpec`, satisfies as many as possible from the
+content-addressed cache, executes the misses (serially or on a
+``multiprocessing`` pool) and returns an :class:`ExecutionReport` whose
+outcomes are in the *input* order regardless of completion order -- so a
+parallel run is observationally identical to a serial one.
+
+Determinism contract
+--------------------
+* Tasks are pure functions of their parameters (see
+  :mod:`repro.runtime.tasks`), so scheduling cannot change any result.
+* The pool uses ``imap_unordered`` for throughput, but outcomes are slotted
+  back by index; the report never depends on completion order.
+* If the pool cannot be created (restricted environments, missing ``fork``),
+  execution silently falls back to the serial path -- same results, one
+  process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.progress import null_progress
+from repro.runtime.spec import JobSpec
+
+__all__ = ["JobOutcome", "ExecutionReport", "run_jobs"]
+
+ProgressCallback = Callable[[int, int, JobSpec, bool, float], None]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's result and how it was obtained."""
+
+    spec: JobSpec
+    result: Dict[str, Any]
+    cached: bool
+    duration_s: float
+
+    @property
+    def key(self) -> str:
+        """The job's content-addressed cache key."""
+        return self.spec.key
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Everything :func:`run_jobs` did, in input order."""
+
+    outcomes: Tuple[JobOutcome, ...]
+    n_cached: int
+    n_executed: int
+    n_workers: int
+    wall_time_s: float
+
+    @property
+    def results(self) -> List[Dict[str, Any]]:
+        """The per-job result dicts, in input order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def summary(self) -> str:
+        """One line for logs: job counts, hits, workers, wall time."""
+        return (
+            f"{len(self.outcomes)} jobs: {self.n_executed} executed, "
+            f"{self.n_cached} cache hits, {self.n_workers} worker(s), "
+            f"{self.wall_time_s:.2f} s"
+        )
+
+
+def _execute_payload(payload: Tuple[int, str, Dict[str, Any]]) -> Tuple[int, Dict[str, Any], float]:
+    """Worker entry point: run one task, return (index, result, duration).
+
+    Module-level (hence picklable by reference) and dependent only on the
+    payload, so it behaves identically in the parent process and in pool
+    workers.
+    """
+    from repro.runtime.tasks import run_job_params
+
+    index, task_name, params = payload
+    started = time.perf_counter()
+    result = run_job_params(task_name, params)
+    return index, result, time.perf_counter() - started
+
+
+def _worker_count(requested: Optional[int], n_misses: int) -> int:
+    """Clamp the requested worker count to something useful.
+
+    An explicit request is honoured even beyond ``os.cpu_count()`` (the
+    oversubscription is harmless and single-CPU CI boxes still exercise the
+    pool path); there is never any point in more workers than misses.
+    """
+    if requested is None or requested <= 1 or n_misses <= 1:
+        return 1
+    return max(1, min(requested, n_misses))
+
+
+def _make_pool(n_workers: int):
+    """A ``fork`` worker pool, or ``None`` when pools are unavailable."""
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    try:
+        return context.Pool(processes=n_workers)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed environments
+        return None
+
+
+def run_jobs(
+    jobs: Sequence[JobSpec],
+    cache: Optional[ResultCache] = None,
+    n_workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ExecutionReport:
+    """Run a batch of jobs with caching and optional parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Ordered job specs; the report's outcomes follow this order.
+    cache:
+        Result cache to consult and populate; ``None`` disables caching.
+    n_workers:
+        Worker processes for the cache misses.  ``None`` or ``1`` runs
+        serially; larger values use a ``fork`` pool, clamped only to the
+        miss count (an explicit request beyond ``os.cpu_count()`` is
+        honoured -- see :func:`_worker_count`).  Results are identical
+        either way.
+    progress:
+        Callback ``(done, total, job, cached, duration_s)`` invoked after
+        every job (cache hits first, then executions as they finish).
+    """
+    report = progress if progress is not None else null_progress
+    started = time.perf_counter()
+    total = len(jobs)
+    keys = [job.key for job in jobs]
+
+    outcomes: List[Optional[JobOutcome]] = [None] * total
+    misses: List[int] = []
+    done = 0
+    for index, (job, key) in enumerate(zip(jobs, keys)):
+        record = cache.get(key) if cache is not None else None
+        if record is not None and "result" in record:
+            outcomes[index] = JobOutcome(job, record["result"], cached=True, duration_s=0.0)
+            done += 1
+            report(done, total, job, True, 0.0)
+        else:
+            misses.append(index)
+
+    payloads = [(index, jobs[index].task, dict(jobs[index].params)) for index in misses]
+    n_workers = _worker_count(n_workers, len(misses))
+
+    def complete(index: int, result: Dict[str, Any], duration: float) -> None:
+        """Record one finished job: outcome slot, cache entry, progress.
+
+        Called the moment each execution completes (in either mode), so an
+        interrupted batch keeps every result finished so far and long sweeps
+        report progress continuously.
+        """
+        nonlocal done
+        job = jobs[index]
+        outcomes[index] = JobOutcome(job, result, cached=False, duration_s=duration)
+        if cache is not None:
+            cache.put(
+                keys[index],
+                {
+                    "task": job.task,
+                    "params": dict(job.params),
+                    "result": result,
+                    "duration_s": duration,
+                },
+            )
+        done += 1
+        report(done, total, job, False, duration)
+
+    pool = _make_pool(n_workers) if n_workers > 1 else None
+    if pool is None:
+        n_workers = 1
+        for payload in payloads:
+            complete(*_execute_payload(payload))
+    else:
+        with pool:
+            for completion in pool.imap_unordered(_execute_payload, payloads, chunksize=1):
+                complete(*completion)
+
+    finished = [outcome for outcome in outcomes if outcome is not None]
+    assert len(finished) == total, "executor lost a job outcome"
+    return ExecutionReport(
+        outcomes=tuple(finished),
+        n_cached=total - len(misses),
+        n_executed=len(misses),
+        n_workers=n_workers,
+        wall_time_s=time.perf_counter() - started,
+    )

@@ -1,0 +1,81 @@
+"""Stable content hashing for job specs and cache keys.
+
+The result cache is *content addressed*: a job's identity is the SHA-256 of a
+canonical JSON rendering of its task name and parameters.  The rendering must
+be byte-identical across processes, interpreter invocations and platforms, so
+the canonicaliser is deliberately strict about what it accepts:
+
+* only JSON-representable scalars (``None``, ``bool``, ``int``, ``float``,
+  ``str``) plus lists/tuples and string-keyed mappings,
+* mapping keys are sorted, so insertion order never leaks into the hash,
+* tuples and lists hash identically (axes are often built from either),
+* floats rely on Python 3's shortest-repr ``float`` formatting, which is
+  deterministic for a given value on every supported platform.
+
+Anything else (numpy arrays, dataclasses, sets, ...) raises ``TypeError``
+with the offending path, instead of silently hashing an unstable ``repr``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Sequence
+
+__all__ = ["canonical_json", "stable_hash", "derive_seed"]
+
+#: Bump when the canonical rendering changes incompatibly; part of every hash
+#: so stale cache entries from an older scheme can never alias a new key.
+HASH_SCHEME_VERSION = 1
+
+
+def _normalize(value: Any, path: str) -> Any:
+    """Recursively convert ``value`` into plain JSON types, or raise."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise TypeError(f"non-finite float at {path} cannot be hashed stably")
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_normalize(item, f"{path}[{i}]") for i, item in enumerate(value)]
+    if isinstance(value, Mapping):
+        normalized = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(f"mapping key {key!r} at {path} must be a string")
+            normalized[key] = _normalize(value[key], f"{path}.{key}")
+        return normalized
+    raise TypeError(
+        f"value of type {type(value).__name__} at {path} is not stably hashable; "
+        "convert it to JSON scalars / lists / string-keyed dicts first"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON rendering of ``value`` (sorted keys, no whitespace)."""
+    return json.dumps(
+        _normalize(value, "$"), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def stable_hash(value: Any) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of ``value``.
+
+    The same logical value always produces the same digest, across processes
+    and platforms; any parameter change produces a different digest.
+    """
+    payload = f"v{HASH_SCHEME_VERSION}:{canonical_json(value)}"
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def derive_seed(base_seed: int, salt: Any) -> int:
+    """A deterministic per-job RNG seed derived from a base seed and a salt.
+
+    Used by :class:`~repro.runtime.spec.SweepSpec` to give every grid point
+    its own seed: the derivation depends only on the base seed and the point's
+    parameters, never on scheduling, so serial and parallel execution (and
+    overlapping sweeps that share points) see identical seeds.
+    """
+    digest = stable_hash({"base_seed": int(base_seed), "salt": salt})
+    return int(digest[:8], 16) & 0x7FFFFFFF

@@ -1,0 +1,68 @@
+"""Progress reporting for sweep execution.
+
+The executor calls a reporter after every job completes (whether it ran or
+hit the cache).  Reporters are plain callables so tests can substitute a
+recording stub; :class:`ProgressPrinter` is the human-facing default, writing
+one line per completed job to ``stderr`` (never ``stdout``, which carries the
+actual results).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.runtime.spec import JobSpec
+
+__all__ = ["ProgressPrinter", "null_progress"]
+
+
+def null_progress(
+    done: int, total: int, job: JobSpec, cached: bool, duration_s: float
+) -> None:
+    """A reporter that reports nothing (the library default)."""
+
+
+class ProgressPrinter:
+    """Line-per-job progress on a stream, with a cache-hit tally at the end.
+
+    Parameters
+    ----------
+    stream:
+        Output stream; defaults to ``stderr``.
+    quiet:
+        When true, suppress per-job lines and only allow :meth:`summary`.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, quiet: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.quiet = quiet
+        self.n_cached = 0
+        self.n_executed = 0
+        self._started = time.perf_counter()
+
+    def __call__(
+        self, done: int, total: int, job: JobSpec, cached: bool, duration_s: float
+    ) -> None:
+        if cached:
+            self.n_cached += 1
+        else:
+            self.n_executed += 1
+        if self.quiet:
+            return
+        status = "hit " if cached else "run "
+        width = len(str(total))
+        self.stream.write(
+            f"[{done:>{width}}/{total}] {status} {job.label}  ({duration_s * 1000:.0f} ms)\n"
+        )
+        self.stream.flush()
+
+    def summary(self) -> str:
+        """One line: totals, hit count and wall time so far."""
+        elapsed = time.perf_counter() - self._started
+        total = self.n_cached + self.n_executed
+        return (
+            f"{total} jobs: {self.n_executed} executed, {self.n_cached} cache hits "
+            f"in {elapsed:.2f} s"
+        )

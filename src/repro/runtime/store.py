@@ -1,0 +1,109 @@
+"""Structured result store: JSONL records plus a run manifest.
+
+A sweep's outputs are append-only facts; the store writes them in a layout
+that downstream reporting (``repro.analysis.reporting``, notebooks, plotting)
+can consume without re-running anything::
+
+    <run_dir>/manifest.json    sweep identity: name, task, axes, counts
+    <run_dir>/results.jsonl    one record per grid point, input order
+    <run_dir>/artifacts/...    registered auxiliary files
+
+Each JSONL record carries the job's cache key, so a stored run can always be
+cross-referenced against (or re-hydrated from) the content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.executor import ExecutionReport
+from repro.runtime.spec import SweepSpec
+
+__all__ = ["ResultStore", "load_results"]
+
+
+class ResultStore:
+    """Writes execution reports into a per-run directory."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def run_dir(self, run_name: str) -> Path:
+        """Directory one named run writes into (created on demand)."""
+        return self.root / run_name
+
+    def write_report(
+        self,
+        run_name: str,
+        report: ExecutionReport,
+        sweep: Optional[SweepSpec] = None,
+        extra_manifest: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist a report as ``manifest.json`` + ``results.jsonl``.
+
+        Returns the run directory.  Overwrites any previous run of the same
+        name -- runs are content-addressed upstream by the cache, so the
+        store only keeps the latest rendering.
+        """
+        run_dir = self.run_dir(run_name)
+        run_dir.mkdir(parents=True, exist_ok=True)
+
+        manifest: Dict[str, Any] = {
+            "run": run_name,
+            "n_jobs": len(report.outcomes),
+            "n_cached": report.n_cached,
+            "n_executed": report.n_executed,
+            "n_workers": report.n_workers,
+            "wall_time_s": report.wall_time_s,
+        }
+        if sweep is not None:
+            manifest["sweep"] = {
+                "name": sweep.name,
+                "task": sweep.task,
+                "base": dict(sweep.base),
+                "axes": {axis: list(values) for axis, values in sweep.axes.items()},
+                "n_points": sweep.n_points,
+                "seed": sweep.seed,
+                "description": sweep.description,
+            }
+        if extra_manifest:
+            manifest.update(extra_manifest)
+        with open(run_dir / "manifest.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+        with open(run_dir / "results.jsonl", "w", encoding="utf-8") as handle:
+            for outcome in report.outcomes:
+                record = {
+                    "key": outcome.key,
+                    "task": outcome.spec.task,
+                    "params": dict(outcome.spec.params),
+                    "cached": outcome.cached,
+                    "duration_s": outcome.duration_s,
+                    "result": outcome.result,
+                }
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+        return run_dir
+
+    def register_artifact(self, run_name: str, name: str, payload: bytes) -> Path:
+        """Store an auxiliary binary artifact (chart, npz, ...) for a run."""
+        artifact_dir = self.run_dir(run_name) / "artifacts"
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        path = artifact_dir / name
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        return path
+
+
+def load_results(run_dir: Path) -> List[Dict[str, Any]]:
+    """Read back a run's ``results.jsonl`` records (input order)."""
+    records: List[Dict[str, Any]] = []
+    with open(Path(run_dir) / "results.jsonl", "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,289 @@
+"""The task registry: named, picklable, cache-friendly units of simulation.
+
+A *task* is a top-level function taking only JSON-able keyword arguments and
+returning a JSON-able dict of metrics.  Those two constraints are what make
+the whole runtime work:
+
+* JSON-able inputs give every job a stable content hash (the cache key),
+* JSON-able outputs let the cache and the JSONL result store persist results
+  without pickling arbitrary objects,
+* top-level registration by *name* lets ``multiprocessing`` workers resolve
+  the callable without shipping code objects between processes.
+
+Tasks must be deterministic functions of their parameters: given the same
+parameters (including ``seed``) they must return the same result in any
+process.  Every simulation primitive in this repository already satisfies
+that, which is why parallel sweeps are bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.circuit.pvt import (
+    BEST_CASE_CORNER,
+    STANDARD_CORNERS,
+    TYPICAL_CORNER,
+    WORST_CASE_CORNER,
+    ProcessCorner,
+    PVTCorner,
+)
+
+__all__ = [
+    "task",
+    "get_task",
+    "available_tasks",
+    "run_job_params",
+    "CORNERS",
+    "corner_params",
+    "resolve_corner",
+    "ENCODER_NAMES",
+]
+
+TaskFunction = Callable[..., Dict[str, Any]]
+
+#: All registered tasks, keyed by name.
+_TASKS: Dict[str, TaskFunction] = {}
+
+
+def task(name: str) -> Callable[[TaskFunction], TaskFunction]:
+    """Register a function as a named runtime task."""
+
+    def register(function: TaskFunction) -> TaskFunction:
+        if name in _TASKS:
+            raise ValueError(f"task {name!r} is already registered")
+        _TASKS[name] = function
+        return function
+
+    return register
+
+
+def get_task(name: str) -> TaskFunction:
+    """Look up a registered task; raises ``KeyError`` with the known names."""
+    try:
+        return _TASKS[name]
+    except KeyError:
+        known = ", ".join(sorted(_TASKS))
+        raise KeyError(f"unknown task {name!r}; known tasks: {known}") from None
+
+
+def available_tasks() -> Tuple[str, ...]:
+    """Names of all registered tasks, sorted."""
+    return tuple(sorted(_TASKS))
+
+
+def run_job_params(name: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Execute one task by name with its parameter mapping."""
+    return get_task(name)(**dict(params))
+
+
+# --------------------------------------------------------------------------- #
+# Parameter resolution (corner / encoder / design aliases)
+# --------------------------------------------------------------------------- #
+#: Corner names accepted by CLI ``--corner`` flags and sweep parameters.
+CORNERS: Dict[str, PVTCorner] = {
+    "worst": WORST_CASE_CORNER,
+    "typical": TYPICAL_CORNER,
+    "best": BEST_CASE_CORNER,
+    **{f"corner{i}": corner for i, corner in STANDARD_CORNERS.items()},
+}
+
+CornerLike = Union[str, Mapping[str, Any], PVTCorner]
+
+
+def resolve_corner(spec: CornerLike) -> PVTCorner:
+    """A :class:`PVTCorner` from a name, a parameter dict, or a corner.
+
+    Sweep parameters must stay JSON-able, so jobs carry corners as either a
+    registered alias (``"typical"``, ``"corner4"``, ...) or an explicit
+    ``{"process", "temperature_c", "ir_drop"}`` mapping.
+    """
+    if isinstance(spec, PVTCorner):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return CORNERS[spec]
+        except KeyError:
+            known = ", ".join(sorted(CORNERS))
+            raise KeyError(f"unknown corner alias {spec!r}; known: {known}") from None
+    return PVTCorner(
+        process=ProcessCorner(spec["process"]),
+        temperature_c=float(spec.get("temperature_c", 100.0)),
+        ir_drop=float(spec.get("ir_drop", 0.0)),
+    )
+
+
+def corner_params(spec: CornerLike) -> Dict[str, Any]:
+    """The JSON-able parameter dict identifying a corner (for cache keys).
+
+    The single place a :class:`PVTCorner`'s identity is spelled out for
+    hashing; round-trips through :func:`resolve_corner`.
+    """
+    corner = resolve_corner(spec)
+    return {
+        "process": corner.process.value,
+        "temperature_c": corner.temperature_c,
+        "ir_drop": corner.ir_drop,
+    }
+
+
+def _corner_key(spec: CornerLike) -> Tuple[str, float, float]:
+    params = corner_params(spec)
+    return (params["process"], params["temperature_c"], params["ir_drop"])
+
+
+def _encoder_registry():
+    """Encoders by their self-declared ``.name`` (fresh instances each call).
+
+    The encoder classes are the single source of truth: the registry is the
+    same set :func:`repro.encoding.default_encoders` evaluates, so any
+    encoder added there (including parameterised variants like
+    ``bus-invert/8``) is immediately addressable from sweep parameters.
+    """
+    from repro.encoding import default_encoders
+
+    return {encoder.name: encoder for encoder in default_encoders()}
+
+
+#: Encoder aliases accepted by the ``encoder`` sweep parameter.
+ENCODER_NAMES: Tuple[str, ...] = tuple(_encoder_registry())
+
+
+def _make_encoder(name: str):
+    registry = _encoder_registry()
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(registry)
+        raise KeyError(f"unknown encoder {name!r}; known: {known}") from None
+
+
+@lru_cache(maxsize=32)
+def _characterized_bus(
+    corner_key: Tuple[str, float, float],
+    n_bits: int = 32,
+    coupling_scale: Optional[float] = None,
+):
+    """Per-process memo of bus characterisations.
+
+    Characterising the paper bus costs a few hundred milliseconds; a sweep
+    revisits the same handful of (corner, width, coupling) combinations
+    hundreds of times, so each worker process characterises each combination
+    exactly once.
+    """
+    from repro.bus import BusDesign, CharacterizedBus
+    from repro.encoding.analysis import design_for_width
+
+    process, temperature_c, ir_drop = corner_key
+    corner = PVTCorner(ProcessCorner(process), temperature_c, ir_drop)
+    # Widths other than the paper's 32 bits (encoders with redundant wires)
+    # go through the encoding study's redesign flow, so a sweep point and
+    # the encoding experiment agree on what an N-wire bus looks like.
+    design = design_for_width(BusDesign.paper_bus(), n_bits)
+    if coupling_scale is not None and coupling_scale != 1.0:
+        design = design.with_modified_coupling(coupling_scale)
+    return CharacterizedBus(design, corner)
+
+
+def _control_defaults(n_cycles: int, window: Optional[int], ramp: Optional[int]):
+    """The experiment registry's scaled-down control-loop defaults."""
+    if window is None:
+        window = max(500, n_cycles // 20)
+    if ramp is None:
+        ramp = max(150, n_cycles // 60)
+    return window, ramp
+
+
+# --------------------------------------------------------------------------- #
+# Built-in tasks
+# --------------------------------------------------------------------------- #
+@task("dvs_run")
+def dvs_run(
+    benchmark: str = "crafty",
+    corner: CornerLike = "typical",
+    n_cycles: int = 20_000,
+    seed: int = 2005,
+    window_cycles: Optional[int] = None,
+    ramp_delay_cycles: Optional[int] = None,
+    encoder: Optional[str] = None,
+    coupling_scale: Optional[float] = None,
+    warmup_fraction: float = 0.0,
+) -> Dict[str, Any]:
+    """One closed-loop DVS run: benchmark x corner x encoding x bus variant.
+
+    This is the workhorse grid point of every sweep: generate the workload
+    trace, optionally encode it, characterise the (possibly modified) bus at
+    the corner, run the closed control loop and report scalar metrics.
+    """
+    from repro.core.dvs_system import DVSBusSystem
+    from repro.trace.generator import generate_benchmark_trace
+
+    trace = generate_benchmark_trace(benchmark, n_cycles=n_cycles, seed=seed)
+    n_wires = trace.n_bits
+    if encoder is not None and encoder != "unencoded":
+        encoder_obj = _make_encoder(encoder)
+        trace = encoder_obj.encode(trace)
+        n_wires = trace.n_bits
+
+    bus = _characterized_bus(_corner_key(corner), n_wires, coupling_scale)
+    window, ramp = _control_defaults(n_cycles, window_cycles, ramp_delay_cycles)
+    system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
+    warmup = int(warmup_fraction * trace.n_cycles)
+    result = system.run(bus.analyze(trace.values), warmup_cycles=warmup)
+
+    return {
+        "benchmark": benchmark,
+        "corner": resolve_corner(corner).label,
+        "n_cycles": result.n_cycles,
+        "n_wires": n_wires,
+        "encoder": encoder or "unencoded",
+        "coupling_scale": coupling_scale if coupling_scale is not None else 1.0,
+        "window_cycles": window,
+        "ramp_delay_cycles": ramp,
+        "energy_gain_percent": result.energy_gain_percent,
+        "error_rate_percent": result.average_error_rate * 100.0,
+        "total_errors": result.total_errors,
+        "failures": result.failures,
+        "min_voltage_mv": result.minimum_voltage_reached * 1000.0,
+        "final_voltage_mv": result.final_voltage * 1000.0,
+    }
+
+
+@task("characterize")
+def characterize(
+    corner: CornerLike = "typical",
+    coupling_scale: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Voltage limits of the paper bus at one corner (no workload)."""
+    bus = _characterized_bus(_corner_key(corner), 32, coupling_scale)
+    clocking = bus.design.clocking
+    floor_corner = PVTCorner(resolve_corner(corner).process, 100.0, 0.10)
+    return {
+        "corner": resolve_corner(corner).label,
+        "coupling_scale": coupling_scale if coupling_scale is not None else 1.0,
+        "clock_ghz": clocking.frequency / 1e9,
+        "main_deadline_ps": clocking.main_deadline * 1e12,
+        "shadow_deadline_ps": clocking.shadow_deadline * 1e12,
+        "zero_error_voltage_mv": bus.zero_error_voltage() * 1000.0,
+        "regulator_floor_mv": bus.minimum_safe_voltage(floor_corner) * 1000.0,
+    }
+
+
+@task("experiment")
+def experiment(identifier: str, **kwargs: Any) -> Dict[str, Any]:
+    """Run one entry of the paper's experiment registry and keep its report.
+
+    The registry's result objects are rich Python values that do not fit a
+    JSON cache, so the cached payload is the formatted report text -- exactly
+    what ``python -m repro run <id>`` prints -- plus the run parameters.
+    """
+    from repro.analysis.experiments import EXPERIMENTS
+
+    try:
+        entry = EXPERIMENTS[identifier]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {identifier!r}; known: {known}") from None
+    _, text = entry.runner(**kwargs)
+    return {"identifier": identifier, "params": dict(kwargs), "text": text}

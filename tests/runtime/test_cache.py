@@ -1,0 +1,113 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache, shared_cache
+from repro.runtime.hashing import stable_hash
+
+
+class TestRecords:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash({"task": "t", "params": {"a": 1}})
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, {"task": "t", "params": {"a": 1}, "result": {"gain": 1.5}})
+        assert key in cache
+        record = cache.get(key)
+        assert record["result"] == {"gain": 1.5}
+        assert record["key"] == key
+        assert record["schema"] == CACHE_SCHEMA_VERSION
+
+    def test_changed_params_never_alias(self, tmp_path):
+        """Cache invalidation: a different spec is a different address."""
+        cache = ResultCache(tmp_path)
+        key_a = stable_hash({"task": "t", "params": {"n_cycles": 1000}})
+        key_b = stable_hash({"task": "t", "params": {"n_cycles": 2000}})
+        cache.put(key_a, {"result": {"v": "a"}})
+        assert cache.get(key_b) is None
+        cache.put(key_b, {"result": {"v": "b"}})
+        assert cache.get(key_a)["result"]["v"] == "a"
+        assert cache.get(key_b)["result"]["v"] == "b"
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash({"x": 1})
+        cache.put(key, {"result": {}})
+        path = cache._record_path(key)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_old_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash({"x": 1})
+        path = cache._record_path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": -1, "result": {}}), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_keys_delete_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [stable_hash({"i": i}) for i in range(3)]
+        for key in keys:
+            cache.put(key, {"result": {}})
+        assert sorted(cache.keys()) == sorted(keys)
+        assert cache.delete(keys[0])
+        assert not cache.delete(keys[0])
+        assert cache.clear() == 2
+        assert list(cache.keys()) == []
+
+    def test_leftover_temp_files_are_not_phantom_records(self, tmp_path):
+        """A writer killed mid-write leaves .tmp-* files; never surface them."""
+        cache = ResultCache(tmp_path)
+        key = stable_hash({"i": 1})
+        cache.put(key, {"result": {}})
+        bucket = cache._record_path(key).parent
+        (bucket / ".tmp-abandoned.json").write_text("{", encoding="utf-8")
+        assert list(cache.keys()) == [key]
+        assert cache.stats().entries == 1
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(stable_hash({"i": 1}), {"result": {"x": 1}})
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes > 0
+        assert "records    : 1" in stats.format()
+
+
+class TestMemoize:
+    def test_builder_runs_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"expensive": list(range(10))}
+
+        first = cache.memoize({"artifact": "demo"}, build)
+        second = cache.memoize({"artifact": "demo"}, build)
+        assert first == second
+        assert len(calls) == 1
+
+    def test_different_key_rebuilds(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+        cache.memoize({"artifact": "a"}, lambda: calls.append(1))
+        cache.memoize({"artifact": "b"}, lambda: calls.append(1))
+        assert len(calls) == 2
+
+    def test_corrupt_artifact_rebuilds(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.memoize({"artifact": "x"}, lambda: 41)
+        path = cache.artifact_path(stable_hash({"artifact": "x"}), "pickle")
+        path.write_bytes(b"definitely not a pickle")
+        assert cache.memoize({"artifact": "x"}, lambda: 42) == 42
+
+
+class TestSharedCache:
+    def test_follows_environment_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert shared_cache().root == tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "other"))
+        assert shared_cache().root == tmp_path / "other"

@@ -1,0 +1,142 @@
+"""Tests for the execution engine: caching, parallelism, determinism."""
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import run_jobs
+from repro.runtime.spec import JobSpec, SweepSpec
+from repro.runtime.tasks import run_job_params
+
+#: A small but real sweep: 2 benchmarks x 2 corners of closed-loop DVS.
+SMALL_SWEEP = SweepSpec(
+    name="test-small",
+    task="dvs_run",
+    base={"n_cycles": 1_500},
+    axes={"benchmark": ("crafty", "mgrid"), "corner": ("typical", "worst")},
+    seed=2005,
+)
+
+
+class TestSerialExecution:
+    def test_outcomes_follow_input_order(self):
+        jobs = SMALL_SWEEP.expand()
+        report = run_jobs(jobs)
+        assert tuple(outcome.spec for outcome in report.outcomes) == jobs
+        assert report.n_executed == len(jobs)
+        assert report.n_cached == 0
+
+    def test_results_are_json_able_metric_dicts(self):
+        report = run_jobs(SMALL_SWEEP.expand(limit=1))
+        result = report.results[0]
+        assert result["benchmark"] == "crafty"
+        assert 0.0 <= result["error_rate_percent"] <= 100.0
+        assert result["min_voltage_mv"] <= 1200.0
+
+    def test_progress_callback_sees_every_job(self):
+        seen = []
+        run_jobs(
+            SMALL_SWEEP.expand(),
+            progress=lambda done, total, job, cached, duration: seen.append((done, cached)),
+        )
+        assert [done for done, _ in seen] == [1, 2, 3, 4]
+        assert all(not cached for _, cached in seen)
+
+
+class TestCacheIntegration:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = SMALL_SWEEP.expand()
+        first = run_jobs(jobs, cache=cache)
+        second = run_jobs(jobs, cache=cache)
+        assert first.n_executed == len(jobs)
+        assert second.n_executed == 0
+        assert second.n_cached == len(jobs)
+        assert second.results == first.results
+
+    def test_parameter_change_invalidates_only_that_point(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = list(SMALL_SWEEP.expand())
+        run_jobs(jobs, cache=cache)
+        jobs[0] = jobs[0].with_params(n_cycles=2_000)
+        report = run_jobs(jobs, cache=cache)
+        assert report.n_executed == 1
+        assert report.n_cached == len(jobs) - 1
+
+    def test_overlapping_sweeps_share_points(self, tmp_path):
+        """Content addressing: the same (task, params) hits across sweeps."""
+        cache = ResultCache(tmp_path)
+        run_jobs(SMALL_SWEEP.expand(), cache=cache)
+        other = SweepSpec(
+            name="renamed-but-same-grid",
+            task=SMALL_SWEEP.task,
+            base=dict(SMALL_SWEEP.base),
+            axes={axis: values for axis, values in SMALL_SWEEP.axes.items()},
+            seed=SMALL_SWEEP.seed,
+        )
+        report = run_jobs(other.expand(), cache=cache)
+        assert report.n_executed == 0
+
+
+class TestParallelExecution:
+    def test_parallel_results_identical_to_serial(self, tmp_path):
+        jobs = SMALL_SWEEP.expand()
+        serial = run_jobs(jobs)
+        parallel = run_jobs(jobs, cache=ResultCache(tmp_path), n_workers=4)
+        assert parallel.results == serial.results
+        assert [outcome.spec for outcome in parallel.outcomes] == [
+            outcome.spec for outcome in serial.outcomes
+        ]
+
+    def test_parallel_populates_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = SMALL_SWEEP.expand()
+        run_jobs(jobs, cache=cache, n_workers=2)
+        followup = run_jobs(jobs, cache=cache)
+        assert followup.n_cached == len(jobs)
+
+    def test_worker_count_never_exceeds_miss_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = SMALL_SWEEP.expand(limit=2)
+        report = run_jobs(jobs, cache=cache, n_workers=16)
+        assert report.n_workers <= len(jobs)
+
+
+class TestPartialPersistence:
+    def test_completed_work_survives_a_mid_batch_failure(self, tmp_path):
+        """Results are cached as they finish, not after the whole batch."""
+        import pytest
+
+        from repro.runtime.tasks import _TASKS, task
+
+        if "failing_probe" not in _TASKS:
+
+            @task("failing_probe")
+            def failing_probe(i: int = 0):
+                if i == 2:
+                    raise RuntimeError("boom")
+                return {"i": i}
+
+        cache = ResultCache(tmp_path)
+        jobs = [JobSpec("failing_probe", {"i": i}) for i in range(4)]
+        with pytest.raises(RuntimeError, match="boom"):
+            run_jobs(jobs, cache=cache)
+        # i=0 and i=1 completed before the failure and must be cached.
+        survivors = [job for job in jobs if job.params["i"] != 2]
+        report = run_jobs(survivors, cache=cache)
+        assert report.n_cached == 2
+        assert report.n_executed == 1
+
+
+class TestTaskRegistry:
+    def test_every_builtin_task_runs_via_the_registry(self):
+        result = run_job_params("characterize", {"corner": "typical"})
+        assert result["zero_error_voltage_mv"] <= 1200.0
+        assert result["regulator_floor_mv"] > 0
+
+    def test_experiment_task_returns_report_text(self):
+        result = run_job_params("experiment", {"identifier": "scaling"})
+        assert "130nm" in result["text"]
+
+    def test_unknown_task_raises_with_known_names(self):
+        import pytest
+
+        with pytest.raises(KeyError, match="dvs_run"):
+            run_job_params("nope", {})

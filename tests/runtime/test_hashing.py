@@ -1,0 +1,85 @@
+"""Tests for stable hashing: determinism, canonicalisation, strictness."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runtime.hashing import canonical_json, derive_seed, stable_hash
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_tuples_and_lists_hash_identically(self):
+        assert stable_hash({"axis": (1, 2, 3)}) == stable_hash({"axis": [1, 2, 3]})
+
+    def test_nested_structures_are_normalised(self):
+        value = {"outer": {"z": [1, (2, 3)], "a": None}}
+        assert canonical_json(value) == '{"outer":{"a":null,"z":[1,[2,3]]}}'
+
+    def test_rejects_unhashable_types_with_path(self):
+        with pytest.raises(TypeError, match=r"\$\.params\[0\]"):
+            canonical_json({"params": [object()]})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(TypeError, match="must be a string"):
+            canonical_json({1: "a"})
+
+    def test_rejects_non_finite_floats(self):
+        with pytest.raises(TypeError, match="non-finite"):
+            canonical_json({"x": float("nan")})
+
+
+class TestStableHash:
+    def test_distinct_parameters_give_distinct_hashes(self):
+        base = {"task": "dvs_run", "params": {"benchmark": "crafty", "n_cycles": 1000}}
+        changed = {"task": "dvs_run", "params": {"benchmark": "crafty", "n_cycles": 1001}}
+        assert stable_hash(base) != stable_hash(changed)
+
+    def test_hash_is_stable_across_processes(self):
+        """The cache key must be identical in a fresh interpreter."""
+        value = {"task": "dvs_run", "params": {"benchmark": "crafty", "seed": 7, "x": 0.125}}
+        local = stable_hash(value)
+        script = (
+            "from repro.runtime.hashing import stable_hash;"
+            "print(stable_hash({'task': 'dvs_run', 'params':"
+            " {'benchmark': 'crafty', 'seed': 7, 'x': 0.125}}))"
+        )
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        ).stdout.strip()
+        assert remote == local
+
+    def test_hash_is_hex_sha256(self):
+        digest = stable_hash({"a": 1})
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2005, {"benchmark": "crafty"}) == derive_seed(
+            2005, {"benchmark": "crafty"}
+        )
+
+    def test_depends_on_base_seed_and_salt(self):
+        reference = derive_seed(2005, {"benchmark": "crafty"})
+        assert derive_seed(2006, {"benchmark": "crafty"}) != reference
+        assert derive_seed(2005, {"benchmark": "mgrid"}) != reference
+
+    def test_fits_in_31_bits(self):
+        for salt in range(50):
+            seed = derive_seed(1, {"salt": salt})
+            assert 0 <= seed < 2**31

@@ -7,6 +7,17 @@ from repro.cli import CORNERS, build_parser, main
 from repro.cpu import KERNELS
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Point every CLI invocation at a throwaway cache.
+
+    Without this, commands that default to the persistent ``.repro-cache``
+    would pollute the repo directory and replay stale cached output across
+    test sessions, masking regressions in the simulated reports.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+
+
 class TestParser:
     def test_requires_a_command(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -98,6 +109,95 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--benchmark", "doom"])
         assert "doom" in capsys.readouterr().err
+
+
+def _table_lines(output: str) -> list:
+    """A sweep report's table body (drops the run-stats header line)."""
+    return [line for line in output.splitlines() if "executed" not in line]
+
+
+class TestSweepCommand:
+    def test_sweep_list_prints_every_named_sweep(self, capsys):
+        from repro.runtime import SWEEPS
+
+        assert main(["sweep", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in SWEEPS:
+            assert name in output
+
+    def test_sweep_runs_and_caches(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["sweep", "encoding-matrix", "--limit", "2", "--quiet"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "2 executed, 0 cache hits" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "0 executed, 2 cache hits" in second.err
+        # identical table body; only the run-stats header line differs
+        assert _table_lines(second.out) == _table_lines(first.out)
+
+    def test_sweep_jobs_flag_matches_serial(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "controller-grid", "--limit", "2", "--quiet",
+                     "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--jobs", "2", "sweep", "controller-grid", "--limit", "2",
+                     "--quiet", "--no-cache"]) == 0
+        parallel = capsys.readouterr().out
+        assert _table_lines(parallel) == _table_lines(serial)
+
+    def test_sweep_out_writes_jsonl(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "runs"
+        assert main(["sweep", "encoding-matrix", "--limit", "1", "--quiet",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "encoding-matrix" / "results.jsonl").is_file()
+        assert (out / "encoding-matrix" / "manifest.json").is_file()
+
+
+class TestCacheCommand:
+    def test_info_list_clear_cycle(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "encoding-matrix", "--limit", "1", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert "records    : 1" in capsys.readouterr().out
+        assert main(["cache", "list"]) == 0
+        assert "dvs_run" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "info"]) == 0
+        assert "records    : 0" in capsys.readouterr().out
+
+
+class TestRunCaching:
+    def test_repeated_run_hits_the_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["run", "fig4b", "--cycles", "3000", "--seed", "1"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "simulated" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "cache hit" in second.err
+        assert second.out == first.out
+
+    def test_no_cache_flag_bypasses_the_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["run", "fig4b", "--cycles", "3000", "--seed", "1", "--no-cache"]
+        assert main(argv) == 0
+        assert "[runtime]" not in capsys.readouterr().err
+        assert main(argv) == 0
+        assert "[runtime]" not in capsys.readouterr().err
+
+    def test_different_seed_misses_the_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["run", "fig4b", "--cycles", "3000", "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig4b", "--cycles", "3000", "--seed", "2"]) == 0
+        assert "simulated" in capsys.readouterr().err
 
 
 class TestCompareSchemes:
