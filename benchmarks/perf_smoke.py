@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Streaming-pipeline performance smoke: throughput and peak memory.
+
+Runs one streamed closed-loop DVS simulation (1 M cycles by default, the
+paper's 10 000/3 000-cycle control loop) through the chunked trace pipeline,
+records throughput (cycles/second) and peak RSS into a JSON report
+(``BENCH_streaming.json``), and **fails on a >2x throughput regression**
+against a committed baseline.
+
+The committed baseline (``benchmarks/BENCH_streaming_baseline.json``) is
+deliberately conservative -- roughly a quarter of the throughput measured on
+a development laptop -- so the CI gate only trips on real regressions (an
+accidentally materialising path, a quadratic reslice), not on runner jitter.
+
+Usage::
+
+    python benchmarks/perf_smoke.py --cycles 1000000 --out BENCH_streaming.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MB."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KB on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak /= 1024.0
+    return peak / 1024.0
+
+
+def run_smoke(cycles: int, chunk_cycles: int | None, benchmark: str, seed: int) -> dict:
+    """One streamed DVS run; returns the metrics record."""
+    from repro import __version__
+    from repro.bus import BusDesign, CharacterizedBus
+    from repro.circuit.pvt import TYPICAL_CORNER
+    from repro.core.dvs_system import DVSBusSystem
+    from repro.trace import benchmark_trace_source
+    from repro.trace.stream import DEFAULT_CHUNK_CYCLES
+
+    bus = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
+    system = DVSBusSystem(bus)  # the paper's 10 000 / 3 000 cycle control loop
+    source = benchmark_trace_source(benchmark, n_cycles=cycles, seed=seed)
+
+    started = time.perf_counter()
+    result = system.run(source, chunk_cycles=chunk_cycles)
+    elapsed = time.perf_counter() - started
+
+    return {
+        "schema": "repro-streaming-smoke/1",
+        "code_version": __version__,
+        "python": platform.python_version(),
+        "benchmark": benchmark,
+        "cycles": cycles,
+        "chunk_cycles": chunk_cycles if chunk_cycles is not None else DEFAULT_CHUNK_CYCLES,
+        "seconds": round(elapsed, 3),
+        "cycles_per_sec": round(cycles / elapsed, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "energy_gain_percent": round(result.energy_gain_percent, 3),
+        "error_rate_percent": round(result.average_error_rate * 100.0, 3),
+        "total_errors": result.total_errors,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=1_000_000)
+    parser.add_argument("--chunk-cycles", type=int, default=None)
+    parser.add_argument("--benchmark", default="crafty")
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_streaming.json"))
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_streaming_baseline.json",
+        help="baseline report; a >2x cycles/sec drop against it fails the run",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_smoke(args.cycles, args.chunk_cycles, args.benchmark, args.seed)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+
+    if args.baseline.is_file():
+        baseline = json.loads(args.baseline.read_text())
+        floor = baseline.get("cycles_per_sec", 0.0) / 2.0
+        if record["cycles_per_sec"] < floor:
+            print(
+                f"FAIL: {record['cycles_per_sec']:.0f} cycles/s is below half the "
+                f"baseline ({baseline['cycles_per_sec']:.0f} cycles/s): >2x regression",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: {record['cycles_per_sec']:.0f} cycles/s >= {floor:.0f} "
+            f"(half of baseline {baseline['cycles_per_sec']:.0f})",
+            file=sys.stderr,
+        )
+    else:
+        print(f"note: no baseline at {args.baseline}; recorded only", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,14 @@ Quickstart
 38.4
 """
 
-from repro.bus import BusDesign, CharacterizedBus, TraceStatistics, characterize_bus
+from repro.bus import (
+    BusDesign,
+    CharacterizedBus,
+    TraceStatistics,
+    TraceStatisticsAccumulator,
+    TraceSummary,
+    characterize_bus,
+)
 from repro.circuit import (
     BEST_CASE_CORNER,
     STANDARD_CORNERS,
@@ -66,12 +73,14 @@ from repro.trace import (
     generate_suite,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BusDesign",
     "CharacterizedBus",
     "TraceStatistics",
+    "TraceStatisticsAccumulator",
+    "TraceSummary",
     "characterize_bus",
     "BEST_CASE_CORNER",
     "STANDARD_CORNERS",

@@ -7,31 +7,51 @@
 * :func:`run_fig8` runs the ten benchmarks back to back (starting at the
   nominal supply) and returns the supply-voltage and instantaneous error-rate
   time series of Fig. 8, together with the benchmark region boundaries.
+
+Both drivers are *streamed*: workloads are walked chunk by chunk through the
+trace pipeline (:mod:`repro.trace.stream`), with each chunk's statistics fed
+simultaneously to the closed loop and to the fixed-VS reduction, so peak
+memory stays O(chunk) regardless of trace length.  That is what makes the
+paper's 10 M cycles per benchmark -- now the default -- practical: a full
+Table 1 at paper scale needs tens of MB, not tens of GB.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.bus.bus_design import BusDesign
-from repro.bus.bus_model import CharacterizedBus
+from repro.bus.bus_model import CharacterizedBus, TraceStatisticsAccumulator
 from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER, PVTCorner
 from repro.core.dvs_system import DVSBusSystem, DVSRunResult
 from repro.core.fixed_vs import FixedScalingResult, evaluate_fixed_scaling
 from repro.core.policies import ControlPolicy
 from repro.energy.gains import energy_gain_percent
 from repro.trace.benchmarks import TABLE1_ORDER
-from repro.trace.generator import DEFAULT_CYCLES_PER_BENCHMARK, generate_suite
-from repro.trace.trace import BusTrace, concatenate_traces
+from repro.trace.generator import PAPER_CYCLES_PER_BENCHMARK, suite_sources
+from repro.trace.stream import ConcatenatedTraceSource, TraceSource, as_trace_source
+from repro.trace.trace import BusTrace
 
 #: Default fraction of each benchmark run treated as controller warm-up.  The
 #: paper's runs are 10 M cycles, where the descent from the nominal supply is
 #: negligible; shorter runs exclude the descent so the reported gain reflects
 #: steady-state operation.
 DEFAULT_WARMUP_FRACTION = 0.5
+
+WorkloadMapping = Mapping[str, Union[BusTrace, TraceSource]]
+
+
+def _auto_progress(total_cycles: int, label: str):
+    """A :class:`~repro.runtime.progress.ChunkProgress` for long interactive
+    runs, else ``None`` (short runs, non-TTY stderr)."""
+    # Imported lazily: repro.runtime's package init reaches back into the
+    # analysis registry, so a module-level import would be circular.
+    from repro.runtime.progress import auto_chunk_progress
+
+    return auto_chunk_progress(total_cycles, label)
 
 
 @dataclass(frozen=True)
@@ -88,16 +108,46 @@ class Table1Result:
         raise KeyError(f"no result for corner {corner.label}")
 
 
+def _run_benchmark_streamed(
+    bus: CharacterizedBus,
+    system: DVSBusSystem,
+    workload: Union[BusTrace, TraceSource],
+    warmup_fraction: float,
+    chunk_cycles: Optional[int],
+    progress,
+) -> Tuple[FixedScalingResult, DVSRunResult]:
+    """One pass over a workload feeding both Table 1 columns.
+
+    The same chunk statistics drive the closed loop and accumulate the
+    summary the fixed-VS baseline (and both nominal references) are computed
+    from, so a 10 M-cycle benchmark is generated and analysed exactly once.
+    """
+    source = as_trace_source(workload)
+    total = source.n_cycles
+    warmup = int(warmup_fraction * total)
+    state = system.stream(total, warmup_cycles=warmup)
+    accumulator = TraceStatisticsAccumulator()
+    for stats, _ in bus.iter_statistics(source, chunk_cycles):
+        accumulator.accumulate(stats)
+        state.feed(stats)
+        if progress is not None:
+            progress(state.cycles_fed, total)
+    dvs = state.finish()
+    fixed = evaluate_fixed_scaling(bus, accumulator.summary())
+    return fixed, dvs
+
+
 def run_table1(
     design: Optional[BusDesign] = None,
-    workloads: Optional[Mapping[str, BusTrace]] = None,
+    workloads: Optional[WorkloadMapping] = None,
     corners: Sequence[PVTCorner] = (WORST_CASE_CORNER, TYPICAL_CORNER),
-    n_cycles: int = DEFAULT_CYCLES_PER_BENCHMARK,
+    n_cycles: Optional[int] = None,
     seed: int = 2005,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     policy: Optional[ControlPolicy] = None,
     window_cycles: int = 10_000,
     ramp_delay_cycles: int = 3000,
+    chunk_cycles: Optional[int] = None,
 ) -> Table1Result:
     """Reproduce Table 1: fixed VS vs the proposed DVS, per benchmark and corner.
 
@@ -106,12 +156,15 @@ def run_table1(
     design:
         Bus design; defaults to the paper's bus.
     workloads:
-        Benchmark traces; generated from the built-in profiles when omitted.
+        Benchmark traces or trace sources; when omitted, streamed synthetic
+        sources at the paper's scale are used.
     corners:
         Corners to evaluate (the paper's Table 1 uses the worst-case and the
         typical corner).
     n_cycles:
-        Cycles per benchmark when traces are generated here.
+        Cycles per benchmark when workloads are generated here; defaults to
+        the paper's 10 M (:data:`~repro.trace.generator.PAPER_CYCLES_PER_BENCHMARK`),
+        streamed in O(chunk) memory.
     seed:
         Trace-generation seed.
     warmup_fraction:
@@ -123,11 +176,15 @@ def run_table1(
         Control-loop timing; the paper's values (10 000 and 3 000 cycles) by
         default.  Short test runs scale both down proportionally so the loop
         still reaches steady state.
+    chunk_cycles:
+        Streaming granularity; results are bit-identical for any value.
     """
     if design is None:
         design = BusDesign.paper_bus()
+    if n_cycles is None:
+        n_cycles = PAPER_CYCLES_PER_BENCHMARK
     if workloads is None:
-        workloads = generate_suite(n_cycles=n_cycles, seed=seed)
+        workloads = suite_sources(n_cycles=n_cycles, seed=seed)
 
     corner_results: List[Table1CornerResult] = []
     for corner in corners:
@@ -148,10 +205,13 @@ def run_table1(
         for name in TABLE1_ORDER:
             if name not in workloads:
                 continue
-            stats = bus.analyze(workloads[name].values)
-            warmup = int(warmup_fraction * stats.n_cycles)
-            fixed: FixedScalingResult = evaluate_fixed_scaling(bus, stats)
-            dvs: DVSRunResult = system.run(stats, warmup_cycles=warmup)
+            progress = _auto_progress(
+                as_trace_source(workloads[name]).n_cycles,
+                label=f"table1 {name}@{corner.label}",
+            )
+            fixed, dvs = _run_benchmark_streamed(
+                bus, system, workloads[name], warmup_fraction, chunk_cycles, progress
+            )
             rows.append(
                 Table1Row(
                     benchmark=name,
@@ -217,40 +277,47 @@ class Fig8Result:
 
 def run_fig8(
     design: Optional[BusDesign] = None,
-    workloads: Optional[Mapping[str, BusTrace]] = None,
+    workloads: Optional[WorkloadMapping] = None,
     corner: PVTCorner = TYPICAL_CORNER,
-    n_cycles: int = DEFAULT_CYCLES_PER_BENCHMARK,
+    n_cycles: Optional[int] = None,
     seed: int = 2005,
     benchmark_order: Sequence[str] = TABLE1_ORDER,
     policy: Optional[ControlPolicy] = None,
     window_cycles: int = 10_000,
     ramp_delay_cycles: int = 3000,
+    chunk_cycles: Optional[int] = None,
 ) -> Fig8Result:
     """Reproduce Fig. 8: the suite run back-to-back under closed-loop DVS.
 
     The supply starts at the nominal 1.2 V and the controller adapts to each
     program's switching activity; the returned time series shows the supply
     trajectory and the 10 000-cycle instantaneous error rates, with the
-    benchmark region boundaries for annotation.
+    benchmark region boundaries for annotation.  The concatenated suite is
+    streamed program by program, chunk by chunk, so the paper-scale
+    (10 benchmarks x 10 M cycles) run never materialises a trace.
     """
     if design is None:
         design = BusDesign.paper_bus()
+    if n_cycles is None:
+        n_cycles = PAPER_CYCLES_PER_BENCHMARK
     if workloads is None:
-        workloads = generate_suite(names=benchmark_order, n_cycles=n_cycles, seed=seed)
+        workloads = suite_sources(names=benchmark_order, n_cycles=n_cycles, seed=seed)
 
-    ordered = [workloads[name] for name in benchmark_order]
-    boundaries: List[int] = []
-    offset = 0
-    for trace in ordered:
-        offset += trace.n_cycles
-        boundaries.append(offset)
-    suite_trace = concatenate_traces(ordered, name="fig8-suite")
+    suite = ConcatenatedTraceSource(
+        [as_trace_source(workloads[name]) for name in benchmark_order], name="fig8-suite"
+    )
+    boundaries = suite.boundaries()
 
     bus = CharacterizedBus(design, corner)
     system = DVSBusSystem(
         bus, policy=policy, window_cycles=window_cycles, ramp_delay_cycles=ramp_delay_cycles
     )
-    run = system.run(suite_trace, initial_voltage=design.nominal_vdd)
+    run = system.run(
+        suite,
+        initial_voltage=design.nominal_vdd,
+        chunk_cycles=chunk_cycles,
+        progress=_auto_progress(suite.n_cycles, label=f"fig8@{corner.label}"),
+    )
 
     events = run.voltage_events
     return Fig8Result(

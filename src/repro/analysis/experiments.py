@@ -97,13 +97,19 @@ def _run_fig6(n_cycles: int = 120_000, seed: int = 2005) -> Tuple[Any, str]:
     return study, reporting.format_oracle_residency(study)
 
 
-def _run_table1(n_cycles: int = 200_000, seed: int = 2005) -> Tuple[Any, str]:
-    result = run_table1(n_cycles=n_cycles, seed=seed)
+def _run_table1(
+    n_cycles: Optional[int] = None, seed: int = 2005, chunk_cycles: Optional[int] = None
+) -> Tuple[Any, str]:
+    # n_cycles=None runs the paper's 10 M cycles per benchmark through the
+    # streaming pipeline (O(chunk) memory); pass --cycles to scale down.
+    result = run_table1(n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles)
     return result, reporting.format_table1(result)
 
 
-def _run_fig8(n_cycles: int = 100_000, seed: int = 2005) -> Tuple[Any, str]:
-    result = run_fig8(n_cycles=n_cycles, seed=seed)
+def _run_fig8(
+    n_cycles: Optional[int] = None, seed: int = 2005, chunk_cycles: Optional[int] = None
+) -> Tuple[Any, str]:
+    result = run_fig8(n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles)
     return result, reporting.format_fig8(result)
 
 

@@ -15,16 +15,28 @@ Two studies live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.bus.bus_design import BusDesign
-from repro.bus.bus_model import CharacterizedBus, TraceStatistics
+from repro.bus.bus_model import (
+    CharacterizedBus,
+    TraceStatistics,
+    TraceStatisticsAccumulator,
+    TraceSummary,
+)
 from repro.circuit.pvt import STANDARD_CORNERS, PVTCorner
 from repro.energy.gains import breakdown_gain_percent, normalized_energy
+from repro.trace.stream import TraceSource
 from repro.trace.trace import BusTrace
 from repro.utils.validation import check_fraction
+
+#: Workload forms the static studies accept: per-benchmark traces/sources,
+#: or already-reduced statistics.
+WorkloadsLike = Union[
+    Mapping[str, Union[BusTrace, TraceSource]], TraceStatistics, TraceSummary
+]
 
 
 @dataclass(frozen=True)
@@ -90,10 +102,51 @@ def combine_statistics(
     return combined
 
 
+def combine_summaries(
+    bus: CharacterizedBus,
+    workloads: Mapping[str, Union[BusTrace, TraceSource]],
+    chunk_cycles: Optional[int] = None,
+) -> TraceSummary:
+    """Reduce a suite of traces/sources to one :class:`TraceSummary`.
+
+    The streaming twin of :func:`combine_statistics`: it reduces exactly the
+    same per-cycle populations (concatenating statistics never creates
+    between-benchmark transitions), so every static-scaling quantity -- error
+    rates and energies at constant grid voltages -- matches while paper-scale
+    suites sweep in O(chunk) memory.
+    """
+    if not workloads:
+        raise ValueError("workloads must contain at least one trace")
+    accumulator = TraceStatisticsAccumulator()
+    for workload in workloads.values():
+        for stats, _ in bus.iter_statistics(workload, chunk_cycles):
+            accumulator.accumulate(stats)
+    return accumulator.summary()
+
+
+def resolve_workload_statistics(
+    bus: CharacterizedBus,
+    workloads: WorkloadsLike,
+    chunk_cycles: Optional[int] = None,
+) -> Union[TraceStatistics, TraceSummary]:
+    """Normalise a static-study workload argument to evaluable statistics.
+
+    Pre-computed statistics/summaries pass through; mappings of traces keep
+    the classic concatenated per-cycle path, while mappings containing any
+    :class:`~repro.trace.stream.TraceSource` are streamed into a summary.
+    """
+    if isinstance(workloads, (TraceStatistics, TraceSummary)):
+        return workloads
+    if any(isinstance(workload, TraceSource) for workload in workloads.values()):
+        return combine_summaries(bus, workloads, chunk_cycles=chunk_cycles)
+    return combine_statistics(bus, workloads)
+
+
 def run_static_voltage_sweep(
     bus: CharacterizedBus,
-    workloads: Mapping[str, BusTrace] | TraceStatistics,
+    workloads: WorkloadsLike,
     v_stop: Optional[float] = None,
+    chunk_cycles: Optional[int] = None,
 ) -> StaticScalingSweep:
     """Sweep the static supply at one corner and measure error rate and energy.
 
@@ -102,18 +155,18 @@ def run_static_voltage_sweep(
     bus:
         Characterised bus at the corner of interest.
     workloads:
-        Either a mapping of benchmark traces (combined, as in the paper) or
-        pre-combined :class:`TraceStatistics`.
+        Either a mapping of benchmark traces / trace sources (combined, as in
+        the paper) or pre-combined :class:`TraceStatistics` /
+        :class:`TraceSummary`.  Sources are reduced in O(chunk) memory, which
+        is how the sweep runs at paper-scale trace lengths.
     v_stop:
         Lowest voltage to sweep; defaults to the lowest grid voltage at which
         the worst-case pattern still meets the *shadow-latch* deadline at this
         corner (the paper's sweep stop condition).
+    chunk_cycles:
+        Streaming granularity when sources are reduced.
     """
-    stats = (
-        workloads
-        if isinstance(workloads, TraceStatistics)
-        else combine_statistics(bus, workloads)
-    )
+    stats = resolve_workload_statistics(bus, workloads, chunk_cycles)
     if v_stop is None:
         v_stop = bus.table.min_voltage_meeting(
             bus.design.clocking.shadow_deadline, bus.design.topology.max_coupling_factor
@@ -180,17 +233,19 @@ class CornerGainStudy:
 
 def run_corner_gain_study(
     design: BusDesign,
-    workloads: Mapping[str, BusTrace],
+    workloads: Mapping[str, Union[BusTrace, TraceSource]],
     targets: Sequence[float] = (0.0, 0.02, 0.05),
     corners: Optional[Mapping[int, PVTCorner]] = None,
     design_label: str = "original bus",
+    chunk_cycles: Optional[int] = None,
 ) -> CornerGainStudy:
     """Reproduce Fig. 5 (or Fig. 10 when given the modified bus design).
 
     For every corner the bus is characterised, the benchmark suite's combined
     statistics are evaluated over the voltage grid, and for each target error
     rate the lowest admissible static voltage (subject to the shadow-latch
-    limit) determines the reported energy gain.
+    limit) determines the reported energy gain.  Trace sources are reduced
+    per corner in O(chunk) memory.
     """
     for target in targets:
         check_fraction("target", target)
@@ -201,7 +256,7 @@ def run_corner_gain_study(
     for index in sorted(corners):
         corner = corners[index]
         bus = CharacterizedBus(design, corner)
-        stats = combine_statistics(bus, workloads)
+        stats = resolve_workload_statistics(bus, workloads, chunk_cycles)
         sweep = run_static_voltage_sweep(bus, stats)
         reference = bus.nominal_energy(stats)
         nominal_delay = bus.table.worst_delay(

@@ -6,7 +6,12 @@ from repro.bus.characterization import (
     characterize_bus,
     default_voltage_grid,
 )
-from repro.bus.bus_model import CharacterizedBus, TraceStatistics
+from repro.bus.bus_model import (
+    CharacterizedBus,
+    TraceStatistics,
+    TraceStatisticsAccumulator,
+    TraceSummary,
+)
 
 __all__ = [
     "BusDesign",
@@ -15,4 +20,6 @@ __all__ = [
     "default_voltage_grid",
     "CharacterizedBus",
     "TraceStatistics",
+    "TraceStatisticsAccumulator",
+    "TraceSummary",
 ]

@@ -6,12 +6,24 @@ the supply voltage.  :class:`TraceStatistics` captures those per-cycle arrays
 once; :class:`CharacterizedBus` then evaluates timing errors and energy for
 any (possibly per-cycle) supply voltage with a handful of vectorised numpy
 operations, which is what makes multi-million-cycle DVS simulations fast.
+
+For paper-scale (10 M cycle) runs even the per-cycle statistics are too big
+to hold, so the model also supports *streaming reductions*:
+
+* :meth:`CharacterizedBus.iter_statistics` walks any workload (a trace, a
+  :class:`~repro.trace.stream.TraceSource`, or pre-computed statistics) as
+  chunk-local :class:`TraceStatistics`, and
+* :class:`TraceStatisticsAccumulator` folds those chunks into a
+  :class:`TraceSummary` -- exact totals plus the (tiny, discrete)
+  distribution of per-cycle worst coupling factors -- from which error rates
+  and energies at any *constant* supply are computed exactly, independent of
+  how the trace was chunked.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,10 +35,14 @@ from repro.circuit.pvt import PVTCorner
 from repro.energy.accounting import EnergyBreakdown
 from repro.interconnect.crosstalk import (
     coupling_energy_weights,
+    packed_coupling_energy_weights,
+    packed_toggle_counts,
     toggle_counts,
     transitions_from_values,
     worst_coupling_factor_per_cycle,
 )
+from repro.trace.stream import TraceSource, as_trace_source
+from repro.trace.trace import BusTrace
 
 VoltageLike = Union[float, np.ndarray]
 
@@ -88,6 +104,129 @@ class TraceStatistics:
         """Average fraction of a 32-bit word switching per cycle (diagnostic)."""
         return float(np.mean(self.toggles))
 
+    def summarize(self) -> "TraceSummary":
+        """Reduce these per-cycle arrays to a :class:`TraceSummary`."""
+        accumulator = TraceStatisticsAccumulator()
+        accumulator.accumulate(self)
+        return accumulator.summary()
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Exact reductions of per-cycle trace statistics, O(1) in trace length.
+
+    Toggle and coupling-weight totals are sums of small integers (exact in
+    float64 far beyond any realistic trace length), and the per-cycle worst
+    coupling factor only takes a handful of distinct values (the canonical
+    Miller classes spread by the discrete secondary correction), so the
+    summary preserves *everything* needed to evaluate error rates and
+    energies at any constant supply -- with results independent of how the
+    trace was chunked during accumulation.
+
+    Attributes
+    ----------
+    n_cycles:
+        Total transitions accumulated.
+    toggles_total:
+        Sum of per-cycle toggling-wire counts.
+    coupling_weights_total:
+        Sum of per-cycle coupling-energy weights.
+    worst_coupling_values / worst_coupling_counts:
+        The distinct per-cycle worst coupling factors (ascending) and how
+        many cycles saw each.
+    """
+
+    n_cycles: int
+    toggles_total: float
+    coupling_weights_total: float
+    worst_coupling_values: np.ndarray
+    worst_coupling_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.worst_coupling_values, dtype=float)
+        counts = np.asarray(self.worst_coupling_counts, dtype=np.int64)
+        if values.shape != counts.shape or values.ndim != 1:
+            raise ValueError("worst-coupling values and counts must be matching 1-D arrays")
+        if int(counts.sum()) != self.n_cycles:
+            raise ValueError(
+                f"worst-coupling counts sum to {int(counts.sum())}, expected {self.n_cycles}"
+            )
+        object.__setattr__(self, "worst_coupling_values", values)
+        object.__setattr__(self, "worst_coupling_counts", counts)
+
+    @property
+    def mean_toggle_rate(self) -> float:
+        """Average number of switching wires per cycle (diagnostic)."""
+        if self.n_cycles == 0:
+            return 0.0
+        return self.toggles_total / self.n_cycles
+
+    def error_count(self, coupling_threshold: float) -> int:
+        """Cycles whose worst coupling factor exceeds ``coupling_threshold``."""
+        mask = self.worst_coupling_values > coupling_threshold
+        return int(self.worst_coupling_counts[mask].sum())
+
+    @classmethod
+    def from_source(
+        cls,
+        bus: "CharacterizedBus",
+        workload: "WorkloadLike",
+        chunk_cycles: Optional[int] = None,
+    ) -> "TraceSummary":
+        """Stream a workload through ``bus`` and reduce it to a summary."""
+        return bus.summarize(workload, chunk_cycles=chunk_cycles)
+
+
+class TraceStatisticsAccumulator:
+    """Incremental reducer of chunk statistics into a :class:`TraceSummary`.
+
+    Accumulation is exact (integer totals, discrete worst-coupling
+    histogram), so the resulting summary is bit-identical no matter how the
+    trace was split into chunks.
+    """
+
+    def __init__(self) -> None:
+        self._n_cycles = 0
+        self._toggles = 0.0
+        self._weights = 0.0
+        self._histogram: Dict[float, int] = {}
+
+    def accumulate(self, stats: TraceStatistics) -> "TraceStatisticsAccumulator":
+        """Fold one chunk's per-cycle statistics into the running reduction."""
+        self._n_cycles += stats.n_cycles
+        self._toggles += float(np.sum(stats.toggles))
+        self._weights += float(np.sum(stats.coupling_weights))
+        values, counts = np.unique(stats.worst_coupling, return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            self._histogram[value] = self._histogram.get(value, 0) + int(count)
+        return self
+
+    #: Alias so the accumulator can be used as a chunk observer.
+    update = accumulate
+
+    @property
+    def n_cycles(self) -> int:
+        """Cycles accumulated so far."""
+        return self._n_cycles
+
+    def summary(self) -> TraceSummary:
+        """The reduction accumulated so far, as an immutable summary."""
+        values = np.array(sorted(self._histogram), dtype=float)
+        counts = np.array([self._histogram[v] for v in values.tolist()], dtype=np.int64)
+        return TraceSummary(
+            n_cycles=self._n_cycles,
+            toggles_total=self._toggles,
+            coupling_weights_total=self._weights,
+            worst_coupling_values=values,
+            worst_coupling_counts=counts,
+        )
+
+
+#: Anything the bus model can evaluate a workload from.
+WorkloadLike = Union[BusTrace, TraceSource, TraceStatistics]
+#: Workload statistics in either per-cycle or reduced form.
+StatisticsLike = Union[TraceStatistics, TraceSummary]
+
 
 class CharacterizedBus:
     """A bus design characterised at one PVT corner, ready for simulation.
@@ -136,6 +275,57 @@ class CharacterizedBus:
             coupling_weights=coupling_energy_weights(transitions, topology),
         )
 
+    def analyze_trace(self, trace: BusTrace) -> TraceStatistics:
+        """:meth:`analyze` for a :class:`BusTrace`, using the packed fast path.
+
+        Packed-backed traces compute toggle counts and coupling weights
+        directly from the packed words (XOR + popcount, 8x less data); the
+        worst-coupling classification needs signed per-wire transitions and
+        unpacks once.  Results are bit-identical to :meth:`analyze`.
+        """
+        if not trace.is_packed:
+            return self.analyze(trace.values)
+        topology = self.design.topology
+        packed = trace.packed_values
+        values = trace.values  # one unpacked copy for the signed classification
+        transitions = transitions_from_values(values)
+        return TraceStatistics(
+            worst_coupling=worst_coupling_factor_per_cycle(transitions, topology),
+            toggles=packed_toggle_counts(packed),
+            coupling_weights=packed_coupling_energy_weights(packed, topology),
+        )
+
+    def iter_statistics(
+        self, workload: WorkloadLike, chunk_cycles: Optional[int] = None
+    ) -> Iterator[Tuple[TraceStatistics, int]]:
+        """Walk a workload as ``(chunk statistics, start cycle)`` pairs.
+
+        Accepts pre-computed :class:`TraceStatistics` (yielded whole, or
+        sliced when ``chunk_cycles`` is given), a :class:`BusTrace`, or any
+        :class:`~repro.trace.stream.TraceSource`.  Never holds more than one
+        chunk of per-cycle arrays for streamed workloads.
+        """
+        if isinstance(workload, TraceStatistics):
+            if chunk_cycles is None:
+                yield workload, 0
+            else:
+                for start in range(0, workload.n_cycles, chunk_cycles):
+                    stop = min(start + chunk_cycles, workload.n_cycles)
+                    yield workload.slice(start, stop), start
+            return
+        source = as_trace_source(workload)
+        for chunk in source.chunks(chunk_cycles):
+            yield self.analyze_trace(chunk.trace), chunk.start_cycle
+
+    def summarize(
+        self, workload: WorkloadLike, chunk_cycles: Optional[int] = None
+    ) -> TraceSummary:
+        """Reduce a workload to a :class:`TraceSummary` in O(chunk) memory."""
+        accumulator = TraceStatisticsAccumulator()
+        for stats, _ in self.iter_statistics(workload, chunk_cycles):
+            accumulator.accumulate(stats)
+        return accumulator.summary()
+
     # ------------------------------------------------------------------ #
     # Timing queries
     # ------------------------------------------------------------------ #
@@ -153,10 +343,23 @@ class CharacterizedBus:
         thresholds = self._failing_threshold(vdd, self.design.clocking.shadow_deadline)
         return stats.worst_coupling > thresholds
 
-    def error_rate(self, stats: TraceStatistics, vdd: VoltageLike) -> float:
+    def error_count(self, stats: StatisticsLike, vdd: float) -> int:
+        """Errors at a constant supply, for per-cycle or reduced statistics."""
+        threshold = self.table.failing_coupling_factor(
+            float(vdd), self.design.clocking.main_deadline
+        )
+        if isinstance(stats, TraceSummary):
+            return stats.error_count(threshold)
+        return int(np.count_nonzero(stats.worst_coupling > threshold))
+
+    def error_rate(self, stats: StatisticsLike, vdd: VoltageLike) -> float:
         """Fraction of cycles with a corrected timing error at the given supply."""
         if stats.n_cycles == 0:
             return 0.0
+        if isinstance(stats, TraceSummary):
+            if not np.isscalar(vdd):
+                raise TypeError("TraceSummary supports only a constant supply voltage")
+            return self.error_count(stats, float(vdd)) / stats.n_cycles
         return float(np.count_nonzero(self.error_mask(stats, vdd))) / stats.n_cycles
 
     def _failing_threshold(self, vdd: VoltageLike, deadline: float) -> VoltageLike:
@@ -210,17 +413,91 @@ class CharacterizedBus:
         coupling_term = 0.5 * self.table.coupling_capacitance_per_pair * stats.coupling_weights
         return (self_term + coupling_term) * vdd_array * vdd_array
 
+    def energy_from_voltage_totals(
+        self,
+        cycle_counts: np.ndarray,
+        toggle_totals: np.ndarray,
+        weight_totals: np.ndarray,
+        n_errors: int,
+    ) -> EnergyBreakdown:
+        """Assemble an energy breakdown from per-grid-voltage totals.
+
+        This is the streaming pipeline's energy reduction: ``cycle_counts``,
+        ``toggle_totals`` and ``weight_totals`` hold, per grid-voltage index,
+        the cycles spent at that supply and the toggles / coupling weights
+        switched there.  Because the inputs are exact integer totals and the
+        final contraction runs in fixed grid order, the result is independent
+        of how the run was chunked.
+        """
+        voltages = self.grid.voltages
+        cycle_time = self.design.clocking.cycle_time
+        self_term = 0.5 * self.table.self_capacitance_per_wire * np.asarray(toggle_totals)
+        coupling_term = (
+            0.5 * self.table.coupling_capacitance_per_pair * np.asarray(weight_totals)
+        )
+        dynamic = float(np.sum((self_term + coupling_term) * voltages * voltages))
+        leakage = float(np.sum(self.table.leakage_power * np.asarray(cycle_counts))) * cycle_time
+        n_cycles = int(np.sum(cycle_counts))
+        ff_params = self.flipflop_energy
+        clocking = ff_params.bank_clock_energy(self.design.n_bits) * n_cycles
+        recovery = float(ff_params.recovery_energy(self.design.n_bits, n_errors))
+        return EnergyBreakdown(
+            bus_dynamic=dynamic,
+            leakage=leakage,
+            flipflop_clocking=clocking,
+            recovery_overhead=recovery,
+        )
+
+    def energy_at_constant_supply(
+        self,
+        vdd: float,
+        n_cycles: int,
+        toggles_total: float,
+        weights_total: float,
+        n_errors: int = 0,
+    ) -> EnergyBreakdown:
+        """Energy of aggregate totals spent entirely at one grid supply.
+
+        The scalar companion to :meth:`energy_from_voltage_totals`; it is also
+        how the streaming paths build their nominal-supply references (all
+        cycles scattered into the nominal grid index).
+        """
+        index = self.grid.index_of(float(vdd))
+        counts = np.zeros(len(self.grid))
+        toggles = np.zeros(len(self.grid))
+        weights = np.zeros(len(self.grid))
+        counts[index] = n_cycles
+        toggles[index] = toggles_total
+        weights[index] = weights_total
+        return self.energy_from_voltage_totals(counts, toggles, weights, n_errors)
+
+    def _summary_energy(
+        self, summary: TraceSummary, vdd: float, n_errors: int
+    ) -> EnergyBreakdown:
+        """Energy of a summarised workload at one constant supply."""
+        return self.energy_at_constant_supply(
+            vdd, summary.n_cycles, summary.toggles_total, summary.coupling_weights_total, n_errors
+        )
+
     def energy_breakdown(
         self,
-        stats: TraceStatistics,
+        stats: StatisticsLike,
         vdd: VoltageLike,
         n_errors: Optional[int] = None,
     ) -> EnergyBreakdown:
         """Total energy of the interval at ``vdd`` with ``n_errors`` recoveries.
 
         If ``n_errors`` is not given it is computed from the error mask at the
-        same supply.
+        same supply.  Reduced :class:`TraceSummary` statistics are supported
+        for constant supplies.
         """
+        if isinstance(stats, TraceSummary):
+            if not np.isscalar(vdd):
+                raise TypeError("TraceSummary supports only a constant supply voltage")
+            if n_errors is None:
+                n_errors = self.error_count(stats, float(vdd))
+            return self._summary_energy(stats, float(vdd), n_errors)
+
         cycle_time = self.design.clocking.cycle_time
         dynamic = float(np.sum(self.dynamic_energy_per_cycle(stats, vdd)))
 
@@ -244,7 +521,7 @@ class CharacterizedBus:
             recovery_overhead=recovery,
         )
 
-    def nominal_energy(self, stats: TraceStatistics) -> EnergyBreakdown:
+    def nominal_energy(self, stats: StatisticsLike) -> EnergyBreakdown:
         """Energy of the interval at the nominal supply with no errors.
 
         This is the reference against which all energy gains are reported.

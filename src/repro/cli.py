@@ -30,10 +30,11 @@ from workers).  The one-off interactive commands (``characterize``,
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.baselines import format_scheme_comparison, run_scheme_comparison
@@ -48,12 +49,14 @@ from repro.runtime import (
     ProgressPrinter,
     ResultCache,
     ResultStore,
+    auto_chunk_progress,
     default_cache_dir,
     format_sweep_report,
     get_sweep,
     run_jobs,
 )
-from repro.trace import TABLE1_ORDER, generate_benchmark_trace, generate_suite
+from repro.runtime.tasks import get_task
+from repro.trace import TABLE1_ORDER, benchmark_trace_source, generate_suite
 
 
 def _add_corner_argument(parser: argparse.ArgumentParser) -> None:
@@ -100,15 +103,37 @@ def build_parser() -> argparse.ArgumentParser:
             help="bypass the result cache entirely (always simulate)",
         )
 
+    # Workload-scale flags: accepted globally and on the commands that
+    # consume them, so any registered experiment or sweep can be scaled
+    # without code edits (``repro run table1 --cycles 500000`` or
+    # ``repro --cycles 500000 sweep controller-grid``).
+    def add_workload_flags(target: argparse.ArgumentParser, top_level: bool) -> None:
+        target.add_argument(
+            "--cycles",
+            type=int,
+            metavar="N",
+            default=None if top_level else argparse.SUPPRESS,
+            help="cycles per benchmark (experiments default to the paper's 10M "
+            "for table1/fig8, streamed in O(chunk) memory)",
+        )
+        target.add_argument(
+            "--chunk-cycles",
+            type=int,
+            metavar="M",
+            default=None if top_level else argparse.SUPPRESS,
+            help="streaming chunk size (results are bit-identical for any value)",
+        )
+
     add_runtime_flags(parser, top_level=True)
+    add_workload_flags(parser, top_level=True)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the paper's experiments and their ids")
 
     run_parser = subparsers.add_parser("run", help="run one experiment by id")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
-    run_parser.add_argument("--cycles", type=int, default=None, help="cycles per benchmark")
     run_parser.add_argument("--seed", type=int, default=2005, help="workload seed")
+    add_workload_flags(run_parser, top_level=False)
     add_runtime_flags(run_parser, top_level=False)
 
     sweep_parser = subparsers.add_parser(
@@ -136,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines on stderr"
     )
+    add_workload_flags(sweep_parser, top_level=False)
     add_runtime_flags(sweep_parser, top_level=False)
 
     cache_parser = subparsers.add_parser(
@@ -158,7 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmark", choices=TABLE1_ORDER, default="crafty", help="benchmark profile"
     )
     _add_corner_argument(simulate_parser)
-    simulate_parser.add_argument("--cycles", type=int, default=200_000)
+    # SUPPRESS keeps the global --cycles / --chunk-cycles usable before the
+    # subcommand: a subparser default would overwrite the already-parsed
+    # top-level value.  The handler applies the 200k fallback.
+    simulate_parser.add_argument(
+        "--cycles", type=int, default=argparse.SUPPRESS, help="cycles to simulate (default 200000)"
+    )
+    simulate_parser.add_argument(
+        "--chunk-cycles", type=int, default=argparse.SUPPRESS, help="streaming chunk size"
+    )
     simulate_parser.add_argument("--seed", type=int, default=2005)
     simulate_parser.add_argument("--window", type=int, default=10_000, help="error window (cycles)")
     simulate_parser.add_argument("--ramp", type=int, default=3_000, help="regulator ramp (cycles)")
@@ -167,7 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
         "compare-schemes", help="fixed VS vs canary vs triple-latch vs proposed DVS"
     )
     _add_corner_argument(compare_parser)
-    compare_parser.add_argument("--cycles", type=int, default=30_000, help="cycles per benchmark")
+    compare_parser.add_argument(
+        "--cycles",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="cycles per benchmark (default 30000)",
+    )
     compare_parser.add_argument("--seed", type=int, default=2005)
 
     subparsers.add_parser("kernels", help="list the mini-CPU kernels usable as workloads")
@@ -186,13 +225,34 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(experiment: str, cycles: Optional[int], seed: int,
-                 cache: Optional[ResultCache]) -> int:
-    kwargs = {"seed": seed}
-    if cycles is not None:
-        kwargs["n_cycles"] = cycles
-    if experiment == "scaling":
-        kwargs = {}  # the scaling study takes no workload parameters
+def _accepted_kwargs(function, candidates: Dict[str, Any]) -> Dict[str, Any]:
+    """The subset of ``candidates`` that ``function`` names as parameters.
+
+    Used to thread the global ``--cycles`` / ``--chunk-cycles`` knobs through
+    heterogeneous experiment runners and sweep tasks: workload-free entries
+    (e.g. the scaling study) simply never see them.  ``None`` values are
+    dropped so defaults stay in charge.
+    """
+    parameters = inspect.signature(function).parameters
+    return {
+        name: value
+        for name, value in candidates.items()
+        if value is not None and name in parameters
+    }
+
+
+def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[int],
+                 seed: int, cache: Optional[ResultCache]) -> int:
+    runner = EXPERIMENTS[experiment].runner
+    requested = {"n_cycles": cycles, "chunk_cycles": chunk_cycles}
+    kwargs = _accepted_kwargs(runner, {"seed": seed, **requested})
+    flags = {"n_cycles": "--cycles", "chunk_cycles": "--chunk-cycles"}
+    for name, value in requested.items():
+        if value is not None and name not in kwargs:
+            print(
+                f"[runtime] {experiment} does not take {flags[name]}; ignoring it",
+                file=sys.stderr,
+            )
     started = time.perf_counter()
     record, text = run_experiment(experiment, cache=cache, **kwargs)
     elapsed = time.perf_counter() - started
@@ -212,6 +272,8 @@ def _command_sweep(
     quiet: bool,
     cache: Optional[ResultCache],
     jobs: int,
+    cycles: Optional[int] = None,
+    chunk_cycles: Optional[int] = None,
 ) -> int:
     if list_sweeps or name is None:
         width = max(len(sweep_name) for sweep_name in SWEEPS)
@@ -225,6 +287,17 @@ def _command_sweep(
 
     sweep = get_sweep(name)
     specs = sweep.expand(limit=limit)
+    if cycles is not None or chunk_cycles is not None:
+        # Scale every grid point that understands the workload knobs; the
+        # overridden params flow into the cache key, so scaled runs never
+        # alias unscaled ones.
+        overridden = []
+        for spec in specs:
+            overrides = _accepted_kwargs(
+                get_task(spec.task), {"n_cycles": cycles, "chunk_cycles": chunk_cycles}
+            )
+            overridden.append(spec.with_params(**overrides) if overrides else spec)
+        specs = tuple(overridden)
     progress = ProgressPrinter(quiet=quiet)
     report = run_jobs(specs, cache=cache, n_workers=jobs, progress=progress)
     print(format_sweep_report(sweep, report))
@@ -283,13 +356,20 @@ def _command_characterize(corner_name: str) -> int:
 
 
 def _command_simulate(
-    benchmark: str, corner_name: str, cycles: int, seed: int, window: int, ramp: int
+    benchmark: str,
+    corner_name: str,
+    cycles: int,
+    seed: int,
+    window: int,
+    ramp: int,
+    chunk_cycles: Optional[int] = None,
 ) -> int:
     corner = CORNERS[corner_name]
     bus = CharacterizedBus(BusDesign.paper_bus(), corner)
-    trace = generate_benchmark_trace(benchmark, n_cycles=cycles, seed=seed)
+    source = benchmark_trace_source(benchmark, n_cycles=cycles, seed=seed)
     system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
-    result = system.run(trace)
+    progress = auto_chunk_progress(cycles, label=f"simulate {benchmark}")
+    result = system.run(source, chunk_cycles=chunk_cycles, progress=progress)
 
     print(f"Closed-loop DVS: benchmark {benchmark!r}, corner {corner.label}")
     print(f"  cycles simulated      : {result.n_cycles}")
@@ -354,10 +434,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "run":
-        return _command_run(args.experiment, args.cycles, args.seed, cache)
+        return _command_run(args.experiment, args.cycles, args.chunk_cycles, args.seed, cache)
     if args.command == "sweep":
         return _command_sweep(
-            args.name, args.list_sweeps, args.limit, args.out, args.quiet, cache, args.jobs
+            args.name,
+            args.list_sweeps,
+            args.limit,
+            args.out,
+            args.quiet,
+            cache,
+            args.jobs,
+            cycles=args.cycles,
+            chunk_cycles=args.chunk_cycles,
         )
     if args.command == "cache":
         return _command_cache(args.action, args.cache_dir)
@@ -365,10 +453,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_characterize(args.corner)
     if args.command == "simulate":
         return _command_simulate(
-            args.benchmark, args.corner, args.cycles, args.seed, args.window, args.ramp
+            args.benchmark,
+            args.corner,
+            args.cycles if args.cycles is not None else 200_000,
+            args.seed,
+            args.window,
+            args.ramp,
+            chunk_cycles=args.chunk_cycles,
         )
     if args.command == "compare-schemes":
-        return _command_compare_schemes(args.corner, args.cycles, args.seed)
+        return _command_compare_schemes(
+            args.corner, args.cycles if args.cycles is not None else 30_000, args.seed
+        )
     if args.command == "kernels":
         return _command_kernels()
     parser.error(f"unhandled command {args.command!r}")  # pragma: no cover

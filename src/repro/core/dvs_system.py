@@ -10,17 +10,25 @@ of the paper's Fig. 7:
 3. the regulator applies the change 3 000 cycles later (its ramp delay) and
    never goes below the conservative shadow-latch safety floor.
 
-The simulation is vectorised per constant-voltage block: the per-cycle work
-(worst coupling factor, switched capacitance) is computed once by
-:class:`~repro.bus.bus_model.CharacterizedBus.analyze`, and each block between
-voltage events reduces to a few numpy comparisons, so multi-million-cycle runs
-take milliseconds per benchmark.
+The simulation is *streamed*: the workload -- a trace, pre-computed
+statistics, or a :class:`~repro.trace.stream.TraceSource` -- is consumed one
+chunk at a time through :class:`DVSRunState`, which carries the regulator,
+controller and error-counter state plus exact per-grid-voltage energy
+accumulators across chunk boundaries.  Within a chunk each constant-voltage
+block reduces to a few numpy comparisons, so paper-scale (10 M cycle) runs
+take seconds per benchmark while peak memory stays O(chunk).
+
+Because the control trajectory is a deterministic function of integer
+per-window error counts, and the energy accumulators are exact integer
+totals contracted in fixed grid order, a chunked run is **bit-identical** to
+a monolithic one for any chunk size -- a guarantee the streaming-equivalence
+tests enforce.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -32,7 +40,11 @@ from repro.core.regulator import VoltageEvent, VoltageRegulator
 from repro.core.voltage_controller import WindowedVoltageController
 from repro.energy.accounting import EnergyBreakdown
 from repro.energy.gains import breakdown_gain_percent
+from repro.trace.stream import TraceSource
 from repro.trace.trace import BusTrace
+
+#: A per-chunk progress callback: ``callback(done_cycles, total_cycles)``.
+ProgressCallback = Callable[[int, int], None]
 
 
 @dataclass(frozen=True)
@@ -95,6 +107,190 @@ class DVSRunResult:
         return self.average_error_rate
 
 
+class DVSRunState:
+    """The closed loop mid-run: feed chunk statistics, then finish.
+
+    Created by :meth:`DVSBusSystem.stream`; callers that already walk a
+    workload chunk by chunk (e.g. the Table 1 driver, which reduces the same
+    chunks for the fixed-VS baseline in the same pass) feed each chunk's
+    :class:`TraceStatistics` in order and collect the
+    :class:`DVSRunResult` from :meth:`finish`.
+    """
+
+    def __init__(
+        self,
+        system: "DVSBusSystem",
+        n_cycles: int,
+        initial_voltage: Optional[float],
+        keep_cycle_voltage: bool,
+        warmup_cycles: int,
+    ) -> None:
+        if warmup_cycles < 0 or warmup_cycles >= n_cycles:
+            raise ValueError(
+                f"warmup_cycles must be in [0, {n_cycles}), got {warmup_cycles}"
+            )
+        self._system = system
+        bus = system.bus
+        self._n_cycles = n_cycles
+        self._warmup = warmup_cycles
+        nominal = bus.design.nominal_vdd
+        start_voltage = nominal if initial_voltage is None else initial_voltage
+
+        self._regulator = VoltageRegulator(
+            grid=bus.grid,
+            v_min=system.v_floor,
+            v_max=nominal,
+            initial_voltage=start_voltage,
+            ramp_delay_cycles=system.ramp_delay_cycles,
+        )
+        self._controller = WindowedVoltageController(
+            regulator=self._regulator,
+            policy=system.policy,
+            window_cycles=system.window_cycles,
+        )
+        self._counter = ErrorCounter(system.window_cycles)
+
+        # Error thresholds per grid-voltage index (the block loop only ever
+        # sees on-grid voltages, so both deadlines tabulate once).
+        deadline = bus.design.clocking.main_deadline
+        shadow = bus.design.clocking.shadow_deadline
+        self._thr_main = np.array(
+            [bus.table.failing_coupling_factor(v, deadline) for v in bus.grid.voltages]
+        )
+        self._thr_shadow = np.array(
+            [bus.table.failing_coupling_factor(v, shadow) for v in bus.grid.voltages]
+        )
+
+        # Exact per-grid-voltage accumulators over the measured (post-warm-up)
+        # region; these make the final energy independent of chunking.
+        n_grid = len(bus.grid)
+        self._meas_cycles = np.zeros(n_grid, dtype=np.int64)
+        self._meas_toggles = np.zeros(n_grid)
+        self._meas_weights = np.zeros(n_grid)
+        self._meas_errors = 0
+
+        self._window_voltages: List[float] = []
+        self._next_window_start = 0
+        self._failures = 0
+        self._min_voltage = float("inf")
+        self._cursor = 0  # next global cycle expected by feed()
+        self._voltage_per_cycle = np.empty(n_cycles) if keep_cycle_voltage else None
+
+    @property
+    def n_cycles(self) -> int:
+        """Total cycles this run will cover."""
+        return self._n_cycles
+
+    @property
+    def cycles_fed(self) -> int:
+        """Cycles consumed so far."""
+        return self._cursor
+
+    def feed(self, stats: TraceStatistics) -> None:
+        """Advance the closed loop over the next chunk of per-cycle statistics."""
+        n = stats.n_cycles
+        start = self._cursor
+        if start + n > self._n_cycles:
+            raise ValueError(
+                f"chunk of {n} cycles overruns the declared run length "
+                f"({start} + {n} > {self._n_cycles})"
+            )
+        regulator = self._regulator
+        grid = self._system.bus.grid
+        window_cycles = self._system.window_cycles
+        worst = stats.worst_coupling
+        toggles = stats.toggles
+        weights = stats.coupling_weights
+        warmup = self._warmup
+
+        position = 0
+        while position < n:
+            cycle = start + position
+            if cycle == self._next_window_start:
+                # Window voltages are sampled *before* any change that lands
+                # exactly on the window boundary is applied.
+                self._window_voltages.append(regulator.current_voltage)
+                self._next_window_start += window_cycles
+            regulator.apply_until(cycle)
+            voltage = regulator.current_voltage
+            v_index = grid.index_of(voltage)
+
+            window_end = (cycle // window_cycles + 1) * window_cycles
+            block_end = min(window_end, start + n, self._n_cycles)
+            pending = regulator.pending_change
+            if pending is not None and cycle < pending.cycle < block_end:
+                block_end = pending.cycle
+
+            block = slice(position, position + (block_end - cycle))
+            block_worst = worst[block]
+            block_errors = int(np.count_nonzero(block_worst > self._thr_main[v_index]))
+            self._failures += int(
+                np.count_nonzero(block_worst > self._thr_shadow[v_index])
+            )
+            if self._voltage_per_cycle is not None:
+                self._voltage_per_cycle[cycle:block_end] = voltage
+            self._min_voltage = min(self._min_voltage, voltage)
+
+            # Measured (post-warm-up) accounting for energy and error rate.
+            measured_start = max(cycle, warmup)
+            if measured_start < block_end:
+                mslice = slice(position + (measured_start - cycle), block.stop)
+                self._meas_cycles[v_index] += block_end - measured_start
+                self._meas_toggles[v_index] += float(np.sum(toggles[mslice]))
+                self._meas_weights[v_index] += float(np.sum(weights[mslice]))
+                if measured_start == cycle:
+                    self._meas_errors += block_errors
+                else:
+                    self._meas_errors += int(
+                        np.count_nonzero(worst[mslice] > self._thr_main[v_index])
+                    )
+
+            for measurement in self._counter.record(block_end - cycle, block_errors):
+                self._controller.on_window(measurement)
+            position += block_end - cycle
+        self._cursor = start + n
+
+    def finish(self) -> DVSRunResult:
+        """Close the run and assemble the :class:`DVSRunResult`."""
+        if self._cursor != self._n_cycles:
+            raise ValueError(
+                f"run was declared for {self._n_cycles} cycles but only "
+                f"{self._cursor} were fed"
+            )
+        self._counter.flush()
+        if self._failures:
+            raise RuntimeError(
+                f"{self._failures} cycle(s) missed the shadow-latch deadline; the "
+                "regulator floor is not conservative enough for this corner"
+            )
+        bus = self._system.bus
+        energy = bus.energy_from_voltage_totals(
+            self._meas_cycles, self._meas_toggles, self._meas_weights, self._meas_errors
+        )
+        reference = bus.energy_at_constant_supply(
+            bus.design.nominal_vdd,
+            int(self._meas_cycles.sum()),
+            float(self._meas_toggles.sum()),
+            float(self._meas_weights.sum()),
+        )
+
+        windows = self._counter.completed_windows
+        return DVSRunResult(
+            n_cycles=self._n_cycles - self._warmup,
+            total_errors=self._meas_errors,
+            failures=self._failures,
+            window_error_rates=np.array([w.error_rate for w in windows]),
+            window_start_cycles=np.array([w.start_cycle for w in windows]),
+            window_voltages=np.array(self._window_voltages[: len(windows)]),
+            voltage_events=self._regulator.events,
+            energy=energy,
+            reference_energy=reference,
+            minimum_voltage_reached=self._min_voltage,
+            final_voltage=self._regulator.current_voltage,
+            per_cycle_voltage=self._voltage_per_cycle,
+        )
+
+
 class DVSBusSystem:
     """The proposed DVS scheme: error-correcting bus plus closed-loop control.
 
@@ -136,26 +332,45 @@ class DVSBusSystem:
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
-    def run(
+    def stream(
         self,
-        workload: Union[BusTrace, TraceStatistics],
+        n_cycles: int,
         initial_voltage: Optional[float] = None,
         keep_cycle_voltage: bool = False,
         warmup_cycles: int = 0,
+    ) -> DVSRunState:
+        """Open a chunk-by-chunk run of ``n_cycles`` cycles.
+
+        Use this when the caller drives the chunk loop itself (e.g. to share
+        one pass over a :class:`~repro.trace.stream.TraceSource` between the
+        closed loop and other reductions); otherwise :meth:`run` does the
+        walking.
+        """
+        return DVSRunState(self, n_cycles, initial_voltage, keep_cycle_voltage, warmup_cycles)
+
+    def run(
+        self,
+        workload: Union[BusTrace, TraceStatistics, TraceSource],
+        initial_voltage: Optional[float] = None,
+        keep_cycle_voltage: bool = False,
+        warmup_cycles: int = 0,
+        chunk_cycles: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> DVSRunResult:
         """Simulate the closed loop over a workload.
 
         Parameters
         ----------
         workload:
-            Either a raw :class:`BusTrace` or pre-computed
-            :class:`TraceStatistics` (useful when the same trace is evaluated
-            under several configurations).
+            A raw :class:`BusTrace`, pre-computed :class:`TraceStatistics`
+            (useful when the same trace is evaluated under several
+            configurations), or a :class:`~repro.trace.stream.TraceSource`
+            streamed chunk by chunk in O(chunk) memory.
         initial_voltage:
             Supply at cycle 0; defaults to the nominal supply, as in Fig. 8.
         keep_cycle_voltage:
             Keep the full per-cycle voltage array in the result (costs one
-            float per cycle of memory).
+            float per cycle of memory -- the one deliberately O(n) option).
         warmup_cycles:
             Number of leading cycles excluded from the energy and error-rate
             accounting (the controller still runs through them).  The paper's
@@ -164,98 +379,28 @@ class DVSBusSystem:
             reported gain reflects steady-state behaviour rather than the
             start-up transient.  The voltage/error time series always cover
             the whole run.
+        chunk_cycles:
+            Streaming granularity for trace/source workloads.  Results are
+            bit-identical for any value; it only trades memory against numpy
+            batch efficiency.
+        progress:
+            Optional ``callback(done_cycles, total_cycles)`` invoked after
+            every chunk (see :class:`repro.runtime.progress.ChunkProgress`).
         """
-        stats = (
-            self.bus.analyze(workload.values) if isinstance(workload, BusTrace) else workload
+        if isinstance(workload, TraceStatistics):
+            total = workload.n_cycles
+        elif isinstance(workload, (BusTrace, TraceSource)):
+            total = workload.n_cycles
+        else:
+            raise TypeError(f"cannot simulate a workload of type {type(workload).__name__}")
+        state = self.stream(
+            total,
+            initial_voltage=initial_voltage,
+            keep_cycle_voltage=keep_cycle_voltage,
+            warmup_cycles=warmup_cycles,
         )
-        n_cycles = stats.n_cycles
-        if warmup_cycles < 0 or warmup_cycles >= n_cycles:
-            raise ValueError(
-                f"warmup_cycles must be in [0, {n_cycles}), got {warmup_cycles}"
-            )
-        nominal = self.bus.design.nominal_vdd
-        start_voltage = nominal if initial_voltage is None else initial_voltage
-
-        regulator = VoltageRegulator(
-            grid=self.bus.grid,
-            v_min=self.v_floor,
-            v_max=nominal,
-            initial_voltage=start_voltage,
-            ramp_delay_cycles=self.ramp_delay_cycles,
-        )
-        controller = WindowedVoltageController(
-            regulator=regulator, policy=self.policy, window_cycles=self.window_cycles
-        )
-        counter = ErrorCounter(self.window_cycles)
-
-        voltage_per_cycle = np.empty(n_cycles)
-        window_voltages: List[float] = []
-        total_errors = 0
-        failures = 0
-
-        deadline = self.bus.design.clocking.main_deadline
-        shadow_deadline = self.bus.design.clocking.shadow_deadline
-        worst = stats.worst_coupling
-
-        cycle = 0
-        while cycle < n_cycles:
-            window_end = min(cycle + self.window_cycles, n_cycles)
-            window_voltages.append(regulator.current_voltage)
-            block_start = cycle
-            while block_start < window_end:
-                regulator.apply_until(block_start)
-                pending = regulator.pending_change
-                block_end = window_end
-                if pending is not None and block_start < pending.cycle < window_end:
-                    block_end = pending.cycle
-                voltage = regulator.current_voltage
-                voltage_per_cycle[block_start:block_end] = voltage
-
-                threshold = self.bus.table.failing_coupling_factor(voltage, deadline)
-                shadow_threshold = self.bus.table.failing_coupling_factor(
-                    voltage, shadow_deadline
-                )
-                block_worst = worst[block_start:block_end]
-                block_errors = int(np.count_nonzero(block_worst > threshold))
-                failures += int(np.count_nonzero(block_worst > shadow_threshold))
-                total_errors += block_errors
-
-                completed = counter.record(block_end - block_start, block_errors)
-                for measurement in completed:
-                    controller.on_window(measurement)
-                block_start = block_end
-            cycle = window_end
-        counter.flush()
-
-        if failures:
-            raise RuntimeError(
-                f"{failures} cycle(s) missed the shadow-latch deadline; the regulator "
-                "floor is not conservative enough for this corner"
-            )
-
-        # Energy and error-rate accounting over the measured (post-warm-up) region.
-        measured_stats = stats.slice(warmup_cycles, n_cycles) if warmup_cycles else stats
-        measured_voltage = voltage_per_cycle[warmup_cycles:]
-        measured_errors = int(
-            np.count_nonzero(self.bus.error_mask(measured_stats, measured_voltage))
-        )
-        energy = self.bus.energy_breakdown(
-            measured_stats, measured_voltage, n_errors=measured_errors
-        )
-        reference = self.bus.nominal_energy(measured_stats)
-        windows = counter.completed_windows
-        result = DVSRunResult(
-            n_cycles=len(measured_voltage),
-            total_errors=measured_errors,
-            failures=failures,
-            window_error_rates=np.array([w.error_rate for w in windows]),
-            window_start_cycles=np.array([w.start_cycle for w in windows]),
-            window_voltages=np.array(window_voltages[: len(windows)]),
-            voltage_events=regulator.events,
-            energy=energy,
-            reference_energy=reference,
-            minimum_voltage_reached=float(np.min(voltage_per_cycle)),
-            final_voltage=regulator.current_voltage,
-            per_cycle_voltage=voltage_per_cycle if keep_cycle_voltage else None,
-        )
-        return result
+        for stats, _ in self.bus.iter_statistics(workload, chunk_cycles):
+            state.feed(stats)
+            if progress is not None:
+                progress(state.cycles_fed, total)
+        return state.finish()

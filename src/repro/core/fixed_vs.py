@@ -13,14 +13,16 @@ process corner -- regardless of the conditions that actually prevail.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
-from repro.bus.bus_model import CharacterizedBus, TraceStatistics
+from repro.bus.bus_model import CharacterizedBus, TraceStatistics, TraceSummary
 from repro.bus.characterization import characterize_bus
 from repro.circuit.lookup_table import VoltageGrid
 from repro.circuit.pvt import ProcessCorner, PVTCorner
 from repro.energy.accounting import EnergyBreakdown
 from repro.energy.gains import breakdown_gain_percent
+from repro.trace.stream import TraceSource
+from repro.trace.trace import BusTrace
 
 #: Margins a conventional scheme must keep: worst-case temperature and IR drop.
 ASSUMED_WORST_TEMPERATURE_C = 100.0
@@ -72,8 +74,9 @@ def fixed_scaling_voltage(
 
 def evaluate_fixed_scaling(
     bus: CharacterizedBus,
-    stats: TraceStatistics,
+    stats: Union[TraceStatistics, TraceSummary, BusTrace, TraceSource],
     process_corner: Optional[ProcessCorner] = None,
+    chunk_cycles: Optional[int] = None,
 ) -> FixedScalingResult:
     """Run the fixed VS baseline on a workload and report its energy gain.
 
@@ -82,7 +85,15 @@ def evaluate_fixed_scaling(
     column of Table 1.  The resulting error rate is reported as a sanity
     check: it must be zero whenever the actual corner is no worse than the
     assumed margins.
+
+    The baseline runs at one constant voltage, so reduced
+    :class:`TraceSummary` statistics are fully sufficient; traces and
+    :class:`~repro.trace.stream.TraceSource` workloads are reduced on the
+    fly in O(chunk) memory, which is what makes the 10 M-cycle Table 1
+    baseline column feasible.
     """
+    if isinstance(stats, (BusTrace, TraceSource)):
+        stats = bus.summarize(stats, chunk_cycles=chunk_cycles)
     voltage = fixed_scaling_voltage(bus, process_corner)
     error_rate = bus.error_rate(stats, voltage)
     n_errors = int(round(error_rate * stats.n_cycles))

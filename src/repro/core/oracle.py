@@ -15,7 +15,7 @@ controller can achieve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -23,6 +23,8 @@ from repro.bus.bus_model import CharacterizedBus, TraceStatistics
 from repro.core.error_detection import DEFAULT_WINDOW_CYCLES
 from repro.energy.accounting import EnergyBreakdown
 from repro.energy.gains import breakdown_gain_percent
+from repro.trace.stream import TraceSource
+from repro.trace.trace import BusTrace
 from repro.utils.validation import check_fraction
 
 
@@ -97,12 +99,123 @@ def min_error_free_voltage_per_cycle(
     return grid.voltages[indices]
 
 
+def _resolve_floor(bus: CharacterizedBus, v_floor: Optional[float]) -> float:
+    """The oracle's voltage floor, defaulting to the regulator safety floor."""
+    if v_floor is None:
+        from repro.circuit.pvt import PVTCorner  # local import to avoid cycle at module load
+
+        assumed = PVTCorner(bus.corner.process, 100.0, 0.10)
+        v_floor = bus.minimum_safe_voltage(assumed)
+    return bus.grid.snap(max(v_floor, bus.grid.v_min))
+
+
+def _streamed_oracle_schedule(
+    bus: CharacterizedBus,
+    workload: Union[BusTrace, TraceSource],
+    target_error_rate: float,
+    window_cycles: int,
+    v_floor: float,
+    chunk_cycles: Optional[int],
+) -> OracleSchedule:
+    """The oracle over a streamed workload, in O(chunk) memory.
+
+    Per window the oracle only needs *how many* cycles demand each grid
+    voltage, so each window reduces to a histogram over grid indices; the
+    budgeted choice and the realised error count are exact tail sums of that
+    histogram, and energy accumulates per grid-voltage level exactly as in
+    the streamed DVS run -- so the schedule is independent of chunking and
+    matches the monolithic path window for window.
+    """
+    grid = bus.grid
+    n_grid = len(grid)
+    deadline = bus.design.clocking.main_deadline
+    thresholds = np.array(
+        [bus.table.failing_coupling_factor(v, deadline) for v in grid.voltages]
+    )
+    floor_index = grid.index_of(v_floor)
+
+    window_voltages: List[float] = []
+    window_error_rates: List[float] = []
+    level_cycles = np.zeros(n_grid, dtype=np.int64)
+    level_toggles = np.zeros(n_grid)
+    level_weights = np.zeros(n_grid)
+    total_errors = 0
+
+    # Bin n_grid holds cycles that error even at the top grid voltage.  The
+    # voltage *selection* treats them as satisfied at v_max -- matching the
+    # clipped per-cycle requirement of the monolithic path -- but the realised
+    # error counts must include them, exactly as ``bus.error_mask`` does.
+    histogram = np.zeros(n_grid + 1, dtype=np.int64)
+    window_toggles = 0.0
+    window_weights = 0.0
+    window_fill = 0
+
+    def close_window() -> None:
+        nonlocal window_toggles, window_weights, window_fill, total_errors
+        # tail[i] = cycles whose minimum safe voltage exceeds grid voltage i
+        # (cycles unsafe even at v_max error at every grid voltage).
+        tail = (histogram[::-1].cumsum()[::-1] - histogram)[:n_grid]
+        selection_tail = tail.copy()
+        selection_tail[-1] = 0  # the selection clips unsatisfiable cycles to v_max
+        budget = int(np.floor(target_error_rate * window_fill))
+        eligible = np.nonzero(selection_tail <= budget)[0]
+        chosen_index = max(int(eligible[0]), floor_index)
+        errors = int(tail[chosen_index])
+        window_voltages.append(float(grid.voltages[chosen_index]))
+        window_error_rates.append(errors / window_fill)
+        level_cycles[chosen_index] += window_fill
+        level_toggles[chosen_index] += window_toggles
+        level_weights[chosen_index] += window_weights
+        total_errors += errors
+        histogram[:] = 0
+        window_toggles = 0.0
+        window_weights = 0.0
+        window_fill = 0
+
+    for stats, _ in bus.iter_statistics(workload, chunk_cycles):
+        position = 0
+        while position < stats.n_cycles:
+            take = min(window_cycles - window_fill, stats.n_cycles - position)
+            segment = slice(position, position + take)
+            indices = np.searchsorted(
+                thresholds, stats.worst_coupling[segment], side="left"
+            )
+            histogram += np.bincount(indices, minlength=n_grid + 1).astype(np.int64)
+            window_toggles += float(np.sum(stats.toggles[segment]))
+            window_weights += float(np.sum(stats.coupling_weights[segment]))
+            window_fill += take
+            position += take
+            if window_fill == window_cycles:
+                close_window()
+    if window_fill:
+        close_window()
+
+    energy = bus.energy_from_voltage_totals(
+        level_cycles, level_toggles, level_weights, total_errors
+    )
+    reference = bus.energy_at_constant_supply(
+        bus.design.nominal_vdd,
+        int(level_cycles.sum()),
+        float(level_toggles.sum()),
+        float(level_weights.sum()),
+    )
+    return OracleSchedule(
+        window_cycles=window_cycles,
+        window_voltages=np.array(window_voltages),
+        window_error_rates=np.array(window_error_rates),
+        target_error_rate=target_error_rate,
+        energy=energy,
+        reference_energy=reference,
+    )
+
+
 def oracle_voltage_schedule(
     bus: CharacterizedBus,
-    stats: TraceStatistics,
+    stats: Union[TraceStatistics, BusTrace, TraceSource],
     target_error_rate: float,
     window_cycles: int = DEFAULT_WINDOW_CYCLES,
     v_floor: Optional[float] = None,
+    chunk_cycles: Optional[int] = None,
 ) -> OracleSchedule:
     """Choose the optimal per-window voltages for a target error rate.
 
@@ -111,7 +224,9 @@ def oracle_voltage_schedule(
     bus:
         Characterised bus at the corner of interest.
     stats:
-        Pre-computed trace statistics of the workload.
+        The workload: pre-computed trace statistics, a trace, or a
+        :class:`~repro.trace.stream.TraceSource` (streamed in O(chunk)
+        memory with a window-for-window identical schedule).
     target_error_rate:
         Maximum tolerated fraction of error cycles per window (0 gives the
         zero-error schedule).
@@ -121,16 +236,18 @@ def oracle_voltage_schedule(
         Minimum allowed voltage; defaults to the regulator safety floor for
         the bus's process corner (shadow-latch setup under assumed worst-case
         temperature and IR drop).
+    chunk_cycles:
+        Streaming granularity for trace/source workloads.
     """
     check_fraction("target_error_rate", target_error_rate)
     if window_cycles <= 0:
         raise ValueError(f"window_cycles must be positive, got {window_cycles}")
-    if v_floor is None:
-        from repro.circuit.pvt import PVTCorner  # local import to avoid cycle at module load
-
-        assumed = PVTCorner(bus.corner.process, 100.0, 0.10)
-        v_floor = bus.minimum_safe_voltage(assumed)
-    v_floor = bus.grid.snap(max(v_floor, bus.grid.v_min))
+    floor = _resolve_floor(bus, v_floor)
+    if isinstance(stats, (BusTrace, TraceSource)):
+        return _streamed_oracle_schedule(
+            bus, stats, target_error_rate, window_cycles, floor, chunk_cycles
+        )
+    v_floor = floor
 
     per_cycle_voltage = min_error_free_voltage_per_cycle(bus, stats)
     n_cycles = stats.n_cycles

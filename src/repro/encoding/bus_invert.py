@@ -18,11 +18,11 @@ inherently sequential; decoding is fully vectorised.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.encoding.base import BusEncoder
+from repro.encoding.base import BusEncoder, StreamState
 from repro.trace.trace import BusTrace
 
 
@@ -69,23 +69,22 @@ class BusInvertEncoder(BusEncoder):
     # ------------------------------------------------------------------ #
     # Encoding / decoding
     # ------------------------------------------------------------------ #
-    def encode(self, trace: BusTrace) -> BusTrace:
-        """Encode a data trace; the invert lines are appended after the data wires.
+    def _encode_rows(
+        self,
+        data: np.ndarray,
+        encoded: np.ndarray,
+        start: int,
+        previous: np.ndarray,
+        previous_invert: np.ndarray,
+        groups: List[slice],
+        n_bits: int,
+    ) -> None:
+        """Run the per-word invert decisions over ``data[start:]`` in place.
 
-        The first word is transmitted unmodified (all invert lines low), which
-        matches the usual convention that the bus powers up in a known state.
+        ``previous`` / ``previous_invert`` are updated as the loop advances,
+        which is exactly the state the streaming path carries across blocks.
         """
-        data = trace.values.astype(np.uint8)
-        n_words, n_bits = data.shape
-        groups = self._group_slices(n_bits)
-        encoded = np.empty((n_words, n_bits + len(groups)), dtype=np.uint8)
-
-        previous = data[0].copy()
-        encoded[0, :n_bits] = previous
-        encoded[0, n_bits:] = 0
-        previous_invert = np.zeros(len(groups), dtype=np.uint8)
-
-        for index in range(1, n_words):
+        for index in range(start, data.shape[0]):
             word = data[index]
             for group_index, group in enumerate(groups):
                 group_width = group.stop - group.start
@@ -106,7 +105,51 @@ class BusInvertEncoder(BusEncoder):
                 encoded[index, n_bits + group_index] = 1 if invert else 0
                 previous[group] = encoded_group
                 previous_invert[group_index] = 1 if invert else 0
+
+    def encode(self, trace: BusTrace) -> BusTrace:
+        """Encode a data trace; the invert lines are appended after the data wires.
+
+        The first word is transmitted unmodified (all invert lines low), which
+        matches the usual convention that the bus powers up in a known state.
+        """
+        data = trace.values.astype(np.uint8)
+        n_words, n_bits = data.shape
+        groups = self._group_slices(n_bits)
+        encoded = np.empty((n_words, n_bits + len(groups)), dtype=np.uint8)
+
+        previous = data[0].copy()
+        encoded[0, :n_bits] = previous
+        encoded[0, n_bits:] = 0
+        previous_invert = np.zeros(len(groups), dtype=np.uint8)
+        self._encode_rows(data, encoded, 1, previous, previous_invert, groups, n_bits)
         return BusTrace(values=encoded, name=f"{trace.name}/{self.name}")
+
+    def encode_block(
+        self, values: np.ndarray, state: Optional[StreamState], first_word: bool
+    ) -> Tuple[np.ndarray, StreamState]:
+        """Streamed encode carrying the previously driven word and invert lines.
+
+        The per-word decision only ever looks at what is currently *on the
+        wires*, so that pair is the complete stream state; streamed output is
+        bit-identical to :meth:`encode` over the whole trace.
+        """
+        data = np.asarray(values, dtype=np.uint8)
+        n_words, n_bits = data.shape
+        groups = self._group_slices(n_bits)
+        encoded = np.empty((n_words, n_bits + len(groups)), dtype=np.uint8)
+        if state is None:
+            previous = data[0].copy()
+            encoded[0, :n_bits] = previous
+            encoded[0, n_bits:] = 0
+            previous_invert = np.zeros(len(groups), dtype=np.uint8)
+            start = 1
+        else:
+            previous, previous_invert = state
+            previous = previous.copy()
+            previous_invert = previous_invert.copy()
+            start = 0
+        self._encode_rows(data, encoded, start, previous, previous_invert, groups, n_bits)
+        return encoded, (previous, previous_invert)
 
     def decode(self, encoded: BusTrace) -> BusTrace:
         """Undo the inversion using the appended invert lines (vectorised)."""

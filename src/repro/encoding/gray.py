@@ -46,6 +46,11 @@ class GrayEncoder(BusEncoder):
 
     name = "gray"
 
+    @property
+    def is_wordwise(self) -> bool:
+        """Each Gray code depends only on its own word, so streaming is free."""
+        return True
+
     def encode(self, trace: BusTrace) -> BusTrace:
         """Gray-encode every word of the trace."""
         words = trace.to_words()

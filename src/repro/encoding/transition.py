@@ -14,9 +14,11 @@ vectorised (a cumulative parity along the time axis).
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
-from repro.encoding.base import BusEncoder
+from repro.encoding.base import BusEncoder, StreamState
 from repro.trace.trace import BusTrace
 
 
@@ -36,6 +38,22 @@ class TransitionEncoder(BusEncoder):
         # The first wire state must equal the first data word (the cumulative
         # sum already guarantees this because the sum of one word is itself).
         return BusTrace(values=encoded.astype(np.uint8), name=f"{trace.name}/{self.name}")
+
+    def encode_block(
+        self, values: np.ndarray, state: Optional[StreamState], first_word: bool
+    ) -> Tuple[np.ndarray, StreamState]:
+        """Streamed encode: the carried state is the cumulative data parity.
+
+        Each wire's state is the XOR of all data bits seen so far, so a block
+        encodes as its own cumulative parity XORed with the carried parity --
+        bit-identical to the monolithic cumulative sum.
+        """
+        data = np.asarray(values, dtype=np.uint8)
+        encoded = np.cumsum(data, axis=0, dtype=np.int64)
+        if state is not None:
+            encoded += state.astype(np.int64)
+        encoded = (encoded % 2).astype(np.uint8)
+        return encoded, encoded[-1].copy()
 
     def decode(self, encoded: BusTrace) -> BusTrace:
         """Data words are the XOR of consecutive wire states (first word as-is)."""

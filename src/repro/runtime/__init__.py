@@ -37,7 +37,12 @@ Quickstart
 from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir, shared_cache
 from repro.runtime.executor import ExecutionReport, JobOutcome, run_jobs
 from repro.runtime.hashing import canonical_json, derive_seed, stable_hash
-from repro.runtime.progress import ProgressPrinter, null_progress
+from repro.runtime.progress import (
+    ChunkProgress,
+    ProgressPrinter,
+    auto_chunk_progress,
+    null_progress,
+)
 from repro.runtime.spec import JobSpec, SweepSpec
 from repro.runtime.store import ResultStore, load_results
 from repro.runtime.sweeps import SWEEPS, format_sweep_report, get_sweep
@@ -63,7 +68,9 @@ __all__ = [
     "canonical_json",
     "derive_seed",
     "stable_hash",
+    "ChunkProgress",
     "ProgressPrinter",
+    "auto_chunk_progress",
     "null_progress",
     "JobSpec",
     "SweepSpec",

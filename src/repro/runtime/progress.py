@@ -1,10 +1,16 @@
-"""Progress reporting for sweep execution.
+"""Progress reporting for sweep execution and long streamed runs.
 
-The executor calls a reporter after every job completes (whether it ran or
-hit the cache).  Reporters are plain callables so tests can substitute a
-recording stub; :class:`ProgressPrinter` is the human-facing default, writing
-one line per completed job to ``stderr`` (never ``stdout``, which carries the
-actual results).
+Two reporter shapes live here:
+
+* job-level reporters, called by the sweep executor after every job
+  completes (whether it ran or hit the cache) -- :class:`ProgressPrinter`
+  is the human-facing default, writing one line per completed job to
+  ``stderr`` (never ``stdout``, which carries the actual results);
+* :class:`ChunkProgress`, a cycle-level reporter for long streamed
+  simulations (paper-scale Table 1 / Fig. 8 runs), showing throughput and an
+  ETA as chunks complete.
+
+Reporters are plain callables so tests can substitute a recording stub.
 """
 
 from __future__ import annotations
@@ -15,7 +21,17 @@ from typing import Optional, TextIO
 
 from repro.runtime.spec import JobSpec
 
-__all__ = ["ProgressPrinter", "null_progress"]
+__all__ = [
+    "PROGRESS_THRESHOLD_CYCLES",
+    "ChunkProgress",
+    "ProgressPrinter",
+    "auto_chunk_progress",
+    "null_progress",
+]
+
+#: Streamed runs at or above this length get automatic chunk-level progress
+#: reporting on a TTY stderr (suppressed in tests and pipelines).
+PROGRESS_THRESHOLD_CYCLES = 2_000_000
 
 
 def null_progress(
@@ -66,3 +82,88 @@ class ProgressPrinter:
             f"{total} jobs: {self.n_executed} executed, {self.n_cached} cache hits "
             f"in {elapsed:.2f} s"
         )
+
+
+def _format_cycles(cycles: float) -> str:
+    """Compact cycle counts: 950k, 2.5M, 10M."""
+    if cycles >= 1e6:
+        value = cycles / 1e6
+        return f"{value:.0f}M" if value >= 10 else f"{value:.1f}M"
+    if cycles >= 1e3:
+        return f"{cycles / 1e3:.0f}k"
+    return f"{cycles:.0f}"
+
+
+class ChunkProgress:
+    """Chunk-level progress for long streamed simulations, with an ETA.
+
+    Matches the :data:`repro.core.dvs_system.ProgressCallback` shape --
+    ``callback(done_cycles, total_cycles)`` -- so it plugs straight into
+    :meth:`DVSBusSystem.run` and the streaming experiment drivers.  Output
+    goes to ``stderr`` and is throttled to at most one update per
+    ``min_interval_s`` (plus a final line at completion), so per-chunk
+    callbacks stay effectively free.
+    """
+
+    def __init__(
+        self,
+        label: str = "stream",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.5,
+        quiet: bool = False,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.quiet = quiet
+        self._started = time.perf_counter()
+        self._last_report = 0.0
+        self._last_done = 0
+
+    def __call__(self, done_cycles: int, total_cycles: int) -> None:
+        self._last_done = done_cycles
+        if self.quiet:
+            return
+        now = time.perf_counter()
+        finished = done_cycles >= total_cycles
+        if not finished and now - self._last_report < self.min_interval_s:
+            return
+        self._last_report = now
+        elapsed = max(now - self._started, 1e-9)
+        rate = done_cycles / elapsed
+        if finished:
+            eta = "done"
+        elif rate > 0:
+            eta = f"ETA {max(total_cycles - done_cycles, 0) / rate:.0f}s"
+        else:  # pragma: no cover - zero-rate guard
+            eta = "ETA ?"
+        percent = 100.0 * done_cycles / total_cycles if total_cycles else 100.0
+        self.stream.write(
+            f"[{self.label}] {_format_cycles(done_cycles)}/{_format_cycles(total_cycles)} "
+            f"cycles ({percent:.0f}%)  {_format_cycles(rate)} cyc/s  {eta}\n"
+        )
+        self.stream.flush()
+
+    @property
+    def cycles_done(self) -> int:
+        """Cycles reported so far (for tests and wrap-up summaries)."""
+        return self._last_done
+
+    def rate(self) -> float:
+        """Average throughput so far, in cycles per second."""
+        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        return self._last_done / elapsed
+
+
+def auto_chunk_progress(total_cycles: int, label: str) -> Optional[ChunkProgress]:
+    """A :class:`ChunkProgress` for long interactive runs, else ``None``.
+
+    Progress is reported only when the run is at least
+    :data:`PROGRESS_THRESHOLD_CYCLES` long *and* stderr is a TTY, so tests
+    and pipelines stay silent while paper-scale interactive runs get an ETA.
+    """
+    if total_cycles < PROGRESS_THRESHOLD_CYCLES:
+        return None
+    if not getattr(sys.stderr, "isatty", lambda: False)():
+        return None
+    return ChunkProgress(label=label)

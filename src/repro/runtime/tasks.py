@@ -209,28 +209,34 @@ def dvs_run(
     encoder: Optional[str] = None,
     coupling_scale: Optional[float] = None,
     warmup_fraction: float = 0.0,
+    chunk_cycles: Optional[int] = None,
 ) -> Dict[str, Any]:
     """One closed-loop DVS run: benchmark x corner x encoding x bus variant.
 
-    This is the workhorse grid point of every sweep: generate the workload
-    trace, optionally encode it, characterise the (possibly modified) bus at
-    the corner, run the closed control loop and report scalar metrics.
+    This is the workhorse grid point of every sweep: stream the workload
+    trace (optionally through an encoder), characterise the (possibly
+    modified) bus at the corner, run the closed control loop and report
+    scalar metrics.  The whole point runs in O(chunk) memory, so sweeps can
+    scale ``n_cycles`` to the paper's 10 M without touching worker sizing;
+    ``chunk_cycles`` only trades memory against batch efficiency (results
+    are bit-identical for any value).
     """
     from repro.core.dvs_system import DVSBusSystem
-    from repro.trace.generator import generate_benchmark_trace
+    from repro.trace.generator import benchmark_trace_source
+    from repro.trace.stream import EncodedTraceSource
 
-    trace = generate_benchmark_trace(benchmark, n_cycles=n_cycles, seed=seed)
-    n_wires = trace.n_bits
+    source = benchmark_trace_source(benchmark, n_cycles=n_cycles, seed=seed)
+    n_wires = source.n_bits
     if encoder is not None and encoder != "unencoded":
         encoder_obj = _make_encoder(encoder)
-        trace = encoder_obj.encode(trace)
-        n_wires = trace.n_bits
+        source = EncodedTraceSource(source, encoder_obj)
+        n_wires = source.n_bits
 
     bus = _characterized_bus(_corner_key(corner), n_wires, coupling_scale)
     window, ramp = _control_defaults(n_cycles, window_cycles, ramp_delay_cycles)
     system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
-    warmup = int(warmup_fraction * trace.n_cycles)
-    result = system.run(bus.analyze(trace.values), warmup_cycles=warmup)
+    warmup = int(warmup_fraction * source.n_cycles)
+    result = system.run(source, warmup_cycles=warmup, chunk_cycles=chunk_cycles)
 
     return {
         "benchmark": benchmark,

@@ -10,14 +10,29 @@ from repro.trace.benchmarks import (
 )
 from repro.trace.generator import (
     DEFAULT_CYCLES_PER_BENCHMARK,
+    PAPER_CYCLES_PER_BENCHMARK,
+    benchmark_trace_source,
+    concatenated_suite_source,
     generate_benchmark_trace,
     generate_concatenated_suite,
     generate_suite,
+    suite_sources,
 )
 from repro.trace.simpoint import SimPointSelection, select_simpoints, window_signatures
 from repro.trace.io import load_trace_hex, load_trace_npz, save_trace_hex, save_trace_npz
+from repro.trace.stream import (
+    DEFAULT_CHUNK_CYCLES,
+    ConcatenatedTraceSource,
+    EncodedTraceSource,
+    InMemoryTraceSource,
+    NpzTraceSource,
+    SyntheticTraceSource,
+    TraceChunk,
+    TraceSource,
+    as_trace_source,
+)
 from repro.trace.synthetic import generate_trace
-from repro.trace.trace import BusTrace, concatenate_traces
+from repro.trace.trace import BusTrace, concatenate_traces, pack_values, unpack_values
 
 __all__ = [
     "SPEC2000_PROFILES",
@@ -27,9 +42,13 @@ __all__ = [
     "WordMix",
     "get_profile",
     "DEFAULT_CYCLES_PER_BENCHMARK",
+    "PAPER_CYCLES_PER_BENCHMARK",
+    "benchmark_trace_source",
+    "concatenated_suite_source",
     "generate_benchmark_trace",
     "generate_concatenated_suite",
     "generate_suite",
+    "suite_sources",
     "SimPointSelection",
     "select_simpoints",
     "window_signatures",
@@ -37,7 +56,18 @@ __all__ = [
     "load_trace_npz",
     "save_trace_hex",
     "save_trace_npz",
+    "DEFAULT_CHUNK_CYCLES",
+    "ConcatenatedTraceSource",
+    "EncodedTraceSource",
+    "InMemoryTraceSource",
+    "NpzTraceSource",
+    "SyntheticTraceSource",
+    "TraceChunk",
+    "TraceSource",
+    "as_trace_source",
     "generate_trace",
     "BusTrace",
     "concatenate_traces",
+    "pack_values",
+    "unpack_values",
 ]

@@ -1,7 +1,10 @@
 """Convenience API for generating benchmark traces.
 
 These helpers tie the profile registry and the synthetic generator together
-and are what the experiment drivers and examples call.
+and are what the experiment drivers and examples call.  Each materialising
+helper (``generate_*``) has a streaming twin (``*_source``) that describes
+the same workload as a :class:`~repro.trace.stream.TraceSource` without
+holding it in memory -- the two are bit-identical for the same parameters.
 """
 
 from __future__ import annotations
@@ -9,15 +12,22 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.trace.benchmarks import TABLE1_ORDER, get_profile
+from repro.trace.stream import ConcatenatedTraceSource, SyntheticTraceSource
 from repro.trace.synthetic import generate_trace
 from repro.trace.trace import BusTrace, concatenate_traces
 from repro.utils.rng import SeedLike, spawn_rngs
 
-#: Default per-benchmark trace length used by the experiment drivers.  The
-#: paper uses 10 M cycles per benchmark; 300 k keeps the full Table 1 run
-#: interactive while leaving the 10 000-cycle control loop enough windows to
-#: reach steady state after the initial descent from the nominal supply.
-#: Every driver accepts an override.
+#: The paper's per-benchmark trace length (10 M cycles).  The streaming
+#: pipeline makes this the default for the Table 1 / Fig. 8 drivers: memory
+#: stays O(chunk) regardless of trace length.
+PAPER_CYCLES_PER_BENCHMARK = 10_000_000
+
+#: Default per-benchmark trace length for the *materialising* helpers below
+#: and the quick interactive experiments.  300 k keeps a full in-memory
+#: Table 1 run interactive while leaving the 10 000-cycle control loop enough
+#: windows to reach steady state after the initial descent from the nominal
+#: supply.  Every driver accepts an override, and the streaming drivers
+#: default to :data:`PAPER_CYCLES_PER_BENCHMARK` instead.
 DEFAULT_CYCLES_PER_BENCHMARK = 300_000
 
 
@@ -31,6 +41,17 @@ def generate_benchmark_trace(
     """Generate the synthetic trace of a single named benchmark."""
     profile = get_profile(name)
     return generate_trace(profile, n_cycles, n_bits=n_bits, seed=seed)
+
+
+def benchmark_trace_source(
+    name: str,
+    n_cycles: int = PAPER_CYCLES_PER_BENCHMARK,
+    *,
+    n_bits: int = 32,
+    seed: SeedLike = 2005,
+) -> SyntheticTraceSource:
+    """Streaming twin of :func:`generate_benchmark_trace` (bit-identical)."""
+    return SyntheticTraceSource(get_profile(name), n_cycles, n_bits=n_bits, seed=seed)
 
 
 def generate_suite(
@@ -54,6 +75,28 @@ def generate_suite(
     }
 
 
+def suite_sources(
+    names: Optional[Sequence[str]] = None,
+    n_cycles: int = PAPER_CYCLES_PER_BENCHMARK,
+    *,
+    n_bits: int = 32,
+    seed: int = 2005,
+) -> Dict[str, SyntheticTraceSource]:
+    """Streaming twin of :func:`generate_suite`.
+
+    Per-benchmark seed derivation matches :func:`generate_suite` exactly, so
+    ``suite_sources(...)[name].materialize()`` equals
+    ``generate_suite(...)[name]`` bit for bit.
+    """
+    if names is None:
+        names = TABLE1_ORDER
+    rngs = spawn_rngs(seed, len(names))
+    return {
+        name: SyntheticTraceSource(get_profile(name), n_cycles, n_bits=n_bits, seed=rng)
+        for name, rng in zip(names, rngs)
+    }
+
+
 def generate_concatenated_suite(
     names: Optional[Sequence[str]] = None,
     n_cycles: int = DEFAULT_CYCLES_PER_BENCHMARK,
@@ -64,3 +107,15 @@ def generate_concatenated_suite(
     """The Fig. 8 workload: all benchmarks run back-to-back as one long trace."""
     suite = generate_suite(names, n_cycles, n_bits=n_bits, seed=seed)
     return concatenate_traces(suite.values(), name="spec2000-suite")
+
+
+def concatenated_suite_source(
+    names: Optional[Sequence[str]] = None,
+    n_cycles: int = PAPER_CYCLES_PER_BENCHMARK,
+    *,
+    n_bits: int = 32,
+    seed: int = 2005,
+) -> ConcatenatedTraceSource:
+    """Streaming twin of :func:`generate_concatenated_suite` (bit-identical)."""
+    sources = suite_sources(names, n_cycles, n_bits=n_bits, seed=seed)
+    return ConcatenatedTraceSource(list(sources.values()), name="spec2000-suite")

@@ -20,22 +20,46 @@ switching" (held words) to "worst-case coupling patterns nearly every cycle"
 ``random``
     Uniform 32-bit words: maximum entropy, frequent worst-case patterns.
 
-Everything is vectorised so multi-million-cycle traces generate in well under
-a second.
+Block structure
+---------------
+Words are generated in fixed-size *blocks* of :data:`GENERATION_BLOCK_WORDS`
+words.  Every block gets its own :class:`numpy.random.SeedSequence` child,
+derived statelessly from the trace seed and the block index, and the only
+state carried between blocks is the last emitted word (so leading ``hold``
+runs have something to repeat).  Two properties follow:
+
+* **Constant memory** -- a block is generated, consumed and dropped; a
+  10 M-cycle trace never exists as a whole unless the caller materialises it.
+* **Chunk-size invariance** -- the streaming source
+  (:class:`repro.trace.stream.SyntheticTraceSource`) re-slices the same fixed
+  blocks into whatever chunk size the consumer requests, so streamed output
+  is bit-identical to the monolithic :func:`generate_trace` for *any* chunk
+  size.
+
+Everything inside a block is vectorised, so multi-million-cycle traces still
+generate in well under a second.
 """
 
 from __future__ import annotations
 
+from typing import Iterator, Optional, Tuple
+
 import numpy as np
 
 from repro.trace.benchmarks import BenchmarkProfile
-from repro.trace.trace import BusTrace
-from repro.utils.rng import SeedLike, make_rng
+from repro.trace.trace import BusTrace, words_to_bits
+from repro.utils.rng import SeedLike
 
 #: Canonical kind indices used internally by the generator.
 KIND_HOLD, KIND_SMALL_INT, KIND_POINTER, KIND_FLOAT, KIND_RANDOM = range(5)
 
 _WORD_MASK = np.uint64(0xFFFFFFFF)
+
+#: Words generated per block.  This is a *generation* granularity, not the
+#: streaming chunk size: changing it changes the trace content, so it is a
+#: fixed constant of the format, chosen so a block's working set (a few MB)
+#: stays cache-friendly while per-block bookkeeping is negligible.
+GENERATION_BLOCK_WORDS = 65_536
 
 
 def _small_int_stream(n_words: int, rng: np.random.Generator) -> np.ndarray:
@@ -102,7 +126,7 @@ def _random_stream(n_words: int, rng: np.random.Generator) -> np.ndarray:
 def _phase_indices(
     profile: BenchmarkProfile, n_words: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Assign each word to an execution phase, in contiguous blocks."""
+    """Assign each word of a block to an execution phase, in contiguous runs."""
     block_length = max(1, int(round(profile.phase_block_fraction * n_words)))
     n_blocks = int(np.ceil(n_words / block_length))
     weights = np.asarray(profile.phase_weights)
@@ -144,38 +168,59 @@ def _kind_labels(
     return np.clip(labels, 0, 4)
 
 
-def generate_trace(
-    profile: BenchmarkProfile,
-    n_cycles: int,
-    *,
-    n_bits: int = 32,
-    seed: SeedLike = None,
-) -> BusTrace:
-    """Generate a synthetic bus trace for a benchmark profile.
+# --------------------------------------------------------------------------- #
+# Deterministic per-block seeding
+# --------------------------------------------------------------------------- #
+def trace_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """The root :class:`~numpy.random.SeedSequence` of a trace seed.
 
-    Parameters
-    ----------
-    profile:
-        Workload profile describing the word-kind mixture per phase.
-    n_cycles:
-        Number of bus transitions to simulate (the trace holds one extra word
-        for the initial state).
-    n_bits:
-        Bus width; the paper's bus is 32 bits.
-    seed:
-        Seed or generator for reproducibility.
+    Accepts the same ``SeedLike`` values as :func:`repro.utils.rng.make_rng`;
+    a :class:`numpy.random.Generator` contributes the seed sequence it was
+    built from (so generators handed out by
+    :func:`repro.utils.rng.spawn_rngs` keep their independent streams).
     """
-    if n_cycles <= 0:
-        raise ValueError(f"n_cycles must be positive, got {n_cycles}")
-    if n_bits <= 0 or n_bits > 64:
-        raise ValueError(f"n_bits must be in 1..64, got {n_bits}")
-    rng = make_rng(seed)
-    n_words = n_cycles + 1
+    if isinstance(seed, np.random.Generator):
+        root = seed.bit_generator.seed_seq
+        if isinstance(root, np.random.SeedSequence):
+            return root
+        raise TypeError(
+            "generator seeds must be built from a numpy SeedSequence "
+            "(use numpy.random.default_rng or repro.utils.rng.spawn_rngs)"
+        )
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
 
+
+def block_rng(root: np.random.SeedSequence, block_index: int) -> np.random.Generator:
+    """The RNG of one generation block, derived statelessly from the root.
+
+    Equivalent to ``root.spawn(...)[block_index]`` but without mutating the
+    root, so any block can be (re)generated in any order -- the property the
+    streaming source relies on to re-slice blocks into arbitrary chunks.
+    """
+    child = np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (block_index,)
+    )
+    return np.random.default_rng(child)
+
+
+def generate_word_block(
+    profile: BenchmarkProfile,
+    n_words: int,
+    rng: np.random.Generator,
+    carry_word: Optional[int],
+) -> np.ndarray:
+    """Generate one block of bus words.
+
+    ``carry_word`` is the last word of the previous block (``None`` for the
+    first block of a trace); a leading run of ``hold`` words repeats it.
+    """
     phase_indices = _phase_indices(profile, n_words, rng)
     kinds = _kind_labels(profile, phase_indices, rng)
-    # The first word must carry a real value so holds have something to repeat.
-    if kinds[0] == KIND_HOLD:
+    if carry_word is None and kinds[0] == KIND_HOLD:
+        # The first word of the trace must carry a real value so holds have
+        # something to repeat.
         kinds[0] = KIND_SMALL_INT
 
     candidates = np.zeros(n_words, dtype=np.uint64)
@@ -191,11 +236,78 @@ def generate_trace(
         if count:
             candidates[mask] = generator(count, rng)
 
-    # Forward-fill held words with the most recent non-held value.
-    source_index = np.where(kinds != KIND_HOLD, np.arange(n_words), 0)
+    # Forward-fill held words with the most recent non-held value; a leading
+    # hold run (only possible mid-trace) repeats the carried boundary word.
+    source_index = np.where(kinds != KIND_HOLD, np.arange(n_words), -1)
     source_index = np.maximum.accumulate(source_index)
-    words = candidates[source_index]
+    if carry_word is not None:
+        leading = source_index < 0
+        source_index = np.where(leading, 0, source_index)
+        words = candidates[source_index]
+        words[leading] = np.uint64(carry_word)
+    else:
+        words = candidates[np.maximum(source_index, 0)]
+    return words
 
-    if n_bits < 64:
-        words &= (np.uint64(1) << np.uint64(n_bits)) - np.uint64(1)
-    return BusTrace.from_words(words, n_bits=n_bits, name=profile.name)
+
+def iter_word_blocks(
+    profile: BenchmarkProfile,
+    n_cycles: int,
+    *,
+    n_bits: int = 32,
+    seed: SeedLike = None,
+    first_block: int = 0,
+    carry_word: Optional[int] = None,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(block_index, words)`` for a trace's generation blocks.
+
+    The full trace is the concatenation of all blocks starting from
+    ``first_block = 0``; resuming from a later block requires the carried
+    last word of the preceding block.  Validation mirrors
+    :func:`generate_trace`.
+    """
+    if n_cycles <= 0:
+        raise ValueError(f"n_cycles must be positive, got {n_cycles}")
+    if n_bits <= 0 or n_bits > 64:
+        raise ValueError(f"n_bits must be in 1..64, got {n_bits}")
+    root = trace_seed_sequence(seed)
+    n_words = n_cycles + 1
+    mask = (np.uint64(1) << np.uint64(n_bits)) - np.uint64(1) if n_bits < 64 else ~np.uint64(0)
+    n_blocks = (n_words + GENERATION_BLOCK_WORDS - 1) // GENERATION_BLOCK_WORDS
+    for index in range(first_block, n_blocks):
+        start = index * GENERATION_BLOCK_WORDS
+        count = min(GENERATION_BLOCK_WORDS, n_words - start)
+        words = generate_word_block(profile, count, block_rng(root, index), carry_word)
+        words &= mask
+        carry_word = int(words[-1])
+        yield index, words
+
+
+def generate_trace(
+    profile: BenchmarkProfile,
+    n_cycles: int,
+    *,
+    n_bits: int = 32,
+    seed: SeedLike = None,
+) -> BusTrace:
+    """Generate a synthetic bus trace for a benchmark profile (materialised).
+
+    This is the monolithic convenience wrapper around the block generator;
+    :class:`repro.trace.stream.SyntheticTraceSource` streams the *same*
+    blocks chunk by chunk, bit-identically, in constant memory.
+
+    Parameters
+    ----------
+    profile:
+        Workload profile describing the word-kind mixture per phase.
+    n_cycles:
+        Number of bus transitions to simulate (the trace holds one extra word
+        for the initial state).
+    n_bits:
+        Bus width; the paper's bus is 32 bits.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    blocks = [words for _, words in iter_word_blocks(profile, n_cycles, n_bits=n_bits, seed=seed)]
+    words = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+    return BusTrace(values=words_to_bits(words, n_bits), name=profile.name)

@@ -6,36 +6,112 @@ SimpleScalar/Alpha simulation of SPEC2000 benchmarks; this reproduction
 generates them synthetically (:mod:`repro.trace.synthetic`) but the trace
 container and everything downstream is agnostic to their origin, so recorded
 traces can be substituted directly.
+
+Storage
+-------
+A trace can be backed by either of two representations:
+
+* an *unpacked* ``(n_words, n_bits)`` uint8 array of 0/1 values (the classic
+  layout every vectorised computation consumes), or
+* a *packed* ``(n_words, ceil(n_bits / 8))`` uint8 array produced by
+  :func:`numpy.packbits` (``bitorder="little"``: wire ``i`` lives in byte
+  ``i // 8``, bit ``i % 8``), which cuts the resident size 8x.
+
+The 0/1 API is identical either way: :attr:`BusTrace.values` unpacks on
+demand.  Packed traces are what make paper-scale (10 M cycle) workloads fit
+in memory; the streaming pipeline (:mod:`repro.trace.stream`) only ever
+unpacks one chunk at a time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
 
+#: Bit order used for the packed representation (wire i -> byte i//8, bit i%8).
+PACKED_BITORDER = "little"
 
-@dataclass(frozen=True)
+
+def pack_values(values: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 ``(n_words, n_bits)`` array into bytes along the bit axis."""
+    return np.packbits(np.asarray(values, dtype=np.uint8), axis=1, bitorder=PACKED_BITORDER)
+
+
+def unpack_values(packed: np.ndarray, n_bits: int) -> np.ndarray:
+    """Invert :func:`pack_values` for an ``n_bits``-wide bus."""
+    return np.unpackbits(
+        np.asarray(packed, dtype=np.uint8), axis=1, count=n_bits, bitorder=PACKED_BITORDER
+    )
+
+
+def words_to_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Expand integer bus words into a 0/1 ``(n_words, n_bits)`` array (LSB = wire 0)."""
+    words = np.asarray(words)
+    if words.ndim != 1:
+        raise ValueError("words must be a 1-D sequence of integers")
+    bit_positions = np.arange(n_bits, dtype=np.uint64)
+    bits = (words[:, None].astype(np.uint64) >> bit_positions) & 1
+    return bits.astype(np.uint8)
+
+
 class BusTrace:
-    """A sequence of bus words, stored as an ``(n_words, n_bits)`` 0/1 array.
+    """A sequence of bus words with a 0/1 ``(n_words, n_bits)`` view.
 
     The number of simulated *cycles* (transitions) is ``n_words - 1``: the
     first word only establishes the initial bus state.
+
+    Exactly one of ``values`` (unpacked 0/1 array) or ``packed`` (a
+    :func:`numpy.packbits` array plus ``n_bits``) must be given.  The public
+    API is representation-agnostic; use :meth:`pack` / :meth:`unpacked` to
+    convert and :attr:`is_packed` / :attr:`nbytes` to inspect.
     """
 
-    values: np.ndarray
-    name: str = "trace"
+    __slots__ = ("_values", "_packed", "_n_bits", "name")
 
-    def __post_init__(self) -> None:
-        values = np.asarray(self.values)
-        if values.ndim != 2:
-            raise ValueError(f"values must be 2-D (words x bits), got shape {values.shape}")
-        if values.shape[0] < 2:
-            raise ValueError("a trace needs at least two words (one transition)")
-        if not np.all((values == 0) | (values == 1)):
-            raise ValueError("trace values must be 0/1")
-        object.__setattr__(self, "values", values.astype(np.uint8))
+    def __init__(
+        self,
+        values: Optional[np.ndarray] = None,
+        name: str = "trace",
+        *,
+        packed: Optional[np.ndarray] = None,
+        n_bits: Optional[int] = None,
+    ) -> None:
+        if (values is None) == (packed is None):
+            raise ValueError("exactly one of 'values' and 'packed' must be given")
+        self.name = name
+        if values is not None:
+            values = np.asarray(values)
+            if values.ndim != 2:
+                raise ValueError(
+                    f"values must be 2-D (words x bits), got shape {values.shape}"
+                )
+            if values.shape[0] < 2:
+                raise ValueError("a trace needs at least two words (one transition)")
+            if not np.all((values == 0) | (values == 1)):
+                raise ValueError("trace values must be 0/1")
+            self._values: Optional[np.ndarray] = values.astype(np.uint8)
+            self._packed: Optional[np.ndarray] = None
+            self._n_bits = int(values.shape[1])
+        else:
+            if n_bits is None or n_bits <= 0:
+                raise ValueError("packed traces require a positive n_bits")
+            packed = np.asarray(packed, dtype=np.uint8)
+            if packed.ndim != 2:
+                raise ValueError(
+                    f"packed must be 2-D (words x bytes), got shape {packed.shape}"
+                )
+            if packed.shape[0] < 2:
+                raise ValueError("a trace needs at least two words (one transition)")
+            expected_bytes = (int(n_bits) + 7) // 8
+            if packed.shape[1] != expected_bytes:
+                raise ValueError(
+                    f"packed width {packed.shape[1]} does not match "
+                    f"{n_bits} bits ({expected_bytes} bytes)"
+                )
+            self._values = None
+            self._packed = packed
+            self._n_bits = int(n_bits)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -44,11 +120,57 @@ class BusTrace:
     def from_words(cls, words: Iterable[int], n_bits: int = 32, name: str = "trace") -> "BusTrace":
         """Build a trace from integer bus words (LSB = wire 0)."""
         words_array = np.asarray(list(words) if not isinstance(words, np.ndarray) else words)
-        if words_array.ndim != 1:
-            raise ValueError("words must be a 1-D sequence of integers")
-        bit_positions = np.arange(n_bits, dtype=np.uint64)
-        bits = (words_array[:, None].astype(np.uint64) >> bit_positions) & 1
-        return cls(values=bits.astype(np.uint8), name=name)
+        return cls(values=words_to_bits(words_array, n_bits), name=name)
+
+    @classmethod
+    def from_packed(cls, packed: np.ndarray, n_bits: int, name: str = "trace") -> "BusTrace":
+        """Build a packed-backed trace from a :func:`pack_values` array."""
+        return cls(packed=packed, n_bits=n_bits, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Representation
+    # ------------------------------------------------------------------ #
+    @property
+    def is_packed(self) -> bool:
+        """Whether the trace is stored bit-packed (8x smaller)."""
+        return self._packed is not None
+
+    @property
+    def values(self) -> np.ndarray:
+        """The 0/1 ``(n_words, n_bits)`` array.
+
+        Packed-backed traces unpack *on every access* so the packed memory
+        saving is never silently lost; call :meth:`unpacked` once if repeated
+        whole-trace access is needed.
+        """
+        if self._values is not None:
+            return self._values
+        return unpack_values(self._packed, self._n_bits)
+
+    @property
+    def packed_values(self) -> np.ndarray:
+        """The packed byte array (packing on the fly for unpacked traces)."""
+        if self._packed is not None:
+            return self._packed
+        return pack_values(self._values)
+
+    def pack(self) -> "BusTrace":
+        """This trace backed by the packed representation (no-op if packed)."""
+        if self.is_packed:
+            return self
+        return BusTrace(packed=pack_values(self._values), n_bits=self._n_bits, name=self.name)
+
+    def unpacked(self) -> "BusTrace":
+        """This trace backed by the unpacked 0/1 array (no-op if unpacked)."""
+        if not self.is_packed:
+            return self
+        return BusTrace(values=self.values, name=self.name)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the backing array in bytes."""
+        backing = self._packed if self._packed is not None else self._values
+        return int(backing.nbytes)
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -56,15 +178,28 @@ class BusTrace:
     @property
     def n_bits(self) -> int:
         """Bus width in bits."""
-        return int(self.values.shape[1])
+        return self._n_bits
+
+    @property
+    def n_words(self) -> int:
+        """Number of stored bus words (cycles + 1)."""
+        backing = self._packed if self._packed is not None else self._values
+        return int(backing.shape[0])
 
     @property
     def n_cycles(self) -> int:
         """Number of simulated cycles (transitions between consecutive words)."""
-        return int(self.values.shape[0]) - 1
+        return self.n_words - 1
 
     def __len__(self) -> int:
         return self.n_cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        storage = "packed" if self.is_packed else "unpacked"
+        return (
+            f"BusTrace(name={self.name!r}, n_bits={self.n_bits}, "
+            f"n_cycles={self.n_cycles}, {storage})"
+        )
 
     def to_words(self) -> np.ndarray:
         """The trace as unsigned integer words (LSB = wire 0)."""
@@ -75,34 +210,50 @@ class BusTrace:
     # Manipulation
     # ------------------------------------------------------------------ #
     def window(self, start_cycle: int, n_cycles: int, name: Optional[str] = None) -> "BusTrace":
-        """A sub-trace covering ``n_cycles`` transitions starting at ``start_cycle``."""
+        """A sub-trace covering ``n_cycles`` transitions starting at ``start_cycle``.
+
+        Packed traces stay packed: the window is a row slice of the packed
+        array, so extracting a chunk of a 10 M-cycle trace allocates nothing.
+        """
         if start_cycle < 0 or start_cycle + n_cycles > self.n_cycles:
             raise ValueError(
                 f"window [{start_cycle}, {start_cycle + n_cycles}) is outside the "
                 f"trace's {self.n_cycles} cycles"
             )
-        values = self.values[start_cycle : start_cycle + n_cycles + 1]
-        return BusTrace(values=values, name=name or f"{self.name}[{start_cycle}:+{n_cycles}]")
+        rows = slice(start_cycle, start_cycle + n_cycles + 1)
+        window_name = name or f"{self.name}[{start_cycle}:+{n_cycles}]"
+        if self.is_packed:
+            return BusTrace(packed=self._packed[rows], n_bits=self._n_bits, name=window_name)
+        return BusTrace(values=self._values[rows], name=window_name)
 
     def concatenate(self, other: "BusTrace", name: Optional[str] = None) -> "BusTrace":
         """Run another trace back-to-back after this one.
 
         The transition from this trace's last word to the other trace's first
         word is included, exactly as if the programs executed consecutively.
+        A pair of packed traces concatenates packed.
         """
         if other.n_bits != self.n_bits:
             raise ValueError(
                 f"cannot concatenate a {other.n_bits}-bit trace onto a {self.n_bits}-bit trace"
             )
+        combined_name = name or f"{self.name}+{other.name}"
+        if self.is_packed and other.is_packed:
+            packed = np.concatenate([self._packed, other._packed], axis=0)
+            return BusTrace(packed=packed, n_bits=self._n_bits, name=combined_name)
         values = np.concatenate([self.values, other.values], axis=0)
-        return BusTrace(values=values, name=name or f"{self.name}+{other.name}")
+        return BusTrace(values=values, name=combined_name)
 
     # ------------------------------------------------------------------ #
     # Diagnostics
     # ------------------------------------------------------------------ #
     def toggle_activity(self) -> float:
         """Mean fraction of bits toggling per cycle."""
-        changes = np.count_nonzero(np.diff(self.values.astype(np.int8), axis=0), axis=1)
+        if self.is_packed:
+            from repro.interconnect.crosstalk import packed_toggle_counts
+
+            return float(np.mean(packed_toggle_counts(self._packed))) / self.n_bits
+        changes = np.count_nonzero(np.diff(self._values.astype(np.int8), axis=0), axis=1)
         return float(np.mean(changes)) / self.n_bits
 
     def per_bit_activity(self) -> np.ndarray:
@@ -119,4 +270,6 @@ def concatenate_traces(traces: Iterable[BusTrace], name: str = "suite") -> BusTr
     result = traces[0]
     for trace in traces[1:]:
         result = result.concatenate(trace)
+    if result.is_packed:
+        return BusTrace(packed=result.packed_values, n_bits=result.n_bits, name=name)
     return BusTrace(values=result.values, name=name)

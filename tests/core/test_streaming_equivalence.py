@@ -1,0 +1,293 @@
+"""Streaming-equivalence guarantees of the chunked simulation pipeline.
+
+The refactor's contract: running any workload chunk by chunk produces results
+**bit-identical** to the monolithic path, for any chunk size -- including
+sizes that straddle the controller's 10 000-cycle measurement window -- while
+peak memory stays O(chunk).  These tests enforce that contract end to end:
+trace statistics, the closed-loop DVS run, the fixed-VS baseline, the oracle
+and the drivers.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.bus.bus_model import TraceStatisticsAccumulator
+from repro.core.dvs_system import DVSBusSystem
+from repro.core.fixed_vs import evaluate_fixed_scaling
+from repro.core.oracle import oracle_voltage_schedule
+from repro.trace import SyntheticTraceSource, as_trace_source
+
+#: Chunk sizes exercised everywhere: smaller than, straddling, and larger
+#: than the 1 000-cycle test control window (and co-prime with it).
+CHUNK_SIZES = (777, 1_000, 3_333, 10_000)
+
+
+def _fast_system(bus):
+    return DVSBusSystem(bus, window_cycles=1000, ramp_delay_cycles=300)
+
+
+def _assert_runs_identical(chunked, monolithic):
+    """Every field of a DVSRunResult must match exactly (no tolerances)."""
+    assert chunked.n_cycles == monolithic.n_cycles
+    assert chunked.total_errors == monolithic.total_errors
+    assert chunked.failures == monolithic.failures
+    np.testing.assert_array_equal(chunked.window_error_rates, monolithic.window_error_rates)
+    np.testing.assert_array_equal(chunked.window_start_cycles, monolithic.window_start_cycles)
+    np.testing.assert_array_equal(chunked.window_voltages, monolithic.window_voltages)
+    assert [(e.cycle, e.voltage) for e in chunked.voltage_events] == [
+        (e.cycle, e.voltage) for e in monolithic.voltage_events
+    ]
+    assert chunked.minimum_voltage_reached == monolithic.minimum_voltage_reached
+    assert chunked.final_voltage == monolithic.final_voltage
+    for component in ("bus_dynamic", "leakage", "flipflop_clocking", "recovery_overhead"):
+        assert getattr(chunked.energy, component) == getattr(monolithic.energy, component)
+        assert getattr(chunked.reference_energy, component) == getattr(
+            monolithic.reference_energy, component
+        )
+
+
+class TestChunkedStatistics:
+    @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES)
+    def test_chunked_analysis_concatenates_to_monolithic(
+        self, typical_corner_bus, crafty_trace, chunk_cycles
+    ):
+        monolithic = typical_corner_bus.analyze(crafty_trace.values)
+        pieces = [
+            stats
+            for stats, _ in typical_corner_bus.iter_statistics(crafty_trace, chunk_cycles)
+        ]
+        rebuilt = pieces[0]
+        for piece in pieces[1:]:
+            rebuilt = rebuilt.concatenate(piece)
+        np.testing.assert_array_equal(rebuilt.worst_coupling, monolithic.worst_coupling)
+        np.testing.assert_array_equal(rebuilt.toggles, monolithic.toggles)
+        np.testing.assert_array_equal(rebuilt.coupling_weights, monolithic.coupling_weights)
+
+    def test_packed_analysis_matches_unpacked(self, typical_corner_bus, crafty_trace):
+        unpacked = typical_corner_bus.analyze_trace(crafty_trace)
+        packed = typical_corner_bus.analyze_trace(crafty_trace.pack())
+        np.testing.assert_array_equal(packed.worst_coupling, unpacked.worst_coupling)
+        np.testing.assert_array_equal(packed.toggles, unpacked.toggles)
+        np.testing.assert_array_equal(packed.coupling_weights, unpacked.coupling_weights)
+
+    @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES)
+    def test_summary_is_chunk_invariant(self, typical_corner_bus, crafty_trace, chunk_cycles):
+        whole = typical_corner_bus.summarize(crafty_trace)
+        chunked = typical_corner_bus.summarize(crafty_trace, chunk_cycles=chunk_cycles)
+        assert chunked.n_cycles == whole.n_cycles
+        assert chunked.toggles_total == whole.toggles_total
+        assert chunked.coupling_weights_total == whole.coupling_weights_total
+        np.testing.assert_array_equal(
+            chunked.worst_coupling_values, whole.worst_coupling_values
+        )
+        np.testing.assert_array_equal(
+            chunked.worst_coupling_counts, whole.worst_coupling_counts
+        )
+
+    def test_summary_matches_per_cycle_reductions(self, typical_corner_bus, crafty_stats):
+        summary = crafty_stats.summarize()
+        assert summary.n_cycles == crafty_stats.n_cycles
+        assert summary.toggles_total == float(np.sum(crafty_stats.toggles))
+        for vdd in (1.2, 1.1, 1.0):
+            assert typical_corner_bus.error_rate(summary, vdd) == typical_corner_bus.error_rate(
+                crafty_stats, vdd
+            )
+
+
+class TestChunkedDVSRun:
+    @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES)
+    def test_bit_identical_to_monolithic(self, typical_corner_bus, crafty_trace, chunk_cycles):
+        monolithic = _fast_system(typical_corner_bus).run(crafty_trace)
+        chunked = _fast_system(typical_corner_bus).run(crafty_trace, chunk_cycles=chunk_cycles)
+        _assert_runs_identical(chunked, monolithic)
+
+    @pytest.mark.parametrize("chunk_cycles", (777, 3_333))
+    def test_bit_identical_with_warmup(self, typical_corner_bus, crafty_trace, chunk_cycles):
+        stats = typical_corner_bus.analyze(crafty_trace.values)
+        monolithic = _fast_system(typical_corner_bus).run(stats, warmup_cycles=15_000)
+        chunked = _fast_system(typical_corner_bus).run(
+            crafty_trace, warmup_cycles=15_000, chunk_cycles=chunk_cycles
+        )
+        _assert_runs_identical(chunked, monolithic)
+
+    def test_synthetic_source_matches_materialised_trace(self, typical_corner_bus):
+        source = SyntheticTraceSource("vortex", 40_000, seed=19)
+        from_source = _fast_system(typical_corner_bus).run(source, chunk_cycles=7_001)
+        from_trace = _fast_system(typical_corner_bus).run(source.materialize())
+        _assert_runs_identical(from_source, from_trace)
+
+    def test_keep_cycle_voltage_matches(self, typical_corner_bus, crafty_trace):
+        monolithic = _fast_system(typical_corner_bus).run(
+            crafty_trace, keep_cycle_voltage=True
+        )
+        chunked = _fast_system(typical_corner_bus).run(
+            crafty_trace, keep_cycle_voltage=True, chunk_cycles=999
+        )
+        np.testing.assert_array_equal(
+            chunked.per_cycle_voltage, monolithic.per_cycle_voltage
+        )
+
+    def test_progress_callback_reports_all_cycles(self, typical_corner_bus, crafty_trace):
+        seen = []
+        _fast_system(typical_corner_bus).run(
+            crafty_trace,
+            chunk_cycles=7_000,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (crafty_trace.n_cycles, crafty_trace.n_cycles)
+        assert [done for done, _ in seen] == sorted({done for done, _ in seen})
+
+    def test_stream_state_rejects_overrun_and_underrun(self, typical_corner_bus, crafty_stats):
+        system = _fast_system(typical_corner_bus)
+        state = system.stream(crafty_stats.n_cycles)
+        state.feed(crafty_stats.slice(0, 1_000))
+        with pytest.raises(ValueError, match="only 1000 were fed"):
+            state.finish()
+        with pytest.raises(ValueError, match="overruns"):
+            state.feed(crafty_stats)
+
+
+class TestStreamedBaselines:
+    def test_fixed_scaling_summary_matches_stats(self, typical_corner_bus, crafty_trace):
+        stats = typical_corner_bus.analyze(crafty_trace.values)
+        from_stats = evaluate_fixed_scaling(typical_corner_bus, stats)
+        from_source = evaluate_fixed_scaling(
+            typical_corner_bus, as_trace_source(crafty_trace), chunk_cycles=3_333
+        )
+        assert from_source.voltage == from_stats.voltage
+        assert from_source.error_rate == from_stats.error_rate
+        assert from_source.energy_gain_percent == pytest.approx(
+            from_stats.energy_gain_percent, rel=1e-12
+        )
+
+    def test_oracle_counts_errors_at_top_grid_voltage(self, crafty_trace):
+        """Cycles unsafe even at v_max must show up in the streamed tallies.
+
+        An overclocked bus (repeaters sized for 1.5 GHz, clocked 5 % faster)
+        errors on some cycles at every grid voltage; the streamed histogram
+        must count those exactly like the monolithic ``error_mask`` path.
+        """
+        from dataclasses import replace
+
+        from repro.bus.bus_design import BusDesign
+        from repro.bus.bus_model import CharacterizedBus
+        from repro.circuit.pvt import WORST_CASE_CORNER
+        from repro.clocking import PAPER_CLOCKING
+
+        clocking = replace(PAPER_CLOCKING, frequency=PAPER_CLOCKING.frequency / 0.95)
+        bus = CharacterizedBus(
+            BusDesign.paper_bus().with_clocking(clocking), WORST_CASE_CORNER
+        )
+        stats = bus.analyze(crafty_trace.values)
+        assert bus.error_rate(stats, bus.grid.v_max) > 0  # the premise
+        monolithic = oracle_voltage_schedule(bus, stats, 0.02, window_cycles=5_000)
+        streamed = oracle_voltage_schedule(
+            bus, as_trace_source(crafty_trace), 0.02, window_cycles=5_000, chunk_cycles=1_777
+        )
+        np.testing.assert_array_equal(streamed.window_voltages, monolithic.window_voltages)
+        np.testing.assert_array_equal(
+            streamed.window_error_rates, monolithic.window_error_rates
+        )
+
+    @pytest.mark.parametrize("target", (0.0, 0.02, 0.05))
+    def test_oracle_streamed_matches_monolithic(
+        self, typical_corner_bus, crafty_trace, target
+    ):
+        stats = typical_corner_bus.analyze(crafty_trace.values)
+        monolithic = oracle_voltage_schedule(
+            typical_corner_bus, stats, target, window_cycles=5_000
+        )
+        streamed = oracle_voltage_schedule(
+            typical_corner_bus,
+            as_trace_source(crafty_trace),
+            target,
+            window_cycles=5_000,
+            chunk_cycles=1_777,
+        )
+        np.testing.assert_array_equal(streamed.window_voltages, monolithic.window_voltages)
+        np.testing.assert_array_equal(
+            streamed.window_error_rates, monolithic.window_error_rates
+        )
+        assert streamed.energy_gain_percent == pytest.approx(
+            monolithic.energy_gain_percent, rel=1e-9
+        )
+
+
+class TestStreamedDrivers:
+    def test_table1_sources_match_traces(self):
+        from repro.analysis.dynamic_dvs import run_table1
+        from repro.circuit.pvt import TYPICAL_CORNER
+        from repro.trace import generate_suite, suite_sources
+
+        names = ("crafty", "mgrid")
+        kwargs = dict(
+            corners=(TYPICAL_CORNER,),
+            n_cycles=20_000,
+            seed=13,
+            window_cycles=1_000,
+            ramp_delay_cycles=300,
+        )
+        traces = {name: generate_suite(names=names, n_cycles=20_000, seed=13)[name] for name in names}
+        sources = {name: suite_sources(names=names, n_cycles=20_000, seed=13)[name] for name in names}
+        from_traces = run_table1(workloads=traces, **kwargs)
+        from_sources = run_table1(workloads=sources, chunk_cycles=3_333, **kwargs)
+        for name in names:
+            a = from_traces.corners[0].row(name)
+            b = from_sources.corners[0].row(name)
+            assert a.fixed_vs_gain_percent == b.fixed_vs_gain_percent
+            assert a.dvs_gain_percent == b.dvs_gain_percent
+            assert a.dvs_average_error_rate == b.dvs_average_error_rate
+
+    def test_static_sweep_sources_match_traces(self, typical_corner_bus):
+        from repro.analysis.static_scaling import run_static_voltage_sweep
+
+        from repro.trace import generate_suite, suite_sources
+
+        names = ("crafty", "mgrid")
+        traces = generate_suite(names=names, n_cycles=10_000, seed=17)
+        sources = suite_sources(names=names, n_cycles=10_000, seed=17)
+        from_traces = run_static_voltage_sweep(typical_corner_bus, traces)
+        from_sources = run_static_voltage_sweep(
+            typical_corner_bus, sources, chunk_cycles=2_500
+        )
+        assert len(from_traces.points) == len(from_sources.points)
+        for a, b in zip(from_traces.points, from_sources.points):
+            assert a.vdd == b.vdd
+            assert a.error_rate == b.error_rate
+            assert b.normalized_total_energy == pytest.approx(
+                a.normalized_total_energy, rel=1e-12
+            )
+
+
+class TestConstantMemory:
+    def test_streamed_run_memory_is_flat_in_trace_length(self, typical_corner_bus):
+        """Peak allocation must scale with the chunk, not the trace."""
+
+        def peak_bytes(n_cycles: int) -> int:
+            source = SyntheticTraceSource("crafty", n_cycles, seed=23)
+            system = _fast_system(typical_corner_bus)
+            tracemalloc.start()
+            try:
+                system.run(source, chunk_cycles=20_000)
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            return peak
+
+        short = peak_bytes(100_000)
+        long = peak_bytes(300_000)
+        # A materialising path would triple; the streamed path stays flat
+        # (allow 40 % slack for allocator noise and window bookkeeping).
+        assert long < short * 1.4
+
+    def test_accumulator_state_is_tiny(self, typical_corner_bus, crafty_trace):
+        accumulator = TraceStatisticsAccumulator()
+        for stats, _ in typical_corner_bus.iter_statistics(crafty_trace, 5_000):
+            accumulator.accumulate(stats)
+        summary = accumulator.summary()
+        # The worst-coupling distribution is discrete and small -- that is
+        # what makes the O(1) summary exact.
+        assert len(summary.worst_coupling_values) < 200
+        assert summary.n_cycles == crafty_trace.n_cycles

@@ -110,6 +110,27 @@ class TestSimulate:
             main(["simulate", "--benchmark", "doom"])
         assert "doom" in capsys.readouterr().err
 
+    def test_global_workload_flags_survive_the_subcommand(self):
+        """--cycles / --chunk-cycles placed before the subcommand must not be
+        clobbered by subparser defaults (simulate and compare-schemes carry
+        their own fallbacks in the handler instead)."""
+        parser = build_parser()
+        before = parser.parse_args(["--cycles", "123", "simulate"])
+        assert before.cycles == 123
+        after = parser.parse_args(["simulate", "--cycles", "456"])
+        assert after.cycles == 456
+        default = parser.parse_args(["simulate"])
+        assert default.cycles is None  # handler applies the 200k fallback
+        chunk = parser.parse_args(["--chunk-cycles", "5000", "simulate"])
+        assert chunk.chunk_cycles == 5000
+        compare = parser.parse_args(["--cycles", "789", "compare-schemes"])
+        assert compare.cycles == 789
+
+    def test_simulate_honours_global_cycles_placement(self, capsys):
+        assert main(["--no-cache", "--cycles", "15000", "simulate", "--window", "1000",
+                     "--ramp", "300"]) == 0
+        assert "cycles simulated      : 15000" in capsys.readouterr().out
+
 
 def _table_lines(output: str) -> list:
     """A sweep report's table body (drops the run-stats header line)."""

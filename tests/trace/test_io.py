@@ -28,6 +28,39 @@ class TestNpzRoundTrip:
         with pytest.raises(ValueError, match="not a bus-trace archive"):
             load_trace_npz(path)
 
+    def test_packed_archive_is_the_default_layout(self, small_trace, tmp_path):
+        path = tmp_path / "packed.npz"
+        save_trace_npz(small_trace, path)
+        with np.load(path) as archive:
+            assert "packed" in archive and "words" not in archive
+            assert int(archive["n_bits"]) == small_trace.n_bits
+
+    def test_legacy_word_archive_loads_transparently(self, small_trace, tmp_path):
+        path = tmp_path / "legacy.npz"
+        save_trace_npz(small_trace, path, packed=False)
+        with np.load(path) as archive:
+            assert "words" in archive and "packed" not in archive
+        loaded = load_trace_npz(path)
+        np.testing.assert_array_equal(loaded.values, small_trace.values)
+        assert loaded.name == small_trace.name
+
+    def test_load_packed_returns_packed_backing(self, small_trace, tmp_path):
+        for legacy in (False, True):
+            path = tmp_path / f"trace-{legacy}.npz"
+            save_trace_npz(small_trace, path, packed=not legacy)
+            loaded = load_trace_npz(path, packed=True)
+            assert loaded.is_packed
+            assert loaded.nbytes * 8 == small_trace.nbytes
+            np.testing.assert_array_equal(loaded.values, small_trace.values)
+
+    def test_packed_round_trip_preserves_odd_widths(self, tmp_path):
+        trace = BusTrace.from_words([5, 2, 7, 1], n_bits=13, name="odd")
+        path = tmp_path / "odd.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        assert loaded.n_bits == 13
+        np.testing.assert_array_equal(loaded.values, trace.values)
+
 
 class TestHexRoundTrip:
     def test_round_trip_preserves_words(self, small_trace, tmp_path):

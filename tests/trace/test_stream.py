@@ -1,0 +1,255 @@
+"""Tests for the streaming trace pipeline (sources, chunks, packing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    BusTrace,
+    ConcatenatedTraceSource,
+    EncodedTraceSource,
+    InMemoryTraceSource,
+    NpzTraceSource,
+    SyntheticTraceSource,
+    as_trace_source,
+    concatenate_traces,
+    generate_benchmark_trace,
+    generate_concatenated_suite,
+    generate_suite,
+    get_profile,
+    save_trace_npz,
+    suite_sources,
+)
+from repro.trace.stream import TraceSource
+
+
+def _reassemble(source: TraceSource, chunk_cycles: int) -> np.ndarray:
+    """Concatenate a source's chunks back into the full word array."""
+    parts = []
+    previous_end = 0
+    last_boundary = None
+    for chunk in source.chunks(chunk_cycles):
+        assert chunk.start_cycle == previous_end
+        assert chunk.n_cycles >= 1
+        if chunk.is_first:
+            parts.append(chunk.values)
+        else:
+            # The chunk's boundary word must repeat the previous chunk's last word.
+            np.testing.assert_array_equal(chunk.values[0], last_boundary)
+            parts.append(chunk.values[1:])
+        last_boundary = chunk.values[-1]
+        previous_end = chunk.end_cycle
+    assert previous_end == source.n_cycles
+    return np.concatenate(parts, axis=0)
+
+
+class TestSyntheticTraceSource:
+    @pytest.mark.parametrize("chunk_cycles", [999, 10_000, 33_333, 65_536, 500_000])
+    def test_chunked_output_is_bit_identical_to_monolithic(self, chunk_cycles):
+        # Chunk sizes deliberately include values below, straddling and above
+        # the 10 000-cycle controller window and the generation block size.
+        trace = generate_benchmark_trace("crafty", n_cycles=150_000, seed=7)
+        source = SyntheticTraceSource(get_profile("crafty"), 150_000, seed=7)
+        np.testing.assert_array_equal(_reassemble(source, chunk_cycles), trace.values)
+
+    def test_materialize_matches_generate_trace(self):
+        trace = generate_benchmark_trace("mgrid", n_cycles=70_000, seed=3)
+        source = SyntheticTraceSource(get_profile("mgrid"), 70_000, seed=3)
+        np.testing.assert_array_equal(source.materialize().values, trace.values)
+
+    def test_packed_materialize_matches(self):
+        source = SyntheticTraceSource(get_profile("gap"), 20_000, seed=5)
+        packed = source.materialize(packed=True)
+        assert packed.is_packed
+        np.testing.assert_array_equal(packed.values, source.materialize().values)
+
+    def test_source_is_reiterable(self):
+        source = SyntheticTraceSource(get_profile("vortex"), 5_000, seed=11)
+        first = _reassemble(source, 1_234)
+        second = _reassemble(source, 1_234)
+        np.testing.assert_array_equal(first, second)
+
+    def test_accepts_profile_names(self):
+        source = SyntheticTraceSource("crafty", 1_000, seed=1)
+        assert source.name == "crafty"
+        assert source.n_cycles == 1_000
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceSource("crafty", 0)
+        with pytest.raises(ValueError):
+            SyntheticTraceSource("crafty", 100, n_bits=0)
+
+    @given(chunk_cycles=st.integers(min_value=1, max_value=7_000))
+    @settings(max_examples=12, deadline=None)
+    def test_chunk_size_property(self, chunk_cycles):
+        source = SyntheticTraceSource(get_profile("mcf"), 6_000, seed=2)
+        expected = source.materialize().values
+        np.testing.assert_array_equal(_reassemble(source, chunk_cycles), expected)
+
+
+class TestInMemoryTraceSource:
+    def test_wraps_trace(self):
+        trace = generate_benchmark_trace("swim", n_cycles=3_000, seed=4)
+        source = as_trace_source(trace)
+        assert isinstance(source, InMemoryTraceSource)
+        np.testing.assert_array_equal(_reassemble(source, 700), trace.values)
+
+    def test_packed_trace_streams_packed(self):
+        trace = generate_benchmark_trace("swim", n_cycles=3_000, seed=4).pack()
+        source = InMemoryTraceSource(trace)
+        np.testing.assert_array_equal(_reassemble(source, 700), trace.values)
+
+    def test_source_passthrough(self):
+        source = SyntheticTraceSource("crafty", 1_000, seed=1)
+        assert as_trace_source(source) is source
+
+    def test_unsupported_workload_rejected(self):
+        with pytest.raises(TypeError):
+            as_trace_source([1, 2, 3])
+
+    def test_invalid_chunk_cycles_rejected(self):
+        trace = BusTrace.from_words([1, 2, 3])
+        with pytest.raises(ValueError):
+            list(InMemoryTraceSource(trace).chunks(0))
+
+    def test_unpacked_trace_yields_bounded_blocks(self):
+        # A single whole-trace block would make the chunk iterator's
+        # carry-over reslicing quadratic in the trace length.
+        from repro.trace.stream import DEFAULT_CHUNK_CYCLES
+
+        n_cycles = 2 * DEFAULT_CHUNK_CYCLES + 500
+        trace = generate_benchmark_trace("swim", n_cycles=n_cycles, seed=6)
+        blocks = list(InMemoryTraceSource(trace)._word_blocks())
+        assert len(blocks) > 1
+        assert max(block.shape[0] for block in blocks) <= DEFAULT_CHUNK_CYCLES
+        np.testing.assert_array_equal(np.concatenate(blocks, axis=0), trace.values)
+
+
+class TestConcatenatedTraceSource:
+    def test_matches_concatenate_traces(self):
+        suite = generate_suite(names=("crafty", "mcf", "mgrid"), n_cycles=2_000, seed=9)
+        monolithic = concatenate_traces(suite.values(), name="suite")
+        source = ConcatenatedTraceSource(
+            [as_trace_source(trace) for trace in suite.values()], name="suite"
+        )
+        assert source.n_cycles == monolithic.n_cycles
+        np.testing.assert_array_equal(_reassemble(source, 1_111), monolithic.values)
+
+    def test_streamed_suite_matches_generate_concatenated_suite(self):
+        names = ("crafty", "vortex")
+        monolithic = generate_concatenated_suite(names=names, n_cycles=4_000, seed=6)
+        sources = suite_sources(names=names, n_cycles=4_000, seed=6)
+        source = ConcatenatedTraceSource(list(sources.values()), name="spec2000-suite")
+        np.testing.assert_array_equal(source.materialize().values, monolithic.values)
+
+    def test_boundaries_use_per_program_cycles(self):
+        sources = suite_sources(names=("crafty", "mcf"), n_cycles=1_000, seed=6)
+        source = ConcatenatedTraceSource(list(sources.values()))
+        assert source.boundaries() == [1_000, 2_000]
+        assert source.n_cycles == 2_001  # junction transition included in the run
+
+    def test_rejects_empty_and_mixed_width(self):
+        with pytest.raises(ValueError):
+            ConcatenatedTraceSource([])
+        narrow = SyntheticTraceSource("crafty", 100, n_bits=16, seed=1)
+        wide = SyntheticTraceSource("crafty", 100, n_bits=32, seed=1)
+        with pytest.raises(ValueError):
+            ConcatenatedTraceSource([narrow, wide])
+
+
+class TestNpzTraceSource:
+    def test_streams_saved_trace(self, tmp_path):
+        trace = generate_benchmark_trace("applu", n_cycles=2_500, seed=8)
+        path = tmp_path / "applu.npz"
+        save_trace_npz(trace, path)
+        source = NpzTraceSource(path)
+        assert source.name == trace.name
+        np.testing.assert_array_equal(_reassemble(source, 999), trace.values)
+
+    def test_streams_legacy_archive(self, tmp_path):
+        trace = generate_benchmark_trace("applu", n_cycles=1_500, seed=8)
+        path = tmp_path / "legacy.npz"
+        save_trace_npz(trace, path, packed=False)
+        np.testing.assert_array_equal(
+            NpzTraceSource(path).materialize().values, trace.values
+        )
+
+
+class TestEncodedTraceSource:
+    @pytest.mark.parametrize("chunk_cycles", [333, 1_000, 4_000])
+    def test_all_encoders_stream_bit_identically(self, chunk_cycles):
+        from repro.encoding import (
+            BusInvertEncoder,
+            GrayEncoder,
+            IdentityEncoder,
+            TransitionEncoder,
+        )
+
+        trace = generate_benchmark_trace("vortex", n_cycles=3_000, seed=12)
+        encoders = [
+            IdentityEncoder(),
+            GrayEncoder(),
+            TransitionEncoder(),
+            BusInvertEncoder(),
+            BusInvertEncoder(group_size=8),
+        ]
+        for encoder in encoders:
+            expected = encoder.encode(trace)
+            source = EncodedTraceSource(as_trace_source(trace), encoder)
+            assert source.n_bits == expected.n_bits
+            assert source.name == expected.name
+            np.testing.assert_array_equal(
+                _reassemble(source, chunk_cycles), expected.values
+            )
+
+
+class TestPackedBusTrace:
+    def test_pack_round_trip(self):
+        trace = generate_benchmark_trace("mesa", n_cycles=1_000, seed=3)
+        packed = trace.pack()
+        assert packed.is_packed and not trace.is_packed
+        assert packed.n_bits == trace.n_bits
+        assert packed.n_cycles == trace.n_cycles
+        np.testing.assert_array_equal(packed.values, trace.values)
+        np.testing.assert_array_equal(packed.unpacked().values, trace.values)
+
+    def test_packed_memory_is_eight_times_smaller(self):
+        trace = generate_benchmark_trace("mesa", n_cycles=1_000, seed=3)
+        assert trace.pack().nbytes * 8 == trace.nbytes
+
+    def test_packed_window_stays_packed(self):
+        trace = generate_benchmark_trace("mesa", n_cycles=1_000, seed=3).pack()
+        window = trace.window(100, 50)
+        assert window.is_packed
+        np.testing.assert_array_equal(
+            window.values, trace.unpacked().window(100, 50).values
+        )
+
+    def test_packed_concatenate_stays_packed(self):
+        a = generate_benchmark_trace("mesa", n_cycles=500, seed=3).pack()
+        b = generate_benchmark_trace("gap", n_cycles=500, seed=4).pack()
+        combined = a.concatenate(b)
+        assert combined.is_packed
+        assert combined.n_cycles == a.n_cycles + b.n_cycles + 1
+
+    def test_packed_diagnostics_match(self):
+        trace = generate_benchmark_trace("swim", n_cycles=2_000, seed=5)
+        assert trace.pack().toggle_activity() == pytest.approx(trace.toggle_activity())
+        np.testing.assert_array_equal(
+            trace.pack().per_bit_activity(), trace.per_bit_activity()
+        )
+
+    def test_constructor_requires_exactly_one_representation(self):
+        values = np.zeros((2, 8), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            BusTrace()
+        with pytest.raises(ValueError):
+            BusTrace(values=values, packed=np.zeros((2, 1), dtype=np.uint8), n_bits=8)
+
+    def test_packed_constructor_validates_width(self):
+        with pytest.raises(ValueError):
+            BusTrace(packed=np.zeros((2, 2), dtype=np.uint8), n_bits=8)
+        with pytest.raises(ValueError):
+            BusTrace(packed=np.zeros((2, 1), dtype=np.uint8), n_bits=None)
