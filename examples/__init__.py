@@ -1,0 +1,25 @@
+"""Runnable example studies built on the installed ``repro`` package.
+
+Each module is executable as ``python -m examples.<name>`` from the
+repository root (no ``sys.path`` tweaks -- the examples import the installed
+package, or ``src/`` via the pytest/pyproject ``pythonpath``), and exposes a
+``main()`` entry point so the integration tests can assert every example
+stays runnable.
+
+Start with :mod:`examples.quickstart`; :mod:`examples.pvt_corner_study`
+shows the runtime engine mapping a 300-point design-space grid.
+"""
+
+#: Example module names, cheapest first (used by the integration test).
+ALL_EXAMPLES = (
+    "razor_flipflop_demo",
+    "quickstart",
+    "baseline_comparison",
+    "controller_tuning",
+    "cpu_trace_dvs",
+    "encoding_study",
+    "interconnect_scaling",
+    "pipeline_impact",
+    "pvt_corner_study",
+    "workload_adaptation",
+)

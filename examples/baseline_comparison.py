@@ -13,7 +13,7 @@ whole line-up on one workload at three operating corners:
 
 Run with::
 
-    python examples/baseline_comparison.py
+    python -m examples.baseline_comparison
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ argument can be checked directly.
 
 Run with::
 
-    python examples/controller_tuning.py
+    python -m examples.controller_tuning
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ Table 1 story reappears from genuinely executed programs.
 
 Run with::
 
-    python examples/cpu_trace_dvs.py
+    python -m examples.cpu_trace_dvs
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ workloads and prints a combined report:
 
 Run with::
 
-    python examples/encoding_study.py
+    python -m examples.encoding_study
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ which is exactly the slack the error-tolerant DVS bus can recover:
 
 Run with::
 
-    python examples/interconnect_scaling.py
+    python -m examples.interconnect_scaling
 """
 
 from __future__ import annotations

@@ -12,7 +12,7 @@ This example walks the full chain:
 
 Run with::
 
-    python examples/pipeline_impact.py
+    python -m examples.pipeline_impact
 """
 
 from __future__ import annotations

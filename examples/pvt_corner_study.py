@@ -13,8 +13,8 @@ runs, something that was previously infeasible to wait for in an example:
 * the per-corner summary at the end is computed from the structured result
   dicts, not by re-parsing report text.
 
-Run with:  python examples/pvt_corner_study.py --jobs 4
-           python examples/pvt_corner_study.py --limit 30   (quick look)
+Run with:  python -m examples.pvt_corner_study --jobs 4
+           python -m examples.pvt_corner_study --limit 30   (quick look)
 """
 
 from __future__ import annotations

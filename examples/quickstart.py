@@ -5,7 +5,7 @@ error-correcting (double-sampling) receiver lets the bus supply scale far
 below the worst-case-safe voltage at a typical PVT corner, cutting bus energy
 by roughly a third while correcting a ~1-2 % trickle of timing errors.
 
-Run with:  python examples/quickstart.py
+Run with:  python -m examples.quickstart
 """
 
 from __future__ import annotations

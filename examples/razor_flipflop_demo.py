@@ -5,7 +5,7 @@ with per-bit arrival times computed from the characterised bus, showing how a
 late transition is caught by the shadow latch, flagged on ``Error_L``, and
 recovered in the next cycle -- without retransmitting anything on the bus.
 
-Run with:  python examples/razor_flipflop_demo.py
+Run with:  python -m examples.razor_flipflop_demo
 """
 
 from __future__ import annotations

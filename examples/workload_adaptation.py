@@ -5,7 +5,7 @@ closed-loop DVS bus at the typical corner and prints how the supply voltage
 tracks each program's switching activity, together with the per-window
 instantaneous error rates.
 
-Run with:  python examples/workload_adaptation.py
+Run with:  python -m examples.workload_adaptation
 """
 
 from __future__ import annotations

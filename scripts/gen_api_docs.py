@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Generate docs/api.md from the public docstrings of the ``repro`` package.
+
+The generated page is the docstring-derived API reference for the modules a
+user is expected to import from.  It is committed; CI regenerates it and
+fails when the committed copy drifts from the code, so the reference can
+never silently rot.
+
+Usage::
+
+    python scripts/gen_api_docs.py            # rewrite docs/api.md
+    python scripts/gen_api_docs.py --check    # exit 1 if docs/api.md is stale
+
+Output is deterministic: modules in the curated order below, names in their
+``__all__`` order, no timestamps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The public modules documented, in page order.
+PUBLIC_MODULES = (
+    "repro",
+    "repro.bus",
+    "repro.core",
+    "repro.trace",
+    "repro.trace.stream",
+    "repro.trace.generator",
+    "repro.analysis",
+    "repro.analysis.experiments",
+    "repro.analysis.serialize",
+    "repro.runtime",
+    "repro.runtime.spec",
+    "repro.runtime.cache",
+    "repro.runtime.tasks",
+    "repro.report",
+    "repro.report.reference",
+    "repro.report.fidelity",
+    "repro.report.render",
+    "repro.report.builder",
+    "repro.plotting",
+    "repro.plotting.svg",
+)
+
+HEADER = """\
+# API reference
+
+Generated from docstrings by `scripts/gen_api_docs.py` — do not edit by
+hand; run `python scripts/gen_api_docs.py` after changing a public
+docstring (CI fails when this page drifts from the code).
+
+See [architecture.md](architecture.md) for how the layers fit together.
+"""
+
+
+def _summary(obj: object) -> str:
+    """First paragraph of a docstring, joined to one line."""
+    doc = inspect.getdoc(obj) or ""
+    paragraph: List[str] = []
+    for line in doc.splitlines():
+        if not line.strip():
+            break
+        paragraph.append(line.strip())
+    return " ".join(paragraph)
+
+
+def _signature(obj: object) -> str:
+    try:
+        text = str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+    # Default values repr'd with memory addresses would make output
+    # nondeterministic; strip the address part.
+    return re.sub(r" at 0x[0-9a-fA-F]+", "", text)
+
+
+def _public_names(module) -> List[str]:
+    if hasattr(module, "__all__"):
+        return [name for name in module.__all__ if name != "__version__"]
+    return sorted(
+        name
+        for name, value in vars(module).items()
+        if not name.startswith("_")
+        and (inspect.isclass(value) or inspect.isfunction(value))
+        and getattr(value, "__module__", "").startswith(module.__name__)
+    )
+
+
+def _document_class(name: str, value: type) -> List[str]:
+    lines = [f"### class `{name}`", "", _summary(value) or "*(undocumented)*", ""]
+    methods = []
+    for method_name, method in sorted(vars(value).items()):
+        if method_name.startswith("_"):
+            continue
+        if isinstance(method, property):
+            methods.append(f"- `{method_name}` *(property)* — {_summary(method.fget)}")
+        elif isinstance(method, (staticmethod, classmethod)):
+            function = method.__func__
+            methods.append(f"- `{method_name}{_signature(function)}` — {_summary(function)}")
+        elif inspect.isfunction(method):
+            methods.append(f"- `{method_name}{_signature(method)}` — {_summary(method)}")
+    if methods:
+        lines += methods + [""]
+    return lines
+
+
+def _document_module(module_name: str) -> List[str]:
+    module = importlib.import_module(module_name)
+    lines = [f"## `{module_name}`", "", _summary(module), ""]
+    for name in _public_names(module):
+        value = getattr(module, name, None)
+        if value is None:
+            continue
+        if inspect.isclass(value):
+            lines += _document_class(name, value)
+        elif inspect.isfunction(value):
+            lines += [
+                f"### `{name}{_signature(value)}`",
+                "",
+                _summary(value) or "*(undocumented)*",
+                "",
+            ]
+        else:
+            lines += [f"### `{name}`", "", _summary(value) or f"Constant of type `{type(value).__name__}`.", ""]
+    return lines
+
+
+def generate() -> str:
+    """The full api.md content."""
+    lines = [HEADER]
+    for module_name in PUBLIC_MODULES:
+        lines += _document_module(module_name)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true", help="fail instead of writing when the page is stale"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "docs" / "api.md", help="output path"
+    )
+    args = parser.parse_args(argv)
+
+    content = generate()
+    if args.check:
+        current = args.out.read_text(encoding="utf-8") if args.out.is_file() else ""
+        if current != content:
+            print(
+                f"{args.out} is stale; regenerate with 'python scripts/gen_api_docs.py'",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.out} is up to date")
+        return 0
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(content, encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,18 @@ class Table1CornerResult:
                 return candidate
         raise KeyError(f"no row for benchmark {benchmark!r}")
 
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-able view: rows plus the totals line of one corner."""
+        return {
+            "corner": self.corner.label,
+            "rows": [row.as_dict() for row in self.rows],
+            "totals": {
+                "fixed_vs_gain_percent": round(self.total_fixed_vs_gain_percent, 2),
+                "dvs_gain_percent": round(self.total_dvs_gain_percent, 2),
+                "dvs_average_error_rate_percent": round(self.total_dvs_error_rate * 100.0, 3),
+            },
+        }
+
 
 @dataclass(frozen=True)
 class Table1Result:
@@ -106,6 +118,18 @@ class Table1Result:
             if candidate.corner == corner:
                 return candidate
         raise KeyError(f"no result for corner {corner.label}")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-able view of the whole table (one entry per corner).
+
+        This is the serialisation contract ``repro.report`` renders and the
+        runtime cache persists: plain types only, percentages rounded to a
+        fixed precision so re-rendering a cached record is byte-stable.
+        """
+        return {
+            "n_cycles_per_benchmark": int(self.n_cycles_per_benchmark),
+            "corners": [corner.as_dict() for corner in self.corners],
+        }
 
 
 def _run_benchmark_streamed(
@@ -273,6 +297,39 @@ class Fig8Result:
         return float(np.min(self.voltage_event_values)), float(
             np.max(self.voltage_event_values)
         )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-able view: summary scalars plus both time series.
+
+        The voltage trajectory is event-encoded (cycle of each regulator
+        step), so even a paper-scale 100 M-cycle run serialises to a few
+        thousand points, not per-cycle arrays.
+        """
+        vmin, vmax = self.voltage_range()
+        return {
+            "corner": self.corner.label,
+            "benchmark_order": list(self.benchmark_order),
+            "benchmark_boundaries": [int(b) for b in self.benchmark_boundaries],
+            "n_cycles": int(self.n_cycles),
+            "total_errors": int(self.run.total_errors),
+            "average_error_rate_percent": round(self.run.average_error_rate * 100.0, 3),
+            "max_instantaneous_error_rate_percent": round(
+                self.max_instantaneous_error_rate() * 100.0, 3
+            ),
+            "energy_gain_percent": round(self.run.energy_gain_percent, 2),
+            "supply_min_mv": round(vmin * 1000.0, 1),
+            "supply_max_mv": round(vmax * 1000.0, 1),
+            "voltage_events": {
+                "cycles": [int(c) for c in self.voltage_event_cycles],
+                "mv": [round(float(v) * 1000.0, 1) for v in self.voltage_event_values],
+            },
+            "windows": {
+                "start_cycles": [int(c) for c in self.window_start_cycles],
+                "error_rate_percent": [
+                    round(float(r) * 100.0, 3) for r in self.window_error_rates
+                ],
+            },
+        }
 
 
 def run_fig8(

@@ -65,6 +65,24 @@ class ModifiedBusStudy:
             )
         return improvements
 
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-able view: both corner studies plus the closed-loop delta."""
+        return {
+            "ratio_multiplier": float(self.ratio_multiplier),
+            "original_study": self.original_study.as_dict(),
+            "modified_study": self.modified_study.as_dict(),
+            "closed_loop_worst_corner": {
+                "original_gain_percent": round(self.original_worst_corner_dvs_gain, 2),
+                "modified_gain_percent": round(self.modified_worst_corner_dvs_gain, 2),
+                "original_error_rate_percent": round(
+                    self.original_worst_corner_error_rate * 100.0, 3
+                ),
+                "modified_error_rate_percent": round(
+                    self.modified_worst_corner_error_rate * 100.0, 3
+                ),
+            },
+        }
+
 
 def run_modified_bus_study(
     design: Optional[BusDesign] = None,
@@ -145,6 +163,21 @@ class TechnologyScalingStudy:
         """Whether the delay spread grows monotonically as the node shrinks."""
         values = list(self.spread_by_node.values())
         return all(later >= earlier for earlier, later in zip(values, values[1:]))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-able view: per-node spread, largest node first."""
+        return {
+            "segment_length_mm": round(self.segment_length * 1e3, 3),
+            "monotonically_increasing": bool(self.monotonically_increasing),
+            "nodes": [
+                {
+                    "node": name,
+                    "spread_ps": round(self.spread_by_node[name] * 1e12, 3),
+                    "normalized": round(self.normalized_spread[name], 3),
+                }
+                for name in self.spread_by_node
+            ],
+        }
 
 
 def run_technology_scaling_study(

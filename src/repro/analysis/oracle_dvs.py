@@ -80,6 +80,14 @@ class OracleResidencyStudy:
             if abs(entry.target_error_rate - target) < 1e-12
         }
 
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-able view: one residency entry per (benchmark, target)."""
+        return {
+            "corner": self.corner.label,
+            "window_cycles": int(self.window_cycles),
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
 
 def run_oracle_residency(
     design: BusDesign,

@@ -49,6 +49,16 @@ class SensitivityPoint:
     average_error_rate: float
     minimum_voltage: float
 
+    def as_dict(self) -> dict:
+        """Stable JSON-able view of one swept point."""
+        return {
+            "label": self.label,
+            "value": float(self.value),
+            "energy_gain_percent": round(self.energy_gain_percent, 2),
+            "average_error_rate_percent": round(self.average_error_rate * 100.0, 3),
+            "minimum_voltage_mv": round(self.minimum_voltage * 1000.0, 1),
+        }
+
 
 @dataclass(frozen=True)
 class SensitivityStudy:
@@ -62,6 +72,15 @@ class SensitivityStudy:
     def best_gain(self) -> SensitivityPoint:
         """The point with the highest energy gain."""
         return max(self.points, key=lambda point: point.energy_gain_percent)
+
+    def as_dict(self) -> dict:
+        """Stable JSON-able view of the whole sweep."""
+        return {
+            "parameter": self.parameter,
+            "corner": self.corner.label,
+            "workload": self.workload_name,
+            "points": [point.as_dict() for point in self.points],
+        }
 
 
 def format_sensitivity_study(study: SensitivityStudy) -> str:

@@ -1,0 +1,82 @@
+"""Stable JSON serialisation of experiment results.
+
+Every experiment in :mod:`repro.analysis.experiments` returns a rich result
+object (``Table1Result``, ``Fig8Result``, a list of studies, ...).  The
+runtime cache and the report subsystem need those results as plain JSON, so
+each result dataclass exposes a stable ``as_dict()`` contract and this module
+provides the one dispatcher that turns *any* registry result into a JSON-able
+payload:
+
+>>> from repro.analysis.serialize import experiment_payload
+>>> from repro.analysis.modified_bus import run_technology_scaling_study
+>>> payload = experiment_payload("scaling", run_technology_scaling_study())
+>>> payload["kind"], payload["data"]["nodes"][0]["node"]
+('TechnologyScalingStudy', '130nm')
+
+The payload shape is ``{"kind": <result class name>, "data": <as_dict()>}``;
+lists of studies become ``{"kind": "StudyList", "data": {"studies": [...]}}``
+and plain mappings pass through with every value serialised recursively.
+Rendering (`repro.report.render`) consumes exactly this shape, so a result
+loaded from the content-addressed cache renders byte-identically to a fresh
+in-memory one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["experiment_payload", "json_clean"]
+
+
+def json_clean(value: Any) -> Any:
+    """Recursively convert a value into plain JSON-able Python types.
+
+    NumPy scalars and arrays become Python numbers and lists, mappings become
+    plain dicts with string keys, and tuples become lists.  Anything exposing
+    ``as_dict()`` is serialised through it.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [json_clean(item) for item in value.tolist()]
+    if hasattr(value, "as_dict"):
+        return json_clean(value.as_dict())
+    if isinstance(value, Mapping):
+        return {str(key): json_clean(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_clean(item) for item in value]
+    raise TypeError(f"cannot serialise {type(value).__name__!r} value {value!r} to JSON")
+
+
+def experiment_payload(identifier: str, result: Any) -> Dict[str, Any]:
+    """The stable JSON payload of one experiment's result object.
+
+    Parameters
+    ----------
+    identifier:
+        Registry id (``table1``, ``fig8``, ...); recorded in the payload so a
+        cached record is self-describing.
+    result:
+        Whatever the experiment runner returned: a result dataclass with
+        ``as_dict()``, a list/tuple of such studies, or a mapping of them
+        (the IPC experiment returns ``{model_name: IPCImpact}``).
+    """
+    if hasattr(result, "as_dict"):
+        kind = type(result).__name__
+        data: Any = json_clean(result.as_dict())
+    elif isinstance(result, Mapping):
+        kind = "Mapping"
+        data = json_clean(result)
+    elif isinstance(result, Sequence) and not isinstance(result, (str, bytes)):
+        kind = "StudyList"
+        data = {"studies": [json_clean(item) for item in result]}
+    else:
+        raise TypeError(
+            f"experiment {identifier!r} returned a {type(result).__name__}, which has "
+            "no as_dict() serialisation path"
+        )
+    return {"experiment": identifier, "kind": kind, "data": data}

@@ -88,6 +88,16 @@ class StaticScalingSweep:
             raise ValueError(f"no swept voltage meets an error-rate target of {target}")
         return min(eligible)
 
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-able view: the swept points plus derived Fig. 4 metrics."""
+        return {
+            "corner": self.corner.label,
+            "lowest_error_free_mv": round(
+                self.lowest_voltage_for_error_rate(0.0) * 1000.0, 1
+            ),
+            "points": [point.as_dict() for point in self.points],
+        }
+
 
 def combine_statistics(
     bus: CharacterizedBus, workloads: Mapping[str, BusTrace]
@@ -192,6 +202,25 @@ def run_static_voltage_sweep(
     return StaticScalingSweep(corner=bus.corner, points=tuple(points))
 
 
+def gain_metric_key(target_percent: float) -> str:
+    """Serialisation key of one error-rate target's gain column.
+
+    The single definition both :meth:`CornerGainPoint.as_dict` (writing) and
+    the report renderer (reading, via the serialised ``targets_percent``)
+    use, so keys stay distinct and consistent for any target -- including
+    sub-1 % targets and percentages that are not exactly representable.
+
+    >>> gain_metric_key(2.0), gain_metric_key(0.5), gain_metric_key(29.0)
+    ('gain_percent_at_2pct_errors', 'gain_percent_at_0.5pct_errors', 'gain_percent_at_29pct_errors')
+    """
+    return f"gain_percent_at_{target_percent:g}pct_errors"
+
+
+def _target_percent(target: float) -> float:
+    """A target error-rate fraction as its serialised percentage."""
+    return round(target * 100.0, 2)
+
+
 @dataclass(frozen=True)
 class CornerGainPoint:
     """One corner's entry in Fig. 5 / Fig. 10."""
@@ -208,7 +237,7 @@ class CornerGainPoint:
             "corner": self.corner.label,
             "delay_ps_at_nominal": round(self.nominal_delay * 1e12, 1),
             **{
-                f"gain_percent_at_{int(target * 100)}pct_errors": round(gain, 2)
+                gain_metric_key(_target_percent(target)): round(gain, 2)
                 for target, gain in self.gains_percent.items()
             },
         }
@@ -229,6 +258,14 @@ class CornerGainStudy:
     def delays_ps(self) -> List[float]:
         """Nominal-voltage worst-case delays (ps) of every corner (the X axis)."""
         return [point.nominal_delay * 1e12 for point in self.points]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-able view: targets plus one entry per corner."""
+        return {
+            "design_label": self.design_label,
+            "targets_percent": [_target_percent(target) for target in self.targets],
+            "points": [point.as_dict() for point in self.points],
+        }
 
 
 def run_corner_gain_study(

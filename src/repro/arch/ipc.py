@@ -73,6 +73,18 @@ class IPCImpact:
             return 0.0
         return self.n_errors / (self.n_cycles + self.n_errors)
 
+    def as_dict(self) -> dict:
+        """Stable JSON-able view of one pipeline model's impact."""
+        return {
+            "model": self.model_name,
+            "n_cycles": int(self.n_cycles),
+            "n_errors": int(self.n_errors),
+            "error_rate_percent": round(self.error_rate * 100.0, 3),
+            "ipc_loss_percent": round(self.ipc_loss_fraction * 100.0, 3),
+            "replays_hidden_percent": round(self.hidden_fraction * 100.0, 2),
+            "paper_assumption_loss_percent": round(self.paper_assumption_loss * 100.0, 3),
+        }
+
 
 def evaluate_ipc_impact(
     model: PipelineModel, error_mask: np.ndarray, seed: SeedLike = None

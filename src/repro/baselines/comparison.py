@@ -59,6 +59,15 @@ class SchemeComparison:
         """Scheme name to energy gain (percent), in evaluation order."""
         return {result.scheme: result.energy_gain_percent for result in self.results}
 
+    def as_dict(self) -> dict:
+        """Stable JSON-able view: one row per scheme, evaluation order."""
+        return {
+            "corner": self.corner.label,
+            "workload": self.workload_name,
+            "n_cycles": int(self.n_cycles),
+            "schemes": [result.as_dict() for result in self.results],
+        }
+
 
 def _combine(bus: CharacterizedBus, traces: Sequence[BusTrace]) -> TraceStatistics:
     combined: Optional[TraceStatistics] = None

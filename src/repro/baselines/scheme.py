@@ -64,6 +64,21 @@ class SchemeResult:
         """Whether the scheme met its error-free guarantee on this workload."""
         return self.error_rate == 0.0
 
+    def as_dict(self) -> dict:
+        """Stable JSON-able view of one scheme's row."""
+        return {
+            "scheme": self.scheme,
+            "voltage_mv": round(self.voltage * 1000.0, 1),
+            "energy_gain_percent": round(self.energy_gain_percent, 2),
+            "error_rate_percent": round(self.error_rate * 100.0, 3),
+            "overhead_energy_percent_of_total": round(
+                100.0 * self.overhead_energy / self.energy.total_with_recovery, 3
+            )
+            if self.energy.total_with_recovery
+            else 0.0,
+            "notes": self.notes,
+        }
+
 
 def worst_case_cycle_energy(bus: CharacterizedBus, vdd: float) -> float:
     """Dynamic energy of one worst-case switching cycle on the whole bus.

@@ -14,29 +14,32 @@ the reproduction can be driven without writing a script:
   vs triple-latch vs the proposed DVS,
 * ``python -m repro sweep pvt-mega --jobs 8`` -- a declarative parameter grid
   executed by the runtime engine with caching and a worker pool,
+* ``python -m repro report --experiments table1,fig8`` -- render experiments
+  into a Markdown/JSON/SVG artifact directory with a per-metric fidelity
+  summary against the paper's published values,
 * ``python -m repro cache info`` -- inspect or clear the result cache,
 * ``python -m repro kernels`` -- the mini-CPU kernels available as workloads.
 
 The runtime flags steer the engine for the commands that go through it:
-``--cache-dir PATH`` / ``--no-cache`` apply to ``run`` and ``sweep``
-(repeated runs hit the content-addressed cache instead of re-simulating)
-and ``--cache-dir`` selects the cache for ``cache``; ``--jobs N`` applies
-to ``sweep``, fanning cache misses out over N worker processes with
-bit-identical results (``run`` executes a single job, so it gains nothing
-from workers).  The one-off interactive commands (``characterize``,
-``simulate``, ``compare-schemes``) always simulate directly.
+``--cache-dir PATH`` / ``--no-cache`` apply to ``run``, ``sweep`` and
+``report`` (repeated runs hit the content-addressed cache instead of
+re-simulating) and ``--cache-dir`` selects the cache for ``cache``;
+``--jobs N`` applies to ``sweep`` and ``report``, fanning cache misses out
+over N worker processes with bit-identical results (``run`` executes a
+single job, so it gains nothing from workers).  The one-off interactive
+commands (``characterize``, ``simulate``, ``compare-schemes``) always
+simulate directly.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.experiments import EXPERIMENTS, accepted_kwargs, run_experiment
 from repro.baselines import format_scheme_comparison, run_scheme_comparison
 from repro.bus import BusDesign, CharacterizedBus
 from repro.circuit.pvt import PVTCorner
@@ -164,6 +167,33 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_flags(sweep_parser, top_level=False)
     add_runtime_flags(sweep_parser, top_level=False)
 
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render experiments into a Markdown/JSON/SVG artifact directory "
+        "with a fidelity summary vs the paper",
+    )
+    report_parser.add_argument(
+        "--experiments",
+        default="all",
+        metavar="IDS",
+        help="comma-separated experiment ids, or 'all' (default). Note: 'all' at "
+        "the paper's default scale simulates for ~15-20 min single-core "
+        "(cached afterwards); scale with --cycles for a quick look.",
+    )
+    report_parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("report"),
+        metavar="DIR",
+        help="directory the report is written into (default: ./report)",
+    )
+    report_parser.add_argument("--seed", type=int, default=2005, help="workload seed")
+    report_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines on stderr"
+    )
+    add_workload_flags(report_parser, top_level=False)
+    add_runtime_flags(report_parser, top_level=False)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the content-addressed result cache"
     )
@@ -225,27 +255,11 @@ def _command_list() -> int:
     return 0
 
 
-def _accepted_kwargs(function, candidates: Dict[str, Any]) -> Dict[str, Any]:
-    """The subset of ``candidates`` that ``function`` names as parameters.
-
-    Used to thread the global ``--cycles`` / ``--chunk-cycles`` knobs through
-    heterogeneous experiment runners and sweep tasks: workload-free entries
-    (e.g. the scaling study) simply never see them.  ``None`` values are
-    dropped so defaults stay in charge.
-    """
-    parameters = inspect.signature(function).parameters
-    return {
-        name: value
-        for name, value in candidates.items()
-        if value is not None and name in parameters
-    }
-
-
 def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[int],
                  seed: int, cache: Optional[ResultCache]) -> int:
     runner = EXPERIMENTS[experiment].runner
     requested = {"n_cycles": cycles, "chunk_cycles": chunk_cycles}
-    kwargs = _accepted_kwargs(runner, {"seed": seed, **requested})
+    kwargs = accepted_kwargs(runner, {"seed": seed, **requested})
     flags = {"n_cycles": "--cycles", "chunk_cycles": "--chunk-cycles"}
     for name, value in requested.items():
         if value is not None and name not in kwargs:
@@ -293,7 +307,7 @@ def _command_sweep(
         # alias unscaled ones.
         overridden = []
         for spec in specs:
-            overrides = _accepted_kwargs(
+            overrides = accepted_kwargs(
                 get_task(spec.task), {"n_cycles": cycles, "chunk_cycles": chunk_cycles}
             )
             overridden.append(spec.with_params(**overrides) if overrides else spec)
@@ -305,6 +319,46 @@ def _command_sweep(
     if out is not None:
         run_dir = ResultStore(out).write_report(sweep.name, report, sweep=sweep)
         print(f"[runtime] results written to {run_dir}", file=sys.stderr)
+    return 0
+
+
+def _command_report(
+    experiments: str,
+    out: Path,
+    cycles: Optional[int],
+    chunk_cycles: Optional[int],
+    seed: int,
+    quiet: bool,
+    cache: Optional[ResultCache],
+    jobs: int,
+) -> int:
+    from repro.report import build_report, resolve_experiments
+
+    try:
+        identifiers = resolve_experiments(experiments)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    progress = ProgressPrinter(quiet=quiet)
+    started = time.perf_counter()
+    build = build_report(
+        identifiers,
+        out,
+        cache=cache,
+        jobs=jobs,
+        n_cycles=cycles,
+        chunk_cycles=chunk_cycles,
+        seed=seed,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - started
+    print(build.fidelity.to_markdown())
+    print(
+        f"[runtime] report: {len(identifiers)} experiment(s), "
+        f"{build.n_cached} cache hit(s), {build.n_executed} simulated in {elapsed:.2f} s",
+        file=sys.stderr,
+    )
+    print(f"report written to {build.index_path}")
     return 0
 
 
@@ -446,6 +500,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.jobs,
             cycles=args.cycles,
             chunk_cycles=args.chunk_cycles,
+        )
+    if args.command == "report":
+        return _command_report(
+            args.experiments,
+            args.out,
+            args.cycles,
+            args.chunk_cycles,
+            args.seed,
+            args.quiet,
+            cache,
+            args.jobs,
         )
     if args.command == "cache":
         return _command_cache(args.action, args.cache_dir)

@@ -82,6 +82,22 @@ class EncoderEvaluation:
     dvs_gain_vs_encoded_nominal: float
     dvs_average_error_rate: float
 
+    def as_dict(self) -> dict:
+        """Stable JSON-able view of one encoder's row."""
+        return {
+            "encoder": self.encoder_name,
+            "n_wires": int(self.n_wires),
+            "toggle_activity": round(self.toggle_activity, 4),
+            "nominal_energy_vs_unencoded": round(self.nominal_energy_vs_unencoded, 4),
+            "dvs_gain_vs_unencoded_nominal_percent": round(
+                self.dvs_gain_vs_unencoded_nominal, 2
+            ),
+            "dvs_gain_vs_encoded_nominal_percent": round(
+                self.dvs_gain_vs_encoded_nominal, 2
+            ),
+            "dvs_average_error_rate_percent": round(self.dvs_average_error_rate * 100.0, 3),
+        }
+
 
 @dataclass(frozen=True)
 class EncodingStudy:
@@ -103,6 +119,14 @@ class EncodingStudy:
     def unencoded(self) -> EncoderEvaluation:
         """The identity-encoder reference row."""
         return self.by_name(IdentityEncoder.name)
+
+    def as_dict(self) -> dict:
+        """Stable JSON-able view: one row per evaluated encoder."""
+        return {
+            "workload": self.workload_name,
+            "corner": self.corner.label,
+            "encoders": [evaluation.as_dict() for evaluation in self.evaluations],
+        }
 
 
 def design_for_width(reference: BusDesign, n_wires: int) -> BusDesign:

@@ -223,6 +223,22 @@ class ShieldIntervalPoint:
         """Whether the delay target is reachable with this shielding."""
         return self.repeater_size is not None
 
+    def as_dict(self) -> dict:
+        """Stable JSON-able view of one shield-interval layout."""
+        return {
+            "shield_group": int(self.shield_group),
+            "n_tracks": int(self.n_tracks),
+            "max_coupling_factor": round(self.max_coupling_factor, 3),
+            "feasible": bool(self.feasible),
+            "repeater_size": round(self.repeater_size, 2) if self.feasible else None,
+            "worst_case_delay_ps": round(self.worst_case_delay * 1e12, 2)
+            if self.worst_case_delay is not None
+            else None,
+            "delay_spread_ps": round(self.delay_spread * 1e12, 2)
+            if self.delay_spread is not None
+            else None,
+        }
+
 
 @dataclass(frozen=True)
 class ShieldIntervalStudy:
@@ -240,6 +256,15 @@ class ShieldIntervalStudy:
                 return point
         known = ", ".join(str(point.shield_group) for point in self.points)
         raise KeyError(f"no shield interval {shield_group}; explored: {known}")
+
+    def as_dict(self) -> dict:
+        """Stable JSON-able view: one row per explored shield interval."""
+        return {
+            "technology": self.technology_name,
+            "corner": self.corner.label,
+            "target_delay_ps": round(self.target_delay * 1e12, 2),
+            "points": [point.as_dict() for point in self.points],
+        }
 
 
 def run_shield_interval_study(

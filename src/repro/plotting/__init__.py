@@ -1,14 +1,17 @@
-"""Terminal (ASCII) plotting for experiment reports.
+"""Plotting for experiment reports: terminal (ASCII) charts and SVG figures.
 
 The paper's evaluation is presented as figures; this reproduction is a
-library-and-harness, so every figure is also rendered as a character chart
-that can be printed from the benchmark harness, the examples and the CLI
-without any plotting dependency.
+library-and-harness, so every figure is rendered without any plotting
+dependency, in two backends sharing one coordinate-mapping abstraction
+(:class:`~repro.plotting.canvas.DataWindow`):
 
 * :mod:`repro.plotting.canvas` -- a character canvas with data-to-character
   coordinate mapping,
 * :mod:`repro.plotting.charts` -- line / scatter charts, horizontal bar
-  charts and histograms built on the canvas.
+  charts and histograms built on the canvas (printed by the CLI, the
+  benchmark harness and the examples),
+* :mod:`repro.plotting.svg` -- deterministic SVG line / bar charts used by
+  ``python -m repro report`` for the figure artifacts.
 """
 
 from repro.plotting.canvas import Canvas, DataWindow
@@ -20,6 +23,7 @@ from repro.plotting.charts import (
     residency_chart,
     scatter_chart,
 )
+from repro.plotting.svg import svg_bar_chart, svg_line_chart
 
 __all__ = [
     "Canvas",
@@ -30,4 +34,6 @@ __all__ = [
     "line_chart",
     "residency_chart",
     "scatter_chart",
+    "svg_bar_chart",
+    "svg_line_chart",
 ]

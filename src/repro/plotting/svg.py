@@ -1,0 +1,281 @@
+"""SVG chart rendering for report artifacts.
+
+The terminal charts in :mod:`repro.plotting.charts` stay the default for
+interactive use; this module renders the same :class:`~repro.plotting.charts.Series`
+data as self-contained SVG documents for the ``repro report`` artifact
+directory.  Coordinate mapping reuses the :class:`~repro.plotting.canvas.DataWindow`
+abstraction of the character canvas, so both backends agree on what a data
+window is (including the degenerate all-points-equal case).
+
+Output is deterministic: no timestamps, no random ids, and every coordinate
+is formatted with a fixed precision -- rendering the same data twice yields
+byte-identical SVG, which is what lets the golden-file tests and the CI
+drift check hold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from repro.plotting.canvas import DataWindow
+from repro.plotting.charts import Series
+
+__all__ = ["svg_line_chart", "svg_bar_chart", "PALETTE"]
+
+#: Line/bar fill colours cycled through per series (colour-blind-safe-ish).
+PALETTE: Tuple[str, ...] = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+    "#17becf",
+    "#7f7f7f",
+)
+
+_MARGIN_LEFT = 64.0
+_MARGIN_RIGHT = 18.0
+_MARGIN_TOP = 34.0
+_MARGIN_BOTTOM = 48.0
+_FONT = "font-family=\"Helvetica, Arial, sans-serif\""
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (deterministic output)."""
+    return f"{value:.2f}"
+
+
+def _tick_values(low: float, high: float, n: int = 5) -> List[float]:
+    if high == low:
+        return [low]
+    step = (high - low) / (n - 1)
+    return [low + index * step for index in range(n)]
+
+
+def _tick_label(value: float) -> str:
+    return f"{value:.4g}"
+
+
+class _Frame:
+    """Pixel-space plot frame with axes, ticks and a title."""
+
+    def __init__(self, width: int, height: int, window: DataWindow) -> None:
+        self.width = float(width)
+        self.height = float(height)
+        self.window = window
+        self.x0 = _MARGIN_LEFT
+        self.y0 = _MARGIN_TOP
+        self.x1 = self.width - _MARGIN_RIGHT
+        self.y1 = self.height - _MARGIN_BOTTOM
+
+    def px(self, x: float) -> float:
+        """Pixel X of a data X coordinate."""
+        return self.x0 + self.window.x_fraction(x) * (self.x1 - self.x0)
+
+    def py(self, y: float) -> float:
+        """Pixel Y of a data Y coordinate (SVG Y grows downwards)."""
+        return self.y1 - self.window.y_fraction(y) * (self.y1 - self.y0)
+
+    def header(self, title: str) -> List[str]:
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
+            f'height="{self.height:.0f}" viewBox="0 0 {self.width:.0f} {self.height:.0f}">',
+            f'<rect width="{self.width:.0f}" height="{self.height:.0f}" fill="white"/>',
+        ]
+        if title:
+            parts.append(
+                f'<text x="{self.width / 2:.0f}" y="20" text-anchor="middle" '
+                f'{_FONT} font-size="14" font-weight="bold">{escape(title)}</text>'
+            )
+        return parts
+
+    def frame_rect(self) -> str:
+        """The plot-area border."""
+        return (
+            f'<rect x="{_fmt(self.x0)}" y="{_fmt(self.y0)}" '
+            f'width="{_fmt(self.x1 - self.x0)}" height="{_fmt(self.y1 - self.y0)}" '
+            'fill="none" stroke="#333333" stroke-width="1"/>'
+        )
+
+    def x_ticks(self) -> List[str]:
+        """Tick marks and labels along the bottom edge."""
+        parts: List[str] = []
+        for tick in _tick_values(self.window.x_min, self.window.x_max):
+            px = self.px(tick)
+            parts.append(
+                f'<line x1="{_fmt(px)}" y1="{_fmt(self.y1)}" x2="{_fmt(px)}" '
+                f'y2="{_fmt(self.y1 + 4)}" stroke="#333333" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{_fmt(px)}" y="{_fmt(self.y1 + 17)}" text-anchor="middle" '
+                f'{_FONT} font-size="10">{escape(_tick_label(tick))}</text>'
+            )
+        return parts
+
+    def y_ticks(self) -> List[str]:
+        """Tick marks, labels and gridlines along the left edge."""
+        parts: List[str] = []
+        for tick in _tick_values(self.window.y_min, self.window.y_max):
+            py = self.py(tick)
+            parts.append(
+                f'<line x1="{_fmt(self.x0 - 4)}" y1="{_fmt(py)}" x2="{_fmt(self.x0)}" '
+                f'y2="{_fmt(py)}" stroke="#333333" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{_fmt(self.x0 - 7)}" y="{_fmt(py + 3)}" text-anchor="end" '
+                f'{_FONT} font-size="10">{escape(_tick_label(tick))}</text>'
+            )
+            parts.append(
+                f'<line x1="{_fmt(self.x0)}" y1="{_fmt(py)}" x2="{_fmt(self.x1)}" '
+                f'y2="{_fmt(py)}" stroke="#e0e0e0" stroke-width="0.5"/>'
+            )
+        return parts
+
+    def x_title(self, label: str) -> List[str]:
+        if not label:
+            return []
+        return [
+            f'<text x="{_fmt((self.x0 + self.x1) / 2)}" y="{_fmt(self.height - 10)}" '
+            f'text-anchor="middle" {_FONT} font-size="11">{escape(label)}</text>'
+        ]
+
+    def y_title(self, label: str) -> List[str]:
+        if not label:
+            return []
+        cx, cy = 15.0, (self.y0 + self.y1) / 2
+        return [
+            f'<text x="{_fmt(cx)}" y="{_fmt(cy)}" text-anchor="middle" {_FONT} '
+            f'font-size="11" transform="rotate(-90 {_fmt(cx)} {_fmt(cy)})">'
+            f"{escape(label)}</text>"
+        ]
+
+    def axes(self, x_label: str, y_label: str) -> List[str]:
+        return (
+            [self.frame_rect()]
+            + self.x_ticks()
+            + self.y_ticks()
+            + self.x_title(x_label)
+            + self.y_title(y_label)
+        )
+
+    def legend(self, names: Sequence[str]) -> List[str]:
+        parts: List[str] = []
+        y = self.y0 + 14
+        for index, name in enumerate(names):
+            colour = PALETTE[index % len(PALETTE)]
+            parts.append(
+                f'<rect x="{_fmt(self.x0 + 8)}" y="{_fmt(y - 8)}" width="14" height="4" '
+                f'fill="{colour}"/>'
+            )
+            parts.append(
+                f'<text x="{_fmt(self.x0 + 27)}" y="{_fmt(y - 2)}" {_FONT} '
+                f'font-size="10">{escape(name)}</text>'
+            )
+            y += 14
+        return parts
+
+
+def _window_for(series: Sequence[Series]) -> DataWindow:
+    xs = [float(x) for entry in series for x in entry.xs]
+    ys = [float(y) for entry in series for y in entry.ys]
+    return DataWindow.around(xs, ys, pad_fraction=0.04)
+
+
+def svg_line_chart(
+    series: Iterable[Series],
+    *,
+    width: int = 640,
+    height: int = 400,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    window: Optional[DataWindow] = None,
+    markers: bool = False,
+) -> str:
+    """Render one or more series as an SVG line chart.
+
+    Parameters mirror :func:`repro.plotting.charts.line_chart`; ``markers``
+    additionally draws a small circle at every data point (useful for sparse
+    series such as the Fig. 5 corner points).
+    """
+    series = list(series)
+    if not series:
+        raise ValueError("svg_line_chart needs at least one series")
+    frame = _Frame(width, height, window or _window_for(series))
+    parts = frame.header(title) + frame.axes(x_label, y_label)
+    for index, entry in enumerate(series):
+        colour = PALETTE[index % len(PALETTE)]
+        points = " ".join(
+            f"{_fmt(frame.px(float(x)))},{_fmt(frame.py(float(y)))}"
+            for x, y in zip(entry.xs, entry.ys)
+        )
+        if len(entry.xs) > 1:
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{colour}" '
+                'stroke-width="1.5"/>'
+            )
+        if markers or len(entry.xs) == 1:
+            for x, y in zip(entry.xs, entry.ys):
+                parts.append(
+                    f'<circle cx="{_fmt(frame.px(float(x)))}" '
+                    f'cy="{_fmt(frame.py(float(y)))}" r="2.5" fill="{colour}"/>'
+                )
+    if len(series) > 1:
+        parts += frame.legend([entry.name for entry in series])
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def svg_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 640,
+    height: int = 400,
+    title: str = "",
+    y_label: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Render a vertical bar chart (one bar per label) as SVG.
+
+    Negative values draw no bar but still print the value, matching the
+    behaviour of the terminal :func:`~repro.plotting.charts.bar_chart`.
+    """
+    labels = [str(label) for label in labels]
+    values = [float(value) for value in values]
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        raise ValueError("svg_bar_chart needs at least one bar")
+    top = max(max(values), 0.0) or 1.0
+    window = DataWindow(0.0, float(len(labels)), 0.0, top * 1.1)
+    frame = _Frame(width, height, window)
+    parts = frame.header(title) + [frame.frame_rect()] + frame.y_ticks()
+    slot = (frame.x1 - frame.x0) / len(labels)
+    bar_width = slot * 0.62
+    for index, (label, value) in enumerate(zip(labels, values)):
+        colour = PALETTE[index % len(PALETTE)]
+        centre = frame.x0 + (index + 0.5) * slot
+        if value > 0:
+            bar_top = frame.py(min(value, top * 1.1))
+            parts.append(
+                f'<rect x="{_fmt(centre - bar_width / 2)}" y="{_fmt(bar_top)}" '
+                f'width="{_fmt(bar_width)}" height="{_fmt(frame.y1 - bar_top)}" '
+                f'fill="{colour}" fill-opacity="0.85"/>'
+            )
+            value_y = bar_top - 4
+        else:
+            value_y = frame.y1 - 4
+        parts.append(
+            f'<text x="{_fmt(centre)}" y="{_fmt(value_y)}" text-anchor="middle" '
+            f'{_FONT} font-size="9">{escape(value_format.format(value))}</text>'
+        )
+        parts.append(
+            f'<text x="{_fmt(centre)}" y="{_fmt(frame.y1 + 14)}" text-anchor="middle" '
+            f'{_FONT} font-size="9">{escape(label)}</text>'
+        )
+    parts += frame.y_title(y_label)
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

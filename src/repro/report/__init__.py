@@ -1,0 +1,57 @@
+"""repro.report: one-command paper-artifact generation with fidelity checking.
+
+The report subsystem closes the reproduction loop: it turns the experiments
+registry into reviewable artifacts and a machine-checked statement of how
+close this reproduction is to the published numbers.
+
+* **Reference registry** (:mod:`~repro.report.reference`) -- the paper's
+  published values per table/figure, each with a metric-extraction path and
+  pass/warn/fail tolerances (:data:`~repro.report.reference.PAPER_REFERENCES`).
+* **Renderers** (:mod:`~repro.report.render`) -- serialised experiment data
+  (the stable ``as_dict()`` payloads the runtime cache stores) rendered to
+  Markdown tables, JSON and SVG figures.
+* **Fidelity** (:mod:`~repro.report.fidelity`) -- the diff of rendered
+  results against the registry, one verdict per registered metric.
+* **Builder** (:mod:`~repro.report.builder`) -- ``python -m repro report``:
+  runs (or cache-loads) any subset of experiments through the runtime engine
+  and writes a self-contained report directory with an index page.
+
+Quickstart
+----------
+>>> from repro.report import PAPER_REFERENCES, evaluate_fidelity
+>>> report = evaluate_fidelity(
+...     PAPER_REFERENCES,
+...     {"fig10": {"closed_loop_worst_corner": {"original_gain_percent": 6.1,
+...                                             "modified_gain_percent": 10.0}}},
+... )
+>>> report.summary()
+'1 pass, 1 warn, 0 fail'
+"""
+
+from repro.report.builder import ReportBuild, build_report, resolve_experiments
+from repro.report.fidelity import FidelityReport, MetricCheck, evaluate_fidelity
+from repro.report.reference import (
+    PAPER_REFERENCES,
+    Reference,
+    ReferenceRegistry,
+    Status,
+    extract_metric,
+)
+from repro.report.render import RenderedExperiment, markdown_table, render_experiment
+
+__all__ = [
+    "ReportBuild",
+    "build_report",
+    "resolve_experiments",
+    "FidelityReport",
+    "MetricCheck",
+    "evaluate_fidelity",
+    "PAPER_REFERENCES",
+    "Reference",
+    "ReferenceRegistry",
+    "Status",
+    "extract_metric",
+    "RenderedExperiment",
+    "markdown_table",
+    "render_experiment",
+]

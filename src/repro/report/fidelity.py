@@ -1,0 +1,156 @@
+"""Fidelity evaluation: diff rendered results against the reference registry.
+
+:func:`evaluate_fidelity` walks a :class:`~repro.report.reference.ReferenceRegistry`
+over the serialised data of whatever experiments a report run produced and
+returns a :class:`FidelityReport` -- one pass/warn/fail verdict per
+registered metric, plus the aggregate counts the CLI prints and the CI smoke
+asserts on.  Experiments that ran but have no registered references are
+listed as *unreferenced* rather than silently dropped, so coverage gaps stay
+visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.report.reference import Reference, ReferenceRegistry, Status, extract_metric
+
+__all__ = ["MetricCheck", "FidelityReport", "evaluate_fidelity"]
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Verdict for one registered metric of one experiment."""
+
+    reference: Reference
+    actual: Optional[float]
+    status: Status
+
+    @property
+    def deviation(self) -> Optional[float]:
+        """Absolute deviation from the published value (``None`` if missing)."""
+        if self.actual is None:
+            return None
+        return self.reference.deviation(self.actual)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable JSON-able view of this check."""
+        return {
+            "experiment": self.reference.experiment,
+            "metric": self.reference.metric,
+            "unit": self.reference.unit,
+            "paper_value": self.reference.paper_value,
+            "actual": round(self.actual, 4) if self.actual is not None else None,
+            "deviation": round(self.deviation, 4) if self.deviation is not None else None,
+            "tolerance": self.reference.describe_tolerance(),
+            "status": self.status.value,
+            "note": self.reference.note,
+        }
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """All metric verdicts of one report run, plus scale provenance."""
+
+    checks: Tuple[MetricCheck, ...]
+    unreferenced: Tuple[str, ...]
+    scale_note: str = ""
+
+    def counts(self) -> Dict[str, int]:
+        """Verdict counts keyed by status value (``pass`` / ``warn`` / ...)."""
+        counts = {status.value: 0 for status in Status}
+        for check in self.checks:
+            counts[check.status.value] += 1
+        return counts
+
+    @property
+    def worst_status(self) -> Optional[Status]:
+        """The most severe verdict present, or ``None`` with no checks."""
+        if not self.checks:
+            return None
+        return max((check.status for check in self.checks), key=lambda s: s.severity)
+
+    def summary(self) -> str:
+        """One-line verdict summary, e.g. ``10 pass, 1 warn, 0 fail``."""
+        counts = self.counts()
+        parts = [f"{counts['pass']} pass", f"{counts['warn']} warn", f"{counts['fail']} fail"]
+        if counts["missing"]:
+            parts.append(f"{counts['missing']} missing")
+        return ", ".join(parts)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable JSON-able view (written as ``fidelity.json``)."""
+        return {
+            "summary": self.summary(),
+            "counts": self.counts(),
+            "scale_note": self.scale_note,
+            "checks": [check.as_dict() for check in self.checks],
+            "unreferenced_experiments": list(self.unreferenced),
+        }
+
+    def to_markdown(self) -> str:
+        """The fidelity table as Markdown (written as ``fidelity.md``)."""
+        lines = ["# Reference fidelity", ""]
+        if self.scale_note:
+            lines += [f"> {self.scale_note}", ""]
+        lines += [f"**{self.summary()}**", ""]
+        if self.checks:
+            lines += [
+                "| | experiment | metric | paper | measured | Δ | tolerance | source |",
+                "| --- | --- | --- | --- | --- | --- | --- | --- |",
+            ]
+            for check in self.checks:
+                ref = check.reference
+                actual = f"{check.actual:g}" if check.actual is not None else "—"
+                deviation = f"{check.deviation:.2f}" if check.deviation is not None else "—"
+                lines.append(
+                    f"| {check.status.symbol} {check.status.value} | `{ref.experiment}` "
+                    f"| `{ref.metric}` | {ref.paper_value:g} {ref.unit} | {actual} "
+                    f"| {deviation} | {ref.describe_tolerance()} | {ref.note} |"
+                )
+        else:
+            lines.append("_No registered reference values for the requested experiments._")
+        if self.unreferenced:
+            lines += [
+                "",
+                "Experiments rendered without registered reference values: "
+                + ", ".join(f"`{identifier}`" for identifier in self.unreferenced),
+            ]
+        return "\n".join(lines) + "\n"
+
+
+def evaluate_fidelity(
+    registry: ReferenceRegistry,
+    data_by_experiment: Mapping[str, Mapping[str, Any]],
+    scale_note: str = "",
+) -> FidelityReport:
+    """Check every registered metric of the experiments that actually ran.
+
+    Parameters
+    ----------
+    registry:
+        The reference registry to evaluate (usually
+        :data:`~repro.report.reference.PAPER_REFERENCES`).
+    data_by_experiment:
+        Serialised ``as_dict()`` payloads keyed by experiment id -- exactly
+        what the report builder collected from the runtime records.
+    scale_note:
+        Provenance sentence recorded in the report (e.g. that the run used
+        fewer cycles than the paper, so deviations are expected).
+    """
+    checks: List[MetricCheck] = []
+    for identifier, data in data_by_experiment.items():
+        for reference in registry.for_experiment(identifier):
+            actual = extract_metric(data, reference.metric)
+            checks.append(
+                MetricCheck(reference=reference, actual=actual, status=reference.check(actual))
+            )
+    unreferenced = tuple(
+        identifier
+        for identifier in data_by_experiment
+        if not registry.for_experiment(identifier)
+    )
+    return FidelityReport(
+        checks=tuple(checks), unreferenced=unreferenced, scale_note=scale_note
+    )

@@ -1,0 +1,356 @@
+"""The reference-fidelity registry: the paper's published values, with tolerances.
+
+Every number the paper publishes that this reproduction can measure gets a
+:class:`Reference` entry: which experiment produces it, where the value lives
+in that experiment's serialised data (a dotted path into the ``as_dict()``
+payload), the published value, and two tolerances -- inside the first the
+metric **passes**, inside the second it **warns**, outside it **fails**.
+``python -m repro report`` evaluates the registry against whatever it just
+rendered, so "how close is this reproduction to the paper?" is a machine-
+checked artifact instead of a README claim.
+
+Tolerances come in two flavours: *absolute* (in the metric's own unit --
+right for energy-gain percentages, where the paper reports one decimal) and
+*relative* (a fraction of the published value -- right for voltages).
+
+>>> from repro.report.reference import Reference, Status
+>>> ref = Reference(
+...     experiment="table1", metric="corners.1.totals.dvs_gain_percent",
+...     paper_value=38.6, unit="%", warn_tolerance=3.0, fail_tolerance=8.0,
+... )
+>>> ref.check(37.2), ref.check(33.0), ref.check(12.0)
+(<Status.PASS: 'pass'>, <Status.WARN: 'warn'>, <Status.FAIL: 'fail'>)
+
+The default registry, :data:`PAPER_REFERENCES`, covers the values the DATE
+2005 paper states explicitly (Table 1 totals, the Fig. 8 error-rate
+excursion, the Fig. 4 error-free supplies and the Fig. 10 closed-loop
+improvement); experiments without published scalar values simply have no
+entries and are reported as unreferenced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Status",
+    "Reference",
+    "ReferenceRegistry",
+    "PAPER_REFERENCES",
+    "extract_metric",
+]
+
+
+class Status(enum.Enum):
+    """Fidelity verdict for one metric (ordered from best to worst)."""
+
+    PASS = "pass"
+    WARN = "warn"
+    FAIL = "fail"
+    MISSING = "missing"
+
+    @property
+    def symbol(self) -> str:
+        """Single-character marker used in rendered tables."""
+        return {"pass": "✓", "warn": "~", "fail": "✗", "missing": "?"}[self.value]
+
+    @property
+    def severity(self) -> int:
+        """Ordering key: higher is worse (``missing`` outranks ``fail``)."""
+        return ("pass", "warn", "fail", "missing").index(self.value)
+
+
+def extract_metric(data: Mapping[str, Any], path: str) -> Optional[float]:
+    """Resolve a dotted metric path inside a serialised experiment payload.
+
+    Path segments are dict keys; purely numeric segments index into lists
+    (``corners.0.totals.dvs_gain_percent``).  Returns ``None`` when any
+    segment is absent -- the caller reports the metric as missing rather
+    than crashing the whole report.
+
+    >>> extract_metric({"corners": [{"totals": {"g": 6.3}}]}, "corners.0.totals.g")
+    6.3
+    >>> extract_metric({"corners": []}, "corners.0.totals.g") is None
+    True
+    """
+    value: Any = data
+    for segment in path.split("."):
+        if isinstance(value, Mapping):
+            if segment not in value:
+                return None
+            value = value[segment]
+        elif isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+            try:
+                value = value[int(segment)]
+            except (ValueError, IndexError):
+                return None
+        else:
+            return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One published value of the paper, with extraction path and tolerances.
+
+    Attributes
+    ----------
+    experiment:
+        Registry id of the experiment whose data carries the metric.
+    metric:
+        Dotted path into the experiment's ``as_dict()`` payload (numeric
+        segments index lists).
+    paper_value:
+        The value the paper publishes.
+    unit:
+        Display unit (``%``, ``mV``, ...).
+    warn_tolerance / fail_tolerance:
+        Deviation from ``paper_value`` at which the verdict degrades from
+        pass to warn, and from warn to fail.  Interpreted in the metric's
+        unit unless ``relative`` is set, in which case they are fractions of
+        ``paper_value``.
+    relative:
+        Whether the tolerances are relative fractions.
+    note:
+        Where in the paper the value comes from (shown in rendered tables).
+    """
+
+    experiment: str
+    metric: str
+    paper_value: float
+    unit: str
+    warn_tolerance: float
+    fail_tolerance: float
+    relative: bool = False
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.warn_tolerance < 0 or self.fail_tolerance < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.fail_tolerance < self.warn_tolerance:
+            raise ValueError(
+                f"fail_tolerance ({self.fail_tolerance}) must be >= warn_tolerance "
+                f"({self.warn_tolerance})"
+            )
+
+    @property
+    def name(self) -> str:
+        """Unique id of this reference (experiment + metric path)."""
+        return f"{self.experiment}:{self.metric}"
+
+    def deviation(self, actual: float) -> float:
+        """Absolute deviation of ``actual`` from the published value."""
+        return abs(actual - self.paper_value)
+
+    def _threshold(self, tolerance: float) -> float:
+        return tolerance * abs(self.paper_value) if self.relative else tolerance
+
+    def check(self, actual: Optional[float]) -> Status:
+        """Verdict for a measured value (``None`` means the metric is missing)."""
+        if actual is None:
+            return Status.MISSING
+        deviation = self.deviation(actual)
+        if deviation <= self._threshold(self.warn_tolerance):
+            return Status.PASS
+        if deviation <= self._threshold(self.fail_tolerance):
+            return Status.WARN
+        return Status.FAIL
+
+    def describe_tolerance(self) -> str:
+        """Human-readable tolerance band, e.g. ``±3 / ±8 %``."""
+        if self.relative:
+            return (
+                f"±{self.warn_tolerance * 100:g} / ±{self.fail_tolerance * 100:g} "
+                f"% of value"
+            )
+        return f"±{self.warn_tolerance:g} / ±{self.fail_tolerance:g} {self.unit}"
+
+
+class ReferenceRegistry:
+    """An immutable collection of :class:`Reference` entries, queryable by experiment."""
+
+    def __init__(self, references: Sequence[Reference]) -> None:
+        seen: Dict[str, Reference] = {}
+        for reference in references:
+            if reference.name in seen:
+                raise ValueError(f"duplicate reference {reference.name!r}")
+            seen[reference.name] = reference
+        self._references: Tuple[Reference, ...] = tuple(references)
+
+    def __len__(self) -> int:
+        return len(self._references)
+
+    def __repr__(self) -> str:
+        experiments = ", ".join(self.experiments())
+        return f"ReferenceRegistry({len(self._references)} references over {experiments})"
+
+    def __iter__(self):
+        return iter(self._references)
+
+    @property
+    def references(self) -> Tuple[Reference, ...]:
+        """Every entry, declaration order."""
+        return self._references
+
+    def experiments(self) -> Tuple[str, ...]:
+        """Experiment ids with at least one reference, declaration order."""
+        ordered: List[str] = []
+        for reference in self._references:
+            if reference.experiment not in ordered:
+                ordered.append(reference.experiment)
+        return tuple(ordered)
+
+    def for_experiment(self, identifier: str) -> Tuple[Reference, ...]:
+        """All references contributed by one experiment (may be empty)."""
+        return tuple(r for r in self._references if r.experiment == identifier)
+
+    def to_markdown(self) -> str:
+        """The registry as a Markdown table (used by the README fidelity section)."""
+        lines = [
+            "| experiment | metric | paper value | pass / fail tolerance | source |",
+            "| --- | --- | --- | --- | --- |",
+        ]
+        for ref in self._references:
+            lines.append(
+                f"| `{ref.experiment}` | `{ref.metric}` | {ref.paper_value:g} {ref.unit} "
+                f"| {ref.describe_tolerance()} | {ref.note} |"
+            )
+        return "\n".join(lines)
+
+
+#: The DATE 2005 paper's published values this reproduction checks itself
+#: against.  Values are stated for the paper's scale (10 M cycles per
+#: benchmark); scaled-down runs are still checked, and the fidelity report
+#: records the scale they were measured at.
+PAPER_REFERENCES = ReferenceRegistry(
+    [
+        # ----------------------------------------------------------------- #
+        # Table 1 -- energy gains of fixed VS vs the proposed DVS.
+        # Corner order in the serialised payload: 0 = worst-case, 1 = typical.
+        # ----------------------------------------------------------------- #
+        Reference(
+            experiment="table1",
+            metric="corners.0.totals.fixed_vs_gain_percent",
+            paper_value=0.0,
+            unit="%",
+            warn_tolerance=0.5,
+            fail_tolerance=1.5,
+            note="Table 1: conventional voltage scaling recovers nothing at the worst-case corner",
+        ),
+        Reference(
+            experiment="table1",
+            metric="corners.0.totals.dvs_gain_percent",
+            paper_value=6.3,
+            unit="%",
+            warn_tolerance=1.5,
+            fail_tolerance=4.0,
+            note="Table 1: average proposed-DVS gain at the worst-case corner",
+        ),
+        Reference(
+            experiment="table1",
+            metric="corners.1.totals.fixed_vs_gain_percent",
+            paper_value=17.0,
+            unit="%",
+            warn_tolerance=3.0,
+            fail_tolerance=8.0,
+            note="Table 1: fixed VS gain at the typical corner (PVT slack only)",
+        ),
+        Reference(
+            experiment="table1",
+            metric="corners.1.totals.dvs_gain_percent",
+            paper_value=38.6,
+            unit="%",
+            warn_tolerance=3.0,
+            fail_tolerance=8.0,
+            note="Table 1: average proposed-DVS gain at the typical corner",
+        ),
+        Reference(
+            experiment="table1",
+            metric="corners.1.totals.dvs_average_error_rate_percent",
+            paper_value=1.5,
+            unit="%",
+            warn_tolerance=1.0,
+            fail_tolerance=2.5,
+            note="Section 4: the controller steers for the 1-2 % error band (midpoint)",
+        ),
+        # ----------------------------------------------------------------- #
+        # Fig. 8 -- back-to-back suite under closed-loop DVS (typical corner).
+        # ----------------------------------------------------------------- #
+        Reference(
+            experiment="fig8",
+            metric="max_instantaneous_error_rate_percent",
+            paper_value=6.0,
+            unit="%",
+            warn_tolerance=2.0,
+            fail_tolerance=4.0,
+            note="Fig. 8: worst 10k-cycle instantaneous error rate during program transitions",
+        ),
+        Reference(
+            experiment="fig8",
+            metric="average_error_rate_percent",
+            paper_value=1.5,
+            unit="%",
+            warn_tolerance=1.0,
+            fail_tolerance=2.5,
+            note="Fig. 8: long-run average error rate stays inside the 1-2 % band",
+        ),
+        Reference(
+            experiment="fig8",
+            metric="energy_gain_percent",
+            paper_value=38.6,
+            unit="%",
+            warn_tolerance=4.0,
+            fail_tolerance=10.0,
+            note="Fig. 8 run at the typical corner; matches the Table 1 typical-corner total",
+        ),
+        # ----------------------------------------------------------------- #
+        # Fig. 4 -- static voltage scaling (error-free operating points).
+        # ----------------------------------------------------------------- #
+        Reference(
+            experiment="fig4a",
+            metric="lowest_error_free_mv",
+            paper_value=1200.0,
+            unit="mV",
+            warn_tolerance=0.01,
+            fail_tolerance=0.02,
+            relative=True,
+            note="Fig. 4(a): no error-free headroom below nominal at the worst-case corner",
+        ),
+        Reference(
+            experiment="fig4b",
+            metric="lowest_error_free_mv",
+            paper_value=980.0,
+            unit="mV",
+            warn_tolerance=0.025,
+            fail_tolerance=0.06,
+            relative=True,
+            note="Fig. 4(b): error-free operation down to ~0.98 V at the typical corner",
+        ),
+        # ----------------------------------------------------------------- #
+        # Fig. 10 -- the modified (Cc/Cg x1.95) bus, closed loop at the worst
+        # corner.
+        # ----------------------------------------------------------------- #
+        Reference(
+            experiment="fig10",
+            metric="closed_loop_worst_corner.original_gain_percent",
+            paper_value=6.3,
+            unit="%",
+            warn_tolerance=1.5,
+            fail_tolerance=4.0,
+            note="Section 6: original bus, closed-loop gain at the worst-case corner",
+        ),
+        Reference(
+            experiment="fig10",
+            metric="closed_loop_worst_corner.modified_gain_percent",
+            paper_value=8.2,
+            unit="%",
+            warn_tolerance=1.5,
+            fail_tolerance=4.0,
+            note="Section 6: modified bus raises the worst-corner gain to 8.2 %",
+        ),
+    ]
+)

@@ -1,0 +1,548 @@
+"""Renderers: serialised experiment data → Markdown tables and SVG figures.
+
+Each experiment's ``as_dict()`` payload (see :mod:`repro.analysis.serialize`)
+renders to a :class:`RenderedExperiment`: a Markdown document, the payload
+itself (written as the JSON artifact), and zero or more SVG figures drawn
+with :mod:`repro.plotting.svg`.  Renderers consume the *serialised* data --
+never the rich result objects -- so a record loaded from the content-
+addressed cache renders byte-identically to a freshly simulated one.
+
+Experiments without a dedicated renderer fall back to a generic rendering
+(scalar table plus pretty-printed JSON), so a newly registered experiment is
+reportable before anyone writes bespoke Markdown for it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.static_scaling import gain_metric_key
+from repro.plotting.charts import Series
+from repro.plotting.svg import svg_bar_chart, svg_line_chart
+
+__all__ = ["RenderedExperiment", "render_experiment", "markdown_table"]
+
+#: Cap on polyline points per SVG series; longer series are decimated evenly
+#: (first and last point always kept) so paper-scale time series stay small.
+MAX_FIGURE_POINTS = 2000
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _records_table(records: Sequence[Mapping[str, Any]]) -> str:
+    """Markdown table from a homogeneous list of record dicts."""
+    if not records:
+        return "_(no rows)_"
+    headers = list(records[0].keys())
+    rows = [[record.get(header, "") for header in headers] for record in records]
+    return markdown_table(headers, rows)
+
+
+def _decimate(xs: Sequence[float], ys: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Thin a series to at most :data:`MAX_FIGURE_POINTS` points."""
+    n = len(xs)
+    if n <= MAX_FIGURE_POINTS:
+        return list(xs), list(ys)
+    step = n / float(MAX_FIGURE_POINTS - 1)
+    indices = sorted({min(n - 1, int(round(i * step))) for i in range(MAX_FIGURE_POINTS)})
+    return [xs[i] for i in indices], [ys[i] for i in indices]
+
+
+@dataclass(frozen=True)
+class RenderedExperiment:
+    """One experiment's rendered artifacts (content only; the builder writes files)."""
+
+    identifier: str
+    title: str
+    markdown: str
+    data: Mapping[str, Any]
+    figures: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    @property
+    def json_text(self) -> str:
+        """The JSON artifact body (sorted keys, trailing newline)."""
+        return json.dumps(self.data, indent=2, sort_keys=True) + "\n"
+
+
+Renderer = Callable[[Mapping[str, Any]], Tuple[str, List[Tuple[str, str]]]]
+_RENDERERS: Dict[str, Renderer] = {}
+
+
+def _renderer(identifier: str) -> Callable[[Renderer], Renderer]:
+    def register(function: Renderer) -> Renderer:
+        _RENDERERS[identifier] = function
+        return function
+
+    return register
+
+
+# --------------------------------------------------------------------------- #
+# Dedicated renderers
+# --------------------------------------------------------------------------- #
+@_renderer("table1")
+def _render_table1(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    parts: List[str] = [
+        f"Cycles per benchmark: **{data['n_cycles_per_benchmark']:,}**",
+    ]
+    figures: List[Tuple[str, str]] = []
+    for index, corner in enumerate(data["corners"]):
+        rows = [
+            (
+                row["benchmark"],
+                row["fixed_vs_gain_percent"],
+                row["dvs_gain_percent"],
+                row["dvs_average_error_rate_percent"],
+            )
+            for row in corner["rows"]
+        ]
+        totals = corner["totals"]
+        rows.append(
+            (
+                "**Total**",
+                totals["fixed_vs_gain_percent"],
+                totals["dvs_gain_percent"],
+                totals["dvs_average_error_rate_percent"],
+            )
+        )
+        parts += [
+            f"\n## {corner['corner']}\n",
+            markdown_table(
+                ["Benchmark", "Fixed VS gain (%)", "Proposed DVS gain (%)", "Avg error rate (%)"],
+                rows,
+            ),
+        ]
+        figures.append(
+            (
+                f"table1-corner{index}",
+                svg_bar_chart(
+                    [row["benchmark"] for row in corner["rows"]],
+                    [row["dvs_gain_percent"] for row in corner["rows"]],
+                    title=f"Proposed DVS gain per benchmark — {corner['corner']}",
+                    y_label="energy gain (%)",
+                ),
+            )
+        )
+    return "\n".join(parts), figures
+
+
+def _render_static_sweep(
+    identifier: str, data: Mapping[str, Any]
+) -> Tuple[str, List[Tuple[str, str]]]:
+    points = data["points"]
+    rows = [
+        (
+            point["vdd_mV"],
+            f"{point['error_rate_percent']:.3f}",
+            f"{point['normalized_bus_energy']:.3f}",
+            f"{point['normalized_total_energy']:.3f}",
+        )
+        for point in points
+    ]
+    markdown = "\n".join(
+        [
+            f"Corner: **{data['corner']}** — error-free operation down to "
+            f"**{data['lowest_error_free_mv']:g} mV**.\n",
+            markdown_table(
+                ["Vdd (mV)", "Error rate (%)", "Bus energy (norm.)", "Bus + recovery (norm.)"],
+                rows,
+            ),
+        ]
+    )
+    voltages = [point["vdd_mV"] for point in points]
+    figures = [
+        (
+            f"{identifier}-energy",
+            svg_line_chart(
+                [
+                    Series(
+                        "bus energy",
+                        voltages,
+                        [point["normalized_bus_energy"] for point in points],
+                    ),
+                    Series(
+                        "bus + recovery",
+                        voltages,
+                        [point["normalized_total_energy"] for point in points],
+                    ),
+                ],
+                title=f"Normalised energy vs static supply — {data['corner']}",
+                x_label="Vdd (mV)",
+                y_label="energy (normalised)",
+                markers=True,
+            ),
+        ),
+        (
+            f"{identifier}-error",
+            svg_line_chart(
+                [
+                    Series(
+                        "error rate",
+                        voltages,
+                        [point["error_rate_percent"] for point in points],
+                    )
+                ],
+                title=f"Error rate vs static supply — {data['corner']}",
+                x_label="Vdd (mV)",
+                y_label="error rate (%)",
+                markers=True,
+            ),
+        ),
+    ]
+    return markdown, figures
+
+
+@_renderer("fig4a")
+def _render_fig4a(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    return _render_static_sweep("fig4a", data)
+
+
+@_renderer("fig4b")
+def _render_fig4b(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    return _render_static_sweep("fig4b", data)
+
+
+def _render_corner_gains(
+    identifier: str, data: Mapping[str, Any], suffix: str = ""
+) -> Tuple[str, List[Tuple[str, str]]]:
+    targets = data["targets_percent"]
+    headers = ["Corner", "Delay @1.2 V (ps)"] + [f"Gain @ {t:g}% err (%)" for t in targets]
+    rows = [
+        [point["corner"], point["delay_ps_at_nominal"]]
+        + [point[gain_metric_key(t)] for t in targets]
+        for point in data["points"]
+    ]
+    markdown = f"Design: **{data['design_label']}**\n\n" + markdown_table(headers, rows)
+    series = [
+        Series(
+            f"{t:g}% errors",
+            [point["delay_ps_at_nominal"] for point in data["points"]],
+            [point[gain_metric_key(t)] for point in data["points"]],
+        )
+        for t in targets
+    ]
+    figures = [
+        (
+            f"{identifier}{suffix}",
+            svg_line_chart(
+                series,
+                title=f"Energy gain vs corner delay — {data['design_label']}",
+                x_label="worst-case delay at nominal Vdd (ps)",
+                y_label="energy gain (%)",
+                markers=True,
+            ),
+        )
+    ]
+    return markdown, figures
+
+
+@_renderer("fig5")
+def _render_fig5(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    return _render_corner_gains("fig5", data)
+
+
+@_renderer("fig6")
+def _render_fig6(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    parts = [f"Corner: **{data['corner']}**, oracle window: {data['window_cycles']:,} cycles"]
+    figures: List[Tuple[str, str]] = []
+    for entry in data["entries"]:
+        residency = entry["residency_percent"]
+        parts += [
+            f"\n## {entry['benchmark']} @ {entry['target_error_rate_percent']:g}% target "
+            f"(gain {entry['energy_gain_percent']:g}%)\n",
+            markdown_table(
+                ["Supply", "Time (%)"], [(supply, share) for supply, share in residency.items()]
+            ),
+        ]
+        figures.append(
+            (
+                f"fig6-{entry['benchmark']}-{entry['target_error_rate_percent']:g}pct",
+                svg_bar_chart(
+                    list(residency.keys()),
+                    list(residency.values()),
+                    title=(
+                        f"Oracle supply residency — {entry['benchmark']} @ "
+                        f"{entry['target_error_rate_percent']:g}% target"
+                    ),
+                    y_label="time (%)",
+                ),
+            )
+        )
+    return "\n".join(parts), figures
+
+
+@_renderer("fig8")
+def _render_fig8(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    summary_rows = [
+        ("corner", data["corner"]),
+        ("benchmarks (in order)", ", ".join(data["benchmark_order"])),
+        ("cycles", f"{data['n_cycles']:,}"),
+        ("corrected errors", f"{data['total_errors']:,}"),
+        ("average error rate (%)", data["average_error_rate_percent"]),
+        ("max instantaneous error rate (%)", data["max_instantaneous_error_rate_percent"]),
+        ("energy gain (%)", data["energy_gain_percent"]),
+        ("supply range (mV)", f"{data['supply_min_mv']:g} .. {data['supply_max_mv']:g}"),
+    ]
+    markdown = markdown_table(["metric", "value"], summary_rows)
+    events = data["voltage_events"]
+    cycles, mv = _decimate(events["cycles"], events["mv"])
+    windows = data["windows"]
+    window_x, window_y = _decimate(windows["start_cycles"], windows["error_rate_percent"])
+    figures = [
+        (
+            "fig8-voltage",
+            svg_line_chart(
+                [Series("supply (mV)", cycles, mv)],
+                title=f"Supply voltage across the suite — {data['corner']}",
+                x_label="cycle",
+                y_label="supply (mV)",
+            ),
+        ),
+        (
+            "fig8-error-rate",
+            svg_line_chart(
+                [Series("window error rate (%)", window_x, window_y)],
+                title="Instantaneous (10k-cycle window) error rate",
+                x_label="cycle",
+                y_label="error rate (%)",
+            ),
+        ),
+    ]
+    return markdown, figures
+
+
+@_renderer("fig10")
+def _render_fig10(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    original_md, original_figs = _render_corner_gains(
+        "fig10", data["original_study"], suffix="-original"
+    )
+    modified_md, modified_figs = _render_corner_gains(
+        "fig10", data["modified_study"], suffix="-modified"
+    )
+    closed = data["closed_loop_worst_corner"]
+    closed_md = markdown_table(
+        ["bus", "closed-loop gain (%)", "avg error rate (%)"],
+        [
+            ("original", closed["original_gain_percent"], closed["original_error_rate_percent"]),
+            ("modified", closed["modified_gain_percent"], closed["modified_error_rate_percent"]),
+        ],
+    )
+    markdown = "\n\n".join(
+        [
+            f"Coupling-ratio multiplier: **{data['ratio_multiplier']:g}×**",
+            original_md,
+            modified_md,
+            "## Closed-loop DVS at the worst-case corner\n\n" + closed_md,
+        ]
+    )
+    return markdown, original_figs + modified_figs
+
+
+@_renderer("scaling")
+def _render_scaling(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    rows = [(node["node"], node["spread_ps"], node["normalized"]) for node in data["nodes"]]
+    markdown = "\n".join(
+        [
+            f"Global segment length: {data['segment_length_mm']:g} mm — delay spread "
+            f"{'grows monotonically' if data['monotonically_increasing'] else 'is not monotonic'} "
+            "as the node shrinks.\n",
+            markdown_table(["Node", "R × Cc per segment (ps)", "Normalised"], rows),
+        ]
+    )
+    figures = [
+        (
+            "scaling",
+            svg_bar_chart(
+                [node["node"] for node in data["nodes"]],
+                [node["normalized"] for node in data["nodes"]],
+                title="Delay-spread figure of merit vs technology node",
+                y_label="R × Cc spread (normalised to 130 nm)",
+                value_format="{:.2f}",
+            ),
+        )
+    ]
+    return markdown, figures
+
+
+@_renderer("baselines")
+def _render_baselines(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    parts: List[str] = []
+    figures: List[Tuple[str, str]] = []
+    for index, study in enumerate(data["studies"]):
+        parts += [
+            f"\n## {study['corner']} — workload {study['workload']} "
+            f"({study['n_cycles']:,} cycles)\n",
+            _records_table(study["schemes"]),
+        ]
+        figures.append(
+            (
+                f"baselines-corner{index}",
+                svg_bar_chart(
+                    [scheme["scheme"] for scheme in study["schemes"]],
+                    [scheme["energy_gain_percent"] for scheme in study["schemes"]],
+                    title=f"Energy gain by scheme — {study['corner']}",
+                    y_label="energy gain (%)",
+                ),
+            )
+        )
+    return "\n".join(parts), figures
+
+
+@_renderer("encoding")
+def _render_encoding(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    parts: List[str] = []
+    figures: List[Tuple[str, str]] = []
+    for study in data["studies"]:
+        parts += [
+            f"\n## workload {study['workload']} — {study['corner']}\n",
+            _records_table(study["encoders"]),
+        ]
+        figures.append(
+            (
+                f"encoding-{study['workload']}",
+                svg_bar_chart(
+                    [encoder["encoder"] for encoder in study["encoders"]],
+                    [
+                        encoder["dvs_gain_vs_unencoded_nominal_percent"]
+                        for encoder in study["encoders"]
+                    ],
+                    title=f"Encoding + DVS gain vs unencoded nominal — {study['workload']}",
+                    y_label="energy gain (%)",
+                ),
+            )
+        )
+    return "\n".join(parts), figures
+
+
+@_renderer("ipc")
+def _render_ipc(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    impacts = [value for value in data.values() if isinstance(value, Mapping)]
+    markdown = _records_table(impacts)
+    figures = [
+        (
+            "ipc",
+            svg_bar_chart(
+                [impact["model"] for impact in impacts],
+                [impact["ipc_loss_percent"] for impact in impacts],
+                title="IPC loss under the DVS error stream",
+                y_label="IPC loss (%)",
+                value_format="{:.2f}",
+            ),
+        )
+    ]
+    return markdown, figures
+
+
+@_renderer("shielding")
+def _render_shielding(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    markdown = "\n".join(
+        [
+            f"Technology {data['technology']}, corner {data['corner']}, "
+            f"target delay {data['target_delay_ps']:g} ps.\n",
+            _records_table(data["points"]),
+        ]
+    )
+    feasible = [point for point in data["points"] if point["feasible"]]
+    figures = []
+    if feasible:
+        figures.append(
+            (
+                "shielding",
+                svg_bar_chart(
+                    [f"every {point['shield_group']}" for point in feasible],
+                    [point["delay_spread_ps"] for point in feasible],
+                    title="Recoverable delay spread vs shield interval",
+                    y_label="delay spread (ps)",
+                    value_format="{:.1f}",
+                ),
+            )
+        )
+    return markdown, figures
+
+
+@_renderer("sensitivity")
+def _render_sensitivity(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    parts: List[str] = []
+    figures: List[Tuple[str, str]] = []
+    for index, study in enumerate(data["studies"]):
+        parts += [
+            f"\n## Sensitivity to {study['parameter']} — workload {study['workload']}, "
+            f"{study['corner']}\n",
+            _records_table(study["points"]),
+        ]
+        figures.append(
+            (
+                f"sensitivity-{index}",
+                svg_line_chart(
+                    [
+                        Series(
+                            "energy gain (%)",
+                            [point["value"] for point in study["points"]],
+                            [point["energy_gain_percent"] for point in study["points"]],
+                        )
+                    ],
+                    title=f"Energy gain vs {study['parameter']}",
+                    x_label=study["parameter"],
+                    y_label="energy gain (%)",
+                    markers=True,
+                ),
+            )
+        )
+    return "\n".join(parts), figures
+
+
+def _render_generic(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    scalars = [
+        (key, value)
+        for key, value in data.items()
+        if isinstance(value, (int, float, str)) and not isinstance(value, bool)
+    ]
+    parts = []
+    if scalars:
+        parts.append(markdown_table(["metric", "value"], scalars))
+    parts.append(
+        "```json\n" + json.dumps(data, indent=2, sort_keys=True) + "\n```"
+    )
+    return "\n\n".join(parts), []
+
+
+def render_experiment(
+    identifier: str, data: Mapping[str, Any], title: Optional[str] = None
+) -> RenderedExperiment:
+    """Render one experiment's serialised data into report artifacts.
+
+    Parameters
+    ----------
+    identifier:
+        Experiment registry id; selects the dedicated renderer (generic
+        fallback for unknown ids).
+    data:
+        The experiment's ``as_dict()`` payload (or the ``data`` field of a
+        cached runtime record -- the same thing).
+    title:
+        Heading for the Markdown document; defaults to the identifier.
+    """
+    renderer = _RENDERERS.get(identifier, _render_generic)
+    body, figures = renderer(data)
+    heading = title or identifier
+    markdown = f"# {heading}\n\n{body}\n"
+    if figures:
+        links = "\n".join(f"![{name}](figures/{name}.svg)" for name, _ in figures)
+        markdown += f"\n## Figures\n\n{links}\n"
+    return RenderedExperiment(
+        identifier=identifier,
+        title=heading,
+        markdown=markdown,
+        data=dict(data),
+        figures=tuple(figures),
+    )

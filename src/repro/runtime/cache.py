@@ -98,7 +98,28 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
 
 
 class ResultCache:
-    """Content-addressed store of job records and binary artifacts."""
+    """Content-addressed store of job records and binary artifacts.
+
+    Examples
+    --------
+    Records are plain JSON dicts addressed by a 64-hex-char key (usually a
+    :attr:`~repro.runtime.spec.JobSpec.key`); a miss returns ``None``:
+
+    >>> import tempfile
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> cache = ResultCache(tmp.name)
+    >>> key = "ab" * 32
+    >>> cache.get(key) is None
+    True
+    >>> cache.put(key, {"energy_gain_percent": 38.6})
+    >>> cache.get(key)["energy_gain_percent"]
+    38.6
+    >>> key in cache
+    True
+    >>> cache.clear()
+    1
+    >>> tmp.cleanup()
+    """
 
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()

@@ -121,6 +121,27 @@ class SweepSpec:
         with every parameter, giving every grid point an independent seed.
     description:
         One line shown by ``python -m repro sweep --list``.
+
+    Examples
+    --------
+    A 2x2 grid expands in declaration order (first axis slowest), and points
+    sharing a workload share a derived seed:
+
+    >>> spec = SweepSpec(
+    ...     name="demo", task="dvs_run",
+    ...     base={"n_cycles": 2_000},
+    ...     axes={"benchmark": ("crafty", "mgrid"), "corner": ("typical", "worst")},
+    ...     seed=2005, seed_by=("benchmark", "n_cycles"),
+    ... )
+    >>> spec.n_points
+    4
+    >>> [(job.params["benchmark"], job.params["corner"]) for job in spec.expand()]
+    [('crafty', 'typical'), ('crafty', 'worst'), ('mgrid', 'typical'), ('mgrid', 'worst')]
+    >>> jobs = spec.expand()
+    >>> jobs[0].params["seed"] == jobs[1].params["seed"]   # same workload either corner
+    True
+    >>> jobs[0].params["seed"] == jobs[2].params["seed"]   # different benchmark
+    False
     """
 
     name: str

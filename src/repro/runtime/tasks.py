@@ -280,16 +280,26 @@ def characterize(
 def experiment(identifier: str, **kwargs: Any) -> Dict[str, Any]:
     """Run one entry of the paper's experiment registry and keep its report.
 
-    The registry's result objects are rich Python values that do not fit a
-    JSON cache, so the cached payload is the formatted report text -- exactly
-    what ``python -m repro run <id>`` prints -- plus the run parameters.
+    The cached payload carries the formatted report text -- exactly what
+    ``python -m repro run <id>`` prints -- plus the run parameters and the
+    result's stable JSON serialisation (:mod:`repro.analysis.serialize`),
+    which is what ``python -m repro report`` renders into Markdown/SVG
+    artifacts without re-simulating anything.
     """
     from repro.analysis.experiments import EXPERIMENTS
+    from repro.analysis.serialize import experiment_payload
 
     try:
         entry = EXPERIMENTS[identifier]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {identifier!r}; known: {known}") from None
-    _, text = entry.runner(**kwargs)
-    return {"identifier": identifier, "params": dict(kwargs), "text": text}
+    result, text = entry.runner(**kwargs)
+    payload = experiment_payload(identifier, result)
+    return {
+        "identifier": identifier,
+        "params": dict(kwargs),
+        "text": text,
+        "kind": payload["kind"],
+        "data": payload["data"],
+    }

@@ -1,0 +1,48 @@
+"""The examples stay runnable as ``python -m examples.<name>``.
+
+Every example must import against the installed package (no ``sys.path``
+tweaks) and expose a ``main()`` entry point; the cheapest one is actually
+executed end to end as a module.
+"""
+
+import importlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from examples import ALL_EXAMPLES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_registry_matches_the_files_on_disk():
+    on_disk = {
+        path.stem
+        for path in (REPO_ROOT / "examples").glob("*.py")
+        if path.stem != "__init__"
+    }
+    assert on_disk == set(ALL_EXAMPLES)
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports_and_exposes_main(name):
+    module = importlib.import_module(f"examples.{name}")
+    assert callable(getattr(module, "main", None)), f"examples.{name} has no main()"
+
+
+def test_cheapest_example_runs_as_a_module():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "examples.razor_flipflop_demo"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "shadow-latch deadline" in result.stdout

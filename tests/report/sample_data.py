@@ -1,0 +1,112 @@
+"""Hand-written serialised payloads used by the renderer golden tests.
+
+These mirror the ``as_dict()`` shapes of the experiment result dataclasses
+(small, fixed values -- nothing is simulated), so the golden files pin the
+*rendering*, not the physics.
+"""
+
+TABLE1_DATA = {
+    "n_cycles_per_benchmark": 50_000,
+    "corners": [
+        {
+            "corner": "Slow process, 100C, 10% IR drop",
+            "rows": [
+                {
+                    "benchmark": "crafty",
+                    "fixed_vs_gain_percent": 0.0,
+                    "dvs_gain_percent": 8.4,
+                    "dvs_average_error_rate_percent": 1.61,
+                },
+                {
+                    "benchmark": "mgrid",
+                    "fixed_vs_gain_percent": 0.0,
+                    "dvs_gain_percent": 4.2,
+                    "dvs_average_error_rate_percent": 1.05,
+                },
+            ],
+            "totals": {
+                "fixed_vs_gain_percent": 0.0,
+                "dvs_gain_percent": 6.3,
+                "dvs_average_error_rate_percent": 1.33,
+            },
+        },
+        {
+            "corner": "Typical process, 100C, No IR drop",
+            "rows": [
+                {
+                    "benchmark": "crafty",
+                    "fixed_vs_gain_percent": 19.2,
+                    "dvs_gain_percent": 41.0,
+                    "dvs_average_error_rate_percent": 1.8,
+                },
+                {
+                    "benchmark": "mgrid",
+                    "fixed_vs_gain_percent": 19.0,
+                    "dvs_gain_percent": 36.2,
+                    "dvs_average_error_rate_percent": 1.2,
+                },
+            ],
+            "totals": {
+                "fixed_vs_gain_percent": 19.1,
+                "dvs_gain_percent": 38.6,
+                "dvs_average_error_rate_percent": 1.5,
+            },
+        },
+    ],
+}
+
+FIG8_DATA = {
+    "corner": "Typical process, 100C, No IR drop",
+    "benchmark_order": ["crafty", "mgrid"],
+    "benchmark_boundaries": [0, 25_000, 50_000],
+    "n_cycles": 50_000,
+    "total_errors": 750,
+    "average_error_rate_percent": 1.5,
+    "max_instantaneous_error_rate_percent": 5.9,
+    "energy_gain_percent": 38.1,
+    "supply_min_mv": 920.0,
+    "supply_max_mv": 1200.0,
+    "voltage_events": {
+        "cycles": [0, 10_000, 20_000, 30_000, 40_000],
+        "mv": [1200.0, 1080.0, 960.0, 940.0, 920.0],
+    },
+    "windows": {
+        "start_cycles": [0, 10_000, 20_000, 30_000, 40_000],
+        "error_rate_percent": [0.0, 0.4, 1.9, 5.9, 1.6],
+    },
+}
+
+FIG4B_DATA = {
+    "corner": "Typical process, 100C, No IR drop",
+    "lowest_error_free_mv": 980.0,
+    "points": [
+        {
+            "vdd_mV": 1200.0,
+            "error_rate_percent": 0.0,
+            "normalized_bus_energy": 1.0,
+            "normalized_total_energy": 1.0,
+        },
+        {
+            "vdd_mV": 1000.0,
+            "error_rate_percent": 0.0,
+            "normalized_bus_energy": 0.694,
+            "normalized_total_energy": 0.694,
+        },
+        {
+            "vdd_mV": 900.0,
+            "error_rate_percent": 2.41,
+            "normalized_bus_energy": 0.563,
+            "normalized_total_energy": 0.592,
+        },
+    ],
+}
+
+SCALING_DATA = {
+    "segment_length_mm": 1.5,
+    "monotonically_increasing": True,
+    "nodes": [
+        {"node": "130nm", "spread_ps": 14.1, "normalized": 1.0},
+        {"node": "90nm", "spread_ps": 21.4, "normalized": 1.52},
+        {"node": "65nm", "spread_ps": 32.8, "normalized": 2.33},
+    ],
+}

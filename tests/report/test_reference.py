@@ -1,0 +1,150 @@
+"""Unit coverage of the reference registry's tolerance logic."""
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.report import (
+    PAPER_REFERENCES,
+    Reference,
+    ReferenceRegistry,
+    Status,
+    evaluate_fidelity,
+    extract_metric,
+)
+
+
+def make_reference(**overrides):
+    defaults = dict(
+        experiment="table1",
+        metric="totals.dvs_gain_percent",
+        paper_value=38.6,
+        unit="%",
+        warn_tolerance=3.0,
+        fail_tolerance=8.0,
+    )
+    defaults.update(overrides)
+    return Reference(**defaults)
+
+
+class TestToleranceBoundaries:
+    def test_exact_match_passes(self):
+        assert make_reference().check(38.6) is Status.PASS
+
+    def test_deviation_at_warn_threshold_still_passes(self):
+        # Boundaries are inclusive: exactly the warn tolerance is a pass.
+        ref = make_reference()
+        assert ref.check(38.6 + 3.0) is Status.PASS
+        assert ref.check(38.6 - 3.0) is Status.PASS
+
+    def test_deviation_between_thresholds_warns(self):
+        ref = make_reference()
+        assert ref.check(38.6 + 3.0001) is Status.WARN
+        assert ref.check(38.6 + 8.0) is Status.WARN
+        assert ref.check(38.6 - 8.0) is Status.WARN
+
+    def test_deviation_beyond_fail_threshold_fails(self):
+        ref = make_reference()
+        assert ref.check(38.6 + 8.0001) is Status.FAIL
+        assert ref.check(0.0) is Status.FAIL
+
+    def test_missing_value_is_its_own_status(self):
+        assert make_reference().check(None) is Status.MISSING
+
+    def test_relative_tolerances_scale_with_the_paper_value(self):
+        ref = make_reference(
+            paper_value=980.0, unit="mV", warn_tolerance=0.025, fail_tolerance=0.06,
+            relative=True,
+        )
+        assert ref.check(980.0 * 1.025) is Status.PASS
+        assert ref.check(980.0 * 1.05) is Status.WARN
+        assert ref.check(980.0 * 1.07) is Status.FAIL
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            make_reference(warn_tolerance=5.0, fail_tolerance=3.0)
+        with pytest.raises(ValueError):
+            make_reference(warn_tolerance=-1.0)
+
+    def test_status_severity_ordering(self):
+        ordered = sorted(Status, key=lambda s: s.severity)
+        assert ordered == [Status.PASS, Status.WARN, Status.FAIL, Status.MISSING]
+
+
+class TestExtractMetric:
+    DATA = {"corners": [{"totals": {"gain": 6.3}}, {"totals": {"gain": 38.6}}]}
+
+    def test_dotted_path_with_list_indices(self):
+        assert extract_metric(self.DATA, "corners.0.totals.gain") == 6.3
+        assert extract_metric(self.DATA, "corners.1.totals.gain") == 38.6
+
+    def test_missing_key_returns_none(self):
+        assert extract_metric(self.DATA, "corners.0.totals.nope") is None
+        assert extract_metric(self.DATA, "nope.0") is None
+
+    def test_out_of_range_index_returns_none(self):
+        assert extract_metric(self.DATA, "corners.7.totals.gain") is None
+
+    def test_non_numeric_leaf_returns_none(self):
+        assert extract_metric({"name": "crafty"}, "name") is None
+        assert extract_metric({"flag": True}, "flag") is None
+
+
+class TestRegistry:
+    def test_duplicate_references_rejected(self):
+        ref = make_reference()
+        with pytest.raises(ValueError, match="duplicate"):
+            ReferenceRegistry([ref, ref])
+
+    def test_for_experiment_filters(self):
+        registry = ReferenceRegistry(
+            [make_reference(), make_reference(experiment="fig8", metric="gain")]
+        )
+        assert len(registry.for_experiment("table1")) == 1
+        assert registry.for_experiment("fig4a") == ()
+        assert registry.experiments() == ("table1", "fig8")
+
+    def test_markdown_rendering_lists_every_entry(self):
+        markdown = PAPER_REFERENCES.to_markdown()
+        for reference in PAPER_REFERENCES:
+            assert f"`{reference.metric}`" in markdown
+
+    def test_paper_registry_targets_real_experiments(self):
+        for reference in PAPER_REFERENCES:
+            assert reference.experiment in EXPERIMENTS
+
+
+class TestEvaluateFidelity:
+    def test_counts_and_unreferenced(self):
+        registry = ReferenceRegistry(
+            [
+                make_reference(metric="a", paper_value=10.0),
+                make_reference(metric="b", paper_value=10.0),
+                make_reference(metric="c", paper_value=10.0),
+            ]
+        )
+        report = evaluate_fidelity(
+            registry,
+            {"table1": {"a": 10.0, "b": 16.0}, "scaling": {"x": 1.0}},
+            scale_note="test run",
+        )
+        counts = report.counts()
+        assert counts == {"pass": 1, "warn": 1, "fail": 0, "missing": 1}
+        assert report.unreferenced == ("scaling",)
+        assert report.worst_status is Status.MISSING
+        assert report.summary() == "1 pass, 1 warn, 0 fail, 1 missing"
+
+    def test_markdown_carries_scale_note_and_statuses(self):
+        registry = ReferenceRegistry([make_reference(metric="a", paper_value=10.0)])
+        report = evaluate_fidelity(registry, {"table1": {"a": 10.0}}, scale_note="tiny run")
+        markdown = report.to_markdown()
+        assert "tiny run" in markdown
+        assert "✓ pass" in markdown
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        registry = ReferenceRegistry([make_reference(metric="a", paper_value=10.0)])
+        report = evaluate_fidelity(registry, {"table1": {"a": 12.0}})
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["counts"]["pass"] == 1
+        assert payload["checks"][0]["deviation"] == 2.0

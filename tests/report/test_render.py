@@ -1,0 +1,108 @@
+"""Renderer coverage: golden Markdown/JSON files plus SVG invariants.
+
+The golden files under ``tests/report/golden/`` pin the rendered artifact
+content for fixed sample payloads (see :mod:`tests.report.sample_data`).
+Regenerate them after an intentional rendering change with::
+
+    python -m tests.report.test_render
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.plotting import Series, svg_bar_chart, svg_line_chart
+from repro.report import render_experiment
+
+from tests.report import sample_data
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: (experiment id, sample payload, title) triples pinned by golden files.
+GOLDEN_CASES = [
+    ("table1", sample_data.TABLE1_DATA, "Table 1"),
+    ("fig8", sample_data.FIG8_DATA, "Fig. 8"),
+    ("fig4b", sample_data.FIG4B_DATA, "Fig. 4(b)"),
+    ("scaling", sample_data.SCALING_DATA, "Section 6"),
+]
+
+
+def _render_all():
+    return {
+        identifier: render_experiment(identifier, data, title=title)
+        for identifier, data, title in GOLDEN_CASES
+    }
+
+
+@pytest.mark.parametrize("identifier,data,title", GOLDEN_CASES)
+class TestGoldenFiles:
+    def test_markdown_matches_golden(self, identifier, data, title):
+        rendered = render_experiment(identifier, data, title=title)
+        golden = (GOLDEN_DIR / f"{identifier}.md").read_text(encoding="utf-8")
+        assert rendered.markdown == golden
+
+    def test_json_matches_golden(self, identifier, data, title):
+        rendered = render_experiment(identifier, data, title=title)
+        golden = (GOLDEN_DIR / f"{identifier}.json").read_text(encoding="utf-8")
+        assert rendered.json_text == golden
+        # and the JSON artifact round-trips to the input payload
+        assert json.loads(rendered.json_text) == data
+
+
+class TestRenderedStructure:
+    def test_every_figure_is_valid_svg_and_linked(self):
+        for rendered in _render_all().values():
+            for name, svg in rendered.figures:
+                assert svg.startswith("<svg ") and svg.rstrip().endswith("</svg>")
+                assert f"figures/{name}.svg" in rendered.markdown
+
+    def test_rendering_is_deterministic(self):
+        first = render_experiment("fig8", sample_data.FIG8_DATA)
+        second = render_experiment("fig8", sample_data.FIG8_DATA)
+        assert first.markdown == second.markdown
+        assert first.figures == second.figures
+
+    def test_unknown_experiment_uses_generic_renderer(self):
+        rendered = render_experiment("mystery", {"metric_a": 1.5, "nested": {"b": 2}})
+        assert "metric_a" in rendered.markdown
+        assert "```json" in rendered.markdown
+        assert rendered.figures == ()
+
+    def test_table1_markdown_has_totals_row_per_corner(self):
+        rendered = render_experiment("table1", sample_data.TABLE1_DATA)
+        assert rendered.markdown.count("**Total**") == 2
+
+
+class TestSvgBackend:
+    def test_line_chart_draws_every_series(self):
+        svg = svg_line_chart(
+            [Series("a", [0, 1, 2], [0.0, 1.0, 4.0]), Series("b", [0, 1, 2], [4.0, 1.0, 0.0])],
+            title="demo", x_label="x", y_label="y",
+        )
+        assert svg.count("<polyline") == 2
+        assert "demo" in svg
+
+    def test_bar_chart_negative_values_draw_no_bar(self):
+        svg = svg_bar_chart(["up", "down"], [5.0, -3.0], title="bars")
+        assert svg.count("<rect") == 3  # background + frame + one positive bar
+        assert "-3.0" in svg
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            svg_bar_chart(["one"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            svg_line_chart([])
+
+
+def regenerate_golden_files() -> None:
+    """Rewrite the golden files from the current renderer output."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for identifier, rendered in _render_all().items():
+        (GOLDEN_DIR / f"{identifier}.md").write_text(rendered.markdown, encoding="utf-8")
+        (GOLDEN_DIR / f"{identifier}.json").write_text(rendered.json_text, encoding="utf-8")
+    print(f"golden files regenerated under {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    regenerate_golden_files()

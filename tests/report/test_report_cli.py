@@ -1,0 +1,113 @@
+"""End-to-end tests of ``python -m repro report`` and the report builder."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.report import PAPER_REFERENCES, build_report
+from repro.runtime import ResultCache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "report-cache"))
+
+
+class TestReportCommand:
+    def test_index_references_every_requested_artifact(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        argv = [
+            "report", "--experiments", "table1,fig8", "--cycles", "4000",
+            "--seed", "1", "--out", str(out), "--quiet",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "Reference fidelity" in captured.out
+        assert str(out / "index.md") in captured.out
+
+        index = (out / "index.md").read_text(encoding="utf-8")
+        for identifier in ("table1", "fig8"):
+            assert f"[{identifier}]({identifier}.md)" in index
+            assert f"[json]({identifier}.json)" in index
+            assert (out / f"{identifier}.md").is_file()
+            assert (out / f"{identifier}.json").is_file()
+        # every figure the index links actually exists
+        for figure in (out / "figures").glob("*.svg"):
+            assert f"figures/{figure.name}" in index
+        assert (out / "figures" / "table1-corner0.svg").is_file()
+        assert (out / "figures" / "fig8-voltage.svg").is_file()
+
+    def test_fidelity_artifacts_cover_registered_metrics(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        assert main(["report", "--experiments", "table1", "--cycles", "4000",
+                     "--out", str(out), "--quiet"]) == 0
+        capsys.readouterr()
+        fidelity = json.loads((out / "fidelity.json").read_text(encoding="utf-8"))
+        registered = {ref.metric for ref in PAPER_REFERENCES.for_experiment("table1")}
+        checked = {check["metric"] for check in fidelity["checks"]}
+        assert checked == registered
+        assert all(
+            check["status"] in ("pass", "warn", "fail", "missing")
+            for check in fidelity["checks"]
+        )
+        assert "4,000 cycles" in fidelity["scale_note"]
+
+    def test_second_invocation_hits_the_cache(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        argv = ["report", "--experiments", "scaling", "--out", str(out), "--quiet"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "1 simulated" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "1 cache hit(s), 0 simulated" in second.err
+        assert second.out == first.out
+
+    def test_unknown_experiment_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["report", "--experiments", "fig99", "--out",
+                     str(tmp_path / "r"), "--quiet"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestBuildReportManifest:
+    def test_manifest_lists_every_written_file(self, tmp_path):
+        out = tmp_path / "report"
+        build = build_report(
+            ["scaling"], out, cache=ResultCache(tmp_path / "cache"), seed=1
+        )
+        manifest = json.loads((out / "manifest.json").read_text(encoding="utf-8"))
+        for path in build.written:
+            if path.name == "manifest.json":
+                continue
+            assert str(path.relative_to(out)) in manifest["files"]
+        assert manifest["fidelity_summary"] == build.fidelity.summary()
+
+    def test_unknown_id_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            build_report(["fig99"], tmp_path / "r")
+
+    def test_duplicate_ids_render_once(self, tmp_path):
+        out = tmp_path / "report"
+        build = build_report(
+            ["scaling", "scaling"], out, cache=ResultCache(tmp_path / "cache")
+        )
+        assert [entry.identifier for entry in build.rendered] == ["scaling"]
+        index = (out / "index.md").read_text(encoding="utf-8")
+        assert index.count("[scaling](scaling.md)") == 1
+
+    def test_narrower_rerun_removes_stale_artifacts(self, tmp_path):
+        out = tmp_path / "report"
+        cache = ResultCache(tmp_path / "cache")
+        build_report(["scaling", "shielding"], out, cache=cache)
+        assert (out / "shielding.md").is_file()
+        stray = out / "notes.txt"  # a user file must survive the cleanup
+        stray.write_text("keep me", encoding="utf-8")
+        build_report(["scaling"], out, cache=cache)
+        assert not (out / "shielding.md").exists()
+        assert not (out / "shielding.json").exists()
+        assert not list((out / "figures").glob("shielding*.svg"))
+        assert (out / "scaling.md").is_file()
+        assert stray.read_text(encoding="utf-8") == "keep me"
+        manifest = json.loads((out / "manifest.json").read_text(encoding="utf-8"))
+        assert not any("shielding" in name for name in manifest["files"])
