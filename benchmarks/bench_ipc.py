@@ -15,7 +15,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch import PIPELINE_MODELS, evaluate_ipc_impact
-from repro.circuit.pvt import TYPICAL_CORNER
 from repro.core.dvs_system import DVSBusSystem
 from repro.trace import generate_benchmark_trace
 

@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Per-kernel throughput benchmarks of the block-simulation engine.
+
+Times every hot kernel of the streaming pipeline in isolation -- the three
+per-cycle statistics kernels in both engines, trace generation, the
+closed-loop feed, and the end-to-end DVS run -- and writes the results to a
+JSON report (``BENCH_kernels.json``).  With ``--baseline`` the run **fails on
+a >2x throughput regression in any kernel**, so CI catches a regression in a
+single kernel even when the end-to-end number still looks healthy (e.g. a
+slow kernel hiding behind a fast one).
+
+The committed baseline (``benchmarks/BENCH_kernels_baseline.json``) is
+deliberately conservative (a small fraction of dev-machine throughput) so
+the per-kernel gates only trip on real regressions, not runner jitter.
+
+Usage::
+
+    python benchmarks/bench_kernels.py --out BENCH_kernels.json \\
+        --baseline benchmarks/BENCH_kernels_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+
+def _best_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall time of one kernel invocation."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_benchmarks(cycles: int, seed: int, repeats: int) -> Dict[str, dict]:
+    """Measure every kernel on the same workload; returns name -> metrics."""
+    from repro import __version__
+    from repro.bus import BusDesign, CharacterizedBus
+    from repro.circuit.pvt import TYPICAL_CORNER
+    from repro.core.dvs_system import DVSBusSystem
+    from repro.interconnect.block_kernels import (
+        block_coupling_energy_weights,
+        block_toggle_counts,
+        block_worst_coupling,
+        lanes_from_packed,
+    )
+    from repro.interconnect.crosstalk import (
+        coupling_energy_weights,
+        toggle_counts,
+        transitions_from_values,
+        worst_coupling_factor_per_cycle,
+    )
+    from repro.trace import benchmark_trace_source
+
+    bus = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
+    topology = bus.design.topology
+    source = benchmark_trace_source("crafty", n_cycles=cycles, seed=seed)
+
+    # Shared inputs, prepared once: the packed trace (vectorized input), the
+    # unpacked transitions (scalar input) and the per-cycle statistics (feed
+    # input).  Preparation is timed as the trace-generation kernel.
+    generation_seconds = _best_seconds(
+        lambda: source.materialize(packed=True), repeats
+    )
+    trace = source.materialize(packed=True)
+    lanes = lanes_from_packed(trace.packed_values)
+    transitions = transitions_from_values(trace.values)
+    stats = bus.analyze_trace(trace)
+
+    def run_feed() -> None:
+        system = DVSBusSystem(bus)
+        state = system.stream(stats.n_cycles)
+        state.feed(stats)
+        state.finish()
+
+    kernels: Dict[str, Callable[[], object]] = {
+        "worst_coupling_scalar": lambda: worst_coupling_factor_per_cycle(
+            transitions, topology
+        ),
+        "worst_coupling_vectorized": lambda: block_worst_coupling(lanes, topology),
+        "toggle_counts_scalar": lambda: toggle_counts(transitions),
+        "toggle_counts_vectorized": lambda: block_toggle_counts(lanes),
+        "coupling_weights_scalar": lambda: coupling_energy_weights(
+            transitions, topology
+        ),
+        "coupling_weights_vectorized": lambda: block_coupling_energy_weights(
+            lanes, topology
+        ),
+        "analyze_chunk_scalar": lambda: bus.analyze_trace(trace, engine="scalar"),
+        "analyze_chunk_vectorized": lambda: bus.analyze_trace(
+            trace, engine="vectorized"
+        ),
+        "dvs_feed": run_feed,
+        "end_to_end_scalar": lambda: DVSBusSystem(bus).run(source, engine="scalar"),
+        "end_to_end_vectorized": lambda: DVSBusSystem(bus).run(
+            source, engine="vectorized"
+        ),
+    }
+
+    results: Dict[str, dict] = {
+        "trace_generation_packed": {
+            "seconds": round(generation_seconds, 4),
+            "cycles_per_sec": round(cycles / generation_seconds, 1),
+        }
+    }
+    for name, fn in kernels.items():
+        seconds = _best_seconds(fn, repeats)
+        results[name] = {
+            "seconds": round(seconds, 4),
+            "cycles_per_sec": round(cycles / seconds, 1),
+        }
+
+    return {
+        "schema": "repro-kernel-bench/1",
+        "code_version": __version__,
+        "python": platform.python_version(),
+        "benchmark": "crafty",
+        "cycles": cycles,
+        "repeats": repeats,
+        "kernels": results,
+    }
+
+
+def compare_to_baseline(record: dict, baseline: dict) -> list:
+    """Per-kernel >2x regression check; returns a list of failure strings."""
+    failures = []
+    for name, reference in baseline.get("kernels", {}).items():
+        measured = record["kernels"].get(name)
+        if measured is None:
+            failures.append(f"{name}: kernel missing from this run")
+            continue
+        floor = reference["cycles_per_sec"] / 2.0
+        if measured["cycles_per_sec"] < floor:
+            failures.append(
+                f"{name}: {measured['cycles_per_sec']:.0f} cycles/s is below half "
+                f"the baseline ({reference['cycles_per_sec']:.0f} cycles/s)"
+            )
+    return failures
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=500_000)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_kernels.json"))
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline report; a >2x cycles/sec drop in ANY kernel fails the run",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmarks(args.cycles, args.seed, args.repeats)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+
+    if args.baseline is not None and args.baseline.is_file():
+        baseline = json.loads(args.baseline.read_text())
+        failures = compare_to_baseline(record, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: all {len(baseline.get('kernels', {}))} kernels within 2x of baseline",
+            file=sys.stderr,
+        )
+    elif args.baseline is not None:
+        print(f"note: no baseline at {args.baseline}; recorded only", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,10 +41,10 @@ def run_smoke(cycles: int, chunk_cycles: int | None, benchmark: str, seed: int) 
     """One streamed DVS run; returns the metrics record."""
     from repro import __version__
     from repro.bus import BusDesign, CharacterizedBus
+    from repro.bus.engine import default_chunk_cycles
     from repro.circuit.pvt import TYPICAL_CORNER
     from repro.core.dvs_system import DVSBusSystem
     from repro.trace import benchmark_trace_source
-    from repro.trace.stream import DEFAULT_CHUNK_CYCLES
 
     bus = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
     system = DVSBusSystem(bus)  # the paper's 10 000 / 3 000 cycle control loop
@@ -60,7 +60,7 @@ def run_smoke(cycles: int, chunk_cycles: int | None, benchmark: str, seed: int) 
         "python": platform.python_version(),
         "benchmark": benchmark,
         "cycles": cycles,
-        "chunk_cycles": chunk_cycles if chunk_cycles is not None else DEFAULT_CHUNK_CYCLES,
+        "chunk_cycles": chunk_cycles if chunk_cycles is not None else default_chunk_cycles(None),
         "seconds": round(elapsed, 3),
         "cycles_per_sec": round(cycles / elapsed, 1),
         "peak_rss_mb": round(_peak_rss_mb(), 1),

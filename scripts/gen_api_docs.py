@@ -131,7 +131,15 @@ def _document_module(module_name: str) -> List[str]:
                 "",
             ]
         else:
-            lines += [f"### `{name}`", "", _summary(value) or f"Constant of type `{type(value).__name__}`.", ""]
+            # Plain constants: inspect.getdoc falls through to the *type's*
+            # builtin docstring ("str(object=...) -> str"), which is noise --
+            # render the value instead.
+            lines += [
+                f"### `{name}`",
+                "",
+                f"Constant of type `{type(value).__name__}`: `{value!r}`.",
+                "",
+            ]
     return lines
 
 

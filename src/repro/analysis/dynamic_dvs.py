@@ -139,6 +139,7 @@ def _run_benchmark_streamed(
     warmup_fraction: float,
     chunk_cycles: Optional[int],
     progress,
+    engine: Optional[str] = None,
 ) -> Tuple[FixedScalingResult, DVSRunResult]:
     """One pass over a workload feeding both Table 1 columns.
 
@@ -151,7 +152,7 @@ def _run_benchmark_streamed(
     warmup = int(warmup_fraction * total)
     state = system.stream(total, warmup_cycles=warmup)
     accumulator = TraceStatisticsAccumulator()
-    for stats, _ in bus.iter_statistics(source, chunk_cycles):
+    for stats, _ in bus.iter_statistics(source, chunk_cycles, engine=engine):
         accumulator.accumulate(stats)
         state.feed(stats)
         if progress is not None:
@@ -172,6 +173,7 @@ def run_table1(
     window_cycles: int = 10_000,
     ramp_delay_cycles: int = 3000,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Table1Result:
     """Reproduce Table 1: fixed VS vs the proposed DVS, per benchmark and corner.
 
@@ -202,6 +204,9 @@ def run_table1(
         still reaches steady state.
     chunk_cycles:
         Streaming granularity; results are bit-identical for any value.
+    engine:
+        Kernel engine for the per-cycle statistics (:mod:`repro.bus.engine`);
+        results are bit-identical for either engine.
     """
     if design is None:
         design = BusDesign.paper_bus()
@@ -234,7 +239,8 @@ def run_table1(
                 label=f"table1 {name}@{corner.label}",
             )
             fixed, dvs = _run_benchmark_streamed(
-                bus, system, workloads[name], warmup_fraction, chunk_cycles, progress
+                bus, system, workloads[name], warmup_fraction, chunk_cycles, progress,
+                engine=engine,
             )
             rows.append(
                 Table1Row(
@@ -343,6 +349,7 @@ def run_fig8(
     window_cycles: int = 10_000,
     ramp_delay_cycles: int = 3000,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Fig8Result:
     """Reproduce Fig. 8: the suite run back-to-back under closed-loop DVS.
 
@@ -374,6 +381,7 @@ def run_fig8(
         initial_voltage=design.nominal_vdd,
         chunk_cycles=chunk_cycles,
         progress=_auto_progress(suite.n_cycles, label=f"fig8@{corner.label}"),
+        engine=engine,
     )
 
     events = run.voltage_events

@@ -71,7 +71,7 @@ def accepted_kwargs(function: Callable[..., Any], candidates: Dict[str, Any]) ->
     """The subset of ``candidates`` that ``function`` names as parameters.
 
     Used to thread workload-scale knobs (``n_cycles``, ``chunk_cycles``,
-    ``seed``) through heterogeneous experiment runners and sweep tasks:
+    ``engine``, ``seed``) through heterogeneous experiment runners and sweep tasks:
     workload-free entries (e.g. the scaling study) simply never see them.
     ``None`` values are dropped so defaults stay in charge.
 
@@ -120,18 +120,26 @@ def _run_fig6(n_cycles: int = 120_000, seed: int = 2005) -> Tuple[Any, str]:
 
 
 def _run_table1(
-    n_cycles: Optional[int] = None, seed: int = 2005, chunk_cycles: Optional[int] = None
+    n_cycles: Optional[int] = None,
+    seed: int = 2005,
+    chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[Any, str]:
     # n_cycles=None runs the paper's 10 M cycles per benchmark through the
     # streaming pipeline (O(chunk) memory); pass --cycles to scale down.
-    result = run_table1(n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles)
+    result = run_table1(
+        n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine
+    )
     return result, reporting.format_table1(result)
 
 
 def _run_fig8(
-    n_cycles: Optional[int] = None, seed: int = 2005, chunk_cycles: Optional[int] = None
+    n_cycles: Optional[int] = None,
+    seed: int = 2005,
+    chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[Any, str]:
-    result = run_fig8(n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles)
+    result = run_fig8(n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine)
     return result, reporting.format_fig8(result)
 
 

@@ -14,8 +14,8 @@ Two studies live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -116,6 +116,7 @@ def combine_summaries(
     bus: CharacterizedBus,
     workloads: Mapping[str, Union[BusTrace, TraceSource]],
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> TraceSummary:
     """Reduce a suite of traces/sources to one :class:`TraceSummary`.
 
@@ -129,7 +130,7 @@ def combine_summaries(
         raise ValueError("workloads must contain at least one trace")
     accumulator = TraceStatisticsAccumulator()
     for workload in workloads.values():
-        for stats, _ in bus.iter_statistics(workload, chunk_cycles):
+        for stats, _ in bus.iter_statistics(workload, chunk_cycles, engine=engine):
             accumulator.accumulate(stats)
     return accumulator.summary()
 
@@ -138,6 +139,7 @@ def resolve_workload_statistics(
     bus: CharacterizedBus,
     workloads: WorkloadsLike,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Union[TraceStatistics, TraceSummary]:
     """Normalise a static-study workload argument to evaluable statistics.
 
@@ -148,7 +150,7 @@ def resolve_workload_statistics(
     if isinstance(workloads, (TraceStatistics, TraceSummary)):
         return workloads
     if any(isinstance(workload, TraceSource) for workload in workloads.values()):
-        return combine_summaries(bus, workloads, chunk_cycles=chunk_cycles)
+        return combine_summaries(bus, workloads, chunk_cycles=chunk_cycles, engine=engine)
     return combine_statistics(bus, workloads)
 
 
@@ -157,6 +159,7 @@ def run_static_voltage_sweep(
     workloads: WorkloadsLike,
     v_stop: Optional[float] = None,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> StaticScalingSweep:
     """Sweep the static supply at one corner and measure error rate and energy.
 
@@ -175,8 +178,10 @@ def run_static_voltage_sweep(
         corner (the paper's sweep stop condition).
     chunk_cycles:
         Streaming granularity when sources are reduced.
+    engine:
+        Kernel engine for streamed statistics (:mod:`repro.bus.engine`).
     """
-    stats = resolve_workload_statistics(bus, workloads, chunk_cycles)
+    stats = resolve_workload_statistics(bus, workloads, chunk_cycles, engine=engine)
     if v_stop is None:
         v_stop = bus.table.min_voltage_meeting(
             bus.design.clocking.shadow_deadline, bus.design.topology.max_coupling_factor

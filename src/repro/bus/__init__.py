@@ -12,6 +12,13 @@ from repro.bus.bus_model import (
     TraceStatisticsAccumulator,
     TraceSummary,
 )
+from repro.bus.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_SCALAR,
+    ENGINE_VECTORIZED,
+    ENGINES,
+    resolve_engine,
+)
 
 __all__ = [
     "BusDesign",
@@ -22,4 +29,9 @@ __all__ = [
     "TraceStatistics",
     "TraceStatisticsAccumulator",
     "TraceSummary",
+    "DEFAULT_ENGINE",
+    "ENGINE_SCALAR",
+    "ENGINE_VECTORIZED",
+    "ENGINES",
+    "resolve_engine",
 ]

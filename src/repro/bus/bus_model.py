@@ -29,10 +29,17 @@ import numpy as np
 
 from repro.bus.bus_design import BusDesign
 from repro.bus.characterization import characterize_bus, default_voltage_grid
+from repro.bus.engine import (
+    ENGINE_SCALAR,
+    ENGINE_VECTORIZED,
+    default_chunk_cycles,
+    resolve_engine,
+)
 from repro.circuit.energy_model import FlipFlopEnergyParams
 from repro.circuit.lookup_table import DelayEnergyTable, VoltageGrid
 from repro.circuit.pvt import PVTCorner
 from repro.energy.accounting import EnergyBreakdown
+from repro.interconnect.block_kernels import block_statistics_arrays, lanes_supported
 from repro.interconnect.crosstalk import (
     coupling_energy_weights,
     packed_coupling_energy_weights,
@@ -275,17 +282,33 @@ class CharacterizedBus:
             coupling_weights=coupling_energy_weights(transitions, topology),
         )
 
-    def analyze_trace(self, trace: BusTrace) -> TraceStatistics:
-        """:meth:`analyze` for a :class:`BusTrace`, using the packed fast path.
+    def analyze_trace(self, trace: BusTrace, engine: Optional[str] = None) -> TraceStatistics:
+        """:meth:`analyze` for a :class:`BusTrace`, choosing a kernel engine.
 
-        Packed-backed traces compute toggle counts and coupling weights
-        directly from the packed words (XOR + popcount, 8x less data); the
-        worst-coupling classification needs signed per-wire transitions and
-        unpacks once.  Results are bit-identical to :meth:`analyze`.
+        With the default ``engine="vectorized"``, all three per-cycle arrays
+        are computed by the integer-lane block kernels straight from the
+        packed words (:mod:`repro.interconnect.block_kernels`); with
+        ``engine="scalar"`` the per-wire reference kernels run over the
+        unpacked 0/1 array.  Results are **bit-identical** either way (the
+        streaming-equivalence tests hold the engines to each other), and
+        configurations the lane kernels cannot represent (buses wider than
+        64 wires, big-endian hosts) fall back to the reference path.
         """
+        topology = self.design.topology
+        if trace.n_bits != topology.n_wires:
+            raise ValueError(
+                f"transition width {trace.n_bits} does not match topology "
+                f"({topology.n_wires})"
+            )
+        if resolve_engine(engine) == ENGINE_VECTORIZED and lanes_supported(trace.n_bits):
+            worst, toggles, weights = block_statistics_arrays(
+                trace.packed_values, topology
+            )
+            return TraceStatistics(
+                worst_coupling=worst, toggles=toggles, coupling_weights=weights
+            )
         if not trace.is_packed:
             return self.analyze(trace.values)
-        topology = self.design.topology
         packed = trace.packed_values
         values = trace.values  # one unpacked copy for the signed classification
         transitions = transitions_from_values(values)
@@ -296,15 +319,22 @@ class CharacterizedBus:
         )
 
     def iter_statistics(
-        self, workload: WorkloadLike, chunk_cycles: Optional[int] = None
+        self,
+        workload: WorkloadLike,
+        chunk_cycles: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> Iterator[Tuple[TraceStatistics, int]]:
         """Walk a workload as ``(chunk statistics, start cycle)`` pairs.
 
         Accepts pre-computed :class:`TraceStatistics` (yielded whole, or
         sliced when ``chunk_cycles`` is given), a :class:`BusTrace`, or any
         :class:`~repro.trace.stream.TraceSource`.  Never holds more than one
-        chunk of per-cycle arrays for streamed workloads.
+        chunk of per-cycle arrays for streamed workloads.  ``engine`` picks
+        the kernel implementation (see :mod:`repro.bus.engine`); the
+        vectorized engine streams packed chunks and prefers larger ones, but
+        the yielded statistics are bit-identical for any engine/chunking.
         """
+        engine = resolve_engine(engine)
         if isinstance(workload, TraceStatistics):
             if chunk_cycles is None:
                 yield workload, 0
@@ -314,15 +344,24 @@ class CharacterizedBus:
                     yield workload.slice(start, stop), start
             return
         source = as_trace_source(workload)
-        for chunk in source.chunks(chunk_cycles):
-            yield self.analyze_trace(chunk.trace), chunk.start_cycle
+        packed = engine == ENGINE_VECTORIZED and lanes_supported(source.n_bits)
+        if chunk_cycles is None:
+            # The scalar kernels (also the fallback when the lane kernels
+            # cannot represent this bus) want small cache-resident chunks;
+            # size by the path actually taken, not the requested name.
+            chunk_cycles = default_chunk_cycles(engine if packed else ENGINE_SCALAR)
+        for chunk in source.chunks(chunk_cycles, packed=packed):
+            yield self.analyze_trace(chunk.trace, engine=engine), chunk.start_cycle
 
     def summarize(
-        self, workload: WorkloadLike, chunk_cycles: Optional[int] = None
+        self,
+        workload: WorkloadLike,
+        chunk_cycles: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> TraceSummary:
         """Reduce a workload to a :class:`TraceSummary` in O(chunk) memory."""
         accumulator = TraceStatisticsAccumulator()
-        for stats, _ in self.iter_statistics(workload, chunk_cycles):
+        for stats, _ in self.iter_statistics(workload, chunk_cycles, engine=engine):
             accumulator.accumulate(stats)
         return accumulator.summary()
 

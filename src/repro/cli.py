@@ -37,11 +37,12 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.experiments import EXPERIMENTS, accepted_kwargs, run_experiment
 from repro.baselines import format_scheme_comparison, run_scheme_comparison
 from repro.bus import BusDesign, CharacterizedBus
+from repro.bus.engine import DEFAULT_ENGINE, ENGINES
 from repro.circuit.pvt import PVTCorner
 from repro.core.dvs_system import DVSBusSystem
 from repro.cpu import KERNELS
@@ -125,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="M",
             default=None if top_level else argparse.SUPPRESS,
             help="streaming chunk size (results are bit-identical for any value)",
+        )
+        target.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=None if top_level else argparse.SUPPRESS,
+            help="simulation kernel engine (results are bit-identical; "
+            f"default: {DEFAULT_ENGINE})",
         )
 
     add_runtime_flags(parser, top_level=True)
@@ -223,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument(
         "--chunk-cycles", type=int, default=argparse.SUPPRESS, help="streaming chunk size"
     )
+    simulate_parser.add_argument(
+        "--engine", choices=ENGINES, default=argparse.SUPPRESS, help="kernel engine"
+    )
     simulate_parser.add_argument("--seed", type=int, default=2005)
     simulate_parser.add_argument("--window", type=int, default=10_000, help="error window (cycles)")
     simulate_parser.add_argument("--ramp", type=int, default=3_000, help="regulator ramp (cycles)")
@@ -256,11 +267,11 @@ def _command_list() -> int:
 
 
 def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[int],
-                 seed: int, cache: Optional[ResultCache]) -> int:
+                 engine: Optional[str], seed: int, cache: Optional[ResultCache]) -> int:
     runner = EXPERIMENTS[experiment].runner
-    requested = {"n_cycles": cycles, "chunk_cycles": chunk_cycles}
+    requested = {"n_cycles": cycles, "chunk_cycles": chunk_cycles, "engine": engine}
     kwargs = accepted_kwargs(runner, {"seed": seed, **requested})
-    flags = {"n_cycles": "--cycles", "chunk_cycles": "--chunk-cycles"}
+    flags = {"n_cycles": "--cycles", "chunk_cycles": "--chunk-cycles", "engine": "--engine"}
     for name, value in requested.items():
         if value is not None and name not in kwargs:
             print(
@@ -288,6 +299,7 @@ def _command_sweep(
     jobs: int,
     cycles: Optional[int] = None,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> int:
     if list_sweeps or name is None:
         width = max(len(sweep_name) for sweep_name in SWEEPS)
@@ -301,14 +313,15 @@ def _command_sweep(
 
     sweep = get_sweep(name)
     specs = sweep.expand(limit=limit)
-    if cycles is not None or chunk_cycles is not None:
+    if cycles is not None or chunk_cycles is not None or engine is not None:
         # Scale every grid point that understands the workload knobs; the
         # overridden params flow into the cache key, so scaled runs never
         # alias unscaled ones.
         overridden = []
         for spec in specs:
             overrides = accepted_kwargs(
-                get_task(spec.task), {"n_cycles": cycles, "chunk_cycles": chunk_cycles}
+                get_task(spec.task),
+                {"n_cycles": cycles, "chunk_cycles": chunk_cycles, "engine": engine},
             )
             overridden.append(spec.with_params(**overrides) if overrides else spec)
         specs = tuple(overridden)
@@ -327,6 +340,7 @@ def _command_report(
     out: Path,
     cycles: Optional[int],
     chunk_cycles: Optional[int],
+    engine: Optional[str],
     seed: int,
     quiet: bool,
     cache: Optional[ResultCache],
@@ -348,6 +362,7 @@ def _command_report(
         jobs=jobs,
         n_cycles=cycles,
         chunk_cycles=chunk_cycles,
+        engine=engine,
         seed=seed,
         progress=progress,
     )
@@ -417,13 +432,14 @@ def _command_simulate(
     window: int,
     ramp: int,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> int:
     corner = CORNERS[corner_name]
     bus = CharacterizedBus(BusDesign.paper_bus(), corner)
     source = benchmark_trace_source(benchmark, n_cycles=cycles, seed=seed)
     system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
     progress = auto_chunk_progress(cycles, label=f"simulate {benchmark}")
-    result = system.run(source, chunk_cycles=chunk_cycles, progress=progress)
+    result = system.run(source, chunk_cycles=chunk_cycles, progress=progress, engine=engine)
 
     print(f"Closed-loop DVS: benchmark {benchmark!r}, corner {corner.label}")
     print(f"  cycles simulated      : {result.n_cycles}")
@@ -488,7 +504,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "run":
-        return _command_run(args.experiment, args.cycles, args.chunk_cycles, args.seed, cache)
+        return _command_run(
+            args.experiment, args.cycles, args.chunk_cycles, args.engine, args.seed, cache
+        )
     if args.command == "sweep":
         return _command_sweep(
             args.name,
@@ -500,6 +518,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.jobs,
             cycles=args.cycles,
             chunk_cycles=args.chunk_cycles,
+            engine=args.engine,
         )
     if args.command == "report":
         return _command_report(
@@ -507,6 +526,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out,
             args.cycles,
             args.chunk_cycles,
+            args.engine,
             args.seed,
             args.quiet,
             cache,
@@ -525,6 +545,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.window,
             args.ramp,
             chunk_cycles=args.chunk_cycles,
+            engine=args.engine,
         )
     if args.command == "compare-schemes":
         return _command_compare_schemes(

@@ -356,6 +356,7 @@ class DVSBusSystem:
         warmup_cycles: int = 0,
         chunk_cycles: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        engine: Optional[str] = None,
     ) -> DVSRunResult:
         """Simulate the closed loop over a workload.
 
@@ -386,6 +387,11 @@ class DVSBusSystem:
         progress:
             Optional ``callback(done_cycles, total_cycles)`` invoked after
             every chunk (see :class:`repro.runtime.progress.ChunkProgress`).
+        engine:
+            Kernel engine computing the per-cycle statistics
+            (:mod:`repro.bus.engine`): the default ``"vectorized"`` runs the
+            integer-lane block kernels over packed chunks, ``"scalar"`` the
+            per-wire reference path.  Results are bit-identical either way.
         """
         if isinstance(workload, TraceStatistics):
             total = workload.n_cycles
@@ -399,7 +405,7 @@ class DVSBusSystem:
             keep_cycle_voltage=keep_cycle_voltage,
             warmup_cycles=warmup_cycles,
         )
-        for stats, _ in self.bus.iter_statistics(workload, chunk_cycles):
+        for stats, _ in self.bus.iter_statistics(workload, chunk_cycles, engine=engine):
             state.feed(stats)
             if progress is not None:
                 progress(state.cycles_fed, total)

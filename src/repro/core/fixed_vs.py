@@ -77,6 +77,7 @@ def evaluate_fixed_scaling(
     stats: Union[TraceStatistics, TraceSummary, BusTrace, TraceSource],
     process_corner: Optional[ProcessCorner] = None,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> FixedScalingResult:
     """Run the fixed VS baseline on a workload and report its energy gain.
 
@@ -93,7 +94,7 @@ def evaluate_fixed_scaling(
     baseline column feasible.
     """
     if isinstance(stats, (BusTrace, TraceSource)):
-        stats = bus.summarize(stats, chunk_cycles=chunk_cycles)
+        stats = bus.summarize(stats, chunk_cycles=chunk_cycles, engine=engine)
     voltage = fixed_scaling_voltage(bus, process_corner)
     error_rate = bus.error_rate(stats, voltage)
     n_errors = int(round(error_rate * stats.n_cycles))

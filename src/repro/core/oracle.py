@@ -116,6 +116,7 @@ def _streamed_oracle_schedule(
     window_cycles: int,
     v_floor: float,
     chunk_cycles: Optional[int],
+    engine: Optional[str],
 ) -> OracleSchedule:
     """The oracle over a streamed workload, in O(chunk) memory.
 
@@ -172,7 +173,7 @@ def _streamed_oracle_schedule(
         window_weights = 0.0
         window_fill = 0
 
-    for stats, _ in bus.iter_statistics(workload, chunk_cycles):
+    for stats, _ in bus.iter_statistics(workload, chunk_cycles, engine=engine):
         position = 0
         while position < stats.n_cycles:
             take = min(window_cycles - window_fill, stats.n_cycles - position)
@@ -216,6 +217,7 @@ def oracle_voltage_schedule(
     window_cycles: int = DEFAULT_WINDOW_CYCLES,
     v_floor: Optional[float] = None,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> OracleSchedule:
     """Choose the optimal per-window voltages for a target error rate.
 
@@ -238,6 +240,9 @@ def oracle_voltage_schedule(
         temperature and IR drop).
     chunk_cycles:
         Streaming granularity for trace/source workloads.
+    engine:
+        Kernel engine for streamed statistics (:mod:`repro.bus.engine`);
+        results are bit-identical for either engine.
     """
     check_fraction("target_error_rate", target_error_rate)
     if window_cycles <= 0:
@@ -245,7 +250,7 @@ def oracle_voltage_schedule(
     floor = _resolve_floor(bus, v_floor)
     if isinstance(stats, (BusTrace, TraceSource)):
         return _streamed_oracle_schedule(
-            bus, stats, target_error_rate, window_cycles, floor, chunk_cycles
+            bus, stats, target_error_rate, window_cycles, floor, chunk_cycles, engine
         )
     v_floor = floor
 

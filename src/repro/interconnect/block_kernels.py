@@ -1,0 +1,408 @@
+"""Vectorized block-simulation kernels over integer *lanes*.
+
+The scalar reference kernels in :mod:`repro.interconnect.crosstalk` classify
+every wire of every cycle through ``(n_cycles, n_wires)`` float64 temporaries
+-- dozens of bytes touched per wire per cycle.  This module re-derives the
+same three per-cycle statistics (worst coupling factor, toggle count,
+coupling-energy weight) from the bus words held as machine integers, one
+*lane* per cycle:
+
+* a bus word of ``n_bits <= 32`` is one little-endian ``uint32``; wider buses
+  (up to 64 wires) use ``uint64``.  Wire ``i`` is bit ``i``, exactly the
+  ``bitorder="little"`` convention of the packed trace representation, so a
+  packed chunk reinterprets as lanes with no per-bit work at all.
+* neighbour relations become single-instruction shifts: the left neighbour of
+  every wire simultaneously is ``lanes << 1``, the second-right neighbour is
+  ``lanes >> 2``, and shield adjacencies are AND masks.
+
+Per victim wire the effective coupling factor of the scalar model is
+
+    ``lambda = p + w * (q - 2)``   with
+    ``p = 2 + (#opposite - #same)`` over the two near neighbours and
+    ``q = 2 + (#opposite - #same)`` over the two second neighbours,
+
+so each wire's *score* ``8 * p + q`` (an integer in ``0..36``) determines its
+factor through a small lookup table whose values are computed with the
+same float64 operations as the scalar path -- which is what makes the block
+kernels **bit-identical** to it, clipping included.  Whenever the score order
+agrees with the factor order (any ``secondary_weight <= 0.25``, including the
+default 0.15), the per-cycle worst factor is just ``table[max(score)]``; a
+non-monotone weight first remaps scores through a rank table so the maximum
+is still taken on integers.
+
+Bit-level identities used (``t`` = per-wire transition in ``{-1, 0, +1}``):
+
+* ``toggled = word_new XOR word_old`` (``|t|`` as a bitplane),
+* a toggling pair switches in *opposite* directions iff their new values
+  differ (``dir = word_new``), and in the *same* direction otherwise,
+* ``(t_i - t_j)^2 = tog_i + tog_j + 2 * opp_ij - 2 * same_ij`` for the
+  coupling-energy weight of an adjacent pair.
+
+Buses wider than 64 wires (no such design exists in the repo, but the model
+allows them) and big-endian hosts fall back to the scalar kernels -- see
+:func:`lanes_supported`.
+"""
+
+from __future__ import annotations
+
+import sys
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.interconnect.crosstalk import NeighborTopology
+
+__all__ = [
+    "lanes_supported",
+    "lanes_from_packed",
+    "block_statistics_arrays",
+    "block_worst_coupling",
+    "block_toggle_counts",
+    "block_coupling_energy_weights",
+    "coupling_score_tables",
+    "CouplingScoreTables",
+]
+
+#: The lane layout splices packed little-bitorder bytes directly into machine
+#: integers, which only lines up on little-endian hosts.
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Largest bus width a single integer lane can hold.
+MAX_LANE_BITS = 64
+
+#: Number of distinct per-wire scores: ``8 * p + q`` with ``p, q`` in 0..4.
+_N_SCORES = 8 * 4 + 4 + 1
+
+
+def lanes_supported(n_bits: int) -> bool:
+    """Whether the lane kernels can run for an ``n_bits``-wide bus."""
+    return _LITTLE_ENDIAN and 0 < n_bits <= MAX_LANE_BITS
+
+
+def lanes_from_packed(packed: np.ndarray) -> np.ndarray:
+    """Reinterpret packed trace bytes as one integer lane per bus word.
+
+    ``packed`` is the ``(n_words, n_bytes)`` uint8 array of the packed trace
+    representation (wire ``i`` -> byte ``i // 8``, bit ``i % 8``).  Buses up
+    to 32 wires become uint32 lanes, wider ones uint64; byte widths that do
+    not fill a lane are zero-padded (the padding bits never toggle, so every
+    kernel ignores them).
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    n_words, n_bytes = packed.shape
+    lane_bytes = 4 if n_bytes <= 4 else 8
+    if n_bytes > 8:
+        raise ValueError(f"lanes support at most {MAX_LANE_BITS} wires, got {n_bytes} bytes")
+    dtype = np.uint32 if lane_bytes == 4 else np.uint64
+    if n_bytes == lane_bytes:
+        buffer = np.ascontiguousarray(packed)
+    else:
+        buffer = np.zeros((n_words, lane_bytes), dtype=np.uint8)
+        buffer[:, :n_bytes] = packed
+    return buffer.view(dtype).reshape(n_words)
+
+
+def _wire_mask(bits: np.ndarray, dtype: type) -> np.number:
+    """An integer lane with bit ``i`` set where ``bits[i]`` is true."""
+    value = 0
+    for index in np.nonzero(np.asarray(bits, dtype=bool))[0]:
+        value |= 1 << int(index)
+    return dtype(value)
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def _popcount(lanes: np.ndarray) -> np.ndarray:
+        """Per-lane population count as int64."""
+        return np.bitwise_count(lanes).astype(np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _POPCOUNT8 = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+        axis=1
+    ).astype(np.uint16)
+
+    def _popcount(lanes: np.ndarray) -> np.ndarray:
+        as_bytes = lanes.reshape(-1, 1).view(np.uint8)
+        return _POPCOUNT8[as_bytes].sum(axis=1).astype(np.int64)
+
+
+def _unpack_plane(plane: np.ndarray, n_bits: int) -> np.ndarray:
+    """One lane bitplane as an ``(n, n_bits)`` uint8 0/1 array."""
+    as_bytes = np.ascontiguousarray(plane).view(np.uint8).reshape(len(plane), -1)
+    return np.unpackbits(as_bytes, axis=1, count=n_bits, bitorder="little")
+
+
+class CouplingScoreTables:
+    """Score -> coupling-factor lookup tables of one topology.
+
+    ``value_by_score`` maps a per-wire score ``8 * p + q`` straight to the
+    clipped float64 coupling factor.  ``monotone`` says whether that mapping
+    is non-decreasing over attainable scores, in which case the per-cycle
+    worst factor is ``value_by_score[scores.max()]``; otherwise
+    ``rank_by_score`` / ``value_by_rank`` provide an order-preserving integer
+    remap so the maximum is still taken on small integers.
+    """
+
+    __slots__ = ("monotone", "value_by_score", "rank_by_score", "value_by_rank")
+
+    def __init__(
+        self,
+        monotone: bool,
+        value_by_score: np.ndarray,
+        rank_by_score: np.ndarray,
+        value_by_rank: np.ndarray,
+    ) -> None:
+        self.monotone = monotone
+        self.value_by_score = value_by_score
+        self.rank_by_score = rank_by_score
+        self.value_by_rank = value_by_rank
+
+
+@lru_cache(maxsize=64)
+def _score_tables(
+    secondary_weight: float, max_coupling_factor: float
+) -> CouplingScoreTables:
+    """Build (and cache) the score tables for one (weight, clip-bound) pair."""
+    weight = np.float64(secondary_weight)
+    values = np.zeros(_N_SCORES, dtype=np.float64)
+    attainable = np.zeros(_N_SCORES, dtype=bool)
+    for p in range(5):
+        for q in range(5):
+            # The same float64 expression the scalar kernel evaluates
+            # elementwise; the secondary term is skipped (not multiplied by
+            # zero) when the weight is non-positive, exactly as there.
+            primary = np.float64(p)
+            if secondary_weight > 0.0:
+                raw = primary + weight * (np.float64(q) - np.float64(2.0))
+            else:
+                raw = primary
+            score = 8 * p + q
+            values[score] = np.clip(raw, 0.0, max_coupling_factor)
+            attainable[score] = True
+    # Unattainable scores (q in 5..7) inherit the previous value so a plain
+    # monotone scan over the table stays meaningful; they are never produced.
+    for score in range(1, _N_SCORES):
+        if not attainable[score]:
+            values[score] = values[score - 1]
+
+    monotone = bool(np.all(np.diff(values) >= 0.0))
+    order = np.argsort(values, kind="stable")
+    rank_by_score = np.zeros(_N_SCORES, dtype=np.uint8)
+    value_by_rank = np.zeros(_N_SCORES, dtype=np.float64)
+    for rank, score in enumerate(order.tolist()):
+        rank_by_score[score] = rank
+        value_by_rank[rank] = values[score]
+    return CouplingScoreTables(monotone, values, rank_by_score, value_by_rank)
+
+
+def coupling_score_tables(topology: NeighborTopology) -> CouplingScoreTables:
+    """The score tables of a topology (cached by weight and clip bound)."""
+    return _score_tables(
+        float(topology.secondary_weight), float(topology.max_coupling_factor)
+    )
+
+
+def _neighbor_planes(
+    tog: np.ndarray,
+    direction: np.ndarray,
+    shift: int,
+    left: bool,
+    mask: np.number,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(opposite, same) bitplanes of one neighbour relation.
+
+    ``shift`` is the wire distance (1 or 2); ``left`` selects the direction
+    (a *left* neighbour's bit reaches the victim's position via ``<<``).
+    ``mask`` clears victims whose neighbour is a shield (or absent) -- those
+    wires see the neutral quiet factor, i.e. contribute to neither plane.
+    """
+    if left:
+        neighbor_tog = (tog << shift) & mask
+        neighbor_dir = direction << shift
+    else:
+        neighbor_tog = (tog >> shift) & mask
+        neighbor_dir = direction >> shift
+    both = tog & neighbor_tog
+    opposite = both & (direction ^ neighbor_dir)
+    same = both ^ opposite
+    return opposite, same
+
+
+def _transition_lanes(lanes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(toggled, new-value) lanes of every transition of a word stream."""
+    new = lanes[1:]
+    return new ^ lanes[:-1], new
+
+
+def _class_planes(
+    tog: np.ndarray,
+    opposite_a: np.ndarray,
+    same_a: np.ndarray,
+    opposite_b: np.ndarray,
+    same_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Bitplanes of the five ``2 + #opp - #same`` classes, descending (4..0).
+
+    The two opposite/same planes of one neighbour pair are mutually exclusive
+    per wire, so every *toggling* wire lands in exactly one class; quiet
+    wires are in none (all inputs carry the victim-toggles factor).
+    """
+    class4 = opposite_a & opposite_b
+    class3 = (opposite_a ^ opposite_b) & ~(same_a | same_b)
+    class1 = (same_a ^ same_b) & ~(opposite_a | opposite_b)
+    class0 = same_a & same_b
+    class2 = tog & ~(class4 | class3 | class1 | class0)
+    return class4, class3, class2, class1, class0
+
+
+def _pick_highest(planes: Tuple[np.ndarray, ...]) -> Tuple[np.ndarray, np.ndarray]:
+    """Per cycle: the highest non-empty plane's level (4..0) and its wires.
+
+    ``planes`` are descending class bitplanes; returns the uint8 level per
+    cycle (0 when every plane is empty) and the lane of wires sitting in
+    that level's plane.
+    """
+    level = np.zeros(len(planes[0]), dtype=np.uint8)
+    selected = planes[-1].copy()
+    # Walk upward so higher classes overwrite lower ones in one where-chain.
+    for rank, plane in enumerate(reversed(planes[:-1]), start=1):
+        present = plane != 0
+        np.copyto(level, np.uint8(rank), where=present)
+        np.copyto(selected, plane, where=present)
+    return level, selected
+
+
+def block_worst_coupling(lanes: np.ndarray, topology: NeighborTopology) -> np.ndarray:
+    """Per-cycle worst effective coupling factor, from word lanes.
+
+    Bit-identical to
+    :func:`repro.interconnect.crosstalk.worst_coupling_factor_per_cycle` over
+    the unpacked transitions of the same words.
+
+    The per-cycle maximum is taken hierarchically, entirely on lanes: wires
+    are classified into the five primary (``p``) classes bit-parallel, the
+    best class present in each cycle is selected, and the secondary (``q``)
+    level is refined among that class's wires only -- the maximum of the
+    lexicographic score without ever materialising per-wire scores.  A
+    topology whose factor table is not monotone in the score (a
+    ``secondary_weight`` above 0.25, where a strong secondary term can beat a
+    primary step) cannot use the lexicographic shortcut and falls back to
+    explicit per-wire scores remapped through a rank table.
+    """
+    dtype = lanes.dtype.type
+    shift1, shift2 = dtype(1), dtype(2)
+    tog, direction = _transition_lanes(lanes)
+
+    left_shield = topology.left_is_shield
+    right_shield = topology.right_is_shield
+    mask_left = _wire_mask(~left_shield, dtype)
+    mask_right = _wire_mask(~right_shield, dtype)
+    # A second neighbour is electrically irrelevant when either of the two
+    # gaps it acts across is shielded (same masking as the scalar kernel; the
+    # wrap-around of its np.roll only ever affects wires the << / >> zero-fill
+    # already silences).
+    mask_left2 = _wire_mask(~(left_shield | np.roll(left_shield, 1)), dtype)
+    mask_right2 = _wire_mask(~(right_shield | np.roll(right_shield, -1)), dtype)
+
+    o_l, s_l = _neighbor_planes(tog, direction, shift1, True, mask_left)
+    o_r, s_r = _neighbor_planes(tog, direction, shift1, False, mask_right)
+    o_l2, s_l2 = _neighbor_planes(tog, direction, shift2, True, mask_left2)
+    o_r2, s_r2 = _neighbor_planes(tog, direction, shift2, False, mask_right2)
+
+    tables = coupling_score_tables(topology)
+    if tables.monotone:
+        p_planes = _class_planes(tog, o_l, s_l, o_r, s_r)
+        p_level, p_wires = _pick_highest(p_planes)
+        q_planes = _class_planes(tog, o_l2, s_l2, o_r2, s_r2)
+        q_level, _ = _pick_highest(tuple(p_wires & plane for plane in q_planes))
+        # Cycles with no toggling wire have every plane empty: both levels
+        # resolve to 0, and score 0 maps to the scalar kernel's 0.0.
+        score = p_level
+        score <<= np.uint8(3)
+        score += q_level
+        return tables.value_by_score[score]
+
+    # Non-monotone factor table: materialise per-wire scores (uint8) and take
+    # the maximum in rank space instead.
+    n_bits = topology.n_wires
+    score = _unpack_plane(o_l, n_bits)
+    score += _unpack_plane(o_r, n_bits)
+    score += np.uint8(2)
+    score -= _unpack_plane(s_l, n_bits)
+    score -= _unpack_plane(s_r, n_bits)
+    score <<= np.uint8(3)
+    far = _unpack_plane(o_l2, n_bits)
+    far += _unpack_plane(o_r2, n_bits)
+    far += np.uint8(2)
+    far -= _unpack_plane(s_l2, n_bits)
+    far -= _unpack_plane(s_r2, n_bits)
+    score += far
+    # Quiet wires have no delay event: force their score to 0, which the
+    # tables map to the same 0.0 the scalar kernel reports for them.
+    score *= _unpack_plane(tog, n_bits)
+    ranks = tables.rank_by_score[score]
+    return tables.value_by_rank[ranks.max(axis=1)]
+
+
+def block_toggle_counts(lanes: np.ndarray) -> np.ndarray:
+    """Toggling wires per cycle (matches :func:`crosstalk.toggle_counts`)."""
+    tog, _ = _transition_lanes(lanes)
+    return _popcount(tog).astype(np.float64)
+
+
+def block_coupling_energy_weights(
+    lanes: np.ndarray, topology: NeighborTopology
+) -> np.ndarray:
+    """Per-cycle coupling-energy weight (matches the scalar kernel exactly).
+
+    Same integer identity as
+    :func:`repro.interconnect.crosstalk.packed_coupling_energy_weights`, with
+    popcounts taken on whole lanes instead of byte rows.
+    """
+    dtype = lanes.dtype.type
+    shift1 = dtype(1)
+    tog, direction = _transition_lanes(lanes)
+
+    pair_mask = np.zeros(topology.n_wires, dtype=bool)
+    pair_mask[:-1] = ~topology.right_is_shield[:-1]
+    pair_bits = _wire_mask(pair_mask, dtype)
+    left_bits = _wire_mask(topology.left_is_shield, dtype)
+    right_bits = _wire_mask(topology.right_is_shield, dtype)
+
+    upper_tog = tog >> shift1
+    both = tog & upper_tog
+    opposite = both & (direction ^ (direction >> shift1))
+    same = both ^ opposite
+
+    weights = _popcount(tog & pair_bits)
+    weights += _popcount(upper_tog & pair_bits)
+    weights -= 2 * _popcount(same & pair_bits)
+    weights += 2 * _popcount(opposite & pair_bits)
+    weights += _popcount(tog & left_bits)
+    weights += _popcount(tog & right_bits)
+    return weights.astype(np.float64)
+
+
+def block_statistics_arrays(
+    packed: np.ndarray, topology: NeighborTopology
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(worst_coupling, toggles, coupling_weights) of one packed word block.
+
+    The vectorized engine's whole-chunk entry point: one lane conversion,
+    three kernels, no per-cycle Python.  Each array is bit-identical to its
+    scalar counterpart in :class:`repro.bus.bus_model.TraceStatistics`.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    expected_bytes = (topology.n_wires + 7) // 8
+    if packed.shape[1] != expected_bytes:
+        raise ValueError(
+            f"packed width {packed.shape[1]} does not match topology "
+            f"({topology.n_wires} wires, {expected_bytes} bytes)"
+        )
+    lanes = lanes_from_packed(packed)
+    return (
+        block_worst_coupling(lanes, topology),
+        block_toggle_counts(lanes),
+        block_coupling_energy_weights(lanes, topology),
+    )

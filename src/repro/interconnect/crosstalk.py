@@ -29,7 +29,7 @@ cycle traces are processed in a handful of array operations.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

@@ -137,6 +137,7 @@ def _regenerate_command(
     n_cycles: Optional[int],
     chunk_cycles: Optional[int],
     seed: int,
+    engine: Optional[str] = None,
 ) -> str:
     """The exact CLI invocation that reproduces this report (and hits its cache)."""
     command = f"python -m repro report --experiments {','.join(identifiers)}"
@@ -144,6 +145,8 @@ def _regenerate_command(
         command += f" --cycles {n_cycles}"
     if chunk_cycles is not None:
         command += f" --chunk-cycles {chunk_cycles}"
+    if engine is not None:
+        command += f" --engine {engine}"
     if seed != 2005:
         command += f" --seed {seed}"
     command += f" --out {out_dir}"
@@ -185,7 +188,11 @@ def _index_markdown(
                 figure_links or "—",
             )
         )
-    lines.append(markdown_table(["experiment", "paper artifact", "description", "data", "figures"], rows))
+    lines.append(
+        markdown_table(
+            ["experiment", "paper artifact", "description", "data", "figures"], rows
+        )
+    )
     lines += [
         "",
         f"Regenerate with `{command}` (cached: identical parameters re-simulate nothing).",
@@ -201,6 +208,7 @@ def build_report(
     n_cycles: Optional[int] = None,
     chunk_cycles: Optional[int] = None,
     seed: int = 2005,
+    engine: Optional[str] = None,
     registry: ReferenceRegistry = PAPER_REFERENCES,
     progress: Optional[Any] = None,
 ) -> ReportBuild:
@@ -231,7 +239,12 @@ def build_report(
 
     identifiers = _validate_ids(experiments)
 
-    requested = {"n_cycles": n_cycles, "chunk_cycles": chunk_cycles, "seed": seed}
+    requested = {
+        "n_cycles": n_cycles,
+        "chunk_cycles": chunk_cycles,
+        "engine": engine,
+        "seed": seed,
+    }
     specs = []
     for identifier in identifiers:
         entry = EXPERIMENTS[identifier]
@@ -280,9 +293,10 @@ def build_report(
         "experiments": ",".join(identifiers),
         "n_cycles": n_cycles if n_cycles is not None else "paper-default",
         "chunk_cycles": chunk_cycles if chunk_cycles is not None else "auto",
+        "engine": engine if engine is not None else "default",
         "seed": seed,
     }
-    command = _regenerate_command(identifiers, out_dir, n_cycles, chunk_cycles, seed)
+    command = _regenerate_command(identifiers, out_dir, n_cycles, chunk_cycles, seed, engine)
     index = _index_markdown(rendered, fidelity, params, command)
     index_path = _write_text(out_dir / "index.md", index)
     written.append(index_path)

@@ -210,6 +210,7 @@ def dvs_run(
     coupling_scale: Optional[float] = None,
     warmup_fraction: float = 0.0,
     chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One closed-loop DVS run: benchmark x corner x encoding x bus variant.
 
@@ -218,8 +219,9 @@ def dvs_run(
     modified) bus at the corner, run the closed control loop and report
     scalar metrics.  The whole point runs in O(chunk) memory, so sweeps can
     scale ``n_cycles`` to the paper's 10 M without touching worker sizing;
-    ``chunk_cycles`` only trades memory against batch efficiency (results
-    are bit-identical for any value).
+    ``chunk_cycles`` only trades memory against batch efficiency and
+    ``engine`` selects the kernel implementation (results are bit-identical
+    for any value of either).
     """
     from repro.core.dvs_system import DVSBusSystem
     from repro.trace.generator import benchmark_trace_source
@@ -236,7 +238,9 @@ def dvs_run(
     window, ramp = _control_defaults(n_cycles, window_cycles, ramp_delay_cycles)
     system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
     warmup = int(warmup_fraction * source.n_cycles)
-    result = system.run(source, warmup_cycles=warmup, chunk_cycles=chunk_cycles)
+    result = system.run(
+        source, warmup_cycles=warmup, chunk_cycles=chunk_cycles, engine=engine
+    )
 
     return {
         "benchmark": benchmark,

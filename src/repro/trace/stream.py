@@ -52,7 +52,7 @@ import numpy as np
 
 from repro.trace.benchmarks import BenchmarkProfile, get_profile
 from repro.trace.synthetic import iter_word_blocks
-from repro.trace.trace import BusTrace, words_to_bits
+from repro.trace.trace import BusTrace, words_to_bits, words_to_packed
 from repro.utils.rng import SeedLike
 
 __all__ = [
@@ -159,38 +159,67 @@ class TraceSource(abc.ABC):
     def _word_blocks(self) -> Iterator[np.ndarray]:
         """Yield consecutive 0/1 word arrays covering the whole trace."""
 
+    def _packed_blocks(self) -> Iterator[np.ndarray]:
+        """Yield the same word blocks in the packed byte representation.
+
+        The base implementation packs each unpacked block; sources that hold
+        (or can generate) packed words directly override this so the packed
+        streaming path never widens to 0/1 arrays at all.
+        """
+        from repro.trace.trace import pack_values
+
+        for block in self._word_blocks():
+            yield pack_values(block)
+
     # ------------------------------------------------------------------ #
     # Chunked iteration
     # ------------------------------------------------------------------ #
-    def chunks(self, chunk_cycles: Optional[int] = None) -> Iterator[TraceChunk]:
+    def chunks(
+        self, chunk_cycles: Optional[int] = None, packed: bool = False
+    ) -> Iterator[TraceChunk]:
         """Iterate the trace as boundary-carrying :class:`TraceChunk`\\ s.
 
         Every chunk covers ``chunk_cycles`` transitions except possibly the
-        last.  The produced words are identical for any chunk size.
+        last.  The produced words are identical for any chunk size and either
+        representation; ``packed=True`` yields packed-backed chunks (the
+        vectorized engine's input, 8x less buffered data), ``packed=False``
+        unpacked ones.
         """
         if chunk_cycles is None:
             chunk_cycles = DEFAULT_CHUNK_CYCLES
         if chunk_cycles <= 0:
             raise ValueError(f"chunk_cycles must be positive, got {chunk_cycles}")
         total = self.n_cycles
+        blocks = self._packed_blocks() if packed else self._word_blocks()
         buffer: Optional[np.ndarray] = None
         start_cycle = 0
         index = 0
-        for block in self._word_blocks():
+        for block in blocks:
             buffer = block if buffer is None else np.concatenate([buffer, block], axis=0)
             while buffer.shape[0] - 1 >= chunk_cycles:
-                yield self._make_chunk(buffer[: chunk_cycles + 1], start_cycle, index, total)
+                yield self._make_chunk(
+                    buffer[: chunk_cycles + 1], start_cycle, index, total, packed
+                )
                 # Keep the boundary word; copy so the big parent buffer is freed.
                 buffer = buffer[chunk_cycles:].copy()
                 start_cycle += chunk_cycles
                 index += 1
         if buffer is not None and buffer.shape[0] > 1:
-            yield self._make_chunk(buffer, start_cycle, index, total)
+            yield self._make_chunk(buffer, start_cycle, index, total, packed)
 
     def _make_chunk(
-        self, values: np.ndarray, start_cycle: int, index: int, total: int
+        self,
+        words: np.ndarray,
+        start_cycle: int,
+        index: int,
+        total: int,
+        packed: bool = False,
     ) -> TraceChunk:
-        trace = BusTrace(values=np.ascontiguousarray(values), name=self.name)
+        rows = np.ascontiguousarray(words)
+        if packed:
+            trace = BusTrace(packed=rows, n_bits=self.n_bits, name=self.name)
+        else:
+            trace = BusTrace(values=rows, name=self.name)
         return TraceChunk(trace, start_cycle=start_cycle, index=index, total_cycles=total)
 
     # ------------------------------------------------------------------ #
@@ -204,9 +233,7 @@ class TraceSource(abc.ABC):
         straight into the bit-packed representation (8x smaller).
         """
         if packed:
-            from repro.trace.trace import pack_values
-
-            parts = [pack_values(block) for block in self._word_blocks()]
+            parts = [block for block in self._packed_blocks()]
             return BusTrace(
                 packed=np.concatenate(parts, axis=0), n_bits=self.n_bits, name=self.name
             )
@@ -260,6 +287,19 @@ class InMemoryTraceSource(TraceSource):
         step = DEFAULT_CHUNK_CYCLES
         for start in range(0, n_words, step):
             yield unpack_values(packed[start : start + step], self._trace.n_bits)
+
+    def _packed_blocks(self) -> Iterator[np.ndarray]:
+        from repro.trace.trace import pack_values
+
+        step = DEFAULT_CHUNK_CYCLES
+        if self._trace.is_packed:
+            packed = self._trace.packed_values
+            for start in range(0, packed.shape[0], step):
+                yield packed[start : start + step]
+            return
+        values = self._trace.values
+        for start in range(0, values.shape[0], step):
+            yield pack_values(values[start : start + step])
 
     def materialize(self, packed: bool = False) -> BusTrace:
         """Return the backing trace (converting representation if asked)."""
@@ -317,6 +357,15 @@ class SyntheticTraceSource(TraceSource):
         ):
             yield words_to_bits(words, self._n_bits)
 
+    def _packed_blocks(self) -> Iterator[np.ndarray]:
+        # Integer words pack by reinterpretation (no 0/1 detour): this is what
+        # lets the vectorized engine stream synthetic paper-scale traces with
+        # no per-bit work outside the kernels themselves.
+        for _, words in iter_word_blocks(
+            self.profile, self._n_cycles, n_bits=self._n_bits, seed=self._root
+        ):
+            yield words_to_packed(words, self._n_bits)
+
 
 class NpzTraceSource(TraceSource):
     """Stream a trace saved by :func:`repro.trace.io.save_trace_npz`.
@@ -345,6 +394,9 @@ class NpzTraceSource(TraceSource):
 
     def _word_blocks(self) -> Iterator[np.ndarray]:
         yield from InMemoryTraceSource(self._trace)._word_blocks()
+
+    def _packed_blocks(self) -> Iterator[np.ndarray]:
+        yield from InMemoryTraceSource(self._trace)._packed_blocks()
 
 
 class ConcatenatedTraceSource(TraceSource):
@@ -401,6 +453,10 @@ class ConcatenatedTraceSource(TraceSource):
     def _word_blocks(self) -> Iterator[np.ndarray]:
         for source in self._sources:
             yield from source._word_blocks()
+
+    def _packed_blocks(self) -> Iterator[np.ndarray]:
+        for source in self._sources:
+            yield from source._packed_blocks()
 
 
 class EncodedTraceSource(TraceSource):

@@ -55,6 +55,30 @@ def words_to_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
     return bits.astype(np.uint8)
 
 
+def words_to_packed(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Pack integer bus words straight into the packed byte representation.
+
+    Equivalent to ``pack_values(words_to_bits(words, n_bits))`` but without
+    ever materialising the 0/1 array: the little bit order of the packed
+    layout (wire ``i`` -> byte ``i // 8``, bit ``i % 8``) is exactly the
+    little-endian byte order of the word itself, so packing is a reinterpret
+    plus a mask of the top byte's unused bits.  Works for ``n_bits <= 64``.
+    """
+    words = np.asarray(words)
+    if words.ndim != 1:
+        raise ValueError("words must be a 1-D sequence of integers")
+    if n_bits <= 0 or n_bits > 64:
+        raise ValueError(f"n_bits must be in 1..64, got {n_bits}")
+    n_bytes = (n_bits + 7) // 8
+    as_bytes = np.ascontiguousarray(words, dtype="<u8").view(np.uint8).reshape(-1, 8)
+    # Always copy the byte slice: for n_bytes == 8 it would otherwise alias
+    # the caller's array and the mask below would corrupt it in place.
+    packed = np.array(as_bytes[:, :n_bytes], order="C")
+    if n_bits % 8:
+        packed[:, -1] &= (1 << (n_bits % 8)) - 1
+    return packed
+
+
 class BusTrace:
     """A sequence of bus words with a 0/1 ``(n_words, n_bits)`` view.
 

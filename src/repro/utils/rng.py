@@ -7,7 +7,7 @@ experiment reproducible from a single integer seed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -6,13 +6,11 @@ import pytest
 from repro.bus import BusDesign, CharacterizedBus, characterize_bus, default_voltage_grid
 from repro.circuit.pvt import (
     STANDARD_CORNERS,
-    TYPICAL_CORNER,
     WORST_CASE_CORNER,
     ProcessCorner,
     PVTCorner,
 )
 from repro.clocking import PAPER_CLOCKING
-from repro.trace import generate_benchmark_trace
 
 
 class TestPaperBusConstruction:

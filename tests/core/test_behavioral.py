@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.bus import CharacterizedBus
-from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
+from repro.circuit.pvt import WORST_CASE_CORNER
 from repro.core import BehavioralDVSSimulator, DVSBusSystem
 from repro.core.policies import ProportionalPolicy
 from repro.trace import generate_benchmark_trace

@@ -1,6 +1,5 @@
 """Tests for the double-sampling flip-flop, bank, error counter and clocking."""
 
-import numpy as np
 import pytest
 
 from repro.clocking import PAPER_CLOCKING, ClockingParameters

@@ -1,0 +1,170 @@
+"""Property-style engine/chunk equivalence sweeps over adversarial shapes.
+
+The vectorized engine's window-batching invariant -- the controller advances
+per measurement window, chunks may split *anywhere* -- must survive the
+nastiest chunkings: one cycle per chunk, one cycle less/more than the
+control window, and prime sizes co-prime with everything.  Each driver
+(closed-loop dynamic DVS, the per-window oracle, the fixed-VS baseline) is
+swept over all of them x both engines and compared, exactly, against a
+single scalar monolithic reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bus.engine import ENGINES
+from repro.core.dvs_system import DVSBusSystem
+from repro.core.fixed_vs import evaluate_fixed_scaling
+from repro.core.oracle import oracle_voltage_schedule
+from repro.trace import SyntheticTraceSource
+
+#: Control window of the fast test loop.
+WINDOW = 1_000
+
+#: Adversarial chunkings: window straddles and primes.  A one-cycle chunk is
+#: exercised separately on a shorter trace (it streams one chunk per cycle).
+CHUNK_SIZES = (WINDOW - 1, WINDOW, WINDOW + 1, 997, 2_503)
+
+N_CYCLES = 12_000
+TINY_CYCLES = 2_000
+
+
+@pytest.fixture(scope="module")
+def source():
+    return SyntheticTraceSource("crafty", N_CYCLES, seed=31)
+
+
+@pytest.fixture(scope="module")
+def tiny_source():
+    return SyntheticTraceSource("vortex", TINY_CYCLES, seed=47)
+
+
+def _system(bus):
+    return DVSBusSystem(bus, window_cycles=WINDOW, ramp_delay_cycles=300)
+
+
+def _assert_dvs_identical(measured, reference):
+    assert measured.total_errors == reference.total_errors
+    assert measured.failures == reference.failures
+    np.testing.assert_array_equal(
+        measured.window_error_rates, reference.window_error_rates
+    )
+    np.testing.assert_array_equal(measured.window_voltages, reference.window_voltages)
+    assert [(e.cycle, e.voltage) for e in measured.voltage_events] == [
+        (e.cycle, e.voltage) for e in reference.voltage_events
+    ]
+    assert measured.minimum_voltage_reached == reference.minimum_voltage_reached
+    for component in ("bus_dynamic", "leakage", "flipflop_clocking", "recovery_overhead"):
+        assert getattr(measured.energy, component) == getattr(
+            reference.energy, component
+        )
+
+
+@pytest.fixture(scope="module")
+def dvs_reference(typical_corner_bus, source):
+    return _system(typical_corner_bus).run(
+        source.materialize(), engine="scalar", chunk_cycles=source.n_cycles
+    )
+
+
+class TestDynamicDVS:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES)
+    def test_adversarial_chunkings(
+        self, typical_corner_bus, source, dvs_reference, chunk_cycles, engine
+    ):
+        measured = _system(typical_corner_bus).run(
+            source, chunk_cycles=chunk_cycles, engine=engine
+        )
+        _assert_dvs_identical(measured, dvs_reference)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_cycle_chunks(self, typical_corner_bus, tiny_source, engine):
+        system = DVSBusSystem(typical_corner_bus, window_cycles=500, ramp_delay_cycles=150)
+        reference = system.run(
+            tiny_source.materialize(), engine="scalar", chunk_cycles=TINY_CYCLES
+        )
+        measured = system.run(tiny_source, chunk_cycles=1, engine=engine)
+        _assert_dvs_identical(measured, reference)
+
+
+class TestOracle:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES)
+    def test_adversarial_chunkings(self, typical_corner_bus, source, chunk_cycles, engine):
+        # Streamed scalar single-chunk run: the energy reference with the
+        # exact same (chunk-invariant) accumulation contract.
+        reference = oracle_voltage_schedule(
+            typical_corner_bus,
+            source,
+            0.02,
+            window_cycles=WINDOW,
+            chunk_cycles=source.n_cycles,
+            engine="scalar",
+        )
+        measured = oracle_voltage_schedule(
+            typical_corner_bus,
+            source,
+            0.02,
+            window_cycles=WINDOW,
+            chunk_cycles=chunk_cycles,
+            engine=engine,
+        )
+        np.testing.assert_array_equal(
+            measured.window_voltages, reference.window_voltages
+        )
+        np.testing.assert_array_equal(
+            measured.window_error_rates, reference.window_error_rates
+        )
+        for component in ("bus_dynamic", "leakage", "flipflop_clocking", "recovery_overhead"):
+            assert getattr(measured.energy, component) == getattr(
+                reference.energy, component
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_cycle_chunks(self, typical_corner_bus, tiny_source, engine):
+        reference = oracle_voltage_schedule(
+            typical_corner_bus,
+            tiny_source,
+            0.02,
+            window_cycles=500,
+            chunk_cycles=TINY_CYCLES,
+            engine="scalar",
+        )
+        measured = oracle_voltage_schedule(
+            typical_corner_bus,
+            tiny_source,
+            0.02,
+            window_cycles=500,
+            chunk_cycles=1,
+            engine=engine,
+        )
+        np.testing.assert_array_equal(
+            measured.window_voltages, reference.window_voltages
+        )
+        np.testing.assert_array_equal(
+            measured.window_error_rates, reference.window_error_rates
+        )
+
+
+class TestFixedVS:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES + (1,))
+    def test_adversarial_chunkings(
+        self, typical_corner_bus, tiny_source, chunk_cycles, engine
+    ):
+        reference = evaluate_fixed_scaling(
+            typical_corner_bus,
+            tiny_source,
+            chunk_cycles=TINY_CYCLES,
+            engine="scalar",
+        )
+        measured = evaluate_fixed_scaling(
+            typical_corner_bus, tiny_source, chunk_cycles=chunk_cycles, engine=engine
+        )
+        assert measured.voltage == reference.voltage
+        assert measured.error_rate == reference.error_rate
+        for component in ("bus_dynamic", "leakage", "flipflop_clocking", "recovery_overhead"):
+            assert getattr(measured.energy, component) == getattr(
+                reference.energy, component
+            )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.bus import BusDesign
 from repro.circuit.pvt import BEST_CASE_CORNER, STANDARD_CORNERS, WORST_CASE_CORNER
 from repro.core import analyze_hold_constraint, fastest_bus_delay
 

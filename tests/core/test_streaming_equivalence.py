@@ -1,11 +1,19 @@
-"""Streaming-equivalence guarantees of the chunked simulation pipeline.
+"""Streaming- and engine-equivalence guarantees of the simulation pipeline.
 
-The refactor's contract: running any workload chunk by chunk produces results
-**bit-identical** to the monolithic path, for any chunk size -- including
-sizes that straddle the controller's 10 000-cycle measurement window -- while
-peak memory stays O(chunk).  These tests enforce that contract end to end:
-trace statistics, the closed-loop DVS run, the fixed-VS baseline, the oracle
-and the drivers.
+Two contracts are enforced here, end to end (trace statistics, the
+closed-loop DVS run, the fixed-VS baseline, the oracle and the drivers):
+
+* **chunk invariance** -- running any workload chunk by chunk produces
+  results bit-identical to the monolithic path, for any chunk size,
+  including sizes that straddle the controller's 10 000-cycle measurement
+  window, while peak memory stays O(chunk); and
+* **engine identity** -- the vectorized block engine produces results
+  bit-identical to the scalar reference implementation, which makes the
+  scalar path an executable *oracle* for the fast kernels.
+
+Every cross-engine assertion is exact (no tolerances): the vectorized
+kernels are constructed to perform the same float64 arithmetic, so any
+difference at all is a bug.
 """
 
 import tracemalloc
@@ -14,6 +22,7 @@ import numpy as np
 import pytest
 
 from repro.bus.bus_model import TraceStatisticsAccumulator
+from repro.bus.engine import ENGINES
 from repro.core.dvs_system import DVSBusSystem
 from repro.core.fixed_vs import evaluate_fixed_scaling
 from repro.core.oracle import oracle_voltage_schedule
@@ -49,14 +58,17 @@ def _assert_runs_identical(chunked, monolithic):
 
 
 class TestChunkedStatistics:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES)
     def test_chunked_analysis_concatenates_to_monolithic(
-        self, typical_corner_bus, crafty_trace, chunk_cycles
+        self, typical_corner_bus, crafty_trace, chunk_cycles, engine
     ):
         monolithic = typical_corner_bus.analyze(crafty_trace.values)
         pieces = [
             stats
-            for stats, _ in typical_corner_bus.iter_statistics(crafty_trace, chunk_cycles)
+            for stats, _ in typical_corner_bus.iter_statistics(
+                crafty_trace, chunk_cycles, engine=engine
+            )
         ]
         rebuilt = pieces[0]
         for piece in pieces[1:]:
@@ -65,12 +77,32 @@ class TestChunkedStatistics:
         np.testing.assert_array_equal(rebuilt.toggles, monolithic.toggles)
         np.testing.assert_array_equal(rebuilt.coupling_weights, monolithic.coupling_weights)
 
-    def test_packed_analysis_matches_unpacked(self, typical_corner_bus, crafty_trace):
-        unpacked = typical_corner_bus.analyze_trace(crafty_trace)
-        packed = typical_corner_bus.analyze_trace(crafty_trace.pack())
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_packed_analysis_matches_unpacked(self, typical_corner_bus, crafty_trace, engine):
+        unpacked = typical_corner_bus.analyze_trace(crafty_trace, engine=engine)
+        packed = typical_corner_bus.analyze_trace(crafty_trace.pack(), engine=engine)
         np.testing.assert_array_equal(packed.worst_coupling, unpacked.worst_coupling)
         np.testing.assert_array_equal(packed.toggles, unpacked.toggles)
         np.testing.assert_array_equal(packed.coupling_weights, unpacked.coupling_weights)
+
+    def test_engines_produce_identical_statistics(self, typical_corner_bus, crafty_trace):
+        scalar = typical_corner_bus.analyze_trace(crafty_trace, engine="scalar")
+        vectorized = typical_corner_bus.analyze_trace(crafty_trace, engine="vectorized")
+        np.testing.assert_array_equal(vectorized.worst_coupling, scalar.worst_coupling)
+        np.testing.assert_array_equal(vectorized.toggles, scalar.toggles)
+        np.testing.assert_array_equal(vectorized.coupling_weights, scalar.coupling_weights)
+
+    def test_unknown_engine_is_rejected(self, typical_corner_bus, crafty_trace):
+        with pytest.raises(ValueError, match="unknown engine"):
+            typical_corner_bus.analyze_trace(crafty_trace, engine="simd")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_width_mismatch_is_rejected_by_both_engines(self, typical_corner_bus, engine):
+        from repro.trace.trace import BusTrace
+
+        narrow = BusTrace(values=np.zeros((10, 16), dtype=np.uint8))
+        with pytest.raises(ValueError, match="does not match topology"):
+            typical_corner_bus.analyze_trace(narrow, engine=engine)
 
     @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES)
     def test_summary_is_chunk_invariant(self, typical_corner_bus, crafty_trace, chunk_cycles):
@@ -97,10 +129,15 @@ class TestChunkedStatistics:
 
 
 class TestChunkedDVSRun:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("chunk_cycles", CHUNK_SIZES)
-    def test_bit_identical_to_monolithic(self, typical_corner_bus, crafty_trace, chunk_cycles):
-        monolithic = _fast_system(typical_corner_bus).run(crafty_trace)
-        chunked = _fast_system(typical_corner_bus).run(crafty_trace, chunk_cycles=chunk_cycles)
+    def test_bit_identical_to_monolithic(
+        self, typical_corner_bus, crafty_trace, chunk_cycles, engine
+    ):
+        monolithic = _fast_system(typical_corner_bus).run(crafty_trace, engine="scalar")
+        chunked = _fast_system(typical_corner_bus).run(
+            crafty_trace, chunk_cycles=chunk_cycles, engine=engine
+        )
         _assert_runs_identical(chunked, monolithic)
 
     @pytest.mark.parametrize("chunk_cycles", (777, 3_333))
@@ -150,11 +187,17 @@ class TestChunkedDVSRun:
 
 
 class TestStreamedBaselines:
-    def test_fixed_scaling_summary_matches_stats(self, typical_corner_bus, crafty_trace):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_fixed_scaling_summary_matches_stats(
+        self, typical_corner_bus, crafty_trace, engine
+    ):
         stats = typical_corner_bus.analyze(crafty_trace.values)
         from_stats = evaluate_fixed_scaling(typical_corner_bus, stats)
         from_source = evaluate_fixed_scaling(
-            typical_corner_bus, as_trace_source(crafty_trace), chunk_cycles=3_333
+            typical_corner_bus,
+            as_trace_source(crafty_trace),
+            chunk_cycles=3_333,
+            engine=engine,
         )
         assert from_source.voltage == from_stats.voltage
         assert from_source.error_rate == from_stats.error_rate
@@ -191,9 +234,10 @@ class TestStreamedBaselines:
             streamed.window_error_rates, monolithic.window_error_rates
         )
 
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("target", (0.0, 0.02, 0.05))
     def test_oracle_streamed_matches_monolithic(
-        self, typical_corner_bus, crafty_trace, target
+        self, typical_corner_bus, crafty_trace, target, engine
     ):
         stats = typical_corner_bus.analyze(crafty_trace.values)
         monolithic = oracle_voltage_schedule(
@@ -205,6 +249,7 @@ class TestStreamedBaselines:
             target,
             window_cycles=5_000,
             chunk_cycles=1_777,
+            engine=engine,
         )
         np.testing.assert_array_equal(streamed.window_voltages, monolithic.window_voltages)
         np.testing.assert_array_equal(

@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    BusDesign,
     CharacterizedBus,
     DVSBusSystem,
     TYPICAL_CORNER,

@@ -89,6 +89,44 @@ class TestSyntheticTraceSource:
         np.testing.assert_array_equal(_reassemble(source, chunk_cycles), expected)
 
 
+class TestPackedChunks:
+    """chunks(packed=True) must stream the exact same words, packed-backed."""
+
+    def _assert_packed_matches_unpacked(self, source, chunk_cycles):
+        unpacked = list(source.chunks(chunk_cycles))
+        packed = list(source.chunks(chunk_cycles, packed=True))
+        assert len(packed) == len(unpacked)
+        for u_chunk, p_chunk in zip(unpacked, packed):
+            assert p_chunk.trace.is_packed
+            assert not u_chunk.trace.is_packed
+            assert (p_chunk.start_cycle, p_chunk.n_cycles) == (
+                u_chunk.start_cycle,
+                u_chunk.n_cycles,
+            )
+            np.testing.assert_array_equal(p_chunk.values, u_chunk.values)
+
+    @pytest.mark.parametrize("chunk_cycles", [999, 10_000, 65_536])
+    def test_synthetic_source(self, chunk_cycles):
+        source = SyntheticTraceSource(get_profile("crafty"), 80_000, seed=7)
+        self._assert_packed_matches_unpacked(source, chunk_cycles)
+
+    def test_in_memory_sources(self):
+        trace = generate_benchmark_trace("swim", n_cycles=3_000, seed=4)
+        self._assert_packed_matches_unpacked(InMemoryTraceSource(trace), 700)
+        self._assert_packed_matches_unpacked(InMemoryTraceSource(trace.pack()), 700)
+
+    def test_concatenated_source(self):
+        sources = [
+            SyntheticTraceSource(get_profile(name), 2_000, seed=3)
+            for name in ("crafty", "mgrid")
+        ]
+        self._assert_packed_matches_unpacked(ConcatenatedTraceSource(sources), 777)
+
+    def test_narrow_bus_masks_pad_bits(self):
+        source = SyntheticTraceSource(get_profile("crafty"), 5_000, seed=9, n_bits=13)
+        self._assert_packed_matches_unpacked(source, 1_024)
+
+
 class TestInMemoryTraceSource:
     def test_wraps_trace(self):
         trace = generate_benchmark_trace("swim", n_cycles=3_000, seed=4)
