@@ -36,6 +36,8 @@ PUBLIC_MODULES = (
     "repro.trace",
     "repro.trace.stream",
     "repro.trace.generator",
+    "repro.trace.workloads",
+    "repro.cpu",
     "repro.analysis",
     "repro.analysis.experiments",
     "repro.analysis.serialize",
@@ -74,6 +76,11 @@ def _summary(obj: object) -> str:
     return " ".join(paragraph)
 
 
+def _strip_addresses(text: str) -> str:
+    """Drop memory addresses from reprs so output is deterministic."""
+    return re.sub(r" at 0x[0-9a-fA-F]+", "", text)
+
+
 def _signature(obj: object) -> str:
     try:
         text = str(inspect.signature(obj))
@@ -81,7 +88,36 @@ def _signature(obj: object) -> str:
         return "(...)"
     # Default values repr'd with memory addresses would make output
     # nondeterministic; strip the address part.
-    return re.sub(r" at 0x[0-9a-fA-F]+", "", text)
+    return _strip_addresses(text)
+
+
+def _stable_repr(value: object) -> str:
+    """``repr`` with memory addresses stripped, so output is deterministic."""
+    return _strip_addresses(repr(value))
+
+
+#: Constants whose repr exceeds this render as a summary, not a repr dump.
+MAX_CONSTANT_REPR = 300
+
+
+def _describe_constant(value: object) -> str:
+    """One line for a module-level constant.
+
+    Small constants render their (address-stripped) repr; large containers
+    (registries like ``KERNELS`` or ``EXPERIMENTS``, whose reprs run to
+    kilobytes of embedded source and function objects) summarise as their
+    size and keys so the page stays reviewable.
+    """
+    text = _stable_repr(value)
+    if len(text) <= MAX_CONSTANT_REPR:
+        return f"Constant of type `{type(value).__name__}`: `{text}`."
+    if isinstance(value, dict):
+        keys = ", ".join(f"`{key}`" for key in list(value)[:12])
+        more = ", …" if len(value) > 12 else ""
+        return f"Constant of type `dict` with {len(value)} entries: {keys}{more}."
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return f"Constant of type `{type(value).__name__}` with {len(value)} items."
+    return f"Constant of type `{type(value).__name__}` (repr elided: {len(text)} chars)."
 
 
 def _public_names(module) -> List[str]:
@@ -137,7 +173,7 @@ def _document_module(module_name: str) -> List[str]:
             lines += [
                 f"### `{name}`",
                 "",
-                f"Constant of type `{type(value).__name__}`: `{value!r}`.",
+                _describe_constant(value),
                 "",
             ]
     return lines

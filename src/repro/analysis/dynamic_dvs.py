@@ -174,6 +174,7 @@ def run_table1(
     ramp_delay_cycles: int = 3000,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    order: Optional[Sequence[str]] = None,
 ) -> Table1Result:
     """Reproduce Table 1: fixed VS vs the proposed DVS, per benchmark and corner.
 
@@ -183,7 +184,9 @@ def run_table1(
         Bus design; defaults to the paper's bus.
     workloads:
         Benchmark traces or trace sources; when omitted, streamed synthetic
-        sources at the paper's scale are used.
+        sources at the paper's scale are used.  Any registry workload works
+        here -- the cross-workload ``table1_kernels`` experiment passes CPU
+        kernel sources next to the synthetic suite.
     corners:
         Corners to evaluate (the paper's Table 1 uses the worst-case and the
         typical corner).
@@ -207,6 +210,10 @@ def run_table1(
     engine:
         Kernel engine for the per-cycle statistics (:mod:`repro.bus.engine`);
         results are bit-identical for either engine.
+    order:
+        Row order of the table; defaults to the paper's
+        :data:`~repro.trace.benchmarks.TABLE1_ORDER` (names absent from
+        ``workloads`` are skipped either way).
     """
     if design is None:
         design = BusDesign.paper_bus()
@@ -214,6 +221,8 @@ def run_table1(
         n_cycles = PAPER_CYCLES_PER_BENCHMARK
     if workloads is None:
         workloads = suite_sources(n_cycles=n_cycles, seed=seed)
+    if order is None:
+        order = TABLE1_ORDER
 
     corner_results: List[Table1CornerResult] = []
     for corner in corners:
@@ -231,7 +240,7 @@ def run_table1(
         dvs_reference_total = 0.0
         error_cycles_total = 0
         cycles_total = 0
-        for name in TABLE1_ORDER:
+        for name in order:
             if name not in workloads:
                 continue
             progress = _auto_progress(

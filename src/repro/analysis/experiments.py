@@ -37,7 +37,7 @@ from repro.analysis.static_scaling import run_corner_gain_study, run_static_volt
 from repro.bus.bus_design import BusDesign
 from repro.bus.bus_model import CharacterizedBus
 from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
-from repro.trace.generator import generate_suite
+from repro.trace.generator import generate_suite, suite_sources
 
 ExperimentRunner = Callable[..., Tuple[Any, str]]
 
@@ -119,16 +119,94 @@ def _run_fig6(n_cycles: int = 120_000, seed: int = 2005) -> Tuple[Any, str]:
     return study, reporting.format_oracle_residency(study)
 
 
+def _workload_mapping(workload: str, n_cycles: Optional[int], seed: int):
+    """Resolve a ``--workload`` selector into named streaming sources.
+
+    Generative workloads default to the same paper scale as the selector-less
+    drivers, so adding ``--workload`` never silently changes the run length;
+    the shared bus is redesigned for the sources' width (encoded workloads
+    drive more wires than the paper bus).  Returns
+    ``(workloads, effective_n_cycles, design)``.
+    """
+    from repro.encoding.analysis import design_for_width
+    from repro.trace.generator import PAPER_CYCLES_PER_BENCHMARK
+    from repro.trace.workloads import WorkloadError, resolve_workload_mapping
+
+    requested = n_cycles if n_cycles is not None else PAPER_CYCLES_PER_BENCHMARK
+    try:
+        workloads = resolve_workload_mapping(workload, n_cycles=requested, seed=seed)
+    except (KeyError, ValueError) as error:
+        # Unknown specs raise KeyError; unreadable/corrupt trace files raise
+        # ValueError.  Both are bad user input, not internal failures.
+        raise WorkloadError(error.args[0] if error.args else str(error)) from error
+    widths = {source.n_bits for source in workloads.values()}
+    if len(widths) > 1:
+        raise WorkloadError(
+            f"workloads of mixed bus widths cannot share one bus: {sorted(widths)}"
+        )
+    design = design_for_width(BusDesign.paper_bus(), widths.pop())
+    # The reported per-benchmark cycle count: file-backed and SimPoint-reduced
+    # sources keep their own lengths, so when every row agrees on a length
+    # (the common case) report that, and only fall back to the requested
+    # scale for mixed-length mappings.
+    lengths = {source.n_cycles for source in workloads.values()}
+    effective = lengths.pop() if len(lengths) == 1 else requested
+    return workloads, effective, design
+
+
 def _run_table1(
     n_cycles: Optional[int] = None,
     seed: int = 2005,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    workload: Optional[str] = None,
 ) -> Tuple[Any, str]:
     # n_cycles=None runs the paper's 10 M cycles per benchmark through the
     # streaming pipeline (O(chunk) memory); pass --cycles to scale down.
+    # workload restricts/replaces the suite with comma-separated registry
+    # specs (e.g. "cpu:memcopy,crafty"), at the same default scale.  File-
+    # backed specs are content-addressed by JobSpec.key, so cached runs never
+    # survive a regenerated trace file.
+    if workload is not None:
+        workloads, effective, design = _workload_mapping(workload, n_cycles, seed)
+        result = run_table1(
+            design=design,
+            workloads=workloads,
+            order=tuple(workloads),
+            n_cycles=effective,
+            seed=seed,
+            chunk_cycles=chunk_cycles,
+            engine=engine,
+        )
+    else:
+        result = run_table1(
+            n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine
+        )
+    return result, reporting.format_table1(result)
+
+
+def _run_table1_kernels(
+    n_cycles: int = 60_000,
+    seed: int = 2005,
+    chunk_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Tuple[Any, str]:
+    # Cross-workload Table 1: the 10 synthetic benchmarks next to all 7
+    # executed mini-CPU kernels, per-SimPoint-spirit scenario diversity.  The
+    # default scale keeps the (interpreted) kernel executions interactive;
+    # synthetic rows at this scale differ from the paper-scale table1 run.
+    from repro.trace.benchmarks import TABLE1_ORDER
+    from repro.trace.workloads import kernel_sources
+
+    kernels = kernel_sources(n_cycles=n_cycles, seed=seed)
+    workloads = {**suite_sources(n_cycles=n_cycles, seed=seed), **kernels}
     result = run_table1(
-        n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine
+        workloads=workloads,
+        order=tuple(TABLE1_ORDER) + tuple(sorted(kernels)),
+        n_cycles=n_cycles,
+        seed=seed,
+        chunk_cycles=chunk_cycles,
+        engine=engine,
     )
     return result, reporting.format_table1(result)
 
@@ -138,8 +216,23 @@ def _run_fig8(
     seed: int = 2005,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    workload: Optional[str] = None,
 ) -> Tuple[Any, str]:
-    result = run_fig8(n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine)
+    if workload is not None:
+        workloads, effective, design = _workload_mapping(workload, n_cycles, seed)
+        result = run_fig8(
+            design=design,
+            workloads=workloads,
+            benchmark_order=tuple(workloads),
+            n_cycles=effective,
+            seed=seed,
+            chunk_cycles=chunk_cycles,
+            engine=engine,
+        )
+    else:
+        result = run_fig8(
+            n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine
+        )
     return result, reporting.format_fig8(result)
 
 
@@ -291,6 +384,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "Supply voltage and instantaneous error rate while the suite runs back-to-back",
         _run_fig8,
     ),
+    "table1_kernels": Experiment(
+        "table1_kernels",
+        "Table 1 (ext.)",
+        "Cross-workload Table 1: all 7 executed CPU kernels next to the 10 synthetic benchmarks",
+        _run_table1_kernels,
+    ),
     "fig10": Experiment(
         "fig10",
         "Fig. 10",
@@ -369,7 +468,7 @@ def run_experiment(
     >>> run_experiment("fig99")
     Traceback (most recent call last):
         ...
-    KeyError: "unknown experiment 'fig99'; known: baselines, encoding, fig10, fig4a, fig4b, fig5, fig6, fig8, ipc, scaling, sensitivity, shielding, table1"
+    KeyError: "unknown experiment 'fig99'; known: baselines, encoding, fig10, fig4a, fig4b, fig5, fig6, fig8, ipc, scaling, sensitivity, shielding, table1, table1_kernels"
     """
     if identifier not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))

@@ -18,7 +18,15 @@ the reproduction can be driven without writing a script:
   into a Markdown/JSON/SVG artifact directory with a per-metric fidelity
   summary against the paper's published values,
 * ``python -m repro cache info`` -- inspect or clear the result cache,
-* ``python -m repro kernels`` -- the mini-CPU kernels available as workloads.
+* ``python -m repro kernels`` -- the mini-CPU kernels available as workloads,
+* ``python -m repro trace --workload cpu:memcopy --out m.npz`` -- generate,
+  inspect or save any registered workload trace (``trace --list`` shows the
+  spec grammar: synthetic profiles, ``cpu:<kernel>``, ``file:<path>``,
+  ``simpoint:``/``suite:``/``encoded:`` wrappers).
+
+``simulate`` and ``run`` (for the experiments that take workloads, i.e.
+``table1``/``fig8``) accept the same ``--workload`` specs, so any registered
+workload can be driven through the closed loop without code edits.
 
 The runtime flags steer the engine for the commands that go through it:
 ``--cache-dir PATH`` / ``--no-cache`` apply to ``run``, ``sweep`` and
@@ -38,6 +46,8 @@ import sys
 import time
 from pathlib import Path
 from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.experiments import EXPERIMENTS, accepted_kwargs, run_experiment
 from repro.baselines import format_scheme_comparison, run_scheme_comparison
@@ -60,7 +70,23 @@ from repro.runtime import (
     run_jobs,
 )
 from repro.runtime.tasks import get_task
-from repro.trace import TABLE1_ORDER, benchmark_trace_source, generate_suite
+from repro.trace import (
+    TABLE1_ORDER,
+    BusTrace,
+    benchmark_trace_source,
+    generate_suite,
+    resolve_workload,
+    save_trace_hex,
+    save_trace_npz,
+)
+from repro.trace.workloads import WorkloadError
+
+
+def _workload_error(error: Exception) -> int:
+    """Print a workload-spec failure as a clean CLI error (no traceback)."""
+    message = error.args[0] if error.args else str(error)
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def _add_corner_argument(parser: argparse.ArgumentParser) -> None:
@@ -144,6 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one experiment by id")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
     run_parser.add_argument("--seed", type=int, default=2005, help="workload seed")
+    run_parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help="registry workload spec(s), comma-separated rows ('+' concatenates "
+        "within a row; experiments that take workloads only -- see "
+        "'repro trace --list')",
+    )
     add_workload_flags(run_parser, top_level=False)
     add_runtime_flags(run_parser, top_level=False)
 
@@ -216,10 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corner_argument(characterize_parser)
 
     simulate_parser = subparsers.add_parser(
-        "simulate", help="one closed-loop DVS run on a single benchmark"
+        "simulate", help="one closed-loop DVS run on a single workload"
     )
     simulate_parser.add_argument(
         "--benchmark", choices=TABLE1_ORDER, default="crafty", help="benchmark profile"
+    )
+    simulate_parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help="registry workload spec (overrides --benchmark; see 'repro trace --list')",
     )
     _add_corner_argument(simulate_parser)
     # SUPPRESS keeps the global --cycles / --chunk-cycles usable before the
@@ -251,6 +291,37 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--seed", type=int, default=2005)
 
     subparsers.add_parser("kernels", help="list the mini-CPU kernels usable as workloads")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate, inspect or save any registered workload trace"
+    )
+    trace_parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help="workload spec (synthetic profile, cpu:<kernel>, file:<path>, "
+        "simpoint:/suite:/encoded: wrappers; see --list)",
+    )
+    trace_parser.add_argument(
+        "--list", action="store_true", dest="list_workloads", help="list the registered workloads"
+    )
+    trace_parser.add_argument(
+        "--cycles",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="trace length for generative workloads (default 20000)",
+    )
+    trace_parser.add_argument(
+        "--chunk-cycles", type=int, default=argparse.SUPPRESS, help="streaming chunk size"
+    )
+    trace_parser.add_argument("--seed", type=int, default=2005, help="workload seed")
+    trace_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="save the trace (.npz packed archive or .hex text, by extension)",
+    )
     return parser
 
 
@@ -267,11 +338,22 @@ def _command_list() -> int:
 
 
 def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[int],
-                 engine: Optional[str], seed: int, cache: Optional[ResultCache]) -> int:
+                 engine: Optional[str], seed: int, cache: Optional[ResultCache],
+                 workload: Optional[str] = None) -> int:
     runner = EXPERIMENTS[experiment].runner
-    requested = {"n_cycles": cycles, "chunk_cycles": chunk_cycles, "engine": engine}
+    requested = {
+        "n_cycles": cycles,
+        "chunk_cycles": chunk_cycles,
+        "engine": engine,
+        "workload": workload,
+    }
     kwargs = accepted_kwargs(runner, {"seed": seed, **requested})
-    flags = {"n_cycles": "--cycles", "chunk_cycles": "--chunk-cycles", "engine": "--engine"}
+    flags = {
+        "n_cycles": "--cycles",
+        "chunk_cycles": "--chunk-cycles",
+        "engine": "--engine",
+        "workload": "--workload",
+    }
     for name, value in requested.items():
         if value is not None and name not in kwargs:
             print(
@@ -279,7 +361,12 @@ def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[
                 file=sys.stderr,
             )
     started = time.perf_counter()
-    record, text = run_experiment(experiment, cache=cache, **kwargs)
+    try:
+        record, text = run_experiment(experiment, cache=cache, **kwargs)
+    except WorkloadError as error:
+        # Bad --workload specs only (unknown names, mixed bus widths);
+        # anything else propagates as the genuine failure it is.
+        return _workload_error(error)
     elapsed = time.perf_counter() - started
     print(text)
     if cache is not None:
@@ -433,15 +520,30 @@ def _command_simulate(
     ramp: int,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    workload: Optional[str] = None,
 ) -> int:
     corner = CORNERS[corner_name]
-    bus = CharacterizedBus(BusDesign.paper_bus(), corner)
-    source = benchmark_trace_source(benchmark, n_cycles=cycles, seed=seed)
+    if workload is not None:
+        # Any registry spec; file-backed workloads keep their recorded
+        # length, generative ones honour --cycles.
+        try:
+            source = resolve_workload(workload, n_cycles=cycles, seed=seed)
+        except (KeyError, ValueError) as error:
+            return _workload_error(error)
+        label = workload
+    else:
+        source = benchmark_trace_source(benchmark, n_cycles=cycles, seed=seed)
+        label = benchmark
+    # Encoded workloads drive more wires than the paper bus; redesign for the
+    # source's width exactly like the dvs_run sweep task does.
+    from repro.encoding.analysis import design_for_width
+
+    bus = CharacterizedBus(design_for_width(BusDesign.paper_bus(), source.n_bits), corner)
     system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
-    progress = auto_chunk_progress(cycles, label=f"simulate {benchmark}")
+    progress = auto_chunk_progress(source.n_cycles, label=f"simulate {label}")
     result = system.run(source, chunk_cycles=chunk_cycles, progress=progress, engine=engine)
 
-    print(f"Closed-loop DVS: benchmark {benchmark!r}, corner {corner.label}")
+    print(f"Closed-loop DVS: workload {label!r}, corner {corner.label}")
     print(f"  cycles simulated      : {result.n_cycles}")
     print(f"  corrected errors      : {result.total_errors} "
           f"({result.average_error_rate * 100:.2f}% of cycles)")
@@ -485,6 +587,81 @@ def _command_compare_schemes(corner_name: str, cycles: int, seed: int) -> int:
     return 0
 
 
+def _command_trace(
+    workload: Optional[str],
+    list_workloads: bool,
+    cycles: Optional[int],
+    seed: int,
+    out: Optional[Path],
+    chunk_cycles: Optional[int] = None,
+) -> int:
+    from repro.trace.workloads import WORKLOADS
+
+    if list_workloads or workload is None:
+        rows = WORKLOADS.describe()
+        width = max(len(spec) for spec, _ in rows)
+        print("Registered workloads (use with --workload on trace/simulate/run):")
+        for spec, description in rows:
+            print(f"  {spec:<{width}}  {description}")
+        if workload is None and not list_workloads:
+            print("\n(no workload given; use 'trace --workload <spec>' to generate one)")
+        return 0
+
+    from repro.trace import pack_values
+
+    if out is not None:
+        if out.suffix not in (".npz", ".hex"):
+            # savez_compressed would silently append ".npz" to any other
+            # suffix, writing to a different path than the one we report.
+            return _workload_error(
+                ValueError(f"--out must end in .npz or .hex, got {out.name!r}")
+            )
+        try:
+            out.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            # Fail before executing the workload, not after.
+            return _workload_error(ValueError(f"cannot create {out.parent}: {error}"))
+    try:
+        source = resolve_workload(
+            workload, n_cycles=cycles if cycles is not None else 20_000, seed=seed
+        )
+    except (KeyError, ValueError) as error:
+        return _workload_error(error)
+    # One streamed pass computes the inspection statistics and (when saving)
+    # collects the words, so generative workloads execute exactly once.  The
+    # collection is kept bit-packed: only one chunk is ever unpacked, so the
+    # pipeline's O(chunk) unpacked-memory property survives paper-scale saves.
+    total_toggles = 0
+    busiest_cycle = 0
+    collected = [] if out is not None else None
+    for chunk in source.chunks(chunk_cycles):
+        transitions = chunk.values[1:] != chunk.values[:-1]
+        total_toggles += int(transitions.sum())
+        if transitions.size:
+            busiest_cycle = max(busiest_cycle, int(transitions.sum(axis=1).max()))
+        if collected is not None:
+            collected.append(pack_values(chunk.values if chunk.is_first else chunk.values[1:]))
+
+    print(f"Workload {workload!r} -> trace {source.name!r}")
+    print(f"  cycles (transitions) : {source.n_cycles}")
+    print(f"  bus width            : {source.n_bits} bits")
+    print(
+        f"  toggle density       : {total_toggles / (source.n_cycles * source.n_bits):.4f} "
+        "(toggles per wire per cycle)"
+    )
+    print(f"  busiest cycle        : {busiest_cycle} of {source.n_bits} wires toggling")
+    if out is not None and collected is not None:
+        trace = BusTrace(
+            packed=np.concatenate(collected, axis=0), n_bits=source.n_bits, name=source.name
+        )
+        if out.suffix == ".hex":
+            save_trace_hex(trace, out)
+        else:
+            save_trace_npz(trace, out)
+        print(f"  saved to             : {out}")
+    return 0
+
+
 def _command_kernels() -> int:
     width = max(len(name) for name in KERNELS)
     print("Mini-CPU kernels (see repro.cpu.kernel_bus_trace):")
@@ -505,7 +682,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(
-            args.experiment, args.cycles, args.chunk_cycles, args.engine, args.seed, cache
+            args.experiment,
+            args.cycles,
+            args.chunk_cycles,
+            args.engine,
+            args.seed,
+            cache,
+            workload=args.workload,
         )
     if args.command == "sweep":
         return _command_sweep(
@@ -546,6 +729,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.ramp,
             chunk_cycles=args.chunk_cycles,
             engine=args.engine,
+            workload=args.workload,
         )
     if args.command == "compare-schemes":
         return _command_compare_schemes(
@@ -553,6 +737,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.command == "kernels":
         return _command_kernels()
+    if args.command == "trace":
+        return _command_trace(
+            args.workload,
+            args.list_workloads,
+            args.cycles,
+            args.seed,
+            args.out,
+            chunk_cycles=args.chunk_cycles,
+        )
     parser.error(f"unhandled command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

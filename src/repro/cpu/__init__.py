@@ -29,7 +29,14 @@ from repro.cpu.assembler import AssemblyError, assemble, format_instruction, for
 from repro.cpu.memory import DirectMappedCache, MainMemory
 from repro.cpu.simulator import CPU, ExecutionResult, SimulationError
 from repro.cpu.kernels import KERNELS, Kernel, get_kernel
-from repro.cpu.tracing import KernelTraceResult, kernel_bus_trace, kernel_suite
+from repro.cpu.tracing import (
+    KernelTraceResult,
+    execute_kernel_once,
+    kernel_bus_trace,
+    kernel_run_rng,
+    kernel_seed_sequence,
+    kernel_suite,
+)
 
 __all__ = [
     "Instruction",
@@ -48,6 +55,9 @@ __all__ = [
     "Kernel",
     "get_kernel",
     "KernelTraceResult",
+    "execute_kernel_once",
     "kernel_bus_trace",
+    "kernel_run_rng",
+    "kernel_seed_sequence",
     "kernel_suite",
 ]

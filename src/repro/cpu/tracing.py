@@ -9,6 +9,7 @@ convention the synthetic generator uses.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -19,7 +20,7 @@ from repro.cpu.memory import DirectMappedCache, MainMemory
 from repro.cpu.simulator import CPU, ExecutionResult
 from repro.cpu.assembler import assemble
 from repro.trace.trace import BusTrace
-from repro.utils.rng import SeedLike, make_rng, spawn_rngs
+from repro.utils.rng import SeedLike, derive_seed_sequence, rng_seed_sequence
 
 
 @dataclass(frozen=True)
@@ -50,13 +51,39 @@ class KernelTraceResult:
     cache_hit_rate: Optional[float]
 
 
-def _execute_once(
+def kernel_run_rng(root: np.random.SeedSequence, run_index: int) -> np.random.Generator:
+    """The RNG of one kernel execution, derived statelessly from the root.
+
+    Each run of a kernel gets its own child stream identified by the run
+    index alone, so any run's data image can be regenerated independently --
+    the property :class:`repro.trace.stream.CpuKernelTraceSource` relies on
+    to stream kernel traces run by run at any chunk size.
+    """
+    return np.random.default_rng(derive_seed_sequence(root, (run_index,)))
+
+
+def kernel_seed_sequence(seed: SeedLike, name: str) -> np.random.SeedSequence:
+    """The per-kernel root sequence derived from a suite seed and a kernel name.
+
+    Keyed by a stable hash of the *name* (not a positional index), so adding
+    or removing kernels never perturbs the streams of the others, and a
+    passed :class:`~numpy.random.Generator` contributes its own root instead
+    of being replaced with fresh entropy.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return derive_seed_sequence(
+        rng_seed_sequence(seed), (int.from_bytes(digest[:4], "big"),)
+    )
+
+
+def execute_kernel_once(
     kernel: Kernel,
     rng: np.random.Generator,
     cache: Optional[DirectMappedCache],
     bus_policy: str,
     max_instructions: int,
 ) -> Tuple[ExecutionResult, MainMemory]:
+    """Build a fresh data image, run the kernel once, and verify the result."""
     memory, verify = kernel.build(rng)
     cpu = CPU(assemble(kernel.source), memory=memory, cache=cache, bus_policy=bus_policy)
     result = cpu.run(max_instructions=max_instructions)
@@ -89,7 +116,11 @@ def kernel_bus_trace(
         Number of bus transitions wanted; the kernel is re-run with fresh data
         until enough words have been recorded, then the stream is truncated.
     seed:
-        Seed for the per-run data images.
+        Seed for the per-run data images.  Every run's RNG is derived
+        statelessly from it (see :func:`kernel_run_rng`), so equal seeds --
+        including generators built from equal seeds -- give bit-identical
+        traces, and the result equals
+        ``CpuKernelTraceSource(kernel, n_cycles, seed=seed).materialize()``.
     bus_policy:
         ``"all_loads"`` (the paper's convention) or ``"misses_only"``.
     cache:
@@ -107,14 +138,14 @@ def kernel_bus_trace(
     if bus_policy == "misses_only" and cache is None:
         cache = DirectMappedCache()
 
-    rng = make_rng(seed)
+    root = rng_seed_sequence(seed)
     words: list = []
     runs = 0
     instructions = 0
     loads = 0
     while len(words) < n_cycles + 1:
-        result, _ = _execute_once(
-            kernel, rng, cache, bus_policy, max_instructions_per_run
+        result, _ = execute_kernel_once(
+            kernel, kernel_run_rng(root, runs), cache, bus_policy, max_instructions_per_run
         )
         words.extend(result.bus_words)
         runs += 1
@@ -143,14 +174,16 @@ def kernel_suite(
     """Bus traces for a set of kernels (mirrors ``repro.trace.generate_suite``).
 
     Each kernel gets its own deterministic random stream derived from the
-    seed, so adding or removing kernels does not perturb the others.
+    seed and the kernel *name* (see :func:`kernel_seed_sequence`), so adding
+    or removing kernels does not perturb the others, and two calls with
+    equal seeds -- integers or generators built from equal seeds -- return
+    bit-identical traces.
     """
     if names is None:
         names = tuple(sorted(KERNELS))
-    rngs = spawn_rngs(seed if isinstance(seed, int) else None, len(names))
     return {
         name: kernel_bus_trace(
-            name, n_cycles, seed=rng, bus_policy=bus_policy
+            name, n_cycles, seed=kernel_seed_sequence(seed, name), bus_policy=bus_policy
         ).trace
-        for name, rng in zip(names, rngs)
+        for name in names
     }

@@ -28,7 +28,9 @@ from repro.encoding.analysis import (
     EncodingStudy,
     default_encoders,
     design_for_width,
+    encoder_names,
     format_encoding_study,
+    get_encoder,
     run_encoding_study,
 )
 
@@ -44,6 +46,8 @@ __all__ = [
     "EncodingStudy",
     "default_encoders",
     "design_for_width",
+    "encoder_names",
     "format_encoding_study",
+    "get_encoder",
     "run_encoding_study",
 ]

@@ -41,6 +41,26 @@ def default_encoders() -> List[BusEncoder]:
     ]
 
 
+def encoder_names() -> Tuple[str, ...]:
+    """Self-declared names of the :func:`default_encoders` set, in order."""
+    return tuple(encoder.name for encoder in default_encoders())
+
+
+def get_encoder(name: str) -> BusEncoder:
+    """A fresh encoder instance by its self-declared ``.name``.
+
+    The single name-based lookup shared by the runtime's ``encoder`` sweep
+    parameter and the workload registry's ``encoded:<name>:`` specs, so both
+    always accept exactly the :func:`default_encoders` set.
+    """
+    registry = {encoder.name: encoder for encoder in default_encoders()}
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(registry)
+        raise KeyError(f"unknown encoder {name!r}; known: {known}") from None
+
+
 @dataclass(frozen=True)
 class EncoderEvaluation:
     """Measurements for one encoder on one workload.

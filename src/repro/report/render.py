@@ -90,8 +90,9 @@ def _renderer(identifier: str) -> Callable[[Renderer], Renderer]:
 # --------------------------------------------------------------------------- #
 # Dedicated renderers
 # --------------------------------------------------------------------------- #
-@_renderer("table1")
-def _render_table1(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_table1_like(
+    data: Mapping[str, Any], figure_prefix: str
+) -> Tuple[str, List[Tuple[str, str]]]:
     parts: List[str] = [
         f"Cycles per benchmark: **{data['n_cycles_per_benchmark']:,}**",
     ]
@@ -124,7 +125,7 @@ def _render_table1(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]
         ]
         figures.append(
             (
-                f"table1-corner{index}",
+                f"{figure_prefix}-corner{index}",
                 svg_bar_chart(
                     [row["benchmark"] for row in corner["rows"]],
                     [row["dvs_gain_percent"] for row in corner["rows"]],
@@ -134,6 +135,19 @@ def _render_table1(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]
             )
         )
     return "\n".join(parts), figures
+
+
+@_renderer("table1")
+def _render_table1(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    return _render_table1_like(data, "table1")
+
+
+@_renderer("table1_kernels")
+def _render_table1_kernels(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+    # Same Table 1 layout; rows mix executed CPU kernels (cpu:*) with the
+    # synthetic benchmarks, so the bar chart reads as a cross-workload
+    # comparison.
+    return _render_table1_like(data, "table1-kernels")
 
 
 def _render_static_sweep(

@@ -57,12 +57,30 @@ class JobSpec:
         ``repro.__version__`` is part of the identity: a release that
         changes the simulation physics must miss the persistent cache, not
         silently replay results computed by older code.
+
+        A ``workload`` parameter referencing trace *files* contributes the
+        files' content digest (:func:`repro.trace.workloads.
+        workload_fingerprint`), not just the path string -- regenerating a
+        ``file:`` trace invalidates every cached job that consumed it, no
+        matter which entry point (CLI run, sweep grid, direct ``JobSpec``)
+        created the job.  Generative workload specs are pure functions of
+        spec and seed, so for them the spec string alone is the identity.
         """
         from repro import __version__
 
-        return stable_hash(
-            {"task": self.task, "params": dict(self.params), "code_version": __version__}
-        )
+        identity: Dict[str, Any] = {
+            "task": self.task,
+            "params": dict(self.params),
+            "code_version": __version__,
+        }
+        workload = self.params.get("workload")
+        if isinstance(workload, str):
+            from repro.trace.workloads import workload_fingerprint
+
+            fingerprint = workload_fingerprint(workload)
+            if fingerprint is not None:
+                identity["workload_fingerprint"] = fingerprint
+        return stable_hash(identity)
 
     @property
     def label(self) -> str:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
+from repro.cpu.kernels import KERNELS
 from repro.runtime.executor import ExecutionReport
 from repro.runtime.spec import SweepSpec
 from repro.runtime.tasks import ENCODER_NAMES
@@ -88,6 +89,22 @@ SWEEPS: Dict[str, SweepSpec] = {
             seed=2005,
             seed_by=_WORKLOAD_SEED,
             description="Section 6 modified-bus study generalised: Cc/Cg scale x corner",
+        ),
+        SweepSpec(
+            name="workload-matrix",
+            task="dvs_run",
+            base={"n_cycles": 6_000},
+            axes={
+                "workload": tuple(f"cpu:{name}" for name in sorted(KERNELS))
+                + ("crafty", "vortex", "mgrid"),
+                "corner": ("worst", "typical"),
+            },
+            seed=2005,
+            seed_by=("workload", "n_cycles"),
+            description=(
+                "Cross-workload DVS gains: all 7 executed CPU kernels + 3 synthetic "
+                "benchmarks x 2 corners (registry specs shard over the worker pool)"
+            ),
         ),
         SweepSpec(
             name="pvt-mega",

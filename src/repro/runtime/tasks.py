@@ -133,30 +133,28 @@ def _corner_key(spec: CornerLike) -> Tuple[str, float, float]:
     return (params["process"], params["temperature_c"], params["ir_drop"])
 
 
-def _encoder_registry():
-    """Encoders by their self-declared ``.name`` (fresh instances each call).
+def _encoder_names() -> Tuple[str, ...]:
+    """Encoder aliases from the single registry in :mod:`repro.encoding`.
 
-    The encoder classes are the single source of truth: the registry is the
-    same set :func:`repro.encoding.default_encoders` evaluates, so any
-    encoder added there (including parameterised variants like
-    ``bus-invert/8``) is immediately addressable from sweep parameters.
+    The encoder classes are the single source of truth: this is the same set
+    :func:`repro.encoding.default_encoders` evaluates, so any encoder added
+    there (including parameterised variants like ``bus-invert/8``) is
+    immediately addressable from sweep parameters and ``encoded:`` workload
+    specs alike.
     """
-    from repro.encoding import default_encoders
+    from repro.encoding import encoder_names
 
-    return {encoder.name: encoder for encoder in default_encoders()}
+    return encoder_names()
 
 
 #: Encoder aliases accepted by the ``encoder`` sweep parameter.
-ENCODER_NAMES: Tuple[str, ...] = tuple(_encoder_registry())
+ENCODER_NAMES: Tuple[str, ...] = _encoder_names()
 
 
 def _make_encoder(name: str):
-    registry = _encoder_registry()
-    try:
-        return registry[name]
-    except KeyError:
-        known = ", ".join(registry)
-        raise KeyError(f"unknown encoder {name!r}; known: {known}") from None
+    from repro.encoding import get_encoder
+
+    return get_encoder(name)
 
 
 @lru_cache(maxsize=32)
@@ -211,8 +209,9 @@ def dvs_run(
     warmup_fraction: float = 0.0,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    workload: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """One closed-loop DVS run: benchmark x corner x encoding x bus variant.
+    """One closed-loop DVS run: workload x corner x encoding x bus variant.
 
     This is the workhorse grid point of every sweep: stream the workload
     trace (optionally through an encoder), characterise the (possibly
@@ -222,12 +221,26 @@ def dvs_run(
     ``chunk_cycles`` only trades memory against batch efficiency and
     ``engine`` selects the kernel implementation (results are bit-identical
     for any value of either).
+
+    The workload is named either by ``benchmark`` (a synthetic Table 1
+    profile, the historical axis) or by ``workload`` -- any spec the
+    registry (:mod:`repro.trace.workloads`) resolves, e.g. ``cpu:memcopy``
+    or ``simpoint:crafty`` -- which takes precedence and is reported back in
+    the ``benchmark`` result field so sweep reports stay uniform.  ``file:``
+    specs are content-addressed automatically: ``JobSpec.key`` folds the
+    referenced files' digest into the cache key, so a regenerated trace
+    file never replays a stale cached result.
     """
     from repro.core.dvs_system import DVSBusSystem
     from repro.trace.generator import benchmark_trace_source
     from repro.trace.stream import EncodedTraceSource
 
-    source = benchmark_trace_source(benchmark, n_cycles=n_cycles, seed=seed)
+    if workload is not None:
+        from repro.trace.workloads import resolve_workload
+
+        source = resolve_workload(workload, n_cycles=n_cycles, seed=seed)
+    else:
+        source = benchmark_trace_source(benchmark, n_cycles=n_cycles, seed=seed)
     n_wires = source.n_bits
     if encoder is not None and encoder != "unencoded":
         encoder_obj = _make_encoder(encoder)
@@ -235,7 +248,10 @@ def dvs_run(
         n_wires = source.n_bits
 
     bus = _characterized_bus(_corner_key(corner), n_wires, coupling_scale)
-    window, ramp = _control_defaults(n_cycles, window_cycles, ramp_delay_cycles)
+    # Size the control-loop heuristics from the trace actually streamed:
+    # file-backed workload specs keep their recorded length, which can differ
+    # from the n_cycles parameter (generative sources make the two equal).
+    window, ramp = _control_defaults(source.n_cycles, window_cycles, ramp_delay_cycles)
     system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
     warmup = int(warmup_fraction * source.n_cycles)
     result = system.run(
@@ -243,7 +259,7 @@ def dvs_run(
     )
 
     return {
-        "benchmark": benchmark,
+        "benchmark": workload if workload is not None else benchmark,
         "corner": resolve_corner(corner).label,
         "n_cycles": result.n_cycles,
         "n_wires": n_wires,

@@ -38,7 +38,10 @@ class SimPointSelection:
     weights:
         Fraction of all windows belonging to each cluster (sums to 1).
     labels:
-        Cluster label of every window.
+        Cluster label of every window.  Labels always index
+        ``representative_windows`` / ``weights`` -- clusters that end up
+        empty during clustering are dropped and the labels remapped onto
+        the survivors.
     """
 
     window_length: int
@@ -68,13 +71,27 @@ class SimPointSelection:
         return float(np.dot(values, np.asarray(self.weights)))
 
 
-def window_signatures(trace: BusTrace, window_length: int) -> np.ndarray:
-    """Activity signature of every complete window of the trace.
+def transition_signatures(per_window: np.ndarray) -> np.ndarray:
+    """Signatures of windows given as a ``(n_windows, length, n_bits)`` array
+    of signed transitions (``diff`` of the 0/1 words).
 
     The signature of a window is the per-bit toggle rate (``n_bits`` features)
     concatenated with the rate of adjacent bit pairs toggling in opposite
     directions (one feature), which correlates with worst-case coupling
-    events.
+    events.  This is the single signature definition; callers that stream a
+    long trace window by window (:class:`repro.trace.workloads.
+    SimPointTraceSource`) feed it one window at a time.
+    """
+    toggle_rates = np.mean(per_window != 0, axis=1)
+    opposite = per_window[:, :, :-1] * per_window[:, :, 1:] < 0
+    opposite_rate = np.mean(np.any(opposite, axis=2), axis=1, keepdims=True)
+    return np.concatenate([toggle_rates, opposite_rate], axis=1)
+
+
+def window_signatures(trace: BusTrace, window_length: int) -> np.ndarray:
+    """Activity signature of every complete window of the trace.
+
+    See :func:`transition_signatures` for the signature definition.
     """
     if window_length <= 0:
         raise ValueError(f"window_length must be positive, got {window_length}")
@@ -86,11 +103,7 @@ def window_signatures(trace: BusTrace, window_length: int) -> np.ndarray:
     transitions = np.diff(trace.values.astype(np.int8), axis=0)
     usable = transitions[: n_windows * window_length]
     per_window = usable.reshape(n_windows, window_length, trace.n_bits)
-
-    toggle_rates = np.mean(per_window != 0, axis=1)
-    opposite = per_window[:, :, :-1] * per_window[:, :, 1:] < 0
-    opposite_rate = np.mean(np.any(opposite, axis=2), axis=1, keepdims=True)
-    return np.concatenate([toggle_rates, opposite_rate], axis=1)
+    return transition_signatures(per_window)
 
 
 def _kmeans(
@@ -114,16 +127,26 @@ def _kmeans(
         centroids = np.concatenate([centroids, signatures[next_index : next_index + 1]], axis=0)
 
     labels = np.zeros(n_points, dtype=int)
-    for _ in range(n_iterations):
+    for iteration in range(n_iterations):
         distances = np.linalg.norm(signatures[:, None, :] - centroids[None, :, :], axis=2)
         new_labels = np.argmin(distances, axis=1)
-        if np.array_equal(new_labels, labels) and _ > 0:
+        if iteration > 0 and np.array_equal(new_labels, labels):
             break
         labels = new_labels
+        occupied = np.unique(labels)
+        if occupied.size < centroids.shape[0]:
+            # A cluster emptied mid-iteration (possible when the k-means++
+            # seeding placed duplicate centroids on coinciding signatures).
+            # Keeping its stale centroid around would let it re-capture
+            # points later, so drop it and remap the labels onto the
+            # survivors -- every returned label always indexes a live
+            # centroid.
+            lookup = np.full(centroids.shape[0], -1, dtype=int)
+            lookup[occupied] = np.arange(occupied.size)
+            centroids = centroids[occupied]
+            labels = lookup[labels]
         for cluster in range(centroids.shape[0]):
-            members = signatures[labels == cluster]
-            if len(members):
-                centroids[cluster] = members.mean(axis=0)
+            centroids[cluster] = signatures[labels == cluster].mean(axis=0)
     return labels, centroids
 
 
@@ -148,8 +171,24 @@ def select_simpoints(
     seed:
         Seed for the k-means initialisation.
     """
+    return select_from_signatures(
+        window_signatures(trace, window_length), window_length, n_clusters=n_clusters, seed=seed
+    )
+
+
+def select_from_signatures(
+    signatures: np.ndarray,
+    window_length: int,
+    n_clusters: int = 4,
+    seed: SeedLike = None,
+) -> SimPointSelection:
+    """Cluster pre-computed window signatures into a :class:`SimPointSelection`.
+
+    The signature-computation and clustering halves of
+    :func:`select_simpoints`, split so streaming consumers can compute
+    signatures window by window (in O(window) memory) and cluster here.
+    """
     rng = make_rng(seed)
-    signatures = window_signatures(trace, window_length)
     n_windows = signatures.shape[0]
     n_clusters = min(n_clusters, n_windows)
 
@@ -157,14 +196,24 @@ def select_simpoints(
 
     representatives: List[int] = []
     weights: List[float] = []
-    for cluster in range(n_clusters):
+    survivors: List[int] = []
+    for cluster in range(centroids.shape[0]):
         member_indices = np.nonzero(labels == cluster)[0]
         if member_indices.size == 0:
+            # _kmeans drops emptied clusters itself; this is a belt-and-braces
+            # guard so labels can never outrun the representative list.
             continue
+        survivors.append(cluster)
         member_signatures = signatures[member_indices]
         distances = np.linalg.norm(member_signatures - centroids[cluster], axis=1)
         representatives.append(int(member_indices[int(np.argmin(distances))]))
         weights.append(member_indices.size / n_windows)
+    if len(survivors) < centroids.shape[0]:
+        # Remap labels onto the surviving clusters so every label indexes
+        # representative_windows / weights.
+        lookup = np.full(centroids.shape[0], -1, dtype=int)
+        lookup[survivors] = np.arange(len(survivors))
+        labels = lookup[labels]
 
     return SimPointSelection(
         window_length=window_length,

@@ -61,6 +61,7 @@ __all__ = [
     "TraceSource",
     "InMemoryTraceSource",
     "SyntheticTraceSource",
+    "CpuKernelTraceSource",
     "NpzTraceSource",
     "ConcatenatedTraceSource",
     "EncodedTraceSource",
@@ -364,6 +365,110 @@ class SyntheticTraceSource(TraceSource):
         for _, words in iter_word_blocks(
             self.profile, self._n_cycles, n_bits=self._n_bits, seed=self._root
         ):
+            yield words_to_packed(words, self._n_bits)
+
+
+class CpuKernelTraceSource(TraceSource):
+    """Stream the memory-read-bus trace of a mini-CPU kernel, run by run.
+
+    The kernel (:mod:`repro.cpu.kernels`) is executed repeatedly with fresh
+    per-run data images until ``n_cycles`` bus transitions have been emitted;
+    each run's word stream becomes one generation block, so memory stays
+    O(one run) regardless of trace length.  Every run's RNG is derived
+    *statelessly* from the source's root :class:`~numpy.random.SeedSequence`
+    and the run index (:func:`repro.cpu.tracing.kernel_run_rng`), which gives
+    the same guarantees the synthetic source has:
+
+    * iterating the source any number of times, at any chunk size, in either
+      representation, produces bit-identical words, and
+    * ``materialize()`` equals
+      :func:`repro.cpu.tracing.kernel_bus_trace` with the same arguments.
+
+    ``bus_policy="misses_only"`` attaches a fresh default data cache per
+    iteration pass (cache state is part of the stream, so a shared cache
+    would break re-iteration).
+    """
+
+    def __init__(
+        self,
+        kernel,
+        n_cycles: int,
+        *,
+        n_bits: int = 32,
+        seed: SeedLike = None,
+        bus_policy: str = "all_loads",
+        max_instructions_per_run: int = 200_000,
+    ) -> None:
+        from repro.cpu.kernels import Kernel, get_kernel
+
+        if isinstance(kernel, str):
+            kernel = get_kernel(kernel)
+        if not isinstance(kernel, Kernel):
+            raise TypeError(f"kernel must be a name or Kernel, got {type(kernel).__name__}")
+        if n_cycles <= 0:
+            raise ValueError(f"n_cycles must be positive, got {n_cycles}")
+        if n_bits <= 0 or n_bits > 64:
+            raise ValueError(f"n_bits must be in 1..64, got {n_bits}")
+        self.kernel = kernel
+        self.bus_policy = bus_policy
+        self._n_cycles = int(n_cycles)
+        self._n_bits = int(n_bits)
+        self._max_instructions = int(max_instructions_per_run)
+        # Resolve the seed to a SeedSequence eagerly so repeated iteration of
+        # the same source replays the same runs even for a None seed.
+        from repro.utils.rng import rng_seed_sequence
+
+        self._root = rng_seed_sequence(seed)
+
+    @property
+    def n_cycles(self) -> int:
+        return self._n_cycles
+
+    @property
+    def n_bits(self) -> int:
+        return self._n_bits
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def _run_word_blocks(self) -> Iterator[np.ndarray]:
+        """Yield one ``uint64`` word array per kernel run (truncated at the end)."""
+        from repro.cpu.memory import DirectMappedCache
+        from repro.cpu.tracing import execute_kernel_once, kernel_run_rng
+
+        cache = DirectMappedCache() if self.bus_policy == "misses_only" else None
+        mask = (
+            (np.uint64(1) << np.uint64(self._n_bits)) - np.uint64(1)
+            if self._n_bits < 64
+            else ~np.uint64(0)
+        )
+        needed = self._n_cycles + 1
+        emitted = 0
+        run = 0
+        while emitted < needed:
+            result, _ = execute_kernel_once(
+                self.kernel,
+                kernel_run_rng(self._root, run),
+                cache,
+                self.bus_policy,
+                self._max_instructions,
+            )
+            words = np.asarray(result.bus_words, dtype=np.uint64) & mask
+            if emitted + words.shape[0] > needed:
+                words = words[: needed - emitted]
+            emitted += words.shape[0]
+            run += 1
+            yield words
+
+    def _word_blocks(self) -> Iterator[np.ndarray]:
+        for words in self._run_word_blocks():
+            yield words_to_bits(words, self._n_bits)
+
+    def _packed_blocks(self) -> Iterator[np.ndarray]:
+        # Integer words pack by reinterpretation, so the vectorized engine
+        # consumes kernel traces without ever widening to 0/1 arrays.
+        for words in self._run_word_blocks():
             yield words_to_packed(words, self._n_bits)
 
 

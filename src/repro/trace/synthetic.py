@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.trace.benchmarks import BenchmarkProfile
 from repro.trace.trace import BusTrace, words_to_bits
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, derive_seed_sequence, rng_seed_sequence
 
 #: Canonical kind indices used internally by the generator.
 KIND_HOLD, KIND_SMALL_INT, KIND_POINTER, KIND_FLOAT, KIND_RANDOM = range(5)
@@ -178,18 +178,10 @@ def trace_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
     a :class:`numpy.random.Generator` contributes the seed sequence it was
     built from (so generators handed out by
     :func:`repro.utils.rng.spawn_rngs` keep their independent streams).
+    Alias of :func:`repro.utils.rng.rng_seed_sequence`, kept under the
+    historical name.
     """
-    if isinstance(seed, np.random.Generator):
-        root = seed.bit_generator.seed_seq
-        if isinstance(root, np.random.SeedSequence):
-            return root
-        raise TypeError(
-            "generator seeds must be built from a numpy SeedSequence "
-            "(use numpy.random.default_rng or repro.utils.rng.spawn_rngs)"
-        )
-    if isinstance(seed, np.random.SeedSequence):
-        return seed
-    return np.random.SeedSequence(seed)
+    return rng_seed_sequence(seed)
 
 
 def block_rng(root: np.random.SeedSequence, block_index: int) -> np.random.Generator:
@@ -199,10 +191,7 @@ def block_rng(root: np.random.SeedSequence, block_index: int) -> np.random.Gener
     root, so any block can be (re)generated in any order -- the property the
     streaming source relies on to re-slice blocks into arbitrary chunks.
     """
-    child = np.random.SeedSequence(
-        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (block_index,)
-    )
-    return np.random.default_rng(child)
+    return np.random.default_rng(derive_seed_sequence(root, (block_index,)))
 
 
 def generate_word_block(

@@ -3,36 +3,86 @@
 All stochastic components (trace generators, noise injection) accept either a
 seed or a ``numpy.random.Generator``.  Centralising the conversion keeps every
 experiment reproducible from a single integer seed.
+
+Two derivation helpers underpin the repo-wide bit-identical-reproducibility
+invariant:
+
+* :func:`rng_seed_sequence` recovers the :class:`numpy.random.SeedSequence`
+  behind *any* seed-like value -- including a ``Generator``, whose own root
+  sequence is reused rather than replaced with fresh entropy, and
+* :func:`derive_seed_sequence` derives child sequences *statelessly* (no
+  spawn-counter mutation), so any child can be (re)created in any order and
+  two calls with equal seeds always produce equal streams.
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
-SeedLike = Union[int, np.random.Generator, None]
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` from a seed or generator.
 
     Passing an existing generator returns it unchanged, so components can be
-    chained off a single RNG without re-seeding.
+    chained off a single RNG without re-seeding.  A
+    :class:`~numpy.random.SeedSequence` seeds a fresh generator.
     """
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
 
 
+def rng_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """The root :class:`~numpy.random.SeedSequence` of a seed-like value.
+
+    A :class:`numpy.random.Generator` contributes the seed sequence it was
+    built from, so child streams derived here stay on the caller's stream
+    instead of silently re-seeding from fresh entropy; ``None`` draws fresh
+    OS entropy (explicitly non-reproducible).
+    """
+    if isinstance(seed, np.random.Generator):
+        root = seed.bit_generator.seed_seq
+        if isinstance(root, np.random.SeedSequence):
+            return root
+        raise TypeError(
+            "generator seeds must be built from a numpy SeedSequence "
+            "(use numpy.random.default_rng or repro.utils.rng.spawn_rngs)"
+        )
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def derive_seed_sequence(
+    root: np.random.SeedSequence, key: Sequence[int]
+) -> np.random.SeedSequence:
+    """A child sequence of ``root`` identified by ``key``, derived statelessly.
+
+    Equivalent to ``root.spawn(...)`` indexing but without mutating the
+    root's spawn counter: the child depends only on ``(root, key)``, so equal
+    inputs give equal streams no matter how many children were derived in
+    between -- the property every chunk-size-invariant trace source relies
+    on.
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + tuple(int(k) for k in key)
+    )
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Deterministically derive ``count`` independent generators from a seed.
 
     Used to give each benchmark trace its own stream so that adding or
-    reordering benchmarks does not perturb the others.
+    reordering benchmarks does not perturb the others.  A passed
+    :class:`~numpy.random.Generator` contributes its own root sequence (it is
+    *not* replaced with fresh entropy), so two calls with generators built
+    from equal seeds return generators producing identical streams.
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
-    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
-    children = root.spawn(count)
-    return [np.random.default_rng(child) for child in children]
+    root = rng_seed_sequence(seed)
+    return [np.random.default_rng(derive_seed_sequence(root, (index,))) for index in range(count)]

@@ -210,7 +210,14 @@ class TestExperimentRegistry:
             "fig10",
             "scaling",
         }
-        extension_ids = {"baselines", "encoding", "ipc", "shielding", "sensitivity"}
+        extension_ids = {
+            "baselines",
+            "encoding",
+            "ipc",
+            "shielding",
+            "sensitivity",
+            "table1_kernels",
+        }
         assert set(EXPERIMENTS) == paper_ids | extension_ids
 
     def test_extension_experiments_run_and_format(self):

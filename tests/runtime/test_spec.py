@@ -116,3 +116,35 @@ class TestSweepSpec:
 
     def test_describe_mentions_size(self):
         assert "6 x dvs_run" in self.make().describe()
+
+
+class TestFileWorkloadContentAddressing:
+    def test_key_tracks_file_workload_content(self, tmp_path):
+        # Regenerating a file: trace must change the job identity (and
+        # restoring the original content must restore it), for every entry
+        # point that builds a JobSpec -- CLI run, sweeps, direct specs.
+        from repro.runtime.spec import JobSpec
+        from repro.trace import resolve_workload, save_trace_npz
+
+        archive = tmp_path / "trace.npz"
+        spec = JobSpec("dvs_run", {"workload": f"file:{archive}", "n_cycles": 400})
+
+        first = resolve_workload("cpu:fibonacci", n_cycles=400, seed=1).materialize()
+        save_trace_npz(first, archive)
+        key_first = spec.key
+
+        save_trace_npz(
+            resolve_workload("cpu:memcopy", n_cycles=400, seed=2).materialize(), archive
+        )
+        assert spec.key != key_first
+
+        save_trace_npz(first, archive)
+        assert spec.key == key_first
+
+    def test_generative_workload_keys_ignore_the_filesystem(self):
+        from repro.runtime.spec import JobSpec
+
+        spec = JobSpec("dvs_run", {"workload": "cpu:memcopy", "n_cycles": 400})
+        assert spec.key == spec.key
+        plain = JobSpec("dvs_run", {"benchmark": "crafty", "n_cycles": 400})
+        assert plain.key != spec.key

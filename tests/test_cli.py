@@ -230,3 +230,177 @@ class TestCompareSchemes:
         output = capsys.readouterr().out
         for scheme in ("fixed VS", "canary delay-line", "triple-latch monitor", "proposed DVS"):
             assert scheme in output
+
+
+class TestTraceCommand:
+    def test_trace_list_prints_the_registry(self, capsys):
+        assert main(["trace", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "cpu:memcopy" in output
+        assert "crafty" in output
+        assert "simpoint:<spec>" in output
+
+    def test_trace_without_workload_falls_back_to_listing(self, capsys):
+        assert main(["trace"]) == 0
+        assert "no workload given" in capsys.readouterr().out
+
+    def test_trace_inspects_a_kernel_workload(self, capsys):
+        assert main(["trace", "--workload", "cpu:fibonacci", "--cycles", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "trace 'fibonacci'" in output
+        assert "cycles (transitions) : 2000" in output
+        assert "toggle density" in output
+
+    def test_trace_roundtrip_generate_save_simulate(self, capsys, tmp_path):
+        """The CI smoke's contract: generate -> save npz -> stream into a DVS
+        run, with scalar and vectorized engines printing identical output."""
+        archive = tmp_path / "memcopy.npz"
+        assert (
+            main(["trace", "--workload", "cpu:memcopy", "--cycles", "4000",
+                  "--seed", "7", "--out", str(archive)])
+            == 0
+        )
+        assert archive.exists()
+        capsys.readouterr()
+        outputs = []
+        for engine in ("scalar", "vectorized"):
+            assert (
+                main(["--no-cache", "simulate", "--workload", f"file:{archive}",
+                      "--window", "500", "--ramp", "150", "--engine", engine])
+                == 0
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert "cycles simulated      : 4000" in outputs[0]
+
+    def test_trace_saves_hex(self, capsys, tmp_path):
+        hexfile = tmp_path / "fib.hex"
+        assert (
+            main(["trace", "--workload", "cpu:fibonacci", "--cycles", "300",
+                  "--out", str(hexfile)])
+            == 0
+        )
+        assert hexfile.read_text().startswith("# bus trace")
+
+    def test_trace_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["trace", "--workload", "not_a_workload"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cpu:memcopy" in err  # the known-workloads hint
+
+    def test_simulate_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["--no-cache", "simulate", "--workload", "cpu:memcpy"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_mixed_width_workloads_fail_cleanly(self, capsys):
+        # A 32-wire benchmark next to a 33-wire encoded workload cannot share
+        # one bus; the CLI must say so instead of dumping a traceback.
+        assert (
+            main(["--no-cache", "run", "table1", "--workload",
+                  "crafty,encoded:bus-invert:crafty", "--cycles", "4000"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "error:" in err and "mixed bus widths" in err
+
+
+class TestWorkloadSelectors:
+    def test_simulate_accepts_registry_specs(self, capsys):
+        assert (
+            main(["--no-cache", "simulate", "--workload", "cpu:binary_search",
+                  "--cycles", "6000", "--window", "500", "--ramp", "150"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "workload 'cpu:binary_search'" in output
+        assert "cycles simulated      : 6000" in output
+
+    def test_simulate_redesigns_the_bus_for_encoded_workloads(self, capsys):
+        # bus-invert drives 33 wires; the CLI must redesign the bus for the
+        # source's width (as the dvs_run task does) instead of crashing
+        # against the 32-wire paper bus.
+        assert (
+            main(["--no-cache", "simulate", "--workload", "encoded:bus-invert:crafty",
+                  "--cycles", "4000", "--window", "500", "--ramp", "150"])
+            == 0
+        )
+        assert "cycles simulated      : 4000" in capsys.readouterr().out
+
+    def test_run_table1_with_workload_selector(self, capsys):
+        assert (
+            main(["--no-cache", "run", "table1", "--workload", "cpu:memcopy,crafty",
+                  "--cycles", "12000"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "cpu:memcopy" in output
+        assert "crafty" in output
+
+    def test_run_table1_workload_rows_keep_suite_concatenation(self, capsys):
+        # Comma separates rows; '+' inside a row stays a concatenated suite.
+        assert (
+            main(["--no-cache", "run", "table1", "--workload", "crafty+mgrid",
+                  "--cycles", "6000"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "crafty+mgrid" in output  # one suite row, not two rows
+
+    def test_run_table1_workload_redesigns_for_encoded_width(self, capsys):
+        assert (
+            main(["--no-cache", "run", "table1", "--workload",
+                  "encoded:bus-invert:crafty", "--cycles", "6000"])
+            == 0
+        )
+        assert "encoded:bus-invert:crafty" in capsys.readouterr().out
+
+    def test_run_warns_when_experiment_ignores_workload(self, capsys):
+        assert main(["--no-cache", "run", "scaling", "--workload", "cpu:memcopy"]) == 0
+        assert "does not take --workload" in capsys.readouterr().err
+
+    def test_sweep_workload_axis_reports_specs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "workload-matrix", "--limit", "2", "--quiet"]) == 0
+        assert "cpu:binary_search" in capsys.readouterr().out
+
+
+class TestFileWorkloadCaching:
+    def test_out_extension_validated(self, capsys, tmp_path):
+        assert (
+            main(["trace", "--workload", "cpu:fibonacci", "--cycles", "200",
+                  "--out", str(tmp_path / "t.txt")])
+            == 2
+        )
+        assert ".npz or .hex" in capsys.readouterr().err
+        assert not (tmp_path / "t.txt.npz").exists()
+
+    def test_regenerated_trace_file_invalidates_the_cache(self, capsys, tmp_path,
+                                                          monkeypatch):
+        # The cache must key on file *content*, not the path string: saving a
+        # different trace to the same path has to re-simulate, not replay.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        archive = tmp_path / "trace.npz"
+        argv = ["run", "table1", "--workload", f"file:{archive}"]
+
+        assert main(["trace", "--workload", "cpu:fibonacci", "--cycles", "4000",
+                     "--seed", "1", "--out", str(archive)]) == 0
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "simulated" in first.err
+
+        assert main(argv) == 0
+        assert "cache hit" in capsys.readouterr().err  # same content: hit
+
+        assert main(["trace", "--workload", "cpu:memcopy", "--cycles", "4000",
+                     "--seed", "2", "--out", str(archive)]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "simulated" in second.err  # regenerated content: miss
+        assert second.out != first.out
+
+    def test_out_parent_directory_is_created(self, capsys, tmp_path):
+        target = tmp_path / "nested" / "dir" / "t.npz"
+        assert main(["trace", "--workload", "cpu:fibonacci", "--cycles", "200",
+                     "--out", str(target)]) == 0
+        assert target.exists()

@@ -211,3 +211,51 @@ class TestSimPoint:
         trace = generate_benchmark_trace("applu", n_cycles=3000, seed=6)
         selection = select_simpoints(trace, window_length=1000, n_clusters=10, seed=0)
         assert selection.n_clusters <= 3
+
+    def _assert_selection_consistent(self, selection):
+        """Labels must index representative_windows/weights, weights sum to 1."""
+        assert len(selection.weights) == len(selection.representative_windows)
+        assert sum(selection.weights) == pytest.approx(1.0)
+        assert selection.labels.min() >= 0
+        assert selection.labels.max() < selection.n_clusters
+        # Every cluster must actually own the windows its weight claims.
+        for cluster, weight in enumerate(selection.weights):
+            share = np.mean(selection.labels == cluster)
+            assert share == pytest.approx(weight)
+
+    def test_degenerate_duplicate_signatures_collapse_consistently(self):
+        # A constant trace: every window has the identical (all-zero)
+        # signature, so the k-means++ seeding places duplicate centroids and
+        # all but one cluster empties.  The emptied clusters must be dropped
+        # and the labels remapped -- the historical bug left labels pointing
+        # past the surviving representative/weight lists.
+        words = np.full(8001, 0xA5A5A5A5, dtype=np.uint64)
+        trace = BusTrace.from_words(words, n_bits=32, name="constant")
+        for seed in range(5):
+            selection = select_simpoints(trace, window_length=1000, n_clusters=4, seed=seed)
+            self._assert_selection_consistent(selection)
+            assert selection.n_clusters == 1
+            assert selection.weights == (1.0,)
+            np.testing.assert_array_equal(selection.labels, np.zeros(8, dtype=int))
+            assert len(selection.extract(trace)) == 1
+            assert selection.weighted_estimate([3.5]) == pytest.approx(3.5)
+
+    def test_two_signature_groups_with_excess_clusters(self):
+        # Two genuinely distinct phases but more clusters requested than
+        # distinct signatures: surviving clusters must stay label-consistent.
+        quiet = np.zeros(4000, dtype=np.uint64)
+        noisy = np.tile(np.array([0, 0xFFFFFFFF], dtype=np.uint64), 2000)
+        words = np.concatenate([quiet, noisy, [np.uint64(0)]])
+        trace = BusTrace.from_words(words, n_bits=32, name="two-phase")
+        for seed in range(5):
+            selection = select_simpoints(trace, window_length=1000, n_clusters=5, seed=seed)
+            self._assert_selection_consistent(selection)
+            assert selection.n_clusters == 2
+
+    def test_selection_labels_always_index_weights(self):
+        trace = generate_benchmark_trace("vpr", n_cycles=20000, seed=6)
+        for n_clusters in (2, 3, 5, 8):
+            selection = select_simpoints(
+                trace, window_length=1000, n_clusters=n_clusters, seed=1
+            )
+            self._assert_selection_consistent(selection)
