@@ -24,7 +24,6 @@ import json
 import platform
 import resource
 import sys
-import time
 from pathlib import Path
 
 
@@ -38,35 +37,57 @@ def _peak_rss_mb() -> float:
 
 
 def run_smoke(cycles: int, chunk_cycles: int | None, benchmark: str, seed: int) -> dict:
-    """One streamed DVS run; returns the metrics record."""
+    """One streamed DVS run; returns the metrics record.
+
+    The run executes under its own telemetry collector, and the reported
+    timing is read back from the ``dvs.run`` span (with the cycle count from
+    the ``dvs.cycles_simulated`` counter) -- the exact numbers a
+    ``--telemetry`` trace of the same workload would carry, so this JSON and
+    the telemetry layer cannot drift apart.
+    """
     from repro import __version__
     from repro.bus import BusDesign, CharacterizedBus
     from repro.bus.engine import default_chunk_cycles
     from repro.circuit.pvt import TYPICAL_CORNER
     from repro.core.dvs_system import DVSBusSystem
+    from repro.telemetry import Telemetry, use_telemetry
     from repro.trace import benchmark_trace_source
 
     bus = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
     system = DVSBusSystem(bus)  # the paper's 10 000 / 3 000 cycle control loop
     source = benchmark_trace_source(benchmark, n_cycles=cycles, seed=seed)
 
-    started = time.perf_counter()
-    result = system.run(source, chunk_cycles=chunk_cycles)
-    elapsed = time.perf_counter() - started
+    telemetry = Telemetry(label="perf_smoke")
+    with use_telemetry(telemetry):
+        result = system.run(source, chunk_cycles=chunk_cycles)
+
+    elapsed = sum(
+        event.duration_s for event in telemetry.events if event.name == "dvs.run"
+    )
+    counters = telemetry.metrics.counters
+    cycles_simulated = int(counters.get("dvs.cycles_simulated", cycles))
 
     return {
-        "schema": "repro-streaming-smoke/1",
+        "schema": "repro-streaming-smoke/2",
         "code_version": __version__,
         "python": platform.python_version(),
         "benchmark": benchmark,
         "cycles": cycles,
         "chunk_cycles": chunk_cycles if chunk_cycles is not None else default_chunk_cycles(None),
         "seconds": round(elapsed, 3),
-        "cycles_per_sec": round(cycles / elapsed, 1),
+        "cycles_per_sec": round(cycles_simulated / elapsed, 1),
         "peak_rss_mb": round(_peak_rss_mb(), 1),
         "energy_gain_percent": round(result.energy_gain_percent, 3),
         "error_rate_percent": round(result.average_error_rate * 100.0, 3),
         "total_errors": result.total_errors,
+        "telemetry": {
+            "chunks_streamed": int(counters.get("trace.chunks_streamed", 0)),
+            "kernel_invocations": int(
+                counters.get("kernel.invocations.vectorized", 0)
+                + counters.get("kernel.invocations.scalar", 0)
+            ),
+            "voltage_transitions": int(counters.get("dvs.voltage_transitions", 0)),
+        },
     }
 
 

@@ -45,6 +45,10 @@ PUBLIC_MODULES = (
     "repro.runtime.spec",
     "repro.runtime.cache",
     "repro.runtime.tasks",
+    "repro.telemetry",
+    "repro.telemetry.core",
+    "repro.telemetry.metrics",
+    "repro.telemetry.export",
     "repro.report",
     "repro.report.reference",
     "repro.report.fidelity",

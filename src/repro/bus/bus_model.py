@@ -48,6 +48,7 @@ from repro.interconnect.crosstalk import (
     transitions_from_values,
     worst_coupling_factor_per_cycle,
 )
+from repro.telemetry import get_telemetry
 from repro.trace.stream import TraceSource, as_trace_source
 from repro.trace.trace import BusTrace
 
@@ -300,23 +301,29 @@ class CharacterizedBus:
                 f"transition width {trace.n_bits} does not match topology "
                 f"({topology.n_wires})"
             )
+        telemetry = get_telemetry()
         if resolve_engine(engine) == ENGINE_VECTORIZED and lanes_supported(trace.n_bits):
-            worst, toggles, weights = block_statistics_arrays(
-                trace.packed_values, topology
-            )
+            with telemetry.span("kernel.block_statistics", cycles=trace.n_cycles):
+                worst, toggles, weights = block_statistics_arrays(
+                    trace.packed_values, topology
+                )
+            telemetry.count("kernel.invocations.vectorized")
             return TraceStatistics(
                 worst_coupling=worst, toggles=toggles, coupling_weights=weights
             )
+        telemetry.count("kernel.invocations.scalar")
         if not trace.is_packed:
-            return self.analyze(trace.values)
-        packed = trace.packed_values
-        values = trace.values  # one unpacked copy for the signed classification
-        transitions = transitions_from_values(values)
-        return TraceStatistics(
-            worst_coupling=worst_coupling_factor_per_cycle(transitions, topology),
-            toggles=packed_toggle_counts(packed),
-            coupling_weights=packed_coupling_energy_weights(packed, topology),
-        )
+            with telemetry.span("kernel.scalar_statistics", cycles=trace.n_cycles):
+                return self.analyze(trace.values)
+        with telemetry.span("kernel.scalar_statistics", cycles=trace.n_cycles, packed=True):
+            packed = trace.packed_values
+            values = trace.values  # one unpacked copy for the signed classification
+            transitions = transitions_from_values(values)
+            return TraceStatistics(
+                worst_coupling=worst_coupling_factor_per_cycle(transitions, topology),
+                toggles=packed_toggle_counts(packed),
+                coupling_weights=packed_coupling_energy_weights(packed, topology),
+            )
 
     def iter_statistics(
         self,

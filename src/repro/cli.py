@@ -18,6 +18,11 @@ the reproduction can be driven without writing a script:
   into a Markdown/JSON/SVG artifact directory with a per-metric fidelity
   summary against the paper's published values,
 * ``python -m repro cache info`` -- inspect or clear the result cache,
+* ``python -m repro cache stats`` -- cache contents plus the hit/miss
+  counters of the last telemetry log,
+* ``python -m repro profile table1 --cycles 50000`` -- run one bounded
+  experiment under the telemetry tracer and print the top span paths and
+  counter deltas (a Chrome trace-event file is always written),
 * ``python -m repro kernels`` -- the mini-CPU kernels available as workloads,
 * ``python -m repro trace --workload cpu:memcopy --out m.npz`` -- generate,
   inspect or save any registered workload trace (``trace --list`` shows the
@@ -37,6 +42,12 @@ over N worker processes with bit-identical results (``run`` executes a
 single job, so it gains nothing from workers).  The one-off interactive
 commands (``characterize``, ``simulate``, ``compare-schemes``) always
 simulate directly.
+
+``--telemetry[=PATH]`` (global, and on ``run``/``sweep``/``simulate``/
+``report``/``profile``) installs the span tracer for the command and writes
+``PATH.jsonl`` (the event/counter log) plus ``PATH.trace.json`` (Chrome
+trace-event format, loadable in Perfetto) at exit, along with an end-of-run
+summary on stderr.  Telemetry is otherwise disabled and costs nothing.
 """
 
 from __future__ import annotations
@@ -70,6 +81,18 @@ from repro.runtime import (
     run_jobs,
 )
 from repro.runtime.tasks import get_task
+from repro.telemetry import (
+    DEFAULT_TELEMETRY_BASE,
+    Telemetry,
+    format_summary,
+    get_telemetry,
+    read_jsonl_metrics,
+    telemetry_paths,
+    use_telemetry,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import format_quantity
 from repro.trace import (
     TABLE1_ORDER,
     BusTrace,
@@ -131,6 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             default=False if top_level else argparse.SUPPRESS,
             help="bypass the result cache entirely (always simulate)",
+        )
+        add_telemetry_flag(target, top_level)
+
+    def add_telemetry_flag(target: argparse.ArgumentParser, top_level: bool) -> None:
+        target.add_argument(
+            "--telemetry",
+            nargs="?",
+            const="",
+            metavar="PATH",
+            default=None if top_level else argparse.SUPPRESS,
+            help="trace the command: write PATH.jsonl + PATH.trace.json "
+            f"(default base: {DEFAULT_TELEMETRY_BASE!r}) and print a span/counter "
+            "summary; 'cache stats' reads PATH.jsonl instead",
         )
 
     # Workload-scale flags: accepted globally and on the commands that
@@ -240,9 +276,47 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the content-addressed result cache"
     )
     cache_parser.add_argument(
-        "action", choices=("info", "list", "clear"), help="what to do with the cache"
+        "action",
+        choices=("info", "list", "clear", "stats"),
+        help="what to do with the cache ('stats' adds the hit/miss counters "
+        "of the last telemetry log)",
     )
     add_runtime_flags(cache_parser, top_level=False)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run one bounded experiment under the span tracer and print the "
+        "top spans and counter deltas (always writes a Chrome trace file)",
+    )
+    profile_parser.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS), help="experiment id to profile"
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=15, metavar="N", help="span paths to print (default 15)"
+    )
+    profile_parser.add_argument("--seed", type=int, default=2005, help="workload seed")
+    profile_parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help="registry workload spec(s) for experiments that take them",
+    )
+    # Bounded by default: profiling wants a quick, representative run, not
+    # the paper's 10M cycles (override with --cycles for a longer look).
+    profile_parser.add_argument(
+        "--cycles",
+        type=int,
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help="cycles per benchmark (default 50000 -- bounded, unlike 'run')",
+    )
+    profile_parser.add_argument(
+        "--chunk-cycles", type=int, default=argparse.SUPPRESS, help="streaming chunk size"
+    )
+    profile_parser.add_argument(
+        "--engine", choices=ENGINES, default=argparse.SUPPRESS, help="kernel engine"
+    )
+    add_telemetry_flag(profile_parser, top_level=False)
 
     characterize_parser = subparsers.add_parser(
         "characterize", help="delay and error behaviour of the bus over the voltage grid"
@@ -277,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--seed", type=int, default=2005)
     simulate_parser.add_argument("--window", type=int, default=10_000, help="error window (cycles)")
     simulate_parser.add_argument("--ramp", type=int, default=3_000, help="regulator ramp (cycles)")
+    add_telemetry_flag(simulate_parser, top_level=False)
 
     compare_parser = subparsers.add_parser(
         "compare-schemes", help="fixed VS vs canary vs triple-latch vs proposed DVS"
@@ -464,10 +539,78 @@ def _command_report(
     return 0
 
 
-def _command_cache(action: str, cache_dir: Optional[Path]) -> int:
+def _command_profile(
+    experiment: str,
+    cycles: Optional[int],
+    chunk_cycles: Optional[int],
+    engine: Optional[str],
+    seed: int,
+    top: int,
+    workload: Optional[str] = None,
+) -> int:
+    """Run one bounded experiment under the (already installed) tracer.
+
+    ``main`` installs the telemetry collector and writes the JSONL/Chrome
+    exports after this returns; this handler's job is the bounded run itself
+    plus the on-stdout span/counter summary.
+    """
+    runner = EXPERIMENTS[experiment].runner
+    telemetry = get_telemetry()
+    baseline = telemetry.metrics.snapshot()
+    kwargs = accepted_kwargs(
+        runner,
+        {
+            "seed": seed,
+            "n_cycles": cycles if cycles is not None else 50_000,
+            "chunk_cycles": chunk_cycles,
+            "engine": engine,
+            "workload": workload,
+        },
+    )
+    started = time.perf_counter()
+    try:
+        with telemetry.span(f"profile:{experiment}"):
+            run_experiment(experiment, cache=None, **kwargs)
+    except WorkloadError as error:
+        return _workload_error(error)
+    elapsed = time.perf_counter() - started
+    print(f"profiled {experiment!r} in {elapsed:.2f} s "
+          f"({kwargs.get('n_cycles', 'default')} cycles per benchmark)")
+    print()
+    print(format_summary(telemetry, top_n=top,
+                         counter_deltas=telemetry.metrics.delta_since(baseline)))
+    return 0
+
+
+def _command_cache(
+    action: str, cache_dir: Optional[Path], telemetry_base: Optional[str] = None
+) -> int:
     cache = ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
     if action == "info":
         print(cache.stats().format())
+        return 0
+    if action == "stats":
+        stats = cache.stats()
+        print(stats.format())
+        base = telemetry_base if telemetry_base else DEFAULT_TELEMETRY_BASE
+        log_path = telemetry_paths(base).jsonl
+        metrics = read_jsonl_metrics(log_path)
+        if metrics is None:
+            print(f"no telemetry log at {log_path} "
+                  "(run a command with --telemetry to record one)")
+            return 0
+        print(f"counters from the last telemetry log ({log_path}):")
+        names = ("cache.hits", "cache.misses", "cache.puts", "cache.bytes_written",
+                 "cache.artifact_hits", "cache.artifact_builds")
+        counters = metrics["counters"]
+        rows = [(name, counters.get(name, 0)) for name in names]
+        width = max(len(name) for name, _ in rows)
+        for name, value in rows:
+            print(f"  {name:<{width}}  {format_quantity(value)}")
+        lookups = counters.get("cache.hits", 0) + counters.get("cache.misses", 0)
+        if lookups:
+            print(f"  {'hit rate':<{width}}  "
+                  f"{100.0 * counters.get('cache.hits', 0) / lookups:.1f}%")
         return 0
     if action == "list":
         count = 0
@@ -678,6 +821,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir if args.cache_dir is not None else default_cache_dir())
+
+    # ``--telemetry`` (const "") enables the tracer; ``profile`` always runs
+    # traced, defaulting its export base to "profile".  ``cache`` never
+    # traces itself -- its --telemetry argument names the log to *read*.
+    telemetry_arg = getattr(args, "telemetry", None)
+    if args.command == "profile" and telemetry_arg is None:
+        telemetry_arg = "profile"
+    if telemetry_arg is None or args.command == "cache":
+        return _dispatch(args, cache)
+    base = telemetry_arg if telemetry_arg else DEFAULT_TELEMETRY_BASE
+    telemetry = Telemetry(label=args.command)
+    with use_telemetry(telemetry):
+        with telemetry.span(f"repro.{args.command}"):
+            code = _dispatch(args, cache)
+    paths = telemetry_paths(base)
+    write_jsonl(telemetry, paths.jsonl)
+    write_chrome_trace(telemetry, paths.chrome_trace)
+    if args.command != "profile":  # profile already printed its summary on stdout
+        print(format_summary(telemetry), file=sys.stderr)
+    print(
+        f"[telemetry] event log: {paths.jsonl}  chrome trace: {paths.chrome_trace} "
+        "(load the trace in chrome://tracing or https://ui.perfetto.dev)",
+        file=sys.stderr,
+    )
+    return code
+
+
+def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
+    """Route parsed arguments to their command handler."""
     if args.command == "list":
         return _command_list()
     if args.command == "run":
@@ -716,7 +888,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.jobs,
         )
     if args.command == "cache":
-        return _command_cache(args.action, args.cache_dir)
+        return _command_cache(args.action, args.cache_dir, telemetry_base=args.telemetry)
+    if args.command == "profile":
+        return _command_profile(
+            args.experiment,
+            args.cycles,
+            args.chunk_cycles,
+            args.engine,
+            args.seed,
+            args.top,
+            workload=args.workload,
+        )
     if args.command == "characterize":
         return _command_characterize(args.corner)
     if args.command == "simulate":
@@ -746,8 +928,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out,
             chunk_cycles=args.chunk_cycles,
         )
-    parser.error(f"unhandled command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    raise ValueError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -399,14 +399,32 @@ class DVSBusSystem:
             total = workload.n_cycles
         else:
             raise TypeError(f"cannot simulate a workload of type {type(workload).__name__}")
+        from repro.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
         state = self.stream(
             total,
             initial_voltage=initial_voltage,
             keep_cycle_voltage=keep_cycle_voltage,
             warmup_cycles=warmup_cycles,
         )
-        for stats, _ in self.bus.iter_statistics(workload, chunk_cycles, engine=engine):
-            state.feed(stats)
-            if progress is not None:
-                progress(state.cycles_fed, total)
-        return state.finish()
+        with telemetry.span(
+            "dvs.run", workload=getattr(workload, "name", ""), cycles=total
+        ):
+            for stats, start in self.bus.iter_statistics(workload, chunk_cycles, engine=engine):
+                with telemetry.span("dvs.chunk", start_cycle=start):
+                    state.feed(stats)
+                if progress is not None:
+                    progress(state.cycles_fed, total)
+            result = state.finish()
+        if telemetry.enabled:
+            # Controller-side accounting for the end-of-run summary: how much
+            # was simulated, how hard the closed loop worked, and how often
+            # the regulator actually moved the rail.
+            telemetry.count("dvs.cycles_simulated", result.n_cycles)
+            telemetry.count("dvs.errors_corrected", result.total_errors)
+            telemetry.count("dvs.windows_measured", len(result.window_error_rates))
+            telemetry.count("dvs.voltage_transitions", len(result.voltage_events))
+            telemetry.gauge("dvs.final_voltage_v", result.final_voltage)
+            telemetry.gauge("dvs.min_voltage_v", result.minimum_voltage_reached)
+        return result

@@ -236,8 +236,11 @@ def build_report(
         :class:`~repro.runtime.executor.ProgressPrinter`).
     """
     from repro.runtime.executor import run_jobs
+    from repro.telemetry import get_telemetry
 
+    telemetry = get_telemetry()
     identifiers = _validate_ids(experiments)
+    telemetry.count("report.experiments_requested", len(identifiers))
 
     requested = {
         "n_cycles": n_cycles,
@@ -268,11 +271,12 @@ def build_report(
     for identifier, outcome in zip(identifiers, report.outcomes):
         record = outcome.result
         experiment = EXPERIMENTS[identifier]
-        entry = render_experiment(
-            identifier,
-            record["data"],
-            title=f"{experiment.paper_artifact} — {experiment.description}",
-        )
+        with telemetry.span("report.render", experiment=identifier):
+            entry = render_experiment(
+                identifier,
+                record["data"],
+                title=f"{experiment.paper_artifact} — {experiment.description}",
+            )
         rendered.append(entry)
         data_by_experiment[identifier] = record["data"]
         written.append(_write_text(out_dir / f"{identifier}.md", entry.markdown))
@@ -280,7 +284,10 @@ def build_report(
         for name, svg in entry.figures:
             written.append(_write_text(out_dir / "figures" / f"{name}.svg", svg))
 
-    fidelity = evaluate_fidelity(registry, data_by_experiment, scale_note=_scale_note(n_cycles))
+    with telemetry.span("report.fidelity"):
+        fidelity = evaluate_fidelity(
+            registry, data_by_experiment, scale_note=_scale_note(n_cycles)
+        )
     written.append(_write_text(out_dir / "fidelity.md", fidelity.to_markdown()))
     written.append(
         _write_text(

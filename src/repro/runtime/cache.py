@@ -16,6 +16,11 @@ they write byte-identical content.
 
 A corrupt or unreadable record is treated as a miss, never an error: the
 cache is an accelerator, and the simulation is always the source of truth.
+
+Every lookup and store reports to the installed telemetry collector
+(``cache.hits`` / ``cache.misses`` / ``cache.puts`` / ``cache.bytes_written``
+and the artifact equivalents), which is what ``repro cache stats`` reads back
+from the last telemetry log; with telemetry disabled the counters are no-ops.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.runtime.hashing import stable_hash
+from repro.telemetry import get_telemetry
 
 __all__ = ["ResultCache", "CacheStats", "default_cache_dir", "shared_cache"]
 
@@ -133,13 +139,17 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored record for ``key``, or ``None`` on miss/corruption."""
         path = self._record_path(key)
+        telemetry = get_telemetry()
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
         except (OSError, ValueError):
+            telemetry.count("cache.misses")
             return None
         if not isinstance(record, dict) or record.get("schema") != CACHE_SCHEMA_VERSION:
+            telemetry.count("cache.misses")
             return None
+        telemetry.count("cache.hits")
         return record
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
@@ -149,6 +159,9 @@ class ResultCache:
         stored["key"] = key
         payload = json.dumps(stored, sort_keys=True, indent=None).encode("utf-8")
         _atomic_write_bytes(self._record_path(key), payload)
+        telemetry = get_telemetry()
+        telemetry.count("cache.puts")
+        telemetry.count("cache.bytes_written", len(payload))
 
     def delete(self, key: str) -> bool:
         """Remove one record; returns whether it existed."""
@@ -189,14 +202,21 @@ class ResultCache:
         """
         key = stable_hash(key_obj)
         path = self.artifact_path(key, name)
+        telemetry = get_telemetry()
         if path.is_file():
             try:
                 with open(path, "rb") as handle:
-                    return pickle.load(handle)
+                    value = pickle.load(handle)
+                telemetry.count("cache.artifact_hits")
+                return value
             except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
                 pass  # fall through and rebuild
-        value = builder()
-        _atomic_write_bytes(path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        telemetry.count("cache.artifact_builds")
+        with telemetry.span("cache.memoize", name=name):
+            value = builder()
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(path, payload)
+        telemetry.count("cache.bytes_written", len(payload))
         return value
 
     # ------------------------------------------------------------------ #

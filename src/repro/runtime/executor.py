@@ -16,6 +16,17 @@ Determinism contract
 * If the pool cannot be created (restricted environments, missing ``fork``),
   execution silently falls back to the serial path -- same results, one
   process.
+
+Telemetry
+---------
+When a collector is installed (:func:`repro.telemetry.get_telemetry`), the
+batch runs under an ``executor.run_jobs`` span and each executed job under a
+``job`` span with its task name.  Pool workers cannot write into the parent's
+collector, so each worker task records into a fresh one and ships its
+snapshot back with the result; the parent merges the snapshots onto its own
+timeline (``fork`` children share the monotonic clock), records the task
+latency into the ``executor.task_seconds`` histogram, and cache hit/miss
+counters keep flowing from :class:`~repro.runtime.cache.ResultCache` itself.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.runtime.cache import ResultCache
 from repro.runtime.progress import null_progress
 from repro.runtime.spec import JobSpec
+from repro.telemetry import get_telemetry
 
 __all__ = ["JobOutcome", "ExecutionReport", "run_jobs"]
 
@@ -72,19 +84,32 @@ class ExecutionReport:
         )
 
 
-def _execute_payload(payload: Tuple[int, str, Dict[str, Any]]) -> Tuple[int, Dict[str, Any], float]:
-    """Worker entry point: run one task, return (index, result, duration).
+def _execute_payload(
+    payload: Tuple[int, str, Dict[str, Any], bool],
+) -> Tuple[int, Dict[str, Any], float, Optional[Dict[str, Any]]]:
+    """Worker entry point: run one task, return (index, result, duration, telemetry).
 
     Module-level (hence picklable by reference) and dependent only on the
     payload, so it behaves identically in the parent process and in pool
-    workers.
+    workers.  With ``capture`` set (pool mode under an active collector) the
+    task runs under a fresh telemetry collector whose snapshot is returned
+    for the parent to merge; without it (serial mode) the task records
+    straight into the parent's collector and the snapshot slot is ``None``.
     """
     from repro.runtime.tasks import run_job_params
+    from repro.telemetry import Telemetry, use_telemetry
 
-    index, task_name, params = payload
+    index, task_name, params, capture = payload
     started = time.perf_counter()
-    result = run_job_params(task_name, params)
-    return index, result, time.perf_counter() - started
+    if capture:
+        telemetry = Telemetry(label=f"worker:{task_name}")
+        with use_telemetry(telemetry):
+            with telemetry.span("job", task=task_name):
+                result = run_job_params(task_name, params)
+        return index, result, time.perf_counter() - started, telemetry.snapshot()
+    with get_telemetry().span("job", task=task_name):
+        result = run_job_params(task_name, params)
+    return index, result, time.perf_counter() - started, None
 
 
 def _worker_count(requested: Optional[int], n_misses: int) -> int:
@@ -138,57 +163,76 @@ def run_jobs(
         every job (cache hits first, then executions as they finish).
     """
     report = progress if progress is not None else null_progress
+    telemetry = get_telemetry()
     started = time.perf_counter()
     total = len(jobs)
     keys = [job.key for job in jobs]
 
-    outcomes: List[Optional[JobOutcome]] = [None] * total
-    misses: List[int] = []
-    done = 0
-    for index, (job, key) in enumerate(zip(jobs, keys)):
-        record = cache.get(key) if cache is not None else None
-        if record is not None and "result" in record:
-            outcomes[index] = JobOutcome(job, record["result"], cached=True, duration_s=0.0)
+    with telemetry.span("executor.run_jobs", jobs=total):
+        outcomes: List[Optional[JobOutcome]] = [None] * total
+        misses: List[int] = []
+        done = 0
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            record = cache.get(key) if cache is not None else None
+            if record is not None and "result" in record:
+                outcomes[index] = JobOutcome(job, record["result"], cached=True, duration_s=0.0)
+                done += 1
+                report(done, total, job, True, 0.0)
+            else:
+                misses.append(index)
+
+        n_workers = _worker_count(n_workers, len(misses))
+
+        def complete(
+            index: int,
+            result: Dict[str, Any],
+            duration: float,
+            snapshot: Optional[Dict[str, Any]] = None,
+        ) -> None:
+            """Record one finished job: outcome slot, cache entry, progress.
+
+            Called the moment each execution completes (in either mode), so an
+            interrupted batch keeps every result finished so far and long
+            sweeps report progress continuously.  ``snapshot`` is a pool
+            worker's telemetry, merged onto the parent's timeline here.
+            """
+            nonlocal done
+            job = jobs[index]
+            outcomes[index] = JobOutcome(job, result, cached=False, duration_s=duration)
+            if snapshot is not None:
+                telemetry.merge_snapshot(snapshot)
+            telemetry.count("executor.jobs_executed")
+            telemetry.observe("executor.task_seconds", duration)
+            if cache is not None:
+                cache.put(
+                    keys[index],
+                    {
+                        "task": job.task,
+                        "params": dict(job.params),
+                        "result": result,
+                        "duration_s": duration,
+                    },
+                )
             done += 1
-            report(done, total, job, True, 0.0)
+            report(done, total, job, False, duration)
+
+        pool = _make_pool(n_workers) if n_workers > 1 else None
+        # Pool workers record into their own collector and ship the snapshot
+        # back (the parent's collector is invisible to them after fork); the
+        # serial path records straight into the parent's.
+        capture = pool is not None and telemetry.enabled
+        payloads = [
+            (index, jobs[index].task, dict(jobs[index].params), capture) for index in misses
+        ]
+        if pool is None:
+            n_workers = 1
+            for payload in payloads:
+                complete(*_execute_payload(payload))
         else:
-            misses.append(index)
-
-    payloads = [(index, jobs[index].task, dict(jobs[index].params)) for index in misses]
-    n_workers = _worker_count(n_workers, len(misses))
-
-    def complete(index: int, result: Dict[str, Any], duration: float) -> None:
-        """Record one finished job: outcome slot, cache entry, progress.
-
-        Called the moment each execution completes (in either mode), so an
-        interrupted batch keeps every result finished so far and long sweeps
-        report progress continuously.
-        """
-        nonlocal done
-        job = jobs[index]
-        outcomes[index] = JobOutcome(job, result, cached=False, duration_s=duration)
-        if cache is not None:
-            cache.put(
-                keys[index],
-                {
-                    "task": job.task,
-                    "params": dict(job.params),
-                    "result": result,
-                    "duration_s": duration,
-                },
-            )
-        done += 1
-        report(done, total, job, False, duration)
-
-    pool = _make_pool(n_workers) if n_workers > 1 else None
-    if pool is None:
-        n_workers = 1
-        for payload in payloads:
-            complete(*_execute_payload(payload))
-    else:
-        with pool:
-            for completion in pool.imap_unordered(_execute_payload, payloads, chunksize=1):
-                complete(*completion)
+            with pool:
+                for completion in pool.imap_unordered(_execute_payload, payloads, chunksize=1):
+                    complete(*completion)
+        telemetry.gauge("executor.workers", n_workers)
 
     finished = [outcome for outcome in outcomes if outcome is not None]
     assert len(finished) == total, "executor lost a job outcome"

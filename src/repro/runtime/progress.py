@@ -10,6 +10,14 @@ Two reporter shapes live here:
   simulations (paper-scale Table 1 / Fig. 8 runs), showing throughput and an
   ETA as chunks complete.
 
+:class:`ChunkProgress` is built on the telemetry layer: every call feeds the
+``progress.cycles_reported`` counter, and the completed stream is recorded as
+a ``stream:<label>`` span (so it shows up in Chrome traces alongside the
+kernels it paced).  Its console behaviour depends on where stderr goes -- a
+TTY gets one carriage-return-updated status line, a pipe or CI log gets *no*
+intermediate output and a single summary line at completion, so logs are
+never sprayed with per-chunk updates.
+
 Reporters are plain callables so tests can substitute a recording stub.
 """
 
@@ -20,6 +28,7 @@ import time
 from typing import Optional, TextIO
 
 from repro.runtime.spec import JobSpec
+from repro.telemetry import get_telemetry
 
 __all__ = [
     "PROGRESS_THRESHOLD_CYCLES",
@@ -99,10 +108,18 @@ class ChunkProgress:
 
     Matches the :data:`repro.core.dvs_system.ProgressCallback` shape --
     ``callback(done_cycles, total_cycles)`` -- so it plugs straight into
-    :meth:`DVSBusSystem.run` and the streaming experiment drivers.  Output
-    goes to ``stderr`` and is throttled to at most one update per
-    ``min_interval_s`` (plus a final line at completion), so per-chunk
-    callbacks stay effectively free.
+    :meth:`DVSBusSystem.run` and the streaming experiment drivers.
+
+    Console output goes to ``stderr`` and adapts to it:
+
+    * on a TTY, one status line is rewritten in place (``\\r``, no escape
+      codes) at most every ``min_interval_s``, finishing with a newline;
+    * on anything else (CI logs, pipes), intermediate updates are suppressed
+      entirely and completion prints a single summary line.
+
+    Independent of the console, every call feeds the installed telemetry
+    collector: the ``progress.cycles_reported`` counter advances per call and
+    the finished stream is recorded as a ``stream:<label>`` span.
     """
 
     def __init__(
@@ -116,32 +133,60 @@ class ChunkProgress:
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval_s = min_interval_s
         self.quiet = quiet
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
         self._started = time.perf_counter()
         self._last_report = 0.0
         self._last_done = 0
+        self._line_width = 0
+        self._finished = False
 
-    def __call__(self, done_cycles: int, total_cycles: int) -> None:
-        self._last_done = done_cycles
-        if self.quiet:
-            return
-        now = time.perf_counter()
-        finished = done_cycles >= total_cycles
-        if not finished and now - self._last_report < self.min_interval_s:
-            return
-        self._last_report = now
+    def _status_line(self, done_cycles: int, total_cycles: int, now: float) -> str:
         elapsed = max(now - self._started, 1e-9)
         rate = done_cycles / elapsed
+        finished = done_cycles >= total_cycles
         if finished:
-            eta = "done"
+            eta = f"done in {elapsed:.1f}s"
         elif rate > 0:
             eta = f"ETA {max(total_cycles - done_cycles, 0) / rate:.0f}s"
         else:  # pragma: no cover - zero-rate guard
             eta = "ETA ?"
         percent = 100.0 * done_cycles / total_cycles if total_cycles else 100.0
-        self.stream.write(
+        return (
             f"[{self.label}] {_format_cycles(done_cycles)}/{_format_cycles(total_cycles)} "
-            f"cycles ({percent:.0f}%)  {_format_cycles(rate)} cyc/s  {eta}\n"
+            f"cycles ({percent:.0f}%)  {_format_cycles(rate)} cyc/s  {eta}"
         )
+
+    def __call__(self, done_cycles: int, total_cycles: int) -> None:
+        delta = done_cycles - self._last_done
+        self._last_done = done_cycles
+        telemetry = get_telemetry()
+        if delta > 0:
+            telemetry.count("progress.cycles_reported", delta)
+        now = time.perf_counter()
+        finished = done_cycles >= total_cycles
+        if finished and not self._finished:
+            self._finished = True
+            telemetry.record_span(
+                f"stream:{self.label}", self._started, now, cycles=done_cycles
+            )
+        if self.quiet:
+            return
+        if not self._tty:
+            # Non-TTY consumers (CI logs, pipes) get exactly one line, at
+            # completion -- never a stream of per-chunk updates.
+            if finished:
+                self.stream.write(self._status_line(done_cycles, total_cycles, now) + "\n")
+                self.stream.flush()
+            return
+        if not finished and now - self._last_report < self.min_interval_s:
+            return
+        self._last_report = now
+        line = self._status_line(done_cycles, total_cycles, now)
+        # Rewrite the same console line; pad with spaces so a shorter update
+        # fully covers the previous one (plain \r, no escape codes).
+        padding = " " * max(self._line_width - len(line), 0)
+        self._line_width = len(line)
+        self.stream.write("\r" + line + padding + ("\n" if finished else ""))
         self.stream.flush()
 
     @property
@@ -156,14 +201,14 @@ class ChunkProgress:
 
 
 def auto_chunk_progress(total_cycles: int, label: str) -> Optional[ChunkProgress]:
-    """A :class:`ChunkProgress` for long interactive runs, else ``None``.
+    """A :class:`ChunkProgress` for long runs, else ``None``.
 
-    Progress is reported only when the run is at least
-    :data:`PROGRESS_THRESHOLD_CYCLES` long *and* stderr is a TTY, so tests
-    and pipelines stay silent while paper-scale interactive runs get an ETA.
+    Progress reporting kicks in once a run is at least
+    :data:`PROGRESS_THRESHOLD_CYCLES` long; shorter runs (tests, smokes) get
+    ``None``.  The returned reporter handles the console itself: interactive
+    TTYs get a live status line, non-TTY consumers only the single
+    completion summary.
     """
     if total_cycles < PROGRESS_THRESHOLD_CYCLES:
-        return None
-    if not getattr(sys.stderr, "isatty", lambda: False)():
         return None
     return ChunkProgress(label=label)

@@ -1,0 +1,192 @@
+"""Named metrics: counters, gauges and histograms with cross-process merge.
+
+The registry is deliberately tiny and dependency-free (no numpy): it lives on
+the hot path of every instrumented layer, and worker processes pickle its
+snapshots back to the parent, so every structure here is a few plain Python
+scalars.
+
+* **Counters** are monotonically accumulated totals (cache hits, cycles
+  simulated, chunks streamed); merging adds them.
+* **Gauges** are last-written values (worker count, final supply voltage);
+  merging keeps the merged-in value when present (the child wrote it later).
+* **Histograms** keep ``count / total / min / max`` of observed samples
+  (kernel wall times, worker task latencies); merging combines the moments.
+
+All three merge associatively, so tree-merging per-worker snapshots in any
+order yields the same registry -- the property the executor's
+deterministic-results contract extends to telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["HistogramSummary", "MetricsRegistry"]
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of observed samples (no stored sample list)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "HistogramSummary") -> None:
+        """Fold another summary's samples into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready representation (empty histograms report 0 bounds)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms.
+
+    Names are free-form dotted strings (``cache.hits``,
+    ``kernel.invocations.vectorized``); the registry creates entries on first
+    use so instrumentation never has to pre-declare anything.
+
+    >>> metrics = MetricsRegistry()
+    >>> metrics.count("cache.hits")
+    >>> metrics.count("cache.hits", 2)
+    >>> metrics.counters["cache.hits"]
+    3
+    >>> metrics.observe("kernel.seconds", 0.25)
+    >>> metrics.histograms["kernel.seconds"].count
+    1
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramSummary] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = HistogramSummary()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots and merging
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable/JSON-able copy of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.as_dict() for name, histogram in self.histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            other = HistogramSummary(
+                count=int(data["count"]),
+                total=float(data["total"]),
+                min=float(data["min"]) if data["count"] else float("inf"),
+                max=float(data["max"]) if data["count"] else float("-inf"),
+            )
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                self.histograms[name] = other
+            else:
+                histogram.merge(other)
+
+    def delta_since(self, baseline: Dict[str, Any]) -> Dict[str, float]:
+        """Counter deltas relative to an earlier :meth:`snapshot`.
+
+        Used by ``repro profile`` to report what one bounded workload added
+        on top of whatever ran before it.
+        """
+        before = baseline.get("counters", {})
+        deltas: Dict[str, float] = {}
+        for name, value in self.counters.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        return deltas
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """``(name, formatted value)`` rows for the human-readable summary."""
+        rows: List[Tuple[str, str]] = []
+        for name in sorted(self.counters):
+            rows.append((name, format_quantity(self.counters[name])))
+        for name in sorted(self.gauges):
+            rows.append((name, format_quantity(self.gauges[name])))
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            rows.append(
+                (
+                    name,
+                    f"n={histogram.count} mean={histogram.mean:.6g} "
+                    f"min={histogram.min if histogram.count else 0.0:.6g} "
+                    f"max={histogram.max if histogram.count else 0.0:.6g}",
+                )
+            )
+        return rows
+
+
+def format_quantity(value: float) -> str:
+    """Compact human formatting: integers grouped, floats to 6 significant digits."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(value)
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:.6g}"
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> MetricsRegistry:
+    """Merge any number of registry snapshots into a fresh registry."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged

@@ -50,6 +50,7 @@ from typing import Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.telemetry import get_telemetry
 from repro.trace.benchmarks import BenchmarkProfile, get_profile
 from repro.trace.synthetic import iter_word_blocks
 from repro.trace.trace import BusTrace, words_to_bits, words_to_packed
@@ -221,7 +222,15 @@ class TraceSource(abc.ABC):
             trace = BusTrace(packed=rows, n_bits=self.n_bits, name=self.name)
         else:
             trace = BusTrace(values=rows, name=self.name)
-        return TraceChunk(trace, start_cycle=start_cycle, index=index, total_cycles=total)
+        chunk = TraceChunk(trace, start_cycle=start_cycle, index=index, total_cycles=total)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            # Every chunk of every source funnels through here, so these three
+            # counters are the stream-throughput ground truth for profiling.
+            telemetry.count("trace.chunks_streamed")
+            telemetry.count("trace.cycles_streamed", chunk.n_cycles)
+            telemetry.count("trace.bytes_streamed", int(rows.nbytes))
+        return chunk
 
     # ------------------------------------------------------------------ #
     # Materialisation

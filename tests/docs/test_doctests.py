@@ -19,6 +19,10 @@ DOCTEST_MODULES = (
     "repro.analysis.static_scaling",
     "repro.runtime.spec",
     "repro.runtime.cache",
+    "repro.telemetry",
+    "repro.telemetry.core",
+    "repro.telemetry.metrics",
+    "repro.telemetry.export",
     "repro.trace.stream",
     "repro.report",
     "repro.report.reference",

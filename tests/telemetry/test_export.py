@@ -1,0 +1,181 @@
+"""Tests for the telemetry exporters: JSONL log, Chrome trace, summary table.
+
+The Chrome-trace test pins the exact exported document against a committed
+golden file (``golden_chrome_trace.json``) using an injected deterministic
+clock and pid, so any schema drift -- renamed fields, changed units, lost
+metadata -- shows up as a readable diff.  Regenerate after an intentional
+schema change with::
+
+    PYTHONPATH=src python -c \
+        "from tests.telemetry.test_export import regenerate_golden; regenerate_golden()"
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    aggregate_spans,
+    format_summary,
+    read_jsonl_metrics,
+    telemetry_paths,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+from tests.telemetry.test_core import make_clock
+
+GOLDEN_PATH = Path(__file__).parent / "golden_chrome_trace.json"
+
+
+def golden_telemetry() -> Telemetry:
+    """A deterministic collector exercising spans, worker merge and metrics."""
+    telemetry = Telemetry(label="golden", clock=make_clock(0.25), pid=1)
+    with telemetry.span("run", experiment="table1"):
+        with telemetry.span("kernel", engine="vectorized"):
+            pass
+    worker = Telemetry(label="worker:dvs_run", clock=make_clock(0.25), pid=2)
+    with worker.span("job", task="dvs_run"):
+        worker.count("dvs.cycles_simulated", 50_000)
+    telemetry.merge_snapshot(worker.snapshot())
+    telemetry.count("trace.chunks_streamed", 4)
+    telemetry.gauge("dvs.final_voltage_v", 1.08)
+    telemetry.observe("executor.task_seconds", 0.5)
+    return telemetry
+
+
+def regenerate_golden() -> None:  # pragma: no cover - maintenance helper
+    write_chrome_trace(golden_telemetry(), GOLDEN_PATH)
+
+
+class TestChromeTrace:
+    def test_matches_the_committed_golden_file(self, tmp_path):
+        path = write_chrome_trace(golden_telemetry(), tmp_path / "t.trace.json")
+        assert path.read_text() == GOLDEN_PATH.read_text()
+
+    def test_document_schema(self, tmp_path):
+        path = write_chrome_trace(golden_telemetry(), tmp_path / "t.trace.json")
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["schema"] == "repro-telemetry/1"
+        events = document["traceEvents"]
+        metadata = [event for event in events if event["ph"] == "M"]
+        spans = [event for event in events if event["ph"] == "X"]
+        assert len(metadata) + len(spans) == len(events)
+        # One process_name track per pid: the main process and the worker.
+        assert {event["pid"] for event in metadata} == {1, 2}
+        names = {event["args"]["name"] for event in metadata}
+        assert names == {"repro main (golden)", "repro worker (golden)"}
+        for span in spans:
+            assert span["cat"] == "repro"
+            assert isinstance(span["ts"], float)
+            assert isinstance(span["dur"], float)
+            assert span["dur"] >= 0
+            assert "path" in span["args"]
+
+    def test_timestamps_are_microseconds(self, tmp_path):
+        # clock step 0.25 s: "kernel" starts 0.5 s after the epoch and
+        # lasts 0.25 s -> 500000 / 250000 microseconds.
+        path = write_chrome_trace(golden_telemetry(), tmp_path / "t.trace.json")
+        document = json.loads(path.read_text())
+        kernel = next(
+            event for event in document["traceEvents"] if event["name"] == "kernel"
+        )
+        assert kernel["ts"] == pytest.approx(500_000.0)
+        assert kernel["dur"] == pytest.approx(250_000.0)
+
+    def test_worker_events_keep_their_own_pid(self, tmp_path):
+        path = write_chrome_trace(golden_telemetry(), tmp_path / "t.trace.json")
+        document = json.loads(path.read_text())
+        job = next(event for event in document["traceEvents"] if event["name"] == "job")
+        assert job["pid"] == 2
+
+
+class TestJsonlRoundTrip:
+    def test_metrics_survive_the_round_trip(self, tmp_path):
+        telemetry = golden_telemetry()
+        path = write_jsonl(telemetry, tmp_path / "t.jsonl")
+        metrics = read_jsonl_metrics(path)
+        assert metrics is not None
+        assert metrics["counters"] == {
+            "dvs.cycles_simulated": 50_000,
+            "trace.chunks_streamed": 4,
+        }
+        assert metrics["gauges"]["dvs.final_voltage_v"] == pytest.approx(1.08)
+        assert metrics["histograms"]["executor.task_seconds"]["count"] == 1
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert read_jsonl_metrics(tmp_path / "absent.jsonl") is None
+
+    def test_non_telemetry_file_returns_none(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"type": "counter", "name": "x", "value": 1}\n')
+        assert read_jsonl_metrics(path) is None
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        telemetry = golden_telemetry()
+        path = write_jsonl(telemetry, tmp_path / "t.jsonl")
+        path.write_text(path.read_text() + "not json\n[1, 2]\n")
+        metrics = read_jsonl_metrics(path)
+        assert metrics is not None
+        assert metrics["counters"]["trace.chunks_streamed"] == 4
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = write_jsonl(golden_telemetry(), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema"] == "repro-telemetry/1"
+        assert {record["type"] for record in records} == {
+            "meta",
+            "span",
+            "counter",
+            "gauge",
+            "histogram",
+        }
+
+
+class TestPaths:
+    def test_bare_stem_fans_out(self):
+        paths = telemetry_paths("out/t")
+        assert paths.jsonl == Path("out/t.jsonl")
+        assert paths.chrome_trace == Path("out/t.trace.json")
+
+    def test_either_concrete_filename_is_accepted(self):
+        assert telemetry_paths("t.jsonl") == telemetry_paths("t.trace.json")
+        assert telemetry_paths("t.json").jsonl == Path("t.jsonl")
+
+
+class TestSummary:
+    def test_aggregates_sort_by_total_time(self):
+        telemetry = Telemetry(clock=make_clock(), pid=1)
+        with telemetry.span("slow"):  # two clock ticks around one nested span
+            with telemetry.span("fast"):
+                pass
+        aggregates = aggregate_spans(telemetry)
+        assert [aggregate.path for aggregate in aggregates] == ["slow", "slow/fast"]
+        assert aggregates[0].count == 1
+
+    def test_summary_lists_spans_and_metrics(self):
+        summary = format_summary(golden_telemetry())
+        assert "telemetry summary (golden)" in summary
+        assert "run/kernel" in summary
+        assert "dvs.cycles_simulated" in summary
+        assert "50,000" in summary
+
+    def test_counter_deltas_replace_the_metrics_section(self):
+        telemetry = golden_telemetry()
+        summary = format_summary(telemetry, counter_deltas={"dvs.cycles_simulated": 123})
+        assert "counter deltas" in summary
+        assert "123" in summary
+        assert "dvs.final_voltage_v" not in summary
+
+    def test_top_n_truncates(self):
+        telemetry = Telemetry(clock=make_clock(), pid=1)
+        for name in ("a", "b", "c"):
+            with telemetry.span(name):
+                pass
+        summary = format_summary(telemetry, top_n=2)
+        assert "top 2 span paths" in summary

@@ -1,0 +1,131 @@
+"""Tests for the metrics registry: counters, gauges, histograms, merging."""
+
+import pytest
+
+from repro.telemetry import HistogramSummary, MetricsRegistry
+from repro.telemetry.metrics import format_quantity, merge_snapshots
+
+
+class TestCounters:
+    def test_counters_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.count("cache.hits")
+        metrics.count("cache.hits", 4)
+        assert metrics.counters["cache.hits"] == 5
+
+    def test_delta_since_reports_only_changes(self):
+        metrics = MetricsRegistry()
+        metrics.count("before", 10)
+        baseline = metrics.snapshot()
+        metrics.count("before", 2)
+        metrics.count("new", 7)
+        metrics.gauge("ignored", 1.0)
+        assert metrics.delta_since(baseline) == {"before": 2, "new": 7}
+
+    def test_delta_since_with_no_changes_is_empty(self):
+        metrics = MetricsRegistry()
+        metrics.count("steady", 3)
+        assert metrics.delta_since(metrics.snapshot()) == {}
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("voltage", 1.2)
+        metrics.gauge("voltage", 0.88)
+        assert metrics.gauges["voltage"] == 0.88
+
+    def test_merge_prefers_the_merged_in_value(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("voltage", 1.2)
+        metrics.merge_snapshot({"gauges": {"voltage": 0.9}})
+        assert metrics.gauges["voltage"] == 0.9
+
+
+class TestHistograms:
+    def test_observe_tracks_moments(self):
+        histogram = HistogramSummary()
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(15.0)
+        assert histogram.mean == pytest.approx(5.0)
+        assert histogram.min == pytest.approx(2.0)
+        assert histogram.max == pytest.approx(8.0)
+
+    def test_empty_histogram_reports_zero_bounds(self):
+        assert HistogramSummary().as_dict() == {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+        }
+
+    def test_merge_combines_moments_exactly(self):
+        left, right, reference = HistogramSummary(), HistogramSummary(), HistogramSummary()
+        for value in (1.0, 4.0):
+            left.observe(value)
+            reference.observe(value)
+        for value in (0.5, 9.0, 2.0):
+            right.observe(value)
+            reference.observe(value)
+        left.merge(right)
+        assert left.as_dict() == reference.as_dict()
+
+
+class TestSnapshotMerge:
+    def _registry(self, *, hits: int, latency: float) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        metrics.count("cache.hits", hits)
+        metrics.gauge("workers", 2.0)
+        metrics.observe("latency", latency)
+        return metrics
+
+    def test_merge_snapshots_is_order_independent(self):
+        snapshots = [
+            self._registry(hits=1, latency=0.5).snapshot(),
+            self._registry(hits=2, latency=3.0).snapshot(),
+            self._registry(hits=4, latency=1.0).snapshot(),
+        ]
+        forward = merge_snapshots(snapshots)
+        backward = merge_snapshots(reversed(snapshots))
+        assert forward.snapshot() == backward.snapshot()
+        assert forward.counters["cache.hits"] == 7
+        assert forward.histograms["latency"].min == pytest.approx(0.5)
+        assert forward.histograms["latency"].max == pytest.approx(3.0)
+
+    def test_merging_an_empty_histogram_snapshot_keeps_bounds_sane(self):
+        metrics = MetricsRegistry()
+        metrics.observe("latency", 2.0)
+        metrics.merge_snapshot(
+            {"histograms": {"latency": HistogramSummary().as_dict()}}
+        )
+        assert metrics.histograms["latency"].count == 1
+        assert metrics.histograms["latency"].min == pytest.approx(2.0)
+        assert metrics.histograms["latency"].max == pytest.approx(2.0)
+
+    def test_snapshot_is_a_copy(self):
+        metrics = MetricsRegistry()
+        metrics.count("n", 1)
+        snapshot = metrics.snapshot()
+        metrics.count("n", 1)
+        assert snapshot["counters"]["n"] == 1
+
+
+class TestFormatting:
+    def test_integers_group_thousands(self):
+        assert format_quantity(1_600_080) == "1,600,080"
+        assert format_quantity(3.0) == "3"
+
+    def test_floats_use_six_significant_digits(self):
+        assert format_quantity(0.88) == "0.88"
+        assert format_quantity(0.123456789) == "0.123457"
+
+    def test_rows_cover_all_three_kinds(self):
+        metrics = MetricsRegistry()
+        metrics.count("hits", 2)
+        metrics.gauge("volts", 1.08)
+        metrics.observe("seconds", 0.25)
+        names = [name for name, _ in metrics.rows()]
+        assert names == ["hits", "volts", "seconds"]

@@ -1,0 +1,46 @@
+"""The telemetry overhead guard.
+
+The instrumentation contract is that disabled telemetry (the default
+``NullTelemetry``) costs the hot path nothing measurable: every
+instrumentation point is one module-global read plus an empty method call.
+This test enforces it the same way CI's perf smoke does -- a 1 M-cycle
+streamed DVS run must stay within 2 % of the committed streaming-throughput
+baseline (itself set far below real hardware throughput, so the margin
+absorbs runner jitter while still catching an accidentally-enabled collector
+or a hot-path regression in the instrumentation itself).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.bus import BusDesign, CharacterizedBus
+from repro.circuit.pvt import TYPICAL_CORNER
+from repro.core.dvs_system import DVSBusSystem
+from repro.telemetry import get_telemetry
+from repro.trace import benchmark_trace_source
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "BENCH_streaming_baseline.json"
+)
+OVERHEAD_CYCLES = 1_000_000
+
+
+def test_disabled_telemetry_stays_within_2_percent_of_baseline():
+    assert not get_telemetry().enabled, "a collector leaked into the test session"
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    bus = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
+    source = benchmark_trace_source("crafty", n_cycles=OVERHEAD_CYCLES, seed=2005)
+    started = time.perf_counter()
+    result = DVSBusSystem(bus).run(source)
+    elapsed = time.perf_counter() - started
+
+    assert result.n_cycles == OVERHEAD_CYCLES
+    cycles_per_sec = OVERHEAD_CYCLES / elapsed
+    floor = 0.98 * baseline["cycles_per_sec"]
+    assert cycles_per_sec >= floor, (
+        f"instrumented-but-disabled run managed only {cycles_per_sec:,.0f} cycles/s, "
+        f"below 98% of the committed baseline ({baseline['cycles_per_sec']:,.0f}); "
+        "telemetry instrumentation is costing the hot path real time"
+    )

@@ -404,3 +404,92 @@ class TestFileWorkloadCaching:
         assert main(["trace", "--workload", "cpu:fibonacci", "--cycles", "200",
                      "--out", str(target)]) == 0
         assert target.exists()
+
+
+class TestTelemetryFlag:
+    def test_run_with_telemetry_writes_both_exports(self, capsys, tmp_path):
+        base = tmp_path / "t"
+        assert main(["--no-cache", f"--telemetry={base}", "run", "scaling"]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry summary (run)" in captured.err
+        assert "[telemetry] event log:" in captured.err
+        import json
+
+        document = json.loads((tmp_path / "t.trace.json").read_text())
+        assert any(
+            event["name"] == "repro.run"
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        )
+        assert (tmp_path / "t.jsonl").exists()
+
+    def test_telemetry_accepted_after_the_subcommand(self, capsys, tmp_path):
+        base = tmp_path / "after"
+        assert main(["run", "scaling", "--no-cache", "--telemetry", str(base)]) == 0
+        assert (tmp_path / "after.trace.json").exists()
+
+    def test_no_telemetry_flag_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--no-cache", "run", "scaling"]) == 0
+        assert "telemetry" not in capsys.readouterr().err
+        assert list(tmp_path.glob("*.jsonl")) == []
+
+    def test_simulate_with_telemetry_traces_the_dvs_run(self, capsys, tmp_path):
+        base = tmp_path / "sim"
+        assert (
+            main(["simulate", "--cycles", "8000", "--telemetry", str(base)]) == 0
+        )
+        from repro.telemetry import read_jsonl_metrics
+
+        metrics = read_jsonl_metrics(tmp_path / "sim.jsonl")
+        assert metrics is not None
+        assert metrics["counters"]["dvs.cycles_simulated"] == 8000
+
+
+class TestProfileCommand:
+    def test_profile_prints_spans_and_counter_deltas(self, capsys, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "table1", "--cycles", "5000"]) == 0
+        captured = capsys.readouterr()
+        assert "profile:table1" in captured.out
+        assert "counter deltas for the profiled run" in captured.out
+        assert "trace.cycles_streamed" in captured.out
+        # The default export base for profile is "profile".
+        import json
+
+        document = json.loads((tmp_path / "profile.trace.json").read_text())
+        assert document["otherData"]["schema"] == "repro-telemetry/1"
+
+    def test_profile_respects_an_explicit_telemetry_base(self, capsys, tmp_path):
+        base = tmp_path / "deep" / "p"
+        assert (
+            main(["profile", "fig4b", "--cycles", "4000", "--telemetry", str(base)])
+            == 0
+        )
+        assert (tmp_path / "deep" / "p.trace.json").exists()
+
+    def test_profile_top_limits_the_span_table(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "table1", "--cycles", "5000", "--top", "1"]) == 0
+        assert "top 1 span paths" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_stats_reports_counters_from_the_log(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        base = tmp_path / "t"
+        assert main([f"--telemetry={base}", "run", "fig4b", "--cycles", "4000"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--telemetry", str(base)]) == 0
+        output = capsys.readouterr().out
+        assert "records" in output
+        assert "cache.misses" in output
+        assert "hit rate" in output
+
+    def test_stats_without_a_log_explains_how_to_record_one(self, capsys, tmp_path,
+                                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["cache", "stats"]) == 0
+        assert "--telemetry" in capsys.readouterr().out
