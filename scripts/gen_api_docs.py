@@ -45,6 +45,7 @@ PUBLIC_MODULES = (
     "repro.runtime.spec",
     "repro.runtime.cache",
     "repro.runtime.tasks",
+    "repro.runtime.parallel",
     "repro.telemetry",
     "repro.telemetry.core",
     "repro.telemetry.metrics",

@@ -19,12 +19,13 @@ Table 1 at paper scale needs tens of MB, not tens of GB.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.bus.bus_design import BusDesign
 from repro.bus.bus_model import CharacterizedBus, TraceStatisticsAccumulator
+from repro.bus.engine import ENGINE_PARALLEL, resolve_engine
 from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER, PVTCorner
 from repro.core.dvs_system import DVSBusSystem, DVSRunResult
 from repro.core.fixed_vs import FixedScalingResult, evaluate_fixed_scaling
@@ -34,6 +35,9 @@ from repro.trace.benchmarks import TABLE1_ORDER
 from repro.trace.generator import PAPER_CYCLES_PER_BENCHMARK, suite_sources
 from repro.trace.stream import ConcatenatedTraceSource, TraceSource, as_trace_source
 from repro.trace.trace import BusTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.runtime.parallel import ParallelChunkScheduler
 
 #: Default fraction of each benchmark run treated as controller warm-up.  The
 #: paper's runs are 10 M cycles, where the descent from the nominal supply is
@@ -140,23 +144,59 @@ def _run_benchmark_streamed(
     chunk_cycles: Optional[int],
     progress,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
+    scheduler: Optional["ParallelChunkScheduler"] = None,
 ) -> Tuple[FixedScalingResult, DVSRunResult]:
     """One pass over a workload feeding both Table 1 columns.
 
     The same chunk statistics drive the closed loop and accumulate the
     summary the fixed-VS baseline (and both nominal references) are computed
     from, so a 10 M-cycle benchmark is generated and analysed exactly once.
+    Under the parallel engine the shared pass is the fan-out statistics pass:
+    its per-segment summaries both replay the closed loop and merge into the
+    fixed-VS reduction -- still one analysis of the trace, bit-identical to
+    the serial pass.
     """
     source = as_trace_source(workload)
     total = source.n_cycles
     warmup = int(warmup_fraction * total)
     state = system.stream(total, warmup_cycles=warmup)
     accumulator = TraceStatisticsAccumulator()
-    for stats, _ in bus.iter_statistics(source, chunk_cycles, engine=engine):
-        accumulator.accumulate(stats)
-        state.feed(stats)
-        if progress is not None:
-            progress(state.cycles_fed, total)
+    parallel = (
+        scheduler is not None
+        or (jobs is not None and jobs > 1)
+        or resolve_engine(engine) == ENGINE_PARALLEL
+    )
+    if parallel:
+        from repro.runtime.parallel import ParallelChunkScheduler
+
+        own = scheduler is None
+        sched = (
+            scheduler
+            if scheduler is not None
+            else ParallelChunkScheduler(n_workers=jobs if jobs is not None else 1)
+        )
+        try:
+            summaries = sched.segment_summaries(
+                source,
+                system.control_segmenter(total, warmup_cycles=warmup),
+                bus.design.topology,
+                engine=engine,
+                chunk_cycles=chunk_cycles,
+                progress=progress,
+            )
+        finally:
+            if own:
+                sched.close()
+        for summary in summaries:
+            accumulator.merge_summary(summary)
+            state.feed_summary(summary)
+    else:
+        for stats, _ in bus.iter_statistics(source, chunk_cycles, engine=engine):
+            accumulator.accumulate(stats)
+            state.feed(stats)
+            if progress is not None:
+                progress(state.cycles_fed, total)
     dvs = state.finish()
     fixed = evaluate_fixed_scaling(bus, accumulator.summary())
     return fixed, dvs
@@ -174,6 +214,7 @@ def run_table1(
     ramp_delay_cycles: int = 3000,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
     order: Optional[Sequence[str]] = None,
 ) -> Table1Result:
     """Reproduce Table 1: fixed VS vs the proposed DVS, per benchmark and corner.
@@ -209,7 +250,12 @@ def run_table1(
         Streaming granularity; results are bit-identical for any value.
     engine:
         Kernel engine for the per-cycle statistics (:mod:`repro.bus.engine`);
-        results are bit-identical for either engine.
+        results are bit-identical for every engine, including
+        ``"parallel"``.
+    jobs:
+        Worker processes for the parallel engine (``jobs > 1`` implies
+        ``engine="parallel"``).  One worker pool is created for the whole
+        table and reused across every benchmark x corner cell.
     order:
         Row order of the table; defaults to the paper's
         :data:`~repro.trace.benchmarks.TABLE1_ORDER` (names absent from
@@ -224,6 +270,48 @@ def run_table1(
     if order is None:
         order = TABLE1_ORDER
 
+    # One persistent worker pool for the whole table: fork/start-up costs are
+    # paid once, every benchmark x corner cell reuses the same workers.
+    scheduler: Optional["ParallelChunkScheduler"] = None
+    if (jobs is not None and jobs > 1) or resolve_engine(engine) == ENGINE_PARALLEL:
+        from repro.runtime.parallel import ParallelChunkScheduler
+
+        scheduler = ParallelChunkScheduler(n_workers=jobs if jobs is not None else 1)
+
+    try:
+        corner_results = _run_table1_corners(
+            design=design,
+            workloads=workloads,
+            corners=corners,
+            warmup_fraction=warmup_fraction,
+            policy=policy,
+            window_cycles=window_cycles,
+            ramp_delay_cycles=ramp_delay_cycles,
+            chunk_cycles=chunk_cycles,
+            engine=engine,
+            order=order,
+            scheduler=scheduler,
+        )
+    finally:
+        if scheduler is not None:
+            scheduler.close()
+    return Table1Result(corners=tuple(corner_results), n_cycles_per_benchmark=n_cycles)
+
+
+def _run_table1_corners(
+    design: BusDesign,
+    workloads: WorkloadMapping,
+    corners: Sequence[PVTCorner],
+    warmup_fraction: float,
+    policy: Optional[ControlPolicy],
+    window_cycles: int,
+    ramp_delay_cycles: int,
+    chunk_cycles: Optional[int],
+    engine: Optional[str],
+    order: Sequence[str],
+    scheduler: Optional["ParallelChunkScheduler"],
+) -> List[Table1CornerResult]:
+    """The per-corner benchmark loop of :func:`run_table1`."""
     corner_results: List[Table1CornerResult] = []
     for corner in corners:
         bus = CharacterizedBus(design, corner)
@@ -249,7 +337,7 @@ def run_table1(
             )
             fixed, dvs = _run_benchmark_streamed(
                 bus, system, workloads[name], warmup_fraction, chunk_cycles, progress,
-                engine=engine,
+                engine=engine, scheduler=scheduler,
             )
             rows.append(
                 Table1Row(
@@ -280,7 +368,7 @@ def run_table1(
                 total_dvs_error_rate=(error_cycles_total / cycles_total) if cycles_total else 0.0,
             )
         )
-    return Table1Result(corners=tuple(corner_results), n_cycles_per_benchmark=n_cycles)
+    return corner_results
 
 
 @dataclass(frozen=True)
@@ -359,6 +447,7 @@ def run_fig8(
     ramp_delay_cycles: int = 3000,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> Fig8Result:
     """Reproduce Fig. 8: the suite run back-to-back under closed-loop DVS.
 
@@ -391,6 +480,7 @@ def run_fig8(
         chunk_cycles=chunk_cycles,
         progress=_auto_progress(suite.n_cycles, label=f"fig8@{corner.label}"),
         engine=engine,
+        jobs=jobs,
     )
 
     events = run.voltage_events

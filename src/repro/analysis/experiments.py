@@ -159,6 +159,7 @@ def _run_table1(
     seed: int = 2005,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
     workload: Optional[str] = None,
 ) -> Tuple[Any, str]:
     # n_cycles=None runs the paper's 10 M cycles per benchmark through the
@@ -177,10 +178,11 @@ def _run_table1(
             seed=seed,
             chunk_cycles=chunk_cycles,
             engine=engine,
+            jobs=jobs,
         )
     else:
         result = run_table1(
-            n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine
+            n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine, jobs=jobs
         )
     return result, reporting.format_table1(result)
 
@@ -190,6 +192,7 @@ def _run_table1_kernels(
     seed: int = 2005,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[Any, str]:
     # Cross-workload Table 1: the 10 synthetic benchmarks next to all 7
     # executed mini-CPU kernels, per-SimPoint-spirit scenario diversity.  The
@@ -207,6 +210,7 @@ def _run_table1_kernels(
         seed=seed,
         chunk_cycles=chunk_cycles,
         engine=engine,
+        jobs=jobs,
     )
     return result, reporting.format_table1(result)
 
@@ -216,6 +220,7 @@ def _run_fig8(
     seed: int = 2005,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
     workload: Optional[str] = None,
 ) -> Tuple[Any, str]:
     if workload is not None:
@@ -228,10 +233,11 @@ def _run_fig8(
             seed=seed,
             chunk_cycles=chunk_cycles,
             engine=engine,
+            jobs=jobs,
         )
     else:
         result = run_fig8(
-            n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine
+            n_cycles=n_cycles, seed=seed, chunk_cycles=chunk_cycles, engine=engine, jobs=jobs
         )
     return result, reporting.format_fig8(result)
 

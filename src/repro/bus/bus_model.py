@@ -23,16 +23,18 @@ to hold, so the model also supports *streaming reductions*:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.bus.bus_design import BusDesign
 from repro.bus.characterization import characterize_bus, default_voltage_grid
 from repro.bus.engine import (
+    ENGINE_PARALLEL,
     ENGINE_SCALAR,
     ENGINE_VECTORIZED,
     default_chunk_cycles,
+    kernel_engine,
     resolve_engine,
 )
 from repro.circuit.energy_model import FlipFlopEnergyParams
@@ -41,6 +43,7 @@ from repro.circuit.pvt import PVTCorner
 from repro.energy.accounting import EnergyBreakdown
 from repro.interconnect.block_kernels import block_statistics_arrays, lanes_supported
 from repro.interconnect.crosstalk import (
+    NeighborTopology,
     coupling_energy_weights,
     packed_coupling_energy_weights,
     packed_toggle_counts,
@@ -51,6 +54,9 @@ from repro.interconnect.crosstalk import (
 from repro.telemetry import get_telemetry
 from repro.trace.stream import TraceSource, as_trace_source
 from repro.trace.trace import BusTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.runtime.parallel import ParallelChunkScheduler
 
 VoltageLike = Union[float, np.ndarray]
 
@@ -209,6 +215,25 @@ class TraceStatisticsAccumulator:
             self._histogram[value] = self._histogram.get(value, 0) + int(count)
         return self
 
+    def merge_summary(self, summary: "TraceSummary") -> "TraceStatisticsAccumulator":
+        """Fold an already-reduced :class:`TraceSummary` into the reduction.
+
+        The parallel engine's merge step: per-segment summaries computed by
+        worker processes fold in exactly like raw chunks, and because every
+        field is an exact integer (or small dyadic) total, any merge grouping
+        -- linear, tree-shaped, or mixed with :meth:`accumulate` calls --
+        produces bit-identical results.
+        """
+        self._n_cycles += summary.n_cycles
+        self._toggles += summary.toggles_total
+        self._weights += summary.coupling_weights_total
+        for value, count in zip(
+            summary.worst_coupling_values.tolist(),
+            summary.worst_coupling_counts.tolist(),
+        ):
+            self._histogram[value] = self._histogram.get(value, 0) + int(count)
+        return self
+
     #: Alias so the accumulator can be used as a chunk observer.
     update = accumulate
 
@@ -234,6 +259,60 @@ class TraceStatisticsAccumulator:
 WorkloadLike = Union[BusTrace, TraceSource, TraceStatistics]
 #: Workload statistics in either per-cycle or reduced form.
 StatisticsLike = Union[TraceStatistics, TraceSummary]
+
+
+def analyze_trace_statistics(
+    trace: BusTrace,
+    topology: NeighborTopology,
+    engine: Optional[str] = None,
+) -> TraceStatistics:
+    """Per-cycle statistics of a trace over a wiring topology.
+
+    This is the kernel dispatch behind
+    :meth:`CharacterizedBus.analyze_trace`, factored to module level because
+    it depends only on the (tiny, picklable) :class:`NeighborTopology` -- the
+    parallel engine's worker processes call it without ever materialising a
+    characterised bus.  With the default ``engine="vectorized"`` (which
+    ``"parallel"`` maps to, see :func:`repro.bus.engine.kernel_engine`) all
+    three per-cycle arrays come from the integer-lane block kernels straight
+    off the packed words; ``engine="scalar"`` runs the per-wire reference
+    kernels.  Results are **bit-identical** either way, and configurations
+    the lane kernels cannot represent (buses wider than 64 wires, big-endian
+    hosts) fall back to the reference path.
+    """
+    if trace.n_bits != topology.n_wires:
+        raise ValueError(
+            f"transition width {trace.n_bits} does not match topology "
+            f"({topology.n_wires})"
+        )
+    telemetry = get_telemetry()
+    if kernel_engine(engine) == ENGINE_VECTORIZED and lanes_supported(trace.n_bits):
+        with telemetry.span("kernel.block_statistics", cycles=trace.n_cycles):
+            worst, toggles, weights = block_statistics_arrays(
+                trace.packed_values, topology
+            )
+        telemetry.count("kernel.invocations.vectorized")
+        return TraceStatistics(
+            worst_coupling=worst, toggles=toggles, coupling_weights=weights
+        )
+    telemetry.count("kernel.invocations.scalar")
+    if not trace.is_packed:
+        with telemetry.span("kernel.scalar_statistics", cycles=trace.n_cycles):
+            transitions = transitions_from_values(trace.values)
+            return TraceStatistics(
+                worst_coupling=worst_coupling_factor_per_cycle(transitions, topology),
+                toggles=toggle_counts(transitions),
+                coupling_weights=coupling_energy_weights(transitions, topology),
+            )
+    with telemetry.span("kernel.scalar_statistics", cycles=trace.n_cycles, packed=True):
+        packed = trace.packed_values
+        values = trace.values  # one unpacked copy for the signed classification
+        transitions = transitions_from_values(values)
+        return TraceStatistics(
+            worst_coupling=worst_coupling_factor_per_cycle(transitions, topology),
+            toggles=packed_toggle_counts(packed),
+            coupling_weights=packed_coupling_energy_weights(packed, topology),
+        )
 
 
 class CharacterizedBus:
@@ -286,44 +365,11 @@ class CharacterizedBus:
     def analyze_trace(self, trace: BusTrace, engine: Optional[str] = None) -> TraceStatistics:
         """:meth:`analyze` for a :class:`BusTrace`, choosing a kernel engine.
 
-        With the default ``engine="vectorized"``, all three per-cycle arrays
-        are computed by the integer-lane block kernels straight from the
-        packed words (:mod:`repro.interconnect.block_kernels`); with
-        ``engine="scalar"`` the per-wire reference kernels run over the
-        unpacked 0/1 array.  Results are **bit-identical** either way (the
-        streaming-equivalence tests hold the engines to each other), and
-        configurations the lane kernels cannot represent (buses wider than
-        64 wires, big-endian hosts) fall back to the reference path.
+        Delegates to the module-level :func:`analyze_trace_statistics`, which
+        carries the full kernel-dispatch contract (bit-identical engines,
+        scalar fallback for unsupported configurations).
         """
-        topology = self.design.topology
-        if trace.n_bits != topology.n_wires:
-            raise ValueError(
-                f"transition width {trace.n_bits} does not match topology "
-                f"({topology.n_wires})"
-            )
-        telemetry = get_telemetry()
-        if resolve_engine(engine) == ENGINE_VECTORIZED and lanes_supported(trace.n_bits):
-            with telemetry.span("kernel.block_statistics", cycles=trace.n_cycles):
-                worst, toggles, weights = block_statistics_arrays(
-                    trace.packed_values, topology
-                )
-            telemetry.count("kernel.invocations.vectorized")
-            return TraceStatistics(
-                worst_coupling=worst, toggles=toggles, coupling_weights=weights
-            )
-        telemetry.count("kernel.invocations.scalar")
-        if not trace.is_packed:
-            with telemetry.span("kernel.scalar_statistics", cycles=trace.n_cycles):
-                return self.analyze(trace.values)
-        with telemetry.span("kernel.scalar_statistics", cycles=trace.n_cycles, packed=True):
-            packed = trace.packed_values
-            values = trace.values  # one unpacked copy for the signed classification
-            transitions = transitions_from_values(values)
-            return TraceStatistics(
-                worst_coupling=worst_coupling_factor_per_cycle(transitions, topology),
-                toggles=packed_toggle_counts(packed),
-                coupling_weights=packed_coupling_energy_weights(packed, topology),
-            )
+        return analyze_trace_statistics(trace, self.design.topology, engine=engine)
 
     def iter_statistics(
         self,
@@ -351,7 +397,7 @@ class CharacterizedBus:
                     yield workload.slice(start, stop), start
             return
         source = as_trace_source(workload)
-        packed = engine == ENGINE_VECTORIZED and lanes_supported(source.n_bits)
+        packed = kernel_engine(engine) == ENGINE_VECTORIZED and lanes_supported(source.n_bits)
         if chunk_cycles is None:
             # The scalar kernels (also the fallback when the lane kernels
             # cannot represent this bus) want small cache-resident chunks;
@@ -365,8 +411,49 @@ class CharacterizedBus:
         workload: WorkloadLike,
         chunk_cycles: Optional[int] = None,
         engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        scheduler: Optional["ParallelChunkScheduler"] = None,
     ) -> TraceSummary:
-        """Reduce a workload to a :class:`TraceSummary` in O(chunk) memory."""
+        """Reduce a workload to a :class:`TraceSummary` in O(chunk) memory.
+
+        With ``engine="parallel"``, ``jobs > 1`` or an explicit
+        :class:`~repro.runtime.parallel.ParallelChunkScheduler`, the kernel
+        work fans out to worker processes and the per-chunk summaries are
+        merged in submission order -- bit-identical to the serial reduction
+        because every accumulated quantity is exact (see
+        :class:`TraceStatisticsAccumulator.merge_summary`).  Pre-computed
+        :class:`TraceStatistics` workloads always reduce serially (there is
+        no kernel work to parallelise).
+        """
+        parallel = scheduler is not None or (jobs is not None and jobs > 1) or (
+            resolve_engine(engine) == ENGINE_PARALLEL
+        )
+        if parallel and not isinstance(workload, TraceStatistics):
+            from repro.runtime.parallel import ChunkSegmenter, ParallelChunkScheduler
+
+            source = as_trace_source(workload)
+            segmenter = ChunkSegmenter(n_cycles=source.n_cycles)
+            own = scheduler is None
+            sched = (
+                scheduler
+                if scheduler is not None
+                else ParallelChunkScheduler(n_workers=jobs if jobs is not None else 1)
+            )
+            try:
+                summaries = sched.segment_summaries(
+                    source,
+                    segmenter,
+                    self.design.topology,
+                    engine=engine,
+                    chunk_cycles=chunk_cycles,
+                )
+            finally:
+                if own:
+                    sched.close()
+            accumulator = TraceStatisticsAccumulator()
+            for summary in summaries:
+                accumulator.merge_summary(summary)
+            return accumulator.summary()
         accumulator = TraceStatisticsAccumulator()
         for stats, _ in self.iter_statistics(workload, chunk_cycles, engine=engine):
             accumulator.accumulate(stats)

@@ -20,6 +20,19 @@ Every layer that turns bus words into per-cycle statistics accepts an
     bit-identical** on every statistic, energy total and control decision,
     for any chunk size.
 
+``"parallel"``
+    The two-pass multicore engine: a fan-out statistics pass where worker
+    processes run the *vectorized* kernels over disjoint chunk ranges, then a
+    cheap sequential controller-replay pass over the per-segment summaries
+    (:mod:`repro.runtime.parallel`).  Results are **bit-identical** to both
+    serial engines for any chunk size and worker count -- the per-segment
+    reductions are exact, so merge grouping cannot change a single bit.  The
+    worker count is a separate ``jobs`` argument; with one worker (or in
+    environments without process pools) the two-pass pipeline runs inline,
+    still bit-identical.  Layers that only compute per-chunk statistics
+    (e.g. :meth:`~repro.bus.bus_model.CharacterizedBus.analyze_trace`) treat
+    ``"parallel"`` as the vectorized kernels via :func:`kernel_engine`.
+
 ``None`` always means "the default engine", so callers can thread an optional
 engine argument without repeating the default.
 """
@@ -32,8 +45,10 @@ from typing import Optional
 ENGINE_VECTORIZED = "vectorized"
 #: The scalar reference implementation the vectorized engine is tested against.
 ENGINE_SCALAR = "scalar"
+#: The two-pass multicore engine (vectorized kernels in worker processes).
+ENGINE_PARALLEL = "parallel"
 #: All selectable engines.
-ENGINES = (ENGINE_VECTORIZED, ENGINE_SCALAR)
+ENGINES = (ENGINE_VECTORIZED, ENGINE_SCALAR, ENGINE_PARALLEL)
 #: Engine used when none is requested.
 DEFAULT_ENGINE = ENGINE_VECTORIZED
 
@@ -57,8 +72,21 @@ def resolve_engine(engine: Optional[str]) -> str:
     return engine
 
 
+def kernel_engine(engine: Optional[str]) -> str:
+    """The kernel implementation an engine computes per-cycle statistics with.
+
+    The parallel engine changes *scheduling*, not arithmetic: its workers run
+    the vectorized block kernels, so statistics layers that only need a kernel
+    choice map ``"parallel"`` to ``"vectorized"`` here.
+    """
+    resolved = resolve_engine(engine)
+    if resolved == ENGINE_PARALLEL:
+        return ENGINE_VECTORIZED
+    return resolved
+
+
 def default_chunk_cycles(engine: Optional[str]) -> int:
     """The default streaming chunk size of an engine."""
-    if resolve_engine(engine) == ENGINE_VECTORIZED:
+    if kernel_engine(engine) == ENGINE_VECTORIZED:
         return VECTORIZED_CHUNK_CYCLES
     return SCALAR_CHUNK_CYCLES

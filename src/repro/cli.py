@@ -38,10 +38,12 @@ The runtime flags steer the engine for the commands that go through it:
 ``report`` (repeated runs hit the content-addressed cache instead of
 re-simulating) and ``--cache-dir`` selects the cache for ``cache``;
 ``--jobs N`` applies to ``sweep`` and ``report``, fanning cache misses out
-over N worker processes with bit-identical results (``run`` executes a
-single job, so it gains nothing from workers).  The one-off interactive
-commands (``characterize``, ``simulate``, ``compare-schemes``) always
-simulate directly.
+over N worker processes with bit-identical results.  ``run``, ``simulate``
+and ``profile`` honour ``--jobs`` too: a single invocation fans its
+*statistics pass* out over N workers via the parallel two-pass engine
+(``repro simulate --jobs 4``), again bit-identical to serial.  The other
+one-off commands (``characterize``, ``compare-schemes``) always simulate
+directly.
 
 ``--telemetry[=PATH]`` (global, and on ``run``/``sweep``/``simulate``/
 ``report``/``profile``) installs the span tracer for the command and writes
@@ -63,7 +65,7 @@ import numpy as np
 from repro.analysis.experiments import EXPERIMENTS, accepted_kwargs, run_experiment
 from repro.baselines import format_scheme_comparison, run_scheme_comparison
 from repro.bus import BusDesign, CharacterizedBus
-from repro.bus.engine import DEFAULT_ENGINE, ENGINES
+from repro.bus.engine import DEFAULT_ENGINE, ENGINE_PARALLEL, ENGINES
 from repro.circuit.pvt import PVTCorner
 from repro.core.dvs_system import DVSBusSystem
 from repro.cpu import KERNELS
@@ -84,6 +86,7 @@ from repro.runtime.tasks import get_task
 from repro.telemetry import (
     DEFAULT_TELEMETRY_BASE,
     Telemetry,
+    format_parallel_summary,
     format_summary,
     get_telemetry,
     read_jsonl_metrics,
@@ -110,6 +113,25 @@ def _workload_error(error: Exception) -> int:
     message = error.args[0] if error.args else str(error)
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _parallel_jobs_error(engine: Optional[str], jobs: Optional[int]) -> Optional[int]:
+    """Reject ``--engine parallel`` without a worker fan-out to use.
+
+    The library accepts ``engine="parallel"`` with no jobs (it reduces the
+    chunks inline, still two-pass); on the command line that combination is
+    almost always a mistyped request for actual parallelism, so it fails
+    loudly instead of silently running serially.
+    """
+    if engine == ENGINE_PARALLEL and (jobs is None or jobs <= 1):
+        print(
+            "error: --engine parallel needs --jobs N with N >= 2 "
+            "(one worker cannot fan the statistics pass out; drop --engine "
+            "parallel to run serially -- the results are bit-identical)",
+            file=sys.stderr,
+        )
+        return 2
+    return None
 
 
 def _add_corner_argument(parser: argparse.ArgumentParser) -> None:
@@ -140,7 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             metavar="N",
             default=1 if top_level else argparse.SUPPRESS,
-            help="worker processes for cache misses (results are identical to serial)",
+            help="worker processes (sweep/report cache misses, or the parallel "
+            "statistics pass of run/simulate/profile; results are identical to serial)",
         )
         target.add_argument(
             "--cache-dir",
@@ -316,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument(
         "--engine", choices=ENGINES, default=argparse.SUPPRESS, help="kernel engine"
     )
+    profile_parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=argparse.SUPPRESS,
+        help="worker processes for the parallel statistics pass",
+    )
     add_telemetry_flag(profile_parser, top_level=False)
 
     characterize_parser = subparsers.add_parser(
@@ -347,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate_parser.add_argument(
         "--engine", choices=ENGINES, default=argparse.SUPPRESS, help="kernel engine"
+    )
+    simulate_parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=argparse.SUPPRESS,
+        help="worker processes for the parallel statistics pass",
     )
     simulate_parser.add_argument("--seed", type=int, default=2005)
     simulate_parser.add_argument("--window", type=int, default=10_000, help="error window (cycles)")
@@ -414,12 +451,15 @@ def _command_list() -> int:
 
 def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[int],
                  engine: Optional[str], seed: int, cache: Optional[ResultCache],
-                 workload: Optional[str] = None) -> int:
+                 workload: Optional[str] = None, jobs: Optional[int] = None) -> int:
     runner = EXPERIMENTS[experiment].runner
     requested = {
         "n_cycles": cycles,
         "chunk_cycles": chunk_cycles,
         "engine": engine,
+        # --jobs defaults to 1 at the top level; only an explicit fan-out
+        # request is worth forwarding (and warning about when unsupported).
+        "jobs": jobs if jobs is not None and jobs > 1 else None,
         "workload": workload,
     }
     kwargs = accepted_kwargs(runner, {"seed": seed, **requested})
@@ -427,6 +467,7 @@ def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[
         "n_cycles": "--cycles",
         "chunk_cycles": "--chunk-cycles",
         "engine": "--engine",
+        "jobs": "--jobs",
         "workload": "--workload",
     }
     for name, value in requested.items():
@@ -547,12 +588,14 @@ def _command_profile(
     seed: int,
     top: int,
     workload: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> int:
     """Run one bounded experiment under the (already installed) tracer.
 
     ``main`` installs the telemetry collector and writes the JSONL/Chrome
     exports after this returns; this handler's job is the bounded run itself
-    plus the on-stdout span/counter summary.
+    plus the on-stdout span/counter summary (including the parallel-engine
+    scaling block whenever the run engaged the two-pass reduction).
     """
     runner = EXPERIMENTS[experiment].runner
     telemetry = get_telemetry()
@@ -564,6 +607,7 @@ def _command_profile(
             "n_cycles": cycles if cycles is not None else 50_000,
             "chunk_cycles": chunk_cycles,
             "engine": engine,
+            "jobs": jobs if jobs is not None and jobs > 1 else None,
             "workload": workload,
         },
     )
@@ -579,6 +623,10 @@ def _command_profile(
     print()
     print(format_summary(telemetry, top_n=top,
                          counter_deltas=telemetry.metrics.delta_since(baseline)))
+    parallel_block = format_parallel_summary(telemetry)
+    if parallel_block is not None:
+        print()
+        print(parallel_block)
     return 0
 
 
@@ -663,6 +711,7 @@ def _command_simulate(
     ramp: int,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
     workload: Optional[str] = None,
 ) -> int:
     corner = CORNERS[corner_name]
@@ -684,7 +733,13 @@ def _command_simulate(
     bus = CharacterizedBus(design_for_width(BusDesign.paper_bus(), source.n_bits), corner)
     system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
     progress = auto_chunk_progress(source.n_cycles, label=f"simulate {label}")
-    result = system.run(source, chunk_cycles=chunk_cycles, progress=progress, engine=engine)
+    result = system.run(
+        source,
+        chunk_cycles=chunk_cycles,
+        progress=progress,
+        engine=engine,
+        jobs=jobs if jobs is not None and jobs > 1 else None,
+    )
 
     print(f"Closed-loop DVS: workload {label!r}, corner {corner.label}")
     print(f"  cycles simulated      : {result.n_cycles}")
@@ -853,6 +908,9 @@ def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "run":
+        code = _parallel_jobs_error(args.engine, args.jobs)
+        if code is not None:
+            return code
         return _command_run(
             args.experiment,
             args.cycles,
@@ -861,6 +919,7 @@ def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
             args.seed,
             cache,
             workload=args.workload,
+            jobs=args.jobs,
         )
     if args.command == "sweep":
         return _command_sweep(
@@ -890,6 +949,9 @@ def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
     if args.command == "cache":
         return _command_cache(args.action, args.cache_dir, telemetry_base=args.telemetry)
     if args.command == "profile":
+        code = _parallel_jobs_error(args.engine, args.jobs)
+        if code is not None:
+            return code
         return _command_profile(
             args.experiment,
             args.cycles,
@@ -898,10 +960,14 @@ def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
             args.seed,
             args.top,
             workload=args.workload,
+            jobs=args.jobs,
         )
     if args.command == "characterize":
         return _command_characterize(args.corner)
     if args.command == "simulate":
+        code = _parallel_jobs_error(args.engine, args.jobs)
+        if code is not None:
+            return code
         return _command_simulate(
             args.benchmark,
             args.corner,
@@ -911,6 +977,7 @@ def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
             args.ramp,
             chunk_cycles=args.chunk_cycles,
             engine=args.engine,
+            jobs=args.jobs,
             workload=args.workload,
         )
     if args.command == "compare-schemes":

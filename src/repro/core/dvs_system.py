@@ -28,11 +28,12 @@ tests enforce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 import numpy as np
 
-from repro.bus.bus_model import CharacterizedBus, TraceStatistics
+from repro.bus.bus_model import CharacterizedBus, TraceStatistics, TraceSummary
+from repro.bus.engine import ENGINE_PARALLEL, resolve_engine
 from repro.circuit.pvt import PVTCorner
 from repro.core.error_detection import DEFAULT_WINDOW_CYCLES, ErrorCounter
 from repro.core.policies import BangBangPolicy, ControlPolicy
@@ -40,8 +41,11 @@ from repro.core.regulator import VoltageEvent, VoltageRegulator
 from repro.core.voltage_controller import WindowedVoltageController
 from repro.energy.accounting import EnergyBreakdown
 from repro.energy.gains import breakdown_gain_percent
-from repro.trace.stream import TraceSource
+from repro.trace.stream import TraceSource, as_trace_source
 from repro.trace.trace import BusTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.runtime.parallel import ChunkSegmenter, ParallelChunkScheduler
 
 #: A per-chunk progress callback: ``callback(done_cycles, total_cycles)``.
 ProgressCallback = Callable[[int, int], None]
@@ -250,6 +254,74 @@ class DVSRunState:
             position += block_end - cycle
         self._cursor = start + n
 
+    def feed_summary(self, summary: TraceSummary) -> None:
+        """Advance the closed loop over one *constant-state segment* summary.
+
+        This is the parallel engine's replay step: the summary must cover
+        exactly the next segment between two control boundaries (window
+        starts, ramp applications, the warm-up edge -- see
+        :meth:`DVSBusSystem.control_segmenter`), over which the supply
+        voltage and the accounting regime are provably constant.  Within
+        such a segment the serial block loop of :meth:`feed` reduces to the
+        summary's exact totals, so replaying segment summaries reproduces
+        the serial run bit-identically.  Raises if the segment would
+        straddle a boundary (a summary cannot be split after the fact).
+        """
+        n = summary.n_cycles
+        start = self._cursor
+        end = start + n
+        if end > self._n_cycles:
+            raise ValueError(
+                f"segment of {n} cycles overruns the declared run length "
+                f"({start} + {n} > {self._n_cycles})"
+            )
+        if n == 0:
+            return
+        regulator = self._regulator
+        grid = self._system.bus.grid
+        window_cycles = self._system.window_cycles
+        cycle = start
+        if cycle == self._next_window_start:
+            # Same ordering as feed(): the window voltage is sampled before
+            # any change landing exactly on the window boundary is applied.
+            self._window_voltages.append(regulator.current_voltage)
+            self._next_window_start += window_cycles
+        regulator.apply_until(cycle)
+        voltage = regulator.current_voltage
+        v_index = grid.index_of(voltage)
+
+        window_end = (cycle // window_cycles + 1) * window_cycles
+        boundary = min(window_end, self._n_cycles)
+        pending = regulator.pending_change
+        if pending is not None and cycle < pending.cycle < boundary:
+            boundary = pending.cycle
+        if end > boundary:
+            raise ValueError(
+                f"segment [{start}, {end}) straddles a control boundary at "
+                f"{boundary}; re-segment the run with control_segmenter()"
+            )
+        if cycle < self._warmup < end:
+            raise ValueError(
+                f"segment [{start}, {end}) straddles the warm-up boundary at "
+                f"{self._warmup}; re-segment the run with control_segmenter()"
+            )
+
+        block_errors = summary.error_count(float(self._thr_main[v_index]))
+        self._failures += summary.error_count(float(self._thr_shadow[v_index]))
+        if self._voltage_per_cycle is not None:
+            self._voltage_per_cycle[cycle:end] = voltage
+        self._min_voltage = min(self._min_voltage, voltage)
+
+        if cycle >= self._warmup:
+            self._meas_cycles[v_index] += n
+            self._meas_toggles[v_index] += summary.toggles_total
+            self._meas_weights[v_index] += summary.coupling_weights_total
+            self._meas_errors += block_errors
+
+        for measurement in self._counter.record(n, block_errors):
+            self._controller.on_window(measurement)
+        self._cursor = end
+
     def finish(self) -> DVSRunResult:
         """Close the run and assemble the :class:`DVSRunResult`."""
         if self._cursor != self._n_cycles:
@@ -348,6 +420,24 @@ class DVSBusSystem:
         """
         return DVSRunState(self, n_cycles, initial_voltage, keep_cycle_voltage, warmup_cycles)
 
+    def control_segmenter(self, n_cycles: int, warmup_cycles: int = 0) -> "ChunkSegmenter":
+        """Segment boundaries over which this system's control state is constant.
+
+        The supply voltage can only change at window starts and regulator
+        ramp applications -- cycles fixed by the configuration, never by the
+        data -- and the accounting regime flips once at the warm-up edge.
+        The parallel engine reduces each such segment to an exact summary
+        and replays them through :meth:`DVSRunState.feed_summary`.
+        """
+        from repro.runtime.parallel import ChunkSegmenter
+
+        return ChunkSegmenter(
+            n_cycles=n_cycles,
+            window_cycles=self.window_cycles,
+            ramp_delay_cycles=self.ramp_delay_cycles,
+            warmup_cycles=warmup_cycles,
+        )
+
     def run(
         self,
         workload: Union[BusTrace, TraceStatistics, TraceSource],
@@ -357,6 +447,8 @@ class DVSBusSystem:
         chunk_cycles: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
         engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        scheduler: Optional["ParallelChunkScheduler"] = None,
     ) -> DVSRunResult:
         """Simulate the closed loop over a workload.
 
@@ -391,7 +483,16 @@ class DVSBusSystem:
             Kernel engine computing the per-cycle statistics
             (:mod:`repro.bus.engine`): the default ``"vectorized"`` runs the
             integer-lane block kernels over packed chunks, ``"scalar"`` the
-            per-wire reference path.  Results are bit-identical either way.
+            per-wire reference path, and ``"parallel"`` the two-pass
+            multicore pipeline.  Results are bit-identical in every case.
+        jobs:
+            Worker processes for the parallel engine.  ``jobs > 1`` implies
+            ``engine="parallel"``; ``engine="parallel"`` without ``jobs``
+            runs the same two-pass pipeline inline (one process).
+        scheduler:
+            An existing :class:`~repro.runtime.parallel.ParallelChunkScheduler`
+            to reuse (keeps one worker pool warm across many runs); implies
+            the parallel engine.  The caller retains ownership.
         """
         if isinstance(workload, TraceStatistics):
             total = workload.n_cycles
@@ -408,14 +509,53 @@ class DVSBusSystem:
             keep_cycle_voltage=keep_cycle_voltage,
             warmup_cycles=warmup_cycles,
         )
+        parallel = (
+            scheduler is not None
+            or (jobs is not None and jobs > 1)
+            or resolve_engine(engine) == ENGINE_PARALLEL
+        ) and not isinstance(workload, TraceStatistics)
         with telemetry.span(
             "dvs.run", workload=getattr(workload, "name", ""), cycles=total
         ):
-            for stats, start in self.bus.iter_statistics(workload, chunk_cycles, engine=engine):
-                with telemetry.span("dvs.chunk", start_cycle=start):
-                    state.feed(stats)
-                if progress is not None:
-                    progress(state.cycles_fed, total)
+            if parallel:
+                # Two-pass pipeline: parallel per-segment statistics, then a
+                # sequential replay of the closed loop over the summaries.
+                # Segments end exactly at the (data-independent) control
+                # boundaries, so the replay is bit-identical to the serial
+                # block loop below.
+                from repro.runtime.parallel import ParallelChunkScheduler
+
+                source = as_trace_source(workload)
+                segmenter = self.control_segmenter(total, warmup_cycles=warmup_cycles)
+                own = scheduler is None
+                sched = (
+                    scheduler
+                    if scheduler is not None
+                    else ParallelChunkScheduler(n_workers=jobs if jobs is not None else 1)
+                )
+                try:
+                    summaries = sched.segment_summaries(
+                        source,
+                        segmenter,
+                        self.bus.design.topology,
+                        engine=engine,
+                        chunk_cycles=chunk_cycles,
+                        progress=progress,
+                    )
+                finally:
+                    if own:
+                        sched.close()
+                with telemetry.span("dvs.replay", segments=len(summaries)):
+                    for summary in summaries:
+                        state.feed_summary(summary)
+            else:
+                for stats, start in self.bus.iter_statistics(
+                    workload, chunk_cycles, engine=engine
+                ):
+                    with telemetry.span("dvs.chunk", start_cycle=start):
+                        state.feed(stats)
+                    if progress is not None:
+                        progress(state.cycles_fed, total)
             result = state.finish()
         if telemetry.enabled:
             # Controller-side accounting for the end-of-run summary: how much

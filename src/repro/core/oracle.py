@@ -15,17 +15,21 @@ controller can achieve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.bus.bus_model import CharacterizedBus, TraceStatistics
+from repro.bus.engine import ENGINE_PARALLEL, resolve_engine
 from repro.core.error_detection import DEFAULT_WINDOW_CYCLES
 from repro.energy.accounting import EnergyBreakdown
 from repro.energy.gains import breakdown_gain_percent
-from repro.trace.stream import TraceSource
+from repro.trace.stream import TraceSource, as_trace_source
 from repro.trace.trace import BusTrace
 from repro.utils.validation import check_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.runtime.parallel import ParallelChunkScheduler
 
 
 @dataclass(frozen=True)
@@ -109,6 +113,32 @@ def _resolve_floor(bus: CharacterizedBus, v_floor: Optional[float]) -> float:
     return bus.grid.snap(max(v_floor, bus.grid.v_min))
 
 
+def _budgeted_window_choice(
+    histogram: np.ndarray,
+    window_fill: int,
+    target_error_rate: float,
+    floor_index: int,
+) -> Tuple[int, int]:
+    """The oracle's per-window decision from a grid-index histogram.
+
+    ``histogram[i]`` counts cycles whose minimum safe voltage is grid index
+    ``i``; bin ``n_grid`` holds cycles unsafe even at the top grid voltage.
+    Returns ``(chosen_index, realised_errors)``.  Shared by the serial
+    streaming path and the parallel per-window replay so the (integer-exact)
+    selection logic exists exactly once.
+    """
+    n_grid = len(histogram) - 1
+    # tail[i] = cycles whose minimum safe voltage exceeds grid voltage i
+    # (cycles unsafe even at v_max error at every grid voltage).
+    tail = (histogram[::-1].cumsum()[::-1] - histogram)[:n_grid]
+    selection_tail = tail.copy()
+    selection_tail[-1] = 0  # the selection clips unsatisfiable cycles to v_max
+    budget = int(np.floor(target_error_rate * window_fill))
+    eligible = np.nonzero(selection_tail <= budget)[0]
+    chosen_index = max(int(eligible[0]), floor_index)
+    return chosen_index, int(tail[chosen_index])
+
+
 def _streamed_oracle_schedule(
     bus: CharacterizedBus,
     workload: Union[BusTrace, TraceSource],
@@ -153,15 +183,9 @@ def _streamed_oracle_schedule(
 
     def close_window() -> None:
         nonlocal window_toggles, window_weights, window_fill, total_errors
-        # tail[i] = cycles whose minimum safe voltage exceeds grid voltage i
-        # (cycles unsafe even at v_max error at every grid voltage).
-        tail = (histogram[::-1].cumsum()[::-1] - histogram)[:n_grid]
-        selection_tail = tail.copy()
-        selection_tail[-1] = 0  # the selection clips unsatisfiable cycles to v_max
-        budget = int(np.floor(target_error_rate * window_fill))
-        eligible = np.nonzero(selection_tail <= budget)[0]
-        chosen_index = max(int(eligible[0]), floor_index)
-        errors = int(tail[chosen_index])
+        chosen_index, errors = _budgeted_window_choice(
+            histogram, window_fill, target_error_rate, floor_index
+        )
         window_voltages.append(float(grid.voltages[chosen_index]))
         window_error_rates.append(errors / window_fill)
         level_cycles[chosen_index] += window_fill
@@ -210,6 +234,98 @@ def _streamed_oracle_schedule(
     )
 
 
+def _parallel_oracle_schedule(
+    bus: CharacterizedBus,
+    workload: Union[BusTrace, TraceSource],
+    target_error_rate: float,
+    window_cycles: int,
+    v_floor: float,
+    chunk_cycles: Optional[int],
+    engine: Optional[str],
+    jobs: Optional[int],
+    scheduler: Optional["ParallelChunkScheduler"],
+) -> OracleSchedule:
+    """The oracle via the two-pass parallel engine.
+
+    The statistics pass reduces each scheduling window to an exact
+    :class:`~repro.bus.bus_model.TraceSummary` (the segmenter splits at
+    window starts only -- the oracle has no regulator state), and the replay
+    scatters each summary's worst-coupling histogram onto grid indices and
+    applies the identical :func:`_budgeted_window_choice`.  Both the
+    histogram (integer counts) and the energy totals are exact, so the
+    schedule is bit-identical to the serial streaming path.
+    """
+    from repro.runtime.parallel import ChunkSegmenter, ParallelChunkScheduler
+
+    source = as_trace_source(workload)
+    segmenter = ChunkSegmenter(n_cycles=source.n_cycles, window_cycles=window_cycles)
+    own = scheduler is None
+    sched = (
+        scheduler
+        if scheduler is not None
+        else ParallelChunkScheduler(n_workers=jobs if jobs is not None else 1)
+    )
+    try:
+        summaries = sched.segment_summaries(
+            source,
+            segmenter,
+            bus.design.topology,
+            engine=engine,
+            chunk_cycles=chunk_cycles,
+        )
+    finally:
+        if own:
+            sched.close()
+
+    grid = bus.grid
+    n_grid = len(grid)
+    deadline = bus.design.clocking.main_deadline
+    thresholds = np.array(
+        [bus.table.failing_coupling_factor(v, deadline) for v in grid.voltages]
+    )
+    floor_index = grid.index_of(v_floor)
+
+    window_voltages: List[float] = []
+    window_error_rates: List[float] = []
+    level_cycles = np.zeros(n_grid, dtype=np.int64)
+    level_toggles = np.zeros(n_grid)
+    level_weights = np.zeros(n_grid)
+    total_errors = 0
+
+    for summary in summaries:
+        window_fill = summary.n_cycles
+        histogram = np.zeros(n_grid + 1, dtype=np.int64)
+        indices = np.searchsorted(thresholds, summary.worst_coupling_values, side="left")
+        np.add.at(histogram, indices, summary.worst_coupling_counts)
+        chosen_index, errors = _budgeted_window_choice(
+            histogram, window_fill, target_error_rate, floor_index
+        )
+        window_voltages.append(float(grid.voltages[chosen_index]))
+        window_error_rates.append(errors / window_fill)
+        level_cycles[chosen_index] += window_fill
+        level_toggles[chosen_index] += summary.toggles_total
+        level_weights[chosen_index] += summary.coupling_weights_total
+        total_errors += errors
+
+    energy = bus.energy_from_voltage_totals(
+        level_cycles, level_toggles, level_weights, total_errors
+    )
+    reference = bus.energy_at_constant_supply(
+        bus.design.nominal_vdd,
+        int(level_cycles.sum()),
+        float(level_toggles.sum()),
+        float(level_weights.sum()),
+    )
+    return OracleSchedule(
+        window_cycles=window_cycles,
+        window_voltages=np.array(window_voltages),
+        window_error_rates=np.array(window_error_rates),
+        target_error_rate=target_error_rate,
+        energy=energy,
+        reference_energy=reference,
+    )
+
+
 def oracle_voltage_schedule(
     bus: CharacterizedBus,
     stats: Union[TraceStatistics, BusTrace, TraceSource],
@@ -218,6 +334,8 @@ def oracle_voltage_schedule(
     v_floor: Optional[float] = None,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
+    scheduler: Optional["ParallelChunkScheduler"] = None,
 ) -> OracleSchedule:
     """Choose the optimal per-window voltages for a target error rate.
 
@@ -242,13 +360,38 @@ def oracle_voltage_schedule(
         Streaming granularity for trace/source workloads.
     engine:
         Kernel engine for streamed statistics (:mod:`repro.bus.engine`);
-        results are bit-identical for either engine.
+        results are bit-identical for every engine, including
+        ``"parallel"``.
+    jobs:
+        Worker processes for the parallel engine (``jobs > 1`` implies
+        ``engine="parallel"``).
+    scheduler:
+        An existing :class:`~repro.runtime.parallel.ParallelChunkScheduler`
+        to reuse; implies the parallel engine.  The caller retains
+        ownership.
     """
     check_fraction("target_error_rate", target_error_rate)
     if window_cycles <= 0:
         raise ValueError(f"window_cycles must be positive, got {window_cycles}")
     floor = _resolve_floor(bus, v_floor)
+    parallel = (
+        scheduler is not None
+        or (jobs is not None and jobs > 1)
+        or resolve_engine(engine) == ENGINE_PARALLEL
+    )
     if isinstance(stats, (BusTrace, TraceSource)):
+        if parallel:
+            return _parallel_oracle_schedule(
+                bus,
+                stats,
+                target_error_rate,
+                window_cycles,
+                floor,
+                chunk_cycles,
+                engine,
+                jobs,
+                scheduler,
+            )
         return _streamed_oracle_schedule(
             bus, stats, target_error_rate, window_cycles, floor, chunk_cycles, engine
         )

@@ -14,6 +14,11 @@ production-style execution system:
   their parameters, so parallel results are bit-identical to serial ones.
 * **Tasks** (:mod:`~repro.runtime.tasks`) -- the registry of named,
   picklable simulation units (`dvs_run`, `characterize`, `experiment`).
+* **Parallel engine** (:mod:`~repro.runtime.parallel`) -- the
+  :class:`ParallelChunkScheduler` behind ``engine="parallel"``: a persistent
+  worker pool that fans the chunk statistics pass of a *single* run out
+  across processes and reduces the per-segment summaries deterministically
+  (bit-identical to the serial engines).
 * **Store** (:mod:`~repro.runtime.store`) -- JSONL result records plus a
   run manifest and artifact registry for downstream reporting.
 * **Sweeps** (:mod:`~repro.runtime.sweeps`) -- named, ready-to-run grids
@@ -42,6 +47,12 @@ from repro.runtime.progress import (
     ProgressPrinter,
     auto_chunk_progress,
     null_progress,
+)
+from repro.runtime.parallel import (
+    ChunkSegmenter,
+    ParallelChunkScheduler,
+    ParallelExecutionError,
+    tree_merge_summaries,
 )
 from repro.runtime.spec import JobSpec, SweepSpec
 from repro.runtime.store import ResultStore, load_results
@@ -72,6 +83,10 @@ __all__ = [
     "ProgressPrinter",
     "auto_chunk_progress",
     "null_progress",
+    "ChunkSegmenter",
+    "ParallelChunkScheduler",
+    "ParallelExecutionError",
+    "tree_merge_summaries",
     "JobSpec",
     "SweepSpec",
     "ResultStore",

@@ -209,6 +209,7 @@ def dvs_run(
     warmup_fraction: float = 0.0,
     chunk_cycles: Optional[int] = None,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
     workload: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One closed-loop DVS run: workload x corner x encoding x bus variant.
@@ -220,7 +221,9 @@ def dvs_run(
     scale ``n_cycles`` to the paper's 10 M without touching worker sizing;
     ``chunk_cycles`` only trades memory against batch efficiency and
     ``engine`` selects the kernel implementation (results are bit-identical
-    for any value of either).
+    for any value of either).  ``jobs > 1`` (or ``engine="parallel"``)
+    fans the statistics pass of this single run out over worker processes,
+    still bit-identical thanks to the deterministic two-pass reduction.
 
     The workload is named either by ``benchmark`` (a synthetic Table 1
     profile, the historical axis) or by ``workload`` -- any spec the
@@ -255,7 +258,7 @@ def dvs_run(
     system = DVSBusSystem(bus, window_cycles=window, ramp_delay_cycles=ramp)
     warmup = int(warmup_fraction * source.n_cycles)
     result = system.run(
-        source, warmup_cycles=warmup, chunk_cycles=chunk_cycles, engine=engine
+        source, warmup_cycles=warmup, chunk_cycles=chunk_cycles, engine=engine, jobs=jobs
     )
 
     return {

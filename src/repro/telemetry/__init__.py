@@ -48,6 +48,7 @@ from repro.telemetry.export import (
     SpanAggregate,
     TelemetryPaths,
     aggregate_spans,
+    format_parallel_summary,
     format_summary,
     read_jsonl_metrics,
     telemetry_paths,
@@ -69,6 +70,7 @@ __all__ = [
     "SpanAggregate",
     "TelemetryPaths",
     "aggregate_spans",
+    "format_parallel_summary",
     "format_summary",
     "read_jsonl_metrics",
     "telemetry_paths",

@@ -30,6 +30,7 @@ __all__ = [
     "SpanAggregate",
     "TelemetryPaths",
     "aggregate_spans",
+    "format_parallel_summary",
     "format_summary",
     "read_jsonl_metrics",
     "telemetry_paths",
@@ -243,6 +244,41 @@ def _table(headers: Sequence[str], rows: Sequence[Tuple[str, ...]]) -> List[str]
         ]
         lines.append("  " + "  ".join(cells).rstrip())
     return lines
+
+
+def format_parallel_summary(telemetry: Telemetry) -> Optional[str]:
+    """Scaling report for a run that went through the parallel engine.
+
+    Returns ``None`` when the collector recorded no ``parallel.pass1`` span
+    (the run never engaged the two-pass reduction).  *Busy* time is the sum
+    of the ``parallel.chunk`` spans -- pool workers and the inline fallback
+    both record them, and merged worker snapshots land in the same collector
+    -- so ``busy / wall`` is the achieved speedup of the statistics pass and
+    dividing by the worker count gives the scaling efficiency (1.0 = every
+    worker crunched chunks for the whole pass).
+    """
+    pass1_wall = sum(
+        event.duration_s for event in telemetry.events if event.name == "parallel.pass1"
+    )
+    if pass1_wall <= 0.0:
+        return None
+    busy = sum(event.duration_s for event in telemetry.events if event.name == "parallel.chunk")
+    merge = sum(event.duration_s for event in telemetry.events if event.name == "parallel.merge")
+    replay = sum(event.duration_s for event in telemetry.events if event.name == "dvs.replay")
+    workers = max(1, int(telemetry.metrics.gauges.get("parallel.workers", 1)))
+    chunks = int(telemetry.metrics.counters.get("parallel.chunks", 0))
+    speedup = busy / pass1_wall
+    lines = [
+        "parallel engine scaling:",
+        f"  workers             : {workers}",
+        f"  chunks analyzed     : {chunks}",
+        f"  pass-1 wall time    : {pass1_wall * 1000:.1f} ms",
+        f"  worker busy (sum)   : {busy * 1000:.1f} ms",
+        f"  merge + replay      : {merge * 1000:.1f} ms + {replay * 1000:.1f} ms",
+        f"  scaling efficiency  : {100.0 * speedup / workers:.0f}% "
+        f"({speedup:.2f}x busy/wall over {workers} worker(s))",
+    ]
+    return "\n".join(lines)
 
 
 def format_summary(

@@ -16,6 +16,7 @@ from repro.bus.engine import ENGINES
 from repro.core.dvs_system import DVSBusSystem
 from repro.core.fixed_vs import evaluate_fixed_scaling
 from repro.core.oracle import oracle_voltage_schedule
+from repro.runtime import ParallelChunkScheduler
 from repro.trace import SyntheticTraceSource
 
 #: Control window of the fast test loop.
@@ -145,6 +146,129 @@ class TestOracle:
         np.testing.assert_array_equal(
             measured.window_error_rates, reference.window_error_rates
         )
+
+
+@pytest.fixture(scope="module")
+def schedulers():
+    """Shared worker pools, one per requested size, spun up at most once.
+
+    Forking a pool costs ~100 ms; the multi-worker sweep would otherwise
+    pay it per test.  Sharing the scheduler across tests is also exactly
+    the intended API for batch drivers (run_table1 does the same).
+    """
+    pools = {}
+
+    def get(n_workers):
+        if n_workers not in pools:
+            pools[n_workers] = ParallelChunkScheduler(n_workers=n_workers)
+        return pools[n_workers]
+
+    yield get
+    for scheduler in pools.values():
+        scheduler.close()
+
+
+class TestParallelWorkers:
+    """True multi-process runs: worker count x chunk size x workload.
+
+    The plain ``ENGINES`` sweeps above already cover ``engine="parallel"``
+    with the inline (no-pool) reduction; these push the same adversarial
+    chunkings through real worker pools and demand the same bit-identity
+    against the scalar monolithic reference.
+    """
+
+    @pytest.mark.parametrize("n_workers", (2, 3))
+    @pytest.mark.parametrize("chunk_cycles", (WINDOW - 1, WINDOW + 1, 997))
+    def test_dvs_bit_identity(
+        self, typical_corner_bus, source, dvs_reference, schedulers, n_workers, chunk_cycles
+    ):
+        measured = _system(typical_corner_bus).run(
+            source,
+            chunk_cycles=chunk_cycles,
+            engine="parallel",
+            scheduler=schedulers(n_workers),
+        )
+        _assert_dvs_identical(measured, dvs_reference)
+
+    def test_dvs_own_pool_via_jobs(self, typical_corner_bus, source, dvs_reference):
+        # No explicit scheduler: ``jobs=2`` must build (and clean up) its own.
+        measured = _system(typical_corner_bus).run(source, chunk_cycles=2_503, jobs=2)
+        _assert_dvs_identical(measured, dvs_reference)
+
+    def test_dvs_warmup_and_voltage_capture(self, typical_corner_bus, tiny_source, schedulers):
+        system = DVSBusSystem(typical_corner_bus, window_cycles=500, ramp_delay_cycles=150)
+        reference = system.run(
+            tiny_source.materialize(),
+            engine="scalar",
+            chunk_cycles=TINY_CYCLES,
+            warmup_cycles=600,
+            keep_cycle_voltage=True,
+        )
+        measured = system.run(
+            tiny_source,
+            chunk_cycles=331,
+            engine="parallel",
+            scheduler=schedulers(2),
+            warmup_cycles=600,
+            keep_cycle_voltage=True,
+        )
+        _assert_dvs_identical(measured, reference)
+        np.testing.assert_array_equal(
+            measured.per_cycle_voltage, reference.per_cycle_voltage
+        )
+
+    @pytest.mark.parametrize("profile", ("vortex", "mgrid"))
+    def test_dvs_workload_sweep(self, typical_corner_bus, schedulers, profile):
+        workload = SyntheticTraceSource(profile, TINY_CYCLES, seed=13)
+        system = DVSBusSystem(typical_corner_bus, window_cycles=500, ramp_delay_cycles=150)
+        reference = system.run(
+            workload.materialize(), engine="scalar", chunk_cycles=TINY_CYCLES
+        )
+        measured = system.run(
+            workload, chunk_cycles=499, engine="parallel", scheduler=schedulers(2)
+        )
+        _assert_dvs_identical(measured, reference)
+
+    @pytest.mark.parametrize("chunk_cycles", (WINDOW - 1, 997))
+    def test_oracle_bit_identity(self, typical_corner_bus, source, schedulers, chunk_cycles):
+        reference = oracle_voltage_schedule(
+            typical_corner_bus,
+            source,
+            0.02,
+            window_cycles=WINDOW,
+            chunk_cycles=source.n_cycles,
+            engine="scalar",
+        )
+        measured = oracle_voltage_schedule(
+            typical_corner_bus,
+            source,
+            0.02,
+            window_cycles=WINDOW,
+            chunk_cycles=chunk_cycles,
+            scheduler=schedulers(2),
+        )
+        np.testing.assert_array_equal(measured.window_voltages, reference.window_voltages)
+        np.testing.assert_array_equal(
+            measured.window_error_rates, reference.window_error_rates
+        )
+        for component in ("bus_dynamic", "leakage", "flipflop_clocking", "recovery_overhead"):
+            assert getattr(measured.energy, component) == getattr(
+                reference.energy, component
+            )
+
+    def test_fixed_vs_bit_identity(self, typical_corner_bus, tiny_source, schedulers):
+        reference = evaluate_fixed_scaling(
+            typical_corner_bus, tiny_source, chunk_cycles=TINY_CYCLES, engine="scalar"
+        )
+        measured = evaluate_fixed_scaling(
+            typical_corner_bus, tiny_source, chunk_cycles=313, scheduler=schedulers(2)
+        )
+        assert measured.voltage == reference.voltage
+        assert measured.error_rate == reference.error_rate
+        for component in ("bus_dynamic", "leakage", "flipflop_clocking", "recovery_overhead"):
+            assert getattr(measured.energy, component) == getattr(
+                reference.energy, component
+            )
 
 
 class TestFixedVS:
