@@ -46,6 +46,12 @@ PUBLIC_MODULES = (
     "repro.runtime.cache",
     "repro.runtime.tasks",
     "repro.runtime.parallel",
+    "repro.runtime.workqueue",
+    "repro.server",
+    "repro.server.protocol",
+    "repro.server.service",
+    "repro.server.server",
+    "repro.server.client",
     "repro.telemetry",
     "repro.telemetry.core",
     "repro.telemetry.metrics",

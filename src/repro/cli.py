@@ -23,6 +23,14 @@ the reproduction can be driven without writing a script:
 * ``python -m repro profile table1 --cycles 50000`` -- run one bounded
   experiment under the telemetry tracer and print the top span paths and
   counter deltas (a Chrome trace-event file is always written),
+* ``python -m repro serve --jobs 4`` -- the persistent job server: accepts
+  submissions over a local JSONL socket protocol, dedupes in-flight
+  duplicates by cache key, batches compatible jobs, streams progress, and
+  enforces per-client quotas with backpressure,
+* ``python -m repro submit table1`` -- submit one experiment to a running
+  server and stream its result (bit-identical to ``run``, same cache keys),
+* ``python -m repro jobs [--stats|--cancel JOB|--shutdown]`` -- inspect or
+  control a running server,
 * ``python -m repro kernels`` -- the mini-CPU kernels available as workloads,
 * ``python -m repro trace --workload cpu:memcopy --out m.npz`` -- generate,
   inspect or save any registered workload trace (``trace --list`` shows the
@@ -389,6 +397,96 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--window", type=int, default=10_000, help="error window (cycles)")
     simulate_parser.add_argument("--ramp", type=int, default=3_000, help="regulator ramp (cycles)")
     add_telemetry_flag(simulate_parser, top_level=False)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the persistent job server (submit with 'repro submit', "
+        "inspect with 'repro jobs')",
+    )
+    serve_parser.add_argument(
+        "--host", default=None, metavar="HOST", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="bind port (default: $REPRO_SERVER_ADDR or 7325; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued-job backpressure bound; further submissions are rejected (default 64)",
+    )
+    serve_parser.add_argument(
+        "--quota",
+        type=int,
+        default=8,
+        metavar="N",
+        help="active jobs per client before submissions are rejected (0 = unlimited; default 8)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="largest batch of shape-compatible jobs per worker dispatch (1 disables; default 8)",
+    )
+    add_runtime_flags(serve_parser, top_level=False)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit one experiment to a running 'repro serve' and stream the result",
+    )
+    submit_parser.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS), help="experiment id to submit"
+    )
+    submit_parser.add_argument("--seed", type=int, default=2005, help="workload seed")
+    submit_parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help="registry workload spec(s) for experiments that take them",
+    )
+    submit_parser.add_argument(
+        "--host", default=None, metavar="HOST", help="server address (default 127.0.0.1)"
+    )
+    submit_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="server port (default: $REPRO_SERVER_ADDR or 7325)",
+    )
+    submit_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines on stderr"
+    )
+    add_workload_flags(submit_parser, top_level=False)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="inspect or control a running 'repro serve' (list/stats/cancel/shutdown)"
+    )
+    jobs_parser.add_argument(
+        "--host", default=None, metavar="HOST", help="server address (default 127.0.0.1)"
+    )
+    jobs_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="server port (default: $REPRO_SERVER_ADDR or 7325)",
+    )
+    jobs_parser.add_argument(
+        "--stats", action="store_true", help="print queue statistics instead of the job list"
+    )
+    jobs_parser.add_argument(
+        "--cancel", metavar="JOB", default=None, help="cancel one job by id (e.g. job-3)"
+    )
+    jobs_parser.add_argument(
+        "--shutdown", action="store_true", help="stop the server (drains queued jobs first)"
+    )
 
     compare_parser = subparsers.add_parser(
         "compare-schemes", help="fixed VS vs canary vs triple-latch vs proposed DVS"
@@ -769,6 +867,200 @@ def _command_simulate(
     return 0
 
 
+def _server_address(host: Optional[str], port: Optional[int]) -> tuple:
+    """Resolve --host/--port against $REPRO_SERVER_ADDR and the defaults."""
+    from repro.server import default_address
+
+    default_host, default_port = default_address()
+    return (host if host is not None else default_host,
+            port if port is not None else default_port)
+
+
+def _server_unreachable(host: str, port: int, error: Exception) -> int:
+    print(
+        f"error: cannot reach a repro server at {host}:{port} ({error}); "
+        "start one with 'python -m repro serve'",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _command_serve(
+    host: Optional[str],
+    port: Optional[int],
+    jobs: int,
+    max_pending: int,
+    quota: int,
+    max_batch: int,
+    cache: Optional[ResultCache],
+) -> int:
+    from repro.runtime.workqueue import WorkQueue
+    from repro.server import DEFAULT_HOST, ReproServer, default_address
+
+    if port is None:
+        port = default_address()[1]
+    queue = WorkQueue(
+        n_workers=max(1, jobs),
+        cache=cache,
+        max_pending=max_pending,
+        quota=quota if quota > 0 else None,
+        max_batch=max_batch,
+    )
+    server = ReproServer(queue, host=host if host is not None else DEFAULT_HOST, port=port)
+    bound_host, bound_port = server.address
+    mode = "process" if queue.workers_are_processes else "inline"
+    print(
+        f"[server] job server on {bound_host}:{bound_port} -- {queue.n_workers} {mode} "
+        f"worker(s), cache {cache.root if cache is not None else 'disabled'}, "
+        f"quota {quota if quota > 0 else 'unlimited'}, max pending {max_pending}",
+        file=sys.stderr,
+    )
+    print(
+        "[server] submit with 'python -m repro submit <experiment>'; "
+        "stop with 'python -m repro jobs --shutdown' or Ctrl-C",
+        file=sys.stderr,
+    )
+    server.serve_forever()
+    print("[server] stopped", file=sys.stderr)
+    return 0
+
+
+def _command_submit(
+    experiment: str,
+    cycles: Optional[int],
+    chunk_cycles: Optional[int],
+    engine: Optional[str],
+    seed: int,
+    workload: Optional[str],
+    host: Optional[str],
+    port: Optional[int],
+    quiet: bool,
+) -> int:
+    from repro.server import ReproClient, ServerError
+
+    runner = EXPERIMENTS[experiment].runner
+    kwargs = accepted_kwargs(
+        runner,
+        {
+            "seed": seed,
+            "n_cycles": cycles,
+            "chunk_cycles": chunk_cycles,
+            "engine": engine,
+            "workload": workload,
+        },
+    )
+    # The exact JobSpec a local cached run would use, so the server dedupes
+    # and caches under the same content-addressed key.
+    spec = EXPERIMENTS[experiment].job(**kwargs)
+    host, port = _server_address(host, port)
+    started = time.perf_counter()
+    try:
+        client = ReproClient(host=host, port=port)
+    except OSError as error:
+        return _server_unreachable(host, port, error)
+    terminal = None
+    with client:
+        try:
+            stream = client.submit(spec.task, dict(spec.params))
+            accepted = next(stream)
+            if not quiet:
+                note = (
+                    "cache hit"
+                    if accepted.get("cached")
+                    else (
+                        "attached to in-flight duplicate"
+                        if accepted.get("deduped")
+                        else "queued"
+                    )
+                )
+                print(
+                    f"[server] {accepted['job']} {note} (key {accepted['key'][:16]}...)",
+                    file=sys.stderr,
+                )
+            for event in stream:
+                terminal = event
+                if event.get("event") == "progress" and not quiet:
+                    cycle = event.get("start_cycle")
+                    where = f" @ cycle {cycle}" if cycle is not None else ""
+                    print(f"[server] {accepted['job']} running{where}", file=sys.stderr)
+        except ServerError as error:
+            print(f"error: server rejected the submission ({error.code}): {error}",
+                  file=sys.stderr)
+            return 2
+        except (ConnectionError, OSError) as error:
+            return _server_unreachable(host, port, error)
+    elapsed = time.perf_counter() - started
+    if terminal is None or terminal.get("event") != "result":
+        kind = (terminal or {}).get("event", "no response")
+        detail = (terminal or {}).get("error")
+        suffix = f": {detail['type']}: {detail['message']}" if isinstance(detail, dict) else ""
+        print(f"error: job ended with {kind}{suffix}", file=sys.stderr)
+        return 1
+    result = terminal.get("result")
+    if isinstance(result, dict) and isinstance(result.get("text"), str):
+        print(result["text"])
+    else:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+    source = (
+        "cache hit"
+        if accepted.get("cached") or terminal.get("cached")
+        else ("deduped" if accepted.get("deduped") else "simulated")
+    )
+    print(f"[server] {experiment}: {source} in {elapsed:.2f} s", file=sys.stderr)
+    return 0
+
+
+def _command_jobs(
+    host: Optional[str],
+    port: Optional[int],
+    stats: bool,
+    cancel: Optional[str],
+    shutdown: bool,
+) -> int:
+    from repro.server import ReproClient, ServerError
+
+    host, port = _server_address(host, port)
+    try:
+        client = ReproClient(host=host, port=port)
+    except OSError as error:
+        return _server_unreachable(host, port, error)
+    with client:
+        try:
+            if cancel is not None:
+                cancelled = client.cancel(cancel)
+                print(f"{cancel}: {'cancelled' if cancelled else 'already finished'}")
+                return 0
+            if shutdown:
+                client.shutdown(drain=True)
+                print("server shutting down (draining queued jobs)")
+                return 0
+            if stats:
+                rows = sorted(client.stats().items())
+                width = max(len(name) for name, _ in rows)
+                print("queue statistics:")
+                for name, value in rows:
+                    print(f"  {name:<{width}}  {value}")
+                return 0
+            listed = client.jobs()
+            if not listed:
+                print("no jobs submitted yet")
+                return 0
+            for row in listed:
+                print(
+                    f"  {row['job']:<8} {row['state']:<10} {row['task']:<12} "
+                    f"clients {row['clients']}  key {row['key'][:16]}..."
+                )
+            print(f"{len(listed)} job(s)")
+            return 0
+        except ServerError as error:
+            print(f"error: {error.code}: {error}", file=sys.stderr)
+            return 2
+        except (ConnectionError, OSError) as error:
+            return _server_unreachable(host, port, error)
+
+
 def _command_compare_schemes(corner_name: str, cycles: int, seed: int) -> int:
     corner = CORNERS[corner_name]
     design = BusDesign.paper_bus()
@@ -980,6 +1272,30 @@ def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
             jobs=args.jobs,
             workload=args.workload,
         )
+    if args.command == "serve":
+        return _command_serve(
+            args.host,
+            args.port,
+            args.jobs,
+            args.max_pending,
+            args.quota,
+            args.max_batch,
+            cache,
+        )
+    if args.command == "submit":
+        return _command_submit(
+            args.experiment,
+            args.cycles,
+            args.chunk_cycles,
+            args.engine,
+            args.seed,
+            args.workload,
+            args.host,
+            args.port,
+            args.quiet,
+        )
+    if args.command == "jobs":
+        return _command_jobs(args.host, args.port, args.stats, args.cancel, args.shutdown)
     if args.command == "compare-schemes":
         return _command_compare_schemes(
             args.corner, args.cycles if args.cycles is not None else 30_000, args.seed

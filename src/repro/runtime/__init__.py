@@ -9,9 +9,14 @@ production-style execution system:
 * **Cache** (:mod:`~repro.runtime.cache`) -- a content-addressed on-disk
   store keyed by a stable hash of task + parameters, so regenerating a
   figure or re-running an overlapping sweep never re-simulates a point.
-* **Executor** (:mod:`~repro.runtime.executor`) -- a ``multiprocessing``
-  worker pool with a serial fallback; tasks are deterministic functions of
-  their parameters, so parallel results are bit-identical to serial ones.
+* **Executor** (:mod:`~repro.runtime.executor`) -- batch execution over a
+  transient work queue with a serial fallback; tasks are deterministic
+  functions of their parameters, so parallel results are bit-identical to
+  serial ones.
+* **Work queue** (:mod:`~repro.runtime.workqueue`) -- the persistent
+  submit/cancel/status queue behind ``repro serve``: in-flight dedupe by
+  cache key, shape-compatible batching, per-client quotas, backpressure,
+  kill-based cancellation and worker-death recovery.
 * **Tasks** (:mod:`~repro.runtime.tasks`) -- the registry of named,
   picklable simulation units (`dvs_run`, `characterize`, `experiment`).
 * **Parallel engine** (:mod:`~repro.runtime.parallel`) -- the
@@ -57,6 +62,17 @@ from repro.runtime.parallel import (
 from repro.runtime.spec import JobSpec, SweepSpec
 from repro.runtime.store import ResultStore, load_results
 from repro.runtime.sweeps import SWEEPS, format_sweep_report, get_sweep
+from repro.runtime.workqueue import (
+    InlineRunner,
+    JobCancelledError,
+    JobHandle,
+    ProcessRunner,
+    QueueClosedError,
+    QueueFullError,
+    QuotaExceededError,
+    WorkerDiedError,
+    WorkQueue,
+)
 from repro.runtime.tasks import (
     CORNERS,
     ENCODER_NAMES,
@@ -89,6 +105,15 @@ __all__ = [
     "tree_merge_summaries",
     "JobSpec",
     "SweepSpec",
+    "InlineRunner",
+    "JobCancelledError",
+    "JobHandle",
+    "ProcessRunner",
+    "QueueClosedError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "WorkQueue",
+    "WorkerDiedError",
     "ResultStore",
     "load_results",
     "SWEEPS",

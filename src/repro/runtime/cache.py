@@ -87,20 +87,45 @@ def _is_record_key(stem: str) -> bool:
         return False
 
 
-def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` atomically (same-directory temp file)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=path.suffix)
+def _unlink_quiet(name: str) -> None:
     try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
-        os.replace(tmp_name, path)
-    except BaseException:
+        os.unlink(name)
+    except OSError:
+        pass
+
+
+def _atomic_write_bytes(path: Path, payload: bytes, attempts: int = 5) -> None:
+    """Write ``payload`` to ``path`` atomically (same-directory temp file).
+
+    The bucket directory can vanish between ``mkdir`` and the temp-file
+    create or rename when a concurrent ``clear()`` prunes it, so both steps
+    retry (re-creating the directory) a bounded number of times: a writer
+    racing maintenance still lands its record instead of raising
+    ``FileNotFoundError``.
+    """
+    for attempt in range(attempts):
+        last_try = attempt == attempts - 1
         try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+            # mkdir(exist_ok=True) can itself raise FileExistsError when a
+            # concurrent rmdir lands between its EEXIST and is_dir re-check.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=path.suffix)
+        except (FileNotFoundError, FileExistsError):
+            if last_try:
+                raise
+            continue
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+            return
+        except FileNotFoundError:
+            _unlink_quiet(tmp_name)
+            if last_try:
+                raise
+        except BaseException:
+            _unlink_quiet(tmp_name)
+            raise
 
 
 class ResultCache:

@@ -2,31 +2,39 @@
 
 :func:`run_jobs` is the runtime's engine.  It takes an ordered sequence of
 :class:`~repro.runtime.spec.JobSpec`, satisfies as many as possible from the
-content-addressed cache, executes the misses (serially or on a
-``multiprocessing`` pool) and returns an :class:`ExecutionReport` whose
-outcomes are in the *input* order regardless of completion order -- so a
-parallel run is observationally identical to a serial one.
+content-addressed cache, executes the misses (serially, or on a transient
+:class:`~repro.runtime.workqueue.WorkQueue` of persistent worker processes)
+and returns an :class:`ExecutionReport` whose outcomes are in the *input*
+order regardless of completion order -- so a parallel run is observationally
+identical to a serial one.
 
 Determinism contract
 --------------------
 * Tasks are pure functions of their parameters (see
   :mod:`repro.runtime.tasks`), so scheduling cannot change any result.
-* The pool uses ``imap_unordered`` for throughput, but outcomes are slotted
-  back by index; the report never depends on completion order.
-* If the pool cannot be created (restricted environments, missing ``fork``),
-  execution silently falls back to the serial path -- same results, one
-  process.
+* Queue workers complete jobs in whatever order they finish, but outcomes
+  are slotted back by index; the report never depends on completion order.
+* If worker processes cannot be forked (restricted environments), execution
+  silently falls back to the serial path -- same results, one process.
+
+The batch-shaped entry point is a thin client of the same
+:class:`~repro.runtime.workqueue.WorkQueue` that backs the ``repro serve``
+job server: it opens a queue sized to the misses, submits them all, drains
+the handles in input order, and closes the queue.  Long-running callers (the
+server) hold one queue open instead and get dedupe, batching, quotas and
+cancellation on top of the identical execution semantics.
 
 Telemetry
 ---------
 When a collector is installed (:func:`repro.telemetry.get_telemetry`), the
 batch runs under an ``executor.run_jobs`` span and each executed job under a
-``job`` span with its task name.  Pool workers cannot write into the parent's
-collector, so each worker task records into a fresh one and ships its
-snapshot back with the result; the parent merges the snapshots onto its own
-timeline (``fork`` children share the monotonic clock), records the task
-latency into the ``executor.task_seconds`` histogram, and cache hit/miss
-counters keep flowing from :class:`~repro.runtime.cache.ResultCache` itself.
+``job`` span with its task name.  Queue workers cannot write into the
+parent's collector, so each worker task records into a fresh one and ships
+its snapshot back with the result; the queue merges the snapshots onto the
+parent timeline (``fork`` children share the monotonic clock), the parent
+records the task latency into the ``executor.task_seconds`` histogram, and
+cache hit/miss counters keep flowing from
+:class:`~repro.runtime.cache.ResultCache` itself.
 """
 
 from __future__ import annotations
@@ -84,32 +92,16 @@ class ExecutionReport:
         )
 
 
-def _execute_payload(
-    payload: Tuple[int, str, Dict[str, Any], bool],
-) -> Tuple[int, Dict[str, Any], float, Optional[Dict[str, Any]]]:
-    """Worker entry point: run one task, return (index, result, duration, telemetry).
-
-    Module-level (hence picklable by reference) and dependent only on the
-    payload, so it behaves identically in the parent process and in pool
-    workers.  With ``capture`` set (pool mode under an active collector) the
-    task runs under a fresh telemetry collector whose snapshot is returned
-    for the parent to merge; without it (serial mode) the task records
-    straight into the parent's collector and the snapshot slot is ``None``.
-    """
+def _execute_serial(
+    index: int, task_name: str, params: Dict[str, Any]
+) -> Tuple[int, Dict[str, Any], float]:
+    """Serial execution of one task, recording straight into the parent collector."""
     from repro.runtime.tasks import run_job_params
-    from repro.telemetry import Telemetry, use_telemetry
 
-    index, task_name, params, capture = payload
     started = time.perf_counter()
-    if capture:
-        telemetry = Telemetry(label=f"worker:{task_name}")
-        with use_telemetry(telemetry):
-            with telemetry.span("job", task=task_name):
-                result = run_job_params(task_name, params)
-        return index, result, time.perf_counter() - started, telemetry.snapshot()
     with get_telemetry().span("job", task=task_name):
         result = run_job_params(task_name, params)
-    return index, result, time.perf_counter() - started, None
+    return index, result, time.perf_counter() - started
 
 
 def _worker_count(requested: Optional[int], n_misses: int) -> int:
@@ -124,18 +116,18 @@ def _worker_count(requested: Optional[int], n_misses: int) -> int:
     return max(1, min(requested, n_misses))
 
 
-def _make_pool(n_workers: int):
-    """A ``fork`` worker pool, or ``None`` when pools are unavailable."""
-    import multiprocessing
+def _make_queue(n_workers: int, cache: Optional[ResultCache], n_misses: int):
+    """A process-backed :class:`WorkQueue`, or ``None`` when ``fork`` is unavailable."""
+    from repro.runtime.workqueue import WorkQueue
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    try:
-        return context.Pool(processes=n_workers)
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed environments
+    # max_batch=1: a batch run wants maximal fan-out, not server-style
+    # grouping (queue workers keep their characterisation memos warm across
+    # jobs regardless, which is all the batching buys for a dense sweep).
+    queue = WorkQueue(n_workers=n_workers, cache=cache, max_pending=max(1, n_misses), max_batch=1)
+    if not queue.workers_are_processes:  # pragma: no cover - sandboxed environments
+        queue.close()
         return None
+    return queue
 
 
 def run_jobs(
@@ -187,23 +179,22 @@ def run_jobs(
             index: int,
             result: Dict[str, Any],
             duration: float,
-            snapshot: Optional[Dict[str, Any]] = None,
+            store: bool = True,
         ) -> None:
             """Record one finished job: outcome slot, cache entry, progress.
 
             Called the moment each execution completes (in either mode), so an
             interrupted batch keeps every result finished so far and long
-            sweeps report progress continuously.  ``snapshot`` is a pool
-            worker's telemetry, merged onto the parent's timeline here.
+            sweeps report progress continuously.  Queue mode passes
+            ``store=False``: the work queue already wrote the cache entry and
+            merged the worker's telemetry snapshot at completion time.
             """
             nonlocal done
             job = jobs[index]
             outcomes[index] = JobOutcome(job, result, cached=False, duration_s=duration)
-            if snapshot is not None:
-                telemetry.merge_snapshot(snapshot)
             telemetry.count("executor.jobs_executed")
             telemetry.observe("executor.task_seconds", duration)
-            if cache is not None:
+            if store and cache is not None:
                 cache.put(
                     keys[index],
                     {
@@ -216,22 +207,22 @@ def run_jobs(
             done += 1
             report(done, total, job, False, duration)
 
-        pool = _make_pool(n_workers) if n_workers > 1 else None
-        # Pool workers record into their own collector and ship the snapshot
-        # back (the parent's collector is invisible to them after fork); the
-        # serial path records straight into the parent's.
-        capture = pool is not None and telemetry.enabled
-        payloads = [
-            (index, jobs[index].task, dict(jobs[index].params), capture) for index in misses
-        ]
-        if pool is None:
+        queue = _make_queue(n_workers, cache, len(misses)) if n_workers > 1 else None
+        if queue is None:
             n_workers = 1
-            for payload in payloads:
-                complete(*_execute_payload(payload))
+            for index in misses:
+                complete(*_execute_serial(index, jobs[index].task, dict(jobs[index].params)))
         else:
-            with pool:
-                for completion in pool.imap_unordered(_execute_payload, payloads, chunksize=1):
-                    complete(*completion)
+            # The cache was already pre-scanned above, so misses are submitted
+            # with read_cache=False: every one must actually execute.
+            try:
+                handles = [(index, queue.submit(jobs[index], read_cache=False)) for index in misses]
+                for index, handle in handles:
+                    complete(index, handle.result(), handle.duration_s, store=False)
+            except BaseException:
+                queue.close(drain=False)
+                raise
+            queue.close(drain=True)
         telemetry.gauge("executor.workers", n_workers)
 
     finished = [outcome for outcome in outcomes if outcome is not None]

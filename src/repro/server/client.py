@@ -1,0 +1,170 @@
+"""Client side of the job-server protocol: what ``repro submit`` speaks.
+
+:class:`ReproClient` wraps one TCP connection with typed helpers for every
+protocol op.  ``submit`` is a generator over the server's response stream
+(``accepted``, ``started``, ``progress`` ..., terminal event), so callers
+can surface live chunk progress; :meth:`ReproClient.submit_and_wait` is the
+blocking convenience that most callers -- including the CLI -- use.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.server.protocol import decode_response, default_address, encode_message
+
+__all__ = ["ReproClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """The server answered ``{"ok": false, ...}``; carries the wire code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+    @classmethod
+    def from_response(cls, response: Dict[str, Any]) -> "ServerError":
+        error = response.get("error", {})
+        return cls(str(error.get("code", "unknown")), str(error.get("message", response)))
+
+
+class ReproClient:
+    """One connection to a running ``repro serve`` process.
+
+    Parameters
+    ----------
+    host / port:
+        Server address; defaults honour ``$REPRO_SERVER_ADDR``.
+    timeout:
+        Socket timeout per response line.  The default is generous because
+        a non-streamed submit's *next* response can legitimately be minutes
+        away on a cold cache.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 600.0,
+    ) -> None:
+        default_host, default_port = default_address()
+        self.host = host if host is not None else default_host
+        self.port = port if port is not None else default_port
+        self._socket = socket.create_connection((self.host, self.port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection (server-side: detach this client's jobs)."""
+        try:
+            self._reader.close()
+        finally:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _send(self, message: Dict[str, Any]) -> None:
+        self._socket.sendall(encode_message(message))
+
+    def _read_response(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_response(line)
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request, one response; :class:`ServerError` on ``ok: false``."""
+        self._send(message)
+        response = self._read_response()
+        if response.get("ok") is False:
+            raise ServerError.from_response(response)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Ops
+    # ------------------------------------------------------------------ #
+    def ping(self) -> Dict[str, Any]:
+        """Liveness + version handshake."""
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        task: str,
+        params: Dict[str, Any],
+        read_cache: bool = True,
+        client: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Submit one job and yield the response stream until terminal.
+
+        The first yielded message is the ``accepted`` control response
+        (``job`` / ``key`` / ``deduped`` / ``cached``); the rest are job
+        events, the last being ``result``, ``error`` or ``cancelled``.
+        """
+        message: Dict[str, Any] = {
+            "op": "submit",
+            "task": task,
+            "params": params,
+            "read_cache": read_cache,
+            "stream": True,
+        }
+        if client is not None:
+            message["client"] = client
+        self._send(message)
+        accepted = self._read_response()
+        if accepted.get("ok") is False:
+            raise ServerError.from_response(accepted)
+        yield accepted
+        if accepted.get("cached"):
+            # A cache hit's stream is just its (already sent) result event.
+            yield self._read_response()
+            return
+        while True:
+            event = self._read_response()
+            yield event
+            if event.get("event") in ("result", "error", "cancelled"):
+                return
+
+    def submit_and_wait(
+        self,
+        task: str,
+        params: Dict[str, Any],
+        read_cache: bool = True,
+        client: Optional[str] = None,
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Blocking submit: returns ``(accepted, terminal_event)``."""
+        stream = self.submit(task, params, read_cache=read_cache, client=client)
+        accepted = next(stream)
+        terminal: Dict[str, Any] = {}
+        for event in stream:
+            terminal = event
+        return accepted, terminal
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """One job's lifecycle row."""
+        return self.request({"op": "status", "job": job_id})["status"]
+
+    def jobs(self) -> Any:
+        """Every job the server has seen, in submission order."""
+        return self.request({"op": "jobs"})["jobs"]
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue statistics (depth, running, lifecycle counters)."""
+        return self.request({"op": "stats"})["stats"]
+
+    def cancel(self, job_id: str) -> bool:
+        """Detach a job; ``True`` if an attachment was actually live."""
+        return bool(self.request({"op": "cancel", "job": job_id})["cancelled"])
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        """Ask the server to stop (draining its backlog by default)."""
+        return self.request({"op": "shutdown", "drain": drain})

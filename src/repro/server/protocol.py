@@ -1,0 +1,117 @@
+"""Wire format of the repro job server: newline-delimited canonical JSON.
+
+One request per line, one or more response lines per request (a streaming
+``submit`` produces a response *stream*: ``accepted``, then the job's events,
+ending with a terminal ``result`` / ``error`` / ``cancelled`` line).  Every
+line is a JSON object serialized canonically -- sorted keys, compact
+separators, UTF-8, ``\\n`` terminator -- so a transcript of the conversation
+is byte-reproducible and the protocol golden tests can diff transcripts
+exactly (the same trick the telemetry exporters use for their golden
+traces).
+
+Requests
+--------
+``{"op": <name>, ...}`` where ``op`` is one of:
+
+========== ============================================================
+``ping``     liveness + protocol/version handshake
+``submit``   ``task`` + ``params`` (+ ``stream``/``read_cache``/``client``)
+``status``   one job's lifecycle row (``job``)
+``jobs``     every job the queue has seen
+``stats``    queue statistics (depth, counters)
+``cancel``   detach a job (``job``)
+``shutdown`` stop the server (``drain`` to let the backlog finish)
+========== ============================================================
+
+Responses
+---------
+Control responses carry ``"ok": true`` (or ``"ok": false`` plus an
+``error`` object with a stable ``code``); stream elements carry ``"event"``
+and are exactly the work queue's event dicts.  Error codes are part of the
+protocol: ``bad_json``, ``bad_request``, ``unknown_op``, ``unknown_task``,
+``unknown_job``, ``quota_exceeded``, ``queue_full``, ``server_closing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ENV_ADDR",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_message",
+    "decode_response",
+    "default_address",
+    "encode_message",
+    "error_response",
+    "ok_response",
+]
+
+#: Bumped on any wire-format change; ``ping`` reports it for handshakes.
+PROTOCOL_VERSION = 1
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7325
+
+#: ``host:port`` override consulted by the CLI and the default client.
+ENV_ADDR = "REPRO_SERVER_ADDR"
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable message, with a stable wire-level code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def default_address() -> Tuple[str, int]:
+    """The server address the CLI talks to: ``$REPRO_SERVER_ADDR`` or the default."""
+    raw = os.environ.get(ENV_ADDR, "")
+    if not raw:
+        return DEFAULT_HOST, DEFAULT_PORT
+    host, _, port_text = raw.rpartition(":")
+    try:
+        return (host or DEFAULT_HOST), int(port_text)
+    except ValueError:
+        raise ProtocolError("bad_request", f"{ENV_ADDR}={raw!r} is not host:port") from None
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One canonical protocol line: sorted keys, compact, UTF-8, ``\\n``."""
+    return (json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_response(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line into an object (no request-shape validation)."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError("bad_json", f"unparseable protocol line: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("bad_request", "protocol lines must be JSON objects")
+    return message
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one request line; :class:`ProtocolError` on anything malformed."""
+    message = decode_response(line)
+    op = message.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("bad_request", "request needs a string 'op' field")
+    return message
+
+
+def ok_response(op: str, **fields: Any) -> Dict[str, Any]:
+    """A successful control response."""
+    return {"ok": True, "op": op, **fields}
+
+
+def error_response(op: str, code: str, message: str) -> Dict[str, Any]:
+    """A failed control response with a stable error code."""
+    return {"ok": False, "op": op, "error": {"code": code, "message": message}}

@@ -1,0 +1,203 @@
+"""Transport-free request handling: one :class:`ServerSession` per client.
+
+The session owns everything about a connected client except the socket:
+which jobs it is attached to, its quota identity, and the translation from
+protocol messages to :class:`~repro.runtime.workqueue.WorkQueue` calls.
+:meth:`ServerSession.handle_line` is a generator of response dicts, so the
+same code path serves the live TCP server, the in-process test harness and
+the protocol golden transcripts -- the goldens are a byte-exact recording of
+exactly what a socket client would receive.
+
+Disconnect semantics live here too: :meth:`ServerSession.close` detaches
+every handle the client still holds, which cancels jobs nobody else is
+attached to -- a client that vanishes mid-stream frees its worker slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from repro.runtime.spec import JobSpec
+from repro.runtime.workqueue import (
+    JobHandle,
+    QueueClosedError,
+    QueueFullError,
+    QuotaExceededError,
+    WorkQueue,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    error_response,
+    ok_response,
+)
+from repro.telemetry import get_telemetry
+
+__all__ = ["ServerSession"]
+
+#: queue admission failures -> protocol error codes
+_ADMISSION_ERRORS = {
+    QuotaExceededError: "quota_exceeded",
+    QueueFullError: "queue_full",
+    QueueClosedError: "server_closing",
+}
+
+
+class ServerSession:
+    """One client's view of the job server (no socket attached).
+
+    Parameters
+    ----------
+    queue:
+        The shared :class:`WorkQueue` all sessions submit into.
+    client_id:
+        Quota identity; the TCP server assigns ``client-<n>`` per
+        connection, and a ``submit`` message may override it with an
+        explicit ``client`` field (cooperating CLIs share a quota bucket
+        that way).
+    """
+
+    #: seconds between idle heartbeats while streaming a running job's events
+    stream_poll_s = 0.5
+
+    def __init__(self, queue: WorkQueue, client_id: str = "local") -> None:
+        self._queue = queue
+        self.client_id = client_id
+        self._handles: Dict[str, JobHandle] = {}
+        self.shutdown_requested = False
+        self.shutdown_drain = True
+
+    # ------------------------------------------------------------------ #
+    def handle_line(self, line: bytes) -> Iterator[Optional[Dict[str, Any]]]:
+        """Serve one request line, yielding every response line for it.
+
+        Never raises for client mistakes -- malformed lines and bad requests
+        come back as ``{"ok": false, "error": {...}}`` responses.  A yielded
+        ``None`` is an idle heartbeat (nothing to write; the transport may
+        use it to probe client liveness mid-stream).  The whole exchange
+        (including a submit's event stream) is recorded as one
+        ``server.request`` span.
+        """
+        telemetry = get_telemetry()
+        started = telemetry.now()
+        op = "?"
+        try:
+            try:
+                message = decode_message(line)
+            except ProtocolError as error:
+                yield error_response("?", error.code, str(error))
+                return
+            op = message["op"]
+            handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+            if handler is None:
+                yield error_response(op, "unknown_op", f"unknown op {op!r}")
+                return
+            yield from handler(message)
+        finally:
+            telemetry.record_span("server.request", started, telemetry.now(), op=op)
+
+    def close(self) -> None:
+        """Detach every live handle (client gone -> its jobs may cancel)."""
+        handles, self._handles = self._handles, {}
+        for handle in handles.values():
+            handle.cancel()
+
+    # ------------------------------------------------------------------ #
+    # Ops
+    # ------------------------------------------------------------------ #
+    def _op_ping(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        import repro
+
+        yield ok_response("ping", protocol=PROTOCOL_VERSION, version=repro.__version__)
+
+    def _op_submit(self, message: Dict[str, Any]) -> Iterator[Optional[Dict[str, Any]]]:
+        task = message.get("task")
+        params = message.get("params", {})
+        if not isinstance(task, str) or not isinstance(params, dict):
+            yield error_response(
+                "submit", "bad_request", "submit needs a string 'task' and an object 'params'"
+            )
+            return
+        from repro.runtime.tasks import get_task
+
+        try:
+            get_task(task)
+        except KeyError:
+            yield error_response("submit", "unknown_task", f"unknown task {task!r}")
+            return
+        client = message.get("client", self.client_id)
+        try:
+            handle = self._queue.submit(
+                JobSpec(task=task, params=params),
+                client=str(client),
+                read_cache=bool(message.get("read_cache", True)),
+            )
+        except tuple(_ADMISSION_ERRORS) as error:
+            yield error_response("submit", _ADMISSION_ERRORS[type(error)], str(error))
+            return
+        yield ok_response(
+            "submit",
+            event="accepted",
+            job=handle.id,
+            key=handle.key,
+            deduped=handle.deduped,
+            cached=handle.cached,
+        )
+        if not bool(message.get("stream", True)):
+            if handle.state in ("done", "failed", "cancelled"):
+                return  # already terminal (cache hit); nothing to poll or cancel
+            self._handles[handle.id] = handle
+            return
+        self._handles[handle.id] = handle
+        try:
+            while True:
+                event = handle.next_event(timeout=self.stream_poll_s)
+                if event is None:
+                    # Idle heartbeat: nothing to send, but it hands control
+                    # back to the transport so it can probe client liveness
+                    # while the job is still running.
+                    yield None
+                    continue
+                yield event
+                if event.get("event") in ("result", "error", "cancelled"):
+                    return
+        except GeneratorExit:
+            # The transport tore the stream down before the terminal event
+            # (client vanished): detach, which cancels the job and frees its
+            # worker slot if nobody else is attached.
+            handle.cancel()
+            raise
+        finally:
+            self._handles.pop(handle.id, None)
+
+    def _op_status(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        job_id = str(message.get("job", ""))
+        status = self._queue.status(job_id)
+        if status is None:
+            yield error_response("status", "unknown_job", f"unknown job {job_id!r}")
+            return
+        yield ok_response("status", status=status)
+
+    def _op_jobs(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        yield ok_response("jobs", jobs=self._queue.jobs())
+
+    def _op_stats(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        yield ok_response("stats", stats=self._queue.stats())
+
+    def _op_cancel(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        job_id = str(message.get("job", ""))
+        handle = self._handles.pop(job_id, None)
+        if handle is not None:
+            cancelled = handle.cancel()
+        elif self._queue.status(job_id) is None:
+            yield error_response("cancel", "unknown_job", f"unknown job {job_id!r}")
+            return
+        else:
+            cancelled = self._queue.cancel(job_id)
+        yield ok_response("cancel", job=job_id, cancelled=cancelled)
+
+    def _op_shutdown(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        self.shutdown_requested = True
+        self.shutdown_drain = bool(message.get("drain", True))
+        yield ok_response("shutdown", drain=self.shutdown_drain)

@@ -1,0 +1,123 @@
+"""Shared fixtures for the server test harness.
+
+The harness is built for *determinism*: an injectable step clock, an inline
+fake runner driven by ``threading.Event`` gates (so tests decide exactly
+when a job starts and finishes), and a queue/server factory pair that tears
+everything down even when a test fails mid-stream.  The live-socket fixtures
+run a real :class:`~repro.server.server.ReproServer` accept loop, but over
+the same fake runner -- real wire, scripted execution -- so concurrency and
+fault-injection tests never depend on simulation timing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import pytest
+
+from repro.runtime.spec import JobSpec
+from repro.runtime.workqueue import InlineRunner, WorkQueue
+from repro.server.server import ReproServer
+
+
+class FakeClock:
+    """A deterministic monotonic clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 0.5) -> None:
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def echo_job(task: str, params: Dict[str, Any], ctx: Any) -> Dict[str, Any]:
+    """The default fake task: a pure function of its inputs (cacheable)."""
+    return {"task": task, "echo": dict(params)}
+
+
+class Gate:
+    """Start/release gates for one scripted job (deterministic concurrency).
+
+    The fake runner sets ``started`` when the job begins executing and then
+    blocks until the test sets ``release`` -- so a test can hold a job
+    mid-flight, line up duplicate submissions or cancellations, and only
+    then let execution proceed.
+    """
+
+    def __init__(self) -> None:
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def wait_started(self, timeout: float = 5.0) -> None:
+        assert self.started.wait(timeout), "gated job never started"
+
+
+def gated_fn(
+    gate: Gate, result: Optional[Callable[[str, Dict[str, Any]], Dict[str, Any]]] = None
+) -> Callable[..., Dict[str, Any]]:
+    """A fake runner function blocked on ``gate`` (abort-aware)."""
+
+    def fn(task: str, params: Dict[str, Any], ctx: Any) -> Dict[str, Any]:
+        gate.started.set()
+        while not gate.release.wait(0.01):
+            if ctx.should_abort():
+                from repro.runtime.workqueue import JobCancelledError
+
+                raise JobCancelledError(task)
+        if result is not None:
+            return result(task, params)
+        return echo_job(task, params, ctx)
+
+    return fn
+
+
+def spec(x: int = 0, **extra: Any) -> JobSpec:
+    """A distinct, fast fake job spec (the ``dvs_run`` name keeps keys real)."""
+    return JobSpec("dvs_run", {"x": x, **extra})
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def make_queue(clock: FakeClock) -> Iterator[Callable[..., WorkQueue]]:
+    """Factory for inline-runner queues; every queue is closed at teardown."""
+    queues: List[WorkQueue] = []
+
+    def make(fn: Callable[..., Dict[str, Any]] = echo_job, **kwargs: Any) -> WorkQueue:
+        kwargs.setdefault("n_workers", 2)
+        kwargs.setdefault("clock", clock)
+        queue = WorkQueue(runner_factory=lambda: InlineRunner(fn), **kwargs)
+        queues.append(queue)
+        return queue
+
+    yield make
+    for queue in queues:
+        queue.close(drain=False, timeout=5.0)
+
+
+@pytest.fixture
+def make_server(
+    make_queue: Callable[..., WorkQueue],
+) -> Iterator[Callable[..., Tuple[ReproServer, str, int]]]:
+    """Factory for live localhost servers over fake-runner queues."""
+    servers: List[ReproServer] = []
+
+    def make(
+        fn: Callable[..., Dict[str, Any]] = echo_job, **kwargs: Any
+    ) -> Tuple[ReproServer, str, int]:
+        queue = make_queue(fn, **kwargs)
+        server = ReproServer(queue, port=0).start()
+        servers.append(server)
+        host, port = server.address
+        return server, host, port
+
+    yield make
+    for server in servers:
+        server.request_shutdown(drain=False)
+        server.join(timeout=10.0)

@@ -1,0 +1,210 @@
+"""Wire-format and transport-free session tests for the server protocol.
+
+``ServerSession`` is exercised directly -- feed it encoded request lines,
+collect the response dicts -- so every op and error code is covered without
+opening a socket.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+import pytest
+
+import repro
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    decode_response,
+    default_address,
+    encode_message,
+    error_response,
+    ok_response,
+)
+from repro.server.service import ServerSession
+
+from tests.server.conftest import Gate, gated_fn
+
+
+# --------------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------------- #
+def test_encode_is_canonical_and_newline_terminated():
+    payload = {"b": 2, "a": 1, "nested": {"y": [1, 2], "x": None}}
+    line = encode_message(payload)
+    assert line == b'{"a":1,"b":2,"nested":{"x":null,"y":[1,2]}}\n'
+    assert decode_response(line) == payload
+
+
+def test_decode_message_requires_json_object():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_response(b"[1, 2, 3]\n")
+    assert excinfo.value.code == "bad_request"
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_response(b"{broken\n")
+    assert excinfo.value.code == "bad_json"
+
+
+def test_decode_message_requires_string_op():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_message(encode_message({"task": "dvs_run"}))
+    assert excinfo.value.code == "bad_request"
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_message(encode_message({"op": 7}))
+    assert excinfo.value.code == "bad_request"
+    assert decode_message(encode_message({"op": "ping"}))["op"] == "ping"
+
+
+def test_response_helpers():
+    assert ok_response("ping", extra=1) == {"ok": True, "op": "ping", "extra": 1}
+    err = error_response("submit", "quota_exceeded", "too many jobs")
+    assert err == {
+        "ok": False,
+        "op": "submit",
+        "error": {"code": "quota_exceeded", "message": "too many jobs"},
+    }
+
+
+def test_default_address_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVER_ADDR", raising=False)
+    host, port = default_address()
+    assert host == "127.0.0.1" and port == 7325
+    monkeypatch.setenv("REPRO_SERVER_ADDR", "10.0.0.5:9000")
+    assert default_address() == ("10.0.0.5", 9000)
+    monkeypatch.setenv("REPRO_SERVER_ADDR", "9001")
+    assert default_address() == ("127.0.0.1", 9001)
+
+
+# --------------------------------------------------------------------------- #
+# Session ops (transport-free)
+# --------------------------------------------------------------------------- #
+def ask(session: ServerSession, request: Dict[str, Any]) -> List[Dict[str, Any]]:
+    # None responses are idle heartbeats for the transport; drop them here.
+    return [r for r in session.handle_line(encode_message(request)) if r is not None]
+
+
+def ask_one(session: ServerSession, request: Dict[str, Any]) -> Dict[str, Any]:
+    responses = ask(session, request)
+    assert len(responses) == 1, responses
+    return responses[0]
+
+
+def test_session_ping(make_queue):
+    session = ServerSession(make_queue(), client_id="tester")
+    response = ask_one(session, {"op": "ping"})
+    assert response["ok"] and response["protocol"] == PROTOCOL_VERSION
+    assert response["version"] == repro.__version__
+
+
+def test_session_submit_streams_to_terminal_event(make_queue):
+    session = ServerSession(make_queue(), client_id="tester")
+    responses = ask(session, {"op": "submit", "task": "dvs_run", "params": {"x": 1}})
+    kinds = [response.get("event") for response in responses]
+    assert kinds == ["accepted", "started", "result"]
+    assert responses[0]["deduped"] is False and responses[0]["cached"] is False
+    assert responses[-1]["result"]["echo"] == {"x": 1}
+
+
+def test_session_submit_unknown_task(make_queue):
+    session = ServerSession(make_queue(), client_id="tester")
+    response = ask_one(session, {"op": "submit", "task": "no_such_task", "params": {}})
+    assert not response["ok"] and response["error"]["code"] == "unknown_task"
+    assert "no_such_task" in response["error"]["message"]
+
+
+def test_session_submit_rejects_bad_params(make_queue):
+    session = ServerSession(make_queue(), client_id="tester")
+    response = ask_one(session, {"op": "submit", "task": "dvs_run", "params": [1, 2]})
+    assert not response["ok"] and response["error"]["code"] == "bad_request"
+
+
+def test_session_error_codes_for_admission(make_queue):
+    gate = Gate()
+    queue = make_queue(gated_fn(gate), n_workers=1, quota=1, max_pending=1)
+    alice = ServerSession(queue, client_id="alice")
+    bob = ServerSession(queue, client_id="bob")
+    first = ask(alice, {"op": "submit", "task": "dvs_run", "params": {"x": 1}, "stream": False})
+    assert first[0]["event"] == "accepted"
+    gate.wait_started()
+    over_quota = ask_one(
+        alice, {"op": "submit", "task": "dvs_run", "params": {"x": 2}, "stream": False}
+    )
+    assert over_quota["error"]["code"] == "quota_exceeded"
+    filler = ask(bob, {"op": "submit", "task": "dvs_run", "params": {"x": 3}, "stream": False})
+    assert filler[0]["event"] == "accepted"
+    # A third client is under quota but the pending slot is taken.
+    carol = ServerSession(queue, client_id="carol")
+    full = ask_one(carol, {"op": "submit", "task": "dvs_run", "params": {"x": 4}, "stream": False})
+    assert full["error"]["code"] == "queue_full"
+    gate.release.set()
+    queue.wait_idle(timeout=5)
+
+
+def test_session_status_jobs_and_stats(make_queue):
+    queue = make_queue()
+    session = ServerSession(queue, client_id="tester")
+    accepted = ask(session, {"op": "submit", "task": "dvs_run", "params": {"x": 1}})[0]
+    job_id = accepted["job"]
+    status = ask_one(session, {"op": "status", "job": job_id})
+    assert status["ok"] and status["status"]["state"] == "done"
+    missing = ask_one(session, {"op": "status", "job": "job-404"})
+    assert not missing["ok"] and missing["error"]["code"] == "unknown_job"
+    jobs = ask_one(session, {"op": "jobs"})
+    assert any(entry["job"] == job_id for entry in jobs["jobs"])
+    stats = ask_one(session, {"op": "stats"})
+    assert stats["ok"] and stats["stats"]["executed"] == 1
+
+
+def test_session_cancel_pending_job(make_queue):
+    gate = Gate()
+    queue = make_queue(gated_fn(gate), n_workers=1)
+    session = ServerSession(queue, client_id="tester")
+    running = ask(session, {"op": "submit", "task": "dvs_run", "params": {"x": 0}, "stream": False})
+    gate.wait_started()
+    queued = ask(session, {"op": "submit", "task": "dvs_run", "params": {"x": 1}, "stream": False})
+    cancel = ask_one(session, {"op": "cancel", "job": queued[0]["job"]})
+    assert cancel["ok"] and cancel["cancelled"]
+    again = ask_one(session, {"op": "cancel", "job": queued[0]["job"]})
+    assert not again["cancelled"]
+    gate.release.set()
+    queue.wait_idle(timeout=5)
+    assert queue.status(running[0]["job"])["state"] == "done"
+    assert queue.status(queued[0]["job"])["state"] == "cancelled"
+
+
+def test_session_unknown_op_and_bad_lines(make_queue):
+    session = ServerSession(make_queue(), client_id="tester")
+    unknown = ask_one(session, {"op": "launch_missiles"})
+    assert not unknown["ok"] and unknown["error"]["code"] == "unknown_op"
+    bad_json = list(session.handle_line(b"{nope\n"))
+    assert bad_json[0]["error"]["code"] == "bad_json"
+    not_object = list(session.handle_line(b"[]\n"))
+    assert not_object[0]["error"]["code"] == "bad_request"
+
+
+def test_session_shutdown_sets_flags(make_queue):
+    session = ServerSession(make_queue(), client_id="tester")
+    response = ask_one(session, {"op": "shutdown", "drain": False})
+    assert response["ok"]
+    assert session.shutdown_requested and session.shutdown_drain is False
+
+
+def test_session_close_detaches_held_handles(make_queue):
+    gate = Gate()
+    queue = make_queue(gated_fn(gate), n_workers=1)
+    session = ServerSession(queue, client_id="tester")
+    request = {"op": "submit", "task": "dvs_run", "params": {"x": 1}, "stream": False}
+    accepted = ask(session, request)
+    gate.wait_started()
+    session.close()
+    assert queue.wait_idle(timeout=5)
+    assert queue.status(accepted[0]["job"])["state"] == "cancelled"
+
+
+def test_session_responses_are_wire_encodable(make_queue):
+    session = ServerSession(make_queue(), client_id="tester")
+    for response in ask(session, {"op": "submit", "task": "dvs_run", "params": {"x": 1}}):
+        line = encode_message(response)
+        assert json.loads(line.decode("utf-8")) == response

@@ -1,0 +1,94 @@
+"""Stress/soak test for the job server (nightly tier, ``-m slow``).
+
+Many client threads fire a mix of duplicate and distinct jobs at one queue;
+the invariants afterwards are the strong ones: no deadlock (every thread
+joins), the queue-depth gauge returns to zero, and the number of *executions*
+equals the number of *distinct cache keys* submitted -- dedupe plus the
+result cache absorb every duplicate.
+
+Scale with ``REPRO_SOAK_SCALE`` (default 1); the fast tier skips this file
+via the ``slow`` marker.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import JobSpec
+from repro.runtime.workqueue import InlineRunner, WorkQueue
+from repro.telemetry import Telemetry, use_telemetry
+
+pytestmark = pytest.mark.slow
+
+SCALE = int(os.environ.get("REPRO_SOAK_SCALE", "1"))
+N_THREADS = 8
+SUBMITS_PER_THREAD = 25 * SCALE
+DISTINCT_KEYS = 10 * SCALE
+
+
+def _busy_job(task: str, params: Dict[str, Any], ctx: Any) -> Dict[str, Any]:
+    # A tiny but non-zero amount of work keeps jobs overlapping in flight.
+    time.sleep(0.001)
+    return {"task": task, "echo": dict(params)}
+
+
+def test_soak_duplicate_and_distinct_jobs(tmp_path):
+    telemetry = Telemetry(label="soak")
+    with use_telemetry(telemetry):
+        queue = WorkQueue(
+            n_workers=4,
+            cache=ResultCache(tmp_path / "cache"),
+            runner_factory=lambda: InlineRunner(_busy_job),
+            max_pending=N_THREADS * SUBMITS_PER_THREAD,
+        )
+        try:
+            barrier = threading.Barrier(N_THREADS)
+            submitted_xs: List[List[int]] = [[] for _ in range(N_THREADS)]
+            failures: List[BaseException] = []
+
+            def client(tid: int) -> None:
+                rng = random.Random(tid)  # deterministic per-thread workload
+                try:
+                    barrier.wait(timeout=30)
+                    for _ in range(SUBMITS_PER_THREAD):
+                        x = rng.randrange(DISTINCT_KEYS)
+                        submitted_xs[tid].append(x)
+                        handle = queue.submit(
+                            JobSpec("dvs_run", {"x": x}), client=f"soak-{tid}"
+                        )
+                        result = handle.result(timeout=30)
+                        assert result["echo"] == {"x": x}
+                except BaseException as error:  # surfaced after join
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(tid,), name=f"soak-{tid}")
+                for tid in range(N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 120 * SCALE
+            for thread in threads:
+                thread.join(timeout=max(1.0, deadline - time.monotonic()))
+                assert not thread.is_alive(), f"{thread.name} deadlocked"
+            assert not failures, failures
+
+            assert queue.wait_idle(timeout=30)
+            stats = queue.stats()
+            assert stats["depth"] == 0 and stats["running"] == 0
+
+            distinct = {x for xs in submitted_xs for x in xs}
+            # Every duplicate was absorbed by dedupe or the result cache.
+            assert stats["executed"] == len(distinct)
+            total = N_THREADS * SUBMITS_PER_THREAD
+            assert stats["submitted"] + stats["cache_hits"] + stats["deduped"] == total
+        finally:
+            queue.close(drain=False, timeout=30.0)
+    assert telemetry.metrics.gauges["server.queue_depth"] == 0
