@@ -47,6 +47,12 @@ PUBLIC_MODULES = (
     "repro.runtime.tasks",
     "repro.runtime.parallel",
     "repro.runtime.workqueue",
+    "repro.chardb",
+    "repro.chardb.format",
+    "repro.chardb.builder",
+    "repro.chardb.database",
+    "repro.chardb.active",
+    "repro.chardb.design_codec",
     "repro.server",
     "repro.server.protocol",
     "repro.server.service",

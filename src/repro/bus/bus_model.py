@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union
 import numpy as np
 
 from repro.bus.bus_design import BusDesign
-from repro.bus.characterization import characterize_bus, default_voltage_grid
+from repro.bus.characterization import default_voltage_grid
 from repro.bus.engine import (
     ENGINE_PARALLEL,
     ENGINE_SCALAR,
@@ -56,6 +56,7 @@ from repro.trace.stream import TraceSource, as_trace_source
 from repro.trace.trace import BusTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.chardb.database import CharacterizationDatabase
     from repro.runtime.parallel import ParallelChunkScheduler
 
 VoltageLike = Union[float, np.ndarray]
@@ -328,6 +329,12 @@ class CharacterizedBus:
         Optional supply-voltage grid; defaults to 20 mV steps up to nominal.
     flipflop_energy:
         Energy parameters of the receiving double-sampling flip-flop bank.
+    table:
+        Optional pre-built delay/energy table for exactly this (design,
+        corner, grid).  When omitted, the table is resolved through the
+        active characterization database first (see :mod:`repro.chardb`) and
+        falls back to live characterization — the two are bit-identical by
+        construction, so callers never observe which path ran.
     """
 
     def __init__(
@@ -336,13 +343,48 @@ class CharacterizedBus:
         corner: PVTCorner,
         grid: Optional[VoltageGrid] = None,
         flipflop_energy: Optional[FlipFlopEnergyParams] = None,
+        table: Optional[DelayEnergyTable] = None,
     ) -> None:
         self.design = design
         self.corner = corner
         self.grid = grid if grid is not None else default_voltage_grid(design)
-        self.table: DelayEnergyTable = characterize_bus(design, corner, self.grid)
+        if table is not None:
+            if table.grid != self.grid:
+                raise ValueError(
+                    f"supplied table is sampled on {table.grid}, not the bus grid {self.grid}"
+                )
+            self.table: DelayEnergyTable = table
+        else:
+            self.table = self._resolve_table(corner)
         self.flipflop_energy = (
             flipflop_energy if flipflop_energy is not None else FlipFlopEnergyParams()
+        )
+
+    def _resolve_table(self, corner: PVTCorner) -> DelayEnergyTable:
+        """Surfaces for this design at ``corner``: active chardb first, else live."""
+        from repro.chardb.active import resolve_table
+
+        return resolve_table(self.design, corner, self.grid)
+
+    @classmethod
+    def from_database(
+        cls,
+        database: "CharacterizationDatabase",
+        corner: PVTCorner,
+        n_bits: int = 32,
+        coupling_scale: float = 1.0,
+        flipflop_energy: Optional[FlipFlopEnergyParams] = None,
+    ) -> "CharacterizedBus":
+        """A ready-to-simulate bus assembled purely from stored surfaces.
+
+        Both the design (including its already-sized repeater chain) and the
+        delay/energy table come out of the database — the circuit models and
+        the repeater sizing flow are never invoked.  The equivalence suite
+        (``tests/chardb``) holds the result bit-identical to live
+        characterization.
+        """
+        return database.bus(
+            corner, n_bits=n_bits, coupling_scale=coupling_scale, flipflop_energy=flipflop_energy
         )
 
     # ------------------------------------------------------------------ #
@@ -526,12 +568,13 @@ class CharacterizedBus:
         The paper sets this floor using only the (time-invariant) process
         corner while conservatively assuming worst-case temperature and IR
         drop; pass ``assumed_corner`` to reproduce that policy, otherwise the
-        characterised corner itself is used.
+        characterised corner itself is used.  A different assumed corner is
+        resolved like the main table: active chardb first, live fallback.
         """
         if assumed_corner is None or assumed_corner == self.corner:
             table = self.table
         else:
-            table = characterize_bus(self.design, assumed_corner, self.grid)
+            table = self._resolve_table(assumed_corner)
         return table.min_voltage_meeting(
             self.design.clocking.shadow_deadline, self.design.topology.max_coupling_factor
         )

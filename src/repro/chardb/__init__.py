@@ -1,0 +1,84 @@
+"""Precomputed characterization database (the repo's ``chipdb`` analog).
+
+Every simulation needs the bus's delay/error/energy surfaces — the paper's
+one-time HSPICE characterization step.  This package bakes those surfaces for
+every (PVT corner × voltage grid × bus design × encoder width) combination
+into a compact, versioned, memory-mappable artifact (see
+``docs/chardb_format.md``), so simulations, sweeps and the job server load
+them in O(1) instead of re-deriving them from :mod:`repro.circuit`:
+
+* :mod:`repro.chardb.format` — the normative on-disk layout (header, schema
+  version, content hash, array encoding),
+* :mod:`repro.chardb.builder` — deterministic artifact construction from the
+  live circuit models (``repro chardb build``),
+* :mod:`repro.chardb.database` — the zero-copy mmap reader,
+* :mod:`repro.chardb.active` — the per-process active database that
+  :class:`~repro.bus.bus_model.CharacterizedBus` resolves tables through,
+  with a guaranteed bit-identical live fallback.
+
+Build a database covering one corner and load a ready-to-simulate bus back
+out of it without touching the circuit layer:
+
+>>> import os, tempfile
+>>> from repro.chardb import BuildSpec, CharacterizationDatabase, write_database
+>>> from repro.chardb.design_codec import corner_to_params
+>>> from repro.circuit.pvt import TYPICAL_CORNER
+>>> spec = BuildSpec(corners=(corner_to_params(TYPICAL_CORNER),))
+>>> path = os.path.join(tempfile.mkdtemp(), "tiny.chardb")
+>>> write_database(path, spec)["entries"]
+1
+>>> database = CharacterizationDatabase.open(path)
+>>> len(database)
+1
+>>> bus = database.bus(TYPICAL_CORNER)
+>>> round(bus.zero_error_voltage(), 2)
+0.98
+
+The file is content-addressed for the runtime cache: ``JobSpec.key`` folds
+:func:`chardb_fingerprint` into the job identity whenever a job carries a
+``chardb`` parameter, so results computed against one artifact are never
+replayed for another.
+"""
+
+from repro.chardb.active import (
+    clear_active_chardb,
+    get_active_chardb,
+    resolve_table,
+    set_active_chardb,
+    use_chardb,
+)
+from repro.chardb.builder import (
+    DEFAULT_DB_PATH,
+    BuildSpec,
+    build_database_bytes,
+    default_build_spec,
+    write_database,
+)
+from repro.chardb.database import CharacterizationDatabase, chardb_fingerprint
+from repro.chardb.format import (
+    SCHEMA_VERSION,
+    ChardbError,
+    ChardbFormatError,
+    ChardbLookupError,
+    ChardbSchemaError,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_DB_PATH",
+    "BuildSpec",
+    "CharacterizationDatabase",
+    "ChardbError",
+    "ChardbFormatError",
+    "ChardbLookupError",
+    "ChardbSchemaError",
+    "build_database_bytes",
+    "chardb_fingerprint",
+    "clear_active_chardb",
+    "default_build_spec",
+    "get_active_chardb",
+    "resolve_table",
+    "set_active_chardb",
+    "use_chardb",
+    "write_database",
+]

@@ -1,0 +1,143 @@
+"""Process-global active database and the db-first table resolver.
+
+The bus layer never receives a database object explicitly — threading one
+through every :class:`CharacterizedBus` construction site (CLI commands,
+sweep tasks, experiment runners, server workers) would couple all of them to
+the chardb.  Instead there is one *active* database per process, resolved in
+priority order:
+
+1. an explicit override installed by :func:`set_active_chardb` or the
+   :func:`use_chardb` context manager (the experiment task uses this), then
+2. the ``REPRO_CHARDB`` environment variable (the CLI sets it, and worker
+   processes spawned by the executor / work queue / job server inherit it),
+3. otherwise no database: everything falls back to live characterization.
+
+:func:`resolve_table` is the single seam the bus layer calls: database hit →
+zero-copy stored table; miss (or no active database) → live
+:func:`~repro.bus.characterization.characterize_bus`.  Because the stored
+surfaces are bit-identical to live characterization (enforced by the
+equivalence suite and the CI drift gate), the fallback changes nothing but
+speed, so a partially-covering database is safe by construction.  Hits and
+misses are counted on the telemetry hub as ``chardb.hits`` / ``chardb.misses``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.chardb.database import CharacterizationDatabase
+from repro.chardb.format import ChardbError
+
+__all__ = [
+    "set_active_chardb",
+    "clear_active_chardb",
+    "get_active_chardb",
+    "use_chardb",
+    "resolve_table",
+]
+
+#: Environment variable naming the database file to activate lazily.
+ENV_VAR = "REPRO_CHARDB"
+
+_UNSET = object()
+
+#: Explicit override: _UNSET = defer to the environment, None = force live
+#: characterization, otherwise the database to use.
+_explicit: Any = _UNSET
+
+#: Databases opened by path, keyed by (path, mtime_ns, size) so a rebuilt
+#: file is re-opened instead of served stale.  Entries stay open for the
+#: process lifetime; a sweep activating the same artifact hundreds of times
+#: parses its index exactly once per worker.
+_open_cache: Dict[Any, CharacterizationDatabase] = {}
+
+
+def _open_cached(path: str) -> CharacterizationDatabase:
+    try:
+        stat = os.stat(path)
+        key = (os.path.realpath(path), stat.st_mtime_ns, stat.st_size)
+    except OSError as error:
+        raise ChardbError(f"cannot activate chardb {path!r}: {error}") from error
+    database = _open_cache.get(key)
+    if database is None:
+        try:
+            database = CharacterizationDatabase.open(path)
+        except ChardbError as error:
+            raise ChardbError(f"cannot activate chardb {path!r}: {error}") from error
+        _open_cache[key] = database
+    return database
+
+
+def set_active_chardb(database: Optional[CharacterizationDatabase]) -> None:
+    """Install an explicit active database (``None`` forces live characterization)."""
+    global _explicit
+    _explicit = database
+
+
+def clear_active_chardb() -> None:
+    """Drop any explicit override and defer to the environment again."""
+    global _explicit
+    _explicit = _UNSET
+
+
+def get_active_chardb() -> Optional[CharacterizationDatabase]:
+    """The database surface lookups should try first, or ``None``.
+
+    An unreadable or corrupt path in ``REPRO_CHARDB`` raises
+    :class:`ChardbError` — a requested database that cannot be used must fail
+    loudly, not silently fall back to live characterization.
+    """
+    if _explicit is not _UNSET:
+        return _explicit  # type: ignore[no-any-return]
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        return None
+    return _open_cached(path)
+
+
+@contextmanager
+def use_chardb(
+    source: Union[CharacterizationDatabase, str, Path, None],
+) -> Iterator[Optional[CharacterizationDatabase]]:
+    """Scope an explicit active database to a ``with`` block.
+
+    ``source`` may be an open database, a path (opened through the process
+    cache, so repeated activation of the same artifact is O(1)), or ``None``
+    to force live characterization inside the block.
+    """
+    global _explicit
+    if isinstance(source, (str, Path)):
+        database: Optional[CharacterizationDatabase] = _open_cached(str(source))
+    else:
+        database = source
+    previous = _explicit
+    set_active_chardb(database)
+    try:
+        yield database
+    finally:
+        _explicit = previous
+
+
+def resolve_table(design: Any, corner: Any, grid: Any = None):
+    """A delay/energy table for (design, corner, grid): stored if available.
+
+    This is the single seam between the bus layer and the database.  With an
+    active database and a matching entry the stored surfaces are returned
+    (zero-copy, no circuit-model evaluation); otherwise the live
+    characterization path runs.
+    """
+    database = get_active_chardb()
+    if database is not None:
+        table = database.find_table(design, corner, grid)
+        from repro.telemetry import get_telemetry
+
+        if table is not None:
+            get_telemetry().count("chardb.hits")
+            return table
+        get_telemetry().count("chardb.misses")
+    from repro.bus.characterization import characterize_bus
+
+    return characterize_bus(design, corner, grid)

@@ -1,0 +1,329 @@
+"""Memory-mapped reader for characterization databases.
+
+:class:`CharacterizationDatabase` opens a ``.chardb`` file, parses its index
+once, and thereafter serves :class:`~repro.circuit.lookup_table.DelayEnergyTable`
+objects in O(1) — the surface arrays are ``numpy`` views straight into the
+memory-mapped data region, so loading a table copies no array data and never
+imports the circuit models.
+
+Lookups are keyed three ways:
+
+* by *content*: ``(design fingerprint, corner, grid)`` — what the bus layer
+  uses to resolve a table for an already-constructed design,
+* by *family*: ``(n_bits, coupling_scale)`` — what the CLI and job server use
+  to reconstruct the paper-bus variant a sweep point denotes without running
+  the design flow, and
+* by *file*: :func:`chardb_fingerprint` content-addresses the whole artifact
+  for ``JobSpec.key``, so cached results are invalidated the moment the
+  database they were computed against changes.
+"""
+
+from __future__ import annotations
+
+import mmap
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.chardb.design_codec import corner_to_params, design_fingerprint, design_from_params
+from repro.chardb.format import (
+    ARRAY_DTYPE,
+    HEADER_SIZE,
+    ChardbFormatError,
+    ChardbLookupError,
+    Header,
+    content_hash,
+    unpack_header,
+)
+from repro.circuit.lookup_table import DelayEnergyTable, VoltageGrid
+from repro.circuit.pvt import PVTCorner
+
+__all__ = ["CharacterizationDatabase", "chardb_fingerprint"]
+
+#: Lookup key of one entry: (design fingerprint, corner identity, grid identity).
+EntryKey = Tuple[str, Tuple[str, float, float], Tuple[float, float, float]]
+
+#: Family key of one design: (n_bits, coupling_scale).
+FamilyKey = Tuple[int, float]
+
+
+def _corner_key(corner: PVTCorner) -> Tuple[str, float, float]:
+    params = corner_to_params(corner)
+    return (params["process"], params["temperature_c"], params["ir_drop"])
+
+
+def _grid_key(grid: VoltageGrid) -> Tuple[float, float, float]:
+    return (grid.v_min, grid.v_max, grid.step)
+
+
+class CharacterizationDatabase:
+    """An open, validated, memory-mapped characterization database."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        try:
+            self._file = self.path.open("rb")
+        except OSError as error:
+            raise ChardbFormatError(f"cannot open chardb {self.path}: {error}") from error
+        try:
+            size = self.path.stat().st_size
+            if size < HEADER_SIZE:
+                raise ChardbFormatError(
+                    f"{self.path} is {size} bytes, smaller than the {HEADER_SIZE}-byte header"
+                )
+            self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+            self.header: Header = unpack_header(self._map[:HEADER_SIZE])
+            self._validate_extents(size)
+            self._index = self._parse_index()
+            self._entries: Dict[EntryKey, Dict[str, Any]] = {}
+            self._families: Dict[FamilyKey, str] = {}
+            self._build_lookup_maps()
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Construction / teardown
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "CharacterizationDatabase":
+        """Open and validate a database file (header, extents, index)."""
+        return cls(path)
+
+    def close(self) -> None:
+        """Release the memory map and file handle.
+
+        Tables already served keep their own references to the map, so they
+        stay valid; ``close`` only drops this object's handles.
+        """
+        if getattr(self, "_map", None) is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                # Served tables still hold zero-copy views into the map;
+                # mmap refuses to unmap under them.  Dropping our reference
+                # is enough -- the mapping is released when the last view is
+                # garbage-collected.
+                pass
+            self._map = None  # type: ignore[assignment]
+        if getattr(self, "_file", None) is not None:
+            self._file.close()
+            self._file = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "CharacterizationDatabase":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def _validate_extents(self, file_size: int) -> None:
+        header = self.header
+        index_end = header.index_offset + header.index_length
+        data_end = header.data_offset + header.data_length
+        if index_end > file_size or header.data_offset < index_end or data_end != file_size:
+            raise ChardbFormatError(
+                f"{self.path} is truncated or has inconsistent extents: "
+                f"size={file_size}, index=[{header.index_offset}, {index_end}), "
+                f"data=[{header.data_offset}, {data_end})"
+            )
+
+    def _parse_index(self) -> Dict[str, Any]:
+        import json
+
+        header = self.header
+        raw = self._map[header.index_offset : header.index_offset + header.index_length]
+        try:
+            index = json.loads(raw.decode("ascii"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ChardbFormatError(f"{self.path} has a corrupt index: {error}") from error
+        if index.get("schema") != header.schema_version:
+            raise ChardbFormatError(
+                f"{self.path}: index schema {index.get('schema')!r} disagrees with "
+                f"header schema {header.schema_version}"
+            )
+        return index
+
+    def _build_lookup_maps(self) -> None:
+        data_length = self.header.data_length
+        for position, entry in enumerate(self._index["entries"]):
+            fingerprint = entry["design"]
+            if fingerprint not in self._index["designs"]:
+                raise ChardbFormatError(
+                    f"{self.path}: entry {position} references unknown design {fingerprint}"
+                )
+            for name, (offset, count) in entry["arrays"].items():
+                if offset < 0 or offset + count * 8 > data_length:
+                    raise ChardbFormatError(
+                        f"{self.path}: array {name!r} of entry {position} "
+                        f"([{offset}, +{count * 8}) bytes) exceeds the data region "
+                        f"({data_length} bytes)"
+                    )
+            corner = entry["corner"]
+            grid = entry["grid"]
+            key: EntryKey = (
+                fingerprint,
+                (corner["process"], corner["temperature_c"], corner["ir_drop"]),
+                (grid["v_min"], grid["v_max"], grid["step"]),
+            )
+            self._entries[key] = entry
+            self._families.setdefault(
+                (int(entry["n_bits"]), float(entry["coupling_scale"])), fingerprint
+            )
+
+    def verify(self) -> None:
+        """Recompute the content hash; raise :class:`ChardbFormatError` on drift."""
+        payload = self._map[self.header.index_offset :]
+        digest = content_hash(payload)
+        if digest != self.header.content_hash:
+            raise ChardbFormatError(
+                f"{self.path} fails its integrity check: stored content hash "
+                f"{self.header.content_hash.hex()} != recomputed {digest.hex()}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def fingerprint(self) -> str:
+        """Hex content hash of the file (what ``JobSpec.key`` folds in)."""
+        return self.header.content_hash.hex()
+
+    def _surface(self, offset: int, count: int) -> np.ndarray:
+        absolute = self.header.data_offset + offset
+        return np.frombuffer(self._map, dtype=ARRAY_DTYPE, count=count, offset=absolute)
+
+    def _table_from_entry(self, entry: Dict[str, Any], corner: PVTCorner) -> DelayEnergyTable:
+        grid = VoltageGrid(
+            v_min=entry["grid"]["v_min"],
+            v_max=entry["grid"]["v_max"],
+            step=entry["grid"]["step"],
+        )
+        arrays = {
+            name: self._surface(offset, count)
+            for name, (offset, count) in entry["arrays"].items()
+        }
+        return DelayEnergyTable(
+            grid=grid,
+            corner=corner,
+            base_delay=arrays["base_delay"],
+            coupling_delay=arrays["coupling_delay"],
+            leakage_power=arrays["leakage_power"],
+            self_capacitance_per_wire=entry["scalars"]["self_capacitance_per_wire"],
+            coupling_capacitance_per_pair=entry["scalars"]["coupling_capacitance_per_pair"],
+            metadata=dict(entry["metadata"]),
+        )
+
+    def find_table(
+        self, design: Any, corner: PVTCorner, grid: Optional[VoltageGrid] = None
+    ) -> Optional[DelayEnergyTable]:
+        """The stored table for (design, corner, grid), or ``None`` on a miss.
+
+        ``design`` is a :class:`~repro.bus.bus_design.BusDesign`; it is matched
+        by content fingerprint, so any equal design resolves regardless of how
+        it was constructed.  A ``None`` grid means the design's default grid.
+        """
+        if grid is None:
+            from repro.bus.characterization import default_voltage_grid
+
+            grid = default_voltage_grid(design)
+        key: EntryKey = (design_fingerprint(design), _corner_key(corner), _grid_key(grid))
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return self._table_from_entry(entry, corner)
+
+    def table_for(
+        self, design: Any, corner: PVTCorner, grid: Optional[VoltageGrid] = None
+    ) -> DelayEnergyTable:
+        """Like :meth:`find_table`, but a miss raises :class:`ChardbLookupError`."""
+        table = self.find_table(design, corner, grid)
+        if table is None:
+            raise ChardbLookupError(
+                f"{self.path} has no entry for corner {corner.label!r} of this design "
+                f"(fingerprint {design_fingerprint(design)[:16]}...); rebuild the "
+                f"database or drop --chardb"
+            )
+        return table
+
+    def design(self, n_bits: int = 32, coupling_scale: float = 1.0) -> Any:
+        """Reconstruct the stored design of a (width, coupling) family."""
+        fingerprint = self._families.get((int(n_bits), float(coupling_scale)))
+        if fingerprint is None:
+            known = sorted(self._families)
+            raise ChardbLookupError(
+                f"{self.path} has no design family (n_bits={n_bits}, "
+                f"coupling_scale={coupling_scale}); stored families: {known}"
+            )
+        return design_from_params(self._index["designs"][fingerprint])
+
+    def bus(
+        self,
+        corner: PVTCorner,
+        n_bits: int = 32,
+        coupling_scale: float = 1.0,
+        flipflop_energy: Any = None,
+    ) -> Any:
+        """A :class:`CharacterizedBus` assembled entirely from stored data."""
+        from repro.bus.bus_model import CharacterizedBus
+
+        design = self.design(n_bits, coupling_scale)
+        table = self.table_for(design, corner)
+        return CharacterizedBus(
+            design, corner, grid=table.grid, flipflop_energy=flipflop_energy, table=table
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def entries(self) -> List[Dict[str, Any]]:
+        """The raw index entries, in on-disk order."""
+        return list(self._index["entries"])
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-able overview of the database (what ``chardb inspect`` prints)."""
+        widths = sorted({int(entry["n_bits"]) for entry in self._index["entries"]})
+        couplings = sorted({float(entry["coupling_scale"]) for entry in self._index["entries"]})
+        corners = sorted(
+            {
+                (entry["corner"]["process"], entry["corner"]["temperature_c"], entry["corner"]["ir_drop"])
+                for entry in self._index["entries"]
+            }
+        )
+        return {
+            "path": str(self.path),
+            "schema": self.header.schema_version,
+            "bytes": self.header.data_offset + self.header.data_length,
+            "content_hash": self.fingerprint,
+            "entries": len(self._entries),
+            "designs": len(self._index["designs"]),
+            "widths": widths,
+            "coupling_scales": couplings,
+            "corners": [
+                {"process": process, "temperature_c": temperature, "ir_drop": ir_drop}
+                for process, temperature, ir_drop in corners
+            ],
+        }
+
+
+def chardb_fingerprint(path: Union[str, Path]) -> Optional[str]:
+    """Content fingerprint of a chardb file for cache keys, or ``None``.
+
+    Reads only the 96-byte header.  Returns ``None`` when the file is missing,
+    unreadable, or not a valid chardb header — mirroring the semantics of
+    :func:`repro.trace.workloads.workload_fingerprint` (no fingerprint is
+    folded into the job key, and actually *using* the database will fail
+    loudly elsewhere).
+    """
+    try:
+        with Path(path).open("rb") as handle:
+            header = unpack_header(handle.read(HEADER_SIZE))
+    except Exception:
+        return None
+    return f"{header.schema_version}:{header.content_hash.hex()}"

@@ -1,0 +1,249 @@
+"""Loss-free JSON codecs for bus designs, corners and voltage grids.
+
+The database index stores, for every entry, the *complete* set of parameters
+needed to rebuild the exact :class:`~repro.bus.bus_design.BusDesign` whose
+surfaces were tabulated — down to the already-sized repeater chain.  That
+serves two purposes:
+
+* :func:`design_fingerprint` hashes the encoded form with the runtime's
+  canonical-JSON hasher, giving every design a stable content address that
+  the loader uses as a lookup key, and
+* :func:`design_from_params` reconstructs the design object *without*
+  re-running the repeater sizing flow (the sized ``repeaters.size`` is stored
+  verbatim), so loading a bus from the database never touches the circuit
+  models.
+
+All floats survive the round trip exactly: Python's ``repr``-based JSON float
+encoding is shortest-round-trip, so ``design_from_params(design_to_params(d))``
+compares equal to ``d`` field for field.
+
+>>> from repro.bus.bus_design import BusDesign
+>>> design = BusDesign.paper_bus()
+>>> rebuilt = design_from_params(design_to_params(design))
+>>> design_to_params(rebuilt) == design_to_params(design)
+True
+>>> design_fingerprint(rebuilt) == design_fingerprint(design)
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.bus.bus_design import BusDesign
+from repro.circuit.lookup_table import VoltageGrid
+from repro.circuit.mosfet import TransistorParams
+from repro.circuit.pvt import ProcessCorner, PVTCorner
+from repro.clocking import ClockingParameters
+from repro.interconnect.crosstalk import NeighborTopology
+from repro.interconnect.parasitics import WireParasitics
+from repro.interconnect.repeater import RepeaterChain
+from repro.interconnect.technology import TechnologyNode
+from repro.runtime.hashing import stable_hash
+
+__all__ = [
+    "corner_to_params",
+    "corner_from_params",
+    "grid_to_params",
+    "grid_from_params",
+    "design_to_params",
+    "design_from_params",
+    "design_fingerprint",
+]
+
+Params = Dict[str, Any]
+
+
+# --------------------------------------------------------------------- #
+# PVT corners and voltage grids
+# --------------------------------------------------------------------- #
+def corner_to_params(corner: PVTCorner) -> Params:
+    """Encode a PVT corner as a JSON-able dict.
+
+    >>> from repro.circuit.pvt import WORST_CASE_CORNER
+    >>> corner_to_params(WORST_CASE_CORNER)
+    {'process': 'slow', 'temperature_c': 100.0, 'ir_drop': 0.1}
+    """
+    return {
+        "process": corner.process.value,
+        "temperature_c": corner.temperature_c,
+        "ir_drop": corner.ir_drop,
+    }
+
+
+def corner_from_params(params: Params) -> PVTCorner:
+    """Rebuild a :class:`PVTCorner` from its encoded form."""
+    return PVTCorner(
+        process=ProcessCorner(params["process"]),
+        temperature_c=float(params["temperature_c"]),
+        ir_drop=float(params["ir_drop"]),
+    )
+
+
+def grid_to_params(grid: VoltageGrid) -> Params:
+    """Encode a voltage grid as its three defining scalars."""
+    return {"v_min": grid.v_min, "v_max": grid.v_max, "step": grid.step}
+
+
+def grid_from_params(params: Params) -> VoltageGrid:
+    """Rebuild a :class:`VoltageGrid` from its encoded form."""
+    return VoltageGrid(
+        v_min=float(params["v_min"]),
+        v_max=float(params["v_max"]),
+        step=float(params["step"]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Bus designs
+# --------------------------------------------------------------------- #
+def _transistor_to_params(transistor: TransistorParams) -> Params:
+    return {
+        "vth0": {corner.value: transistor.vth0[corner] for corner in ProcessCorner},
+        "drive_factor": {
+            corner.value: transistor.drive_factor[corner] for corner in ProcessCorner
+        },
+        "alpha": transistor.alpha,
+        "vth_temp_coeff": transistor.vth_temp_coeff,
+        "mobility_temp_exp": transistor.mobility_temp_exp,
+        "reference_temperature_c": transistor.reference_temperature_c,
+        "unit_drive_current": transistor.unit_drive_current,
+        "resistance_fit": transistor.resistance_fit,
+        "unit_gate_cap": transistor.unit_gate_cap,
+        "unit_drain_cap": transistor.unit_drain_cap,
+        "unit_leakage_current": transistor.unit_leakage_current,
+        "subthreshold_n": transistor.subthreshold_n,
+        "dibl": transistor.dibl,
+    }
+
+
+def _transistor_from_params(params: Params) -> TransistorParams:
+    return TransistorParams(
+        vth0={ProcessCorner(key): float(value) for key, value in params["vth0"].items()},
+        drive_factor={
+            ProcessCorner(key): float(value) for key, value in params["drive_factor"].items()
+        },
+        alpha=float(params["alpha"]),
+        vth_temp_coeff=float(params["vth_temp_coeff"]),
+        mobility_temp_exp=float(params["mobility_temp_exp"]),
+        reference_temperature_c=float(params["reference_temperature_c"]),
+        unit_drive_current=float(params["unit_drive_current"]),
+        resistance_fit=float(params["resistance_fit"]),
+        unit_gate_cap=float(params["unit_gate_cap"]),
+        unit_drain_cap=float(params["unit_drain_cap"]),
+        unit_leakage_current=float(params["unit_leakage_current"]),
+        subthreshold_n=float(params["subthreshold_n"]),
+        dibl=float(params["dibl"]),
+    )
+
+
+def _shield_mask_to_string(mask: np.ndarray) -> str:
+    return "".join("1" if flag else "0" for flag in np.asarray(mask, dtype=bool))
+
+
+def _shield_mask_from_string(encoded: str) -> np.ndarray:
+    return np.array([character == "1" for character in encoded], dtype=bool)
+
+
+def design_to_params(design: BusDesign) -> Params:
+    """Encode a fully-sized bus design as a JSON-able dict."""
+    technology = design.technology
+    topology = design.topology
+    return {
+        "n_bits": design.n_bits,
+        "length": design.length,
+        "n_segments": design.n_segments,
+        "technology": {
+            "name": technology.name,
+            "feature_size": technology.feature_size,
+            "nominal_vdd": technology.nominal_vdd,
+            "wire_width": technology.wire_width,
+            "wire_spacing": technology.wire_spacing,
+            "wire_thickness": technology.wire_thickness,
+            "dielectric_height": technology.dielectric_height,
+            "resistivity": technology.resistivity,
+            "dielectric_constant": technology.dielectric_constant,
+            "transistor": _transistor_to_params(technology.transistor),
+        },
+        "parasitics": {
+            "resistance_per_meter": design.parasitics.resistance_per_meter,
+            "ground_cap_per_meter": design.parasitics.ground_cap_per_meter,
+            "coupling_cap_per_meter": design.parasitics.coupling_cap_per_meter,
+        },
+        "topology": {
+            "n_wires": topology.n_wires,
+            "left_is_shield": _shield_mask_to_string(topology.left_is_shield),
+            "right_is_shield": _shield_mask_to_string(topology.right_is_shield),
+            "secondary_weight": topology.secondary_weight,
+        },
+        "repeaters": {
+            "n_segments": design.repeaters.n_segments,
+            "size": design.repeaters.size,
+            "receiver_capacitance": design.repeaters.receiver_capacitance,
+        },
+        "clocking": {
+            "frequency": design.clocking.frequency,
+            "setup_slack_fraction": design.clocking.setup_slack_fraction,
+            "shadow_delay_fraction": design.clocking.shadow_delay_fraction,
+        },
+        "design_corner": corner_to_params(design.design_corner),
+    }
+
+
+def design_from_params(params: Params) -> BusDesign:
+    """Rebuild a :class:`BusDesign` from its encoded form.
+
+    The repeater chain is restored with its stored size — the sizing flow
+    (and with it the whole circuit timing model) is *not* re-run.
+    """
+    technology_params = params["technology"]
+    topology_params = params["topology"]
+    repeater_params = params["repeaters"]
+    clocking_params = params["clocking"]
+    parasitic_params = params["parasitics"]
+    return BusDesign(
+        technology=TechnologyNode(
+            name=str(technology_params["name"]),
+            feature_size=float(technology_params["feature_size"]),
+            nominal_vdd=float(technology_params["nominal_vdd"]),
+            wire_width=float(technology_params["wire_width"]),
+            wire_spacing=float(technology_params["wire_spacing"]),
+            wire_thickness=float(technology_params["wire_thickness"]),
+            dielectric_height=float(technology_params["dielectric_height"]),
+            resistivity=float(technology_params["resistivity"]),
+            dielectric_constant=float(technology_params["dielectric_constant"]),
+            transistor=_transistor_from_params(technology_params["transistor"]),
+        ),
+        n_bits=int(params["n_bits"]),
+        length=float(params["length"]),
+        n_segments=int(params["n_segments"]),
+        parasitics=WireParasitics(
+            resistance_per_meter=float(parasitic_params["resistance_per_meter"]),
+            ground_cap_per_meter=float(parasitic_params["ground_cap_per_meter"]),
+            coupling_cap_per_meter=float(parasitic_params["coupling_cap_per_meter"]),
+        ),
+        topology=NeighborTopology(
+            n_wires=int(topology_params["n_wires"]),
+            left_is_shield=_shield_mask_from_string(topology_params["left_is_shield"]),
+            right_is_shield=_shield_mask_from_string(topology_params["right_is_shield"]),
+            secondary_weight=float(topology_params["secondary_weight"]),
+        ),
+        repeaters=RepeaterChain(
+            n_segments=int(repeater_params["n_segments"]),
+            size=float(repeater_params["size"]),
+            receiver_capacitance=float(repeater_params["receiver_capacitance"]),
+        ),
+        clocking=ClockingParameters(
+            frequency=float(clocking_params["frequency"]),
+            setup_slack_fraction=float(clocking_params["setup_slack_fraction"]),
+            shadow_delay_fraction=float(clocking_params["shadow_delay_fraction"]),
+        ),
+        design_corner=corner_from_params(params["design_corner"]),
+    )
+
+
+def design_fingerprint(design: BusDesign) -> str:
+    """Stable content address of a bus design (SHA-256 over canonical JSON)."""
+    return stable_hash(design_to_params(design))

@@ -1,0 +1,201 @@
+"""On-disk format of the characterization database (normative constants).
+
+A ``.chardb`` file is the shippable form of the paper's one-time HSPICE-style
+characterization step: every delay/error/energy surface a simulation needs,
+precomputed once and loaded in O(1) without touching the circuit models.  The
+layout is deliberately simple enough to read from any language (see
+``docs/chardb_format.md`` for the full normative specification):
+
+* a fixed 96-byte little-endian header (:func:`pack_header` /
+  :func:`unpack_header`) carrying the magic, the schema version, an
+  endianness sentinel, the index/data extents and a SHA-256 content hash,
+* a canonical-JSON index describing every characterization entry and where
+  its surface arrays live, and
+* a 64-byte-aligned array region of raw little-endian ``float64`` surfaces,
+  suitable for zero-copy memory mapping.
+
+Everything below the header is covered by the content hash, and every byte of
+the file is a deterministic function of the build inputs: rebuilding the same
+database from the same circuit models produces the identical file, which is
+what lets CI byte-compare the committed artifact against a fresh rebuild.
+
+>>> header = Header(index_length=120, data_offset=256, data_length=1024,
+...                 content_hash=b"\\x00" * 32)
+>>> packed = pack_header(header)
+>>> len(packed) == HEADER_SIZE
+True
+>>> unpack_header(packed) == header
+True
+>>> unpack_header(b"NOTACHDB" + packed[8:])
+Traceback (most recent call last):
+    ...
+repro.chardb.format.ChardbFormatError: not a chardb file (bad magic b'NOTACHDB')
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MAGIC",
+    "SCHEMA_VERSION",
+    "ENDIAN_MARK",
+    "HEADER_SIZE",
+    "ARRAY_ALIGNMENT",
+    "ARRAY_DTYPE",
+    "Header",
+    "pack_header",
+    "unpack_header",
+    "content_hash",
+    "align_up",
+    "ChardbError",
+    "ChardbFormatError",
+    "ChardbSchemaError",
+    "ChardbLookupError",
+]
+
+#: File magic, first 8 bytes of every characterization database.
+MAGIC = b"REPROCDB"
+
+#: Current schema version.  Bump on any incompatible layout or index change;
+#: readers refuse files whose version differs from their own.
+SCHEMA_VERSION = 1
+
+#: Endianness sentinel stored as a little-endian u16.  A reader that decodes
+#: 0x0201 instead of 0x0102 is applying the wrong byte order.
+ENDIAN_MARK = 0x0102
+
+#: Size of the fixed header in bytes.
+HEADER_SIZE = 96
+
+#: Alignment of every surface array inside the data region (bytes).
+ARRAY_ALIGNMENT = 64
+
+#: The one and only array element type: little-endian IEEE-754 float64.
+ARRAY_DTYPE = "<f8"
+
+#: struct layout of the header (see docs/chardb_format.md):
+#: magic / schema u16 / endian u16 / header size u32 / index offset u64 /
+#: index length u64 / data offset u64 / data length u64 / sha-256 / reserved.
+_HEADER_STRUCT = struct.Struct("<8sHHIQQQQ32s16s")
+assert _HEADER_STRUCT.size == HEADER_SIZE
+
+
+class ChardbError(Exception):
+    """Base class of every characterization-database error."""
+
+
+class ChardbFormatError(ChardbError):
+    """The file is not a chardb, is truncated, or fails integrity checks."""
+
+
+class ChardbSchemaError(ChardbError):
+    """The file is a chardb, but of an incompatible schema version."""
+
+
+class ChardbLookupError(ChardbError, KeyError):
+    """No entry in the database matches the requested combination."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message plain
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class Header:
+    """The decoded fixed header of a characterization database."""
+
+    index_length: int
+    data_offset: int
+    data_length: int
+    content_hash: bytes
+    schema_version: int = SCHEMA_VERSION
+    index_offset: int = field(default=HEADER_SIZE)
+
+    def __post_init__(self) -> None:
+        if len(self.content_hash) != 32:
+            raise ValueError(
+                f"content_hash must be 32 bytes (SHA-256), got {len(self.content_hash)}"
+            )
+
+
+def pack_header(header: Header) -> bytes:
+    """Serialise a :class:`Header` into its 96-byte on-disk form."""
+    return _HEADER_STRUCT.pack(
+        MAGIC,
+        header.schema_version,
+        ENDIAN_MARK,
+        HEADER_SIZE,
+        header.index_offset,
+        header.index_length,
+        header.data_offset,
+        header.data_length,
+        header.content_hash,
+        b"\x00" * 16,
+    )
+
+
+def unpack_header(raw: bytes) -> Header:
+    """Decode and validate the fixed header of a chardb file.
+
+    Raises
+    ------
+    ChardbFormatError
+        If the buffer is too short, the magic is wrong, or the endianness
+        sentinel does not decode to :data:`ENDIAN_MARK`.
+    ChardbSchemaError
+        If the schema version differs from :data:`SCHEMA_VERSION`.
+    """
+    if len(raw) < HEADER_SIZE:
+        raise ChardbFormatError(
+            f"truncated chardb header: {len(raw)} bytes, need {HEADER_SIZE}"
+        )
+    (
+        magic,
+        schema,
+        endian,
+        header_size,
+        index_offset,
+        index_length,
+        data_offset,
+        data_length,
+        digest,
+        _reserved,
+    ) = _HEADER_STRUCT.unpack(raw[:HEADER_SIZE])
+    if magic != MAGIC:
+        raise ChardbFormatError(f"not a chardb file (bad magic {magic!r})")
+    if endian != ENDIAN_MARK:
+        raise ChardbFormatError(
+            f"endianness sentinel mismatch (read 0x{endian:04x}, want 0x{ENDIAN_MARK:04x})"
+        )
+    if header_size != HEADER_SIZE:
+        raise ChardbFormatError(f"unexpected header size {header_size}, want {HEADER_SIZE}")
+    if schema != SCHEMA_VERSION:
+        raise ChardbSchemaError(
+            f"chardb schema version {schema} is not supported by this reader "
+            f"(expects {SCHEMA_VERSION}); rebuild the database with "
+            f"'python -m repro chardb build'"
+        )
+    return Header(
+        schema_version=schema,
+        index_offset=index_offset,
+        index_length=index_length,
+        data_offset=data_offset,
+        data_length=data_length,
+        content_hash=digest,
+    )
+
+
+def content_hash(payload: bytes) -> bytes:
+    """SHA-256 of everything after the header (index + padding + data)."""
+    return hashlib.sha256(payload).digest()
+
+
+def align_up(offset: int, alignment: int = ARRAY_ALIGNMENT) -> int:
+    """Round ``offset`` up to the next multiple of ``alignment``.
+
+    >>> align_up(0), align_up(1), align_up(64), align_up(65)
+    (0, 64, 64, 128)
+    """
+    return (offset + alignment - 1) // alignment * alignment

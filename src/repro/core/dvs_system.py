@@ -366,10 +366,16 @@ class DVSRunState:
 class DVSBusSystem:
     """The proposed DVS scheme: error-correcting bus plus closed-loop control.
 
+    The workload itself only enters at :meth:`run` / :meth:`stream` time and
+    is always consumed chunk by chunk; constructing the system is cheap and
+    workload-free.
+
     Parameters
     ----------
     bus:
-        Characterised bus at the PVT corner being simulated.
+        Characterised bus at the PVT corner being simulated (either live or
+        loaded via :meth:`CharacterizedBus.from_database` -- the two are
+        bit-identical).
     policy:
         Voltage-control policy; defaults to the paper's 1 %/2 % bang-bang
         policy with 20 mV steps.
@@ -381,7 +387,11 @@ class DVSBusSystem:
         Regulator safety floor; by default it is derived from the shadow-latch
         deadline assuming worst-case temperature and IR drop for the bus's
         *process* corner, which is the only corner attribute the paper allows
-        the floor to be tuned with.
+        the floor to be tuned with.  The derivation probes
+        :meth:`CharacterizedBus.minimum_safe_voltage` at (process, 100 C,
+        10 % IR drop); the standard characterization database bakes these
+        floor corners in, so ``--chardb`` runs never re-enter the circuit
+        models here either.
     """
 
     def __init__(

@@ -1,0 +1,49 @@
+"""Shared fixtures for the characterization-database suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.chardb import BuildSpec, CharacterizationDatabase, write_database
+from repro.chardb.design_codec import corner_to_params
+from repro.circuit.pvt import TYPICAL_CORNER
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The committed artifact every stock experiment resolves from.
+PAPER_DB_PATH = REPO_ROOT / "chardb" / "paper.chardb"
+
+
+@pytest.fixture(autouse=True)
+def _clean_chardb_state(monkeypatch):
+    """No test inherits (or leaks) an active database."""
+    from repro.chardb.active import clear_active_chardb
+
+    monkeypatch.delenv("REPRO_CHARDB", raising=False)
+    clear_active_chardb()
+    yield
+    clear_active_chardb()
+
+
+@pytest.fixture(scope="session")
+def paper_db():
+    """The committed chardb/paper.chardb, opened read-only once per session."""
+    assert PAPER_DB_PATH.exists(), (
+        f"{PAPER_DB_PATH} is missing; regenerate it with 'python -m repro chardb build'"
+    )
+    with CharacterizationDatabase.open(PAPER_DB_PATH) as database:
+        yield database
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    """A one-corner build specification (fast to characterise)."""
+    return BuildSpec(corners=(corner_to_params(TYPICAL_CORNER),))
+
+
+@pytest.fixture(scope="session")
+def tiny_db_path(tmp_path_factory, tiny_spec):
+    """A freshly built single-corner database file."""
+    path = tmp_path_factory.mktemp("chardb") / "tiny.chardb"
+    write_database(path, tiny_spec)
+    return path

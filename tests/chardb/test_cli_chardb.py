@@ -1,0 +1,96 @@
+"""The ``repro chardb`` subcommand and the global ``--chardb`` flag."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import PAPER_DB_PATH
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+
+
+class TestChardbCommand:
+    def test_build_inspect_verify_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "cli.chardb"
+        assert main(["chardb", "build", str(path)]) == 0
+        built = capsys.readouterr().out
+        assert "schema version : 1" in built
+        assert "content hash" in built
+
+        assert main(["chardb", "inspect", str(path)]) == 0
+        inspected = capsys.readouterr().out
+        assert "entries" in inspected and "corners" in inspected
+
+        assert main(["chardb", "verify", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_build_check_passes_on_fresh_file_and_fails_on_drift(self, tmp_path, capsys):
+        path = tmp_path / "gate.chardb"
+        assert main(["chardb", "build", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["chardb", "build", str(path), "--check"]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert main(["chardb", "build", str(path), "--check"]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_check_fails_when_the_file_is_missing(self, tmp_path, capsys):
+        assert main(["chardb", "build", str(tmp_path / "nope.chardb"), "--check"]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_verify_rejects_a_tampered_file(self, tmp_path, capsys):
+        path = tmp_path / "tampered.chardb"
+        assert main(["chardb", "build", str(path)]) == 0
+        capsys.readouterr()
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert main(["chardb", "verify", str(path)]) == 1
+        assert "integrity" in capsys.readouterr().err
+
+    def test_inspect_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["chardb", "inspect", str(tmp_path / "nope.chardb")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChardbFlag:
+    def test_unusable_database_fails_fast(self, tmp_path, capsys):
+        code = main(["run", "scaling", "--no-cache", "--chardb", str(tmp_path / "nope.chardb")])
+        assert code == 2
+        assert "cannot activate chardb" in capsys.readouterr().err
+
+    def test_run_output_is_identical_with_and_without_the_database(self, capsys):
+        assert main(["run", "scaling", "--no-cache"]) == 0
+        live = capsys.readouterr().out
+        assert main(["run", "scaling", "--no-cache", "--chardb", str(PAPER_DB_PATH)]) == 0
+        assert capsys.readouterr().out == live
+
+    def test_characterize_skips_the_circuit_path_entirely(self, monkeypatch, capsys):
+        """`repro --chardb ... characterize` runs with live characterization blocked."""
+
+        def boom(*args, **kwargs):
+            raise AssertionError("live characterization ran despite --chardb")
+
+        monkeypatch.setattr("repro.bus.characterization.characterize_bus", boom)
+        assert main(["--chardb", str(PAPER_DB_PATH), "characterize", "--corner", "typical"]) == 0
+        live_blocked = capsys.readouterr().out
+        assert "zero-error supply" in live_blocked
+
+    def test_flag_parses_before_and_after_the_subcommand(self, capsys):
+        assert main(["--chardb", str(PAPER_DB_PATH), "run", "scaling", "--no-cache"]) == 0
+        before = capsys.readouterr().out
+        assert main(["run", "scaling", "--no-cache", "--chardb", str(PAPER_DB_PATH)]) == 0
+        assert capsys.readouterr().out == before
+
+    def test_environment_is_restored_after_the_command(self):
+        assert "REPRO_CHARDB" not in os.environ
+        assert main(["--chardb", str(PAPER_DB_PATH), "list"]) == 0
+        assert "REPRO_CHARDB" not in os.environ

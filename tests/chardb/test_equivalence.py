@@ -1,0 +1,117 @@
+"""The central guarantee: stored surfaces are bit-identical to live ones.
+
+Everything else (the silent live fallback, cache-key aliasing between
+``--chardb`` and plain runs being harmless, the equivalence of ``repro run
+--chardb``) rests on this property, so it is enforced for *every* entry of
+the committed artifact, not a sample.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bus import BusDesign, CharacterizedBus
+from repro.bus.characterization import characterize_bus
+from repro.chardb import use_chardb
+from repro.chardb.design_codec import corner_from_params, design_fingerprint
+from repro.circuit.lookup_table import VoltageGrid
+from repro.circuit.pvt import PVTCorner, ProcessCorner, TYPICAL_CORNER
+from repro.core.dvs_system import DVSBusSystem
+from repro.runtime.tasks import run_job_params
+
+from .conftest import PAPER_DB_PATH
+
+
+def assert_tables_identical(stored, live):
+    assert np.array_equal(stored.base_delay, live.base_delay)
+    assert np.array_equal(stored.coupling_delay, live.coupling_delay)
+    assert np.array_equal(stored.leakage_power, live.leakage_power)
+    assert stored.self_capacitance_per_wire == live.self_capacitance_per_wire
+    assert stored.coupling_capacitance_per_pair == live.coupling_capacitance_per_pair
+    assert stored.metadata == live.metadata
+    assert stored.grid == live.grid
+    assert stored.corner == live.corner
+
+
+class TestBitIdentity:
+    def test_every_committed_entry_matches_live_characterization(self, paper_db):
+        """All 105 entries: every corner, width and coupling scale."""
+        checked = 0
+        for entry in paper_db.entries():
+            design = paper_db.design(entry["n_bits"], entry["coupling_scale"])
+            assert design_fingerprint(design) == entry["design"]
+            corner = corner_from_params(entry["corner"])
+            grid = VoltageGrid(**entry["grid"])
+            stored = paper_db.table_for(design, corner, grid)
+            live = characterize_bus(design, corner, grid)
+            assert_tables_identical(stored, live)
+            checked += 1
+        assert checked == len(paper_db) > 0
+
+    def test_from_database_bus_equals_live_bus(self, paper_db):
+        from_db = CharacterizedBus.from_database(paper_db, TYPICAL_CORNER)
+        live = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
+        assert_tables_identical(from_db.table, live.table)
+        assert from_db.zero_error_voltage() == live.zero_error_voltage()
+
+    def test_floor_corner_minimum_safe_voltage_identical(self, paper_db):
+        """The regulator floor re-characterises at (process, 100 C, 10% IR)."""
+        live = CharacterizedBus(BusDesign.paper_bus(), TYPICAL_CORNER)
+        floor = PVTCorner(ProcessCorner.TYPICAL, 100.0, 0.10)
+        with use_chardb(paper_db):
+            from_db = CharacterizedBus.from_database(paper_db, TYPICAL_CORNER)
+            assert from_db.minimum_safe_voltage(floor) == live.minimum_safe_voltage(floor)
+
+
+class TestTaskEquivalence:
+    RUN_PARAMS = {
+        "benchmark": "crafty",
+        "corner": "corner4",
+        "n_cycles": 2000,
+        "seed": 7,
+        "encoder": "bus-invert",
+    }
+
+    def test_dvs_run_results_identical(self):
+        live = run_job_params("dvs_run", self.RUN_PARAMS)
+        with_db = run_job_params("dvs_run", {**self.RUN_PARAMS, "chardb": str(PAPER_DB_PATH)})
+        assert with_db == live
+
+    def test_characterize_results_identical(self):
+        live = run_job_params("characterize", {"corner": "best"})
+        with_db = run_job_params("characterize", {"corner": "best", "chardb": str(PAPER_DB_PATH)})
+        assert with_db == live
+
+
+class TestCircuitPathSkipped:
+    """With the database active, ``repro.circuit`` is never characterised."""
+
+    @pytest.fixture(autouse=True)
+    def _block_circuit_path(self, monkeypatch):
+        from repro.runtime import tasks
+
+        def boom(*args, **kwargs):
+            raise AssertionError("live characterization ran despite an active chardb")
+
+        monkeypatch.setattr("repro.bus.characterization.characterize_bus", boom)
+        # The memo would otherwise serve buses characterised by earlier tests.
+        tasks._characterized_bus.cache_clear()
+        yield
+        tasks._characterized_bus.cache_clear()
+
+    def test_encoded_dvs_run_never_characterises_live(self):
+        params = {**TestTaskEquivalence.RUN_PARAMS, "chardb": str(PAPER_DB_PATH)}
+        result = run_job_params("dvs_run", params)
+        assert result["n_cycles"] == params["n_cycles"]
+
+    def test_characterize_task_never_characterises_live(self):
+        result = run_job_params(
+            "characterize", {"corner": "worst", "chardb": str(PAPER_DB_PATH)}
+        )
+        assert result["zero_error_voltage_mv"] > 0
+        assert result["regulator_floor_mv"] > 0
+
+    def test_dvs_system_floor_probe_never_characterises_live(self, paper_db):
+        with use_chardb(paper_db):
+            bus = CharacterizedBus.from_database(paper_db, TYPICAL_CORNER)
+            system = DVSBusSystem(bus, window_cycles=1000, ramp_delay_cycles=300)
+            assert system.v_floor > 0

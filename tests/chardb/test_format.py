@@ -1,0 +1,131 @@
+"""On-disk format: header codec, validation errors, build determinism."""
+
+import struct
+
+import pytest
+
+from repro.chardb import (
+    CharacterizationDatabase,
+    ChardbFormatError,
+    ChardbLookupError,
+    ChardbSchemaError,
+    build_database_bytes,
+)
+from repro.chardb.format import (
+    ENDIAN_MARK,
+    HEADER_SIZE,
+    MAGIC,
+    SCHEMA_VERSION,
+    Header,
+    align_up,
+    content_hash,
+    pack_header,
+    unpack_header,
+)
+
+
+def make_header(**overrides):
+    kwargs = dict(index_length=120, data_offset=256, data_length=1024, content_hash=b"\x00" * 32)
+    kwargs.update(overrides)
+    return Header(**kwargs)
+
+
+class TestHeaderCodec:
+    def test_round_trip(self):
+        header = make_header(content_hash=bytes(range(32)))
+        packed = pack_header(header)
+        assert len(packed) == HEADER_SIZE
+        assert unpack_header(packed) == header
+
+    def test_header_is_little_endian_with_sentinel(self):
+        packed = pack_header(make_header())
+        assert packed[:8] == MAGIC
+        schema, endian = struct.unpack_from("<HH", packed, 8)
+        assert schema == SCHEMA_VERSION
+        assert endian == ENDIAN_MARK
+
+    def test_bad_magic_rejected(self):
+        packed = pack_header(make_header())
+        with pytest.raises(ChardbFormatError, match="bad magic"):
+            unpack_header(b"NOTACHDB" + packed[8:])
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ChardbFormatError, match="truncated"):
+            unpack_header(pack_header(make_header())[: HEADER_SIZE - 1])
+
+    def test_wrong_endianness_rejected(self):
+        packed = bytearray(pack_header(make_header()))
+        # A big-endian writer would store the sentinel byte-swapped.
+        packed[10:12] = struct.pack(">H", ENDIAN_MARK)
+        with pytest.raises(ChardbFormatError, match="endianness"):
+            unpack_header(bytes(packed))
+
+    def test_future_schema_version_rejected_with_rebuild_hint(self):
+        packed = pack_header(make_header(schema_version=SCHEMA_VERSION + 1))
+        with pytest.raises(ChardbSchemaError, match="chardb build"):
+            unpack_header(packed)
+
+    def test_wrong_content_hash_length_rejected(self):
+        with pytest.raises(ValueError, match="32 bytes"):
+            make_header(content_hash=b"\x00" * 16)
+
+    def test_align_up(self):
+        assert [align_up(n) for n in (0, 1, 63, 64, 65)] == [0, 64, 64, 64, 128]
+
+    def test_lookup_error_message_is_plain(self):
+        # KeyError.__str__ would quote the message; the override keeps it raw.
+        assert str(ChardbLookupError("no entry for corner X")) == "no entry for corner X"
+        assert isinstance(ChardbLookupError("x"), KeyError)
+
+
+class TestBuildDeterminism:
+    def test_same_spec_builds_identical_bytes(self, tiny_spec):
+        assert build_database_bytes(tiny_spec) == build_database_bytes(tiny_spec)
+
+    def test_content_hash_covers_everything_after_header(self, tiny_db_path):
+        raw = tiny_db_path.read_bytes()
+        header = unpack_header(raw[:HEADER_SIZE])
+        assert content_hash(raw[HEADER_SIZE:]) == header.content_hash
+
+
+class TestFileValidation:
+    def test_open_and_verify_clean_file(self, tiny_db_path):
+        with CharacterizationDatabase.open(tiny_db_path) as database:
+            database.verify()
+            assert len(database) == 1
+
+    def test_truncated_file_rejected(self, tiny_db_path, tmp_path):
+        raw = tiny_db_path.read_bytes()
+        clipped = tmp_path / "clipped.chardb"
+        clipped.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ChardbFormatError):
+            CharacterizationDatabase.open(clipped)
+
+    def test_header_only_file_rejected(self, tiny_db_path, tmp_path):
+        stub = tmp_path / "stub.chardb"
+        stub.write_bytes(tiny_db_path.read_bytes()[:HEADER_SIZE])
+        with pytest.raises(ChardbFormatError):
+            CharacterizationDatabase.open(stub)
+
+    def test_corrupted_data_region_fails_verify(self, tiny_db_path, tmp_path):
+        raw = bytearray(tiny_db_path.read_bytes())
+        raw[-1] ^= 0xFF  # flip one bit in the last surface array
+        tampered = tmp_path / "tampered.chardb"
+        tampered.write_bytes(bytes(raw))
+        with CharacterizationDatabase.open(tampered) as database:
+            with pytest.raises(ChardbFormatError, match="integrity"):
+                database.verify()
+
+    def test_non_chardb_file_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.chardb"
+        bogus.write_bytes(b"this is not a database" * 10)
+        with pytest.raises(ChardbFormatError):
+            CharacterizationDatabase.open(bogus)
+
+    def test_close_is_safe_while_served_tables_are_alive(self, tiny_db_path):
+        from repro.circuit.pvt import TYPICAL_CORNER
+
+        database = CharacterizationDatabase.open(tiny_db_path)
+        table = database.table_for(database.design(), TYPICAL_CORNER)
+        database.close()  # the table's zero-copy views must survive this
+        assert float(table.base_delay.sum()) > 0

@@ -1,0 +1,56 @@
+"""Cache invalidation: ``JobSpec.key`` content-addresses the database file."""
+
+from repro.chardb import BuildSpec, chardb_fingerprint, write_database
+from repro.chardb.design_codec import corner_to_params
+from repro.circuit.pvt import STANDARD_CORNERS
+from repro.runtime.spec import JobSpec
+
+
+def spec_for(path=None, **extra):
+    params = {"identifier": "scaling", **extra}
+    if path is not None:
+        params["chardb"] = str(path)
+    return JobSpec("experiment", params)
+
+
+class TestFingerprint:
+    def test_fingerprint_is_schema_qualified_content_hash(self, tiny_db_path):
+        fingerprint = chardb_fingerprint(tiny_db_path)
+        assert fingerprint is not None
+        schema, _, digest = fingerprint.partition(":")
+        assert schema == "1"
+        assert len(digest) == 64 and int(digest, 16) >= 0
+
+    def test_fingerprint_of_missing_or_bogus_file_is_none(self, tmp_path):
+        assert chardb_fingerprint(tmp_path / "nope.chardb") is None
+        bogus = tmp_path / "bogus.chardb"
+        bogus.write_bytes(b"junk" * 100)
+        assert chardb_fingerprint(bogus) is None
+
+
+class TestJobKey:
+    def test_key_with_chardb_differs_from_key_without(self, tiny_db_path):
+        assert spec_for().key != spec_for(tiny_db_path).key
+
+    def test_key_is_stable_for_an_unchanged_file(self, tiny_db_path):
+        assert spec_for(tiny_db_path).key == spec_for(tiny_db_path).key
+
+    def test_key_follows_the_file_content_not_the_path(self, tmp_path):
+        """Rebuilding a different database at the same path invalidates."""
+        path = tmp_path / "db.chardb"
+        corners = sorted(STANDARD_CORNERS.items())
+        write_database(path, BuildSpec(corners=(corner_to_params(corners[0][1]),)))
+        key_before = spec_for(path).key
+        assert spec_for(path).key == key_before
+        write_database(path, BuildSpec(corners=(corner_to_params(corners[1][1]),)))
+        assert spec_for(path).key != key_before
+
+    def test_missing_database_does_not_break_key_computation(self, tmp_path):
+        # The param string still differs, but no fingerprint is folded and
+        # nothing raises: the task itself reports the unusable file.
+        spec = spec_for(tmp_path / "nope.chardb")
+        assert spec.key
+
+    def test_non_string_chardb_param_is_ignored(self):
+        spec = JobSpec("experiment", {"identifier": "scaling", "chardb": None})
+        assert spec.key
