@@ -58,6 +58,9 @@ PUBLIC_MODULES = (
     "repro.server.service",
     "repro.server.server",
     "repro.server.client",
+    "repro.analyze",
+    "repro.analyze.engine",
+    "repro.analyze.baseline",
     "repro.telemetry",
     "repro.telemetry.core",
     "repro.telemetry.metrics",

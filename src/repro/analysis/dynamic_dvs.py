@@ -19,7 +19,8 @@ Table 1 at paper scale needs tens of MB, not tens of GB.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -45,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 #: steady-state operation.
 DEFAULT_WARMUP_FRACTION = 0.5
 
-WorkloadMapping = Mapping[str, Union[BusTrace, TraceSource]]
+WorkloadMapping = Mapping[str, BusTrace | TraceSource]
 
 
 def _auto_progress(total_cycles: int, label: str):
@@ -69,7 +70,7 @@ class Table1Row:
     fixed_vs_voltage: float
     dvs_minimum_voltage: float
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Plain-dict view mirroring the paper's column layout."""
         return {
             "benchmark": self.benchmark,
@@ -84,7 +85,7 @@ class Table1CornerResult:
     """All rows plus the totals line for one corner of Table 1."""
 
     corner: PVTCorner
-    rows: Tuple[Table1Row, ...]
+    rows: tuple[Table1Row, ...]
     total_fixed_vs_gain_percent: float
     total_dvs_gain_percent: float
     total_dvs_error_rate: float
@@ -96,7 +97,7 @@ class Table1CornerResult:
                 return candidate
         raise KeyError(f"no row for benchmark {benchmark!r}")
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-able view: rows plus the totals line of one corner."""
         return {
             "corner": self.corner.label,
@@ -113,7 +114,7 @@ class Table1CornerResult:
 class Table1Result:
     """The full Table 1 reproduction: one result per corner."""
 
-    corners: Tuple[Table1CornerResult, ...]
+    corners: tuple[Table1CornerResult, ...]
     n_cycles_per_benchmark: int
 
     def corner_result(self, corner: PVTCorner) -> Table1CornerResult:
@@ -123,7 +124,7 @@ class Table1Result:
                 return candidate
         raise KeyError(f"no result for corner {corner.label}")
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-able view of the whole table (one entry per corner).
 
         This is the serialisation contract ``repro.report`` renders and the
@@ -139,14 +140,14 @@ class Table1Result:
 def _run_benchmark_streamed(
     bus: CharacterizedBus,
     system: DVSBusSystem,
-    workload: Union[BusTrace, TraceSource],
+    workload: BusTrace | TraceSource,
     warmup_fraction: float,
-    chunk_cycles: Optional[int],
+    chunk_cycles: int | None,
     progress,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
-    scheduler: Optional["ParallelChunkScheduler"] = None,
-) -> Tuple[FixedScalingResult, DVSRunResult]:
+    engine: str | None = None,
+    jobs: int | None = None,
+    scheduler: "ParallelChunkScheduler" | None = None,
+) -> tuple[FixedScalingResult, DVSRunResult]:
     """One pass over a workload feeding both Table 1 columns.
 
     The same chunk statistics drive the closed loop and accumulate the
@@ -203,19 +204,19 @@ def _run_benchmark_streamed(
 
 
 def run_table1(
-    design: Optional[BusDesign] = None,
-    workloads: Optional[WorkloadMapping] = None,
+    design: BusDesign | None = None,
+    workloads: WorkloadMapping | None = None,
     corners: Sequence[PVTCorner] = (WORST_CASE_CORNER, TYPICAL_CORNER),
-    n_cycles: Optional[int] = None,
+    n_cycles: int | None = None,
     seed: int = 2005,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
-    policy: Optional[ControlPolicy] = None,
+    policy: ControlPolicy | None = None,
     window_cycles: int = 10_000,
     ramp_delay_cycles: int = 3000,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
-    order: Optional[Sequence[str]] = None,
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
+    order: Sequence[str] | None = None,
 ) -> Table1Result:
     """Reproduce Table 1: fixed VS vs the proposed DVS, per benchmark and corner.
 
@@ -272,7 +273,7 @@ def run_table1(
 
     # One persistent worker pool for the whole table: fork/start-up costs are
     # paid once, every benchmark x corner cell reuses the same workers.
-    scheduler: Optional["ParallelChunkScheduler"] = None
+    scheduler: "ParallelChunkScheduler" | None = None
     if (jobs is not None and jobs > 1) or resolve_engine(engine) == ENGINE_PARALLEL:
         from repro.runtime.parallel import ParallelChunkScheduler
 
@@ -303,16 +304,16 @@ def _run_table1_corners(
     workloads: WorkloadMapping,
     corners: Sequence[PVTCorner],
     warmup_fraction: float,
-    policy: Optional[ControlPolicy],
+    policy: ControlPolicy | None,
     window_cycles: int,
     ramp_delay_cycles: int,
-    chunk_cycles: Optional[int],
-    engine: Optional[str],
+    chunk_cycles: int | None,
+    engine: str | None,
     order: Sequence[str],
-    scheduler: Optional["ParallelChunkScheduler"],
-) -> List[Table1CornerResult]:
+    scheduler: "ParallelChunkScheduler" | None,
+) -> list[Table1CornerResult]:
     """The per-corner benchmark loop of :func:`run_table1`."""
-    corner_results: List[Table1CornerResult] = []
+    corner_results: list[Table1CornerResult] = []
     for corner in corners:
         bus = CharacterizedBus(design, corner)
         system = DVSBusSystem(
@@ -321,7 +322,7 @@ def _run_table1_corners(
             window_cycles=window_cycles,
             ramp_delay_cycles=ramp_delay_cycles,
         )
-        rows: List[Table1Row] = []
+        rows: list[Table1Row] = []
         fixed_energy_total = 0.0
         fixed_reference_total = 0.0
         dvs_energy_total = 0.0
@@ -376,8 +377,8 @@ class Fig8Result:
     """Supply-voltage and instantaneous error-rate time series of Fig. 8."""
 
     corner: PVTCorner
-    benchmark_order: Tuple[str, ...]
-    benchmark_boundaries: Tuple[int, ...]
+    benchmark_order: tuple[str, ...]
+    benchmark_boundaries: tuple[int, ...]
     voltage_event_cycles: np.ndarray
     voltage_event_values: np.ndarray
     window_start_cycles: np.ndarray
@@ -395,13 +396,13 @@ class Fig8Result:
             return 0.0
         return float(np.max(self.window_error_rates))
 
-    def voltage_range(self) -> Tuple[float, float]:
+    def voltage_range(self) -> tuple[float, float]:
         """(min, max) supply voltage reached during the run."""
         return float(np.min(self.voltage_event_values)), float(
             np.max(self.voltage_event_values)
         )
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-able view: summary scalars plus both time series.
 
         The voltage trajectory is event-encoded (cycle of each regulator
@@ -436,18 +437,18 @@ class Fig8Result:
 
 
 def run_fig8(
-    design: Optional[BusDesign] = None,
-    workloads: Optional[WorkloadMapping] = None,
+    design: BusDesign | None = None,
+    workloads: WorkloadMapping | None = None,
     corner: PVTCorner = TYPICAL_CORNER,
-    n_cycles: Optional[int] = None,
+    n_cycles: int | None = None,
     seed: int = 2005,
     benchmark_order: Sequence[str] = TABLE1_ORDER,
-    policy: Optional[ControlPolicy] = None,
+    policy: ControlPolicy | None = None,
     window_cycles: int = 10_000,
     ramp_delay_cycles: int = 3000,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
 ) -> Fig8Result:
     """Reproduce Fig. 8: the suite run back-to-back under closed-loop DVS.
 

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+from typing import Any, TYPE_CHECKING
+from collections.abc import Callable
 
 from repro.analysis import reporting
 
@@ -39,7 +40,7 @@ from repro.bus.bus_model import CharacterizedBus
 from repro.circuit.pvt import TYPICAL_CORNER, WORST_CASE_CORNER
 from repro.trace.generator import generate_suite, suite_sources
 
-ExperimentRunner = Callable[..., Tuple[Any, str]]
+ExperimentRunner = Callable[..., tuple[Any, str]]
 
 
 @dataclass(frozen=True)
@@ -51,11 +52,11 @@ class Experiment:
     description: str
     runner: ExperimentRunner
 
-    def run(self, **kwargs: Any) -> Tuple[Any, str]:
+    def run(self, **kwargs: Any) -> tuple[Any, str]:
         """Execute the experiment; returns (result object, formatted text)."""
         return self.runner(**kwargs)
 
-    def job(self, **kwargs: Any) -> "JobSpec":
+    def job(self, **kwargs: Any) -> JobSpec:
         """The runtime :class:`~repro.runtime.spec.JobSpec` for this entry.
 
         The spec's content hash covers the experiment id and every keyword
@@ -67,7 +68,7 @@ class Experiment:
         return JobSpec("experiment", {"identifier": self.identifier, **kwargs})
 
 
-def accepted_kwargs(function: Callable[..., Any], candidates: Dict[str, Any]) -> Dict[str, Any]:
+def accepted_kwargs(function: Callable[..., Any], candidates: dict[str, Any]) -> dict[str, Any]:
     """The subset of ``candidates`` that ``function`` names as parameters.
 
     Used to thread workload-scale knobs (``n_cycles``, ``chunk_cycles``,
@@ -92,34 +93,34 @@ def _suite(n_cycles: int, seed: int):
     return generate_suite(n_cycles=n_cycles, seed=seed)
 
 
-def _run_fig4(corner, n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_fig4(corner, n_cycles: int = 60_000, seed: int = 2005) -> tuple[Any, str]:
     design = BusDesign.paper_bus()
     bus = CharacterizedBus(design, corner)
     sweep = run_static_voltage_sweep(bus, _suite(n_cycles, seed))
     return sweep, reporting.format_static_sweep(sweep)
 
 
-def _run_fig4a(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_fig4a(n_cycles: int = 60_000, seed: int = 2005) -> tuple[Any, str]:
     return _run_fig4(WORST_CASE_CORNER, n_cycles, seed)
 
 
-def _run_fig4b(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_fig4b(n_cycles: int = 60_000, seed: int = 2005) -> tuple[Any, str]:
     return _run_fig4(TYPICAL_CORNER, n_cycles, seed)
 
 
-def _run_fig5(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_fig5(n_cycles: int = 60_000, seed: int = 2005) -> tuple[Any, str]:
     design = BusDesign.paper_bus()
     study = run_corner_gain_study(design, _suite(n_cycles, seed))
     return study, reporting.format_corner_gain_study(study)
 
 
-def _run_fig6(n_cycles: int = 120_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_fig6(n_cycles: int = 120_000, seed: int = 2005) -> tuple[Any, str]:
     design = BusDesign.paper_bus()
     study = run_oracle_residency(design, _suite(n_cycles, seed))
     return study, reporting.format_oracle_residency(study)
 
 
-def _workload_mapping(workload: str, n_cycles: Optional[int], seed: int):
+def _workload_mapping(workload: str, n_cycles: int | None, seed: int):
     """Resolve a ``--workload`` selector into named streaming sources.
 
     Generative workloads default to the same paper scale as the selector-less
@@ -155,13 +156,13 @@ def _workload_mapping(workload: str, n_cycles: Optional[int], seed: int):
 
 
 def _run_table1(
-    n_cycles: Optional[int] = None,
+    n_cycles: int | None = None,
     seed: int = 2005,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
-    workload: Optional[str] = None,
-) -> Tuple[Any, str]:
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
+    workload: str | None = None,
+) -> tuple[Any, str]:
     # n_cycles=None runs the paper's 10 M cycles per benchmark through the
     # streaming pipeline (O(chunk) memory); pass --cycles to scale down.
     # workload restricts/replaces the suite with comma-separated registry
@@ -190,10 +191,10 @@ def _run_table1(
 def _run_table1_kernels(
     n_cycles: int = 60_000,
     seed: int = 2005,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
-) -> Tuple[Any, str]:
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
+) -> tuple[Any, str]:
     # Cross-workload Table 1: the 10 synthetic benchmarks next to all 7
     # executed mini-CPU kernels, per-SimPoint-spirit scenario diversity.  The
     # default scale keeps the (interpreted) kernel executions interactive;
@@ -216,13 +217,13 @@ def _run_table1_kernels(
 
 
 def _run_fig8(
-    n_cycles: Optional[int] = None,
+    n_cycles: int | None = None,
     seed: int = 2005,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
-    workload: Optional[str] = None,
-) -> Tuple[Any, str]:
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
+    workload: str | None = None,
+) -> tuple[Any, str]:
     if workload is not None:
         workloads, effective, design = _workload_mapping(workload, n_cycles, seed)
         result = run_fig8(
@@ -242,17 +243,17 @@ def _run_fig8(
     return result, reporting.format_fig8(result)
 
 
-def _run_fig10(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_fig10(n_cycles: int = 60_000, seed: int = 2005) -> tuple[Any, str]:
     study = run_modified_bus_study(n_cycles=n_cycles, seed=seed)
     return study, reporting.format_modified_bus_study(study)
 
 
-def _run_scaling(**_: Any) -> Tuple[Any, str]:
+def _run_scaling(**_: Any) -> tuple[Any, str]:
     study = run_technology_scaling_study()
     return study, reporting.format_technology_scaling(study)
 
 
-def _run_baselines(n_cycles: int = 20_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_baselines(n_cycles: int = 20_000, seed: int = 2005) -> tuple[Any, str]:
     from repro.baselines import format_scheme_comparison, run_scheme_comparison
 
     design = BusDesign.paper_bus()
@@ -272,7 +273,7 @@ def _run_baselines(n_cycles: int = 20_000, seed: int = 2005) -> Tuple[Any, str]:
     return comparisons, text
 
 
-def _run_encoding(n_cycles: int = 20_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_encoding(n_cycles: int = 20_000, seed: int = 2005) -> tuple[Any, str]:
     from repro.encoding import format_encoding_study, run_encoding_study
     from repro.trace.generator import generate_benchmark_trace
 
@@ -289,7 +290,7 @@ def _run_encoding(n_cycles: int = 20_000, seed: int = 2005) -> Tuple[Any, str]:
     return studies, text
 
 
-def _run_ipc(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_ipc(n_cycles: int = 60_000, seed: int = 2005) -> tuple[Any, str]:
     from repro.arch import PIPELINE_MODELS, evaluate_ipc_impact
     from repro.core.dvs_system import DVSBusSystem
     from repro.trace.generator import generate_benchmark_trace
@@ -318,7 +319,7 @@ def _run_ipc(n_cycles: int = 60_000, seed: int = 2005) -> Tuple[Any, str]:
     return impacts, text
 
 
-def _run_shielding(**_: Any) -> Tuple[Any, str]:
+def _run_shielding(**_: Any) -> tuple[Any, str]:
     from repro.interconnect.design_space import (
         format_shield_interval_study,
         run_shield_interval_study,
@@ -328,7 +329,7 @@ def _run_shielding(**_: Any) -> Tuple[Any, str]:
     return study, format_shield_interval_study(study)
 
 
-def _run_sensitivity(n_cycles: int = 150_000, seed: int = 2005) -> Tuple[Any, str]:
+def _run_sensitivity(n_cycles: int = 150_000, seed: int = 2005) -> tuple[Any, str]:
     # The longest swept window needs ~15 windows of descent plus a steady-state
     # measurement region, so this entry defaults to a longer trace than the
     # figure experiments.
@@ -353,7 +354,7 @@ def _run_sensitivity(n_cycles: int = 150_000, seed: int = 2005) -> Tuple[Any, st
 
 
 #: All experiments of the paper's evaluation, keyed by their DESIGN.md id.
-EXPERIMENTS: Dict[str, Experiment] = {
+EXPERIMENTS: dict[str, Experiment] = {
     "fig4a": Experiment(
         "fig4a",
         "Fig. 4(a)",
@@ -445,8 +446,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
 
 
 def run_experiment(
-    identifier: str, cache: Optional["ResultCache"] = None, **kwargs: Any
-) -> Tuple[Any, str]:
+    identifier: str, cache: "ResultCache" | None = None, **kwargs: Any
+) -> tuple[Any, str]:
     """Run one experiment by id; raises ``KeyError`` for unknown ids.
 
     Parameters

@@ -17,7 +17,7 @@ Two studies:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 from repro.analysis.static_scaling import CornerGainStudy, run_corner_gain_study
 from repro.bus.bus_design import BusDesign
@@ -56,16 +56,16 @@ class ModifiedBusStudy:
         modified = self.modified_study.gains_for_target(0.0)
         return all(abs(a - b) < 4.0 for a, b in zip(original, modified))
 
-    def gain_improvement_percent(self, target: float) -> Dict[int, float]:
+    def gain_improvement_percent(self, target: float) -> dict[int, float]:
         """Per-corner gain improvement (modified minus original) at one target."""
-        improvements: Dict[int, float] = {}
+        improvements: dict[int, float] = {}
         for original, modified in zip(self.original_study.points, self.modified_study.points):
             improvements[original.corner_index] = (
                 modified.gains_percent[target] - original.gains_percent[target]
             )
         return improvements
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-able view: both corner studies plus the closed-loop delta."""
         return {
             "ratio_multiplier": float(self.ratio_multiplier),
@@ -85,8 +85,8 @@ class ModifiedBusStudy:
 
 
 def run_modified_bus_study(
-    design: Optional[BusDesign] = None,
-    workloads: Optional[Mapping[str, BusTrace]] = None,
+    design: BusDesign | None = None,
+    workloads: Mapping[str, BusTrace] | None = None,
     ratio_multiplier: float = PAPER_COUPLING_RATIO_MULTIPLIER,
     targets: Sequence[float] = (0.0, 0.02, 0.05),
     n_cycles: int = DEFAULT_CYCLES_PER_BENCHMARK,
@@ -115,7 +115,7 @@ def run_modified_bus_study(
         modified_design, workloads, targets=targets, design_label="modified bus"
     )
 
-    def closed_loop_gain(bus_design: BusDesign) -> Tuple[float, float]:
+    def closed_loop_gain(bus_design: BusDesign) -> tuple[float, float]:
         bus = CharacterizedBus(bus_design, closed_loop_corner)
         system = DVSBusSystem(
             bus, window_cycles=window_cycles, ramp_delay_cycles=ramp_delay_cycles
@@ -155,8 +155,8 @@ class TechnologyScalingStudy:
     """Section 6 trend: delay-spread figure of merit across technology nodes."""
 
     segment_length: float
-    spread_by_node: Dict[str, float]
-    normalized_spread: Dict[str, float]
+    spread_by_node: dict[str, float]
+    normalized_spread: dict[str, float]
 
     @property
     def monotonically_increasing(self) -> bool:
@@ -164,7 +164,7 @@ class TechnologyScalingStudy:
         values = list(self.spread_by_node.values())
         return all(later >= earlier for earlier, later in zip(values, values[1:]))
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-able view: per-node spread, largest node first."""
         return {
             "segment_length_mm": round(self.segment_length * 1e3, 3),

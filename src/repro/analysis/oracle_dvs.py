@@ -11,7 +11,7 @@ which is exactly what the closed-loop controller later harvests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 from repro.bus.bus_design import BusDesign
 from repro.bus.bus_model import CharacterizedBus
@@ -21,10 +21,10 @@ from repro.core.oracle import OracleSchedule, oracle_voltage_schedule
 from repro.trace.trace import BusTrace
 
 #: The three programs the paper plots in Fig. 6.
-FIG6_BENCHMARKS: Tuple[str, ...] = ("crafty", "vortex", "mgrid")
+FIG6_BENCHMARKS: tuple[str, ...] = ("crafty", "vortex", "mgrid")
 
 #: The two error-rate targets of Fig. 6.
-FIG6_TARGETS: Tuple[float, ...] = (0.02, 0.05)
+FIG6_TARGETS: tuple[float, ...] = (0.02, 0.05)
 
 
 @dataclass(frozen=True)
@@ -33,7 +33,7 @@ class ResidencyEntry:
 
     benchmark: str
     target_error_rate: float
-    residency: Dict[float, float]
+    residency: dict[float, float]
     schedule: OracleSchedule
 
     @property
@@ -41,7 +41,7 @@ class ResidencyEntry:
         """Voltage at which the program spends the largest share of its time."""
         return max(self.residency, key=self.residency.get)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Plain-dict view for reporting: residency keyed by millivolts."""
         return {
             "benchmark": self.benchmark,
@@ -61,7 +61,7 @@ class OracleResidencyStudy:
 
     corner: PVTCorner
     window_cycles: int
-    entries: Tuple[ResidencyEntry, ...]
+    entries: tuple[ResidencyEntry, ...]
 
     def entry(self, benchmark: str, target: float) -> ResidencyEntry:
         """Look up the entry of one (benchmark, target) pair."""
@@ -72,7 +72,7 @@ class OracleResidencyStudy:
                 return candidate
         raise KeyError(f"no entry for benchmark={benchmark!r}, target={target}")
 
-    def dominant_voltages(self, target: float) -> Dict[str, float]:
+    def dominant_voltages(self, target: float) -> dict[str, float]:
         """Dominant residency voltage per benchmark at one target rate."""
         return {
             entry.benchmark: entry.dominant_voltage
@@ -80,7 +80,7 @@ class OracleResidencyStudy:
             if abs(entry.target_error_rate - target) < 1e-12
         }
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-able view: one residency entry per (benchmark, target)."""
         return {
             "corner": self.corner.label,
@@ -96,7 +96,7 @@ def run_oracle_residency(
     targets: Sequence[float] = FIG6_TARGETS,
     corner: PVTCorner = TYPICAL_CORNER,
     window_cycles: int = DEFAULT_WINDOW_CYCLES,
-    bus: Optional[CharacterizedBus] = None,
+    bus: CharacterizedBus | None = None,
 ) -> OracleResidencyStudy:
     """Reproduce Fig. 6: oracle voltage residency per program and error target.
 

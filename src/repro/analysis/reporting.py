@@ -7,7 +7,7 @@ pulling in any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.analysis.dynamic_dvs import Fig8Result, Table1Result
 from repro.analysis.modified_bus import ModifiedBusStudy, TechnologyScalingStudy
@@ -17,7 +17,7 @@ from repro.analysis.static_scaling import CornerGainStudy, StaticScalingSweep
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     """Format a simple fixed-width text table."""
-    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    rendered_rows: list[list[str]] = [[str(cell) for cell in row] for row in rows]
     widths = [len(header) for header in headers]
     for row in rendered_rows:
         for index, cell in enumerate(row):
@@ -63,7 +63,7 @@ def format_corner_gain_study(study: CornerGainStudy) -> str:
 
 def format_table1(result: Table1Result) -> str:
     """The paper's Table 1 layout: one block per corner plus a totals line."""
-    blocks: List[str] = []
+    blocks: list[str] = []
     for corner_result in result.corners:
         rows = [
             (
@@ -113,7 +113,7 @@ def format_fig8(result: Fig8Result, max_points: int = 40) -> str:
 
 def format_oracle_residency(study: OracleResidencyStudy) -> str:
     """Fig. 6 style table: voltage residency per benchmark and target."""
-    blocks: List[str] = []
+    blocks: list[str] = []
     for entry in study.entries:
         residency: Mapping[float, float] = entry.residency
         rows = [

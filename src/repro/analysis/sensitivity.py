@@ -17,7 +17,7 @@ returning the same small result structure so reports stay uniform:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from repro.bus.bus_design import BusDesign
 from repro.bus.bus_model import CharacterizedBus, TraceStatistics
@@ -67,7 +67,7 @@ class SensitivityStudy:
     parameter: str
     corner: PVTCorner
     workload_name: str
-    points: Tuple[SensitivityPoint, ...]
+    points: tuple[SensitivityPoint, ...]
 
     def best_gain(self) -> SensitivityPoint:
         """The point with the highest energy gain."""
@@ -101,7 +101,7 @@ def format_sensitivity_study(study: SensitivityStudy) -> str:
 
 def _steady_state_metrics(
     system: DVSBusSystem, stats: TraceStatistics, warmup_fraction: float
-) -> Tuple[float, float, float]:
+) -> tuple[float, float, float]:
     warmup = int(warmup_fraction * stats.n_cycles)
     result = system.run(stats, warmup_cycles=warmup)
     return (
@@ -116,7 +116,7 @@ def _sweep(
     bus: CharacterizedBus,
     stats: TraceStatistics,
     workload_name: str,
-    entries: Sequence[Tuple[str, float, Callable[[], DVSBusSystem]]],
+    entries: Sequence[tuple[str, float, Callable[[], DVSBusSystem]]],
     warmup_fraction: float,
 ) -> SensitivityStudy:
     points = []
@@ -138,7 +138,7 @@ def _sweep(
 
 def _prepare(
     workload: BusTrace | TraceStatistics, bus: CharacterizedBus
-) -> Tuple[TraceStatistics, str]:
+) -> tuple[TraceStatistics, str]:
     if isinstance(workload, BusTrace):
         return bus.analyze(workload.values), workload.name
     return workload, "workload"
@@ -198,7 +198,7 @@ def run_ramp_delay_sensitivity(
 def run_error_band_sensitivity(
     bus: CharacterizedBus,
     workload: BusTrace | TraceStatistics,
-    bands: Sequence[Tuple[float, float]] = ((0.0, 0.005), (0.005, 0.01), (0.01, 0.02), (0.02, 0.05)),
+    bands: Sequence[tuple[float, float]] = ((0.0, 0.005), (0.005, 0.01), (0.01, 0.02), (0.02, 0.05)),
     window_cycles: int = 2_000,
     ramp_delay_cycles: int = 600,
     warmup_fraction: float = 0.5,

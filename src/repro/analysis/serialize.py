@@ -23,7 +23,8 @@ in-memory one.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Sequence
+from typing import Any
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -52,7 +53,7 @@ def json_clean(value: Any) -> Any:
     raise TypeError(f"cannot serialise {type(value).__name__!r} value {value!r} to JSON")
 
 
-def experiment_payload(identifier: str, result: Any) -> Dict[str, Any]:
+def experiment_payload(identifier: str, result: Any) -> dict[str, Any]:
     """The stable JSON payload of one experiment's result object.
 
     Parameters

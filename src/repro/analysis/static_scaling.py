@@ -15,7 +15,7 @@ Two studies live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -34,9 +34,7 @@ from repro.utils.validation import check_fraction
 
 #: Workload forms the static studies accept: per-benchmark traces/sources,
 #: or already-reduced statistics.
-WorkloadsLike = Union[
-    Mapping[str, Union[BusTrace, TraceSource]], TraceStatistics, TraceSummary
-]
+WorkloadsLike = Mapping[str, BusTrace | TraceSource] | TraceStatistics | TraceSummary
 
 
 @dataclass(frozen=True)
@@ -48,7 +46,7 @@ class StaticScalingPoint:
     normalized_bus_energy: float
     normalized_total_energy: float
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Plain-dict view (for tabular reporting and serialisation)."""
         return {
             "vdd_mV": round(self.vdd * 1000.0, 1),
@@ -63,7 +61,7 @@ class StaticScalingSweep:
     """Result of a Fig. 4 style sweep at one corner."""
 
     corner: PVTCorner
-    points: Tuple[StaticScalingPoint, ...]
+    points: tuple[StaticScalingPoint, ...]
 
     @property
     def voltages(self) -> np.ndarray:
@@ -88,7 +86,7 @@ class StaticScalingSweep:
             raise ValueError(f"no swept voltage meets an error-rate target of {target}")
         return min(eligible)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-able view: the swept points plus derived Fig. 4 metrics."""
         return {
             "corner": self.corner.label,
@@ -103,7 +101,7 @@ def combine_statistics(
     bus: CharacterizedBus, workloads: Mapping[str, BusTrace]
 ) -> TraceStatistics:
     """Concatenate the per-benchmark statistics of a suite (paper Fig. 4 setup)."""
-    combined: Optional[TraceStatistics] = None
+    combined: TraceStatistics | None = None
     for trace in workloads.values():
         stats = bus.analyze(trace.values)
         combined = stats if combined is None else combined.concatenate(stats)
@@ -114,9 +112,9 @@ def combine_statistics(
 
 def combine_summaries(
     bus: CharacterizedBus,
-    workloads: Mapping[str, Union[BusTrace, TraceSource]],
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
+    workloads: Mapping[str, BusTrace | TraceSource],
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
 ) -> TraceSummary:
     """Reduce a suite of traces/sources to one :class:`TraceSummary`.
 
@@ -138,9 +136,9 @@ def combine_summaries(
 def resolve_workload_statistics(
     bus: CharacterizedBus,
     workloads: WorkloadsLike,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-) -> Union[TraceStatistics, TraceSummary]:
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+) -> TraceStatistics | TraceSummary:
     """Normalise a static-study workload argument to evaluable statistics.
 
     Pre-computed statistics/summaries pass through; mappings of traces keep
@@ -157,9 +155,9 @@ def resolve_workload_statistics(
 def run_static_voltage_sweep(
     bus: CharacterizedBus,
     workloads: WorkloadsLike,
-    v_stop: Optional[float] = None,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
+    v_stop: float | None = None,
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
 ) -> StaticScalingSweep:
     """Sweep the static supply at one corner and measure error rate and energy.
 
@@ -188,7 +186,7 @@ def run_static_voltage_sweep(
         )
     reference = bus.nominal_energy(stats)
 
-    points: List[StaticScalingPoint] = []
+    points: list[StaticScalingPoint] = []
     for vdd in reversed(bus.grid.voltages.tolist()):
         if vdd < v_stop - 1e-12:
             break
@@ -233,10 +231,10 @@ class CornerGainPoint:
     corner_index: int
     corner: PVTCorner
     nominal_delay: float
-    gains_percent: Dict[float, float]
-    voltages: Dict[float, float]
+    gains_percent: dict[float, float]
+    voltages: dict[float, float]
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Plain-dict view for reporting."""
         return {
             "corner": self.corner.label,
@@ -253,18 +251,18 @@ class CornerGainStudy:
     """Fig. 5 / Fig. 10: energy gains vs corner delay for several error targets."""
 
     design_label: str
-    targets: Tuple[float, ...]
-    points: Tuple[CornerGainPoint, ...]
+    targets: tuple[float, ...]
+    points: tuple[CornerGainPoint, ...]
 
-    def gains_for_target(self, target: float) -> List[float]:
+    def gains_for_target(self, target: float) -> list[float]:
         """Energy gains (percent) of every corner for one error-rate target."""
         return [point.gains_percent[target] for point in self.points]
 
-    def delays_ps(self) -> List[float]:
+    def delays_ps(self) -> list[float]:
         """Nominal-voltage worst-case delays (ps) of every corner (the X axis)."""
         return [point.nominal_delay * 1e12 for point in self.points]
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-able view: targets plus one entry per corner."""
         return {
             "design_label": self.design_label,
@@ -275,11 +273,11 @@ class CornerGainStudy:
 
 def run_corner_gain_study(
     design: BusDesign,
-    workloads: Mapping[str, Union[BusTrace, TraceSource]],
+    workloads: Mapping[str, BusTrace | TraceSource],
     targets: Sequence[float] = (0.0, 0.02, 0.05),
-    corners: Optional[Mapping[int, PVTCorner]] = None,
+    corners: Mapping[int, PVTCorner] | None = None,
     design_label: str = "original bus",
-    chunk_cycles: Optional[int] = None,
+    chunk_cycles: int | None = None,
 ) -> CornerGainStudy:
     """Reproduce Fig. 5 (or Fig. 10 when given the modified bus design).
 
@@ -294,7 +292,7 @@ def run_corner_gain_study(
     if corners is None:
         corners = STANDARD_CORNERS
 
-    points: List[CornerGainPoint] = []
+    points: list[CornerGainPoint] = []
     for index in sorted(corners):
         corner = corners[index]
         bus = CharacterizedBus(design, corner)
@@ -305,8 +303,8 @@ def run_corner_gain_study(
             design.nominal_vdd, design.topology.max_coupling_factor
         )
 
-        gains: Dict[float, float] = {}
-        voltages: Dict[float, float] = {}
+        gains: dict[float, float] = {}
+        voltages: dict[float, float] = {}
         for target in targets:
             voltage = sweep.lowest_voltage_for_error_rate(target)
             error_rate = bus.error_rate(stats, voltage)

@@ -1,0 +1,80 @@
+"""The committed findings baseline: tolerated debt with a one-way ratchet.
+
+A baseline entry records a finding's fingerprint plus enough human-readable
+context (rule, path, message) to review it without re-running the analyzer.
+The engine treats baselined findings as non-fatal; CI fails the build if the
+baseline *grows* (new findings must be fixed or suppressed with rationale,
+never silently added to the debt pile) and `--strict` also fails on stale
+entries so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.engine import Finding
+
+__all__ = ["Baseline", "default_baseline_path"]
+
+_SCHEMA = 1
+
+
+def default_baseline_path(root: Path) -> Path:
+    """``<repo>/.repro-analyze-baseline.json`` for a ``src/`` analysis root."""
+    repo = root.parent if root.name == "src" else root
+    return repo / ".repro-analyze-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file: fingerprints plus their recorded context."""
+
+    entries: list[dict[str, str]] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> frozenset[str]:
+        return frozenset(entry["fingerprint"] for entry in self.entries)
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Parse ``path``; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
+            raise ValueError(
+                f"{path} is not a schema-{_SCHEMA} repro-analyze baseline "
+                f"(schema={data.get('schema') if isinstance(data, dict) else None!r})"
+            )
+        entries = data.get("findings", [])
+        for entry in entries:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+        return cls(entries=list(entries))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> Baseline:
+        """Build a baseline accepting exactly ``findings`` as debt."""
+        entries = [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "fingerprint": finding.fingerprint,
+            }
+            for finding in sorted(findings, key=lambda finding: finding.sort_key)
+        ]
+        # One fingerprint per entry even if a finding repeats on several lines.
+        seen: set[str] = set()
+        unique = []
+        for entry in entries:
+            if entry["fingerprint"] not in seen:
+                seen.add(entry["fingerprint"])
+                unique.append(entry)
+        return cls(entries=unique)
+
+    def save(self, path: Path) -> None:
+        payload = {"schema": _SCHEMA, "findings": self.entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")

@@ -1,0 +1,139 @@
+"""The ``repro analyze`` subcommand.
+
+Thin argparse layer over :func:`repro.analyze.engine.analyze_project`:
+resolve the root and baseline, run the rules, render text or JSON, and turn
+the report into an exit code.  ``--update-baseline`` rewrites the committed
+baseline to exactly the current findings (the only sanctioned way to grow
+it -- code review sees the diff).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO
+
+from repro.analyze.baseline import Baseline, default_baseline_path
+from repro.analyze.engine import RULE_CATALOG, analyze_project, default_source_root
+
+__all__ = ["add_arguments", "run"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install ``repro analyze``'s options on ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the whole tree under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="source root whose modules are analyzed (default: the installed repro src/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: .repro-analyze-baseline.json beside the root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="restrict to these rule ids (e.g. DET001,LCK002)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is the CI artifact format)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (debt must shrink with the code)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept all current findings, then exit 0",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _list_rules(stream: IO[str]) -> None:
+    for info in RULE_CATALOG:
+        stream.write(f"{info.id}  {info.summary}\n")
+        stream.write(f"        {info.rationale}\n")
+
+
+def run(options: argparse.Namespace, stream: IO[str] | None = None) -> int:
+    """Execute ``repro analyze`` with parsed ``options``; returns the exit code."""
+    out: IO[str] = stream if stream is not None else sys.stdout
+    if options.list_rules:
+        _list_rules(out)
+        return 0
+
+    root = options.root.resolve() if options.root is not None else default_source_root()
+    baseline_path = (
+        options.baseline if options.baseline is not None else default_baseline_path(root)
+    )
+    baseline = None if options.no_baseline else Baseline.load(baseline_path)
+    rules = (
+        frozenset(rule.strip() for rule in options.rules.split(",") if rule.strip())
+        if options.rules
+        else None
+    )
+    paths: list[Path] | None = None
+    if options.paths:
+        paths = [path.resolve() for path in options.paths]
+        for path in paths:
+            # Fail with a message, not a traceback: module names are derived
+            # relative to the root, so a path outside it cannot be analyzed.
+            if not path.exists():
+                out.write(f"repro analyze: no such file or directory: {path}\n")
+                return 2
+            if not path.is_relative_to(root):
+                out.write(
+                    f"repro analyze: {path} is outside the source root {root}; "
+                    "pass --root to analyze a different tree\n"
+                )
+                return 2
+    report = analyze_project(root=root, paths=paths, baseline=baseline, rules=rules)
+
+    if options.update_baseline:
+        accepted = report.findings + report.baselined
+        Baseline.from_findings(accepted).save(baseline_path)
+        out.write(
+            f"baseline updated: {len(accepted)} finding(s) recorded in {baseline_path}\n"
+        )
+        return 0
+
+    if options.format == "json":
+        out.write(report.render_json() + "\n")
+    else:
+        out.write(report.render_text(verbose=options.verbose) + "\n")
+
+    if report.findings:
+        return 1
+    if options.strict and report.stale_baseline:
+        return 1
+    return 0

@@ -1,0 +1,290 @@
+"""Determinism lint (DET001-DET004).
+
+The *deterministic zone* is the transitive import closure of the task and
+experiment entry points (:attr:`AnalysisConfig.deterministic_seeds`): any code
+a registered task can reach contributes to results that are cached purely by
+``JobSpec.key``, so nothing in the zone may consult ambient state -- OS
+entropy, the wall clock, hash-randomized iteration order -- or accumulate
+floats in ways the chunk-invariance contract does not bless.
+
+Rules:
+
+* **DET001** -- RNG construction that draws fresh OS entropy
+  (``np.random.default_rng()`` / ``SeedSequence()`` with no seed, the legacy
+  ``np.random.*`` global-state functions, stdlib ``random``).
+* **DET002** -- wall-clock reads (``time.time``, ``datetime.now``, ...).
+  Monotonic clocks are fine: they time *the run*, not the result.
+* **DET003** -- iteration over set expressions (hash order) and
+  ``json.dumps`` without ``sort_keys=True`` (insertion order) feeding
+  serialized output.
+* **DET004** -- float ``+=`` accumulation inside chunk/segment loops outside
+  the blessed accumulator types whose merge rules are proven order-safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analyze.engine import AnalysisConfig, Finding
+from repro.analyze.source import ModuleSource, Project, resolve_dotted
+
+__all__ = ["check"]
+
+#: Entropy-drawing callables when invoked with no seed argument.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.Generator",  # Generator(PCG64()) -- the bit generator is the seed site
+    }
+)
+
+#: Legacy numpy global-RNG functions: always nondeterministic process state.
+_NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "numpy.random.seed",
+        "numpy.random.random",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random_sample",
+        "numpy.random.normal",
+        "numpy.random.uniform",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.bytes",
+        "numpy.random.get_state",
+        "numpy.random.set_state",
+    }
+)
+
+#: Wall-clock reads.  ``time.monotonic``/``perf_counter`` are deliberately
+#: absent -- they measure the run, not the result.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Accumulation targets whose names mark them as integer counters (int
+#: addition is associative, so chunk order cannot change the result).
+_COUNTER_PREFIXES = ("n_", "num_", "idx", "index", "seq", "count")
+_COUNTER_SUFFIXES = (
+    "count",
+    "counts",
+    "cycles",
+    "transitions",
+    "_n",
+    "_len",
+    "length",
+    "fill",
+    "position",
+    "done",
+    "take",
+)
+
+
+def _is_counter_name(name: str) -> bool:
+    lowered = name.lower()
+    return lowered.startswith(_COUNTER_PREFIXES) or lowered.endswith(_COUNTER_SUFFIXES)
+
+
+def _no_seed_argument(call: ast.Call) -> bool:
+    """True when the call passes no seed (no args, or an explicit ``None``)."""
+    if not call.args and not call.keywords:
+        return True
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in call.keywords:
+        if keyword.arg in ("seed", "entropy"):
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is None
+    return False
+
+
+def _chunk_loop_hint(node: ast.For) -> bool:
+    """Whether a loop's target or iterable names a chunk/segment traversal."""
+    for sub in list(ast.walk(node.target)) + list(ast.walk(node.iter)):
+        name: str | None = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None:
+            lowered = name.lower()
+            if "chunk" in lowered or "segment" in lowered:
+                return True
+    return False
+
+
+def _augtarget_name(target: ast.expr) -> str | None:
+    """The simple name being accumulated into, or ``None`` for complex targets."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+        return target.attr
+    return None
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """One pass over a zone module collecting all four DET findings."""
+
+    def __init__(self, source: ModuleSource, config: AnalysisConfig) -> None:
+        self.source = source
+        self.config = config
+        self.findings: list[Finding] = []
+        self._class_stack: list[str] = []
+        self._chunk_loop_depth = 0
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.source.rel_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    # ---------------------------------------------------------------- #
+    # DET001 / DET002 / DET003(json)
+    # ---------------------------------------------------------------- #
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = resolve_dotted(node.func, self.source.aliases)
+        if dotted is not None:
+            if dotted in _SEEDABLE_CONSTRUCTORS and _no_seed_argument(node):
+                self._emit(
+                    "DET001",
+                    node,
+                    f"{dotted}() without a seed draws fresh OS entropy; "
+                    "thread a seed (see repro.utils.rng.make_rng)",
+                )
+            elif dotted in _NUMPY_GLOBAL_RNG:
+                self._emit(
+                    "DET001",
+                    node,
+                    f"{dotted}() uses the legacy numpy global RNG (shared, "
+                    "unseedable per-job); use an explicit Generator",
+                )
+            elif dotted.startswith("random.") and dotted.count(".") == 1:
+                self._emit(
+                    "DET001",
+                    node,
+                    f"stdlib {dotted}() uses interpreter-global RNG state; "
+                    "use a seeded numpy Generator",
+                )
+            elif dotted in _WALL_CLOCK:
+                self._emit(
+                    "DET002",
+                    node,
+                    f"{dotted}() reads the wall clock inside the deterministic "
+                    "zone; results must depend only on parameters "
+                    "(time.monotonic is fine for telemetry)",
+                )
+            elif dotted == "json.dumps":
+                has_sort = any(
+                    keyword.arg == "sort_keys"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in node.keywords
+                )
+                if not has_sort and not any(keyword.arg is None for keyword in node.keywords):
+                    self._emit(
+                        "DET003",
+                        node,
+                        "json.dumps without sort_keys=True serializes insertion "
+                        "order, not content; byte output becomes layout-dependent",
+                    )
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------------- #
+    # DET003 (set iteration)
+    # ---------------------------------------------------------------- #
+    def _iter_is_set_expr(self, iterable: ast.expr) -> bool:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(iterable, ast.Call):
+            dotted = resolve_dotted(iterable.func, self.source.aliases)
+            return dotted in ("set", "frozenset")
+        return False
+
+    def _check_set_iteration(self, iterable: ast.expr, node: ast.AST) -> None:
+        if self._iter_is_set_expr(iterable):
+            self._emit(
+                "DET003",
+                node,
+                "iterating a set directly exposes hash order; wrap in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iteration(node.iter, node)
+        entered_chunk = _chunk_loop_hint(node)
+        if entered_chunk:
+            self._chunk_loop_depth += 1
+        self.generic_visit(node)
+        if entered_chunk:
+            self._chunk_loop_depth -= 1
+
+    def _visit_comprehension(self, node: ast.AST, generators: list[ast.comprehension]) -> None:
+        for generator in generators:
+            self._check_set_iteration(generator.iter, node)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    # ---------------------------------------------------------------- #
+    # DET004 (float accumulation in chunk loops)
+    # ---------------------------------------------------------------- #
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if (
+            self._chunk_loop_depth > 0
+            and isinstance(node.op, ast.Add)
+            and not (self._class_stack and self._class_stack[-1] in self.config.blessed_accumulators)
+        ):
+            name = _augtarget_name(node.target)
+            if name is not None and not _is_counter_name(name):
+                self._emit(
+                    "DET004",
+                    node,
+                    f"'{name} +=' inside a chunk/segment loop accumulates "
+                    "floats in traversal order; use a blessed accumulator "
+                    "(TraceStatisticsAccumulator et al.) or mark an integer "
+                    "counter with a *_count name",
+                )
+        self.generic_visit(node)
+
+
+def check(project: Project, config: AnalysisConfig) -> Iterator[Finding]:
+    """Run the determinism lint over the project's deterministic zone."""
+    zone = project.reachable_from(config.deterministic_seeds)
+    for module in sorted(zone):
+        if config.is_deterministic_exempt(module):
+            continue
+        source = project.modules[module]
+        visitor = _ModuleVisitor(source, config)
+        visitor.visit(source.tree)
+        yield from visitor.findings

@@ -1,0 +1,266 @@
+"""Source loading for the static analyzer: parsed modules and the project graph.
+
+The analyzer never imports the code it checks.  A :class:`ModuleSource` is a
+purely syntactic view of one file -- its text, its ``ast`` tree, the alias
+map of everything it imports, and its suppression comments -- and a
+:class:`Project` is the set of modules under one root directory plus the
+import graph between them.
+
+Two pieces of shared machinery live here because every rule family needs
+them:
+
+* **Alias resolution** (:attr:`ModuleSource.aliases`): maps local names to
+  the dotted path they were imported as (``np`` -> ``numpy``,
+  ``default_rng`` -> ``numpy.random.default_rng``), including lazy imports
+  inside function bodies.  :func:`resolve_dotted` turns an attribute chain
+  like ``np.random.default_rng`` into its canonical dotted name so rules
+  match on *what is called*, not on how the module spelled it.
+* **Suppressions**: a ``# repro: noqa[RULE1,RULE2]`` comment on a finding's
+  line suppresses exactly those rules there (comments are found with
+  :mod:`tokenize`, so the marker never matches inside a string literal).
+  ``# repro: key-irrelevant`` marks a task parameter as deliberately outside
+  the cache key (see :mod:`repro.analyze.cachekey`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ModuleSource",
+    "Project",
+    "load_module",
+    "resolve_dotted",
+]
+
+#: ``# repro: noqa[DET001]`` / ``# repro: noqa[DET001, LCK003]`` (reason text
+#: after the bracket is free-form and encouraged).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9_,\s]+)\]")
+
+#: ``# repro: key-irrelevant`` (optionally followed by free-form rationale).
+_KEY_IRRELEVANT_RE = re.compile(r"#\s*repro:\s*key-irrelevant\b")
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, with everything rules need precomputed."""
+
+    path: Path
+    #: Path relative to the project root, POSIX separators (stable across
+    #: checkouts; what findings and baselines record).
+    rel_path: str
+    #: Dotted module name relative to the project root.
+    module: str
+    text: str
+    tree: ast.Module
+    #: line -> rule ids suppressed on that line.
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: lines carrying a ``key-irrelevant`` annotation.
+    key_irrelevant_lines: frozenset[int] = frozenset()
+    #: local name -> dotted import path (module- and function-level imports).
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed on ``line`` of this module."""
+        return rule in self.suppressions.get(line, frozenset())
+
+
+def _collect_comments(text: str) -> list[tuple[int, str]]:
+    """``(line, comment_text)`` for every comment token in ``text``."""
+    comments: list[tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A file ast.parse accepted but tokenize chokes on (rare); fall back
+        # to no suppressions rather than failing the whole analysis.
+        return []
+    return comments
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted path for every import in the module (any depth)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".", 1)[0]
+                # ``import a.b`` binds ``a``; ``import a.b as c`` binds the full path.
+                aliases[local] = name.name if name.asname else name.name.split(".", 1)[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def load_module(path: Path, root: Path) -> ModuleSource | None:
+    """Parse one file into a :class:`ModuleSource` (``None`` on syntax error).
+
+    Unparseable files are the compiler's problem, not the analyzer's; the
+    engine reports them separately so a typo never masks real findings.
+    """
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError:
+        return None
+    rel = path.relative_to(root).as_posix()
+    module = rel[: -len(".py")].replace("/", ".")
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    suppressions: dict[int, frozenset[str]] = {}
+    key_irrelevant: set[int] = set()
+    for line, comment in _collect_comments(text):
+        match = _NOQA_RE.search(comment)
+        if match:
+            rules = frozenset(rule.strip() for rule in match.group(1).split(",") if rule.strip())
+            suppressions[line] = suppressions.get(line, frozenset()) | rules
+        if _KEY_IRRELEVANT_RE.search(comment):
+            key_irrelevant.add(line)
+    return ModuleSource(
+        path=path,
+        rel_path=rel,
+        module=module,
+        text=text,
+        tree=tree,
+        suppressions=suppressions,
+        key_irrelevant_lines=frozenset(key_irrelevant),
+        aliases=_collect_aliases(tree),
+    )
+
+
+def resolve_dotted(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The canonical dotted name of a ``Name``/``Attribute`` chain, or ``None``.
+
+    ``np.random.default_rng`` with ``np -> numpy`` resolves to
+    ``numpy.random.default_rng``; a chain rooted in anything other than a
+    plain name (a call result, a subscript) resolves to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+class Project:
+    """Every module under one root directory, plus the import graph.
+
+    The root is a *source* directory: module names are dotted paths relative
+    to it (for the real tree, ``src/`` -- so modules are ``repro.runtime.spec``
+    etc.; fixture projects use their own root and get short names).
+    """
+
+    def __init__(self, root: Path, modules: dict[str, ModuleSource], skipped: list[str]) -> None:
+        self.root = root
+        self.modules = modules
+        #: rel_paths of files that failed to parse.
+        self.skipped = skipped
+        self._imports: dict[str, frozenset[str]] | None = None
+
+    @classmethod
+    def load(cls, root: Path, paths: list[Path] | None = None) -> Project:
+        """Load ``paths`` (default: every ``*.py`` under ``root``) as a project.
+
+        A directory in ``paths`` stands for every ``*.py`` beneath it.
+        """
+        root = root.resolve()
+        if paths is None:
+            files = sorted(root.rglob("*.py"))
+        else:
+            files = sorted(
+                found
+                for path in paths
+                for found in (path.rglob("*.py") if path.is_dir() else (path,))
+            )
+        modules: dict[str, ModuleSource] = {}
+        skipped: list[str] = []
+        for path in files:
+            path = path.resolve()
+            if "__pycache__" in path.parts:
+                continue
+            source = load_module(path, root)
+            if source is None:
+                skipped.append(path.relative_to(root).as_posix())
+            else:
+                modules[source.module] = source
+        return cls(root, modules, skipped)
+
+    # ------------------------------------------------------------------ #
+    # Import graph
+    # ------------------------------------------------------------------ #
+    def _module_imports(self, source: ModuleSource) -> frozenset[str]:
+        """Project-internal modules ``source`` imports (any nesting depth)."""
+        found: set[str] = set()
+
+        def note(dotted: str) -> None:
+            # Longest known-module prefix: ``from repro.core import dvs_system``
+            # may name either a module or an attribute of one.
+            parts = dotted.split(".")
+            for end in range(len(parts), 0, -1):
+                candidate = ".".join(parts[:end])
+                if candidate in self.modules:
+                    found.add(candidate)
+                    return
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    note(name.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = source.module.split(".")
+                    # ``from . import x`` inside a package's module drops
+                    # ``level`` trailing components (the module itself counts
+                    # as one for non-package modules).
+                    prefix = base[: len(base) - node.level] if len(base) >= node.level else []
+                    stem = ".".join(prefix + ([node.module] if node.module else []))
+                else:
+                    stem = node.module or ""
+                if not stem:
+                    continue
+                note(stem)
+                for name in node.names:
+                    if name.name != "*":
+                        note(f"{stem}.{name.name}")
+        return frozenset(found)
+
+    @property
+    def imports(self) -> dict[str, frozenset[str]]:
+        """Module -> project-internal modules it imports."""
+        if self._imports is None:
+            self._imports = {
+                name: self._module_imports(source) for name, source in self.modules.items()
+            }
+        return self._imports
+
+    def reachable_from(self, seeds: tuple[str, ...]) -> frozenset[str]:
+        """Transitive import closure of ``seeds`` (seeds included).
+
+        Seeds that do not exist in the project are ignored; if *none* exist,
+        every module is considered reachable -- the right degenerate answer
+        for fixture projects that have no task registry at all.
+        """
+        frontier = [seed for seed in seeds if seed in self.modules]
+        if not frontier:
+            return frozenset(self.modules)
+        seen: set[str] = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for imported in self.imports.get(current, frozenset()):
+                if imported not in seen:
+                    seen.add(imported)
+                    frontier.append(imported)
+        return frozenset(seen)

@@ -11,7 +11,7 @@ would see can be quantified (the IPC ablation benchmark and the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -16,7 +16,6 @@ unit-testable, and to drive the worked pipeline example.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 from repro.utils.validation import check_positive
 
@@ -40,7 +39,7 @@ class LoadEntry:
     """
 
     tag: int
-    data: Optional[int] = None
+    data: int | None = None
     valid: bool = False
     replays: int = 0
 
@@ -57,7 +56,7 @@ class LoadDataBuffer:
     """
 
     capacity: int = 16
-    _entries: List[LoadEntry] = field(default_factory=list, repr=False)
+    _entries: list[LoadEntry] = field(default_factory=list, repr=False)
     _total_replays: int = field(default=0, repr=False)
     _total_deliveries: int = field(default=0, repr=False)
 

@@ -31,7 +31,6 @@ during control-loop transients are penalised realistically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 
@@ -139,6 +138,6 @@ AGGRESSIVE_OOO = PipelineModel(
 )
 
 #: The three models used by the IPC ablation benchmark, keyed by name.
-PIPELINE_MODELS: Dict[str, PipelineModel] = {
+PIPELINE_MODELS: dict[str, PipelineModel] = {
     model.name: model for model in (IN_ORDER_IPC1, MODEST_OOO, AGGRESSIVE_OOO)
 }

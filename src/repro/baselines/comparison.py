@@ -20,7 +20,7 @@ version of the argument the paper makes qualitatively in Section 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 from repro.baselines.canary import CanaryVoltageScaling
 from repro.baselines.scheme import SchemeResult
@@ -40,7 +40,7 @@ class SchemeComparison:
     corner: PVTCorner
     workload_name: str
     n_cycles: int
-    results: Tuple[SchemeResult, ...]
+    results: tuple[SchemeResult, ...]
 
     def by_scheme(self, scheme: str) -> SchemeResult:
         """Look up one scheme's result by name."""
@@ -70,7 +70,7 @@ class SchemeComparison:
 
 
 def _combine(bus: CharacterizedBus, traces: Sequence[BusTrace]) -> TraceStatistics:
-    combined: Optional[TraceStatistics] = None
+    combined: TraceStatistics | None = None
     for trace in traces:
         stats = bus.analyze(trace.values)
         combined = stats if combined is None else combined.concatenate(stats)
@@ -84,8 +84,8 @@ def run_scheme_comparison(
     traces: Sequence[BusTrace],
     corner: PVTCorner,
     *,
-    canary: Optional[CanaryVoltageScaling] = None,
-    triple_latch: Optional[TripleLatchMonitor] = None,
+    canary: CanaryVoltageScaling | None = None,
+    triple_latch: TripleLatchMonitor | None = None,
     window_cycles: int = 2_000,
     ramp_delay_cycles: int = 600,
     warmup_fraction: float = 0.5,

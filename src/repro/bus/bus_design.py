@@ -12,7 +12,6 @@ worst-case PVT corner, clocked at 1.5 GHz.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from repro.circuit.delay_model import DriverDelayModel
 from repro.circuit.mosfet import AlphaPowerModel
@@ -132,8 +131,8 @@ class BusDesign:
         clocking: ClockingParameters = PAPER_CLOCKING,
         design_corner: PVTCorner = WORST_CASE_CORNER,
         secondary_weight: float = 0.15,
-        parasitics: Optional[WireParasitics] = None,
-    ) -> "BusDesign":
+        parasitics: WireParasitics | None = None,
+    ) -> BusDesign:
         """Build the paper's bus and size its repeaters for the design corner.
 
         The repeaters are sized so the worst-case switching pattern meets the
@@ -170,7 +169,7 @@ class BusDesign:
             design_corner=design_corner,
         )
 
-    def with_modified_coupling(self, ratio_multiplier: float) -> "BusDesign":
+    def with_modified_coupling(self, ratio_multiplier: float) -> BusDesign:
         """The Section 6 "modified bus": higher Cc/Cg at constant worst-case load.
 
         The repeater sizes are intentionally *not* changed, because the
@@ -185,7 +184,7 @@ class BusDesign:
         )
         return replace(self, parasitics=modified)
 
-    def with_clocking(self, clocking: ClockingParameters) -> "BusDesign":
+    def with_clocking(self, clocking: ClockingParameters) -> BusDesign:
         """Return a copy of this design with different clocking parameters.
 
         Note that the repeater sizing is not revisited; use

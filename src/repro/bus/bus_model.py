@@ -23,7 +23,8 @@ to hold, so the model also supports *streaming reductions*:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union
+from typing import TYPE_CHECKING
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -59,7 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.chardb.database import CharacterizationDatabase
     from repro.runtime.parallel import ParallelChunkScheduler
 
-VoltageLike = Union[float, np.ndarray]
+VoltageLike = float | np.ndarray
 
 
 @dataclass(frozen=True)
@@ -98,7 +99,7 @@ class TraceStatistics:
         """Number of simulated cycles (transitions)."""
         return len(self.worst_coupling)
 
-    def slice(self, start: int, stop: int) -> "TraceStatistics":
+    def slice(self, start: int, stop: int) -> TraceStatistics:
         """Statistics of a contiguous sub-interval of cycles."""
         return TraceStatistics(
             worst_coupling=self.worst_coupling[start:stop],
@@ -106,7 +107,7 @@ class TraceStatistics:
             coupling_weights=self.coupling_weights[start:stop],
         )
 
-    def concatenate(self, other: "TraceStatistics") -> "TraceStatistics":
+    def concatenate(self, other: TraceStatistics) -> TraceStatistics:
         """Concatenate two runs of statistics (back-to-back program execution)."""
         return TraceStatistics(
             worst_coupling=np.concatenate([self.worst_coupling, other.worst_coupling]),
@@ -119,7 +120,7 @@ class TraceStatistics:
         """Average fraction of a 32-bit word switching per cycle (diagnostic)."""
         return float(np.mean(self.toggles))
 
-    def summarize(self) -> "TraceSummary":
+    def summarize(self) -> TraceSummary:
         """Reduce these per-cycle arrays to a :class:`TraceSummary`."""
         accumulator = TraceStatisticsAccumulator()
         accumulator.accumulate(self)
@@ -184,10 +185,10 @@ class TraceSummary:
     @classmethod
     def from_source(
         cls,
-        bus: "CharacterizedBus",
-        workload: "WorkloadLike",
-        chunk_cycles: Optional[int] = None,
-    ) -> "TraceSummary":
+        bus: CharacterizedBus,
+        workload: WorkloadLike,
+        chunk_cycles: int | None = None,
+    ) -> TraceSummary:
         """Stream a workload through ``bus`` and reduce it to a summary."""
         return bus.summarize(workload, chunk_cycles=chunk_cycles)
 
@@ -204,9 +205,9 @@ class TraceStatisticsAccumulator:
         self._n_cycles = 0
         self._toggles = 0.0
         self._weights = 0.0
-        self._histogram: Dict[float, int] = {}
+        self._histogram: dict[float, int] = {}
 
-    def accumulate(self, stats: TraceStatistics) -> "TraceStatisticsAccumulator":
+    def accumulate(self, stats: TraceStatistics) -> TraceStatisticsAccumulator:
         """Fold one chunk's per-cycle statistics into the running reduction."""
         self._n_cycles += stats.n_cycles
         self._toggles += float(np.sum(stats.toggles))
@@ -216,7 +217,7 @@ class TraceStatisticsAccumulator:
             self._histogram[value] = self._histogram.get(value, 0) + int(count)
         return self
 
-    def merge_summary(self, summary: "TraceSummary") -> "TraceStatisticsAccumulator":
+    def merge_summary(self, summary: TraceSummary) -> TraceStatisticsAccumulator:
         """Fold an already-reduced :class:`TraceSummary` into the reduction.
 
         The parallel engine's merge step: per-segment summaries computed by
@@ -257,15 +258,15 @@ class TraceStatisticsAccumulator:
 
 
 #: Anything the bus model can evaluate a workload from.
-WorkloadLike = Union[BusTrace, TraceSource, TraceStatistics]
+WorkloadLike = BusTrace | TraceSource | TraceStatistics
 #: Workload statistics in either per-cycle or reduced form.
-StatisticsLike = Union[TraceStatistics, TraceSummary]
+StatisticsLike = TraceStatistics | TraceSummary
 
 
 def analyze_trace_statistics(
     trace: BusTrace,
     topology: NeighborTopology,
-    engine: Optional[str] = None,
+    engine: str | None = None,
 ) -> TraceStatistics:
     """Per-cycle statistics of a trace over a wiring topology.
 
@@ -341,9 +342,9 @@ class CharacterizedBus:
         self,
         design: BusDesign,
         corner: PVTCorner,
-        grid: Optional[VoltageGrid] = None,
-        flipflop_energy: Optional[FlipFlopEnergyParams] = None,
-        table: Optional[DelayEnergyTable] = None,
+        grid: VoltageGrid | None = None,
+        flipflop_energy: FlipFlopEnergyParams | None = None,
+        table: DelayEnergyTable | None = None,
     ) -> None:
         self.design = design
         self.corner = corner
@@ -369,12 +370,12 @@ class CharacterizedBus:
     @classmethod
     def from_database(
         cls,
-        database: "CharacterizationDatabase",
+        database: CharacterizationDatabase,
         corner: PVTCorner,
         n_bits: int = 32,
         coupling_scale: float = 1.0,
-        flipflop_energy: Optional[FlipFlopEnergyParams] = None,
-    ) -> "CharacterizedBus":
+        flipflop_energy: FlipFlopEnergyParams | None = None,
+    ) -> CharacterizedBus:
         """A ready-to-simulate bus assembled purely from stored surfaces.
 
         Both the design (including its already-sized repeater chain) and the
@@ -404,7 +405,7 @@ class CharacterizedBus:
             coupling_weights=coupling_energy_weights(transitions, topology),
         )
 
-    def analyze_trace(self, trace: BusTrace, engine: Optional[str] = None) -> TraceStatistics:
+    def analyze_trace(self, trace: BusTrace, engine: str | None = None) -> TraceStatistics:
         """:meth:`analyze` for a :class:`BusTrace`, choosing a kernel engine.
 
         Delegates to the module-level :func:`analyze_trace_statistics`, which
@@ -416,9 +417,9 @@ class CharacterizedBus:
     def iter_statistics(
         self,
         workload: WorkloadLike,
-        chunk_cycles: Optional[int] = None,
-        engine: Optional[str] = None,
-    ) -> Iterator[Tuple[TraceStatistics, int]]:
+        chunk_cycles: int | None = None,
+        engine: str | None = None,
+    ) -> Iterator[tuple[TraceStatistics, int]]:
         """Walk a workload as ``(chunk statistics, start cycle)`` pairs.
 
         Accepts pre-computed :class:`TraceStatistics` (yielded whole, or
@@ -451,10 +452,10 @@ class CharacterizedBus:
     def summarize(
         self,
         workload: WorkloadLike,
-        chunk_cycles: Optional[int] = None,
-        engine: Optional[str] = None,
-        jobs: Optional[int] = None,
-        scheduler: Optional["ParallelChunkScheduler"] = None,
+        chunk_cycles: int | None = None,
+        engine: str | None = None,
+        jobs: int | None = None,
+        scheduler: "ParallelChunkScheduler" | None = None,
     ) -> TraceSummary:
         """Reduce a workload to a :class:`TraceSummary` in O(chunk) memory.
 
@@ -549,7 +550,7 @@ class CharacterizedBus:
         thresholds = np.where(np.asarray(d0) > deadline, 0.0, thresholds)
         return np.clip(thresholds, 0.0, None)
 
-    def zero_error_voltage(self, deadline: Optional[float] = None) -> float:
+    def zero_error_voltage(self, deadline: float | None = None) -> float:
         """Lowest grid voltage at which the worst-case pattern meets the deadline.
 
         This is the voltage a conventional (error-intolerant) scheme could
@@ -562,7 +563,7 @@ class CharacterizedBus:
             deadline, self.design.topology.max_coupling_factor
         )
 
-    def minimum_safe_voltage(self, assumed_corner: Optional[PVTCorner] = None) -> float:
+    def minimum_safe_voltage(self, assumed_corner: PVTCorner | None = None) -> float:
         """Regulator floor: lowest voltage that still meets the shadow-latch deadline.
 
         The paper sets this floor using only the (time-invariant) process
@@ -659,7 +660,7 @@ class CharacterizedBus:
         self,
         stats: StatisticsLike,
         vdd: VoltageLike,
-        n_errors: Optional[int] = None,
+        n_errors: int | None = None,
     ) -> EnergyBreakdown:
         """Total energy of the interval at ``vdd`` with ``n_errors`` recoveries.
 

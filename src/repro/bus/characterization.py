@@ -10,7 +10,6 @@ producing a :class:`~repro.circuit.lookup_table.DelayEnergyTable` per corner.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -30,7 +29,7 @@ def default_voltage_grid(design: BusDesign, v_min: float = DEFAULT_MIN_VOLTAGE) 
 def characterize_bus(
     design: BusDesign,
     corner: PVTCorner,
-    grid: Optional[VoltageGrid] = None,
+    grid: VoltageGrid | None = None,
 ) -> DelayEnergyTable:
     """Tabulate bus delay coefficients, leakage and energy data for one corner.
 
@@ -93,7 +92,7 @@ def characterize_bus(
 SURFACE_NAMES = ("base_delay", "coupling_delay", "leakage_power")
 
 
-def characterization_surfaces(table: DelayEnergyTable) -> "dict[str, np.ndarray]":
+def characterization_surfaces(table: DelayEnergyTable) -> dict[str, np.ndarray]:
     """The table's surfaces as canonical little-endian float64 arrays.
 
     This is the circuit layer's serialisation contract with

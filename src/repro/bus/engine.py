@@ -39,7 +39,6 @@ engine argument without repeating the default.
 
 from __future__ import annotations
 
-from typing import Optional
 
 #: The fast integer-lane block engine (the default).
 ENGINE_VECTORIZED = "vectorized"
@@ -61,7 +60,7 @@ SCALAR_CHUNK_CYCLES = 25_000
 VECTORIZED_CHUNK_CYCLES = 262_144
 
 
-def resolve_engine(engine: Optional[str]) -> str:
+def resolve_engine(engine: str | None) -> str:
     """Validate an engine name, mapping ``None`` to the default."""
     if engine is None:
         return DEFAULT_ENGINE
@@ -72,7 +71,7 @@ def resolve_engine(engine: Optional[str]) -> str:
     return engine
 
 
-def kernel_engine(engine: Optional[str]) -> str:
+def kernel_engine(engine: str | None) -> str:
     """The kernel implementation an engine computes per-cycle statistics with.
 
     The parallel engine changes *scheduling*, not arithmetic: its workers run
@@ -85,7 +84,7 @@ def kernel_engine(engine: Optional[str]) -> str:
     return resolved
 
 
-def default_chunk_cycles(engine: Optional[str]) -> int:
+def default_chunk_cycles(engine: str | None) -> int:
     """The default streaming chunk size of an engine."""
     if kernel_engine(engine) == ENGINE_VECTORIZED:
         return VECTORIZED_CHUNK_CYCLES

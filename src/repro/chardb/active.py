@@ -26,7 +26,8 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any
+from collections.abc import Iterator
 
 from repro.chardb.database import CharacterizationDatabase
 from repro.chardb.format import ChardbError
@@ -42,17 +43,21 @@ __all__ = [
 #: Environment variable naming the database file to activate lazily.
 ENV_VAR = "REPRO_CHARDB"
 
-_UNSET = object()
+class _Unset:
+    """Sentinel type: no explicit override installed (defer to the environment)."""
+
+
+_UNSET = _Unset()
 
 #: Explicit override: _UNSET = defer to the environment, None = force live
 #: characterization, otherwise the database to use.
-_explicit: Any = _UNSET
+_explicit: CharacterizationDatabase | None | _Unset = _UNSET
 
 #: Databases opened by path, keyed by (path, mtime_ns, size) so a rebuilt
 #: file is re-opened instead of served stale.  Entries stay open for the
 #: process lifetime; a sweep activating the same artifact hundreds of times
 #: parses its index exactly once per worker.
-_open_cache: Dict[Any, CharacterizationDatabase] = {}
+_open_cache: dict[Any, CharacterizationDatabase] = {}
 
 
 def _open_cached(path: str) -> CharacterizationDatabase:
@@ -71,7 +76,7 @@ def _open_cached(path: str) -> CharacterizationDatabase:
     return database
 
 
-def set_active_chardb(database: Optional[CharacterizationDatabase]) -> None:
+def set_active_chardb(database: CharacterizationDatabase | None) -> None:
     """Install an explicit active database (``None`` forces live characterization)."""
     global _explicit
     _explicit = database
@@ -83,15 +88,15 @@ def clear_active_chardb() -> None:
     _explicit = _UNSET
 
 
-def get_active_chardb() -> Optional[CharacterizationDatabase]:
+def get_active_chardb() -> CharacterizationDatabase | None:
     """The database surface lookups should try first, or ``None``.
 
     An unreadable or corrupt path in ``REPRO_CHARDB`` raises
     :class:`ChardbError` — a requested database that cannot be used must fail
     loudly, not silently fall back to live characterization.
     """
-    if _explicit is not _UNSET:
-        return _explicit  # type: ignore[no-any-return]
+    if not isinstance(_explicit, _Unset):
+        return _explicit
     path = os.environ.get(ENV_VAR)
     if not path:
         return None
@@ -100,8 +105,8 @@ def get_active_chardb() -> Optional[CharacterizationDatabase]:
 
 @contextmanager
 def use_chardb(
-    source: Union[CharacterizationDatabase, str, Path, None],
-) -> Iterator[Optional[CharacterizationDatabase]]:
+    source: CharacterizationDatabase | str | Path | None,
+) -> Iterator[CharacterizationDatabase | None]:
     """Scope an explicit active database to a ``with`` block.
 
     ``source`` may be an open database, a path (opened through the process
@@ -110,7 +115,7 @@ def use_chardb(
     """
     global _explicit
     if isinstance(source, (str, Path)):
-        database: Optional[CharacterizationDatabase] = _open_cached(str(source))
+        database: CharacterizationDatabase | None = _open_cached(str(source))
     else:
         database = source
     previous = _explicit

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any
 
 import numpy as np
 
@@ -62,12 +62,12 @@ __all__ = [
 DEFAULT_DB_PATH = "chardb/paper.chardb"
 
 #: The per-voltage surfaces stored for every entry, in on-disk order.
-SURFACE_NAMES: Tuple[str, ...] = ("base_delay", "coupling_delay", "leakage_power")
+SURFACE_NAMES: tuple[str, ...] = ("base_delay", "coupling_delay", "leakage_power")
 
-Params = Dict[str, Any]
+Params = dict[str, Any]
 
 
-def _floor_corners() -> Tuple[Params, ...]:
+def _floor_corners() -> tuple[Params, ...]:
     """The regulator-floor corners probed by ``DVSBusSystem.__init__``.
 
     The floor policy re-characterises at (process, 100 C, 10 % IR drop); the
@@ -99,9 +99,9 @@ class BuildSpec:
         Lowest tabulated supply voltage of every entry's grid.
     """
 
-    corners: Tuple[Params, ...]
-    widths: Tuple[int, ...] = (32,)
-    coupling_scales: Tuple[float, ...] = (1.0,)
+    corners: tuple[Params, ...]
+    widths: tuple[int, ...] = (32,)
+    coupling_scales: tuple[float, ...] = (1.0,)
     v_min: float = 0.60
 
     def __post_init__(self) -> None:
@@ -147,10 +147,10 @@ def paper_design(n_bits: int = 32, coupling_scale: float = 1.0):
 @dataclass
 class _PendingEntry:
     index: Params
-    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
 
 
-def _characterize_entries(spec: BuildSpec) -> Tuple[Dict[str, Params], List[_PendingEntry]]:
+def _characterize_entries(spec: BuildSpec) -> tuple[dict[str, Params], list[_PendingEntry]]:
     """Run live characterization over the whole grid, in deterministic order."""
     from repro.bus.characterization import (
         characterization_surfaces,
@@ -158,8 +158,8 @@ def _characterize_entries(spec: BuildSpec) -> Tuple[Dict[str, Params], List[_Pen
         default_voltage_grid,
     )
 
-    designs: Dict[str, Params] = {}
-    entries: List[_PendingEntry] = []
+    designs: dict[str, Params] = {}
+    entries: list[_PendingEntry] = []
     sorted_corners = sorted(
         spec.corners,
         key=lambda params: (params["process"], params["temperature_c"], params["ir_drop"]),
@@ -197,10 +197,10 @@ def build_database_bytes(spec: BuildSpec) -> bytes:
     designs, entries = _characterize_entries(spec)
 
     # Lay out the array region first so the index can carry the offsets.
-    data_parts: List[bytes] = []
+    data_parts: list[bytes] = []
     cursor = 0
     for entry in entries:
-        array_index: Dict[str, List[int]] = {}
+        array_index: dict[str, list[int]] = {}
         for name in SURFACE_NAMES:
             surface = entry.arrays[name]
             offset = align_up(cursor)
@@ -232,7 +232,7 @@ def build_database_bytes(spec: BuildSpec) -> bytes:
     return pack_header(header) + payload
 
 
-def write_database(path: Union[str, Path], spec: BuildSpec) -> Dict[str, Any]:
+def write_database(path: str | Path, spec: BuildSpec) -> dict[str, Any]:
     """Build a database and write it to ``path``; returns a summary dict."""
     raw = build_database_bytes(spec)
     destination = Path(path)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import mmap
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, BinaryIO
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.chardb.design_codec import corner_to_params, design_fingerprint, desi
 from repro.chardb.format import (
     ARRAY_DTYPE,
     HEADER_SIZE,
+    ChardbError,
     ChardbFormatError,
     ChardbLookupError,
     Header,
@@ -42,30 +43,41 @@ from repro.circuit.pvt import PVTCorner
 __all__ = ["CharacterizationDatabase", "chardb_fingerprint"]
 
 #: Lookup key of one entry: (design fingerprint, corner identity, grid identity).
-EntryKey = Tuple[str, Tuple[str, float, float], Tuple[float, float, float]]
+EntryKey = tuple[str, tuple[str, float, float], tuple[float, float, float]]
 
 #: Family key of one design: (n_bits, coupling_scale).
-FamilyKey = Tuple[int, float]
+FamilyKey = tuple[int, float]
 
 
-def _corner_key(corner: PVTCorner) -> Tuple[str, float, float]:
+def _corner_key(corner: PVTCorner) -> tuple[str, float, float]:
     params = corner_to_params(corner)
     return (params["process"], params["temperature_c"], params["ir_drop"])
 
 
-def _grid_key(grid: VoltageGrid) -> Tuple[float, float, float]:
+def _grid_key(grid: VoltageGrid) -> tuple[float, float, float]:
     return (grid.v_min, grid.v_max, grid.step)
 
 
 class CharacterizationDatabase:
     """An open, validated, memory-mapped characterization database."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    # Both handles are dropped (set to None) by close(); a constructor that
+    # fails mid-validation may never have assigned them at all, hence the
+    # getattr() guards below.
+    _map: mmap.mmap | None
+    _file: BinaryIO | None
+
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         try:
             self._file = self.path.open("rb")
         except OSError as error:
             raise ChardbFormatError(f"cannot open chardb {self.path}: {error}") from error
+        # Validation failures must not leak the file handle or the map, no
+        # matter what they raise (mmap raises OSError/ValueError, a malformed
+        # index raises KeyError/TypeError); release-on-failure instead of a
+        # catch-all handler so even KeyboardInterrupt cleans up.
+        opened = False
         try:
             size = self.path.stat().st_size
             if size < HEADER_SIZE:
@@ -76,18 +88,19 @@ class CharacterizationDatabase:
             self.header: Header = unpack_header(self._map[:HEADER_SIZE])
             self._validate_extents(size)
             self._index = self._parse_index()
-            self._entries: Dict[EntryKey, Dict[str, Any]] = {}
-            self._families: Dict[FamilyKey, str] = {}
+            self._entries: dict[EntryKey, dict[str, Any]] = {}
+            self._families: dict[FamilyKey, str] = {}
             self._build_lookup_maps()
-        except Exception:
-            self.close()
-            raise
+            opened = True
+        finally:
+            if not opened:
+                self.close()
 
     # ------------------------------------------------------------------ #
     # Construction / teardown
     # ------------------------------------------------------------------ #
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "CharacterizationDatabase":
+    def open(cls, path: str | Path) -> CharacterizationDatabase:
         """Open and validate a database file (header, extents, index)."""
         return cls(path)
 
@@ -97,21 +110,23 @@ class CharacterizationDatabase:
         Tables already served keep their own references to the map, so they
         stay valid; ``close`` only drops this object's handles.
         """
-        if getattr(self, "_map", None) is not None:
+        mapping = getattr(self, "_map", None)
+        if mapping is not None:
             try:
-                self._map.close()
+                mapping.close()
             except BufferError:
                 # Served tables still hold zero-copy views into the map;
                 # mmap refuses to unmap under them.  Dropping our reference
                 # is enough -- the mapping is released when the last view is
                 # garbage-collected.
                 pass
-            self._map = None  # type: ignore[assignment]
-        if getattr(self, "_file", None) is not None:
-            self._file.close()
-            self._file = None  # type: ignore[assignment]
+            self._map = None
+        handle = getattr(self, "_file", None)
+        if handle is not None:
+            handle.close()
+            self._file = None
 
-    def __enter__(self) -> "CharacterizationDatabase":
+    def __enter__(self) -> CharacterizationDatabase:
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -131,7 +146,7 @@ class CharacterizationDatabase:
                 f"data=[{header.data_offset}, {data_end})"
             )
 
-    def _parse_index(self) -> Dict[str, Any]:
+    def _parse_index(self) -> dict[str, Any]:
         import json
 
         header = self.header
@@ -199,7 +214,7 @@ class CharacterizationDatabase:
         absolute = self.header.data_offset + offset
         return np.frombuffer(self._map, dtype=ARRAY_DTYPE, count=count, offset=absolute)
 
-    def _table_from_entry(self, entry: Dict[str, Any], corner: PVTCorner) -> DelayEnergyTable:
+    def _table_from_entry(self, entry: dict[str, Any], corner: PVTCorner) -> DelayEnergyTable:
         grid = VoltageGrid(
             v_min=entry["grid"]["v_min"],
             v_max=entry["grid"]["v_max"],
@@ -221,8 +236,8 @@ class CharacterizationDatabase:
         )
 
     def find_table(
-        self, design: Any, corner: PVTCorner, grid: Optional[VoltageGrid] = None
-    ) -> Optional[DelayEnergyTable]:
+        self, design: Any, corner: PVTCorner, grid: VoltageGrid | None = None
+    ) -> DelayEnergyTable | None:
         """The stored table for (design, corner, grid), or ``None`` on a miss.
 
         ``design`` is a :class:`~repro.bus.bus_design.BusDesign`; it is matched
@@ -240,7 +255,7 @@ class CharacterizationDatabase:
         return self._table_from_entry(entry, corner)
 
     def table_for(
-        self, design: Any, corner: PVTCorner, grid: Optional[VoltageGrid] = None
+        self, design: Any, corner: PVTCorner, grid: VoltageGrid | None = None
     ) -> DelayEnergyTable:
         """Like :meth:`find_table`, but a miss raises :class:`ChardbLookupError`."""
         table = self.find_table(design, corner, grid)
@@ -282,11 +297,11 @@ class CharacterizationDatabase:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
-    def entries(self) -> List[Dict[str, Any]]:
+    def entries(self) -> list[dict[str, Any]]:
         """The raw index entries, in on-disk order."""
         return list(self._index["entries"])
 
-    def summary(self) -> Dict[str, Any]:
+    def summary(self) -> dict[str, Any]:
         """A JSON-able overview of the database (what ``chardb inspect`` prints)."""
         widths = sorted({int(entry["n_bits"]) for entry in self._index["entries"]})
         couplings = sorted({float(entry["coupling_scale"]) for entry in self._index["entries"]})
@@ -312,7 +327,7 @@ class CharacterizationDatabase:
         }
 
 
-def chardb_fingerprint(path: Union[str, Path]) -> Optional[str]:
+def chardb_fingerprint(path: str | Path) -> str | None:
     """Content fingerprint of a chardb file for cache keys, or ``None``.
 
     Reads only the 96-byte header.  Returns ``None`` when the file is missing,
@@ -324,6 +339,9 @@ def chardb_fingerprint(path: Union[str, Path]) -> Optional[str]:
     try:
         with Path(path).open("rb") as handle:
             header = unpack_header(handle.read(HEADER_SIZE))
-    except Exception:
+    except (OSError, ChardbError):
+        # OSError: missing/unreadable file.  ChardbError: truncated header,
+        # bad magic, or foreign schema (unpack_header converts the low-level
+        # struct failures itself).  Anything else is a bug, not a bad file.
         return None
     return f"{header.schema_version}:{header.content_hash.hex()}"

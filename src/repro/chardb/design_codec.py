@@ -28,7 +28,7 @@ True
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any
 
 import numpy as np
 
@@ -53,7 +53,7 @@ __all__ = [
     "design_fingerprint",
 ]
 
-Params = Dict[str, Any]
+Params = dict[str, Any]
 
 
 # --------------------------------------------------------------------- #

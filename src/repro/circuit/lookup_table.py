@@ -19,7 +19,7 @@ when the table is built (see :mod:`repro.bus.characterization`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

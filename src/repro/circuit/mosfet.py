@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict
 
 from repro.circuit.pvt import ProcessCorner, PVTCorner
 from repro.utils.units import CELSIUS_TO_KELVIN
@@ -41,7 +40,7 @@ class TransistorParams:
     """
 
     #: Nominal threshold voltage at 25 C per process corner (volts).
-    vth0: Dict[ProcessCorner, float] = field(
+    vth0: dict[ProcessCorner, float] = field(
         default_factory=lambda: {
             ProcessCorner.SLOW: 0.350,
             ProcessCorner.TYPICAL: 0.320,
@@ -49,7 +48,7 @@ class TransistorParams:
         }
     )
     #: Relative drive-strength (transconductance) multiplier per corner.
-    drive_factor: Dict[ProcessCorner, float] = field(
+    drive_factor: dict[ProcessCorner, float] = field(
         default_factory=lambda: {
             ProcessCorner.SLOW: 0.93,
             ProcessCorner.TYPICAL: 1.00,

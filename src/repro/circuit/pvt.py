@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 from repro.utils.validation import check_fraction, check_in_range
 
@@ -66,11 +65,11 @@ class PVTCorner:
         """Supply voltage actually seen by the drivers after IR droop."""
         return vdd * (1.0 - self.ir_drop)
 
-    def with_ir_drop(self, ir_drop: float) -> "PVTCorner":
+    def with_ir_drop(self, ir_drop: float) -> PVTCorner:
         """Return a copy of this corner with a different IR-drop assumption."""
         return PVTCorner(self.process, self.temperature_c, ir_drop)
 
-    def with_temperature(self, temperature_c: float) -> "PVTCorner":
+    def with_temperature(self, temperature_c: float) -> PVTCorner:
         """Return a copy of this corner with a different temperature."""
         return PVTCorner(self.process, temperature_c, self.ir_drop)
 
@@ -86,7 +85,7 @@ BEST_CASE_CORNER = PVTCorner(ProcessCorner.FAST, 25.0, 0.0)
 
 #: The five corners plotted in Fig. 5 / Fig. 10, keyed by the paper's
 #: numeric labels (1 = slowest ... 5 = fastest).
-STANDARD_CORNERS: Dict[int, PVTCorner] = {
+STANDARD_CORNERS: dict[int, PVTCorner] = {
     1: WORST_CASE_CORNER,
     2: PVTCorner(ProcessCorner.SLOW, 100.0, 0.0),
     3: TYPICAL_CORNER,
@@ -95,6 +94,6 @@ STANDARD_CORNERS: Dict[int, PVTCorner] = {
 }
 
 
-def corner_pair_for_table1() -> Tuple[PVTCorner, PVTCorner]:
+def corner_pair_for_table1() -> tuple[PVTCorner, PVTCorner]:
     """The two corners evaluated in Table 1 (worst-case and typical)."""
     return WORST_CASE_CORNER, TYPICAL_CORNER

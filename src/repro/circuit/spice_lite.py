@@ -22,7 +22,7 @@ driver is captured by the alpha-power-law resistance in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class TransientResult:
 
     times: np.ndarray
     voltages: np.ndarray  # shape (n_steps, n_nodes)
-    node_names: Dict[str, int] = field(default_factory=dict)
+    node_names: dict[str, int] = field(default_factory=dict)
 
     def voltage_of(self, node: "int | str") -> np.ndarray:
         """Waveform of one node, by index or by registered name."""
@@ -88,15 +88,15 @@ class RCNetwork:
 
     def __init__(self) -> None:
         self._n_nodes = 0
-        self._names: Dict[str, int] = {}
-        self._resistors: List[Tuple[Optional[int], Optional[int], float]] = []
-        self._capacitors: List[Tuple[Optional[int], Optional[int], float]] = []
-        self._sources: List[_ResistiveSource] = []
+        self._names: dict[str, int] = {}
+        self._resistors: list[tuple[int | None, int | None, float]] = []
+        self._capacitors: list[tuple[int | None, int | None, float]] = []
+        self._sources: list[_ResistiveSource] = []
 
     # ------------------------------------------------------------------ #
     # Topology construction
     # ------------------------------------------------------------------ #
-    def node(self, name: Optional[str] = None) -> int:
+    def node(self, name: str | None = None) -> int:
         """Create a new node and return its index, optionally registering a name."""
         index = self._n_nodes
         self._n_nodes += 1
@@ -111,18 +111,18 @@ class RCNetwork:
         """Number of non-ground nodes in the network."""
         return self._n_nodes
 
-    def _check_node(self, node: Optional[int]) -> None:
+    def _check_node(self, node: int | None) -> None:
         if node is not None and not (0 <= node < self._n_nodes):
             raise ValueError(f"unknown node index {node}")
 
-    def add_resistor(self, a: Optional[int], b: Optional[int], resistance: float) -> None:
+    def add_resistor(self, a: int | None, b: int | None, resistance: float) -> None:
         """Add a resistor between nodes ``a`` and ``b`` (``None`` = ground)."""
         check_positive("resistance", resistance)
         self._check_node(a)
         self._check_node(b)
         self._resistors.append((a, b, resistance))
 
-    def add_capacitor(self, a: Optional[int], b: Optional[int], capacitance: float) -> None:
+    def add_capacitor(self, a: int | None, b: int | None, capacitance: float) -> None:
         """Add a capacitor between nodes ``a`` and ``b`` (``None`` = ground)."""
         check_positive("capacitance", capacitance, strict=False)
         self._check_node(a)
@@ -145,12 +145,12 @@ class RCNetwork:
     # ------------------------------------------------------------------ #
     # Matrix assembly
     # ------------------------------------------------------------------ #
-    def _assemble(self) -> Tuple[np.ndarray, np.ndarray]:
+    def _assemble(self) -> tuple[np.ndarray, np.ndarray]:
         n = self._n_nodes
         conductance = np.zeros((n, n))
         capacitance = np.zeros((n, n))
 
-        def stamp(matrix: np.ndarray, a: Optional[int], b: Optional[int], value: float) -> None:
+        def stamp(matrix: np.ndarray, a: int | None, b: int | None, value: float) -> None:
             if a is not None:
                 matrix[a, a] += value
             if b is not None:
@@ -180,7 +180,7 @@ class RCNetwork:
         self,
         t_end: float,
         dt: float,
-        initial_voltages: Optional[Sequence[float]] = None,
+        initial_voltages: Sequence[float] | None = None,
     ) -> TransientResult:
         """Run a trapezoidal transient simulation from 0 to ``t_end``.
 
@@ -242,7 +242,7 @@ def build_coupled_line(
     driver_resistances: Sequence[float],
     driver_waveforms: Sequence[SourceWaveform],
     load_capacitance: float = 0.0,
-) -> Tuple[RCNetwork, List[int]]:
+) -> tuple[RCNetwork, list[int]]:
     """Construct an ``n_wires``-bit coupled RC line as a ladder network.
 
     Each wire is split into ``sections_per_wire`` pi-sections.  Adjacent wires

@@ -80,7 +80,7 @@ import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -137,7 +137,7 @@ def _workload_error(error: Exception) -> int:
     return 2
 
 
-def _parallel_jobs_error(engine: Optional[str], jobs: Optional[int]) -> Optional[int]:
+def _parallel_jobs_error(engine: str | None, jobs: int | None) -> int | None:
     """Reject ``--engine parallel`` without a worker fan-out to use.
 
     The library accepts ``engine="parallel"`` with no jobs (it reduces the
@@ -558,6 +558,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("kernels", help="list the mini-CPU kernels usable as workloads")
 
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="run the invariant-aware static analyzer (determinism, cache-key "
+        "soundness, lock discipline)",
+    )
+    from repro.analyze import cli as analyze_cli
+
+    analyze_cli.add_arguments(analyze_parser)
+
     trace_parser = subparsers.add_parser(
         "trace", help="generate, inspect or save any registered workload trace"
     )
@@ -603,10 +612,10 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[int],
-                 engine: Optional[str], seed: int, cache: Optional[ResultCache],
-                 workload: Optional[str] = None, jobs: Optional[int] = None,
-                 chardb: Optional[str] = None) -> int:
+def _command_run(experiment: str, cycles: int | None, chunk_cycles: int | None,
+                 engine: str | None, seed: int, cache: ResultCache | None,
+                 workload: str | None = None, jobs: int | None = None,
+                 chardb: str | None = None) -> int:
     runner = EXPERIMENTS[experiment].runner
     requested = {
         "n_cycles": cycles,
@@ -650,17 +659,17 @@ def _command_run(experiment: str, cycles: Optional[int], chunk_cycles: Optional[
 
 
 def _command_sweep(
-    name: Optional[str],
+    name: str | None,
     list_sweeps: bool,
-    limit: Optional[int],
-    out: Optional[Path],
+    limit: int | None,
+    out: Path | None,
     quiet: bool,
-    cache: Optional[ResultCache],
+    cache: ResultCache | None,
     jobs: int,
-    cycles: Optional[int] = None,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    chardb: Optional[str] = None,
+    cycles: int | None = None,
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    chardb: str | None = None,
 ) -> int:
     if list_sweeps or name is None:
         width = max(len(sweep_name) for sweep_name in SWEEPS)
@@ -703,12 +712,12 @@ def _command_sweep(
 def _command_report(
     experiments: str,
     out: Path,
-    cycles: Optional[int],
-    chunk_cycles: Optional[int],
-    engine: Optional[str],
+    cycles: int | None,
+    chunk_cycles: int | None,
+    engine: str | None,
     seed: int,
     quiet: bool,
-    cache: Optional[ResultCache],
+    cache: ResultCache | None,
     jobs: int,
 ) -> int:
     from repro.report import build_report, resolve_experiments
@@ -744,13 +753,13 @@ def _command_report(
 
 def _command_profile(
     experiment: str,
-    cycles: Optional[int],
-    chunk_cycles: Optional[int],
-    engine: Optional[str],
+    cycles: int | None,
+    chunk_cycles: int | None,
+    engine: str | None,
     seed: int,
     top: int,
-    workload: Optional[str] = None,
-    jobs: Optional[int] = None,
+    workload: str | None = None,
+    jobs: int | None = None,
 ) -> int:
     """Run one bounded experiment under the (already installed) tracer.
 
@@ -793,7 +802,7 @@ def _command_profile(
 
 
 def _command_cache(
-    action: str, cache_dir: Optional[Path], telemetry_base: Optional[str] = None
+    action: str, cache_dir: Path | None, telemetry_base: str | None = None
 ) -> int:
     cache = ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
     if action == "info":
@@ -852,7 +861,7 @@ def _print_chardb_summary(summary: dict) -> None:
               f"{corner['ir_drop'] * 100:>4.0f}% IR drop")
 
 
-def _command_chardb(action: str, path: Optional[str], check: bool) -> int:
+def _command_chardb(action: str, path: str | None, check: bool) -> int:
     from repro.chardb import (
         DEFAULT_DB_PATH,
         CharacterizationDatabase,
@@ -908,7 +917,7 @@ def _command_chardb(action: str, path: Optional[str], check: bool) -> int:
 
 
 @contextmanager
-def _chardb_env(path: Optional[str]) -> Iterator[None]:
+def _chardb_env(path: str | None) -> Iterator[None]:
     """Export ``--chardb`` as ``$REPRO_CHARDB`` for the command's duration.
 
     The environment variable (rather than an in-process override) is what
@@ -967,10 +976,10 @@ def _command_simulate(
     seed: int,
     window: int,
     ramp: int,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
-    workload: Optional[str] = None,
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
+    workload: str | None = None,
 ) -> int:
     corner = CORNERS[corner_name]
     if workload is not None:
@@ -1027,7 +1036,7 @@ def _command_simulate(
     return 0
 
 
-def _server_address(host: Optional[str], port: Optional[int]) -> tuple:
+def _server_address(host: str | None, port: int | None) -> tuple:
     """Resolve --host/--port against $REPRO_SERVER_ADDR and the defaults."""
     from repro.server import default_address
 
@@ -1046,13 +1055,13 @@ def _server_unreachable(host: str, port: int, error: Exception) -> int:
 
 
 def _command_serve(
-    host: Optional[str],
-    port: Optional[int],
+    host: str | None,
+    port: int | None,
     jobs: int,
     max_pending: int,
     quota: int,
     max_batch: int,
-    cache: Optional[ResultCache],
+    cache: ResultCache | None,
 ) -> int:
     from repro.runtime.workqueue import WorkQueue
     from repro.server import DEFAULT_HOST, ReproServer, default_address
@@ -1087,15 +1096,15 @@ def _command_serve(
 
 def _command_submit(
     experiment: str,
-    cycles: Optional[int],
-    chunk_cycles: Optional[int],
-    engine: Optional[str],
+    cycles: int | None,
+    chunk_cycles: int | None,
+    engine: str | None,
     seed: int,
-    workload: Optional[str],
-    host: Optional[str],
-    port: Optional[int],
+    workload: str | None,
+    host: str | None,
+    port: int | None,
     quiet: bool,
-    chardb: Optional[str] = None,
+    chardb: str | None = None,
 ) -> int:
     from repro.server import ReproClient, ServerError
 
@@ -1178,10 +1187,10 @@ def _command_submit(
 
 
 def _command_jobs(
-    host: Optional[str],
-    port: Optional[int],
+    host: str | None,
+    port: int | None,
     stats: bool,
-    cancel: Optional[str],
+    cancel: str | None,
     shutdown: bool,
 ) -> int:
     from repro.server import ReproClient, ServerError
@@ -1243,12 +1252,12 @@ def _command_compare_schemes(corner_name: str, cycles: int, seed: int) -> int:
 
 
 def _command_trace(
-    workload: Optional[str],
+    workload: str | None,
     list_workloads: bool,
-    cycles: Optional[int],
+    cycles: int | None,
     seed: int,
-    out: Optional[Path],
-    chunk_cycles: Optional[int] = None,
+    out: Path | None,
+    chunk_cycles: int | None = None,
 ) -> int:
     from repro.trace.workloads import WORKLOADS
 
@@ -1326,7 +1335,7 @@ def _command_kernels() -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
@@ -1347,7 +1356,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _run_command(args: argparse.Namespace) -> int:
     """Set up the cache and telemetry, then dispatch to the command handler."""
-    cache: Optional[ResultCache] = None
+    cache: ResultCache | None = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir if args.cache_dir is not None else default_cache_dir())
 
@@ -1377,7 +1386,7 @@ def _run_command(args: argparse.Namespace) -> int:
     return code
 
 
-def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
+def _dispatch(args: argparse.Namespace, cache: ResultCache | None) -> int:
     """Route parsed arguments to their command handler."""
     if args.command == "list":
         return _command_list()
@@ -1489,6 +1498,10 @@ def _dispatch(args: argparse.Namespace, cache: Optional[ResultCache]) -> int:
         )
     if args.command == "kernels":
         return _command_kernels()
+    if args.command == "analyze":
+        from repro.analyze import cli as analyze_cli
+
+        return analyze_cli.run(args)
     if args.command == "trace":
         return _command_trace(
             args.workload,

@@ -20,7 +20,6 @@ its explicitness is the point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 import numpy as np
 
@@ -64,8 +63,8 @@ class BehavioralRunResult:
     total_errors: int
     error_mask: np.ndarray
     corrected_words: np.ndarray
-    windows: List[WindowMeasurement]
-    voltage_events: List[VoltageEvent]
+    windows: list[WindowMeasurement]
+    voltage_events: list[VoltageEvent]
     per_cycle_voltage: np.ndarray
     final_voltage: float
 
@@ -87,10 +86,10 @@ class BehavioralDVSSimulator:
     def __init__(
         self,
         bus: CharacterizedBus,
-        policy: Optional[ControlPolicy] = None,
+        policy: ControlPolicy | None = None,
         window_cycles: int = DEFAULT_WINDOW_CYCLES,
         ramp_delay_cycles: int = 3000,
-        v_floor: Optional[float] = None,
+        v_floor: float | None = None,
     ) -> None:
         self.bus = bus
         self.policy = policy if policy is not None else BangBangPolicy()
@@ -104,8 +103,8 @@ class BehavioralDVSSimulator:
     def run(
         self,
         trace: BusTrace,
-        initial_voltage: Optional[float] = None,
-        max_cycles: Optional[int] = 50_000,
+        initial_voltage: float | None = None,
+        max_cycles: int | None = 50_000,
     ) -> BehavioralRunResult:
         """Simulate the closed loop one cycle at a time.
 

@@ -25,7 +25,7 @@ transfers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -172,7 +172,7 @@ class FlipFlopBank:
         """Number of captures performed."""
         return self._cycle_count
 
-    def reset(self, word: Optional[Sequence[int]] = None) -> None:
+    def reset(self, word: Sequence[int] | None = None) -> None:
         """Reset all flip-flops (optionally to a specific word) and clear counters."""
         values = [0] * self.n_bits if word is None else list(word)
         if len(values) != self.n_bits:
@@ -184,7 +184,7 @@ class FlipFlopBank:
 
     def capture_word(
         self, data: Sequence[int], arrival_times: Sequence[float]
-    ) -> "BankCaptureResult":
+    ) -> BankCaptureResult:
         """Capture one bus word given per-bit arrival times.
 
         Returns the bank-level result; the stored state is updated to the

@@ -28,7 +28,8 @@ tests enforce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Union
+from typing import TYPE_CHECKING
+from collections.abc import Callable
 
 import numpy as np
 
@@ -86,12 +87,12 @@ class DVSRunResult:
     window_error_rates: np.ndarray
     window_start_cycles: np.ndarray
     window_voltages: np.ndarray
-    voltage_events: List[VoltageEvent]
+    voltage_events: list[VoltageEvent]
     energy: EnergyBreakdown
     reference_energy: EnergyBreakdown
     minimum_voltage_reached: float
     final_voltage: float
-    per_cycle_voltage: Optional[np.ndarray] = field(default=None, repr=False)
+    per_cycle_voltage: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def average_error_rate(self) -> float:
@@ -123,9 +124,9 @@ class DVSRunState:
 
     def __init__(
         self,
-        system: "DVSBusSystem",
+        system: DVSBusSystem,
         n_cycles: int,
-        initial_voltage: Optional[float],
+        initial_voltage: float | None,
         keep_cycle_voltage: bool,
         warmup_cycles: int,
     ) -> None:
@@ -173,7 +174,7 @@ class DVSRunState:
         self._meas_weights = np.zeros(n_grid)
         self._meas_errors = 0
 
-        self._window_voltages: List[float] = []
+        self._window_voltages: list[float] = []
         self._next_window_start = 0
         self._failures = 0
         self._min_voltage = float("inf")
@@ -397,10 +398,10 @@ class DVSBusSystem:
     def __init__(
         self,
         bus: CharacterizedBus,
-        policy: Optional[ControlPolicy] = None,
+        policy: ControlPolicy | None = None,
         window_cycles: int = DEFAULT_WINDOW_CYCLES,
         ramp_delay_cycles: int = 3000,
-        v_floor: Optional[float] = None,
+        v_floor: float | None = None,
     ) -> None:
         self.bus = bus
         self.policy = policy if policy is not None else BangBangPolicy()
@@ -417,7 +418,7 @@ class DVSBusSystem:
     def stream(
         self,
         n_cycles: int,
-        initial_voltage: Optional[float] = None,
+        initial_voltage: float | None = None,
         keep_cycle_voltage: bool = False,
         warmup_cycles: int = 0,
     ) -> DVSRunState:
@@ -430,7 +431,7 @@ class DVSBusSystem:
         """
         return DVSRunState(self, n_cycles, initial_voltage, keep_cycle_voltage, warmup_cycles)
 
-    def control_segmenter(self, n_cycles: int, warmup_cycles: int = 0) -> "ChunkSegmenter":
+    def control_segmenter(self, n_cycles: int, warmup_cycles: int = 0) -> ChunkSegmenter:
         """Segment boundaries over which this system's control state is constant.
 
         The supply voltage can only change at window starts and regulator
@@ -450,15 +451,15 @@ class DVSBusSystem:
 
     def run(
         self,
-        workload: Union[BusTrace, TraceStatistics, TraceSource],
-        initial_voltage: Optional[float] = None,
+        workload: BusTrace | TraceStatistics | TraceSource,
+        initial_voltage: float | None = None,
         keep_cycle_voltage: bool = False,
         warmup_cycles: int = 0,
-        chunk_cycles: Optional[int] = None,
-        progress: Optional[ProgressCallback] = None,
-        engine: Optional[str] = None,
-        jobs: Optional[int] = None,
-        scheduler: Optional["ParallelChunkScheduler"] = None,
+        chunk_cycles: int | None = None,
+        progress: ProgressCallback | None = None,
+        engine: str | None = None,
+        jobs: int | None = None,
+        scheduler: "ParallelChunkScheduler" | None = None,
     ) -> DVSRunResult:
         """Simulate the closed loop over a workload.
 

@@ -10,7 +10,6 @@ that, and additionally keeps the history of completed windows for analysis
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 #: Window length used by the paper's control system.
 DEFAULT_WINDOW_CYCLES = 10_000
@@ -48,12 +47,12 @@ class ErrorCounter:
         self._errors_in_window = 0
         self._total_cycles = 0
         self._total_errors = 0
-        self._completed: List[WindowMeasurement] = []
+        self._completed: list[WindowMeasurement] = []
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
-    def record(self, n_cycles: int, n_errors: int) -> List[WindowMeasurement]:
+    def record(self, n_cycles: int, n_errors: int) -> list[WindowMeasurement]:
         """Record a block of cycles containing ``n_errors`` bank errors.
 
         The block must not straddle a window boundary (the caller aligns its
@@ -74,16 +73,16 @@ class ErrorCounter:
         self._total_cycles += n_cycles
         self._total_errors += n_errors
 
-        completed: List[WindowMeasurement] = []
+        completed: list[WindowMeasurement] = []
         if self._cycle_in_window == self.window_cycles:
             completed.append(self._close_window())
         return completed
 
-    def record_cycle(self, error: bool) -> List[WindowMeasurement]:
+    def record_cycle(self, error: bool) -> list[WindowMeasurement]:
         """Record a single cycle (behavioural flip-flop bank path)."""
         return self.record(1, 1 if error else 0)
 
-    def flush(self) -> List[WindowMeasurement]:
+    def flush(self) -> list[WindowMeasurement]:
         """Close a partially filled window at the end of a run (if any)."""
         if self._cycle_in_window == 0:
             return []
@@ -105,7 +104,7 @@ class ErrorCounter:
     # Reporting
     # ------------------------------------------------------------------ #
     @property
-    def completed_windows(self) -> List[WindowMeasurement]:
+    def completed_windows(self) -> list[WindowMeasurement]:
         """All completed measurement windows, in order."""
         return list(self._completed)
 

@@ -13,7 +13,7 @@ process corner -- regardless of the conditions that actually prevail.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING
 
 from repro.bus.bus_model import CharacterizedBus, TraceStatistics, TraceSummary
 from repro.circuit.lookup_table import VoltageGrid
@@ -48,8 +48,8 @@ class FixedScalingResult:
 
 def fixed_scaling_voltage(
     bus: CharacterizedBus,
-    process_corner: Optional[ProcessCorner] = None,
-    grid: Optional[VoltageGrid] = None,
+    process_corner: ProcessCorner | None = None,
+    grid: VoltageGrid | None = None,
 ) -> float:
     """The supply a conventional error-intolerant scheme would choose.
 
@@ -82,12 +82,12 @@ def fixed_scaling_voltage(
 
 def evaluate_fixed_scaling(
     bus: CharacterizedBus,
-    stats: Union[TraceStatistics, TraceSummary, BusTrace, TraceSource],
-    process_corner: Optional[ProcessCorner] = None,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
-    scheduler: Optional["ParallelChunkScheduler"] = None,
+    stats: TraceStatistics | TraceSummary | BusTrace | TraceSource,
+    process_corner: ProcessCorner | None = None,
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
+    scheduler: "ParallelChunkScheduler" | None = None,
 ) -> FixedScalingResult:
     """Run the fixed VS baseline on a workload and report its energy gain.
 

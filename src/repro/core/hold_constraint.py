@@ -24,7 +24,7 @@ delay) can be checked quantitatively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.bus.bus_design import BusDesign
 from repro.circuit.pvt import BEST_CASE_CORNER, PVTCorner
@@ -70,8 +70,8 @@ class HoldAnalysis:
 
 def fastest_bus_delay(
     design: BusDesign,
-    corners: Optional[Sequence[PVTCorner]] = None,
-    vdd: Optional[float] = None,
+    corners: Sequence[PVTCorner] | None = None,
+    vdd: float | None = None,
 ) -> tuple:
     """The quiet-pattern bus delay at the fastest of the given corners.
 
@@ -103,9 +103,9 @@ def fastest_bus_delay(
 
 def analyze_hold_constraint(
     design: BusDesign,
-    corners: Optional[Sequence[PVTCorner]] = None,
+    corners: Sequence[PVTCorner] | None = None,
     hold_time: float = 0.0,
-    vdd: Optional[float] = None,
+    vdd: float | None = None,
 ) -> HoldAnalysis:
     """Largest admissible shadow-clock delay for a bus design.
 

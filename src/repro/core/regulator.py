@@ -12,7 +12,6 @@ known process corner), so error recovery always succeeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
 
 from repro.circuit.lookup_table import VoltageGrid
 from repro.utils.validation import check_positive
@@ -53,8 +52,8 @@ class VoltageRegulator:
     v_max: float
     initial_voltage: float
     ramp_delay_cycles: int = 3000
-    _events: List[VoltageEvent] = field(default_factory=list, repr=False)
-    _pending: Optional[VoltageEvent] = field(default=None, repr=False)
+    _events: list[VoltageEvent] = field(default_factory=list, repr=False)
+    _pending: VoltageEvent | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         check_positive("ramp_delay_cycles", self.ramp_delay_cycles, strict=False)
@@ -77,19 +76,19 @@ class VoltageRegulator:
         return self._events[-1].voltage
 
     @property
-    def pending_change(self) -> Optional[VoltageEvent]:
+    def pending_change(self) -> VoltageEvent | None:
         """The scheduled-but-not-yet-applied change, if any."""
         return self._pending
 
     @property
-    def events(self) -> List[VoltageEvent]:
+    def events(self) -> list[VoltageEvent]:
         """All applied voltage events (cycle, voltage), in order."""
         return list(self._events)
 
     # ------------------------------------------------------------------ #
     # Operation
     # ------------------------------------------------------------------ #
-    def request_change(self, delta: float, decision_cycle: int) -> Optional[VoltageEvent]:
+    def request_change(self, delta: float, decision_cycle: int) -> VoltageEvent | None:
         """Request a voltage change of ``delta`` volts at ``decision_cycle``.
 
         The change is clamped to the regulator's floor/ceiling, snapped to the
@@ -112,22 +111,22 @@ class VoltageRegulator:
         self._pending = event
         return event
 
-    def apply_until(self, cycle: int) -> List[VoltageEvent]:
+    def apply_until(self, cycle: int) -> list[VoltageEvent]:
         """Apply any pending change whose application cycle is <= ``cycle``."""
-        applied: List[VoltageEvent] = []
+        applied: list[VoltageEvent] = []
         if self._pending is not None and self._pending.cycle <= cycle:
             self._events.append(self._pending)
             applied.append(self._pending)
             self._pending = None
         return applied
 
-    def voltage_breakpoints(self, n_cycles: int) -> List[Tuple[int, int, float]]:
+    def voltage_breakpoints(self, n_cycles: int) -> list[tuple[int, int, float]]:
         """Piecewise-constant voltage segments covering ``[0, n_cycles)``.
 
         Returns a list of ``(start_cycle, end_cycle, voltage)`` tuples that a
         vectorised energy computation can consume directly.
         """
-        segments: List[Tuple[int, int, float]] = []
+        segments: list[tuple[int, int, float]] = []
         events = self._events
         for index, event in enumerate(events):
             start = event.cycle

@@ -10,7 +10,6 @@ ramp delay, safety floor) is in the regulator (:mod:`repro.core.regulator`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 from repro.core.error_detection import DEFAULT_WINDOW_CYCLES, WindowMeasurement
 from repro.core.policies import BangBangPolicy, ControlPolicy
@@ -23,7 +22,7 @@ class ControlDecision:
 
     window: WindowMeasurement
     requested_delta: float
-    scheduled_event: Optional[VoltageEvent]
+    scheduled_event: VoltageEvent | None
 
 
 @dataclass
@@ -44,7 +43,7 @@ class WindowedVoltageController:
     regulator: VoltageRegulator
     policy: ControlPolicy = field(default_factory=BangBangPolicy)
     window_cycles: int = DEFAULT_WINDOW_CYCLES
-    decisions: List[ControlDecision] = field(default_factory=list, repr=False)
+    decisions: list[ControlDecision] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.window_cycles <= 0:
@@ -65,7 +64,7 @@ class WindowedVoltageController:
         """
         delta = self.policy.decide(measurement.error_rate)
         decision_cycle = measurement.start_cycle + measurement.n_cycles
-        event: Optional[VoltageEvent] = None
+        event: VoltageEvent | None = None
         if delta != 0.0:
             event = self.regulator.request_change(delta, decision_cycle)
         decision = ControlDecision(

@@ -23,7 +23,6 @@ carry the offending line number.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
 
 from repro.cpu.isa import (
     BRANCH_OPS,
@@ -66,7 +65,7 @@ def format_instruction(instruction: Instruction) -> str:
     return opcode.value  # nop / halt
 
 
-def format_program(program: "list[Instruction]") -> str:
+def format_program(program: list[Instruction]) -> str:
     """Render a whole program, one instruction per line."""
     return "\n".join(format_instruction(instruction) for instruction in program)
 
@@ -74,7 +73,7 @@ def format_program(program: "list[Instruction]") -> str:
 class AssemblyError(ValueError):
     """Raised for any syntax or semantic error in an assembly program."""
 
-    def __init__(self, message: str, line_number: Optional[int] = None) -> None:
+    def __init__(self, message: str, line_number: int | None = None) -> None:
         prefix = f"line {line_number}: " if line_number is not None else ""
         super().__init__(prefix + message)
         self.line_number = line_number
@@ -106,11 +105,11 @@ def _parse_immediate(token: str, line_number: int) -> int:
         raise AssemblyError(f"invalid immediate {token!r}", line_number) from error
 
 
-def _split_operands(operand_text: str) -> List[str]:
+def _split_operands(operand_text: str) -> list[str]:
     return [part.strip() for part in operand_text.split(",") if part.strip()]
 
 
-def _parse_memory_operand(token: str, line_number: int) -> Tuple[int, Register]:
+def _parse_memory_operand(token: str, line_number: int) -> tuple[int, Register]:
     match = _MEMORY_OPERAND.match(token.strip())
     if not match:
         raise AssemblyError(
@@ -121,9 +120,9 @@ def _parse_memory_operand(token: str, line_number: int) -> Tuple[int, Register]:
     return offset, base
 
 
-def _collect_lines(source: str) -> List[Tuple[int, str]]:
+def _collect_lines(source: str) -> list[tuple[int, str]]:
     """Non-empty source lines with their 1-based line numbers, labels split off."""
-    collected: List[Tuple[int, str]] = []
+    collected: list[tuple[int, str]] = []
     for line_number, raw in enumerate(source.splitlines(), start=1):
         stripped = _strip_comment(raw)
         if stripped:
@@ -131,7 +130,7 @@ def _collect_lines(source: str) -> List[Tuple[int, str]]:
     return collected
 
 
-def assemble(source: str) -> List[Instruction]:
+def assemble(source: str) -> list[Instruction]:
     """Assemble a program text into an instruction list.
 
     The first pass records label addresses (instruction indices), the second
@@ -140,8 +139,8 @@ def assemble(source: str) -> List[Instruction]:
     lines = _collect_lines(source)
 
     # Pass 1: label addresses.
-    labels: Dict[str, int] = {}
-    statements: List[Tuple[int, str]] = []  # (line_number, statement text)
+    labels: dict[str, int] = {}
+    statements: list[tuple[int, str]] = []  # (line_number, statement text)
     for line_number, text in lines:
         while True:
             match = _LABEL_DEFINITION.match(text)
@@ -158,13 +157,13 @@ def assemble(source: str) -> List[Instruction]:
             statements.append((line_number, text))
 
     # Pass 2: encode.
-    instructions: List[Instruction] = []
+    instructions: list[Instruction] = []
     for line_number, text in statements:
         instructions.append(_assemble_statement(text, line_number, labels))
     return instructions
 
 
-def _resolve_target(token: str, labels: Dict[str, int], line_number: int) -> int:
+def _resolve_target(token: str, labels: dict[str, int], line_number: int) -> int:
     token = token.strip()
     if token in labels:
         return labels[token]
@@ -175,7 +174,7 @@ def _resolve_target(token: str, labels: Dict[str, int], line_number: int) -> int
 
 
 def _assemble_statement(
-    text: str, line_number: int, labels: Dict[str, int]
+    text: str, line_number: int, labels: dict[str, int]
 ) -> Instruction:
     parts = text.split(None, 1)
     mnemonic = parts[0].lower()

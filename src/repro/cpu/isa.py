@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 #: Number of general-purpose registers (r0 is hardwired to zero).
 N_REGISTERS = 16
@@ -35,7 +34,7 @@ class Register(int):
     while staying directly usable as an array index.
     """
 
-    def __new__(cls, index: int) -> "Register":
+    def __new__(cls, index: int) -> Register:
         if not 0 <= int(index) < N_REGISTERS:
             raise ValueError(f"register index must be in 0..{N_REGISTERS - 1}, got {index}")
         return super().__new__(cls, int(index))
@@ -128,11 +127,11 @@ class Instruction:
     """
 
     opcode: Opcode
-    rd: Optional[Register] = None
-    rs1: Optional[Register] = None
-    rs2: Optional[Register] = None
+    rd: Register | None = None
+    rs1: Register | None = None
+    rs2: Register | None = None
     imm: int = 0
-    target: Optional[int] = None
+    target: int | None = None
 
     def __post_init__(self) -> None:
         if self.opcode in REG_REG_OPS and (

@@ -18,7 +18,7 @@ would be worthless as evidence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from collections.abc import Callable
 
 import numpy as np
 
@@ -60,10 +60,10 @@ class Kernel:
     name: str
     description: str
     source: str
-    build: Callable[[np.random.Generator], Tuple[MainMemory, Verifier]]
+    build: Callable[[np.random.Generator], tuple[MainMemory, Verifier]]
     data_flavor: str
 
-    def prepare(self, seed: SeedLike = None) -> Tuple[MainMemory, Verifier]:
+    def prepare(self, seed: SeedLike = None) -> tuple[MainMemory, Verifier]:
         """Build a fresh data image (and its verifier) for one execution."""
         return self.build(make_rng(seed))
 
@@ -101,7 +101,7 @@ def _stream_sum_source(n_words: int) -> str:
 def _make_stream_sum(n_words: int, flavor: str) -> Kernel:
     payload = _integer_payload if flavor == "integer" else _float_payload
 
-    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+    def build(rng: np.random.Generator) -> tuple[MainMemory, Verifier]:
         data = payload(rng, n_words)
         memory = MainMemory()
         memory.store_block(ARRAY_BASE, data.tolist())
@@ -138,7 +138,7 @@ def _make_memcopy(n_words: int) -> Kernel:
         halt
     """
 
-    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+    def build(rng: np.random.Generator) -> tuple[MainMemory, Verifier]:
         data = rng.integers(0, 1 << 32, size=n_words, dtype=np.int64)
         memory = MainMemory()
         memory.store_block(ARRAY_BASE, data.tolist())
@@ -178,7 +178,7 @@ def _make_pointer_chase(n_nodes: int, n_steps: int) -> Kernel:
         halt
     """
 
-    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+    def build(rng: np.random.Generator) -> tuple[MainMemory, Verifier]:
         # Nodes are two words each: [next_pointer, payload]; the next pointers
         # form one random cycle over all nodes so the chase never terminates
         # early.
@@ -252,7 +252,7 @@ def _make_matmul(k: int) -> Kernel:
         halt
     """
 
-    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+    def build(rng: np.random.Generator) -> tuple[MainMemory, Verifier]:
         a = _float_payload(rng, k * k).reshape(k, k)
         b = _float_payload(rng, k * k).reshape(k, k)
         memory = MainMemory()
@@ -303,7 +303,7 @@ def _make_fibonacci(n_terms: int) -> Kernel:
         halt
     """
 
-    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+    def build(rng: np.random.Generator) -> tuple[MainMemory, Verifier]:
         del rng  # the Fibonacci kernel has no random data
         memory = MainMemory()
         expected = [0, 1]
@@ -362,7 +362,7 @@ def _make_binary_search(n_words: int, n_queries: int) -> Kernel:
         halt
     """
 
-    def build(rng: np.random.Generator) -> Tuple[MainMemory, Verifier]:
+    def build(rng: np.random.Generator) -> tuple[MainMemory, Verifier]:
         table = np.sort(rng.choice(np.arange(0, 4 * n_words), size=n_words, replace=False))
         keys = rng.integers(0, 4 * n_words, size=n_queries, dtype=np.int64)
         memory = MainMemory()
@@ -388,7 +388,7 @@ def _make_binary_search(n_words: int, n_queries: int) -> Kernel:
 
 
 #: All built-in kernels, keyed by name.
-KERNELS: Dict[str, Kernel] = {
+KERNELS: dict[str, Kernel] = {
     kernel.name: kernel
     for kernel in (
         _make_stream_sum(256, "integer"),

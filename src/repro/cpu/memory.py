@@ -18,7 +18,7 @@ for the kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.cpu.isa import WORD_MASK, to_word
 from repro.utils.validation import check_positive
@@ -32,7 +32,7 @@ class MainMemory:
     """
 
     def __init__(self, image: Mapping[int, int] | None = None) -> None:
-        self._words: Dict[int, int] = {}
+        self._words: dict[int, int] = {}
         if image:
             for address, value in image.items():
                 self.store(address, value)
@@ -82,7 +82,7 @@ class DirectMappedCache:
 
     n_lines: int = 64
     line_words: int = 8
-    _tags: Dict[int, int] = field(default_factory=dict, repr=False)
+    _tags: dict[int, int] = field(default_factory=dict, repr=False)
     hits: int = field(default=0, repr=False)
     misses: int = field(default=0, repr=False)
 

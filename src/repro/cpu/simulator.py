@@ -17,7 +17,7 @@ is exactly how the downstream trace container expects the stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.cpu.isa import (
     BRANCH_OPS,
@@ -62,11 +62,11 @@ class ExecutionResult:
 
     instructions_executed: int
     halted: bool
-    bus_words: List[int]
+    bus_words: list[int]
     loads: int
     stores: int
-    cache_hit_rate: Optional[float]
-    registers: List[int]
+    cache_hit_rate: float | None
+    registers: list[int]
 
     @property
     def load_fraction(self) -> float:
@@ -95,8 +95,8 @@ class CPU:
     def __init__(
         self,
         program: Sequence[Instruction],
-        memory: Optional[MainMemory] = None,
-        cache: Optional[DirectMappedCache] = None,
+        memory: MainMemory | None = None,
+        cache: DirectMappedCache | None = None,
         bus_policy: str = "all_loads",
     ) -> None:
         if not program:
@@ -109,17 +109,17 @@ class CPU:
         self.memory = memory if memory is not None else MainMemory()
         self.cache = cache
         self.bus_policy = bus_policy
-        self.registers: List[int] = [0] * N_REGISTERS
+        self.registers: list[int] = [0] * N_REGISTERS
         self.pc = 0
 
     # ------------------------------------------------------------------ #
     # Register helpers
     # ------------------------------------------------------------------ #
-    def _read(self, register: Optional[Register]) -> int:
+    def _read(self, register: Register | None) -> int:
         assert register is not None  # guaranteed by Instruction validation
         return self.registers[register]
 
-    def _write(self, register: Optional[Register], value: int) -> None:
+    def _write(self, register: Register | None, value: int) -> None:
         assert register is not None
         if int(register) == 0:
             return  # r0 is hardwired to zero
@@ -133,7 +133,7 @@ class CPU:
         if max_instructions <= 0:
             raise ValueError(f"max_instructions must be positive, got {max_instructions}")
 
-        bus_words: List[int] = []
+        bus_words: list[int] = []
         bus_value = 0
         executed = 0
         loads = 0

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -48,7 +48,7 @@ class KernelTraceResult:
     runs: int
     instructions_executed: int
     load_fraction: float
-    cache_hit_rate: Optional[float]
+    cache_hit_rate: float | None
 
 
 def kernel_run_rng(root: np.random.SeedSequence, run_index: int) -> np.random.Generator:
@@ -79,10 +79,10 @@ def kernel_seed_sequence(seed: SeedLike, name: str) -> np.random.SeedSequence:
 def execute_kernel_once(
     kernel: Kernel,
     rng: np.random.Generator,
-    cache: Optional[DirectMappedCache],
+    cache: DirectMappedCache | None,
     bus_policy: str,
     max_instructions: int,
-) -> Tuple[ExecutionResult, MainMemory]:
+) -> tuple[ExecutionResult, MainMemory]:
     """Build a fresh data image, run the kernel once, and verify the result."""
     memory, verify = kernel.build(rng)
     cpu = CPU(assemble(kernel.source), memory=memory, cache=cache, bus_policy=bus_policy)
@@ -102,7 +102,7 @@ def kernel_bus_trace(
     *,
     seed: SeedLike = None,
     bus_policy: str = "all_loads",
-    cache: Optional[DirectMappedCache] = None,
+    cache: DirectMappedCache | None = None,
     n_bits: int = 32,
     max_instructions_per_run: int = 200_000,
 ) -> KernelTraceResult:
@@ -166,11 +166,11 @@ def kernel_bus_trace(
 
 
 def kernel_suite(
-    names: Optional[Sequence[str]] = None,
+    names: Sequence[str] | None = None,
     n_cycles: int = 20_000,
     seed: SeedLike = None,
     bus_policy: str = "all_loads",
-) -> Dict[str, BusTrace]:
+) -> dict[str, BusTrace]:
     """Bus traces for a set of kernels (mirrors ``repro.trace.generate_suite``).
 
     Each kernel gets its own deterministic random stream derived from the

@@ -16,7 +16,7 @@ for a workload:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.bus.bus_design import BusDesign
 from repro.bus.bus_model import CharacterizedBus
@@ -30,7 +30,7 @@ from repro.energy.gains import energy_gain_percent
 from repro.trace.trace import BusTrace
 
 
-def default_encoders() -> List[BusEncoder]:
+def default_encoders() -> list[BusEncoder]:
     """The encoder set evaluated by the encoding study and its benchmark."""
     return [
         IdentityEncoder(),
@@ -41,7 +41,7 @@ def default_encoders() -> List[BusEncoder]:
     ]
 
 
-def encoder_names() -> Tuple[str, ...]:
+def encoder_names() -> tuple[str, ...]:
     """Self-declared names of the :func:`default_encoders` set, in order."""
     return tuple(encoder.name for encoder in default_encoders())
 
@@ -125,7 +125,7 @@ class EncodingStudy:
 
     workload_name: str
     corner: PVTCorner
-    evaluations: Tuple[EncoderEvaluation, ...]
+    evaluations: tuple[EncoderEvaluation, ...]
 
     def by_name(self, encoder_name: str) -> EncoderEvaluation:
         """Look up one encoder's evaluation by name."""
@@ -171,8 +171,8 @@ def design_for_width(reference: BusDesign, n_wires: int) -> BusDesign:
 def run_encoding_study(
     trace: BusTrace,
     corner: PVTCorner = TYPICAL_CORNER,
-    encoders: Optional[Sequence[BusEncoder]] = None,
-    design: Optional[BusDesign] = None,
+    encoders: Sequence[BusEncoder] | None = None,
+    design: BusDesign | None = None,
     window_cycles: int = 2_000,
     ramp_delay_cycles: int = 600,
     warmup_fraction: float = 0.5,
@@ -208,8 +208,8 @@ def run_encoding_study(
     reference_stats = reference_bus.analyze(trace.values)
     reference_energy = reference_bus.nominal_energy(reference_stats).total_with_recovery
 
-    buses: Dict[int, CharacterizedBus] = {design.n_bits: reference_bus}
-    evaluations: List[EncoderEvaluation] = []
+    buses: dict[int, CharacterizedBus] = {design.n_bits: reference_bus}
+    evaluations: list[EncoderEvaluation] = []
     warmup = int(warmup_fraction * trace.n_cycles)
     # DVS gains are reported over the post-warm-up region, so the unencoded
     # nominal reference must cover exactly the same cycles.

@@ -18,7 +18,7 @@ over the materialised trace.
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional, Tuple
+from typing import Any
 
 import numpy as np
 
@@ -68,8 +68,8 @@ class BusEncoder(abc.ABC):
     # Streaming
     # ------------------------------------------------------------------ #
     def encode_block(
-        self, values: np.ndarray, state: Optional[StreamState], first_word: bool
-    ) -> Tuple[np.ndarray, StreamState]:
+        self, values: np.ndarray, state: StreamState | None, first_word: bool
+    ) -> tuple[np.ndarray, StreamState]:
         """Encode a run of data words, carrying stream state between blocks.
 
         ``values`` is a 0/1 ``(n_words, n_bits)`` array of *data* words (no

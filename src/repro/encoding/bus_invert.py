@@ -18,7 +18,6 @@ inherently sequential; decoding is fully vectorised.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -46,7 +45,7 @@ class BusInvertEncoder(BusEncoder):
     # ------------------------------------------------------------------ #
     # Layout helpers
     # ------------------------------------------------------------------ #
-    def _group_slices(self, n_bits: int) -> List[slice]:
+    def _group_slices(self, n_bits: int) -> list[slice]:
         """Signal-wire slices of each independently inverted group."""
         size = n_bits if self.group_size is None else self.group_size
         return [slice(start, min(start + size, n_bits)) for start in range(0, n_bits, size)]
@@ -76,7 +75,7 @@ class BusInvertEncoder(BusEncoder):
         start: int,
         previous: np.ndarray,
         previous_invert: np.ndarray,
-        groups: List[slice],
+        groups: list[slice],
         n_bits: int,
     ) -> None:
         """Run the per-word invert decisions over ``data[start:]`` in place.
@@ -125,8 +124,8 @@ class BusInvertEncoder(BusEncoder):
         return BusTrace(values=encoded, name=f"{trace.name}/{self.name}")
 
     def encode_block(
-        self, values: np.ndarray, state: Optional[StreamState], first_word: bool
-    ) -> Tuple[np.ndarray, StreamState]:
+        self, values: np.ndarray, state: StreamState | None, first_word: bool
+    ) -> tuple[np.ndarray, StreamState]:
         """Streamed encode carrying the previously driven word and invert lines.
 
         The per-word decision only ever looks at what is currently *on the

@@ -14,7 +14,6 @@ vectorised (a cumulative parity along the time axis).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -40,8 +39,8 @@ class TransitionEncoder(BusEncoder):
         return BusTrace(values=encoded.astype(np.uint8), name=f"{trace.name}/{self.name}")
 
     def encode_block(
-        self, values: np.ndarray, state: Optional[StreamState], first_word: bool
-    ) -> Tuple[np.ndarray, StreamState]:
+        self, values: np.ndarray, state: StreamState | None, first_word: bool
+    ) -> tuple[np.ndarray, StreamState]:
         """Streamed encode: the carried state is the cumulative data parity.
 
         Each wire's state is the XOR of all data bits seen so far, so a block

@@ -55,7 +55,7 @@ class EnergyBreakdown:
         """Bus energy plus recovery overhead (the paper's Fig. 4 second curve)."""
         return self.bus_energy + self.recovery_overhead
 
-    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+    def __add__(self, other: EnergyBreakdown) -> EnergyBreakdown:
         if not isinstance(other, EnergyBreakdown):
             return NotImplemented
         return EnergyBreakdown(
@@ -65,7 +65,7 @@ class EnergyBreakdown:
             recovery_overhead=self.recovery_overhead + other.recovery_overhead,
         )
 
-    def scaled(self, factor: float) -> "EnergyBreakdown":
+    def scaled(self, factor: float) -> EnergyBreakdown:
         """Scale every component by a non-negative factor."""
         if factor < 0.0:
             raise ValueError(f"factor must be >= 0, got {factor}")
@@ -76,7 +76,7 @@ class EnergyBreakdown:
             recovery_overhead=self.recovery_overhead * factor,
         )
 
-    def normalized_to(self, reference: "EnergyBreakdown") -> "EnergyBreakdown":
+    def normalized_to(self, reference: EnergyBreakdown) -> EnergyBreakdown:
         """Express this breakdown as a fraction of a reference total.
 
         Used to produce the paper's "Energy (Normalized)" axes, where 1.0 is

@@ -8,11 +8,10 @@ driver reports gains consistently.
 
 from __future__ import annotations
 
-from typing import Union
 
 from repro.energy.accounting import EnergyBreakdown
 
-Number = Union[int, float]
+Number = int | float
 
 
 def energy_gain(reference: Number, scaled: Number) -> float:

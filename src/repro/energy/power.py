@@ -14,7 +14,7 @@ Two derived views are commonly asked of such results and are provided here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING
 
 from repro.clocking import ClockingParameters
 from repro.utils.validation import check_positive
@@ -22,7 +22,7 @@ from repro.utils.validation import check_positive
 if TYPE_CHECKING:  # imported for annotations only; avoids an energy <-> core cycle
     from repro.core.dvs_system import DVSRunResult
 
-Number = Union[int, float]
+Number = int | float
 
 
 def average_power(energy_joules: Number, duration_seconds: Number) -> float:

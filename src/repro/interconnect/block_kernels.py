@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import sys
 from functools import lru_cache
-from typing import Tuple
 
 import numpy as np
 
@@ -209,7 +208,7 @@ def _neighbor_planes(
     shift: int,
     left: bool,
     mask: np.number,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """(opposite, same) bitplanes of one neighbour relation.
 
     ``shift`` is the wire distance (1 or 2); ``left`` selects the direction
@@ -229,7 +228,7 @@ def _neighbor_planes(
     return opposite, same
 
 
-def _transition_lanes(lanes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _transition_lanes(lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """(toggled, new-value) lanes of every transition of a word stream."""
     new = lanes[1:]
     return new ^ lanes[:-1], new
@@ -241,7 +240,7 @@ def _class_planes(
     same_a: np.ndarray,
     opposite_b: np.ndarray,
     same_b: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Bitplanes of the five ``2 + #opp - #same`` classes, descending (4..0).
 
     The two opposite/same planes of one neighbour pair are mutually exclusive
@@ -256,7 +255,7 @@ def _class_planes(
     return class4, class3, class2, class1, class0
 
 
-def _pick_highest(planes: Tuple[np.ndarray, ...]) -> Tuple[np.ndarray, np.ndarray]:
+def _pick_highest(planes: tuple[np.ndarray, ...]) -> tuple[np.ndarray, np.ndarray]:
     """Per cycle: the highest non-empty plane's level (4..0) and its wires.
 
     ``planes`` are descending class bitplanes; returns the uint8 level per
@@ -386,7 +385,7 @@ def block_coupling_energy_weights(
 
 def block_statistics_arrays(
     packed: np.ndarray, topology: NeighborTopology
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(worst_coupling, toggles, coupling_weights) of one packed word block.
 
     The vectorized engine's whole-chunk entry point: one lane conversion,

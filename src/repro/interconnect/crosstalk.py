@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -395,7 +394,7 @@ def packed_coupling_energy_weights(
     return weights.astype(np.float64)
 
 
-def classify_pattern(victim: int, left: int, right: int) -> Tuple[SwitchingPattern, float]:
+def classify_pattern(victim: int, left: int, right: int) -> tuple[SwitchingPattern, float]:
     """Classify a single victim/aggressor combination (scalar helper).
 
     Returns the canonical :class:`SwitchingPattern` (best match by coupling

@@ -22,7 +22,7 @@ This module makes those design-space arguments runnable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -78,9 +78,9 @@ class RepeaterDesignSpace:
     technology_name: str
     corner: PVTCorner
     target_delay: float
-    points: Tuple[RepeaterDesignPoint, ...]
+    points: tuple[RepeaterDesignPoint, ...]
 
-    def feasible_points(self) -> Tuple[RepeaterDesignPoint, ...]:
+    def feasible_points(self) -> tuple[RepeaterDesignPoint, ...]:
         """Points meeting the delay target."""
         return tuple(point for point in self.points if point.meets_target)
 
@@ -214,9 +214,9 @@ class ShieldIntervalPoint:
     shield_group: int
     n_tracks: int
     max_coupling_factor: float
-    repeater_size: Optional[float]
-    worst_case_delay: Optional[float]
-    delay_spread: Optional[float]
+    repeater_size: float | None
+    worst_case_delay: float | None
+    delay_spread: float | None
 
     @property
     def feasible(self) -> bool:
@@ -247,7 +247,7 @@ class ShieldIntervalStudy:
     technology_name: str
     corner: PVTCorner
     target_delay: float
-    points: Tuple[ShieldIntervalPoint, ...]
+    points: tuple[ShieldIntervalPoint, ...]
 
     def by_group(self, shield_group: int) -> ShieldIntervalPoint:
         """Look up one interval's results."""

@@ -56,11 +56,11 @@ class WireGeometry:
         """Conductor cross-sectional area (width x thickness)."""
         return self.width * self.thickness
 
-    def with_length(self, length: float) -> "WireGeometry":
+    def with_length(self, length: float) -> WireGeometry:
         """Return a copy of this geometry with a different routed length."""
         return replace(self, length=length)
 
-    def scaled(self, factor: float) -> "WireGeometry":
+    def scaled(self, factor: float) -> WireGeometry:
         """Uniformly scale the cross-section (not the length) by ``factor``.
 
         Used by the technology-scaling study: lateral dimensions shrink with

@@ -69,7 +69,7 @@ class WireParasitics:
         """Physical (non-Miller) total capacitance, ``Cg + 2 Cc``."""
         return self.ground_cap_per_meter + 2.0 * self.coupling_cap_per_meter
 
-    def for_length(self, length: float) -> "SegmentParasitics":
+    def for_length(self, length: float) -> SegmentParasitics:
         """Lumped parasitics of a wire segment of the given length."""
         check_positive("length", length)
         return SegmentParasitics(

@@ -15,7 +15,7 @@ from the 0.13 um baseline, and :func:`delay_spread_metric` computes the
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 from repro.interconnect.parasitics import WireParasitics, extract_parasitics
 from repro.interconnect.technology import TECH_130NM, TechnologyNode
@@ -68,13 +68,13 @@ def scale_technology(
 def scaled_node_series(
     feature_sizes: Sequence[float] = (130e-9, 90e-9, 65e-9, 45e-9),
     base: TechnologyNode = TECH_130NM,
-) -> Dict[str, TechnologyNode]:
+) -> dict[str, TechnologyNode]:
     """A series of scaled nodes keyed by name, starting from the baseline.
 
     Narrower lines suffer increasing barrier/surface-scattering resistivity,
     modelled as a mild super-linear degradation with shrink.
     """
-    nodes: Dict[str, TechnologyNode] = {}
+    nodes: dict[str, TechnologyNode] = {}
     for feature_size in feature_sizes:
         shrink = feature_size / base.feature_size
         degradation = (1.0 / shrink) ** 0.25
@@ -106,8 +106,8 @@ def delay_spread_metric(node: TechnologyNode, segment_length: float = 1.5e-3) ->
 
 
 def delay_spread_trend(
-    nodes: Dict[str, TechnologyNode] | None = None, segment_length: float = 1.5e-3
-) -> Dict[str, float]:
+    nodes: dict[str, TechnologyNode] | None = None, segment_length: float = 1.5e-3
+) -> dict[str, float]:
     """``R x Cc`` metric per node, normalised to the first node in the series."""
     if nodes is None:
         nodes = scaled_node_series()

@@ -77,7 +77,7 @@ class TechnologyNode:
             length=length,
         )
 
-    def with_transistor(self, transistor: TransistorParams) -> "TechnologyNode":
+    def with_transistor(self, transistor: TransistorParams) -> TechnologyNode:
         """Return a copy of this node with different device parameters."""
         return replace(self, transistor=transistor)
 

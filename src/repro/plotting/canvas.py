@@ -11,7 +11,6 @@ all data collapse onto one value) lives in exactly one place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 from repro.utils.validation import check_positive
 
@@ -39,10 +38,10 @@ class DataWindow:
     @classmethod
     def around(
         cls,
-        xs: List[float],
-        ys: List[float],
+        xs: list[float],
+        ys: list[float],
         pad_fraction: float = 0.0,
-    ) -> "DataWindow":
+    ) -> DataWindow:
         """The smallest window containing every point, optionally padded."""
         if not xs or not ys:
             raise ValueError("cannot build a data window around an empty point set")
@@ -83,12 +82,12 @@ class Canvas:
         self.width = int(width)
         self.height = int(height)
         self.window = window
-        self._cells: List[List[str]] = [[" "] * self.width for _ in range(self.height)]
+        self._cells: list[list[str]] = [[" "] * self.width for _ in range(self.height)]
 
     # ------------------------------------------------------------------ #
     # Coordinate mapping
     # ------------------------------------------------------------------ #
-    def cell_for(self, x: float, y: float) -> Optional[Tuple[int, int]]:
+    def cell_for(self, x: float, y: float) -> tuple[int, int] | None:
         """Grid cell (row, column) for a data point, or ``None`` if outside."""
         fx = self.window.x_fraction(x)
         fy = self.window.y_fraction(y)
@@ -153,7 +152,7 @@ class Canvas:
         x_format: str = "{:.3g}",
     ) -> str:
         """Render the canvas with a frame, axis extents and optional labels."""
-        lines: List[str] = []
+        lines: list[str] = []
         label_width = max(
             len(y_format.format(self.window.y_min)),
             len(y_format.format(self.window.y_max)),

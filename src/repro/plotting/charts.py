@@ -15,7 +15,7 @@ All functions return plain strings so they compose with the existing
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ class Series:
     name: str
     xs: Sequence[float]
     ys: Sequence[float]
-    marker: Optional[str] = None
+    marker: str | None = None
 
     def __post_init__(self) -> None:
         if len(self.xs) != len(self.ys):
@@ -54,8 +54,8 @@ def _legend(series: Sequence[Series], markers: Sequence[str]) -> str:
     return "legend: " + "   ".join(entries)
 
 
-def _assign_markers(series: Sequence[Series]) -> List[str]:
-    markers: List[str] = []
+def _assign_markers(series: Sequence[Series]) -> list[str]:
+    markers: list[str] = []
     for index, entry in enumerate(series):
         markers.append(entry.marker or DEFAULT_MARKERS[index % len(DEFAULT_MARKERS)])
     return markers
@@ -69,7 +69,7 @@ def line_chart(
     title: str = "",
     x_label: str = "",
     y_label: str = "",
-    window: Optional[DataWindow] = None,
+    window: DataWindow | None = None,
 ) -> str:
     """Render one or more series as connected line plots."""
     series = list(series)
@@ -99,7 +99,7 @@ def scatter_chart(
     title: str = "",
     x_label: str = "",
     y_label: str = "",
-    window: Optional[DataWindow] = None,
+    window: DataWindow | None = None,
 ) -> str:
     """Render one or more series as unconnected points."""
     series = list(series)
@@ -123,7 +123,7 @@ def bar_chart(
     width: int = 50,
     title: str = "",
     value_format: str = "{:.1f}",
-    max_value: Optional[float] = None,
+    max_value: float | None = None,
 ) -> str:
     """Render a horizontal bar chart (one row per label).
 
@@ -139,7 +139,7 @@ def bar_chart(
         raise ValueError("bar_chart needs at least one bar")
     top = max_value if max_value is not None else max(max(values), 0.0)
     label_width = max(len(label) for label in labels)
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     for label, value in zip(labels, values):
@@ -159,7 +159,7 @@ def histogram(
     width: int = 50,
     title: str = "",
     bin_format: str = "{:.3g}",
-    bin_edges: Optional[Sequence[float]] = None,
+    bin_edges: Sequence[float] | None = None,
 ) -> str:
     """Render a histogram of ``values`` as a horizontal bar chart.
 
@@ -192,7 +192,7 @@ def histogram(
 
 
 def residency_chart(
-    residency: Dict[float, float],
+    residency: dict[float, float],
     *,
     width: int = 50,
     title: str = "",
@@ -200,7 +200,7 @@ def residency_chart(
     """Fig. 6 helper: time share (%) per supply voltage, lowest voltage first."""
     if not residency:
         raise ValueError("residency_chart needs at least one voltage")
-    items: List[Tuple[float, float]] = sorted(residency.items())
+    items: list[tuple[float, float]] = sorted(residency.items())
     labels = [f"{voltage * 1000:.0f} mV" for voltage, _ in items]
     values = [share * 100.0 for _, share in items]
     return bar_chart(labels, values, width=width, title=title, value_format="{:.1f}%", max_value=100.0)

@@ -15,7 +15,7 @@ drift check hold.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 from xml.sax.saxutils import escape
 
 from repro.plotting.canvas import DataWindow
@@ -24,7 +24,7 @@ from repro.plotting.charts import Series
 __all__ = ["svg_line_chart", "svg_bar_chart", "PALETTE"]
 
 #: Line/bar fill colours cycled through per series (colour-blind-safe-ish).
-PALETTE: Tuple[str, ...] = (
+PALETTE: tuple[str, ...] = (
     "#1f77b4",
     "#d62728",
     "#2ca02c",
@@ -47,7 +47,7 @@ def _fmt(value: float) -> str:
     return f"{value:.2f}"
 
 
-def _tick_values(low: float, high: float, n: int = 5) -> List[float]:
+def _tick_values(low: float, high: float, n: int = 5) -> list[float]:
     if high == low:
         return [low]
     step = (high - low) / (n - 1)
@@ -78,7 +78,7 @@ class _Frame:
         """Pixel Y of a data Y coordinate (SVG Y grows downwards)."""
         return self.y1 - self.window.y_fraction(y) * (self.y1 - self.y0)
 
-    def header(self, title: str) -> List[str]:
+    def header(self, title: str) -> list[str]:
         parts = [
             f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
             f'height="{self.height:.0f}" viewBox="0 0 {self.width:.0f} {self.height:.0f}">',
@@ -99,9 +99,9 @@ class _Frame:
             'fill="none" stroke="#333333" stroke-width="1"/>'
         )
 
-    def x_ticks(self) -> List[str]:
+    def x_ticks(self) -> list[str]:
         """Tick marks and labels along the bottom edge."""
-        parts: List[str] = []
+        parts: list[str] = []
         for tick in _tick_values(self.window.x_min, self.window.x_max):
             px = self.px(tick)
             parts.append(
@@ -114,9 +114,9 @@ class _Frame:
             )
         return parts
 
-    def y_ticks(self) -> List[str]:
+    def y_ticks(self) -> list[str]:
         """Tick marks, labels and gridlines along the left edge."""
-        parts: List[str] = []
+        parts: list[str] = []
         for tick in _tick_values(self.window.y_min, self.window.y_max):
             py = self.py(tick)
             parts.append(
@@ -133,7 +133,7 @@ class _Frame:
             )
         return parts
 
-    def x_title(self, label: str) -> List[str]:
+    def x_title(self, label: str) -> list[str]:
         if not label:
             return []
         return [
@@ -141,7 +141,7 @@ class _Frame:
             f'text-anchor="middle" {_FONT} font-size="11">{escape(label)}</text>'
         ]
 
-    def y_title(self, label: str) -> List[str]:
+    def y_title(self, label: str) -> list[str]:
         if not label:
             return []
         cx, cy = 15.0, (self.y0 + self.y1) / 2
@@ -151,7 +151,7 @@ class _Frame:
             f"{escape(label)}</text>"
         ]
 
-    def axes(self, x_label: str, y_label: str) -> List[str]:
+    def axes(self, x_label: str, y_label: str) -> list[str]:
         return (
             [self.frame_rect()]
             + self.x_ticks()
@@ -160,8 +160,8 @@ class _Frame:
             + self.y_title(y_label)
         )
 
-    def legend(self, names: Sequence[str]) -> List[str]:
-        parts: List[str] = []
+    def legend(self, names: Sequence[str]) -> list[str]:
+        parts: list[str] = []
         y = self.y0 + 14
         for index, name in enumerate(names):
             colour = PALETTE[index % len(PALETTE)]
@@ -191,7 +191,7 @@ def svg_line_chart(
     title: str = "",
     x_label: str = "",
     y_label: str = "",
-    window: Optional[DataWindow] = None,
+    window: DataWindow | None = None,
     markers: bool = False,
 ) -> str:
     """Render one or more series as an SVG line chart.

@@ -25,7 +25,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any
+from collections.abc import Mapping, Sequence
 
 from repro.analysis.experiments import EXPERIMENTS, accepted_kwargs
 from repro.report.fidelity import FidelityReport, evaluate_fidelity
@@ -36,7 +37,7 @@ from repro.trace.generator import PAPER_CYCLES_PER_BENCHMARK
 __all__ = ["ReportBuild", "build_report", "resolve_experiments"]
 
 
-def resolve_experiments(selector: str) -> Tuple[str, ...]:
+def resolve_experiments(selector: str) -> tuple[str, ...]:
     """Expand a CLI experiment selector into registry ids.
 
     ``"all"`` selects every registered experiment; otherwise the selector is
@@ -54,9 +55,9 @@ def resolve_experiments(selector: str) -> Tuple[str, ...]:
     return identifiers
 
 
-def _validate_ids(identifiers) -> Tuple[str, ...]:
+def _validate_ids(identifiers) -> tuple[str, ...]:
     """Dedupe (first occurrence wins) and reject ids absent from the registry."""
-    ordered: List[str] = []
+    ordered: list[str] = []
     for identifier in identifiers:
         if identifier not in EXPERIMENTS:
             known = ", ".join(sorted(EXPERIMENTS))
@@ -71,9 +72,9 @@ class ReportBuild:
     """Outcome of one report run: where it went and how faithful it is."""
 
     out_dir: Path
-    rendered: Tuple[RenderedExperiment, ...]
+    rendered: tuple[RenderedExperiment, ...]
     fidelity: FidelityReport
-    written: Tuple[Path, ...]
+    written: tuple[Path, ...]
     n_cached: int
     n_executed: int
 
@@ -117,7 +118,7 @@ def _clean_previous_run(out_dir: Path) -> None:
             pass
 
 
-def _scale_note(n_cycles: Optional[int]) -> str:
+def _scale_note(n_cycles: int | None) -> str:
     if n_cycles is None:
         return (
             "Measured at the paper's scale "
@@ -134,10 +135,10 @@ def _scale_note(n_cycles: Optional[int]) -> str:
 def _regenerate_command(
     identifiers: Sequence[str],
     out_dir: Path,
-    n_cycles: Optional[int],
-    chunk_cycles: Optional[int],
+    n_cycles: int | None,
+    chunk_cycles: int | None,
     seed: int,
-    engine: Optional[str] = None,
+    engine: str | None = None,
 ) -> str:
     """The exact CLI invocation that reproduces this report (and hits its cache)."""
     command = f"python -m repro report --experiments {','.join(identifiers)}"
@@ -203,14 +204,14 @@ def _index_markdown(
 def build_report(
     experiments: Sequence[str],
     out_dir: Path,
-    cache: Optional[Any] = None,
+    cache: Any | None = None,
     jobs: int = 1,
-    n_cycles: Optional[int] = None,
-    chunk_cycles: Optional[int] = None,
+    n_cycles: int | None = None,
+    chunk_cycles: int | None = None,
     seed: int = 2005,
-    engine: Optional[str] = None,
+    engine: str | None = None,
     registry: ReferenceRegistry = PAPER_REFERENCES,
-    progress: Optional[Any] = None,
+    progress: Any | None = None,
 ) -> ReportBuild:
     """Run (or load) the requested experiments and write the artifact directory.
 
@@ -265,9 +266,9 @@ def build_report(
 
     out_dir = Path(out_dir)
     _clean_previous_run(out_dir)
-    rendered: List[RenderedExperiment] = []
-    data_by_experiment: Dict[str, Mapping[str, Any]] = {}
-    written: List[Path] = []
+    rendered: list[RenderedExperiment] = []
+    data_by_experiment: dict[str, Mapping[str, Any]] = {}
+    written: list[Path] = []
     for identifier, outcome in zip(identifiers, report.outcomes):
         record = outcome.result
         experiment = EXPERIMENTS[identifier]

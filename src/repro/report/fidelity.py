@@ -12,7 +12,8 @@ visible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any
+from collections.abc import Mapping
 
 from repro.report.reference import Reference, ReferenceRegistry, Status, extract_metric
 
@@ -24,17 +25,17 @@ class MetricCheck:
     """Verdict for one registered metric of one experiment."""
 
     reference: Reference
-    actual: Optional[float]
+    actual: float | None
     status: Status
 
     @property
-    def deviation(self) -> Optional[float]:
+    def deviation(self) -> float | None:
         """Absolute deviation from the published value (``None`` if missing)."""
         if self.actual is None:
             return None
         return self.reference.deviation(self.actual)
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         """Stable JSON-able view of this check."""
         return {
             "experiment": self.reference.experiment,
@@ -53,11 +54,11 @@ class MetricCheck:
 class FidelityReport:
     """All metric verdicts of one report run, plus scale provenance."""
 
-    checks: Tuple[MetricCheck, ...]
-    unreferenced: Tuple[str, ...]
+    checks: tuple[MetricCheck, ...]
+    unreferenced: tuple[str, ...]
     scale_note: str = ""
 
-    def counts(self) -> Dict[str, int]:
+    def counts(self) -> dict[str, int]:
         """Verdict counts keyed by status value (``pass`` / ``warn`` / ...)."""
         counts = {status.value: 0 for status in Status}
         for check in self.checks:
@@ -65,7 +66,7 @@ class FidelityReport:
         return counts
 
     @property
-    def worst_status(self) -> Optional[Status]:
+    def worst_status(self) -> Status | None:
         """The most severe verdict present, or ``None`` with no checks."""
         if not self.checks:
             return None
@@ -79,7 +80,7 @@ class FidelityReport:
             parts.append(f"{counts['missing']} missing")
         return ", ".join(parts)
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         """Stable JSON-able view (written as ``fidelity.json``)."""
         return {
             "summary": self.summary(),
@@ -139,7 +140,7 @@ def evaluate_fidelity(
         Provenance sentence recorded in the report (e.g. that the run used
         fewer cycles than the paper, so deviations are expected).
     """
-    checks: List[MetricCheck] = []
+    checks: list[MetricCheck] = []
     for identifier, data in data_by_experiment.items():
         for reference in registry.for_experiment(identifier):
             actual = extract_metric(data, reference.metric)

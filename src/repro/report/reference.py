@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any
+from collections.abc import Mapping, Sequence
 
 __all__ = [
     "Status",
@@ -62,7 +63,7 @@ class Status(enum.Enum):
         return ("pass", "warn", "fail", "missing").index(self.value)
 
 
-def extract_metric(data: Mapping[str, Any], path: str) -> Optional[float]:
+def extract_metric(data: Mapping[str, Any], path: str) -> float | None:
     """Resolve a dotted metric path inside a serialised experiment payload.
 
     Path segments are dict keys; purely numeric segments index into lists
@@ -149,7 +150,7 @@ class Reference:
     def _threshold(self, tolerance: float) -> float:
         return tolerance * abs(self.paper_value) if self.relative else tolerance
 
-    def check(self, actual: Optional[float]) -> Status:
+    def check(self, actual: float | None) -> Status:
         """Verdict for a measured value (``None`` means the metric is missing)."""
         if actual is None:
             return Status.MISSING
@@ -174,12 +175,12 @@ class ReferenceRegistry:
     """An immutable collection of :class:`Reference` entries, queryable by experiment."""
 
     def __init__(self, references: Sequence[Reference]) -> None:
-        seen: Dict[str, Reference] = {}
+        seen: dict[str, Reference] = {}
         for reference in references:
             if reference.name in seen:
                 raise ValueError(f"duplicate reference {reference.name!r}")
             seen[reference.name] = reference
-        self._references: Tuple[Reference, ...] = tuple(references)
+        self._references: tuple[Reference, ...] = tuple(references)
 
     def __len__(self) -> int:
         return len(self._references)
@@ -192,19 +193,19 @@ class ReferenceRegistry:
         return iter(self._references)
 
     @property
-    def references(self) -> Tuple[Reference, ...]:
+    def references(self) -> tuple[Reference, ...]:
         """Every entry, declaration order."""
         return self._references
 
-    def experiments(self) -> Tuple[str, ...]:
+    def experiments(self) -> tuple[str, ...]:
         """Experiment ids with at least one reference, declaration order."""
-        ordered: List[str] = []
+        ordered: list[str] = []
         for reference in self._references:
             if reference.experiment not in ordered:
                 ordered.append(reference.experiment)
         return tuple(ordered)
 
-    def for_experiment(self, identifier: str) -> Tuple[Reference, ...]:
+    def for_experiment(self, identifier: str) -> tuple[Reference, ...]:
         """All references contributed by one experiment (may be empty)."""
         return tuple(r for r in self._references if r.experiment == identifier)
 

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.analysis.static_scaling import gain_metric_key
 from repro.plotting.charts import Series
@@ -49,7 +50,7 @@ def _records_table(records: Sequence[Mapping[str, Any]]) -> str:
     return markdown_table(headers, rows)
 
 
-def _decimate(xs: Sequence[float], ys: Sequence[float]) -> Tuple[List[float], List[float]]:
+def _decimate(xs: Sequence[float], ys: Sequence[float]) -> tuple[list[float], list[float]]:
     """Thin a series to at most :data:`MAX_FIGURE_POINTS` points."""
     n = len(xs)
     if n <= MAX_FIGURE_POINTS:
@@ -67,7 +68,7 @@ class RenderedExperiment:
     title: str
     markdown: str
     data: Mapping[str, Any]
-    figures: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+    figures: tuple[tuple[str, str], ...] = field(default_factory=tuple)
 
     @property
     def json_text(self) -> str:
@@ -75,8 +76,8 @@ class RenderedExperiment:
         return json.dumps(self.data, indent=2, sort_keys=True) + "\n"
 
 
-Renderer = Callable[[Mapping[str, Any]], Tuple[str, List[Tuple[str, str]]]]
-_RENDERERS: Dict[str, Renderer] = {}
+Renderer = Callable[[Mapping[str, Any]], tuple[str, list[tuple[str, str]]]]
+_RENDERERS: dict[str, Renderer] = {}
 
 
 def _renderer(identifier: str) -> Callable[[Renderer], Renderer]:
@@ -92,11 +93,11 @@ def _renderer(identifier: str) -> Callable[[Renderer], Renderer]:
 # --------------------------------------------------------------------------- #
 def _render_table1_like(
     data: Mapping[str, Any], figure_prefix: str
-) -> Tuple[str, List[Tuple[str, str]]]:
-    parts: List[str] = [
+) -> tuple[str, list[tuple[str, str]]]:
+    parts: list[str] = [
         f"Cycles per benchmark: **{data['n_cycles_per_benchmark']:,}**",
     ]
-    figures: List[Tuple[str, str]] = []
+    figures: list[tuple[str, str]] = []
     for index, corner in enumerate(data["corners"]):
         rows = [
             (
@@ -138,12 +139,12 @@ def _render_table1_like(
 
 
 @_renderer("table1")
-def _render_table1(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_table1(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     return _render_table1_like(data, "table1")
 
 
 @_renderer("table1_kernels")
-def _render_table1_kernels(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_table1_kernels(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     # Same Table 1 layout; rows mix executed CPU kernels (cpu:*) with the
     # synthetic benchmarks, so the bar chart reads as a cross-workload
     # comparison.
@@ -152,7 +153,7 @@ def _render_table1_kernels(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str
 
 def _render_static_sweep(
     identifier: str, data: Mapping[str, Any]
-) -> Tuple[str, List[Tuple[str, str]]]:
+) -> tuple[str, list[tuple[str, str]]]:
     points = data["points"]
     rows = [
         (
@@ -217,18 +218,18 @@ def _render_static_sweep(
 
 
 @_renderer("fig4a")
-def _render_fig4a(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_fig4a(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     return _render_static_sweep("fig4a", data)
 
 
 @_renderer("fig4b")
-def _render_fig4b(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_fig4b(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     return _render_static_sweep("fig4b", data)
 
 
 def _render_corner_gains(
     identifier: str, data: Mapping[str, Any], suffix: str = ""
-) -> Tuple[str, List[Tuple[str, str]]]:
+) -> tuple[str, list[tuple[str, str]]]:
     targets = data["targets_percent"]
     headers = ["Corner", "Delay @1.2 V (ps)"] + [f"Gain @ {t:g}% err (%)" for t in targets]
     rows = [
@@ -261,14 +262,14 @@ def _render_corner_gains(
 
 
 @_renderer("fig5")
-def _render_fig5(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_fig5(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     return _render_corner_gains("fig5", data)
 
 
 @_renderer("fig6")
-def _render_fig6(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_fig6(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     parts = [f"Corner: **{data['corner']}**, oracle window: {data['window_cycles']:,} cycles"]
-    figures: List[Tuple[str, str]] = []
+    figures: list[tuple[str, str]] = []
     for entry in data["entries"]:
         residency = entry["residency_percent"]
         parts += [
@@ -296,7 +297,7 @@ def _render_fig6(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
 
 
 @_renderer("fig8")
-def _render_fig8(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_fig8(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     summary_rows = [
         ("corner", data["corner"]),
         ("benchmarks (in order)", ", ".join(data["benchmark_order"])),
@@ -336,7 +337,7 @@ def _render_fig8(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
 
 
 @_renderer("fig10")
-def _render_fig10(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_fig10(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     original_md, original_figs = _render_corner_gains(
         "fig10", data["original_study"], suffix="-original"
     )
@@ -363,7 +364,7 @@ def _render_fig10(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
 
 
 @_renderer("scaling")
-def _render_scaling(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_scaling(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     rows = [(node["node"], node["spread_ps"], node["normalized"]) for node in data["nodes"]]
     markdown = "\n".join(
         [
@@ -389,9 +390,9 @@ def _render_scaling(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]
 
 
 @_renderer("baselines")
-def _render_baselines(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
-    parts: List[str] = []
-    figures: List[Tuple[str, str]] = []
+def _render_baselines(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
+    parts: list[str] = []
+    figures: list[tuple[str, str]] = []
     for index, study in enumerate(data["studies"]):
         parts += [
             f"\n## {study['corner']} — workload {study['workload']} "
@@ -413,9 +414,9 @@ def _render_baselines(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str
 
 
 @_renderer("encoding")
-def _render_encoding(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
-    parts: List[str] = []
-    figures: List[Tuple[str, str]] = []
+def _render_encoding(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
+    parts: list[str] = []
+    figures: list[tuple[str, str]] = []
     for study in data["studies"]:
         parts += [
             f"\n## workload {study['workload']} — {study['corner']}\n",
@@ -439,7 +440,7 @@ def _render_encoding(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]
 
 
 @_renderer("ipc")
-def _render_ipc(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_ipc(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     impacts = [value for value in data.values() if isinstance(value, Mapping)]
     markdown = _records_table(impacts)
     figures = [
@@ -458,7 +459,7 @@ def _render_ipc(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
 
 
 @_renderer("shielding")
-def _render_shielding(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_shielding(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     markdown = "\n".join(
         [
             f"Technology {data['technology']}, corner {data['corner']}, "
@@ -485,9 +486,9 @@ def _render_shielding(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str
 
 
 @_renderer("sensitivity")
-def _render_sensitivity(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
-    parts: List[str] = []
-    figures: List[Tuple[str, str]] = []
+def _render_sensitivity(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
+    parts: list[str] = []
+    figures: list[tuple[str, str]] = []
     for index, study in enumerate(data["studies"]):
         parts += [
             f"\n## Sensitivity to {study['parameter']} — workload {study['workload']}, "
@@ -515,7 +516,7 @@ def _render_sensitivity(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, s
     return "\n".join(parts), figures
 
 
-def _render_generic(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]]:
+def _render_generic(data: Mapping[str, Any]) -> tuple[str, list[tuple[str, str]]]:
     scalars = [
         (key, value)
         for key, value in data.items()
@@ -531,7 +532,7 @@ def _render_generic(data: Mapping[str, Any]) -> Tuple[str, List[Tuple[str, str]]
 
 
 def render_experiment(
-    identifier: str, data: Mapping[str, Any], title: Optional[str] = None
+    identifier: str, data: Mapping[str, Any], title: str | None = None
 ) -> RenderedExperiment:
     """Render one experiment's serialised data into report artifacts.
 

@@ -31,7 +31,8 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any
+from collections.abc import Callable, Iterator
 
 from repro.runtime.hashing import stable_hash
 from repro.telemetry import get_telemetry
@@ -152,7 +153,7 @@ class ResultCache:
     >>> tmp.cleanup()
     """
 
-    def __init__(self, root: Optional[Path] = None) -> None:
+    def __init__(self, root: Path | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
 
     # ------------------------------------------------------------------ #
@@ -161,7 +162,7 @@ class ResultCache:
     def _record_path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(self, key: str) -> dict[str, Any] | None:
         """The stored record for ``key``, or ``None`` on miss/corruption."""
         path = self._record_path(key)
         telemetry = get_telemetry()
@@ -177,7 +178,7 @@ class ResultCache:
         telemetry.count("cache.hits")
         return record
 
-    def put(self, key: str, record: Dict[str, Any]) -> None:
+    def put(self, key: str, record: dict[str, Any]) -> None:
         """Store ``record`` under ``key`` (atomically; overwrites allowed)."""
         stored = dict(record)
         stored["schema"] = CACHE_SCHEMA_VERSION
@@ -288,7 +289,7 @@ class ResultCache:
         return CacheStats(root=self.root, entries=entries, artifacts=artifacts, total_bytes=total)
 
 
-_SHARED: Optional[ResultCache] = None
+_SHARED: ResultCache | None = None
 
 
 def shared_cache() -> ResultCache:

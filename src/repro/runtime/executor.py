@@ -41,7 +41,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any
+from collections.abc import Callable, Sequence
 
 from repro.runtime.cache import ResultCache
 from repro.runtime.progress import null_progress
@@ -58,7 +59,7 @@ class JobOutcome:
     """One job's result and how it was obtained."""
 
     spec: JobSpec
-    result: Dict[str, Any]
+    result: dict[str, Any]
     cached: bool
     duration_s: float
 
@@ -72,14 +73,14 @@ class JobOutcome:
 class ExecutionReport:
     """Everything :func:`run_jobs` did, in input order."""
 
-    outcomes: Tuple[JobOutcome, ...]
+    outcomes: tuple[JobOutcome, ...]
     n_cached: int
     n_executed: int
     n_workers: int
     wall_time_s: float
 
     @property
-    def results(self) -> List[Dict[str, Any]]:
+    def results(self) -> list[dict[str, Any]]:
         """The per-job result dicts, in input order."""
         return [outcome.result for outcome in self.outcomes]
 
@@ -93,8 +94,8 @@ class ExecutionReport:
 
 
 def _execute_serial(
-    index: int, task_name: str, params: Dict[str, Any]
-) -> Tuple[int, Dict[str, Any], float]:
+    index: int, task_name: str, params: dict[str, Any]
+) -> tuple[int, dict[str, Any], float]:
     """Serial execution of one task, recording straight into the parent collector."""
     from repro.runtime.tasks import run_job_params
 
@@ -104,7 +105,7 @@ def _execute_serial(
     return index, result, time.perf_counter() - started
 
 
-def _worker_count(requested: Optional[int], n_misses: int) -> int:
+def _worker_count(requested: int | None, n_misses: int) -> int:
     """Clamp the requested worker count to something useful.
 
     An explicit request is honoured even beyond ``os.cpu_count()`` (the
@@ -116,7 +117,7 @@ def _worker_count(requested: Optional[int], n_misses: int) -> int:
     return max(1, min(requested, n_misses))
 
 
-def _make_queue(n_workers: int, cache: Optional[ResultCache], n_misses: int):
+def _make_queue(n_workers: int, cache: ResultCache | None, n_misses: int):
     """A process-backed :class:`WorkQueue`, or ``None`` when ``fork`` is unavailable."""
     from repro.runtime.workqueue import WorkQueue
 
@@ -132,9 +133,9 @@ def _make_queue(n_workers: int, cache: Optional[ResultCache], n_misses: int):
 
 def run_jobs(
     jobs: Sequence[JobSpec],
-    cache: Optional[ResultCache] = None,
-    n_workers: Optional[int] = None,
-    progress: Optional[ProgressCallback] = None,
+    cache: ResultCache | None = None,
+    n_workers: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> ExecutionReport:
     """Run a batch of jobs with caching and optional parallelism.
 
@@ -161,8 +162,8 @@ def run_jobs(
     keys = [job.key for job in jobs]
 
     with telemetry.span("executor.run_jobs", jobs=total):
-        outcomes: List[Optional[JobOutcome]] = [None] * total
-        misses: List[int] = []
+        outcomes: list[JobOutcome | None] = [None] * total
+        misses: list[int] = []
         done = 0
         for index, (job, key) in enumerate(zip(jobs, keys)):
             record = cache.get(key) if cache is not None else None
@@ -177,7 +178,7 @@ def run_jobs(
 
         def complete(
             index: int,
-            result: Dict[str, Any],
+            result: dict[str, Any],
             duration: float,
             store: bool = True,
         ) -> None:

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Mapping
+from typing import Any
+from collections.abc import Mapping
 
 __all__ = ["canonical_json", "stable_hash", "derive_seed"]
 

@@ -53,7 +53,8 @@ from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -145,7 +146,7 @@ class ChunkSegmenter:
         bounds = self.boundaries()
         return int(np.searchsorted(bounds, cycle, side="right")) - 1
 
-    def pieces(self, start: int, end: int) -> Iterator[Tuple[int, int, int]]:
+    def pieces(self, start: int, end: int) -> Iterator[tuple[int, int, int]]:
         """Split ``[start, end)`` at segment boundaries.
 
         Yields ``(segment_index, piece_start, piece_end)`` triples covering
@@ -165,7 +166,7 @@ class ChunkSegmenter:
             index += 1
 
 
-def tree_merge_summaries(summaries: Sequence["Any"]) -> "Any":
+def tree_merge_summaries(summaries: Sequence["Any"]) -> Any:
     """Merge trace summaries with an ordered pairwise tree.
 
     Because every summary field is an exact total, this is bit-identical to
@@ -195,11 +196,11 @@ def tree_merge_summaries(summaries: Sequence["Any"]) -> "Any":
 #: topology, the engine name, the chunk's global start cycle, its word array
 #: (packed bytes or 0/1 values), the representation flag, the bus width, and
 #: whether to capture telemetry into a snapshot.
-_ChunkPayload = Tuple[
-    ChunkSegmenter, NeighborTopology, Optional[str], int, np.ndarray, bool, int, bool
+_ChunkPayload = tuple[
+    ChunkSegmenter, NeighborTopology, str | None, int, np.ndarray, bool, int, bool
 ]
 #: A worker's result: per-(chunk x segment) summaries plus optional telemetry.
-_ChunkResult = Tuple[List[Tuple[int, Any]], Optional[Dict[str, Any]]]
+_ChunkResult = tuple[list[tuple[int, Any]], dict[str, Any] | None]
 
 
 def _probe_worker() -> int:
@@ -210,12 +211,12 @@ def _probe_worker() -> int:
 def _chunk_pieces(
     segmenter: ChunkSegmenter,
     topology: NeighborTopology,
-    engine: Optional[str],
+    engine: str | None,
     start_cycle: int,
     words: np.ndarray,
     packed: bool,
     n_bits: int,
-) -> List[Tuple[int, Any]]:
+) -> list[tuple[int, Any]]:
     """Analyze one chunk and reduce it to per-segment summaries."""
     from repro.bus.bus_model import analyze_trace_statistics
 
@@ -266,7 +267,7 @@ class ParallelChunkScheduler:
     paid once.  Use as a context manager or call :meth:`close` when done.
     """
 
-    def __init__(self, n_workers: Optional[int] = None, max_inflight: Optional[int] = None) -> None:
+    def __init__(self, n_workers: int | None = None, max_inflight: int | None = None) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         if n_workers < 1:
@@ -277,13 +278,13 @@ class ParallelChunkScheduler:
         )
         if self.max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: ProcessPoolExecutor | None = None
         self._started = False
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
     # ------------------------------------------------------------------ #
-    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
         """The live executor, or ``None`` when running inline."""
         if self._started:
             return self._executor
@@ -324,7 +325,7 @@ class ParallelChunkScheduler:
             self._executor = None
         self._started = False
 
-    def __enter__(self) -> "ParallelChunkScheduler":
+    def __enter__(self) -> ParallelChunkScheduler:
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
@@ -338,10 +339,10 @@ class ParallelChunkScheduler:
         source: TraceSource,
         segmenter: ChunkSegmenter,
         topology: NeighborTopology,
-        engine: Optional[str] = None,
-        chunk_cycles: Optional[int] = None,
-        progress: Optional[ProgressCallback] = None,
-    ) -> List[Any]:
+        engine: str | None = None,
+        chunk_cycles: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> list[Any]:
         """Run the parallel statistics pass over ``source``.
 
         Returns one exact :class:`~repro.bus.bus_model.TraceSummary` per
@@ -361,7 +362,7 @@ class ParallelChunkScheduler:
         executor = self._ensure_executor()
         capture = executor is not None and telemetry.enabled
 
-        pieces: List[List[Any]] = [[] for _ in range(segmenter.n_segments)]
+        pieces: list[list[Any]] = [[] for _ in range(segmenter.n_segments)]
         total = source.n_cycles
         done = 0
         n_chunks = 0
@@ -384,7 +385,7 @@ class ParallelChunkScheduler:
             workers=self.effective_workers if executor is not None else 1,
             cycles=total,
         ):
-            inflight: Deque["Future[_ChunkResult]"] = deque()
+            inflight: deque["Future[_ChunkResult]"] = deque()
             try:
                 for chunk in source.chunks(chunk_cycles, packed=packed):
                     trace = chunk.trace
@@ -418,7 +419,7 @@ class ParallelChunkScheduler:
 
         with telemetry.span("parallel.merge", segments=segmenter.n_segments, chunks=n_chunks):
             bounds = segmenter.boundaries()
-            merged: List[Any] = []
+            merged: list[Any] = []
             for index, parts in enumerate(pieces):
                 if not parts:
                     raise ParallelExecutionError(

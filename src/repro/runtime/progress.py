@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Optional, TextIO
+from typing import TextIO
 
 from repro.runtime.spec import JobSpec
 from repro.telemetry import get_telemetry
@@ -60,7 +60,7 @@ class ProgressPrinter:
         When true, suppress per-job lines and only allow :meth:`summary`.
     """
 
-    def __init__(self, stream: Optional[TextIO] = None, quiet: bool = False) -> None:
+    def __init__(self, stream: TextIO | None = None, quiet: bool = False) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.quiet = quiet
         self.n_cached = 0
@@ -125,7 +125,7 @@ class ChunkProgress:
     def __init__(
         self,
         label: str = "stream",
-        stream: Optional[TextIO] = None,
+        stream: TextIO | None = None,
         min_interval_s: float = 0.5,
         quiet: bool = False,
     ) -> None:
@@ -200,7 +200,7 @@ class ChunkProgress:
         return self._last_done / elapsed
 
 
-def auto_chunk_progress(total_cycles: int, label: str) -> Optional[ChunkProgress]:
+def auto_chunk_progress(total_cycles: int, label: str) -> ChunkProgress | None:
     """A :class:`ChunkProgress` for long runs, else ``None``.
 
     Progress reporting kicks in once a run is at least

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any
+from collections.abc import Mapping, Sequence
 
 from repro.runtime.hashing import canonical_json, derive_seed, stable_hash
 
@@ -73,7 +74,7 @@ class JobSpec:
         """
         from repro import __version__
 
-        identity: Dict[str, Any] = {
+        identity: dict[str, Any] = {
             "task": self.task,
             "params": dict(self.params),
             "code_version": __version__,
@@ -105,18 +106,18 @@ class JobSpec:
         inner = ", ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
         return f"{self.task}({inner})" if inner else self.task
 
-    def with_params(self, **overrides: Any) -> "JobSpec":
+    def with_params(self, **overrides: Any) -> JobSpec:
         """A copy of this spec with some parameters replaced/added."""
         merged = dict(self.params)
         merged.update(overrides)
         return JobSpec(self.task, merged)
 
-    def to_payload(self) -> Dict[str, Any]:
+    def to_payload(self) -> dict[str, Any]:
         """Plain-dict rendering used for worker transport and JSONL records."""
         return {"task": self.task, "params": dict(self.params)}
 
     @staticmethod
-    def from_payload(payload: Mapping[str, Any]) -> "JobSpec":
+    def from_payload(payload: Mapping[str, Any]) -> JobSpec:
         """Rebuild a spec from :meth:`to_payload` output."""
         return JobSpec(payload["task"], dict(payload.get("params", {})))
 
@@ -178,13 +179,13 @@ class SweepSpec:
     task: str
     base: Mapping[str, Any] = field(default_factory=dict)
     axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
-    seed: Optional[int] = None
-    seed_by: Optional[Tuple[str, ...]] = None
+    seed: int | None = None
+    seed_by: tuple[str, ...] | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "base", dict(self.base))
-        axes: Dict[str, Tuple[Any, ...]] = {}
+        axes: dict[str, tuple[Any, ...]] = {}
         for axis, values in self.axes.items():
             if isinstance(values, (str, bytes)):
                 raise TypeError(
@@ -207,7 +208,7 @@ class SweepSpec:
             total *= len(values)
         return total
 
-    def expand(self, limit: Optional[int] = None) -> Tuple[JobSpec, ...]:
+    def expand(self, limit: int | None = None) -> tuple[JobSpec, ...]:
         """The grid as a deterministic tuple of :class:`JobSpec`.
 
         Parameters

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 from repro.runtime.executor import ExecutionReport
 from repro.runtime.spec import SweepSpec
@@ -38,8 +38,8 @@ class ResultStore:
         self,
         run_name: str,
         report: ExecutionReport,
-        sweep: Optional[SweepSpec] = None,
-        extra_manifest: Optional[Dict[str, Any]] = None,
+        sweep: SweepSpec | None = None,
+        extra_manifest: dict[str, Any] | None = None,
     ) -> Path:
         """Persist a report as ``manifest.json`` + ``results.jsonl``.
 
@@ -50,7 +50,7 @@ class ResultStore:
         run_dir = self.run_dir(run_name)
         run_dir.mkdir(parents=True, exist_ok=True)
 
-        manifest: Dict[str, Any] = {
+        manifest: dict[str, Any] = {
             "run": run_name,
             "n_jobs": len(report.outcomes),
             "n_cached": report.n_cached,
@@ -98,9 +98,9 @@ class ResultStore:
         return path
 
 
-def load_results(run_dir: Path) -> List[Dict[str, Any]]:
+def load_results(run_dir: Path) -> list[dict[str, Any]]:
     """Read back a run's ``results.jsonl`` records (input order)."""
-    records: List[Dict[str, Any]] = []
+    records: list[dict[str, Any]] = []
     with open(Path(run_dir) / "results.jsonl", "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()

@@ -14,7 +14,7 @@ and all points are cached, so iterating on a report re-simulates nothing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.analysis.reporting import format_table
 from repro.cpu.kernels import KERNELS
@@ -26,18 +26,18 @@ from repro.trace.benchmarks import TABLE1_ORDER
 __all__ = ["SWEEPS", "get_sweep", "format_sweep_report"]
 
 #: The five Fig. 5 corners, slowest to fastest.
-_FIVE_CORNERS: Tuple[str, ...] = tuple(f"corner{i}" for i in range(1, 6))
+_FIVE_CORNERS: tuple[str, ...] = tuple(f"corner{i}" for i in range(1, 6))
 
 #: The three benchmarks the paper plots individually.
-_CORE_BENCHMARKS: Tuple[str, ...] = ("crafty", "vortex", "mgrid")
+_CORE_BENCHMARKS: tuple[str, ...] = ("crafty", "vortex", "mgrid")
 
 #: Seed salt for dvs_run grids: only the workload-defining parameters, so
 #: points differing along corner/window/encoder axes share the same trace
 #: and within-sweep comparisons are not confounded by workload noise.
-_WORKLOAD_SEED: Tuple[str, ...] = ("benchmark", "n_cycles")
+_WORKLOAD_SEED: tuple[str, ...] = ("benchmark", "n_cycles")
 
 
-SWEEPS: Dict[str, SweepSpec] = {
+SWEEPS: dict[str, SweepSpec] = {
     sweep.name: sweep
     for sweep in (
         SweepSpec(
@@ -139,7 +139,7 @@ def get_sweep(name: str) -> SweepSpec:
 #: Result fields rendered by :func:`format_sweep_report`, with column labels
 #: and format strings, in display order.  Fields absent from a result are
 #: skipped, so the formatter works for any task.
-_REPORT_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+_REPORT_COLUMNS: tuple[tuple[str, str, str], ...] = (
     ("corner", "Corner", "{}"),
     ("benchmark", "Benchmark", "{}"),
     ("encoder", "Encoder", "{}"),
@@ -159,7 +159,7 @@ _REPORT_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
 _METRIC_FIELDS = ("energy_gain_percent", "error_rate_percent")
 
 
-def _varying_fields(results: Sequence[dict]) -> List[str]:
+def _varying_fields(results: Sequence[dict]) -> list[str]:
     """Identity columns that actually vary across the result set."""
     fields = []
     for field, _, _ in _REPORT_COLUMNS:
@@ -169,7 +169,7 @@ def _varying_fields(results: Sequence[dict]) -> List[str]:
     return fields
 
 
-def _constant_fields(results: Sequence[dict], shown: set) -> List[Tuple[str, str]]:
+def _constant_fields(results: Sequence[dict], shown: set) -> list[tuple[str, str]]:
     """(label, value) pairs for identity columns collapsed out of the table."""
     constants = []
     for field, label, fmt in _REPORT_COLUMNS:

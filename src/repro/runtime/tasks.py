@@ -19,7 +19,8 @@ that, which is why parallel sweeps are bit-identical to serial ones.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import Any
+from collections.abc import Callable, Mapping
 
 from repro.circuit.pvt import (
     BEST_CASE_CORNER,
@@ -41,10 +42,10 @@ __all__ = [
     "ENCODER_NAMES",
 ]
 
-TaskFunction = Callable[..., Dict[str, Any]]
+TaskFunction = Callable[..., dict[str, Any]]
 
 #: All registered tasks, keyed by name.
-_TASKS: Dict[str, TaskFunction] = {}
+_TASKS: dict[str, TaskFunction] = {}
 
 
 def task(name: str) -> Callable[[TaskFunction], TaskFunction]:
@@ -68,12 +69,12 @@ def get_task(name: str) -> TaskFunction:
         raise KeyError(f"unknown task {name!r}; known tasks: {known}") from None
 
 
-def available_tasks() -> Tuple[str, ...]:
+def available_tasks() -> tuple[str, ...]:
     """Names of all registered tasks, sorted."""
     return tuple(sorted(_TASKS))
 
 
-def run_job_params(name: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+def run_job_params(name: str, params: Mapping[str, Any]) -> dict[str, Any]:
     """Execute one task by name with its parameter mapping."""
     return get_task(name)(**dict(params))
 
@@ -82,14 +83,14 @@ def run_job_params(name: str, params: Mapping[str, Any]) -> Dict[str, Any]:
 # Parameter resolution (corner / encoder / design aliases)
 # --------------------------------------------------------------------------- #
 #: Corner names accepted by CLI ``--corner`` flags and sweep parameters.
-CORNERS: Dict[str, PVTCorner] = {
+CORNERS: dict[str, PVTCorner] = {
     "worst": WORST_CASE_CORNER,
     "typical": TYPICAL_CORNER,
     "best": BEST_CASE_CORNER,
     **{f"corner{i}": corner for i, corner in STANDARD_CORNERS.items()},
 }
 
-CornerLike = Union[str, Mapping[str, Any], PVTCorner]
+CornerLike = str | Mapping[str, Any] | PVTCorner
 
 
 def resolve_corner(spec: CornerLike) -> PVTCorner:
@@ -114,7 +115,7 @@ def resolve_corner(spec: CornerLike) -> PVTCorner:
     )
 
 
-def corner_params(spec: CornerLike) -> Dict[str, Any]:
+def corner_params(spec: CornerLike) -> dict[str, Any]:
     """The JSON-able parameter dict identifying a corner (for cache keys).
 
     The single place a :class:`PVTCorner`'s identity is spelled out for
@@ -128,12 +129,12 @@ def corner_params(spec: CornerLike) -> Dict[str, Any]:
     }
 
 
-def _corner_key(spec: CornerLike) -> Tuple[str, float, float]:
+def _corner_key(spec: CornerLike) -> tuple[str, float, float]:
     params = corner_params(spec)
     return (params["process"], params["temperature_c"], params["ir_drop"])
 
 
-def _encoder_names() -> Tuple[str, ...]:
+def _encoder_names() -> tuple[str, ...]:
     """Encoder aliases from the single registry in :mod:`repro.encoding`.
 
     The encoder classes are the single source of truth: this is the same set
@@ -148,7 +149,7 @@ def _encoder_names() -> Tuple[str, ...]:
 
 
 #: Encoder aliases accepted by the ``encoder`` sweep parameter.
-ENCODER_NAMES: Tuple[str, ...] = _encoder_names()
+ENCODER_NAMES: tuple[str, ...] = _encoder_names()
 
 
 def _make_encoder(name: str):
@@ -159,9 +160,9 @@ def _make_encoder(name: str):
 
 @lru_cache(maxsize=32)
 def _characterized_bus(
-    corner_key: Tuple[str, float, float],
+    corner_key: tuple[str, float, float],
     n_bits: int = 32,
-    coupling_scale: Optional[float] = None,
+    coupling_scale: float | None = None,
 ):
     """Per-process memo of bus characterisations.
 
@@ -187,7 +188,7 @@ def _characterized_bus(
     return CharacterizedBus(design, corner)
 
 
-def _control_defaults(n_cycles: int, window: Optional[int], ramp: Optional[int]):
+def _control_defaults(n_cycles: int, window: int | None, ramp: int | None):
     """The experiment registry's scaled-down control-loop defaults."""
     if window is None:
         window = max(500, n_cycles // 20)
@@ -196,7 +197,7 @@ def _control_defaults(n_cycles: int, window: Optional[int], ramp: Optional[int])
     return window, ramp
 
 
-def _chardb_context(chardb: Optional[str]):
+def _chardb_context(chardb: str | None):
     """Explicit characterization-database activation for one task body.
 
     ``None`` leaves the ambient database (the ``REPRO_CHARDB`` environment
@@ -223,17 +224,17 @@ def dvs_run(
     corner: CornerLike = "typical",
     n_cycles: int = 20_000,
     seed: int = 2005,
-    window_cycles: Optional[int] = None,
-    ramp_delay_cycles: Optional[int] = None,
-    encoder: Optional[str] = None,
-    coupling_scale: Optional[float] = None,
+    window_cycles: int | None = None,
+    ramp_delay_cycles: int | None = None,
+    encoder: str | None = None,
+    coupling_scale: float | None = None,
     warmup_fraction: float = 0.0,
-    chunk_cycles: Optional[int] = None,
-    engine: Optional[str] = None,
-    jobs: Optional[int] = None,
-    workload: Optional[str] = None,
-    chardb: Optional[str] = None,
-) -> Dict[str, Any]:
+    chunk_cycles: int | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
+    workload: str | None = None,
+    chardb: str | None = None,
+) -> dict[str, Any]:
     """One closed-loop DVS run: workload x corner x encoding x bus variant.
 
     This is the workhorse grid point of every sweep: stream the workload
@@ -305,9 +306,9 @@ def dvs_run(
 @task("characterize")
 def characterize(
     corner: CornerLike = "typical",
-    coupling_scale: Optional[float] = None,
-    chardb: Optional[str] = None,
-) -> Dict[str, Any]:
+    coupling_scale: float | None = None,
+    chardb: str | None = None,
+) -> dict[str, Any]:
     """Voltage limits of the paper bus at one corner (no workload)."""
     with _chardb_context(chardb):
         bus = _characterized_bus(_corner_key(corner), 32, coupling_scale)
@@ -325,7 +326,7 @@ def characterize(
 
 
 @task("experiment")
-def experiment(identifier: str, **kwargs: Any) -> Dict[str, Any]:
+def experiment(identifier: str, **kwargs: Any) -> dict[str, Any]:
     """Run one entry of the paper's experiment registry and keep its report.
 
     The cached payload carries the formatted report text -- exactly what

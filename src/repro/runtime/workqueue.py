@@ -67,7 +67,8 @@ import queue as queue_module
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any
+from collections.abc import Callable, Iterator
 
 from repro.runtime.cache import ResultCache
 from repro.runtime.spec import JobSpec
@@ -129,7 +130,7 @@ class JobCancelledError(RuntimeError):
     """The job was cancelled (every attached client detached) before finishing."""
 
 
-def default_batch_key(spec: JobSpec) -> Tuple[str, str]:
+def default_batch_key(spec: JobSpec) -> tuple[str, str]:
     """The batching identity of a job: task plus its characterisation axes.
 
     Jobs sharing this key re-use the same per-process
@@ -169,18 +170,18 @@ class _Job:
         self.key = key
         self.batch_key = default_batch_key(spec)
         self.state = QUEUED
-        self.handles: List["JobHandle"] = []
+        self.handles: list["JobHandle"] = []
         self.cancel_requested = False
-        self.slot: Optional["_WorkerSlot"] = None
-        self.result: Optional[Dict[str, Any]] = None
-        self.error: Optional[Dict[str, str]] = None
-        self.exception: Optional[BaseException] = None
+        self.slot: "_WorkerSlot" | None = None
+        self.result: dict[str, Any] | None = None
+        self.error: dict[str, str] | None = None
+        self.exception: BaseException | None = None
         self.duration_s = 0.0
         self.cached = False
         self.submitted_s = submitted_s
         self.finished = threading.Event()
 
-    def describe(self) -> Dict[str, Any]:
+    def describe(self) -> dict[str, Any]:
         """JSON-able status row (what ``status``/``jobs`` protocol ops return)."""
         return {
             "job": self.id,
@@ -203,13 +204,13 @@ class JobHandle:
     others.  The *last* handle to detach cancels the job itself.
     """
 
-    def __init__(self, queue: "WorkQueue", job: _Job, client: str) -> None:
+    def __init__(self, queue: WorkQueue, job: _Job, client: str) -> None:
         self._queue = queue
         self._job = job
         self.client = client
         self.deduped = False
         self.detached = False
-        self._events: "queue_module.Queue[Dict[str, Any]]" = queue_module.Queue()
+        self._events: queue_module.Queue[dict[str, Any]] = queue_module.Queue()
 
     # -- identity ------------------------------------------------------- #
     @property
@@ -238,7 +239,7 @@ class JobHandle:
         return self._job.duration_s
 
     # -- consumption ---------------------------------------------------- #
-    def events(self, timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+    def events(self, timeout: float | None = None) -> Iterator[dict[str, Any]]:
         """Yield this handle's events until a terminal one (result/error/cancelled).
 
         ``timeout`` bounds the wait for *each* event; expiry raises
@@ -251,7 +252,7 @@ class JobHandle:
             if event.get("event") in _TERMINAL_EVENTS:
                 return
 
-    def next_event(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+    def next_event(self, timeout: float | None = None) -> dict[str, Any] | None:
         """The next queued event, or ``None`` when ``timeout`` expires.
 
         The non-raising sibling of :meth:`events`, for pollers that must do
@@ -262,7 +263,7 @@ class JobHandle:
         except queue_module.Empty:
             return None
 
-    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+    def result(self, timeout: float | None = None) -> dict[str, Any]:
         """Block until the job finishes and return its result dict.
 
         Raises the job's original exception for failures (or
@@ -294,7 +295,7 @@ class JobHandle:
         return self._queue._detach(self)
 
     # -- internal ------------------------------------------------------- #
-    def _push(self, event: Dict[str, Any]) -> None:
+    def _push(self, event: dict[str, Any]) -> None:
         self._events.put(event)
 
 
@@ -307,7 +308,7 @@ class RunnerContext:
     __slots__ = ("emit", "should_abort")
 
     def __init__(
-        self, emit: Callable[[Dict[str, Any]], None], should_abort: Callable[[], bool]
+        self, emit: Callable[[dict[str, Any]], None], should_abort: Callable[[], bool]
     ) -> None:
         self.emit = emit
         self.should_abort = should_abort
@@ -326,7 +327,7 @@ class InlineRunner:
 
     is_process = False
 
-    def __init__(self, fn: Optional[Callable[..., Dict[str, Any]]] = None) -> None:
+    def __init__(self, fn: Callable[..., dict[str, Any]] | None = None) -> None:
         self._fn = fn
 
     def start(self) -> None:
@@ -335,11 +336,11 @@ class InlineRunner:
     def run(
         self,
         task: str,
-        params: Dict[str, Any],
+        params: dict[str, Any],
         capture: bool,
-        emit: Callable[[Dict[str, Any]], None],
+        emit: Callable[[dict[str, Any]], None],
         should_abort: Callable[[], bool],
-    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    ) -> tuple[dict[str, Any], dict[str, Any] | None]:
         """Run one job inline; returns ``(result, telemetry_snapshot=None)``."""
         if self._fn is not None:
             return self._fn(task, params, RunnerContext(emit, should_abort)), None
@@ -412,7 +413,10 @@ def _process_worker_main(conn: Any) -> None:
         except BaseException as error:
             try:
                 payload = pickle.dumps(error)
-            except Exception:
+            except (pickle.PicklingError, TypeError, AttributeError, ValueError):
+                # Unpicklable exception (closure attrs, C-state, recursive
+                # reduce); the parent rebuilds a RuntimeError from the type
+                # name and message instead.
                 payload = None
             try:
                 conn.send(("error", payload, type(error).__name__, str(error)))
@@ -445,8 +449,8 @@ class ProcessRunner:
         except ValueError:  # pragma: no cover - non-POSIX platforms
             self._context = multiprocessing.get_context()
         self._poll_interval_s = poll_interval_s
-        self._process: Optional[Any] = None
-        self._conn: Optional[Any] = None
+        self._process: Any | None = None
+        self._conn: Any | None = None
 
     def start(self) -> None:
         """Fork the worker process (idempotent)."""
@@ -460,7 +464,7 @@ class ProcessRunner:
         child_conn.close()
         self._process, self._conn = process, parent_conn
 
-    def _discard(self, kill: bool = False) -> Optional[int]:
+    def _discard(self, kill: bool = False) -> int | None:
         """Drop the current child (optionally killing it); returns its exit code."""
         process, conn = self._process, self._conn
         self._process = self._conn = None
@@ -479,11 +483,11 @@ class ProcessRunner:
     def run(
         self,
         task: str,
-        params: Dict[str, Any],
+        params: dict[str, Any],
         capture: bool,
-        emit: Callable[[Dict[str, Any]], None],
+        emit: Callable[[dict[str, Any]], None],
         should_abort: Callable[[], bool],
-    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    ) -> tuple[dict[str, Any], dict[str, Any] | None]:
         """Dispatch one job to the worker process and pump its messages."""
         self.start()
         conn = self._conn
@@ -517,7 +521,7 @@ class ProcessRunner:
                 raise self._rebuild_error(message)
 
     @staticmethod
-    def _rebuild_error(message: Tuple[Any, ...]) -> BaseException:
+    def _rebuild_error(message: tuple[Any, ...]) -> BaseException:
         """The child's exception, re-raised with its original type if possible."""
         _, payload, type_name, text = message
         if payload is not None:
@@ -525,7 +529,16 @@ class ProcessRunner:
                 error = pickle.loads(payload)
                 if isinstance(error, BaseException):
                     return error
-            except Exception:
+            except (
+                pickle.UnpicklingError,
+                AttributeError,
+                ImportError,
+                TypeError,
+                ValueError,
+                EOFError,
+            ):
+                # The exception type may not exist (or not reconstruct) in
+                # the parent -- fall through to the generic rebuild below.
                 pass
         return RuntimeError(f"{type_name}: {text}")
 
@@ -554,7 +567,7 @@ class _WorkerSlot:
     def __init__(self, index: int, runner: Any) -> None:
         self.index = index
         self.runner = runner
-        self.thread: Optional[threading.Thread] = None
+        self.thread: threading.Thread | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -593,10 +606,10 @@ class WorkQueue:
     def __init__(
         self,
         n_workers: int = 1,
-        cache: Optional[ResultCache] = None,
-        runner_factory: Optional[Callable[[], Any]] = None,
+        cache: ResultCache | None = None,
+        runner_factory: Callable[[], Any] | None = None,
         max_pending: int = 256,
-        quota: Optional[int] = None,
+        quota: int | None = None,
         max_batch: int = 8,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -611,16 +624,17 @@ class WorkQueue:
         self._clock = clock
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._pending: "deque[_Job]" = deque()
-        self._jobs: Dict[str, _Job] = {}
-        self._active_by_key: Dict[str, _Job] = {}
-        self._client_active: Dict[str, int] = {}
-        self._counters: Dict[str, int] = {
+        self._pending: deque[_Job] = deque()
+        self._jobs: dict[str, _Job] = {}
+        self._active_by_key: dict[str, _Job] = {}
+        self._client_active: dict[str, int] = {}
+        self._counters: dict[str, int] = {
             "submitted": 0,
             "executed": 0,
             "cache_hits": 0,
             "deduped": 0,
             "failed": 0,
+            "task_failures": 0,
             "cancelled": 0,
             "worker_deaths": 0,
             "batches": 0,
@@ -645,7 +659,7 @@ class WorkQueue:
             slot.thread.start()
 
     @staticmethod
-    def _make_runner(runner_factory: Optional[Callable[[], Any]]) -> Any:
+    def _make_runner(runner_factory: Callable[[], Any] | None) -> Any:
         if runner_factory is not None:
             runner = runner_factory()
             runner.start()
@@ -675,19 +689,23 @@ class WorkQueue:
         telemetry = get_telemetry()
         key = spec.key
         cached = self._cache.get(key) if (read_cache and self._cache is not None) else None
+        # Read the (injected, possibly slow) clock before taking the lock.
+        submitted_s = self._clock()
         with self._lock:
             if self._closed:
                 raise QueueClosedError("queue is shutting down; submission rejected")
             if cached is not None and "result" in cached:
                 self._counters["cache_hits"] += 1
                 telemetry.count("workqueue.cache_hits")
-                job = self._new_job(spec, key)
+                job = self._new_job(spec, key, submitted_s)
                 job.state = DONE
                 job.cached = True
                 job.result = cached["result"]
                 job.finished.set()
                 handle = JobHandle(self, job, client)
-                handle._push(self._result_event(job))
+                # _push is queue.Queue.put on the handle's own unbounded
+                # event queue: non-blocking, no subscriber code runs here.
+                handle._push(self._result_event(job))  # repro: noqa[LCK003]
                 return handle
             active = self._active_by_key.get(key)
             if active is not None:
@@ -703,14 +721,15 @@ class WorkQueue:
                     "server.dedupe", now, now, job=active.id, clients=len(active.handles)
                 )
                 if active.state == RUNNING:
-                    handle._push({"event": "started", "job": active.id})
+                    # Non-blocking put on the handle's own queue (see above).
+                    handle._push({"event": "started", "job": active.id})  # repro: noqa[LCK003]
                 return handle
             self._check_quota(client)
             if len(self._pending) >= self._max_pending:
                 raise QueueFullError(
                     f"queue is full ({self._max_pending} pending); retry after it drains"
                 )
-            job = self._new_job(spec, key)
+            job = self._new_job(spec, key, submitted_s)
             handle = JobHandle(self, job, client)
             job.handles.append(handle)
             self._client_active[client] = self._client_active.get(client, 0) + 1
@@ -722,9 +741,9 @@ class WorkQueue:
             self._wakeup.notify_all()
             return handle
 
-    def _new_job(self, spec: JobSpec, key: str) -> _Job:
+    def _new_job(self, spec: JobSpec, key: str, submitted_s: float) -> _Job:
         self._seq += 1
-        job = _Job(f"job-{self._seq}", spec, key, submitted_s=self._clock())
+        job = _Job(f"job-{self._seq}", spec, key, submitted_s=submitted_s)
         self._jobs[job.id] = job
         return job
 
@@ -738,18 +757,18 @@ class WorkQueue:
     # ------------------------------------------------------------------ #
     # Inspection
     # ------------------------------------------------------------------ #
-    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+    def status(self, job_id: str) -> dict[str, Any] | None:
         """One job's status row, or ``None`` for unknown ids."""
         with self._lock:
             job = self._jobs.get(job_id)
             return job.describe() if job is not None else None
 
-    def jobs(self) -> List[Dict[str, Any]]:
+    def jobs(self) -> list[dict[str, Any]]:
         """Status rows for every job this queue has seen, in submission order."""
         with self._lock:
             return [job.describe() for job in self._jobs.values()]
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         """Aggregate queue statistics (depth, running, lifecycle counters)."""
         with self._lock:
             return {
@@ -759,7 +778,7 @@ class WorkQueue:
                 **dict(self._counters),
             }
 
-    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+    def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until nothing is pending or running; ``False`` on timeout."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
@@ -773,7 +792,7 @@ class WorkQueue:
     # ------------------------------------------------------------------ #
     # Cancellation
     # ------------------------------------------------------------------ #
-    def cancel(self, job_id: str, client: Optional[str] = None) -> bool:
+    def cancel(self, job_id: str, client: str | None = None) -> bool:
         """Detach a job's handles (all of them, or one client's only)."""
         with self._lock:
             job = self._jobs.get(job_id)
@@ -788,7 +807,7 @@ class WorkQueue:
         return detached
 
     def _detach(self, handle: JobHandle) -> bool:
-        interrupt_slot: Optional[_WorkerSlot] = None
+        interrupt_slot: _WorkerSlot | None = None
         with self._lock:
             job = handle._job
             if handle.detached or handle not in job.handles:
@@ -800,7 +819,9 @@ class WorkQueue:
                 self._client_active[handle.client] = count
             else:
                 self._client_active.pop(handle.client, None)
-            handle._push({"event": "cancelled", "job": job.id, "detached": True})
+            # Non-blocking put on the handle's own event queue.
+            event = {"event": "cancelled", "job": job.id, "detached": True}
+            handle._push(event)  # repro: noqa[LCK003]
             if not job.handles and job.state in (QUEUED, RUNNING):
                 job.cancel_requested = True
                 if job.state == QUEUED and job in self._pending:
@@ -816,7 +837,7 @@ class WorkQueue:
     # ------------------------------------------------------------------ #
     # Scheduling
     # ------------------------------------------------------------------ #
-    def _next_batch(self) -> Optional[List[_Job]]:
+    def _next_batch(self) -> list[_Job] | None:
         """Pop the next batch of shape-compatible jobs; ``None`` to exit."""
         with self._lock:
             while True:
@@ -871,7 +892,7 @@ class WorkQueue:
             self._fanout_locked(job, {"event": "started", "job": job.id})
         capture = telemetry.enabled
 
-        def emit(payload: Dict[str, Any]) -> None:
+        def emit(payload: dict[str, Any]) -> None:
             with self._lock:
                 self._fanout_locked(job, {"event": "progress", "job": job.id, **payload})
 
@@ -893,7 +914,13 @@ class WorkQueue:
                 self._finalize_locked(job, FAILED)
             return
         except Exception as error:
+            # Deliberately broad: this is the task-failure boundary.  User
+            # task code can raise anything; the exception is annotated into
+            # telemetry here and re-raised verbatim by JobHandle.result() on
+            # whichever thread is waiting for the job.
             with self._lock:
+                self._counters["task_failures"] += 1
+                telemetry.count("workqueue.task_failures")
                 job.error = {"type": type(error).__name__, "message": str(error)}
                 job.exception = error
                 self._finalize_locked(job, FAILED)
@@ -950,7 +977,7 @@ class WorkQueue:
         self._wakeup.notify_all()
 
     @staticmethod
-    def _result_event(job: _Job) -> Dict[str, Any]:
+    def _result_event(job: _Job) -> dict[str, Any]:
         return {
             "event": "result",
             "job": job.id,
@@ -960,20 +987,22 @@ class WorkQueue:
             "result": job.result,
         }
 
-    def _fanout_locked(self, job: _Job, event: Dict[str, Any]) -> None:
+    def _fanout_locked(self, job: _Job, event: dict[str, Any]) -> None:
         for handle in job.handles:
-            handle._push(dict(event))
+            # Non-blocking put on each handle's own unbounded event queue;
+            # subscriber code drains it outside the lock.
+            handle._push(dict(event))  # repro: noqa[LCK003]
 
     # ------------------------------------------------------------------ #
     # Shutdown
     # ------------------------------------------------------------------ #
-    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
         """Stop admissions, finish (or cancel) the backlog, tear workers down.
 
         ``drain=True`` lets queued and running jobs complete; ``drain=False``
         cancels everything queued and kills everything running.  Idempotent.
         """
-        interrupt_slots: List[_WorkerSlot] = []
+        interrupt_slots: list[_WorkerSlot] = []
         with self._lock:
             self._closed = True
             if not drain:
@@ -997,7 +1026,7 @@ class WorkQueue:
         for slot in self._slots:
             slot.runner.close()
 
-    def __enter__(self) -> "WorkQueue":
+    def __enter__(self) -> WorkQueue:
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:

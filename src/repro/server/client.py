@@ -10,7 +10,8 @@ blocking convenience that most callers -- including the CLI -- use.
 from __future__ import annotations
 
 import socket
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any
+from collections.abc import Iterator
 
 from repro.server.protocol import decode_response, default_address, encode_message
 
@@ -25,7 +26,7 @@ class ServerError(RuntimeError):
         self.code = code
 
     @classmethod
-    def from_response(cls, response: Dict[str, Any]) -> "ServerError":
+    def from_response(cls, response: dict[str, Any]) -> ServerError:
         error = response.get("error", {})
         return cls(str(error.get("code", "unknown")), str(error.get("message", response)))
 
@@ -45,8 +46,8 @@ class ReproClient:
 
     def __init__(
         self,
-        host: Optional[str] = None,
-        port: Optional[int] = None,
+        host: str | None = None,
+        port: int | None = None,
         timeout: float = 600.0,
     ) -> None:
         default_host, default_port = default_address()
@@ -66,23 +67,23 @@ class ReproClient:
             except OSError:
                 pass
 
-    def __enter__(self) -> "ReproClient":
+    def __enter__(self) -> ReproClient:
         return self
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
-    def _send(self, message: Dict[str, Any]) -> None:
+    def _send(self, message: dict[str, Any]) -> None:
         self._socket.sendall(encode_message(message))
 
-    def _read_response(self) -> Dict[str, Any]:
+    def _read_response(self) -> dict[str, Any]:
         line = self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         return decode_response(line)
 
-    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
         """One request, one response; :class:`ServerError` on ``ok: false``."""
         self._send(message)
         response = self._read_response()
@@ -93,24 +94,24 @@ class ReproClient:
     # ------------------------------------------------------------------ #
     # Ops
     # ------------------------------------------------------------------ #
-    def ping(self) -> Dict[str, Any]:
+    def ping(self) -> dict[str, Any]:
         """Liveness + version handshake."""
         return self.request({"op": "ping"})
 
     def submit(
         self,
         task: str,
-        params: Dict[str, Any],
+        params: dict[str, Any],
         read_cache: bool = True,
-        client: Optional[str] = None,
-    ) -> Iterator[Dict[str, Any]]:
+        client: str | None = None,
+    ) -> Iterator[dict[str, Any]]:
         """Submit one job and yield the response stream until terminal.
 
         The first yielded message is the ``accepted`` control response
         (``job`` / ``key`` / ``deduped`` / ``cached``); the rest are job
         events, the last being ``result``, ``error`` or ``cancelled``.
         """
-        message: Dict[str, Any] = {
+        message: dict[str, Any] = {
             "op": "submit",
             "task": task,
             "params": params,
@@ -137,19 +138,19 @@ class ReproClient:
     def submit_and_wait(
         self,
         task: str,
-        params: Dict[str, Any],
+        params: dict[str, Any],
         read_cache: bool = True,
-        client: Optional[str] = None,
-    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        client: str | None = None,
+    ) -> tuple[dict[str, Any], dict[str, Any]]:
         """Blocking submit: returns ``(accepted, terminal_event)``."""
         stream = self.submit(task, params, read_cache=read_cache, client=client)
         accepted = next(stream)
-        terminal: Dict[str, Any] = {}
+        terminal: dict[str, Any] = {}
         for event in stream:
             terminal = event
         return accepted, terminal
 
-    def status(self, job_id: str) -> Dict[str, Any]:
+    def status(self, job_id: str) -> dict[str, Any]:
         """One job's lifecycle row."""
         return self.request({"op": "status", "job": job_id})["status"]
 
@@ -157,7 +158,7 @@ class ReproClient:
         """Every job the server has seen, in submission order."""
         return self.request({"op": "jobs"})["jobs"]
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         """Queue statistics (depth, running, lifecycle counters)."""
         return self.request({"op": "stats"})["stats"]
 
@@ -165,6 +166,6 @@ class ReproClient:
         """Detach a job; ``True`` if an attachment was actually live."""
         return bool(self.request({"op": "cancel", "job": job_id})["cancelled"])
 
-    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+    def shutdown(self, drain: bool = True) -> dict[str, Any]:
         """Ask the server to stop (draining its backlog by default)."""
         return self.request({"op": "shutdown", "drain": drain})

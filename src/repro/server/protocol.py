@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Tuple
+from typing import Any
 
 __all__ = [
     "DEFAULT_HOST",
@@ -70,7 +70,7 @@ class ProtocolError(ValueError):
         self.code = code
 
 
-def default_address() -> Tuple[str, int]:
+def default_address() -> tuple[str, int]:
     """The server address the CLI talks to: ``$REPRO_SERVER_ADDR`` or the default."""
     raw = os.environ.get(ENV_ADDR, "")
     if not raw:
@@ -82,12 +82,12 @@ def default_address() -> Tuple[str, int]:
         raise ProtocolError("bad_request", f"{ENV_ADDR}={raw!r} is not host:port") from None
 
 
-def encode_message(message: Dict[str, Any]) -> bytes:
+def encode_message(message: dict[str, Any]) -> bytes:
     """One canonical protocol line: sorted keys, compact, UTF-8, ``\\n``."""
     return (json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
 
 
-def decode_response(line: bytes) -> Dict[str, Any]:
+def decode_response(line: bytes) -> dict[str, Any]:
     """Parse one protocol line into an object (no request-shape validation)."""
     try:
         message = json.loads(line.decode("utf-8"))
@@ -98,7 +98,7 @@ def decode_response(line: bytes) -> Dict[str, Any]:
     return message
 
 
-def decode_message(line: bytes) -> Dict[str, Any]:
+def decode_message(line: bytes) -> dict[str, Any]:
     """Parse one request line; :class:`ProtocolError` on anything malformed."""
     message = decode_response(line)
     op = message.get("op")
@@ -107,11 +107,11 @@ def decode_message(line: bytes) -> Dict[str, Any]:
     return message
 
 
-def ok_response(op: str, **fields: Any) -> Dict[str, Any]:
+def ok_response(op: str, **fields: Any) -> dict[str, Any]:
     """A successful control response."""
     return {"ok": True, "op": op, **fields}
 
 
-def error_response(op: str, code: str, message: str) -> Dict[str, Any]:
+def error_response(op: str, code: str, message: str) -> dict[str, Any]:
     """A failed control response with a stable error code."""
     return {"ok": False, "op": op, "error": {"code": code, "message": message}}

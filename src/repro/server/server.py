@@ -19,7 +19,6 @@ import select
 import socket
 import socketserver
 import threading
-from typing import Optional, Tuple
 
 from repro.runtime.workqueue import WorkQueue
 from repro.server.protocol import DEFAULT_HOST, encode_message
@@ -79,7 +78,7 @@ class _Handler(socketserver.StreamRequestHandler):
 class _ThreadingServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
     allow_reuse_address = True
-    repro_server: "ReproServer"
+    repro_server: ReproServer
 
 
 class ReproServer:
@@ -103,10 +102,10 @@ class ReproServer:
         self._session_lock = threading.Lock()
         self._shutdown_started = False
         self._drain = True
-        self._thread: Optional[threading.Thread] = None
+        self._thread: threading.Thread | None = None
 
     @property
-    def address(self) -> Tuple[str, int]:
+    def address(self) -> tuple[str, int]:
         """The actually-bound ``(host, port)``."""
         host, port = self._tcp.server_address[:2]
         return str(host), int(port)
@@ -127,12 +126,18 @@ class ReproServer:
         try:
             self._tcp.serve_forever(poll_interval=0.1)
         except KeyboardInterrupt:
-            self._drain = False  # Ctrl-C means "stop now", not "finish the backlog"
+            # Ctrl-C means "stop now", not "finish the backlog".  _drain is
+            # shared with request_shutdown() on handler threads, so take the
+            # lock here too.
+            with self._session_lock:
+                self._drain = False
         finally:
             self._tcp.server_close()
-            self._queue.close(drain=self._drain)
+            with self._session_lock:
+                drain = self._drain
+            self._queue.close(drain=drain)
 
-    def start(self) -> "ReproServer":
+    def start(self) -> ReproServer:
         """Run :meth:`serve_forever` on a background thread (for tests)."""
         self._thread = threading.Thread(
             target=self.serve_forever, name="repro-server", daemon=True
@@ -151,14 +156,14 @@ class ReproServer:
         # from a handler thread directly.
         threading.Thread(target=self._tcp.shutdown, daemon=True).start()
 
-    def join(self, timeout: Optional[float] = None) -> bool:
+    def join(self, timeout: float | None = None) -> bool:
         """Wait for a :meth:`start`-ed server to finish; ``False`` on timeout."""
         if self._thread is None:
             return True
         self._thread.join(timeout)
         return not self._thread.is_alive()
 
-    def __enter__(self) -> "ReproServer":
+    def __enter__(self) -> ReproServer:
         return self
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:

@@ -15,7 +15,8 @@ attached to -- a client that vanishes mid-stream frees its worker slot.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional
+from typing import Any
+from collections.abc import Iterator
 
 from repro.runtime.spec import JobSpec
 from repro.runtime.workqueue import (
@@ -64,12 +65,12 @@ class ServerSession:
     def __init__(self, queue: WorkQueue, client_id: str = "local") -> None:
         self._queue = queue
         self.client_id = client_id
-        self._handles: Dict[str, JobHandle] = {}
+        self._handles: dict[str, JobHandle] = {}
         self.shutdown_requested = False
         self.shutdown_drain = True
 
     # ------------------------------------------------------------------ #
-    def handle_line(self, line: bytes) -> Iterator[Optional[Dict[str, Any]]]:
+    def handle_line(self, line: bytes) -> Iterator[dict[str, Any] | None]:
         """Serve one request line, yielding every response line for it.
 
         Never raises for client mistakes -- malformed lines and bad requests
@@ -106,12 +107,12 @@ class ServerSession:
     # ------------------------------------------------------------------ #
     # Ops
     # ------------------------------------------------------------------ #
-    def _op_ping(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    def _op_ping(self, message: dict[str, Any]) -> Iterator[dict[str, Any]]:
         import repro
 
         yield ok_response("ping", protocol=PROTOCOL_VERSION, version=repro.__version__)
 
-    def _op_submit(self, message: Dict[str, Any]) -> Iterator[Optional[Dict[str, Any]]]:
+    def _op_submit(self, message: dict[str, Any]) -> Iterator[dict[str, Any] | None]:
         task = message.get("task")
         params = message.get("params", {})
         if not isinstance(task, str) or not isinstance(params, dict):
@@ -171,7 +172,7 @@ class ServerSession:
         finally:
             self._handles.pop(handle.id, None)
 
-    def _op_status(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    def _op_status(self, message: dict[str, Any]) -> Iterator[dict[str, Any]]:
         job_id = str(message.get("job", ""))
         status = self._queue.status(job_id)
         if status is None:
@@ -179,13 +180,13 @@ class ServerSession:
             return
         yield ok_response("status", status=status)
 
-    def _op_jobs(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    def _op_jobs(self, message: dict[str, Any]) -> Iterator[dict[str, Any]]:
         yield ok_response("jobs", jobs=self._queue.jobs())
 
-    def _op_stats(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    def _op_stats(self, message: dict[str, Any]) -> Iterator[dict[str, Any]]:
         yield ok_response("stats", stats=self._queue.stats())
 
-    def _op_cancel(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    def _op_cancel(self, message: dict[str, Any]) -> Iterator[dict[str, Any]]:
         job_id = str(message.get("job", ""))
         handle = self._handles.pop(job_id, None)
         if handle is not None:
@@ -197,7 +198,7 @@ class ServerSession:
             cancelled = self._queue.cancel(job_id)
         yield ok_response("cancel", job=job_id, cancelled=cancelled)
 
-    def _op_shutdown(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    def _op_shutdown(self, message: dict[str, Any]) -> Iterator[dict[str, Any]]:
         self.shutdown_requested = True
         self.shutdown_drain = bool(message.get("drain", True))
         yield ok_response("shutdown", drain=self.shutdown_drain)

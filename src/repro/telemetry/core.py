@@ -31,7 +31,8 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any
+from collections.abc import Callable, Iterator
 
 from repro.telemetry.metrics import MetricsRegistry
 
@@ -64,9 +65,9 @@ class SpanEvent:
     start_s: float
     duration_s: float
     pid: int
-    args: Dict[str, Any] = field(default_factory=dict)
+    args: dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         """JSON-ready representation."""
         return {
             "name": self.name,
@@ -83,7 +84,7 @@ class _ActiveSpan:
 
     __slots__ = ("_telemetry", "_name", "_args", "_start")
 
-    def __init__(self, telemetry: "Telemetry", name: str, args: Dict[str, Any]) -> None:
+    def __init__(self, telemetry: Telemetry, name: str, args: dict[str, Any]) -> None:
         self._telemetry = telemetry
         self._name = name
         self._args = args
@@ -131,6 +132,11 @@ class _NullSpan:
 
 _SHARED_NULL_SPAN = _NullSpan()
 
+#: What ``Telemetry.span`` hands out: a recording span from a live collector,
+#: the shared no-op span from :class:`NullTelemetry`.  Call sites only ever
+#: use it as a context manager, so the union is the honest interface type.
+TelemetrySpan = _ActiveSpan | _NullSpan
+
 
 class Telemetry:
     """A live telemetry collector: spans, counters, snapshots.
@@ -155,20 +161,20 @@ class Telemetry:
         self,
         label: str = "telemetry",
         clock: Callable[[], float] = time.perf_counter,
-        pid: Optional[int] = None,
+        pid: int | None = None,
     ) -> None:
         self.label = label
         self._clock = clock
         self.pid = os.getpid() if pid is None else pid
         self.epoch = clock()
-        self.events: List[SpanEvent] = []
+        self.events: list[SpanEvent] = []
         self.metrics = MetricsRegistry()
-        self._stack: List[str] = []
+        self._stack: list[str] = []
 
     # ------------------------------------------------------------------ #
     # Spans
     # ------------------------------------------------------------------ #
-    def span(self, name: str, /, **args: Any) -> _ActiveSpan:
+    def span(self, name: str, /, **args: Any) -> TelemetrySpan:
         """A context manager timing one named span, nested under open spans.
 
         The span name is positional-only so ``name=...`` stays usable as a
@@ -217,7 +223,7 @@ class Telemetry:
     # ------------------------------------------------------------------ #
     # Snapshots (cross-process merge)
     # ------------------------------------------------------------------ #
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         """Everything collected so far, as a picklable dict."""
         return {
             "schema": TELEMETRY_SCHEMA,
@@ -228,7 +234,7 @@ class Telemetry:
             "metrics": self.metrics.snapshot(),
         }
 
-    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         """Fold a worker's :meth:`snapshot` into this collector.
 
         Event times are re-based from the child's epoch onto this tracer's:
@@ -261,7 +267,7 @@ class NullTelemetry(Telemetry):
 
     enabled = False
 
-    def span(self, name: str, /, **args: Any) -> _NullSpan:  # type: ignore[override]
+    def span(self, name: str, /, **args: Any) -> TelemetrySpan:
         return _SHARED_NULL_SPAN
 
     def record_span(self, name: str, start: float, end: float, /, **args: Any) -> None:
@@ -276,7 +282,7 @@ class NullTelemetry(Telemetry):
     def observe(self, name: str, value: float) -> None:
         pass
 
-    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         pass
 
 
@@ -291,7 +297,7 @@ def get_telemetry() -> Telemetry:
     return _ACTIVE
 
 
-def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+def set_telemetry(telemetry: Telemetry | None) -> Telemetry:
     """Install a collector process-wide; ``None`` restores the null collector.
 
     Returns the previously installed collector so callers can restore it;
@@ -305,7 +311,7 @@ def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
 
 
 @contextmanager
-def use_telemetry(telemetry: Optional[Telemetry]) -> Iterator[Telemetry]:
+def use_telemetry(telemetry: Telemetry | None) -> Iterator[Telemetry]:
     """Install a collector for the duration of a ``with`` block.
 
     >>> from repro.telemetry import Telemetry, get_telemetry, use_telemetry

@@ -21,7 +21,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any
+from collections.abc import Sequence
 
 from repro.telemetry.core import TELEMETRY_SCHEMA, Telemetry
 from repro.telemetry.metrics import format_quantity
@@ -50,7 +51,7 @@ class TelemetryPaths:
     chrome_trace: Path
 
 
-def telemetry_paths(base: Union[str, Path]) -> TelemetryPaths:
+def telemetry_paths(base: str | Path) -> TelemetryPaths:
     """Resolve a ``--telemetry`` argument into the two export paths.
 
     ``BASE`` may be a bare stem or either concrete filename:
@@ -77,11 +78,11 @@ def telemetry_paths(base: Union[str, Path]) -> TelemetryPaths:
 # --------------------------------------------------------------------------- #
 # JSONL event log
 # --------------------------------------------------------------------------- #
-def write_jsonl(telemetry: Telemetry, path: Union[str, Path]) -> Path:
+def write_jsonl(telemetry: Telemetry, path: str | Path) -> Path:
     """Write the collector's events and final metric values as JSON lines."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    lines: List[str] = [
+    lines: list[str] = [
         json.dumps(
             {
                 "type": "meta",
@@ -111,7 +112,7 @@ def write_jsonl(telemetry: Telemetry, path: Union[str, Path]) -> Path:
     return path
 
 
-def read_jsonl_metrics(path: Union[str, Path]) -> Optional[Dict[str, Dict[str, Any]]]:
+def read_jsonl_metrics(path: str | Path) -> dict[str, dict[str, Any]] | None:
     """Load the final metric values from a :func:`write_jsonl` log.
 
     Returns ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``,
@@ -124,7 +125,7 @@ def read_jsonl_metrics(path: Union[str, Path]) -> Optional[Dict[str, Dict[str, A
         text = path.read_text(encoding="utf-8")
     except OSError:
         return None
-    metrics: Dict[str, Dict[str, Any]] = {"counters": {}, "gauges": {}, "histograms": {}}
+    metrics: dict[str, dict[str, Any]] = {"counters": {}, "gauges": {}, "histograms": {}}
     saw_meta = False
     for line in text.splitlines():
         line = line.strip()
@@ -153,7 +154,7 @@ def read_jsonl_metrics(path: Union[str, Path]) -> Optional[Dict[str, Dict[str, A
 # --------------------------------------------------------------------------- #
 # Chrome trace-event file
 # --------------------------------------------------------------------------- #
-def write_chrome_trace(telemetry: Telemetry, path: Union[str, Path]) -> Path:
+def write_chrome_trace(telemetry: Telemetry, path: str | Path) -> Path:
     """Write the span events in the Chrome trace-event JSON format.
 
     Each span becomes one complete (``"ph": "X"``) event with microsecond
@@ -162,7 +163,7 @@ def write_chrome_trace(telemetry: Telemetry, path: Union[str, Path]) -> Path:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    trace_events: List[Dict[str, Any]] = []
+    trace_events: list[dict[str, Any]] = []
     for pid in sorted({event.pid for event in telemetry.events} | {telemetry.pid}):
         role = "main" if pid == telemetry.pid else "worker"
         trace_events.append(
@@ -214,9 +215,9 @@ class SpanAggregate:
         return self.total_s / self.count if self.count else 0.0
 
 
-def aggregate_spans(telemetry: Telemetry) -> List[SpanAggregate]:
+def aggregate_spans(telemetry: Telemetry) -> list[SpanAggregate]:
     """Reduce span events by path, sorted by total time (descending)."""
-    totals: Dict[str, List[float]] = {}
+    totals: dict[str, list[float]] = {}
     for event in telemetry.events:
         entry = totals.setdefault(event.path, [0, 0.0, 0.0])
         entry[0] += 1
@@ -231,7 +232,7 @@ def aggregate_spans(telemetry: Telemetry) -> List[SpanAggregate]:
     return aggregates
 
 
-def _table(headers: Sequence[str], rows: Sequence[Tuple[str, ...]]) -> List[str]:
+def _table(headers: Sequence[str], rows: Sequence[tuple[str, ...]]) -> list[str]:
     """Fixed-width text table (first column left-aligned, rest right-aligned)."""
     widths = [len(header) for header in headers]
     for row in rows:
@@ -246,7 +247,7 @@ def _table(headers: Sequence[str], rows: Sequence[Tuple[str, ...]]) -> List[str]
     return lines
 
 
-def format_parallel_summary(telemetry: Telemetry) -> Optional[str]:
+def format_parallel_summary(telemetry: Telemetry) -> str | None:
     """Scaling report for a run that went through the parallel engine.
 
     Returns ``None`` when the collector recorded no ``parallel.pass1`` span
@@ -284,7 +285,7 @@ def format_parallel_summary(telemetry: Telemetry) -> Optional[str]:
 def format_summary(
     telemetry: Telemetry,
     top_n: int = 15,
-    counter_deltas: Optional[Dict[str, float]] = None,
+    counter_deltas: dict[str, float] | None = None,
 ) -> str:
     """The end-of-run summary: top span paths, then every metric.
 
@@ -293,7 +294,7 @@ def format_summary(
     the absolute counter section when given -- ``repro profile`` reports what
     the profiled workload itself added.
     """
-    lines: List[str] = []
+    lines: list[str] = []
     aggregates = aggregate_spans(telemetry)
     wall = max((event.start_s + event.duration_s for event in telemetry.events), default=0.0)
     lines.append(

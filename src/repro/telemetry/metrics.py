@@ -20,7 +20,8 @@ deterministic-results contract extends to telemetry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any
+from collections.abc import Iterable
 
 __all__ = ["HistogramSummary", "MetricsRegistry"]
 
@@ -49,7 +50,7 @@ class HistogramSummary:
         """Average of the observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def merge(self, other: "HistogramSummary") -> None:
+    def merge(self, other: HistogramSummary) -> None:
         """Fold another summary's samples into this one."""
         self.count += other.count
         self.total += other.total
@@ -58,7 +59,7 @@ class HistogramSummary:
         if other.max > self.max:
             self.max = other.max
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """JSON-ready representation (empty histograms report 0 bounds)."""
         return {
             "count": self.count,
@@ -87,9 +88,9 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self.counters: Dict[str, float] = {}
-        self.gauges: Dict[str, float] = {}
-        self.histograms: Dict[str, HistogramSummary] = {}
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, HistogramSummary] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -112,7 +113,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------ #
     # Snapshots and merging
     # ------------------------------------------------------------------ #
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         """A picklable/JSON-able copy of every metric."""
         return {
             "counters": dict(self.counters),
@@ -122,7 +123,7 @@ class MetricsRegistry:
             },
         }
 
-    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker process) into this registry."""
         for name, value in snapshot.get("counters", {}).items():
             self.count(name, value)
@@ -141,23 +142,23 @@ class MetricsRegistry:
             else:
                 histogram.merge(other)
 
-    def delta_since(self, baseline: Dict[str, Any]) -> Dict[str, float]:
+    def delta_since(self, baseline: dict[str, Any]) -> dict[str, float]:
         """Counter deltas relative to an earlier :meth:`snapshot`.
 
         Used by ``repro profile`` to report what one bounded workload added
         on top of whatever ran before it.
         """
         before = baseline.get("counters", {})
-        deltas: Dict[str, float] = {}
+        deltas: dict[str, float] = {}
         for name, value in self.counters.items():
             delta = value - before.get(name, 0)
             if delta:
                 deltas[name] = delta
         return deltas
 
-    def rows(self) -> List[Tuple[str, str]]:
+    def rows(self) -> list[tuple[str, str]]:
         """``(name, formatted value)`` rows for the human-readable summary."""
-        rows: List[Tuple[str, str]] = []
+        rows: list[tuple[str, str]] = []
         for name in sorted(self.counters):
             rows.append((name, format_quantity(self.counters[name])))
         for name in sorted(self.gauges):
@@ -184,7 +185,7 @@ def format_quantity(value: float) -> str:
     return f"{value:.6g}"
 
 
-def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> MetricsRegistry:
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> MetricsRegistry:
     """Merge any number of registry snapshots into a fresh registry."""
     merged = MetricsRegistry()
     for snapshot in snapshots:

@@ -29,7 +29,6 @@ ordering and ranges are (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 from repro.utils.validation import check_fraction, check_positive
 
@@ -68,7 +67,7 @@ class WordMix:
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"mixture weights must sum to 1, got {total}")
 
-    def as_tuple(self) -> Tuple[float, float, float, float, float]:
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
         """Weights in the canonical kind order used by the generator."""
         return (self.hold, self.small_int, self.pointer, self.float_like, self.random)
 
@@ -110,7 +109,7 @@ class BenchmarkProfile:
 
     name: str
     description: str
-    phases: Tuple[ProgramPhase, ...]
+    phases: tuple[ProgramPhase, ...]
     phase_block_fraction: float = 0.05
     kind_run_length: float = 6.0
 
@@ -123,18 +122,18 @@ class BenchmarkProfile:
         check_positive("kind_run_length", self.kind_run_length)
 
     @property
-    def phase_weights(self) -> Tuple[float, ...]:
+    def phase_weights(self) -> tuple[float, ...]:
         """Normalised time share of each phase."""
         total = sum(phase.weight for phase in self.phases)
         return tuple(phase.weight / total for phase in self.phases)
 
 
-def _single_phase(mix: WordMix) -> Tuple[ProgramPhase, ...]:
+def _single_phase(mix: WordMix) -> tuple[ProgramPhase, ...]:
     return (ProgramPhase(mix=mix, weight=1.0),)
 
 
 #: Profiles for the ten benchmarks of Table 1, in the paper's numerical order.
-SPEC2000_PROFILES: Dict[str, BenchmarkProfile] = {
+SPEC2000_PROFILES: dict[str, BenchmarkProfile] = {
     "crafty": BenchmarkProfile(
         name="crafty",
         description="Chess engine: integer/bitboard heavy, highly repetitive reads",
@@ -225,7 +224,7 @@ SPEC2000_PROFILES: Dict[str, BenchmarkProfile] = {
 }
 
 #: The paper's Table 1 ordering of the benchmarks (1-indexed in the paper).
-TABLE1_ORDER: Tuple[str, ...] = (
+TABLE1_ORDER: tuple[str, ...] = (
     "crafty",
     "vortex",
     "mgrid",

@@ -9,7 +9,7 @@ holding it in memory -- the two are bit-identical for the same parameters.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.trace.benchmarks import TABLE1_ORDER, get_profile
 from repro.trace.stream import ConcatenatedTraceSource, SyntheticTraceSource
@@ -55,12 +55,12 @@ def benchmark_trace_source(
 
 
 def generate_suite(
-    names: Optional[Sequence[str]] = None,
+    names: Sequence[str] | None = None,
     n_cycles: int = DEFAULT_CYCLES_PER_BENCHMARK,
     *,
     n_bits: int = 32,
     seed: int = 2005,
-) -> Dict[str, BusTrace]:
+) -> dict[str, BusTrace]:
     """Generate traces for a set of benchmarks with independent random streams.
 
     Each benchmark gets its own RNG stream derived from the master seed, so
@@ -76,12 +76,12 @@ def generate_suite(
 
 
 def suite_sources(
-    names: Optional[Sequence[str]] = None,
+    names: Sequence[str] | None = None,
     n_cycles: int = PAPER_CYCLES_PER_BENCHMARK,
     *,
     n_bits: int = 32,
     seed: int = 2005,
-) -> Dict[str, SyntheticTraceSource]:
+) -> dict[str, SyntheticTraceSource]:
     """Streaming twin of :func:`generate_suite`.
 
     Per-benchmark seed derivation matches :func:`generate_suite` exactly, so
@@ -98,7 +98,7 @@ def suite_sources(
 
 
 def generate_concatenated_suite(
-    names: Optional[Sequence[str]] = None,
+    names: Sequence[str] | None = None,
     n_cycles: int = DEFAULT_CYCLES_PER_BENCHMARK,
     *,
     n_bits: int = 32,
@@ -110,7 +110,7 @@ def generate_concatenated_suite(
 
 
 def concatenated_suite_source(
-    names: Optional[Sequence[str]] = None,
+    names: Sequence[str] | None = None,
     n_cycles: int = PAPER_CYCLES_PER_BENCHMARK,
     *,
     n_bits: int = 32,

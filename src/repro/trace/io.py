@@ -26,13 +26,12 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 
 from repro.trace.trace import BusTrace
 
-PathLike = Union[str, "os.PathLike[str]"]
+PathLike = str | os.PathLike
 
 #: Key names used inside the ``.npz`` archive.
 _NPZ_WORDS_KEY = "words"  # legacy layout: integer words

@@ -17,7 +17,6 @@ a shortened trace covers all the program's phases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
@@ -45,8 +44,8 @@ class SimPointSelection:
     """
 
     window_length: int
-    representative_windows: Tuple[int, ...]
-    weights: Tuple[float, ...]
+    representative_windows: tuple[int, ...]
+    weights: tuple[float, ...]
     labels: np.ndarray
 
     @property
@@ -54,7 +53,7 @@ class SimPointSelection:
         """Number of clusters / representative windows."""
         return len(self.representative_windows)
 
-    def extract(self, trace: BusTrace) -> List[BusTrace]:
+    def extract(self, trace: BusTrace) -> list[BusTrace]:
         """The representative windows as sub-traces, in cluster order."""
         return [
             trace.window(index * self.window_length, self.window_length, name=f"{trace.name}.sp{i}")
@@ -108,7 +107,7 @@ def window_signatures(trace: BusTrace, window_length: int) -> np.ndarray:
 
 def _kmeans(
     signatures: np.ndarray, n_clusters: int, rng: np.random.Generator, n_iterations: int = 50
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Plain k-means (numpy implementation, k-means++ style seeding)."""
     n_points = signatures.shape[0]
     centroids = signatures[rng.choice(n_points, size=1)]
@@ -194,9 +193,9 @@ def select_from_signatures(
 
     labels, centroids = _kmeans(signatures, n_clusters, rng)
 
-    representatives: List[int] = []
-    weights: List[float] = []
-    survivors: List[int] = []
+    representatives: list[int] = []
+    weights: list[float] = []
+    survivors: list[int] = []
     for cluster in range(centroids.shape[0]):
         member_indices = np.nonzero(labels == cluster)[0]
         if member_indices.size == 0:

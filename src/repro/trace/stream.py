@@ -46,7 +46,7 @@ True
 from __future__ import annotations
 
 import abc
-from typing import Iterator, List, Optional, Sequence, Union
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -177,7 +177,7 @@ class TraceSource(abc.ABC):
     # Chunked iteration
     # ------------------------------------------------------------------ #
     def chunks(
-        self, chunk_cycles: Optional[int] = None, packed: bool = False
+        self, chunk_cycles: int | None = None, packed: bool = False
     ) -> Iterator[TraceChunk]:
         """Iterate the trace as boundary-carrying :class:`TraceChunk`\\ s.
 
@@ -193,7 +193,7 @@ class TraceSource(abc.ABC):
             raise ValueError(f"chunk_cycles must be positive, got {chunk_cycles}")
         total = self.n_cycles
         blocks = self._packed_blocks() if packed else self._word_blocks()
-        buffer: Optional[np.ndarray] = None
+        buffer: np.ndarray | None = None
         start_cycle = 0
         index = 0
         for block in blocks:
@@ -328,7 +328,7 @@ class SyntheticTraceSource(TraceSource):
 
     def __init__(
         self,
-        profile: Union[BenchmarkProfile, str],
+        profile: BenchmarkProfile | str,
         n_cycles: int,
         *,
         n_bits: int = 32,
@@ -533,7 +533,7 @@ class ConcatenatedTraceSource(TraceSource):
         self._name = name
 
     @property
-    def sources(self) -> List[TraceSource]:
+    def sources(self) -> list[TraceSource]:
         """The concatenated sources, in execution order."""
         return list(self._sources)
 
@@ -549,7 +549,7 @@ class ConcatenatedTraceSource(TraceSource):
     def name(self) -> str:
         return self._name
 
-    def boundaries(self) -> List[int]:
+    def boundaries(self) -> list[int]:
         """Cumulative per-program cycle counts (for plot annotation).
 
         Junction transitions between programs are not counted, matching the
@@ -557,7 +557,7 @@ class ConcatenatedTraceSource(TraceSource):
         ``sum(n_cycles_i)`` while the streamed run itself covers
         ``n_cycles_i`` plus the ``n_sources - 1`` junctions.
         """
-        ends: List[int] = []
+        ends: list[int] = []
         offset = 0
         for source in self._sources:
             offset += source.n_cycles
@@ -608,7 +608,7 @@ class EncodedTraceSource(TraceSource):
             yield encoded
 
 
-WorkloadLike = Union[BusTrace, TraceSource]
+WorkloadLike = BusTrace | TraceSource
 
 
 def as_trace_source(workload: WorkloadLike) -> TraceSource:

@@ -42,7 +42,7 @@ generate in well under a second.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -198,7 +198,7 @@ def generate_word_block(
     profile: BenchmarkProfile,
     n_words: int,
     rng: np.random.Generator,
-    carry_word: Optional[int],
+    carry_word: int | None,
 ) -> np.ndarray:
     """Generate one block of bus words.
 
@@ -246,8 +246,8 @@ def iter_word_blocks(
     n_bits: int = 32,
     seed: SeedLike = None,
     first_block: int = 0,
-    carry_word: Optional[int] = None,
-) -> Iterator[Tuple[int, np.ndarray]]:
+    carry_word: int | None = None,
+) -> Iterator[tuple[int, np.ndarray]]:
     """Yield ``(block_index, words)`` for a trace's generation blocks.
 
     The full trace is the concatenation of all blocks starting from

@@ -25,7 +25,7 @@ unpacks one chunk at a time.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -95,11 +95,11 @@ class BusTrace:
 
     def __init__(
         self,
-        values: Optional[np.ndarray] = None,
+        values: np.ndarray | None = None,
         name: str = "trace",
         *,
-        packed: Optional[np.ndarray] = None,
-        n_bits: Optional[int] = None,
+        packed: np.ndarray | None = None,
+        n_bits: int | None = None,
     ) -> None:
         if (values is None) == (packed is None):
             raise ValueError("exactly one of 'values' and 'packed' must be given")
@@ -114,8 +114,8 @@ class BusTrace:
                 raise ValueError("a trace needs at least two words (one transition)")
             if not np.all((values == 0) | (values == 1)):
                 raise ValueError("trace values must be 0/1")
-            self._values: Optional[np.ndarray] = values.astype(np.uint8)
-            self._packed: Optional[np.ndarray] = None
+            self._values: np.ndarray | None = values.astype(np.uint8)
+            self._packed: np.ndarray | None = None
             self._n_bits = int(values.shape[1])
         else:
             if n_bits is None or n_bits <= 0:
@@ -141,13 +141,13 @@ class BusTrace:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_words(cls, words: Iterable[int], n_bits: int = 32, name: str = "trace") -> "BusTrace":
+    def from_words(cls, words: Iterable[int], n_bits: int = 32, name: str = "trace") -> BusTrace:
         """Build a trace from integer bus words (LSB = wire 0)."""
         words_array = np.asarray(list(words) if not isinstance(words, np.ndarray) else words)
         return cls(values=words_to_bits(words_array, n_bits), name=name)
 
     @classmethod
-    def from_packed(cls, packed: np.ndarray, n_bits: int, name: str = "trace") -> "BusTrace":
+    def from_packed(cls, packed: np.ndarray, n_bits: int, name: str = "trace") -> BusTrace:
         """Build a packed-backed trace from a :func:`pack_values` array."""
         return cls(packed=packed, n_bits=n_bits, name=name)
 
@@ -178,13 +178,13 @@ class BusTrace:
             return self._packed
         return pack_values(self._values)
 
-    def pack(self) -> "BusTrace":
+    def pack(self) -> BusTrace:
         """This trace backed by the packed representation (no-op if packed)."""
         if self.is_packed:
             return self
         return BusTrace(packed=pack_values(self._values), n_bits=self._n_bits, name=self.name)
 
-    def unpacked(self) -> "BusTrace":
+    def unpacked(self) -> BusTrace:
         """This trace backed by the unpacked 0/1 array (no-op if unpacked)."""
         if not self.is_packed:
             return self
@@ -233,7 +233,7 @@ class BusTrace:
     # ------------------------------------------------------------------ #
     # Manipulation
     # ------------------------------------------------------------------ #
-    def window(self, start_cycle: int, n_cycles: int, name: Optional[str] = None) -> "BusTrace":
+    def window(self, start_cycle: int, n_cycles: int, name: str | None = None) -> BusTrace:
         """A sub-trace covering ``n_cycles`` transitions starting at ``start_cycle``.
 
         Packed traces stay packed: the window is a row slice of the packed
@@ -250,7 +250,7 @@ class BusTrace:
             return BusTrace(packed=self._packed[rows], n_bits=self._n_bits, name=window_name)
         return BusTrace(values=self._values[rows], name=window_name)
 
-    def concatenate(self, other: "BusTrace", name: Optional[str] = None) -> "BusTrace":
+    def concatenate(self, other: BusTrace, name: str | None = None) -> BusTrace:
         """Run another trace back-to-back after this one.
 
         The transition from this trace's last word to the other trace's first

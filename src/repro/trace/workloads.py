@@ -53,7 +53,7 @@ file-backed workloads have an intrinsic length and ignore them.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -125,7 +125,7 @@ class SimPointTraceSource(TraceSource):
         self,
         base: WorkloadLike,
         *,
-        window_length: Optional[int] = None,
+        window_length: int | None = None,
         n_clusters: int = DEFAULT_SIMPOINT_CLUSTERS,
         seed: SeedLike = 0,
     ) -> None:
@@ -178,7 +178,7 @@ class SimPointTraceSource(TraceSource):
         return self._selection
 
     @property
-    def weights(self) -> Tuple[float, ...]:
+    def weights(self) -> tuple[float, ...]:
         """Execution-time share of each representative window's cluster."""
         return self._selection.weights
 
@@ -205,7 +205,7 @@ class SimPointTraceSource(TraceSource):
         return self._reduced._packed_blocks()
 
 
-def _kernel_names() -> Tuple[str, ...]:
+def _kernel_names() -> tuple[str, ...]:
     from repro.cpu.kernels import KERNELS
 
     return tuple(sorted(KERNELS))
@@ -227,9 +227,9 @@ class WorkloadRegistry:
 
     def resolve(
         self,
-        spec: "WorkloadLike | str",
+        spec: WorkloadLike | str,
         *,
-        n_cycles: Optional[int] = None,
+        n_cycles: int | None = None,
         seed: SeedLike = None,
         n_bits: int = 32,
     ) -> TraceSource:
@@ -313,7 +313,7 @@ class WorkloadRegistry:
         raise KeyError(f"unknown workload {spec!r}; known workloads: {known}")
 
     def _synthetic(
-        self, name: str, n_cycles: Optional[int], seed: SeedLike, n_bits: int
+        self, name: str, n_cycles: int | None, seed: SeedLike, n_bits: int
     ) -> SyntheticTraceSource:
         # Per-profile streams follow the suite convention (the Table 1 spawn
         # index), so resolve("crafty", seed=s) equals suite_sources(seed=s)
@@ -330,7 +330,7 @@ class WorkloadRegistry:
         )
 
     def _cpu(
-        self, name: str, n_cycles: Optional[int], seed: SeedLike, n_bits: int
+        self, name: str, n_cycles: int | None, seed: SeedLike, n_bits: int
     ) -> CpuKernelTraceSource:
         # Name-keyed per-kernel streams (kernel_seed_sequence), matching
         # kernel_suite / kernel_sources -- so a cpu: row resolved here equals
@@ -358,7 +358,7 @@ class WorkloadRegistry:
         self,
         parts: Sequence[str],
         name: str,
-        n_cycles: Optional[int],
+        n_cycles: int | None,
         seed: SeedLike,
         n_bits: int,
     ) -> ConcatenatedTraceSource:
@@ -377,10 +377,10 @@ class WorkloadRegistry:
         self,
         spec: str,
         *,
-        n_cycles: Optional[int] = None,
+        n_cycles: int | None = None,
         seed: SeedLike = None,
         n_bits: int = 32,
-    ) -> Dict[str, TraceSource]:
+    ) -> dict[str, TraceSource]:
         """A ``{spec_part: source}`` mapping from a *comma*-separated spec.
 
         This is what the ``--workload`` experiment selectors consume: each
@@ -391,7 +391,7 @@ class WorkloadRegistry:
         ``seed``; different specs draw from different streams by
         construction.
         """
-        mapping: Dict[str, TraceSource] = {}
+        mapping: dict[str, TraceSource] = {}
         for part in (p.strip() for p in spec.split(",")):
             if not part or part in mapping:
                 continue
@@ -400,7 +400,7 @@ class WorkloadRegistry:
             raise KeyError(f"workload spec {spec!r} names no workloads")
         return mapping
 
-    def file_paths(self, spec: str) -> List[str]:
+    def file_paths(self, spec: str) -> list[str]:
         """Trace-file paths a single-row spec references, by the resolver's
         own grammar precedence (``file:`` is greedy, so paths containing
         ``+`` are returned whole -- exactly as :meth:`resolve` would read
@@ -445,7 +445,7 @@ class WorkloadRegistry:
             return [text]
         return []
 
-    def names(self) -> Tuple[str, ...]:
+    def names(self) -> tuple[str, ...]:
         """Canonical specs of every registered named workload."""
         synthetic = tuple(sorted(SPEC2000_PROFILES))
         kernels = tuple(f"cpu:{name}" for name in _kernel_names())
@@ -454,7 +454,7 @@ class WorkloadRegistry:
     def __repr__(self) -> str:
         return f"{type(self).__name__}({len(self.names())} named workloads)"
 
-    def describe(self) -> List[Tuple[str, str]]:
+    def describe(self) -> list[tuple[str, str]]:
         """(spec, description) rows for the CLI's ``trace --list`` output."""
         from repro.cpu.kernels import KERNELS
 
@@ -480,9 +480,9 @@ WORKLOADS = WorkloadRegistry()
 
 
 def resolve_workload(
-    spec: "WorkloadLike | str",
+    spec: WorkloadLike | str,
     *,
-    n_cycles: Optional[int] = None,
+    n_cycles: int | None = None,
     seed: SeedLike = None,
     n_bits: int = 32,
 ) -> TraceSource:
@@ -493,10 +493,10 @@ def resolve_workload(
 def resolve_workload_mapping(
     spec: str,
     *,
-    n_cycles: Optional[int] = None,
+    n_cycles: int | None = None,
     seed: SeedLike = None,
     n_bits: int = 32,
-) -> Dict[str, TraceSource]:
+) -> dict[str, TraceSource]:
     """Resolve a *comma*-separated row spec into named sources via :data:`WORKLOADS`.
 
     ``+`` keeps its suite-concatenation meaning within a row; see
@@ -505,12 +505,12 @@ def resolve_workload_mapping(
     return WORKLOADS.resolve_mapping(spec, n_cycles=n_cycles, seed=seed, n_bits=n_bits)
 
 
-def available_workloads() -> Tuple[str, ...]:
+def available_workloads() -> tuple[str, ...]:
     """Canonical specs of every named workload in the default registry."""
     return WORKLOADS.names()
 
 
-def workload_fingerprint(spec: str) -> Optional[str]:
+def workload_fingerprint(spec: str) -> str | None:
     """Content digest of every trace file a workload spec references.
 
     Generative workloads are pure functions of their spec and seed, so the
@@ -524,7 +524,7 @@ def workload_fingerprint(spec: str) -> Optional[str]:
 
     # Rows are comma-separated (commas never appear inside a row spec);
     # within a row the registry's own grammar walk finds the file parts.
-    paths: List[str] = []
+    paths: list[str] = []
     for row in spec.split(","):
         if row.strip():
             paths.extend(WORKLOADS.file_paths(row))
@@ -541,13 +541,13 @@ def workload_fingerprint(spec: str) -> Optional[str]:
 
 
 def kernel_sources(
-    names: Optional[Sequence[str]] = None,
+    names: Sequence[str] | None = None,
     n_cycles: int = 20_000,
     *,
     seed: SeedLike = 2005,
     bus_policy: str = "all_loads",
     n_bits: int = 32,
-) -> Dict[str, CpuKernelTraceSource]:
+) -> dict[str, CpuKernelTraceSource]:
     """Streaming kernel sources keyed by their registry spec (``cpu:<name>``).
 
     The streaming twin of :func:`repro.cpu.tracing.kernel_suite`: per-kernel

@@ -17,11 +17,11 @@ invariant:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
-SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+SeedLike = int | np.random.Generator | np.random.SeedSequence | None
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -73,7 +73,7 @@ def derive_seed_sequence(
     )
 
 
-def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Deterministically derive ``count`` independent generators from a seed.
 
     Used to give each benchmark trace its own stream so that adding or

@@ -6,7 +6,6 @@ constructors can validate their inputs in one line each.
 
 from __future__ import annotations
 
-from typing import Optional
 
 
 def check_positive(name: str, value: float, *, strict: bool = True) -> float:
@@ -21,8 +20,8 @@ def check_positive(name: str, value: float, *, strict: bool = True) -> float:
 def check_in_range(
     name: str,
     value: float,
-    low: Optional[float] = None,
-    high: Optional[float] = None,
+    low: float | None = None,
+    high: float | None = None,
     *,
     inclusive: bool = True,
 ) -> float:

@@ -1,0 +1,25 @@
+"""Shared helpers for the static-analyzer tests.
+
+Fixture projects under ``fixtures/`` are *inputs* to the analyzer -- they are
+never imported, only parsed.  ``analyze_fixture`` points the engine at one of
+them; because none of them contain the real task-registry seeds, every module
+lands in the deterministic zone (the documented degenerate fallback), which
+is exactly what fixture checks want.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analyze import analyze_project
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def analyze_fixture(name: str, **kwargs):
+    """Run the full engine over ``fixtures/<name>`` as its own source root."""
+    return analyze_project(root=FIXTURES / name, **kwargs)
+
+
+def rules_of(findings) -> list[str]:
+    return [finding.rule for finding in findings]

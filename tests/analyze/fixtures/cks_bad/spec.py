@@ -1,0 +1,29 @@
+"""Cache-key fixture (bad): a structurally complete key with selective holes.
+
+The key folds the task name, the code version, and three named parameters --
+so CKS003 stays quiet -- but it hashes *path strings*, never file content,
+and any parameter outside the named three is simply dropped.
+"""
+
+import hashlib
+import json
+
+__version__ = "fixture-1"
+
+
+class JobSpec:
+    def __init__(self, task, params):
+        self.task = task
+        self.params = params
+
+    @property
+    def key(self):
+        payload = {
+            "task": self.task,
+            "version": __version__,
+            "n_cycles": self.params["n_cycles"],
+            "trace_file": self.params["trace_file"],
+            "table_file": self.params["table_file"],
+        }
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,41 @@
+"""Cache-key fixture (bad): tasks whose parameters outrun the key.
+
+Expected findings against ``spec.py``'s key:
+
+* ``dvs_run.verbosity`` -- CKS001 (never enters the key, no annotation);
+* ``dvs_run.trace_file`` -- CKS002 (opened directly; key folds only the path
+  string);
+* ``characterize.table_file`` -- CKS002 through the ``_load_table`` helper
+  (the dataflow fixpoint must carry sink-ness across the call);
+* ``dvs_run.log_path`` -- nothing: the ``key-irrelevant`` annotation opts it
+  out even though it never enters the key.
+"""
+
+
+def task(name):
+    def wrap(fn):
+        return fn
+
+    return wrap
+
+
+def _load_table(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+@task("dvs_run")
+def dvs_run(
+    n_cycles,
+    trace_file,
+    verbosity,
+    log_path,  # repro: key-irrelevant diagnostics destination, never in results
+):
+    with open(trace_file) as handle:
+        data = handle.read()
+    return {"n_cycles": n_cycles, "data": data, "verbosity": verbosity, "log": log_path}
+
+
+@task("characterize")
+def characterize(n_cycles, table_file):
+    return {"n_cycles": n_cycles, "table": _load_table(table_file)}

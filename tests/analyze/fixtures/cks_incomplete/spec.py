@@ -1,0 +1,15 @@
+"""Cache-key fixture (bad): a structurally broken ``JobSpec.key``.
+
+The key is a constant: no params fold, no code version, no task name.  All
+three CKS003 shapes must fire on the ``key`` definition.
+"""
+
+
+class JobSpec:
+    def __init__(self, task, params):
+        self.task = task
+        self.params = params
+
+    @property
+    def key(self):
+        return "the-one-cache-entry"

@@ -1,0 +1,39 @@
+"""Determinism-lint fixture: one violation per DET rule, plus suppressions.
+
+Never imported by the tests -- this file is *input* to the analyzer, so the
+line comments below are part of the fixture (they exercise the suppression
+machinery, including a wrong-rule suppression that must NOT silence).
+"""
+
+import json
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def simulate(chunks):
+    rng = np.random.default_rng()  # DET001: unseeded constructor
+    jitter = random.random()  # DET001: stdlib global RNG
+    np.random.seed(0)  # DET001: legacy numpy global RNG
+    started = time.time()  # repro: noqa[DET001] wrong rule: DET002 stays active
+    banner_at = time.time()  # repro: noqa[DET002] wall time for the log banner only
+    stamp = datetime.now()  # DET002: wall clock
+    for name in {"crafty", "gcc"}:  # DET003: set iteration order
+        jitter += 0.0 if name else 1.0
+    payload = json.dumps({"rng": str(rng)})  # DET003: no sort_keys
+    total = 0.0
+    for chunk in chunks:
+        total += float(chunk.sum())  # DET004: float accumulation across chunks
+    n_transitions = 0
+    for chunk in chunks:
+        n_transitions += int(chunk.sum())  # counter-named target: no finding
+    return {
+        "total": total,
+        "n_transitions": n_transitions,
+        "payload": payload,
+        "started": started,
+        "banner_at": banner_at,
+        "stamp": str(stamp),
+    }

@@ -1,0 +1,42 @@
+"""Determinism-lint fixture: the disciplined twin of ``det_bad/sim.py``.
+
+Every pattern flagged over there appears here in its sanctioned form; the
+analyzer must report nothing.
+"""
+
+import json
+import time
+
+import numpy as np
+
+
+class TraceStatisticsAccumulator:
+    """Blessed accumulator: float accumulation inside it is allowed."""
+
+    def __init__(self):
+        self.total = 0.0
+
+    def update(self, chunks):
+        for chunk in chunks:
+            self.total += float(chunk.sum())  # blessed class: no DET004
+
+
+def simulate(chunks, seed):
+    rng = np.random.default_rng(seed)  # seeded: fine
+    elapsed_from = time.monotonic()  # monotonic: times the run, not the result
+    names = []
+    for name in sorted({"crafty", "gcc"}):  # sorted(): deterministic order
+        names.append(name)
+    payload = json.dumps({"seed": seed, "names": names}, sort_keys=True)
+    accumulator = TraceStatisticsAccumulator()
+    accumulator.update(chunks)
+    n_transitions = 0
+    for chunk in chunks:
+        n_transitions += int(chunk.sum())  # integer counter: associative
+    return {
+        "total": accumulator.total,
+        "n_transitions": n_transitions,
+        "payload": payload,
+        "draw": float(rng.random()),
+        "elapsed_from": elapsed_from,
+    }

@@ -1,0 +1,39 @@
+"""Lock-discipline fixture (bad): every LCK rule violated once or more.
+
+``_jobs`` and ``_pending`` become *guarded* through their locked writes in
+``submit``; the unlocked write in ``drop`` (LCK001) and the unlocked read in
+``size`` (LCK002) race them.  ``submit`` also invokes a caller-supplied
+callback, an injected callable, and a channel push while holding the lock
+(LCK003 x3).
+"""
+
+import threading
+
+
+class _EventChannel:
+    def push(self, event):
+        return event
+
+
+class LeakyQueue:
+    def __init__(self, on_event):
+        self._lock = threading.Lock()
+        self._on_event = on_event
+        self._channel = _EventChannel()
+        self._jobs = {}
+        self._pending = []
+
+    def submit(self, job, callback):
+        with self._lock:
+            self._jobs[job] = "queued"
+            self._pending.append(job)
+            callback(job)
+            self._on_event(job)
+            self._channel.push({"event": "queued", "job": job})
+        return job
+
+    def drop(self, job):
+        self._jobs.pop(job, None)
+
+    def size(self):
+        return len(self._pending)

@@ -1,0 +1,49 @@
+"""Lock-discipline fixture (good): the disciplined twin of ``lck_bad``.
+
+Same shared state, same callbacks -- but every access to guarded attributes
+holds the lock (directly, via the ``*_locked`` naming convention, or via a
+private helper whose only call sites are locked), and all three callbacks
+run *outside* the critical section.  The analyzer must report nothing.
+"""
+
+import threading
+
+
+class _EventChannel:
+    def push(self, event):
+        return event
+
+
+class DisciplinedQueue:
+    def __init__(self, on_event):
+        self._lock = threading.Lock()
+        self._on_event = on_event
+        self._channel = _EventChannel()
+        self._jobs = {}
+        self._pending = []
+
+    def submit(self, job, callback):
+        with self._lock:
+            self._enqueue(job)
+        callback(job)
+        self._on_event(job)
+        self._channel.push({"event": "queued", "job": job})
+        return job
+
+    def _enqueue(self, job):
+        # Private helper: every call site holds the lock, so the fixpoint
+        # classifies these writes as locked.
+        self._jobs[job] = "queued"
+        self._pending.append(job)
+
+    def drop_locked(self, job):
+        # Caller-holds-the-lock convention: the suffix marks the contract.
+        self._jobs.pop(job, None)
+
+    def drop(self, job):
+        with self._lock:
+            self.drop_locked(job)
+
+    def size(self):
+        with self._lock:
+            return len(self._pending)

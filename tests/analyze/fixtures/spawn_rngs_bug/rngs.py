@@ -1,0 +1,21 @@
+"""Regression fixture: the PR 5 ``spawn_rngs`` seed-discard bug.
+
+The historical shape: a helper *accepts* a seed, then silently discards it
+by building the root ``SeedSequence`` with no arguments.  Every run drew
+fresh OS entropy, so results were irreproducible while the cache keys --
+computed from the (ignored) seed parameter -- claimed otherwise.  DET001
+must flag the unseeded constructor.
+"""
+
+import numpy as np
+
+
+def spawn_rngs(seed, n_streams):
+    # BUG (kept verbatim as a fixture): ``seed`` should feed SeedSequence.
+    root = np.random.SeedSequence()
+    return [np.random.default_rng(child) for child in root.spawn(n_streams)]
+
+
+def spawn_rngs_fixed(seed, n_streams):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n_streams)]

@@ -1,0 +1,61 @@
+"""Determinism lint (DET001-DET004): golden fixture pairs + the PR 5 regression."""
+
+from __future__ import annotations
+
+from tests.analyze.conftest import analyze_fixture, rules_of
+
+
+def test_det_bad_flags_every_rule():
+    report = analyze_fixture("det_bad")
+    rules = rules_of(report.findings)
+    assert rules.count("DET001") == 3  # unseeded ctor, stdlib random, legacy global
+    assert rules.count("DET002") == 2  # time.time (wrong-rule noqa) + datetime.now
+    assert rules.count("DET003") == 2  # set iteration + json.dumps w/o sort_keys
+    assert rules.count("DET004") == 1  # float += in the chunk loop
+    assert len(rules) == 8
+
+
+def test_det_bad_counter_named_accumulator_is_exempt():
+    report = analyze_fixture("det_bad")
+    det004 = [finding for finding in report.findings if finding.rule == "DET004"]
+    assert any("'total +=" in finding.message for finding in det004)
+    assert all("n_transitions" not in finding.message for finding in det004)
+
+
+def test_det_good_is_clean():
+    report = analyze_fixture("det_good")
+    assert report.findings == []
+    assert report.suppressed == []
+
+
+def test_suppression_silences_exactly_the_named_rule():
+    report = analyze_fixture("det_bad")
+    # The banner line carries ``# repro: noqa[DET002]`` -> suppressed, visible.
+    assert [finding.rule for finding in report.suppressed] == ["DET002"]
+    assert "banner" not in " ".join(finding.message for finding in report.findings)
+    # The line above it suppresses DET001 -- the wrong rule -- so its DET002
+    # finding must stay active.
+    active_det002_lines = {
+        finding.line for finding in report.findings if finding.rule == "DET002"
+    }
+    suppressed_lines = {finding.line for finding in report.suppressed}
+    assert active_det002_lines.isdisjoint(suppressed_lines)
+
+
+def test_spawn_rngs_seed_discard_regression():
+    """PR 5 shape: a helper accepts a seed, then builds SeedSequence() without it."""
+    report = analyze_fixture("spawn_rngs_bug")
+    assert rules_of(report.findings) == ["DET001"]
+    finding = report.findings[0]
+    assert "SeedSequence" in finding.message
+    assert finding.path == "rngs.py"
+    # The fixed twin in the same file (seed threaded through) adds nothing.
+    assert len(report.findings) == 1
+
+
+def test_rule_subset_filters_findings():
+    from repro.analyze import analyze_project
+    from tests.analyze.conftest import FIXTURES
+
+    report = analyze_project(root=FIXTURES / "det_bad", rules=frozenset({"DET004"}))
+    assert rules_of(report.findings) == ["DET004"]

@@ -1,0 +1,153 @@
+"""Engine mechanics (baseline ratchet, fingerprints) and the CLI surface."""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+
+from repro.analyze import Baseline, Finding, RULE_CATALOG
+from repro.analyze import cli as analyze_cli
+
+from tests.analyze.conftest import FIXTURES, analyze_fixture
+
+
+def _run_cli(argv, stream=None):
+    parser = argparse.ArgumentParser()
+    analyze_cli.add_arguments(parser)
+    out = stream if stream is not None else io.StringIO()
+    return analyze_cli.run(parser.parse_args(argv), out), out
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprints and the baseline round-trip
+# --------------------------------------------------------------------------- #
+def test_fingerprint_ignores_line_numbers():
+    a = Finding(rule="DET001", path="sim.py", line=10, col=5, message="m")
+    b = Finding(rule="DET001", path="sim.py", line=99, col=1, message="m")
+    c = Finding(rule="DET002", path="sim.py", line=10, col=5, message="m")
+    assert a.fingerprint == b.fingerprint
+    assert a.fingerprint != c.fingerprint
+
+
+def test_baseline_round_trip_absorbs_findings(tmp_path):
+    first = analyze_fixture("det_bad")
+    assert first.findings
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(first.findings).save(path)
+    loaded = Baseline.load(path)
+    assert loaded.fingerprints == {finding.fingerprint for finding in first.findings}
+
+    second = analyze_fixture("det_bad", baseline=loaded)
+    assert second.findings == []
+    assert {finding.fingerprint for finding in second.baselined} == loaded.fingerprints
+    assert second.stale_baseline == []
+    assert second.clean
+
+
+def test_stale_baseline_entries_are_reported(tmp_path):
+    baseline = Baseline(
+        entries=[{"rule": "DET001", "path": "gone.py", "message": "m", "fingerprint": "f" * 16}]
+    )
+    report = analyze_fixture("det_good", baseline=baseline)
+    assert report.findings == []
+    assert report.stale_baseline == ["f" * 16]
+    assert not report.clean
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").fingerprints == frozenset()
+
+
+# --------------------------------------------------------------------------- #
+# CLI exit codes and formats
+# --------------------------------------------------------------------------- #
+def test_cli_exits_1_on_findings_and_0_when_clean():
+    bad_code, _ = _run_cli(["--root", str(FIXTURES / "det_bad"), "--no-baseline"])
+    good_code, _ = _run_cli(["--root", str(FIXTURES / "det_good"), "--no-baseline"])
+    assert bad_code == 1
+    assert good_code == 0
+
+
+def test_cli_strict_fails_on_stale_baseline(tmp_path):
+    stale = tmp_path / "stale.json"
+    stale.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "findings": [
+                    {"rule": "DET001", "path": "gone.py", "message": "m", "fingerprint": "0" * 16}
+                ],
+            }
+        )
+    )
+    root = str(FIXTURES / "det_good")
+    lax_code, _ = _run_cli(["--root", root, "--baseline", str(stale)])
+    strict_code, out = _run_cli(["--root", root, "--baseline", str(stale), "--strict"])
+    assert lax_code == 0
+    assert strict_code == 1
+    assert "matches no current finding" in out.getvalue()
+
+
+def test_cli_update_baseline_then_clean(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    root = str(FIXTURES / "det_bad")
+    update_code, _ = _run_cli(["--root", root, "--baseline", str(baseline), "--update-baseline"])
+    assert update_code == 0
+    assert baseline.exists()
+    after_code, out = _run_cli(["--root", root, "--baseline", str(baseline), "--strict"])
+    assert after_code == 0
+    assert "0 finding(s)" in out.getvalue()
+
+
+def test_cli_json_format_is_the_artifact_schema():
+    code, out = _run_cli(
+        ["--root", str(FIXTURES / "lck_bad"), "--no-baseline", "--format", "json"]
+    )
+    assert code == 1
+    payload = json.loads(out.getvalue())
+    assert payload["schema"] == 1
+    assert payload["summary"]["findings"] == len(payload["findings"]) > 0
+    first = payload["findings"][0]
+    assert set(first) == {"rule", "path", "line", "col", "message", "fingerprint"}
+
+
+def test_cli_accepts_a_directory_path():
+    root = FIXTURES / "det_bad"
+    code, out = _run_cli(["--root", str(root), "--no-baseline", str(root)])
+    assert code == 1
+    assert "DET001" in out.getvalue()
+
+
+def test_cli_rejects_paths_outside_the_root():
+    code, out = _run_cli(
+        ["--root", str(FIXTURES / "det_good"), str(FIXTURES / "det_bad")]
+    )
+    assert code == 2
+    assert "outside the source root" in out.getvalue()
+
+
+def test_cli_rejects_missing_paths():
+    code, out = _run_cli(
+        ["--root", str(FIXTURES / "det_good"), str(FIXTURES / "det_good" / "absent.py")]
+    )
+    assert code == 2
+    assert "no such file" in out.getvalue()
+
+
+def test_cli_list_rules_prints_the_catalog():
+    code, out = _run_cli(["--list-rules"])
+    assert code == 0
+    text = out.getvalue()
+    for info in RULE_CATALOG:
+        assert info.id in text
+
+
+def test_text_rendering_is_clickable():
+    report = analyze_fixture("lck_bad")
+    line = report.findings[0].format()
+    path, lineno, col, rest = line.split(":", 3)
+    assert path.endswith(".py")
+    assert int(lineno) > 0
+    assert int(col) > 0
+    assert rest.strip().startswith("LCK")

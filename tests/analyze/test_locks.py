@@ -1,0 +1,38 @@
+"""Lock-discipline race detector (LCK001-LCK003): guarded state and callbacks."""
+
+from __future__ import annotations
+
+from tests.analyze.conftest import analyze_fixture
+
+
+def _lck(report):
+    return [finding for finding in report.findings if finding.rule.startswith("LCK")]
+
+
+def test_lck_bad_flags_every_rule():
+    report = analyze_fixture("lck_bad")
+    rules = [finding.rule for finding in _lck(report)]
+    assert rules.count("LCK001") == 1  # unguarded ._jobs.pop in drop()
+    assert rules.count("LCK002") == 1  # unguarded ._pending read in size()
+    assert rules.count("LCK003") == 3  # callback + injected + channel under lock
+    assert len(rules) == 5
+
+
+def test_lck_bad_messages_name_the_shapes():
+    report = analyze_fixture("lck_bad")
+    by_rule = {}
+    for finding in _lck(report):
+        by_rule.setdefault(finding.rule, []).append(finding.message)
+    assert any("'_jobs'" in message for message in by_rule["LCK001"])
+    assert any("'_pending'" in message for message in by_rule["LCK002"])
+    joined = " ".join(by_rule["LCK003"])
+    assert "caller-supplied callable 'callback'" in joined
+    assert "injected callable 'self._on_event'" in joined
+    assert "channel method '.push(...)'" in joined
+
+
+def test_lck_good_is_clean():
+    """Locked helpers, *_locked convention, callbacks hoisted out: no findings."""
+    report = analyze_fixture("lck_good")
+    assert _lck(report) == []
+    assert report.findings == []

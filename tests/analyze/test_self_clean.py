@@ -1,0 +1,38 @@
+"""Self-hosting guarantee: the repo's own tree passes its own analyzer.
+
+This is the test twin of the CI gate (``repro analyze --strict``): zero
+active findings, zero stale baseline entries, zero unparseable files.  Every
+suppression in the tree stays visible here -- if one is removed or a new one
+added, the count moves and the diff shows where.
+"""
+
+from __future__ import annotations
+
+from repro.analyze import (
+    Baseline,
+    analyze_project,
+    default_baseline_path,
+    default_source_root,
+)
+
+
+def test_repo_source_tree_is_clean_under_its_own_analyzer():
+    root = default_source_root()
+    baseline = Baseline.load(default_baseline_path(root))
+    report = analyze_project(root=root, baseline=baseline)
+    assert report.skipped == []
+    assert report.findings == [], "\n".join(finding.format() for finding in report.findings)
+    assert report.stale_baseline == []
+    assert report.n_modules > 100  # the whole tree, not a partial load
+
+
+def test_every_suppression_in_the_tree_names_a_real_rule():
+    from repro.analyze import RULE_CATALOG
+    from repro.analyze.source import Project
+
+    known = {info.id for info in RULE_CATALOG}
+    project = Project.load(default_source_root())
+    for source in project.modules.values():
+        for line, rules in source.suppressions.items():
+            unknown = rules - known
+            assert not unknown, f"{source.rel_path}:{line} suppresses unknown {unknown}"
